@@ -1,0 +1,156 @@
+//! Array configuration.
+
+use decluster_disk::{Geometry, SchedPolicy};
+use serde::{Deserialize, Serialize};
+
+/// Physical and policy configuration of the simulated array, matching the
+/// paper's Table 5-1 defaults.
+///
+/// # Examples
+///
+/// ```
+/// use decluster_array::ArrayConfig;
+///
+/// let cfg = ArrayConfig::paper();
+/// assert_eq!(cfg.unit_sectors, 8); // 4 KB stripe units of 512-byte sectors
+/// assert_eq!(cfg.units_per_disk(), 79_716);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    /// Per-disk geometry (all disks identical).
+    pub geometry: Geometry,
+    /// Sectors per stripe unit (8 × 512 B = the paper's 4 KB unit).
+    pub unit_sectors: u32,
+    /// Head-scheduling policy for every disk.
+    pub sched: SchedPolicy,
+    /// Seed for the workload generator.
+    pub seed: u64,
+    /// Delay inserted between a reconstruction process's cycles
+    /// (reconstruction throttling — the paper's future-work knob), in
+    /// microseconds. Zero (the default) reconstructs as fast as possible.
+    pub recon_throttle_us: u64,
+    /// When true, disks strictly prioritize user accesses over
+    /// reconstruction accesses (the paper's future-work "flexible
+    /// prioritization scheme"); reconstruction only uses idle capacity.
+    pub recon_priority: bool,
+    /// Units per disk reserved as distributed spare space (0 = dedicated
+    /// replacement disks, the paper's organization). With spares reserved,
+    /// reconstruction may rebuild into them instead of a replacement.
+    pub spare_units_per_disk: u64,
+}
+
+impl ArrayConfig {
+    /// The paper's configuration: IBM 0661 disks, 4 KB units, CVSCAN.
+    pub fn paper() -> ArrayConfig {
+        ArrayConfig {
+            geometry: Geometry::ibm0661(),
+            unit_sectors: 8,
+            sched: SchedPolicy::cvscan(),
+            seed: 0x1992,
+            recon_throttle_us: 0,
+            recon_priority: false,
+            spare_units_per_disk: 0,
+        }
+    }
+
+    /// The paper's configuration on proportionally shrunken disks with
+    /// `cylinders` cylinders — same seek envelope and per-track timing,
+    /// smaller capacity — for experiments that must run a full
+    /// reconstruction quickly. Reconstruction time scales approximately
+    /// linearly with capacity.
+    pub fn scaled(cylinders: u32) -> ArrayConfig {
+        ArrayConfig {
+            geometry: Geometry::ibm0661_scaled(cylinders),
+            ..ArrayConfig::paper()
+        }
+    }
+
+    /// Stripe units each disk holds.
+    pub fn units_per_disk(&self) -> u64 {
+        self.geometry.total_sectors() / self.unit_sectors as u64
+    }
+
+    /// Bytes per stripe unit.
+    pub fn unit_bytes(&self) -> u64 {
+        self.unit_sectors as u64 * self.geometry.bytes_per_sector as u64
+    }
+
+    /// Returns a copy with a different workload seed.
+    pub fn with_seed(mut self, seed: u64) -> ArrayConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with reconstruction throttling.
+    pub fn with_recon_throttle_us(mut self, us: u64) -> ArrayConfig {
+        self.recon_throttle_us = us;
+        self
+    }
+
+    /// Returns a copy with user-over-reconstruction priority scheduling.
+    pub fn with_recon_priority(mut self, on: bool) -> ArrayConfig {
+        self.recon_priority = on;
+        self
+    }
+
+    /// Returns a copy reserving `units` spare units per disk for
+    /// distributed sparing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation leaves no data capacity.
+    pub fn with_distributed_spares(mut self, units: u64) -> ArrayConfig {
+        assert!(
+            units < self.units_per_disk(),
+            "spare reservation {units} swallows the whole disk"
+        );
+        self.spare_units_per_disk = units;
+        self
+    }
+
+    /// Units per disk available for data and parity (total minus the
+    /// distributed-spare reservation).
+    pub fn data_units_per_disk(&self) -> u64 {
+        self.units_per_disk() - self.spare_units_per_disk
+    }
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        ArrayConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_units() {
+        let cfg = ArrayConfig::paper();
+        // 949 × 14 × 48 sectors / 8 per unit.
+        assert_eq!(cfg.units_per_disk(), 79_716);
+        assert_eq!(cfg.unit_bytes(), 4096);
+    }
+
+    #[test]
+    fn scaled_keeps_unit_size() {
+        let cfg = ArrayConfig::scaled(100);
+        assert_eq!(cfg.unit_bytes(), 4096);
+        assert_eq!(cfg.units_per_disk(), 100 * 14 * 48 / 8);
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = ArrayConfig::paper()
+            .with_seed(7)
+            .with_recon_throttle_us(500)
+            .with_recon_priority(true);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.recon_throttle_us, 500);
+        assert!(cfg.recon_priority);
+        let cfg = cfg.with_distributed_spares(1000);
+        assert_eq!(cfg.data_units_per_disk(), cfg.units_per_disk() - 1000);
+        assert_eq!(ArrayConfig::default(), ArrayConfig::paper());
+    }
+}

@@ -1,0 +1,654 @@
+//! The striping driver's decision table: how a user access decomposes into
+//! disk accesses under each operating mode.
+//!
+//! Kept pure (no simulator state, no timing) so every case in the paper's
+//! Sections 6–8 can be unit-tested directly: the four-access write, the
+//! `G = 3` three-access optimization, on-the-fly reconstruction, parity
+//! folding, lost-parity writes, redirection, direct writes to the
+//! replacement, and piggybacking.
+
+use crate::spare::SpareMap;
+use decluster_core::layout::{ArrayMapping, UnitAddr};
+use decluster_core::recon::ReconAlgorithm;
+use decluster_disk::IoKind;
+use decluster_workload::AccessKind;
+
+/// One planned disk access in stripe-unit terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedIo {
+    /// Target disk.
+    pub disk: u16,
+    /// Target unit offset on that disk.
+    pub offset: u64,
+    /// Read or write.
+    pub kind: IoKind,
+}
+
+impl PlannedIo {
+    fn read(addr: UnitAddr) -> PlannedIo {
+        PlannedIo {
+            disk: addr.disk,
+            offset: addr.offset,
+            kind: IoKind::Read,
+        }
+    }
+
+    fn write(addr: UnitAddr) -> PlannedIo {
+        PlannedIo {
+            disk: addr.disk,
+            offset: addr.offset,
+            kind: IoKind::Write,
+        }
+    }
+}
+
+/// A two-phase access plan: `phase1` runs concurrently; when all of it
+/// completes, `phase2` runs concurrently; the access completes when both
+/// are done. (Pre-reads before writes in a read-modify-write.)
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpPlan {
+    /// First wave of disk accesses.
+    pub phase1: Vec<PlannedIo>,
+    /// Second wave, gated on the first.
+    pub phase2: Vec<PlannedIo>,
+    /// A replacement-disk offset to mark rebuilt when the plan completes
+    /// (direct user writes to the replacement).
+    pub mark_rebuilt: Option<u64>,
+    /// A replacement-disk offset to piggyback: after the plan completes the
+    /// driver issues a background write of the reconstructed unit there.
+    pub piggyback: Option<u64>,
+}
+
+impl OpPlan {
+    /// Total disk accesses in the plan (excluding any piggybacked write).
+    pub fn accesses(&self) -> usize {
+        self.phase1.len() + self.phase2.len()
+    }
+
+    /// Moves `phase2` up if `phase1` is empty (a plan with no pre-reads
+    /// starts writing immediately).
+    fn normalized(mut self) -> OpPlan {
+        if self.phase1.is_empty() {
+            self.phase1 = std::mem::take(&mut self.phase2);
+        }
+        self
+    }
+}
+
+/// The array's fault state as the planner sees it.
+#[derive(Debug, Clone, Copy)]
+pub enum FaultView<'a> {
+    /// All disks healthy.
+    FaultFree,
+    /// `failed` has failed; no replacement is present.
+    Degraded {
+        /// The failed disk.
+        failed: u16,
+    },
+    /// `failed` is being reconstructed — onto a dedicated replacement
+    /// (`spares: None`) or into distributed spare slots (`spares: Some`).
+    Rebuilding {
+        /// The slot being rebuilt.
+        failed: u16,
+        /// The active reconstruction algorithm.
+        algorithm: ReconAlgorithm,
+        /// Per-offset rebuilt flags for the failed disk's contents.
+        rebuilt: &'a [bool],
+        /// Spare-slot assignments when rebuilding into distributed spares.
+        spares: Option<&'a SpareMap>,
+    },
+}
+
+impl FaultView<'_> {
+    /// The failed slot, if any.
+    fn failed(&self) -> Option<u16> {
+        match self {
+            FaultView::FaultFree => None,
+            FaultView::Degraded { failed } | FaultView::Rebuilding { failed, .. } => {
+                Some(*failed)
+            }
+        }
+    }
+
+    /// Whether the unit at `offset` of the failed slot has valid data on
+    /// the replacement disk.
+    fn is_rebuilt(&self, offset: u64) -> bool {
+        match self {
+            FaultView::Rebuilding { rebuilt, .. } => rebuilt[offset as usize],
+            _ => false,
+        }
+    }
+
+    fn algorithm(&self) -> Option<ReconAlgorithm> {
+        match self {
+            FaultView::Rebuilding { algorithm, .. } => Some(*algorithm),
+            _ => None,
+        }
+    }
+
+    /// Where a (rebuilt) unit of the failed disk now lives: its spare slot
+    /// under distributed sparing, or the same address on the replacement.
+    pub fn repair_location(&self, addr: UnitAddr) -> UnitAddr {
+        match self {
+            FaultView::Rebuilding {
+                failed,
+                spares: Some(spares),
+                ..
+            } if addr.disk == *failed => spares
+                .spare_of(addr.offset)
+                .expect("mapped unit has a spare slot"),
+            _ => addr,
+        }
+    }
+
+    /// The live address of a unit: `repair_location` if the unit has been
+    /// rebuilt, the original address otherwise.
+    pub(crate) fn live_location(&self, addr: UnitAddr) -> UnitAddr {
+        match self {
+            FaultView::Rebuilding { failed, .. }
+                if addr.disk == *failed && self.is_rebuilt(addr.offset) =>
+            {
+                self.repair_location(addr)
+            }
+            _ => addr,
+        }
+    }
+}
+
+/// Plans the disk accesses for one user access to `logical`.
+///
+/// # Panics
+///
+/// Panics if `logical` is beyond the mapping's capacity.
+pub fn plan_user_access(
+    mapping: &ArrayMapping,
+    kind: AccessKind,
+    logical: u64,
+    fault: FaultView<'_>,
+) -> OpPlan {
+    let (stripe, index) = mapping.logical_to_stripe(logical);
+    let units = mapping.stripe_units(stripe);
+    let g = mapping.stripe_width() as usize;
+    debug_assert_eq!(units.len(), g);
+    let data = units[index as usize];
+    let parity = units[g - 1];
+
+    match kind {
+        AccessKind::Read => plan_read(&units, data, fault),
+        AccessKind::Write => plan_write(&units, data, parity, index, fault),
+    }
+    .normalized()
+}
+
+fn plan_read(units: &[UnitAddr], data: UnitAddr, fault: FaultView<'_>) -> OpPlan {
+    let failed = fault.failed();
+    if Some(data.disk) != failed {
+        // The common case: one read from a healthy disk.
+        return OpPlan {
+            phase1: vec![PlannedIo::read(data)],
+            ..OpPlan::default()
+        };
+    }
+    // Data is on the failed slot.
+    if fault.is_rebuilt(data.offset)
+        && fault.algorithm().is_some_and(|a| a.redirects_reads())
+    {
+        // Redirection of reads: the rebuilt copy (replacement disk or
+        // spare slot) already holds it.
+        return OpPlan {
+            phase1: vec![PlannedIo::read(fault.live_location(data))],
+            ..OpPlan::default()
+        };
+    }
+    // On-the-fly reconstruction: read every surviving unit of the stripe.
+    let phase1 = units
+        .iter()
+        .filter(|u| u.disk != data.disk)
+        .map(|&u| PlannedIo::read(u))
+        .collect();
+    let piggyback = match fault.algorithm() {
+        Some(a) if a.piggybacks_writes() && !fault.is_rebuilt(data.offset) => {
+            Some(data.offset)
+        }
+        _ => None,
+    };
+    OpPlan {
+        phase1,
+        piggyback,
+        ..OpPlan::default()
+    }
+}
+
+fn plan_write(
+    units: &[UnitAddr],
+    data: UnitAddr,
+    parity: UnitAddr,
+    index: u16,
+    fault: FaultView<'_>,
+) -> OpPlan {
+    let g = units.len();
+    let failed = fault.failed();
+    let data_lost = Some(data.disk) == failed && !fault.is_rebuilt(data.offset);
+    let parity_lost = Some(parity.disk) == failed && !fault.is_rebuilt(parity.offset);
+
+    if !data_lost && !parity_lost {
+        // Both halves of the RMW are reachable (possibly via a rebuilt
+        // copy). The G = 3 optimization additionally pre-reads the
+        // *sibling* data unit, which may itself be lost — fall back to the
+        // generic RMW in that case.
+        let data_live = fault.live_location(data);
+        let parity_live = fault.live_location(parity);
+        if g == 3 {
+            let sibling = units[..2]
+                .iter()
+                .enumerate()
+                .find(|&(i, _)| i != index as usize)
+                .map(|(_, &u)| u)
+                .expect("a G=3 stripe has two data units");
+            let sibling_lost =
+                Some(sibling.disk) == failed && !fault.is_rebuilt(sibling.offset);
+            if sibling_lost {
+                return OpPlan {
+                    phase1: vec![PlannedIo::read(data_live), PlannedIo::read(parity_live)],
+                    phase2: vec![PlannedIo::write(data_live), PlannedIo::write(parity_live)],
+                    ..OpPlan::default()
+                };
+            }
+            return OpPlan {
+                phase1: vec![PlannedIo::read(fault.live_location(sibling))],
+                phase2: vec![PlannedIo::write(data_live), PlannedIo::write(parity_live)],
+                ..OpPlan::default()
+            };
+        }
+        return normal_write(units, data_live, parity_live, index, g);
+    }
+    if parity_lost {
+        // There is no value in updating lost parity (Section 7): the write
+        // becomes a single data access. Reconstruction will regenerate the
+        // parity from the data units, including this new value.
+        return OpPlan {
+            phase2: vec![PlannedIo::write(data)],
+            ..OpPlan::default()
+        };
+    }
+    // Data is lost. Either way the new parity is rebuilt from the stripe's
+    // other data units (the old data cannot be pre-read).
+    let sibling_reads: Vec<PlannedIo> = units[..g - 1]
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != index as usize)
+        .map(|(_, &u)| PlannedIo::read(u))
+        .collect();
+    let direct = fault
+        .algorithm()
+        .is_some_and(|a| a.writes_to_replacement());
+    let mut phase2 = vec![PlannedIo::write(fault.live_location(parity))];
+    let mut mark_rebuilt = None;
+    if direct {
+        // Send the new data straight to its repair location (replacement
+        // disk or spare slot), rebuilding that unit as a side effect.
+        phase2.push(PlannedIo::write(fault.repair_location(data)));
+        mark_rebuilt = Some(data.offset);
+    }
+    // Otherwise: fold into parity only — the data unit is regenerated later
+    // by the reconstruction sweep.
+    OpPlan {
+        phase1: sibling_reads,
+        phase2,
+        mark_rebuilt,
+        ..OpPlan::default()
+    }
+}
+
+/// The fault-free write patterns for `g != 3` (the `G = 3` three-access
+/// optimization, which needs sibling-liveness information, is handled by
+/// the caller).
+fn normal_write(
+    _units: &[UnitAddr],
+    data: UnitAddr,
+    parity: UnitAddr,
+    _index: u16,
+    g: usize,
+) -> OpPlan {
+    match g {
+        // Mirrored pair: parity is a copy of the single data unit — write
+        // both, no pre-reads.
+        2 => OpPlan {
+            phase2: vec![PlannedIo::write(data), PlannedIo::write(parity)],
+            ..OpPlan::default()
+        },
+        // The general four-access read-modify-write.
+        _ => OpPlan {
+            phase1: vec![PlannedIo::read(data), PlannedIo::read(parity)],
+            phase2: vec![PlannedIo::write(data), PlannedIo::write(parity)],
+            ..OpPlan::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decluster_core::design::BlockDesign;
+    use decluster_core::layout::{DeclusteredLayout, ParityLayout, Raid5Layout};
+    use std::sync::Arc;
+
+    fn mapping(g: u16) -> ArrayMapping {
+        let layout: Arc<dyn ParityLayout> = Arc::new(
+            DeclusteredLayout::new(BlockDesign::complete(5, g).unwrap()).unwrap(),
+        );
+        ArrayMapping::new(layout, 200).unwrap()
+    }
+
+    fn raid5_mapping(c: u16) -> ArrayMapping {
+        ArrayMapping::new(Arc::new(Raid5Layout::new(c).unwrap()), 200).unwrap()
+    }
+
+    #[test]
+    fn fault_free_read_is_one_access() {
+        let m = mapping(4);
+        let p = plan_user_access(&m, AccessKind::Read, 17, FaultView::FaultFree);
+        assert_eq!(p.accesses(), 1);
+        assert_eq!(p.phase1.len(), 1);
+        assert_eq!(p.phase1[0].kind, IoKind::Read);
+        assert!(p.phase2.is_empty());
+    }
+
+    #[test]
+    fn fault_free_write_is_four_accesses() {
+        let m = mapping(4);
+        let p = plan_user_access(&m, AccessKind::Write, 17, FaultView::FaultFree);
+        assert_eq!(p.accesses(), 4);
+        assert_eq!(p.phase1.len(), 2);
+        assert!(p.phase1.iter().all(|io| io.kind == IoKind::Read));
+        assert_eq!(p.phase2.len(), 2);
+        assert!(p.phase2.iter().all(|io| io.kind == IoKind::Write));
+        // Pre-reads and writes hit the same two units.
+        let mut pre: Vec<(u16, u64)> = p.phase1.iter().map(|io| (io.disk, io.offset)).collect();
+        let mut wr: Vec<(u16, u64)> = p.phase2.iter().map(|io| (io.disk, io.offset)).collect();
+        pre.sort_unstable();
+        wr.sort_unstable();
+        assert_eq!(pre, wr);
+    }
+
+    #[test]
+    fn g3_write_is_three_accesses() {
+        let m = mapping(3);
+        let p = plan_user_access(&m, AccessKind::Write, 5, FaultView::FaultFree);
+        assert_eq!(p.accesses(), 3, "{p:?}");
+        assert_eq!(p.phase1.len(), 1);
+        assert_eq!(p.phase1[0].kind, IoKind::Read);
+        assert_eq!(p.phase2.len(), 2);
+        // The pre-read targets the *other* data unit, not the written one.
+        let written: Vec<(u16, u64)> = p.phase2.iter().map(|io| (io.disk, io.offset)).collect();
+        assert!(!written.contains(&(p.phase1[0].disk, p.phase1[0].offset)));
+    }
+
+    #[test]
+    fn g3_write_with_lost_sibling_falls_back_to_rmw() {
+        // Regression: the G=3 optimization pre-reads the *other* data
+        // unit; if that sibling is on the failed disk the plan must fall
+        // back to the generic read-modify-write and never touch the dead
+        // disk.
+        let m = mapping(3);
+        // Find a logical unit whose own data and parity are healthy but
+        // whose sibling sits on the failed disk.
+        let failed = 0u16;
+        let logical = (0..m.data_units())
+            .find(|&l| {
+                let (stripe, index) = m.logical_to_stripe(l);
+                let units = m.stripe_units(stripe);
+                let data = units[index as usize];
+                let parity = units[2];
+                let sibling = units[if index == 0 { 1 } else { 0 }];
+                data.disk != failed && parity.disk != failed && sibling.disk == failed
+            })
+            .expect("some stripe has exactly its sibling on disk 0");
+        let p = plan_user_access(
+            &m,
+            AccessKind::Write,
+            logical,
+            FaultView::Degraded { failed },
+        );
+        assert_eq!(p.accesses(), 4, "{p:?}");
+        assert!(
+            p.phase1.iter().chain(&p.phase2).all(|io| io.disk != failed),
+            "plan touches the dead disk: {p:?}"
+        );
+        // Sanity: with a healthy sibling the 3-access optimization remains.
+        let healthy = plan_user_access(&m, AccessKind::Write, logical, FaultView::FaultFree);
+        assert_eq!(healthy.accesses(), 3);
+    }
+
+    #[test]
+    fn mirror_write_is_two_parallel_writes() {
+        let m = mapping(2);
+        let p = plan_user_access(&m, AccessKind::Write, 3, FaultView::FaultFree);
+        assert_eq!(p.accesses(), 2);
+        // Normalization: with no pre-reads the writes go out immediately.
+        assert_eq!(p.phase1.len(), 2);
+        assert!(p.phase2.is_empty());
+    }
+
+    /// Finds a logical unit whose data lives on `disk`.
+    fn logical_on_disk(m: &ArrayMapping, disk: u16) -> u64 {
+        (0..m.data_units())
+            .find(|&l| m.logical_to_addr(l).disk == disk)
+            .expect("some unit lives on every disk")
+    }
+
+    /// Finds a logical unit with data off `disk` but parity on `disk`.
+    fn logical_with_parity_on(m: &ArrayMapping, disk: u16) -> u64 {
+        (0..m.data_units())
+            .find(|&l| {
+                let (stripe, _) = m.logical_to_stripe(l);
+                let units = m.stripe_units(stripe);
+                m.logical_to_addr(l).disk != disk && units.last().unwrap().disk == disk
+            })
+            .expect("some stripe has parity on every disk")
+    }
+
+    #[test]
+    fn degraded_read_fans_out_to_survivors() {
+        let m = mapping(4);
+        let l = logical_on_disk(&m, 2);
+        let p = plan_user_access(&m, AccessKind::Read, l, FaultView::Degraded { failed: 2 });
+        // G−1 = 3 survivor reads, no phase 2.
+        assert_eq!(p.phase1.len(), 3);
+        assert!(p.phase1.iter().all(|io| io.kind == IoKind::Read && io.disk != 2));
+        assert!(p.phase2.is_empty());
+        assert_eq!(p.piggyback, None);
+    }
+
+    #[test]
+    fn degraded_read_of_healthy_unit_is_normal() {
+        let m = mapping(4);
+        let l = logical_on_disk(&m, 1);
+        let p = plan_user_access(&m, AccessKind::Read, l, FaultView::Degraded { failed: 2 });
+        assert_eq!(p.accesses(), 1);
+    }
+
+    #[test]
+    fn degraded_write_with_lost_parity_is_single_access() {
+        let m = mapping(4);
+        let l = logical_with_parity_on(&m, 3);
+        let p = plan_user_access(&m, AccessKind::Write, l, FaultView::Degraded { failed: 3 });
+        assert_eq!(p.accesses(), 1, "{p:?}");
+        assert_eq!(p.phase1[0].kind, IoKind::Write);
+        assert_ne!(p.phase1[0].disk, 3);
+    }
+
+    #[test]
+    fn degraded_write_of_lost_data_folds_into_parity() {
+        let m = mapping(4);
+        let l = logical_on_disk(&m, 0);
+        let p = plan_user_access(&m, AccessKind::Write, l, FaultView::Degraded { failed: 0 });
+        // G−2 = 2 sibling reads, then the parity write. No access to disk 0.
+        assert_eq!(p.phase1.len(), 2);
+        assert!(p.phase1.iter().all(|io| io.kind == IoKind::Read));
+        assert_eq!(p.phase2.len(), 1);
+        assert_eq!(p.phase2[0].kind, IoKind::Write);
+        assert!(p.phase1.iter().chain(&p.phase2).all(|io| io.disk != 0));
+        assert_eq!(p.mark_rebuilt, None);
+    }
+
+    #[test]
+    fn rebuilding_baseline_matches_degraded_behaviour() {
+        let m = mapping(4);
+        let rebuilt = vec![false; 200];
+        let l = logical_on_disk(&m, 0);
+        let degraded =
+            plan_user_access(&m, AccessKind::Write, l, FaultView::Degraded { failed: 0 });
+        let baseline = plan_user_access(
+            &m,
+            AccessKind::Write,
+            l,
+            FaultView::Rebuilding {
+                failed: 0,
+                algorithm: ReconAlgorithm::Baseline,
+                rebuilt: &rebuilt,
+                spares: None,
+            },
+        );
+        assert_eq!(degraded, baseline);
+    }
+
+    #[test]
+    fn user_writes_sends_data_to_replacement_and_marks() {
+        let m = mapping(4);
+        let rebuilt = vec![false; 200];
+        let l = logical_on_disk(&m, 0);
+        let addr = m.logical_to_addr(l);
+        let p = plan_user_access(
+            &m,
+            AccessKind::Write,
+            l,
+            FaultView::Rebuilding {
+                failed: 0,
+                algorithm: ReconAlgorithm::UserWrites,
+                rebuilt: &rebuilt,
+                spares: None,
+            },
+        );
+        // Sibling reads, then parity write + replacement data write.
+        assert_eq!(p.phase1.len(), 2);
+        assert_eq!(p.phase2.len(), 2);
+        assert!(p.phase2.iter().any(|io| io.disk == 0 && io.offset == addr.offset));
+        assert_eq!(p.mark_rebuilt, Some(addr.offset));
+    }
+
+    #[test]
+    fn redirect_reads_rebuilt_unit_from_replacement() {
+        let m = mapping(4);
+        let l = logical_on_disk(&m, 0);
+        let addr = m.logical_to_addr(l);
+        let mut rebuilt = vec![false; 200];
+        rebuilt[addr.offset as usize] = true;
+        let redirected = plan_user_access(
+            &m,
+            AccessKind::Read,
+            l,
+            FaultView::Rebuilding {
+                failed: 0,
+                algorithm: ReconAlgorithm::Redirect,
+                rebuilt: &rebuilt,
+                spares: None,
+            },
+        );
+        assert_eq!(redirected.accesses(), 1);
+        assert_eq!(redirected.phase1[0].disk, 0);
+        // user-writes (no redirection) still reconstructs on the fly.
+        let not_redirected = plan_user_access(
+            &m,
+            AccessKind::Read,
+            l,
+            FaultView::Rebuilding {
+                failed: 0,
+                algorithm: ReconAlgorithm::UserWrites,
+                rebuilt: &rebuilt,
+                spares: None,
+            },
+        );
+        assert_eq!(not_redirected.phase1.len(), 3);
+    }
+
+    #[test]
+    fn piggyback_requests_background_write() {
+        let m = mapping(4);
+        let l = logical_on_disk(&m, 0);
+        let addr = m.logical_to_addr(l);
+        let rebuilt = vec![false; 200];
+        let p = plan_user_access(
+            &m,
+            AccessKind::Read,
+            l,
+            FaultView::Rebuilding {
+                failed: 0,
+                algorithm: ReconAlgorithm::RedirectPiggyback,
+                rebuilt: &rebuilt,
+                spares: None,
+            },
+        );
+        assert_eq!(p.phase1.len(), 3);
+        assert_eq!(p.piggyback, Some(addr.offset));
+    }
+
+    #[test]
+    fn rebuilt_unit_write_is_normal_rmw_on_replacement() {
+        let m = mapping(4);
+        let l = logical_on_disk(&m, 0);
+        let addr = m.logical_to_addr(l);
+        let mut rebuilt = vec![false; 200];
+        rebuilt[addr.offset as usize] = true;
+        let p = plan_user_access(
+            &m,
+            AccessKind::Write,
+            l,
+            FaultView::Rebuilding {
+                failed: 0,
+                algorithm: ReconAlgorithm::UserWrites,
+                rebuilt: &rebuilt,
+                spares: None,
+            },
+        );
+        assert_eq!(p.accesses(), 4);
+        // Data half of the RMW addresses the replacement (disk 0).
+        assert!(p.phase1.iter().any(|io| io.disk == 0));
+        assert!(p.phase2.iter().any(|io| io.disk == 0));
+        assert_eq!(p.mark_rebuilt, None);
+    }
+
+    #[test]
+    fn rebuilt_parity_write_is_normal_rmw() {
+        let m = mapping(4);
+        let l = logical_with_parity_on(&m, 3);
+        let (stripe, _) = m.logical_to_stripe(l);
+        let parity = *m.stripe_units(stripe).last().unwrap();
+        let mut rebuilt = vec![false; 200];
+        rebuilt[parity.offset as usize] = true;
+        let p = plan_user_access(
+            &m,
+            AccessKind::Write,
+            l,
+            FaultView::Rebuilding {
+                failed: 3,
+                algorithm: ReconAlgorithm::Redirect,
+                rebuilt: &rebuilt,
+                spares: None,
+            },
+        );
+        assert_eq!(p.accesses(), 4);
+    }
+
+    #[test]
+    fn raid5_degraded_read_uses_all_survivors() {
+        let m = raid5_mapping(5);
+        let l = logical_on_disk(&m, 4);
+        let p = plan_user_access(&m, AccessKind::Read, l, FaultView::Degraded { failed: 4 });
+        // α = 1: every surviving disk participates.
+        assert_eq!(p.phase1.len(), 4);
+        let disks: std::collections::HashSet<u16> =
+            p.phase1.iter().map(|io| io.disk).collect();
+        assert_eq!(disks.len(), 4);
+    }
+}

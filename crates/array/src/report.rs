@@ -1,0 +1,105 @@
+//! Result types returned by array simulations.
+
+use decluster_sim::{OnlineStats, ResponseStats, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Results of a steady-state run (fault-free or degraded mode).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Response times of user reads completed in the measurement window.
+    pub reads: ResponseStats,
+    /// Response times of user writes completed in the measurement window.
+    pub writes: ResponseStats,
+    /// All user responses combined.
+    pub all: ResponseStats,
+    /// Simulated time covered by the run.
+    pub elapsed: SimTime,
+    /// User requests issued (including warmup).
+    pub requests_issued: u64,
+    /// User requests completed inside the measurement window.
+    pub requests_measured: u64,
+    /// Mean utilization across all (healthy) disks over the whole run.
+    pub mean_disk_utilization: f64,
+    /// Utilization of each disk over the whole run (a failed disk reads
+    /// as ~0). Exposes the load imbalance that layout criterion 2 exists
+    /// to prevent.
+    pub per_disk_utilization: Vec<f64>,
+}
+
+/// Per-phase timing of reconstruction cycles (the paper's Table 8-1 rows).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CycleStats {
+    /// Read-phase duration (collect + XOR the surviving units), ms.
+    pub read_ms: OnlineStats,
+    /// Write-phase duration (store the rebuilt unit), ms.
+    pub write_ms: OnlineStats,
+}
+
+impl CycleStats {
+    /// Mean full-cycle time, ms.
+    pub fn cycle_ms(&self) -> f64 {
+        self.read_ms.mean() + self.write_ms.mean()
+    }
+}
+
+/// Results of a reconstruction run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReconReport {
+    /// Wall-clock reconstruction time, or `None` if the run hit its limit
+    /// before the replacement was fully rebuilt.
+    pub reconstruction_time: Option<SimTime>,
+    /// User response times during reconstruction.
+    pub user: ResponseStats,
+    /// User reads during reconstruction.
+    pub reads: ResponseStats,
+    /// User writes during reconstruction.
+    pub writes: ResponseStats,
+    /// Cycle statistics over the whole reconstruction.
+    pub cycles: CycleStats,
+    /// Cycle statistics over only the final cycles (the paper's Table 8-1
+    /// averages the last 300 stripe units).
+    pub last_cycles: CycleStats,
+    /// Units rebuilt by the background sweep.
+    pub units_swept: u64,
+    /// Units rebuilt as a side effect of user activity (direct writes,
+    /// piggybacked reads).
+    pub units_by_users: u64,
+    /// Units on the replacement disk that needed rebuilding.
+    pub units_total: u64,
+    /// Mean utilization of surviving disks over the run.
+    pub survivor_utilization: f64,
+    /// Utilization of the replacement disk over the run.
+    pub replacement_utilization: f64,
+    /// Rebuild trajectory: `(seconds, fraction rebuilt)` sampled at each
+    /// whole percent of progress. Shows, e.g., the acceleration from
+    /// user-driven "free" rebuilding under the piggybacking algorithms.
+    pub progress: Vec<(f64, f64)>,
+}
+
+impl ReconReport {
+    /// Reconstruction time in seconds, if it completed.
+    pub fn reconstruction_secs(&self) -> Option<f64> {
+        self.reconstruction_time.map(|t| t.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_stats_sum() {
+        let mut c = CycleStats::default();
+        c.read_ms.push(88.0);
+        c.write_ms.push(15.0);
+        assert!((c.cycle_ms() - 103.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recon_secs_is_none_until_complete() {
+        let mut r = ReconReport::default();
+        assert_eq!(r.reconstruction_secs(), None);
+        r.reconstruction_time = Some(SimTime::from_secs(120));
+        assert_eq!(r.reconstruction_secs(), Some(120.0));
+    }
+}

@@ -1,0 +1,195 @@
+//! Distributed sparing: rebuild a failed disk into spare units spread
+//! across the survivors instead of a dedicated replacement.
+//!
+//! The paper reconstructs onto a replacement disk, whose write stream is
+//! the reconstruction's serial bottleneck once enough parallel processes
+//! feed it. Distributed sparing — reserving a spare region on every disk
+//! and rebuilding each lost unit into a spare slot on a surviving disk —
+//! removes that bottleneck and is the design direction taken by later
+//! declustered systems (e.g. ZFS dRAID). Implemented here as an extension
+//! so the two repair organizations can be compared on the same simulator.
+//!
+//! A spare slot for a lost unit must avoid every disk that already holds a
+//! unit of the same parity stripe, or a later failure of that disk would
+//! take two units of one stripe (violating the single-failure-correcting
+//! criterion). [`SpareMap::build`] honours that constraint while keeping
+//! the spare load balanced across survivors.
+
+use decluster_core::error::Error;
+use decluster_core::layout::{ArrayMapping, UnitAddr};
+
+/// The spare-slot assignment for one failed disk: where each lost unit is
+/// rebuilt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpareMap {
+    slots: Vec<Option<UnitAddr>>,
+    spare_region_start: u64,
+}
+
+impl SpareMap {
+    /// Assigns a spare slot to every mapped unit of `failed`.
+    ///
+    /// The data region covers offsets `0..mapping.units_per_disk()`; each
+    /// disk additionally has `spare_units_per_disk` slots starting at the
+    /// data region's end. Lost units are assigned to the least-loaded
+    /// eligible survivor (a disk holding no unit of the same stripe), ties
+    /// broken by disk index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadParameters`] if the spare capacity cannot
+    /// absorb the failed disk's contents under the placement constraint.
+    pub fn build(
+        mapping: &ArrayMapping,
+        failed: u16,
+        spare_units_per_disk: u64,
+    ) -> Result<SpareMap, Error> {
+        let c = mapping.disks();
+        assert!(failed < c, "disk {failed} out of range");
+        let data_units = mapping.units_per_disk();
+        let mut used = vec![0u64; c as usize];
+        let mut slots = Vec::with_capacity(data_units as usize);
+        let mut in_stripe = vec![false; c as usize];
+        for offset in 0..data_units {
+            let Some(stripe) = mapping.role_at(failed, offset).stripe() else {
+                slots.push(None);
+                continue;
+            };
+            in_stripe.iter_mut().for_each(|b| *b = false);
+            for u in mapping.stripe_units(stripe) {
+                in_stripe[u.disk as usize] = true;
+            }
+            // Least-loaded eligible survivor; scan order gives stable ties.
+            let mut best: Option<u16> = None;
+            for d in 0..c {
+                if d == failed || in_stripe[d as usize] || used[d as usize] >= spare_units_per_disk
+                {
+                    continue;
+                }
+                if best.is_none_or(|b| used[d as usize] < used[b as usize]) {
+                    best = Some(d);
+                }
+            }
+            let Some(disk) = best else {
+                return Err(Error::BadParameters {
+                    reason: format!(
+                        "spare capacity exhausted at offset {offset}: \
+                         {spare_units_per_disk} spare units per disk cannot absorb disk {failed}"
+                    ),
+                });
+            };
+            slots.push(Some(UnitAddr::new(disk, data_units + used[disk as usize])));
+            used[disk as usize] += 1;
+        }
+        Ok(SpareMap {
+            slots,
+            spare_region_start: data_units,
+        })
+    }
+
+    /// The spare slot for the lost unit at `offset` of the failed disk, or
+    /// `None` if that offset was an unmapped hole.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is beyond the data region.
+    pub fn spare_of(&self, offset: u64) -> Option<UnitAddr> {
+        self.slots[offset as usize]
+    }
+
+    /// First offset of the spare region on every disk.
+    pub fn spare_region_start(&self) -> u64 {
+        self.spare_region_start
+    }
+
+    /// Number of lost units with assigned spares.
+    pub fn assigned(&self) -> u64 {
+        self.slots.iter().filter(|s| s.is_some()).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decluster_core::design::BlockDesign;
+    use decluster_core::layout::{DeclusteredLayout, ParityLayout};
+    use std::sync::Arc;
+
+    fn mapping(g: u16, units: u64) -> ArrayMapping {
+        let layout: Arc<dyn ParityLayout> = Arc::new(
+            DeclusteredLayout::new(BlockDesign::complete(6, g).unwrap()).unwrap(),
+        );
+        ArrayMapping::new(layout, units).unwrap()
+    }
+
+    #[test]
+    fn every_mapped_unit_gets_a_spare() {
+        let m = mapping(4, 160);
+        let spares = SpareMap::build(&m, 2, 40).unwrap();
+        let mapped = (0..160)
+            .filter(|&o| m.role_at(2, o).stripe().is_some())
+            .count() as u64;
+        assert_eq!(spares.assigned(), mapped);
+    }
+
+    #[test]
+    fn spares_avoid_stripe_members_and_failed_disk() {
+        let m = mapping(4, 160);
+        let failed = 1u16;
+        let spares = SpareMap::build(&m, failed, 40).unwrap();
+        for offset in 0..160u64 {
+            let Some(stripe) = m.role_at(failed, offset).stripe() else {
+                continue;
+            };
+            let spare = spares.spare_of(offset).expect("mapped unit has a spare");
+            assert_ne!(spare.disk, failed);
+            assert!(
+                m.stripe_units(stripe).iter().all(|u| u.disk != spare.disk),
+                "offset {offset}: spare on a stripe member"
+            );
+            assert!(spare.offset >= spares.spare_region_start());
+        }
+    }
+
+    #[test]
+    fn spare_slots_are_unique() {
+        let m = mapping(4, 160);
+        let spares = SpareMap::build(&m, 0, 40).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for offset in 0..160u64 {
+            if let Some(s) = spares.spare_of(offset) {
+                assert!(seen.insert(s), "spare slot {s} assigned twice");
+            }
+        }
+    }
+
+    #[test]
+    fn load_is_balanced_across_survivors() {
+        let m = mapping(4, 160);
+        let spares = SpareMap::build(&m, 3, 40).unwrap();
+        let mut counts = vec![0u64; 6];
+        for offset in 0..160u64 {
+            if let Some(s) = spares.spare_of(offset) {
+                counts[s.disk as usize] += 1;
+            }
+        }
+        assert_eq!(counts[3], 0);
+        let (min, max) = counts
+            .iter()
+            .enumerate()
+            .filter(|&(d, _)| d != 3)
+            .map(|(_, &c)| c)
+            .fold((u64::MAX, 0), |(lo, hi), c| (lo.min(c), hi.max(c)));
+        assert!(max - min <= 2, "unbalanced spares: {counts:?}");
+    }
+
+    #[test]
+    fn insufficient_capacity_is_rejected() {
+        let m = mapping(4, 160);
+        // ~160 lost units over 5 survivors needs ≥ 32 each; 8 is hopeless.
+        assert!(matches!(
+            SpareMap::build(&m, 0, 8),
+            Err(Error::BadParameters { .. })
+        ));
+    }
+}

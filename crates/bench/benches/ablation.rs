@@ -1,0 +1,105 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! reconstruction throttling (the paper's future-work knob) and the
+//! FCFS-vs-CVSCAN scheduler effect on reconstruction itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use decluster_array::{ArrayConfig, ArraySim, ReconAlgorithm};
+use decluster_core::design::appendix;
+use decluster_core::layout::{DeclusteredLayout, ParityLayout};
+use decluster_disk::SchedPolicy;
+use decluster_sim::SimTime;
+use decluster_workload::WorkloadSpec;
+use std::sync::Arc;
+
+fn layout() -> Arc<dyn ParityLayout> {
+    Arc::new(DeclusteredLayout::new(appendix::design_for_group_size(4).unwrap()).unwrap())
+}
+
+fn rebuild(cfg: ArrayConfig) -> (f64, f64) {
+    let mut sim = ArraySim::new(layout(), cfg, WorkloadSpec::half_and_half(105.0), 1)
+        .expect("layout fits");
+    sim.fail_disk(0);
+    sim.start_reconstruction(ReconAlgorithm::Baseline, 1);
+    let r = sim.run_until_reconstructed(SimTime::from_secs(100_000));
+    (r.reconstruction_secs().unwrap_or(f64::NAN), r.user.mean_ms())
+}
+
+fn bench_throttle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_throttle");
+    group.sample_size(10);
+    for (name, us) in [("none", 0u64), ("50ms", 50_000)] {
+        let cfg = ArrayConfig::scaled(30).with_recon_throttle_us(us);
+        group.bench_function(name, |b| b.iter(|| rebuild(black_box(cfg))));
+        let (t, ms) = rebuild(cfg);
+        eprintln!("# throttle {name}: recon {t:.0} s, user {ms:.1} ms");
+    }
+    group.finish();
+}
+
+fn bench_scheduler_effect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sched");
+    group.sample_size(10);
+    for (name, policy) in [("cvscan", SchedPolicy::cvscan()), ("fcfs", SchedPolicy::Fcfs)] {
+        let mut cfg = ArrayConfig::scaled(30);
+        cfg.sched = policy;
+        group.bench_function(name, |b| b.iter(|| rebuild(black_box(cfg))));
+        let (t, ms) = rebuild(cfg);
+        eprintln!("# scheduler {name}: recon {t:.0} s, user {ms:.1} ms");
+    }
+    group.finish();
+}
+
+fn bench_priority(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_priority");
+    group.sample_size(10);
+    for (name, on) in [("plain", false), ("user_priority", true)] {
+        let cfg = ArrayConfig::scaled(30).with_recon_priority(on);
+        group.bench_function(name, |b| b.iter(|| rebuild(black_box(cfg))));
+        let (t, ms) = rebuild(cfg);
+        eprintln!("# priority {name}: recon {t:.0} s, user {ms:.1} ms");
+    }
+    group.finish();
+}
+
+fn bench_distributed_sparing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sparing");
+    group.sample_size(10);
+    let run = |distributed: bool, processes: usize| {
+        let cfg = if distributed {
+            ArrayConfig::scaled(40).with_distributed_spares(200)
+        } else {
+            ArrayConfig::scaled(40)
+        };
+        let mut sim =
+            ArraySim::new(layout(), cfg, WorkloadSpec::half_and_half(105.0), 1)
+                .expect("layout fits");
+        sim.fail_disk(0);
+        if distributed {
+            sim.start_reconstruction_distributed(ReconAlgorithm::Baseline, processes);
+        } else {
+            sim.start_reconstruction(ReconAlgorithm::Baseline, processes);
+        }
+        sim.run_until_reconstructed(SimTime::from_secs(100_000))
+            .reconstruction_secs()
+            .unwrap_or(f64::NAN)
+    };
+    group.bench_function("dedicated_16way", |b| b.iter(|| run(black_box(false), 16)));
+    group.bench_function("distributed_16way", |b| b.iter(|| run(black_box(true), 16)));
+    group.finish();
+    for procs in [8usize, 16, 32] {
+        eprintln!(
+            "# sparing at {procs}-way: dedicated {:.1} s, distributed {:.1} s",
+            run(false, procs),
+            run(true, procs)
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_throttle,
+    bench_scheduler_effect,
+    bench_priority,
+    bench_distributed_sparing
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Disk-model benchmarks: random vs sequential service, and the
+//! head-scheduler ablation (FCFS vs SSTF vs CVSCAN vs SCAN) that justifies
+//! the paper's CVSCAN choice.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use decluster_disk::{Disk, DiskRequest, Geometry, IoKind, SchedPolicy};
+use decluster_sim::{SimRng, SimTime};
+
+/// Drives a saturated disk through `n` random 4 KB reads under `policy`,
+/// returning the simulated completion time (for the ablation printout) —
+/// the wall-clock cost of this loop is what Criterion measures.
+fn saturated_run(policy: SchedPolicy, n: u64, seed: u64) -> SimTime {
+    let g = Geometry::ibm0661();
+    let units = g.total_sectors() / 8;
+    let mut rng = SimRng::new(seed);
+    let mut disk = Disk::with_policy(g, 0, policy);
+    let mut next = disk
+        .submit(SimTime::ZERO, DiskRequest::new(0, rng.below(units) * 8, 8, IoKind::Read))
+        .expect("idle disk starts immediately");
+    for i in 1..n {
+        disk.submit(
+            SimTime::ZERO,
+            DiskRequest::new(i, rng.below(units) * 8, 8, IoKind::Read),
+        );
+    }
+    let mut last;
+    loop {
+        last = next.at;
+        match disk.complete(next.at).1 {
+            Some(c) => next = c,
+            None => break,
+        }
+    }
+    last
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk_sched");
+    for (name, policy) in [
+        ("fcfs", SchedPolicy::Fcfs),
+        ("sstf", SchedPolicy::sstf()),
+        ("cvscan", SchedPolicy::cvscan()),
+        ("scan", SchedPolicy::scan()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| saturated_run(black_box(policy), 500, 7))
+        });
+        let t = saturated_run(policy, 2_000, 7);
+        eprintln!(
+            "# ablation: {name} sustains {:.1} random 4 KB reads/s (simulated)",
+            2_000.0 / t.as_secs_f64()
+        );
+    }
+    group.finish();
+}
+
+fn bench_service_paths(c: &mut Criterion) {
+    let g = Geometry::ibm0661();
+    let mut group = c.benchmark_group("disk_service");
+    group.bench_function("sequential_stream", |b| {
+        b.iter(|| {
+            let mut disk = Disk::new(g, 0);
+            let mut next = disk
+                .submit(SimTime::ZERO, DiskRequest::new(0, 0, 8, IoKind::Write))
+                .unwrap();
+            for i in 1..64u64 {
+                disk.submit(SimTime::ZERO, DiskRequest::new(i, i * 8, 8, IoKind::Write));
+            }
+            while let Some(c) = disk.complete(next.at).1 {
+                next = c;
+            }
+            black_box(disk.stats().ios)
+        })
+    });
+    group.bench_function("random_singles", |b| {
+        let units = g.total_sectors() / 8;
+        b.iter(|| {
+            let mut rng = SimRng::new(3);
+            let mut disk = Disk::new(g, 0);
+            let mut now = SimTime::ZERO;
+            for i in 0..64u64 {
+                let c = disk
+                    .submit(now, DiskRequest::new(i, rng.below(units) * 8, 8, IoKind::Read))
+                    .unwrap();
+                now = c.at;
+                disk.complete(now);
+            }
+            black_box(now)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_service_paths);
+criterion_main!(benches);

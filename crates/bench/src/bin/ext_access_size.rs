@@ -1,0 +1,24 @@
+//! Extension experiment: response time and disk utilization versus user
+//! access size, declustered (G = 4) against RAID 5, at equal byte
+//! bandwidth — quantifying the large-write-optimization /
+//! maximal-parallelism balance the paper's Section 6 leaves open.
+
+use decluster_bench::{print_header, scale_from_args};
+use decluster_experiments::access_size;
+
+fn main() {
+    let scale = scale_from_args();
+    print_header("Extension: access-size sweep (50% reads, 60 unit-equivalents/s)", &scale);
+    println!(
+        "{:>6} {:>4} {:>13} {:>12} {:>10}",
+        "units", "G", "response ms", "utilization", "requests"
+    );
+    for p in access_size::sweep(&scale, 4, 6, 60.0, 0.5) {
+        println!(
+            "{:>6} {:>4} {:>13.1} {:>12.3} {:>10}",
+            p.access_units, p.group, p.response_ms, p.utilization, p.requests_measured
+        );
+    }
+    println!();
+    println!("G = 4 writes full stripes from 3 aligned units; RAID 5 (G = 21) needs 20.");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 4-3: the scatter of known block designs.
+
+use decluster_experiments::{fig4, render};
+
+fn main() {
+    let points = fig4::figure_4_3(43, 10_000);
+    println!("{}", render::fig4_scatter(&points, 43));
+    println!("{} constructible designs with v <= 43, table <= 10,000 tuples.", points.len());
+}

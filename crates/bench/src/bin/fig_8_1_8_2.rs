@@ -1,0 +1,15 @@
+//! Regenerates Figures 8-1 and 8-2: single-thread reconstruction time and
+//! average user response time during reconstruction, 50% reads, rates
+//! 105/210 accesses/s, four algorithms, over the alpha sweep. (Both
+//! figures come from the same sweep, so one binary prints both.)
+
+use decluster_bench::{print_header, scale_from_args};
+use decluster_experiments::{fig8, render};
+
+fn main() {
+    let scale = scale_from_args();
+    print_header("Figures 8-1/8-2 (single-thread reconstruction)", &scale);
+    let points = fig8::figure_8_sweep(&scale, 1, &fig8::RATES);
+    println!("{}", render::fig8_recon_table("Figure 8-1: single-thread reconstruction time", &points));
+    println!("{}", render::fig8_response_table("Figure 8-2: single-thread user response time", &points));
+}

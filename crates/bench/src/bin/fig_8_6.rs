@@ -1,0 +1,26 @@
+//! Regenerates Figure 8-6: the Muntz & Lui analytic model's reconstruction
+//! time predictions against simulation (8-way parallel, the regime the
+//! model's full-spare-capacity assumption corresponds to).
+
+use decluster_analytic::ReconAlgorithm;
+use decluster_bench::{print_header, scale_from_args};
+use decluster_experiments::{fig8, fig86, render};
+
+fn main() {
+    let scale = scale_from_args();
+    print_header("Figure 8-6 (Muntz & Lui model vs simulation)", &scale);
+    for rate in [105.0, 210.0] {
+        for algorithm in [ReconAlgorithm::UserWrites, ReconAlgorithm::Redirect] {
+            let points = fig86::figure_8_6(&scale, rate, algorithm, |g| {
+                fig8::run_point(&scale, g, rate, algorithm, 8).recon_secs
+            });
+            println!(
+                "{}",
+                render::fig86_table(
+                    &format!("Figure 8-6: {algorithm} at {rate:.0} accesses/s (model uses mu = 46/s)"),
+                    &points
+                )
+            );
+        }
+    }
+}

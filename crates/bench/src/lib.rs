@@ -1,0 +1,92 @@
+//! Shared plumbing for the figure-regeneration binaries and Criterion
+//! benches.
+//!
+//! Each binary under `src/bin/` regenerates one of the paper's tables or
+//! figures (see DESIGN.md's per-experiment index) and prints it as text.
+//! All binaries accept:
+//!
+//! * `--full` — run at full paper scale (real IBM 0661 capacity; minutes
+//!   to hours of CPU depending on the figure);
+//! * `--cylinders N` — run with N-cylinder disks (default 118 ≈ 1/8 of the
+//!   paper's drive; reconstruction times scale ≈ linearly with capacity);
+//! * `--seed S` — change the workload seed.
+
+#![warn(missing_docs)]
+
+use decluster_experiments::ExperimentScale;
+
+/// Parses the common CLI flags into an [`ExperimentScale`].
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed arguments.
+pub fn scale_from_args() -> ExperimentScale {
+    let mut scale = ExperimentScale::smoke();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = ExperimentScale::paper(),
+            "--cylinders" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--cylinders needs a positive integer"));
+                scale.cylinders = n;
+            }
+            "--seed" => {
+                let s = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+                scale.seed = s;
+            }
+            "--help" | "-h" => usage("" ),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    scale
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!("usage: <bin> [--full] [--cylinders N] [--seed S]");
+    std::process::exit(if problem.is_empty() { 0 } else { 2 });
+}
+
+/// Prints the standard header for a regeneration run.
+pub fn print_header(what: &str, scale: &ExperimentScale) {
+    println!(
+        "# {what} — {} cylinders/disk ({} units), seed {}",
+        scale.cylinders,
+        scale.units_per_disk(),
+        scale.seed
+    );
+    if scale.cylinders != 949 {
+        println!(
+            "# reduced scale: absolute times are ~{:.2}x of the paper's full-size disks",
+            scale.cylinders as f64 / 949.0
+        );
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_smoke() {
+        // scale_from_args reads real argv, so only check the default here.
+        let s = ExperimentScale::smoke();
+        assert!(s.cylinders < 949);
+        assert!(s.units_per_disk() > 0);
+    }
+
+    #[test]
+    fn header_mentions_scale() {
+        // print_header only writes to stdout; smoke-test it doesn't panic.
+        print_header("test", &ExperimentScale::tiny());
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type shared by design construction and layout building.
+
+use std::fmt;
+
+/// Why a block design or layout could not be built or verified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A design parameter is out of range (e.g. `k > v`, or zero objects).
+    BadParameters {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A tuple references an object `>= v` or repeats an object.
+    MalformedTuple {
+        /// Index of the offending tuple.
+        tuple: usize,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The tuples do not form a balanced design: some object appears in a
+    /// different number of tuples than another.
+    UnbalancedReplication {
+        /// An object with the minimum replication.
+        object: u16,
+        /// Its replication count.
+        count: u64,
+        /// The replication count of the first object.
+        expected: u64,
+    },
+    /// The tuples do not form a balanced design: some pair of objects
+    /// co-occurs a different number of times than another.
+    UnbalancedPairs {
+        /// The offending pair.
+        pair: (u16, u16),
+        /// Its co-occurrence count.
+        count: u64,
+        /// The co-occurrence count of the first pair.
+        expected: u64,
+    },
+    /// No catalogued design matches the requested `(v, k)`.
+    NoKnownDesign {
+        /// Requested object count (disks).
+        v: u16,
+        /// Requested tuple size (parity stripe width).
+        k: u16,
+    },
+    /// A derived/residual construction was applied to a non-symmetric design.
+    NotSymmetric {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadParameters { reason } => write!(f, "bad design parameters: {reason}"),
+            Error::MalformedTuple { tuple, reason } => {
+                write!(f, "malformed tuple {tuple}: {reason}")
+            }
+            Error::UnbalancedReplication {
+                object,
+                count,
+                expected,
+            } => write!(
+                f,
+                "object {object} appears in {count} tuples but expected {expected}"
+            ),
+            Error::UnbalancedPairs {
+                pair,
+                count,
+                expected,
+            } => write!(
+                f,
+                "pair ({}, {}) co-occurs {count} times but expected {expected}",
+                pair.0, pair.1
+            ),
+            Error::NoKnownDesign { v, k } => {
+                write!(f, "no known block design with v={v} objects and tuple size k={k}")
+            }
+            Error::NotSymmetric { reason } => write!(f, "design is not symmetric: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::NoKnownDesign { v: 41, k: 5 };
+        let msg = e.to_string();
+        assert!(msg.contains("v=41"));
+        assert!(msg.contains("k=5"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_error(Error::BadParameters {
+            reason: "test".into(),
+        });
+    }
+}

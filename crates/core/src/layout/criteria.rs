@@ -1,0 +1,343 @@
+//! Validators for the paper's layout-goodness criteria (Section 4.1).
+//!
+//! Criteria 1–4 are properties of the parity placement alone and are
+//! checked here over one full table (the layout is periodic, so the table
+//! is the whole story):
+//!
+//! 1. **Single failure correcting** — no stripe has two units on one disk.
+//! 2. **Distributed reconstruction** — every pair of disks co-occurs in
+//!    the same number of stripes.
+//! 3. **Distributed parity** — every disk holds the same number of parity
+//!    units.
+//! 4. **Efficient mapping** — the table is small (reported as a metric,
+//!    not pass/fail).
+//!
+//! Criteria 5–6 (large-write optimization, maximal parallelism) concern
+//! the *data* mapping above the parity mapping; [`data_mapping_parallelism`]
+//! measures criterion 6 for the simple stripe-sequential data mapping the
+//! paper (and our array) uses.
+
+use super::ParityLayout;
+use std::fmt;
+
+/// A violated layout criterion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two units of one stripe share a disk.
+    DoubledDisk {
+        /// The stripe in question.
+        stripe: u64,
+        /// The disk holding two of its units.
+        disk: u16,
+    },
+    /// Reconstruction load is uneven: two disk pairs co-occur in different
+    /// numbers of stripes.
+    UnevenReconstruction {
+        /// A pair with the minority count.
+        pair: (u16, u16),
+        /// Its co-occurrence count.
+        count: u64,
+        /// The count observed for the first pair.
+        expected: u64,
+    },
+    /// Parity is uneven across disks.
+    UnevenParity {
+        /// A disk with a minority parity count.
+        disk: u16,
+        /// Its parity-unit count.
+        count: u64,
+        /// The count observed for disk 0.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DoubledDisk { stripe, disk } => {
+                write!(f, "stripe {stripe} places two units on disk {disk}")
+            }
+            Violation::UnevenReconstruction {
+                pair,
+                count,
+                expected,
+            } => write!(
+                f,
+                "disks {} and {} share {count} stripes, others share {expected}",
+                pair.0, pair.1
+            ),
+            Violation::UnevenParity {
+                disk,
+                count,
+                expected,
+            } => write!(
+                f,
+                "disk {disk} holds {count} parity units, others hold {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Criterion 1: no stripe places two units on the same disk.
+///
+/// # Errors
+///
+/// Returns the first [`Violation::DoubledDisk`] found.
+pub fn check_single_failure_correcting(layout: &dyn ParityLayout) -> Result<(), Violation> {
+    for stripe in 0..layout.stripes_per_table() {
+        let mut seen = vec![false; layout.disks() as usize];
+        for unit in layout.stripe_units(stripe) {
+            if seen[unit.disk as usize] {
+                return Err(Violation::DoubledDisk {
+                    stripe,
+                    disk: unit.disk,
+                });
+            }
+            seen[unit.disk as usize] = true;
+        }
+    }
+    Ok(())
+}
+
+/// Criterion 2: every pair of disks co-occurs in the same number of
+/// stripes per full table, so a failed disk's reconstruction reads are
+/// spread evenly. Returns that constant (λ·G for a declustered layout).
+///
+/// # Errors
+///
+/// Returns [`Violation::UnevenReconstruction`] with the first deviating
+/// pair.
+pub fn check_distributed_reconstruction(layout: &dyn ParityLayout) -> Result<u64, Violation> {
+    let c = layout.disks() as usize;
+    let mut pair_counts = vec![0u64; c * c];
+    for stripe in 0..layout.stripes_per_table() {
+        let units = layout.stripe_units(stripe);
+        for (i, a) in units.iter().enumerate() {
+            for b in &units[i + 1..] {
+                let (lo, hi) = if a.disk < b.disk {
+                    (a.disk, b.disk)
+                } else {
+                    (b.disk, a.disk)
+                };
+                pair_counts[hi as usize * c + lo as usize] += 1;
+            }
+        }
+    }
+    let expected = pair_counts[c]; // pair (0, 1)
+    for hi in 1..c {
+        for lo in 0..hi {
+            let count = pair_counts[hi * c + lo];
+            if count != expected {
+                return Err(Violation::UnevenReconstruction {
+                    pair: (lo as u16, hi as u16),
+                    count,
+                    expected,
+                });
+            }
+        }
+    }
+    Ok(expected)
+}
+
+/// Criterion 3: every disk holds the same number of parity units per full
+/// table. Returns that constant (r for a declustered layout).
+///
+/// # Errors
+///
+/// Returns [`Violation::UnevenParity`] with the first deviating disk.
+pub fn check_distributed_parity(layout: &dyn ParityLayout) -> Result<u64, Violation> {
+    let mut counts = vec![0u64; layout.disks() as usize];
+    for stripe in 0..layout.stripes_per_table() {
+        counts[layout.parity_unit_in_table(stripe).disk as usize] += 1;
+    }
+    let expected = counts[0];
+    for (disk, &count) in counts.iter().enumerate() {
+        if count != expected {
+            return Err(Violation::UnevenParity {
+                disk: disk as u16,
+                count,
+                expected,
+            });
+        }
+    }
+    Ok(expected)
+}
+
+/// The number of units each surviving disk must read, per full table, to
+/// reconstruct `failed` — indexed by disk, with `result[failed] = 0`.
+///
+/// For a layout passing criterion 2 every surviving entry equals the
+/// constant returned by [`check_distributed_reconstruction`].
+///
+/// # Panics
+///
+/// Panics if `failed` is not a valid disk.
+pub fn reconstruction_reads_per_disk(layout: &dyn ParityLayout, failed: u16) -> Vec<u64> {
+    assert!(failed < layout.disks(), "disk {failed} out of range");
+    let mut reads = vec![0u64; layout.disks() as usize];
+    for stripe in 0..layout.stripes_per_table() {
+        let units = layout.stripe_units(stripe);
+        if units.iter().any(|u| u.disk == failed) {
+            for u in &units {
+                if u.disk != failed {
+                    reads[u.disk as usize] += 1;
+                }
+            }
+        }
+    }
+    reads
+}
+
+/// Criterion 6 metric for the stripe-sequential data mapping: the number
+/// of *distinct* disks touched by reading `C` consecutive logical data
+/// units starting at unit 0. Left-symmetric RAID 5 achieves `C`; the
+/// paper notes its declustered mapping does not (Section 4.2).
+pub fn data_mapping_parallelism(layout: &dyn ParityLayout) -> usize {
+    let d = layout.data_units_per_stripe() as u64;
+    let mut disks = std::collections::HashSet::new();
+    for logical in 0..layout.disks() as u64 {
+        let stripe = logical / d;
+        let index = (logical % d) as u16;
+        disks.insert(layout.data_location(stripe, index).disk);
+    }
+    disks.len()
+}
+
+/// A one-shot report on criteria 1–4.
+#[derive(Debug, Clone)]
+pub struct CriteriaReport {
+    /// Criterion 1 result.
+    pub single_failure_correcting: Result<(), Violation>,
+    /// Criterion 2 result, with the per-pair co-occurrence constant.
+    pub distributed_reconstruction: Result<u64, Violation>,
+    /// Criterion 3 result, with the per-disk parity constant.
+    pub distributed_parity: Result<u64, Violation>,
+    /// Criterion 4 metric: units per disk in one full table.
+    pub table_height: u64,
+    /// Criterion 6 metric: distinct disks touched by `C` sequential units.
+    pub sequential_parallelism: usize,
+}
+
+impl CriteriaReport {
+    /// Whether criteria 1–3 all hold.
+    pub fn all_hold(&self) -> bool {
+        self.single_failure_correcting.is_ok()
+            && self.distributed_reconstruction.is_ok()
+            && self.distributed_parity.is_ok()
+    }
+}
+
+/// Evaluates all criteria for a layout.
+pub fn check(layout: &dyn ParityLayout) -> CriteriaReport {
+    CriteriaReport {
+        single_failure_correcting: check_single_failure_correcting(layout),
+        distributed_reconstruction: check_distributed_reconstruction(layout),
+        distributed_parity: check_distributed_parity(layout),
+        table_height: layout.table_height(),
+        sequential_parallelism: data_mapping_parallelism(layout),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{appendix, BlockDesign};
+    use crate::layout::{DeclusteredLayout, Raid5Layout};
+
+    #[test]
+    fn raid5_meets_all_criteria() {
+        let l = Raid5Layout::new(21).unwrap();
+        let report = check(&l);
+        assert!(report.all_hold(), "{report:?}");
+        // Every stripe spans all disks: each pair co-occurs in all C
+        // stripes of the table.
+        assert_eq!(report.distributed_reconstruction.unwrap(), 21);
+        assert_eq!(report.distributed_parity.unwrap(), 1);
+        // Left-symmetric achieves maximal parallelism.
+        assert_eq!(report.sequential_parallelism, 21);
+    }
+
+    #[test]
+    fn all_appendix_layouts_meet_criteria_1_to_3() {
+        for g in appendix::PAPER_GROUP_SIZES {
+            let design = appendix::design_for_group_size(g).unwrap();
+            let p = design.params();
+            let l = DeclusteredLayout::new(design).unwrap();
+            let report = check(&l);
+            assert!(report.all_hold(), "G={g}: {report:?}");
+            assert_eq!(
+                report.distributed_reconstruction.unwrap(),
+                p.lambda * g as u64,
+                "G={g}: pair constant should be lambda*G"
+            );
+            assert_eq!(
+                report.distributed_parity.unwrap(),
+                p.r,
+                "G={g}: parity per disk should be r"
+            );
+        }
+    }
+
+    #[test]
+    fn reconstruction_reads_are_flat_for_declustered() {
+        let design = appendix::design_for_group_size(4).unwrap();
+        let p = design.params();
+        let l = DeclusteredLayout::new(design).unwrap();
+        for failed in [0u16, 7, 20] {
+            let reads = reconstruction_reads_per_disk(&l, failed);
+            assert_eq!(reads[failed as usize], 0);
+            for (d, &n) in reads.iter().enumerate() {
+                if d as u16 != failed {
+                    assert_eq!(n, p.lambda * 4, "failed={failed}, disk={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn declustered_reads_less_than_raid5() {
+        // The point of declustering: each surviving disk reads a fraction
+        // α of what it would read under RAID 5.
+        let declustered =
+            DeclusteredLayout::new(appendix::design_for_group_size(4).unwrap()).unwrap();
+        let reads = reconstruction_reads_per_disk(&declustered, 0);
+        let per_table_units = declustered.table_height();
+        // Surviving disks read λ·G = 12 of their 80 units: α = 0.15.
+        assert_eq!(reads[1] as f64 / per_table_units as f64, 0.15);
+    }
+
+    #[test]
+    fn paper_notes_declustered_mapping_lacks_max_parallelism() {
+        // Section 4.2: the stripe-sequential data mapping over the C=5, G=4
+        // complete-design layout uses disks 0 and 1 twice and misses 3, 4.
+        let l = DeclusteredLayout::new(BlockDesign::complete(5, 4).unwrap()).unwrap();
+        assert_eq!(data_mapping_parallelism(&l), 3);
+    }
+
+    #[test]
+    fn violations_display_cleanly() {
+        let v = Violation::DoubledDisk { stripe: 3, disk: 1 };
+        assert!(v.to_string().contains("stripe 3"));
+        let v = Violation::UnevenParity {
+            disk: 2,
+            count: 4,
+            expected: 5,
+        };
+        assert!(v.to_string().contains("disk 2"));
+        let v = Violation::UnevenReconstruction {
+            pair: (1, 2),
+            count: 3,
+            expected: 4,
+        };
+        assert!(v.to_string().contains("share"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reconstruction_reads_checks_disk() {
+        let l = Raid5Layout::new(5).unwrap();
+        reconstruction_reads_per_disk(&l, 5);
+    }
+}

@@ -1,0 +1,333 @@
+//! The declustered parity layout: the paper's primary contribution
+//! (Section 4.2).
+
+use super::{ParityLayout, UnitAddr, UnitRole};
+use crate::design::BlockDesign;
+use crate::error::Error;
+
+/// A compact per-unit role for the precomputed table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LocalRole {
+    Data { stripe: u32, index: u16 },
+    Parity { stripe: u32 },
+}
+
+/// A block-design-based declustered parity layout.
+///
+/// Construction follows the paper exactly:
+///
+/// 1. Associate disks with the design's objects and parity stripes with
+///    its tuples. Stripe unit `j` of stripe `i` goes to the lowest free
+///    offset on the disk named by the `j`-th element of tuple `i mod b`.
+/// 2. Duplicate that *block design table* `G` times, assigning parity to a
+///    different tuple element in each copy; the result is the *full block
+///    design table* of height `G·r` units per disk, mapping `G·b` stripes.
+/// 3. Repeat the full table down the disk.
+///
+/// Per full table, each surviving disk holds exactly `λ·G` units sharing a
+/// stripe with any one failed disk (distributed reconstruction) and
+/// exactly `r` parity units (distributed parity).
+///
+/// # Examples
+///
+/// The paper's running example, `C = 5`, `G = 4` (Figures 2-3 and 4-2):
+///
+/// ```
+/// use decluster_core::design::BlockDesign;
+/// use decluster_core::layout::{DeclusteredLayout, ParityLayout, UnitRole};
+///
+/// let layout = DeclusteredLayout::new(BlockDesign::complete(5, 4)?)?;
+/// assert_eq!(layout.alpha(), 0.75);
+/// assert_eq!(layout.table_height(), 16);   // G·r = 4·4
+/// assert_eq!(layout.stripes_per_table(), 20); // G·b = 4·5
+/// // Figure 2-3, first row: D0.0 D0.1 D0.2 P0 P1.
+/// assert_eq!(layout.role_at(3, 0), UnitRole::Parity { stripe: 0 });
+/// assert_eq!(layout.role_at(4, 0), UnitRole::Parity { stripe: 1 });
+/// # Ok::<(), decluster_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeclusteredLayout {
+    disks: u16,
+    width: u16,
+    height: u64,
+    stripes: u64,
+    /// Role of each unit, indexed `disk * height + offset`.
+    roles: Vec<LocalRole>,
+    /// Unit addresses per stripe: `G` entries per stripe — data units
+    /// 0..G−1 then parity — as `(disk, offset)`.
+    units: Vec<(u16, u32)>,
+    design: BlockDesign,
+}
+
+impl DeclusteredLayout {
+    /// Builds the full block design table for `design`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadParameters`] if the design's tuple size is 1
+    /// (a stripe must hold at least one data unit and one parity unit) or
+    /// the full table would exceed 2³² units per disk.
+    pub fn new(design: BlockDesign) -> Result<DeclusteredLayout, Error> {
+        let p = design.params();
+        let (c, g, b, r) = (p.v, p.k, p.b, p.r);
+        if g < 2 {
+            return Err(Error::BadParameters {
+                reason: "parity stripes need width >= 2 (one data + one parity unit)".into(),
+            });
+        }
+        let height = (g as u64) * r;
+        if height > u32::MAX as u64 {
+            return Err(Error::BadParameters {
+                reason: format!("full table height {height} exceeds u32 range"),
+            });
+        }
+        let stripes = (g as u64) * b;
+
+        let mut roles = vec![None::<LocalRole>; c as usize * height as usize];
+        let mut units = vec![(0u16, 0u32); stripes as usize * g as usize];
+        let mut next_free = vec![0u32; c as usize];
+
+        for copy in 0..g {
+            // Each duplication assigns parity to a different tuple element,
+            // sweeping from the last element backwards (Figure 4-2).
+            let parity_elem = g - 1 - copy;
+            for (ti, tuple) in design.tuples().enumerate() {
+                let stripe = copy as u64 * b + ti as u64;
+                let mut data_index = 0u16;
+                for (j, &disk) in tuple.iter().enumerate() {
+                    let offset = next_free[disk as usize];
+                    next_free[disk as usize] += 1;
+                    let slot = disk as usize * height as usize + offset as usize;
+                    debug_assert!(roles[slot].is_none());
+                    if j == parity_elem as usize {
+                        roles[slot] = Some(LocalRole::Parity {
+                            stripe: stripe as u32,
+                        });
+                        units[(stripe as usize) * g as usize + (g as usize - 1)] =
+                            (disk, offset);
+                    } else {
+                        roles[slot] = Some(LocalRole::Data {
+                            stripe: stripe as u32,
+                            index: data_index,
+                        });
+                        units[(stripe as usize) * g as usize + data_index as usize] =
+                            (disk, offset);
+                        data_index += 1;
+                    }
+                }
+            }
+        }
+        debug_assert!(next_free.iter().all(|&n| n as u64 == height));
+        let roles = roles
+            .into_iter()
+            .map(|r| r.expect("every table cell is filled: each disk appears in r tuples per copy"))
+            .collect();
+
+        Ok(DeclusteredLayout {
+            disks: c,
+            width: g,
+            height,
+            stripes,
+            roles,
+            units,
+            design,
+        })
+    }
+
+    /// The block design this layout was built from.
+    pub fn design(&self) -> &BlockDesign {
+        &self.design
+    }
+}
+
+impl ParityLayout for DeclusteredLayout {
+    fn disks(&self) -> u16 {
+        self.disks
+    }
+
+    fn stripe_width(&self) -> u16 {
+        self.width
+    }
+
+    fn table_height(&self) -> u64 {
+        self.height
+    }
+
+    fn stripes_per_table(&self) -> u64 {
+        self.stripes
+    }
+
+    fn role_in_table(&self, disk: u16, offset: u64) -> UnitRole {
+        assert!(disk < self.disks, "disk {disk} out of range 0..{}", self.disks);
+        assert!(
+            offset < self.height,
+            "offset {offset} outside table 0..{}",
+            self.height
+        );
+        match self.roles[disk as usize * self.height as usize + offset as usize] {
+            LocalRole::Data { stripe, index } => UnitRole::Data {
+                stripe: stripe as u64,
+                index,
+            },
+            LocalRole::Parity { stripe } => UnitRole::Parity {
+                stripe: stripe as u64,
+            },
+        }
+    }
+
+    fn data_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr {
+        assert!(stripe < self.stripes, "stripe {stripe} outside table");
+        assert!(index < self.width - 1, "data index {index} outside stripe");
+        let (disk, offset) =
+            self.units[stripe as usize * self.width as usize + index as usize];
+        UnitAddr::new(disk, offset as u64)
+    }
+
+    fn parity_unit_in_table(&self, stripe: u64) -> UnitAddr {
+        assert!(stripe < self.stripes, "stripe {stripe} outside table");
+        let (disk, offset) =
+            self.units[stripe as usize * self.width as usize + self.width as usize - 1];
+        UnitAddr::new(disk, offset as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::appendix;
+
+    fn figure_layout() -> DeclusteredLayout {
+        DeclusteredLayout::new(BlockDesign::complete(5, 4).unwrap()).unwrap()
+    }
+
+    /// The first block design table must reproduce Figure 2-3 cell by cell.
+    #[test]
+    fn matches_figure_2_3() {
+        let l = figure_layout();
+        use UnitRole::{Data, Parity};
+        let expected = [
+            // offset 0: D0.0 D0.1 D0.2 P0 P1
+            [
+                Data { stripe: 0, index: 0 },
+                Data { stripe: 0, index: 1 },
+                Data { stripe: 0, index: 2 },
+                Parity { stripe: 0 },
+                Parity { stripe: 1 },
+            ],
+            // offset 1: D1.0 D1.1 D1.2 D2.2 P2
+            [
+                Data { stripe: 1, index: 0 },
+                Data { stripe: 1, index: 1 },
+                Data { stripe: 1, index: 2 },
+                Data { stripe: 2, index: 2 },
+                Parity { stripe: 2 },
+            ],
+            // offset 2: D2.0 D2.1 D3.1 D3.2 P3
+            [
+                Data { stripe: 2, index: 0 },
+                Data { stripe: 2, index: 1 },
+                Data { stripe: 3, index: 1 },
+                Data { stripe: 3, index: 2 },
+                Parity { stripe: 3 },
+            ],
+            // offset 3: D3.0 D4.0 D4.1 D4.2 P4
+            [
+                Data { stripe: 3, index: 0 },
+                Data { stripe: 4, index: 0 },
+                Data { stripe: 4, index: 1 },
+                Data { stripe: 4, index: 2 },
+                Parity { stripe: 4 },
+            ],
+        ];
+        for (offset, row) in expected.iter().enumerate() {
+            for (disk, want) in row.iter().enumerate() {
+                assert_eq!(
+                    l.role_in_table(disk as u16, offset as u64),
+                    *want,
+                    "disk {disk} offset {offset}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_table_dimensions() {
+        let l = figure_layout();
+        assert_eq!(l.table_height(), 16);
+        assert_eq!(l.stripes_per_table(), 20);
+        assert_eq!(l.stripe_width(), 4);
+        assert_eq!(l.disks(), 5);
+    }
+
+    #[test]
+    fn role_and_location_are_inverse_over_full_table() {
+        let l = figure_layout();
+        for disk in 0..5u16 {
+            for offset in 0..16u64 {
+                match l.role_in_table(disk, offset) {
+                    UnitRole::Data { stripe, index } => assert_eq!(
+                        l.data_unit_in_table(stripe, index),
+                        UnitAddr::new(disk, offset)
+                    ),
+                    UnitRole::Parity { stripe } => {
+                        assert_eq!(l.parity_unit_in_table(stripe), UnitAddr::new(disk, offset))
+                    }
+                    UnitRole::Unmapped => panic!("full table has no holes"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_rotates_through_tuple_elements() {
+        // In copy t, parity goes to tuple element G−1−t; over the full
+        // table each disk must hold exactly r parity units.
+        let l = figure_layout();
+        let r = l.design().params().r;
+        for disk in 0..5u16 {
+            let count = (0..16u64)
+                .filter(|&o| l.role_in_table(disk, o).is_parity())
+                .count() as u64;
+            assert_eq!(count, r, "disk {disk}");
+        }
+    }
+
+    #[test]
+    fn period_extends_globally() {
+        let l = figure_layout();
+        assert_eq!(l.role_at(3, 16), UnitRole::Parity { stripe: 20 });
+        assert_eq!(
+            l.parity_location(20),
+            UnitAddr::new(3, 16)
+        );
+        let units = l.stripe_units(21);
+        assert_eq!(units.len(), 4);
+        assert!(units.iter().all(|u| u.offset >= 16 && u.offset < 32));
+    }
+
+    #[test]
+    fn every_appendix_design_builds() {
+        for g in appendix::PAPER_GROUP_SIZES {
+            let d = appendix::design_for_group_size(g).unwrap();
+            let p = d.params();
+            let l = DeclusteredLayout::new(d).unwrap();
+            assert_eq!(l.table_height(), g as u64 * p.r);
+            assert_eq!(l.stripes_per_table(), g as u64 * p.b);
+        }
+    }
+
+    #[test]
+    fn rejects_width_one_design() {
+        let d = BlockDesign::new(3, vec![vec![0], vec![1], vec![2]]).unwrap();
+        assert!(matches!(
+            DeclusteredLayout::new(d),
+            Err(Error::BadParameters { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside table")]
+    fn out_of_table_offset_panics() {
+        figure_layout().role_in_table(0, 16);
+    }
+}

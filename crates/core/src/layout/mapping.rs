@@ -1,0 +1,362 @@
+//! Binding a periodic layout to a disk of concrete size.
+//!
+//! A layout's full table rarely divides a real disk's unit count evenly.
+//! The paper duplicates the table "until all stripe units on each disk are
+//! mapped"; we make the truncation precise: in the final partial table,
+//! only stripes whose *every* unit falls below the disk's end are mapped.
+//! Units of rejected stripes become [`UnitRole::Unmapped`] holes (at most
+//! one table's worth of waste), so reconstruction and addressing never see
+//! a stripe with a missing member.
+
+use super::{ParityLayout, UnitAddr, UnitRole};
+use crate::error::Error;
+use std::sync::Arc;
+
+/// A layout instantiated on disks with `units_per_disk` units each,
+/// providing logical-address translation and stripe enumeration.
+///
+/// Logical data units are numbered sequentially through parity stripes
+/// (the paper's data mapping): logical unit `n` is data unit `n mod (G−1)`
+/// of the `n / (G−1)`-th *mapped* stripe.
+///
+/// # Examples
+///
+/// ```
+/// use decluster_core::design::BlockDesign;
+/// use decluster_core::layout::{ArrayMapping, DeclusteredLayout};
+/// use std::sync::Arc;
+///
+/// let layout = DeclusteredLayout::new(BlockDesign::complete(5, 4)?)?;
+/// // 20 units per disk = 1.25 full tables of height 16.
+/// let m = ArrayMapping::new(Arc::new(layout), 20)?;
+/// assert_eq!(m.units_per_disk(), 20);
+/// assert!(m.data_units() > 0);
+/// let (stripe, index) = m.logical_to_stripe(0);
+/// assert_eq!((stripe, index), (0, 0));
+/// # Ok::<(), decluster_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrayMapping {
+    layout: Arc<dyn ParityLayout>,
+    units_per_disk: u64,
+    full_tables: u64,
+    /// Table-local stripe ids mapped within the final partial table,
+    /// ascending.
+    partial_accepted: Vec<u64>,
+    /// For each table-local stripe id, its rank in `partial_accepted`
+    /// (dense sequence number), or `None` if rejected.
+    partial_rank: Vec<Option<u64>>,
+}
+
+impl ArrayMapping {
+    /// Binds `layout` to disks holding `units_per_disk` units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadParameters`] if no stripe fits (the disk is
+    /// smaller than the layout needs to map even one stripe).
+    pub fn new(layout: Arc<dyn ParityLayout>, units_per_disk: u64) -> Result<ArrayMapping, Error> {
+        let height = layout.table_height();
+        let full_tables = units_per_disk / height;
+        let remainder = units_per_disk % height;
+
+        let mut partial_accepted = Vec::new();
+        let mut partial_rank = vec![None; layout.stripes_per_table() as usize];
+        if remainder > 0 {
+            for stripe in 0..layout.stripes_per_table() {
+                let fits = layout
+                    .stripe_units(stripe)
+                    .iter()
+                    .all(|u| u.offset < remainder);
+                if fits {
+                    partial_rank[stripe as usize] = Some(partial_accepted.len() as u64);
+                    partial_accepted.push(stripe);
+                }
+            }
+        }
+        if full_tables == 0 && partial_accepted.is_empty() {
+            return Err(Error::BadParameters {
+                reason: format!(
+                    "disk of {units_per_disk} units maps no complete stripe (table height {height})"
+                ),
+            });
+        }
+        Ok(ArrayMapping {
+            layout,
+            units_per_disk,
+            full_tables,
+            partial_accepted,
+            partial_rank,
+        })
+    }
+
+    /// The underlying layout.
+    pub fn layout(&self) -> &Arc<dyn ParityLayout> {
+        &self.layout
+    }
+
+    /// Units per disk this mapping was built for.
+    pub fn units_per_disk(&self) -> u64 {
+        self.units_per_disk
+    }
+
+    /// Number of disks `C`.
+    pub fn disks(&self) -> u16 {
+        self.layout.disks()
+    }
+
+    /// Parity stripe width `G`.
+    pub fn stripe_width(&self) -> u16 {
+        self.layout.stripe_width()
+    }
+
+    /// Total mapped parity stripes.
+    pub fn stripes(&self) -> u64 {
+        self.full_tables * self.layout.stripes_per_table() + self.partial_accepted.len() as u64
+    }
+
+    /// Total addressable logical data units.
+    pub fn data_units(&self) -> u64 {
+        self.stripes() * self.layout.data_units_per_stripe() as u64
+    }
+
+    /// Whether global stripe `stripe` is mapped (fits on the disks).
+    pub fn is_mapped(&self, stripe: u64) -> bool {
+        let per_table = self.layout.stripes_per_table();
+        let table = stripe / per_table;
+        if table < self.full_tables {
+            return true;
+        }
+        table == self.full_tables && self.partial_rank[(stripe % per_table) as usize].is_some()
+    }
+
+    /// The `seq`-th mapped stripe (dense enumeration, `seq <
+    /// self.stripes()`), as a global stripe id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn stripe_by_seq(&self, seq: u64) -> u64 {
+        let per_table = self.layout.stripes_per_table();
+        let full = self.full_tables * per_table;
+        if seq < full {
+            seq
+        } else {
+            let idx = (seq - full) as usize;
+            assert!(
+                idx < self.partial_accepted.len(),
+                "stripe sequence {seq} out of range 0..{}",
+                self.stripes()
+            );
+            self.full_tables * per_table + self.partial_accepted[idx]
+        }
+    }
+
+    /// Dense sequence number of a mapped global stripe — the inverse of
+    /// [`ArrayMapping::stripe_by_seq`]. `None` if the stripe is unmapped.
+    pub fn seq_of_stripe(&self, stripe: u64) -> Option<u64> {
+        let per_table = self.layout.stripes_per_table();
+        let table = stripe / per_table;
+        if table < self.full_tables {
+            Some(stripe)
+        } else if table == self.full_tables {
+            self.partial_rank[(stripe % per_table) as usize]
+                .map(|rank| self.full_tables * per_table + rank)
+        } else {
+            None
+        }
+    }
+
+    /// Maps a logical data unit to `(global stripe, index within stripe)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is past [`ArrayMapping::data_units`].
+    pub fn logical_to_stripe(&self, logical: u64) -> (u64, u16) {
+        assert!(
+            logical < self.data_units(),
+            "logical unit {logical} beyond capacity {}",
+            self.data_units()
+        );
+        let d = self.layout.data_units_per_stripe() as u64;
+        (self.stripe_by_seq(logical / d), (logical % d) as u16)
+    }
+
+    /// Maps a logical data unit to its physical location.
+    ///
+    /// # Panics
+    ///
+    /// As for [`ArrayMapping::logical_to_stripe`].
+    pub fn logical_to_addr(&self, logical: u64) -> UnitAddr {
+        let (stripe, index) = self.logical_to_stripe(logical);
+        self.layout.data_location(stripe, index)
+    }
+
+    /// Maps `(stripe, index)` back to the logical data unit, for mapped
+    /// stripes.
+    pub fn stripe_to_logical(&self, stripe: u64, index: u16) -> Option<u64> {
+        self.seq_of_stripe(stripe)
+            .map(|seq| seq * self.layout.data_units_per_stripe() as u64 + index as u64)
+    }
+
+    /// The role of the unit at (`disk`, `offset`), honouring truncation:
+    /// units of stripes cut off by disk end are [`UnitRole::Unmapped`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= units_per_disk` or `disk` is out of range.
+    pub fn role_at(&self, disk: u16, offset: u64) -> UnitRole {
+        assert!(
+            offset < self.units_per_disk,
+            "offset {offset} beyond disk end {}",
+            self.units_per_disk
+        );
+        let role = self.layout.role_at(disk, offset);
+        match role.stripe() {
+            Some(stripe) if self.is_mapped(stripe) => role,
+            _ => UnitRole::Unmapped,
+        }
+    }
+
+    /// All unit locations of a mapped stripe: data units in index order,
+    /// then parity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stripe is unmapped.
+    pub fn stripe_units(&self, stripe: u64) -> Vec<UnitAddr> {
+        assert!(self.is_mapped(stripe), "stripe {stripe} is not mapped");
+        self.layout.stripe_units(stripe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{appendix, BlockDesign};
+    use crate::layout::{DeclusteredLayout, Raid5Layout};
+
+    fn decl_5_4() -> Arc<dyn ParityLayout> {
+        Arc::new(DeclusteredLayout::new(BlockDesign::complete(5, 4).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn exact_multiple_has_no_holes() {
+        let m = ArrayMapping::new(decl_5_4(), 32).unwrap(); // 2 tables
+        assert_eq!(m.stripes(), 40);
+        assert_eq!(m.data_units(), 120);
+        for disk in 0..5 {
+            for offset in 0..32 {
+                assert_ne!(m.role_at(disk, offset), UnitRole::Unmapped);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_table_truncates_at_stripe_granularity() {
+        // Height 16; 20 units = 1 full table + 4 rows of the next.
+        let m = ArrayMapping::new(decl_5_4(), 20).unwrap();
+        assert!(m.stripes() > 20, "partial table contributed nothing");
+        assert!(m.stripes() < 40);
+        // Every mapped stripe's units all lie below the disk end.
+        for seq in 0..m.stripes() {
+            let stripe = m.stripe_by_seq(seq);
+            for u in m.stripe_units(stripe) {
+                assert!(u.offset < 20, "stripe {stripe} unit {u} past end");
+            }
+        }
+        // Holes only appear in the final partial region.
+        for disk in 0..5 {
+            for offset in 0..16 {
+                assert_ne!(m.role_at(disk, offset), UnitRole::Unmapped);
+            }
+        }
+    }
+
+    #[test]
+    fn logical_round_trip() {
+        let m = ArrayMapping::new(decl_5_4(), 20).unwrap();
+        for logical in 0..m.data_units() {
+            let (stripe, index) = m.logical_to_stripe(logical);
+            assert!(m.is_mapped(stripe));
+            assert_eq!(m.stripe_to_logical(stripe, index), Some(logical));
+            let addr = m.logical_to_addr(logical);
+            assert!(addr.offset < 20);
+            // And the role at that address agrees.
+            assert_eq!(
+                m.role_at(addr.disk, addr.offset),
+                UnitRole::Data { stripe, index }
+            );
+        }
+    }
+
+    #[test]
+    fn stripe_seq_enumeration_is_dense_and_monotone() {
+        let m = ArrayMapping::new(decl_5_4(), 21).unwrap();
+        let mut prev = None;
+        for seq in 0..m.stripes() {
+            let stripe = m.stripe_by_seq(seq);
+            assert_eq!(m.seq_of_stripe(stripe), Some(seq));
+            if let Some(p) = prev {
+                assert!(stripe > p);
+            }
+            prev = Some(stripe);
+        }
+    }
+
+    #[test]
+    fn raid5_mapping_wastes_nothing() {
+        // RAID 5 stripes occupy single rows, so any disk size maps fully.
+        let l = Arc::new(Raid5Layout::new(21).unwrap());
+        let m = ArrayMapping::new(l, 100).unwrap();
+        assert_eq!(m.stripes(), 100);
+        assert_eq!(m.data_units(), 2000);
+        for disk in 0..21 {
+            for offset in 0..100 {
+                assert_ne!(m.role_at(disk, offset), UnitRole::Unmapped);
+            }
+        }
+    }
+
+    #[test]
+    fn appendix_layouts_map_paper_sized_disks() {
+        // The real IBM 0661 holds 79,716 four-KB units.
+        const UNITS: u64 = 79_716;
+        for g in appendix::PAPER_GROUP_SIZES {
+            let l: Arc<dyn ParityLayout> = Arc::new(
+                DeclusteredLayout::new(appendix::design_for_group_size(g).unwrap()).unwrap(),
+            );
+            let m = ArrayMapping::new(l, UNITS).unwrap();
+            // Waste is bounded by one table worth of units per disk.
+            let mapped_units = m.stripes() * g as u64;
+            let total_units = UNITS * 21;
+            let waste = total_units - mapped_units;
+            assert!(
+                (waste as f64) < total_units as f64 * 0.05,
+                "G={g}: waste {waste} of {total_units}"
+            );
+        }
+    }
+
+    #[test]
+    fn too_small_disk_is_rejected() {
+        // A single unit per disk cannot hold any complete G=4 stripe
+        // spanning offsets 0..4 of the table.
+        let err = ArrayMapping::new(decl_5_4(), 1);
+        assert!(err.is_err() || err.unwrap().stripes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn logical_overflow_panics() {
+        let m = ArrayMapping::new(decl_5_4(), 16).unwrap();
+        m.logical_to_stripe(m.data_units());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond disk end")]
+    fn role_past_end_panics() {
+        let m = ArrayMapping::new(decl_5_4(), 16).unwrap();
+        m.role_at(0, 16);
+    }
+}

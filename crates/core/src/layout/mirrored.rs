@@ -1,0 +1,334 @@
+//! Mirrored-redundancy layouts: interleaved and chained declustering.
+//!
+//! The idea of declustering redundancy originated with mirrored systems
+//! (paper, Section 3). Copeland & Keller's *interleaved declustering*
+//! splits each disk into a primary half and a secondary half holding a
+//! piece of every other disk's primary data, spreading a failed disk's
+//! read load over all survivors. Hsiao & DeWitt's *chained declustering*
+//! places each disk's secondary copy entirely on its ring successor,
+//! giving up load spread for higher data reliability (two failures lose
+//! data only if adjacent).
+//!
+//! A mirrored pair is exactly a parity stripe of width `G = 2` (the
+//! parity unit of a two-unit stripe *is* the copy), so both organizations
+//! implement [`ParityLayout`] and run unmodified on the array simulator —
+//! which is how the paper frames mirroring's cost: 50 % capacity overhead
+//! against parity declustering's `1/G`.
+
+use super::{ParityLayout, UnitAddr, UnitRole};
+use crate::error::Error;
+
+/// Interleaved declustering over `C` disks.
+///
+/// One table is `C` rows of mirrored pairs. In row `r`, disk `d` holds
+/// the primary of pair `(r, d)`; its secondary lives on disk
+/// `(d + 1 + (r mod (C−1))) mod C` — over `C−1` consecutive rows each
+/// disk's secondaries visit every other disk once, so reconstruction
+/// load is perfectly distributed (criterion 2), like the original
+/// Teradata-style interleaving.
+///
+/// # Examples
+///
+/// ```
+/// use decluster_core::layout::{InterleavedMirrorLayout, ParityLayout};
+///
+/// let l = InterleavedMirrorLayout::new(8)?;
+/// assert_eq!(l.stripe_width(), 2);
+/// assert_eq!(l.parity_overhead(), 0.5); // mirroring's capacity cost
+/// # Ok::<(), decluster_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterleavedMirrorLayout {
+    disks: u16,
+}
+
+impl InterleavedMirrorLayout {
+    /// Creates the layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadParameters`] for fewer than 3 disks (2 disks
+    /// degenerate to a plain mirror pair with nothing to interleave).
+    pub fn new(disks: u16) -> Result<InterleavedMirrorLayout, Error> {
+        if disks < 3 {
+            return Err(Error::BadParameters {
+                reason: format!("interleaved declustering needs >= 3 disks, got {disks}"),
+            });
+        }
+        Ok(InterleavedMirrorLayout { disks })
+    }
+
+    /// The secondary disk for the pair whose primary is on `disk` in row
+    /// `row`.
+    fn secondary_of(&self, row: u64, disk: u16) -> u16 {
+        let c = self.disks as u64;
+        ((disk as u64 + 1 + row % (c - 1)) % c) as u16
+    }
+}
+
+impl ParityLayout for InterleavedMirrorLayout {
+    fn disks(&self) -> u16 {
+        self.disks
+    }
+
+    fn stripe_width(&self) -> u16 {
+        2
+    }
+
+    /// Each row holds `C` primaries and `C` secondaries: two offsets.
+    /// A table is `C−1` rows (the full secondary rotation): `2·(C−1)`
+    /// offsets per disk.
+    fn table_height(&self) -> u64 {
+        2 * (self.disks as u64 - 1)
+    }
+
+    fn stripes_per_table(&self) -> u64 {
+        self.disks as u64 * (self.disks as u64 - 1)
+    }
+
+    fn role_in_table(&self, disk: u16, offset: u64) -> UnitRole {
+        assert!(disk < self.disks, "disk {disk} out of range");
+        assert!(offset < self.table_height(), "offset {offset} outside table");
+        let row = offset / 2;
+        let stripe_base = row * self.disks as u64;
+        if offset.is_multiple_of(2) {
+            // Primary half: pair (row, disk).
+            UnitRole::Data {
+                stripe: stripe_base + disk as u64,
+                index: 0,
+            }
+        } else {
+            // Secondary half: the pair whose secondary lands here.
+            let c = self.disks as u64;
+            let shift = 1 + row % (c - 1);
+            let primary = ((disk as u64 + c - shift) % c) as u16;
+            UnitRole::Parity {
+                stripe: stripe_base + primary as u64,
+            }
+        }
+    }
+
+    fn data_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr {
+        assert!(stripe < self.stripes_per_table(), "stripe {stripe} outside table");
+        assert!(index == 0, "mirrored stripes have one data unit");
+        let row = stripe / self.disks as u64;
+        let disk = (stripe % self.disks as u64) as u16;
+        UnitAddr::new(disk, row * 2)
+    }
+
+    fn parity_unit_in_table(&self, stripe: u64) -> UnitAddr {
+        assert!(stripe < self.stripes_per_table(), "stripe {stripe} outside table");
+        let row = stripe / self.disks as u64;
+        let primary = (stripe % self.disks as u64) as u16;
+        UnitAddr::new(self.secondary_of(row, primary), row * 2 + 1)
+    }
+}
+
+/// Chained declustering over `C` disks: each pair's secondary lives on
+/// the primary's ring successor.
+///
+/// Reconstruction load is *not* distributed — only the two ring
+/// neighbours of a failed disk carry it — but any two non-adjacent
+/// failures are survivable, the higher-reliability trade Hsiao & DeWitt
+/// argue for (paper, Section 3).
+///
+/// # Examples
+///
+/// ```
+/// use decluster_core::layout::{ChainedMirrorLayout, ParityLayout};
+///
+/// let l = ChainedMirrorLayout::new(8)?;
+/// // Disk 3's copy chain partner is disk 4.
+/// assert_eq!(l.parity_location(3).disk, 4);
+/// # Ok::<(), decluster_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainedMirrorLayout {
+    disks: u16,
+}
+
+impl ChainedMirrorLayout {
+    /// Creates the layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadParameters`] for fewer than 3 disks.
+    pub fn new(disks: u16) -> Result<ChainedMirrorLayout, Error> {
+        if disks < 3 {
+            return Err(Error::BadParameters {
+                reason: format!("chained declustering needs >= 3 disks, got {disks}"),
+            });
+        }
+        Ok(ChainedMirrorLayout { disks })
+    }
+
+    /// Whether losing both `a` and `b` loses data (only ring-adjacent
+    /// pairs share a mirrored pair).
+    pub fn double_failure_loses_data(&self, a: u16, b: u16) -> bool {
+        let c = self.disks;
+        a != b && ((a + 1) % c == b || (b + 1) % c == a)
+    }
+}
+
+impl ParityLayout for ChainedMirrorLayout {
+    fn disks(&self) -> u16 {
+        self.disks
+    }
+
+    fn stripe_width(&self) -> u16 {
+        2
+    }
+
+    fn table_height(&self) -> u64 {
+        2
+    }
+
+    fn stripes_per_table(&self) -> u64 {
+        self.disks as u64
+    }
+
+    fn role_in_table(&self, disk: u16, offset: u64) -> UnitRole {
+        assert!(disk < self.disks, "disk {disk} out of range");
+        assert!(offset < 2, "offset {offset} outside table");
+        if offset == 0 {
+            UnitRole::Data {
+                stripe: disk as u64,
+                index: 0,
+            }
+        } else {
+            // Secondary of the ring predecessor.
+            let primary = (disk + self.disks - 1) % self.disks;
+            UnitRole::Parity {
+                stripe: primary as u64,
+            }
+        }
+    }
+
+    fn data_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr {
+        assert!(stripe < self.disks as u64, "stripe {stripe} outside table");
+        assert!(index == 0, "mirrored stripes have one data unit");
+        UnitAddr::new(stripe as u16, 0)
+    }
+
+    fn parity_unit_in_table(&self, stripe: u64) -> UnitAddr {
+        assert!(stripe < self.disks as u64, "stripe {stripe} outside table");
+        UnitAddr::new(((stripe + 1) % self.disks as u64) as u16, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::criteria;
+
+    #[test]
+    fn interleaved_meets_all_criteria() {
+        for c in [3u16, 5, 8, 21] {
+            let l = InterleavedMirrorLayout::new(c).unwrap();
+            let report = criteria::check(&l);
+            assert!(report.all_hold(), "C={c}: {report:?}");
+            // Each pair of disks shares exactly 2 pairs per table (one in
+            // each direction of the rotation).
+            assert_eq!(report.distributed_reconstruction.unwrap(), 2, "C={c}");
+        }
+    }
+
+    #[test]
+    fn interleaved_role_location_inverse() {
+        let l = InterleavedMirrorLayout::new(6).unwrap();
+        for disk in 0..6u16 {
+            for offset in 0..l.table_height() {
+                match l.role_in_table(disk, offset) {
+                    UnitRole::Data { stripe, index } => assert_eq!(
+                        l.data_unit_in_table(stripe, index),
+                        UnitAddr::new(disk, offset)
+                    ),
+                    UnitRole::Parity { stripe } => assert_eq!(
+                        l.parity_unit_in_table(stripe),
+                        UnitAddr::new(disk, offset)
+                    ),
+                    UnitRole::Unmapped => panic!("no holes"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_copies_are_on_distinct_disks() {
+        let l = InterleavedMirrorLayout::new(5).unwrap();
+        criteria::check_single_failure_correcting(&l).unwrap();
+    }
+
+    #[test]
+    fn interleaved_reconstruction_is_spread() {
+        // A failed disk's load is served by all C−1 survivors equally.
+        let l = InterleavedMirrorLayout::new(8).unwrap();
+        let reads = criteria::reconstruction_reads_per_disk(&l, 3);
+        let expected = reads[0];
+        for (d, &n) in reads.iter().enumerate() {
+            if d == 3 {
+                assert_eq!(n, 0);
+            } else {
+                assert_eq!(n, expected, "disk {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn chained_concentrates_reconstruction_on_neighbours() {
+        let l = ChainedMirrorLayout::new(8).unwrap();
+        // Criterion 2 fails by design: only ring neighbours co-occur.
+        assert!(criteria::check_distributed_reconstruction(&l).is_err());
+        let reads = criteria::reconstruction_reads_per_disk(&l, 3);
+        for (d, &n) in reads.iter().enumerate() {
+            let expected = if d == 2 || d == 4 { 1 } else { 0 };
+            assert_eq!(n, expected, "disk {d}");
+        }
+    }
+
+    #[test]
+    fn chained_role_location_inverse_and_balanced_parity() {
+        let l = ChainedMirrorLayout::new(7).unwrap();
+        criteria::check_single_failure_correcting(&l).unwrap();
+        assert_eq!(criteria::check_distributed_parity(&l).unwrap(), 1);
+        for disk in 0..7u16 {
+            for offset in 0..2u64 {
+                match l.role_in_table(disk, offset) {
+                    UnitRole::Data { stripe, index } => assert_eq!(
+                        l.data_unit_in_table(stripe, index),
+                        UnitAddr::new(disk, offset)
+                    ),
+                    UnitRole::Parity { stripe } => assert_eq!(
+                        l.parity_unit_in_table(stripe),
+                        UnitAddr::new(disk, offset)
+                    ),
+                    UnitRole::Unmapped => panic!("no holes"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chained_double_failure_rule() {
+        let l = ChainedMirrorLayout::new(6).unwrap();
+        assert!(l.double_failure_loses_data(2, 3));
+        assert!(l.double_failure_loses_data(5, 0)); // ring wrap
+        assert!(!l.double_failure_loses_data(1, 3));
+        assert!(!l.double_failure_loses_data(2, 2));
+    }
+
+    #[test]
+    fn overhead_is_mirroring() {
+        let l = InterleavedMirrorLayout::new(8).unwrap();
+        assert_eq!(l.parity_overhead(), 0.5);
+        assert_eq!(l.data_units_per_stripe(), 1);
+        let l = ChainedMirrorLayout::new(8).unwrap();
+        assert!((l.alpha() - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_arrays_rejected() {
+        assert!(InterleavedMirrorLayout::new(2).is_err());
+        assert!(ChainedMirrorLayout::new(2).is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! Left-symmetric RAID 5: the paper's baseline layout (Figure 2-1).
+
+use super::{ParityLayout, UnitAddr, UnitRole};
+use crate::error::Error;
+
+/// Lee & Katz's left-symmetric RAID 5 layout over `C` disks.
+///
+/// One table is `C` rows: stripe `i` occupies row (offset) `i` on all
+/// disks, its parity on disk `(C−1−i) mod C`, and its data units wrapping
+/// leftward from there — which places logically sequential data units on
+/// consecutive disks and meets all four of the paper's placement criteria
+/// with `G = C` (`α = 1`).
+///
+/// # Examples
+///
+/// ```
+/// use decluster_core::layout::{ParityLayout, Raid5Layout, UnitRole};
+///
+/// // Figure 2-1: the 5-disk left-symmetric array.
+/// let l = Raid5Layout::new(5)?;
+/// assert_eq!(l.role_at(0, 0), UnitRole::Data { stripe: 0, index: 0 });
+/// assert_eq!(l.role_at(4, 1), UnitRole::Data { stripe: 1, index: 0 });
+/// assert_eq!(l.role_at(3, 1), UnitRole::Parity { stripe: 1 });
+/// # Ok::<(), decluster_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Raid5Layout {
+    disks: u16,
+}
+
+impl Raid5Layout {
+    /// Creates a left-symmetric layout over `disks` disks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadParameters`] for fewer than 2 disks (RAID 5
+    /// needs at least one data and one parity unit per stripe).
+    pub fn new(disks: u16) -> Result<Raid5Layout, Error> {
+        if disks < 2 {
+            return Err(Error::BadParameters {
+                reason: format!("RAID 5 needs at least 2 disks, got {disks}"),
+            });
+        }
+        Ok(Raid5Layout { disks })
+    }
+}
+
+impl ParityLayout for Raid5Layout {
+    fn disks(&self) -> u16 {
+        self.disks
+    }
+
+    fn stripe_width(&self) -> u16 {
+        self.disks
+    }
+
+    fn table_height(&self) -> u64 {
+        self.disks as u64
+    }
+
+    fn stripes_per_table(&self) -> u64 {
+        self.disks as u64
+    }
+
+    fn role_in_table(&self, disk: u16, offset: u64) -> UnitRole {
+        let c = self.disks as u64;
+        assert!(disk < self.disks, "disk {disk} out of range 0..{}", self.disks);
+        assert!(offset < c, "offset {offset} outside table 0..{c}");
+        let stripe = offset;
+        let index = (disk as u64 + stripe) % c;
+        if index == c - 1 {
+            UnitRole::Parity { stripe }
+        } else {
+            UnitRole::Data {
+                stripe,
+                index: index as u16,
+            }
+        }
+    }
+
+    fn data_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr {
+        let c = self.disks as u64;
+        assert!(stripe < c, "stripe {stripe} outside table 0..{c}");
+        assert!(
+            index < self.disks - 1,
+            "data index {index} outside 0..{}",
+            self.disks - 1
+        );
+        let disk = (index as u64 + c - stripe % c) % c;
+        UnitAddr::new(disk as u16, stripe)
+    }
+
+    fn parity_unit_in_table(&self, stripe: u64) -> UnitAddr {
+        let c = self.disks as u64;
+        assert!(stripe < c, "stripe {stripe} outside table 0..{c}");
+        UnitAddr::new(((c - 1 - stripe % c) % c) as u16, stripe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The table must reproduce Figure 2-1 exactly.
+    #[test]
+    fn matches_figure_2_1() {
+        let l = Raid5Layout::new(5).unwrap();
+        // Row 0: D0.0 D0.1 D0.2 D0.3 P0
+        // Row 1: D1.1 D1.2 D1.3 P1   D1.0
+        // Row 2: D2.2 D2.3 P2   D2.0 D2.1
+        // Row 3: D3.3 P3   D3.0 D3.1 D3.2
+        // Row 4: P4   D4.0 D4.1 D4.2 D4.3
+        let expected: [[Option<(u64, u16)>; 5]; 5] = [
+            [Some((0, 0)), Some((0, 1)), Some((0, 2)), Some((0, 3)), None],
+            [Some((1, 1)), Some((1, 2)), Some((1, 3)), None, Some((1, 0))],
+            [Some((2, 2)), Some((2, 3)), None, Some((2, 0)), Some((2, 1))],
+            [Some((3, 3)), None, Some((3, 0)), Some((3, 1)), Some((3, 2))],
+            [None, Some((4, 0)), Some((4, 1)), Some((4, 2)), Some((4, 3))],
+        ];
+        for (offset, row) in expected.iter().enumerate() {
+            for (disk, cell) in row.iter().enumerate() {
+                let role = l.role_in_table(disk as u16, offset as u64);
+                match cell {
+                    Some((stripe, index)) => assert_eq!(
+                        role,
+                        UnitRole::Data {
+                            stripe: *stripe,
+                            index: *index
+                        },
+                        "disk {disk} offset {offset}"
+                    ),
+                    None => assert_eq!(
+                        role,
+                        UnitRole::Parity {
+                            stripe: offset as u64
+                        },
+                        "disk {disk} offset {offset}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn role_and_location_are_inverse() {
+        let l = Raid5Layout::new(7).unwrap();
+        for disk in 0..7u16 {
+            for offset in 0..7u64 {
+                match l.role_in_table(disk, offset) {
+                    UnitRole::Data { stripe, index } => {
+                        assert_eq!(l.data_unit_in_table(stripe, index), UnitAddr::new(disk, offset));
+                    }
+                    UnitRole::Parity { stripe } => {
+                        assert_eq!(l.parity_unit_in_table(stripe), UnitAddr::new(disk, offset));
+                    }
+                    UnitRole::Unmapped => panic!("RAID 5 has no holes"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_roles_extend_periodically() {
+        let l = Raid5Layout::new(5).unwrap();
+        assert_eq!(l.role_at(0, 10), UnitRole::Data { stripe: 10, index: 0 });
+        assert_eq!(l.parity_location(7), UnitAddr::new(2, 7));
+    }
+
+    #[test]
+    fn alpha_is_one() {
+        let l = Raid5Layout::new(21).unwrap();
+        assert_eq!(l.alpha(), 1.0);
+        assert!((l.parity_overhead() - 1.0 / 21.0).abs() < 1e-12);
+        assert_eq!(l.data_units_per_stripe(), 20);
+    }
+
+    #[test]
+    fn sequential_data_lands_on_distinct_disks() {
+        // The maximal-parallelism criterion: C consecutive logical data
+        // units (sequential through parity stripes) touch C distinct disks.
+        let l = Raid5Layout::new(5).unwrap();
+        let mut disks = std::collections::HashSet::new();
+        for logical in 0..5u64 {
+            let stripe = logical / 4;
+            let index = (logical % 4) as u16;
+            disks.insert(l.data_location(stripe, index).disk);
+        }
+        assert_eq!(disks.len(), 5);
+    }
+
+    #[test]
+    fn rejects_single_disk() {
+        assert!(Raid5Layout::new(1).is_err());
+        assert!(Raid5Layout::new(0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_disk_panics() {
+        Raid5Layout::new(5).unwrap().role_in_table(5, 0);
+    }
+}

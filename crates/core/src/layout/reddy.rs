@@ -1,0 +1,248 @@
+//! Reddy & Banerjee's two-group layout (FTCS-21, 1991), the related work
+//! the paper contrasts with in Section 3.
+//!
+//! Their organization uses a block design with `b` tuples on `C` objects
+//! to split each array row into exactly two parity groups: row `j`'s first
+//! group holds the disks in tuple `j mod b`, the second holds the
+//! complement. It produces layouts with properties similar to parity
+//! declustering but is restricted to `G = C/2` (α ≈ 0.5).
+//!
+//! Implemented here as an extension so the restriction — and the layouts'
+//! criteria compliance — can be examined side by side with the paper's
+//! block-design layouts.
+
+use super::{ParityLayout, UnitAddr, UnitRole};
+use crate::design::BlockDesign;
+use crate::error::Error;
+
+/// Reddy's two-group layout: each row of the array is split into a
+/// tuple-membership group and its complement, each forming one parity
+/// stripe of width `C/2`.
+///
+/// One table is `b·(C/2)` rows: row `j` takes its membership from tuple
+/// `j mod b` and places each group's parity on the group member of rank
+/// `(j / b) mod (C/2)`, so that every (membership, parity-position)
+/// combination occurs exactly once and parity is perfectly balanced.
+///
+/// # Examples
+///
+/// ```
+/// use decluster_core::design::BlockDesign;
+/// use decluster_core::layout::{ParityLayout, ReddyLayout};
+///
+/// // 8 disks, stripes of 4: Reddy's G = C/2 restriction.
+/// let l = ReddyLayout::new(BlockDesign::complete(8, 4)?)?;
+/// assert_eq!(l.stripe_width(), 4);
+/// assert_eq!(l.alpha(), 3.0 / 7.0);
+/// # Ok::<(), decluster_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReddyLayout {
+    disks: u16,
+    group: u16,
+    /// For each base row (tuple), the member disks ascending then the
+    /// complement disks ascending, `C` entries total.
+    rows: Vec<u16>,
+    base_rows: u64,
+}
+
+impl ReddyLayout {
+    /// Builds the layout from a design with `k = v/2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadParameters`] unless `v` is even and `k = v/2`
+    /// (Reddy's construction is only defined there).
+    pub fn new(design: BlockDesign) -> Result<ReddyLayout, Error> {
+        let p = design.params();
+        if !p.v.is_multiple_of(2) || p.k != p.v / 2 {
+            return Err(Error::BadParameters {
+                reason: format!(
+                    "Reddy layout requires k = v/2 with even v, got v={}, k={}",
+                    p.v, p.k
+                ),
+            });
+        }
+        let c = p.v;
+        let mut rows = Vec::with_capacity(p.b as usize * c as usize);
+        for tuple in design.tuples() {
+            let mut members: Vec<u16> = tuple.to_vec();
+            members.sort_unstable();
+            let mut in_tuple = vec![false; c as usize];
+            for &d in &members {
+                in_tuple[d as usize] = true;
+            }
+            rows.extend_from_slice(&members);
+            rows.extend((0..c).filter(|&d| !in_tuple[d as usize]));
+        }
+        Ok(ReddyLayout {
+            disks: c,
+            group: p.k,
+            rows,
+            base_rows: p.b,
+        })
+    }
+
+    /// The disks of `group` (0 = tuple members, 1 = complement) in base row
+    /// `base`, ascending.
+    fn group_disks(&self, base: u64, group: u16) -> &[u16] {
+        let c = self.disks as usize;
+        let g = self.group as usize;
+        let row = &self.rows[base as usize * c..(base as usize + 1) * c];
+        match group {
+            0 => &row[..g],
+            _ => &row[g..],
+        }
+    }
+}
+
+impl ParityLayout for ReddyLayout {
+    fn disks(&self) -> u16 {
+        self.disks
+    }
+
+    fn stripe_width(&self) -> u16 {
+        self.group
+    }
+
+    fn table_height(&self) -> u64 {
+        self.base_rows * self.group as u64
+    }
+
+    fn stripes_per_table(&self) -> u64 {
+        2 * self.table_height()
+    }
+
+    fn role_in_table(&self, disk: u16, offset: u64) -> UnitRole {
+        assert!(disk < self.disks, "disk {disk} out of range");
+        assert!(offset < self.table_height(), "offset {offset} outside table");
+        let base = offset % self.base_rows;
+        let parity_pos = ((offset / self.base_rows) % self.group as u64) as u16;
+        for group in 0..2u16 {
+            let disks = self.group_disks(base, group);
+            if let Some(rank) = disks.iter().position(|&d| d == disk) {
+                let stripe = 2 * offset + group as u64;
+                return if rank as u16 == parity_pos {
+                    UnitRole::Parity { stripe }
+                } else {
+                    let index = if (rank as u16) < parity_pos {
+                        rank as u16
+                    } else {
+                        rank as u16 - 1
+                    };
+                    UnitRole::Data { stripe, index }
+                };
+            }
+        }
+        unreachable!("disk {disk} in neither group of row {offset}");
+    }
+
+    fn data_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr {
+        assert!(stripe < self.stripes_per_table(), "stripe {stripe} outside table");
+        assert!(index < self.group - 1, "data index {index} outside stripe");
+        let offset = stripe / 2;
+        let group = (stripe % 2) as u16;
+        let base = offset % self.base_rows;
+        let parity_pos = ((offset / self.base_rows) % self.group as u64) as u16;
+        let rank = if index < parity_pos { index } else { index + 1 };
+        UnitAddr::new(self.group_disks(base, group)[rank as usize], offset)
+    }
+
+    fn parity_unit_in_table(&self, stripe: u64) -> UnitAddr {
+        assert!(stripe < self.stripes_per_table(), "stripe {stripe} outside table");
+        let offset = stripe / 2;
+        let group = (stripe % 2) as u16;
+        let base = offset % self.base_rows;
+        let parity_pos = ((offset / self.base_rows) % self.group as u64) as u16;
+        UnitAddr::new(self.group_disks(base, group)[parity_pos as usize], offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::criteria;
+
+    fn small() -> ReddyLayout {
+        ReddyLayout::new(BlockDesign::complete(8, 4).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let l = small();
+        // C(8,4) = 70 base rows, 4 parity rotations.
+        assert_eq!(l.table_height(), 280);
+        assert_eq!(l.stripes_per_table(), 560);
+        assert_eq!(l.disks(), 8);
+        assert_eq!(l.stripe_width(), 4);
+    }
+
+    #[test]
+    fn meets_criteria_1_to_3() {
+        let l = small();
+        let report = criteria::check(&l);
+        assert!(report.all_hold(), "{report:?}");
+    }
+
+    #[test]
+    fn role_and_location_are_inverse() {
+        let l = small();
+        for disk in 0..8u16 {
+            for offset in 0..l.table_height() {
+                match l.role_in_table(disk, offset) {
+                    UnitRole::Data { stripe, index } => assert_eq!(
+                        l.data_unit_in_table(stripe, index),
+                        UnitAddr::new(disk, offset)
+                    ),
+                    UnitRole::Parity { stripe } => assert_eq!(
+                        l.parity_unit_in_table(stripe),
+                        UnitAddr::new(disk, offset)
+                    ),
+                    UnitRole::Unmapped => panic!("no holes"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_row_covers_all_disks_in_two_stripes() {
+        let l = small();
+        for offset in [0u64, 17, 279] {
+            let mut seen = [false; 8];
+            for stripe in [2 * offset, 2 * offset + 1] {
+                for u in (0..3).map(|i| l.data_unit_in_table(stripe, i)) {
+                    assert_eq!(u.offset, offset);
+                    seen[u.disk as usize] = true;
+                }
+                let p = l.parity_unit_in_table(stripe);
+                assert_eq!(p.offset, offset);
+                seen[p.disk as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "row {offset} misses a disk");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_shape() {
+        assert!(ReddyLayout::new(BlockDesign::complete(8, 3).unwrap()).is_err());
+        assert!(ReddyLayout::new(BlockDesign::complete(7, 3).unwrap()).is_err());
+    }
+
+    #[test]
+    fn alpha_is_near_half() {
+        let l = small();
+        assert!((l.alpha() - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn works_with_residual_paley_22() {
+        // The residual of Paley(43) gives a (22, 11, 10) design: a
+        // 22-disk Reddy layout with G = 11.
+        use crate::design::construct;
+        let sym = construct::paley(43).unwrap();
+        let res = construct::residual(&sym, 0).unwrap();
+        let l = ReddyLayout::new(res).unwrap();
+        let report = criteria::check(&l);
+        assert!(report.all_hold(), "{report:?}");
+    }
+}

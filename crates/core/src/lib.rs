@@ -1,0 +1,51 @@
+//! Parity declustering layouts from block designs.
+//!
+//! This crate is the primary contribution of the `decluster` reproduction of
+//! Holland & Gibson, *Parity Declustering for Continuous Operation in
+//! Redundant Disk Arrays* (ASPLOS 1992): a software implementation of
+//! parity-stripe placement in a redundant disk array such that a parity
+//! stripe of `G` units (one of them parity) is distributed over `C ≥ G`
+//! disks with
+//!
+//! * **single-failure correctness** — no stripe puts two units on one disk,
+//! * **distributed reconstruction** — every surviving disk contributes the
+//!   same number of units to rebuilding any failed disk,
+//! * **distributed parity** — every disk holds the same fraction of parity.
+//!
+//! The declustering ratio `α = (G−1)/(C−1)` is the fraction of each
+//! surviving disk read during reconstruction; `α = 1` is ordinary RAID 5.
+//!
+//! The placement is driven by a *block design* — an arrangement of `v = C`
+//! objects into tuples of `k = G` such that every object appears in `r`
+//! tuples and every pair in `λ` tuples ([`design::BlockDesign`]). One block
+//! design table maps `b` parity stripes; `G` copies with parity rotated
+//! through the tuple positions form the *full block design table* that also
+//! balances parity ([`layout::DeclusteredLayout`]).
+//!
+//! # Examples
+//!
+//! Build the paper's running example — parity stripes of 4 units over a
+//! 5-disk array (Figures 2-3 and 4-2):
+//!
+//! ```
+//! use decluster_core::design::BlockDesign;
+//! use decluster_core::layout::{DeclusteredLayout, ParityLayout};
+//!
+//! let design = BlockDesign::complete(5, 4)?;
+//! let layout = DeclusteredLayout::new(design)?;
+//! assert_eq!(layout.disks(), 5);
+//! assert_eq!(layout.stripe_width(), 4);
+//! assert_eq!(layout.alpha(), 0.75);
+//! # Ok::<(), decluster_core::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod design;
+pub mod error;
+pub mod layout;
+pub mod recon;
+
+pub use error::Error;
+pub use layout::{ParityLayout, UnitAddr, UnitRole};
+pub use recon::ReconAlgorithm;

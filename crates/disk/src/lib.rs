@@ -1,0 +1,38 @@
+//! Disk model for the `decluster` array simulator.
+//!
+//! Models a magnetic disk at the fidelity the Holland & Gibson paper
+//! requires: real seeks (a three-parameter curve fit to min/avg/max seek
+//! specs), real rotational positioning (the platter spins continuously and
+//! a transfer must wait for its target sector to come around), track skew,
+//! and a CVSCAN head scheduler. The concrete drive simulated in the paper —
+//! the IBM 0661 Model 370 "Lightning" — is provided as a preset.
+//!
+//! The paper's central critique of the earlier Muntz & Lui analysis is that
+//! disks are not "work-preserving": service time depends on head position,
+//! so off-loading work to a disk doing sequential writes can *slow it down*
+//! out of proportion to the work added. Everything in this crate exists to
+//! capture that effect.
+//!
+//! # Examples
+//!
+//! ```
+//! use decluster_disk::{Disk, DiskRequest, Geometry, IoKind};
+//! use decluster_sim::SimTime;
+//!
+//! let mut disk = Disk::new(Geometry::ibm0661(), 0);
+//! let req = DiskRequest::new(1, 0, 8, IoKind::Read); // 4 KB at sector 0
+//! let completion = disk.submit(SimTime::ZERO, req).expect("disk was idle");
+//! assert!(completion.at > SimTime::ZERO);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod geometry;
+pub mod model;
+pub mod sched;
+pub mod seek;
+
+pub use geometry::Geometry;
+pub use model::{Completion, Disk, DiskRequest, DiskStats, IoKind, Priority};
+pub use sched::SchedPolicy;
+pub use seek::SeekModel;

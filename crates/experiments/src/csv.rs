@@ -1,0 +1,189 @@
+//! CSV emission for experiment results, for plotting outside the
+//! terminal.
+//!
+//! Hand-rolled (the values are all numbers and fixed enum names, so no
+//! quoting or escaping is ever needed) to keep the workspace free of a
+//! CSV dependency.
+
+use crate::access_size::AccessSizePoint;
+use crate::fig4::Fig4Point;
+use crate::fig6::Fig6Point;
+use crate::fig8::Fig8Point;
+use crate::fig86::Fig86Point;
+use std::fmt::Write as _;
+
+fn opt(x: Option<f64>) -> String {
+    x.map(|v| format!("{v:.3}")).unwrap_or_default()
+}
+
+/// Figure 6 points as CSV.
+pub fn fig6_csv(points: &[Fig6Point]) -> String {
+    let mut out = String::from(
+        "alpha,group,rate,read_fraction,fault_free_ms,degraded_ms,fault_free_p90_ms,degraded_p90_ms\n",
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:.3},{},{:.0},{:.2},{:.3},{:.3},{:.3},{:.3}",
+            p.alpha,
+            p.group,
+            p.rate,
+            p.read_fraction,
+            p.fault_free_ms,
+            p.degraded_ms,
+            p.fault_free_p90_ms,
+            p.degraded_p90_ms
+        );
+    }
+    out
+}
+
+/// Figure 8 points as CSV.
+pub fn fig8_csv(points: &[Fig8Point]) -> String {
+    let mut out = String::from(
+        "alpha,group,rate,algorithm,processes,recon_secs,user_ms,user_p90_ms,units_by_users,last_read_ms,last_write_ms\n",
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:.3},{},{:.0},{},{},{},{:.3},{:.3},{},{:.3},{:.3}",
+            p.alpha,
+            p.group,
+            p.rate,
+            p.algorithm.name(),
+            p.processes,
+            opt(p.recon_secs),
+            p.user_ms,
+            p.user_p90_ms,
+            p.units_by_users,
+            p.last_read_ms,
+            p.last_write_ms
+        );
+    }
+    out
+}
+
+/// Figure 8-6 points as CSV.
+pub fn fig86_csv(points: &[Fig86Point]) -> String {
+    let mut out = String::from("alpha,group,rate,algorithm,model_secs,simulated_secs\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:.3},{},{:.0},{},{},{}",
+            p.alpha,
+            p.group,
+            p.rate,
+            p.algorithm.name(),
+            opt(p.model_secs),
+            opt(p.simulated_secs)
+        );
+    }
+    out
+}
+
+/// Figure 4-3 points as CSV.
+pub fn fig4_csv(points: &[Fig4Point]) -> String {
+    let mut out = String::from("v,k,b,lambda,alpha\n");
+    for p in points {
+        let _ = writeln!(out, "{},{},{},{},{:.4}", p.v, p.k, p.b, p.lambda, p.alpha);
+    }
+    out
+}
+
+/// Access-size extension points as CSV.
+pub fn access_size_csv(points: &[AccessSizePoint]) -> String {
+    let mut out =
+        String::from("group,access_units,read_fraction,response_ms,utilization,requests\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{},{:.2},{:.3},{:.4},{}",
+            p.group,
+            p.access_units,
+            p.read_fraction,
+            p.response_ms,
+            p.utilization,
+            p.requests_measured
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decluster_core::recon::ReconAlgorithm;
+
+    #[test]
+    fn fig6_csv_shape() {
+        let points = vec![Fig6Point {
+            group: 4,
+            alpha: 0.15,
+            rate: 105.0,
+            read_fraction: 1.0,
+            fault_free_ms: 22.5,
+            degraded_ms: 23.75,
+            fault_free_p90_ms: 33.0,
+            degraded_p90_ms: 34.5,
+        }];
+        let csv = fig6_csv(&points);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap().split(',').count(), 8);
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("0.150,4,105,1.00,22.500,23.750"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn fig8_csv_handles_missing_recon_time() {
+        let p = Fig8Point {
+            group: 21,
+            alpha: 1.0,
+            rate: 210.0,
+            algorithm: ReconAlgorithm::Baseline,
+            processes: 1,
+            recon_secs: None,
+            user_ms: 90.0,
+            user_p90_ms: 150.0,
+            units_by_users: 0,
+            last_read_ms: 100.0,
+            last_write_ms: 20.0,
+            last_read_std_ms: 5.0,
+            last_write_std_ms: 1.0,
+        };
+        let csv = fig8_csv(&[p]);
+        let row = csv.lines().nth(1).unwrap();
+        // The empty recon_secs field leaves adjacent commas.
+        assert!(row.contains(",baseline,1,,90.000"), "{row}");
+    }
+
+    #[test]
+    fn fig4_and_fig86_and_access_size_emit_rows() {
+        let f4 = fig4_csv(&[Fig4Point {
+            v: 7,
+            k: 3,
+            b: 7,
+            lambda: 1,
+            alpha: 1.0 / 3.0,
+        }]);
+        assert!(f4.contains("7,3,7,1,0.3333"));
+        let f86 = fig86_csv(&[Fig86Point {
+            group: 4,
+            alpha: 0.15,
+            rate: 105.0,
+            algorithm: ReconAlgorithm::Redirect,
+            model_secs: Some(1700.0),
+            simulated_secs: Some(500.0),
+        }]);
+        assert!(f86.contains("redirect,1700.000,500.000"));
+        let asz = access_size_csv(&[crate::access_size::AccessSizePoint {
+            group: 4,
+            access_units: 3,
+            read_fraction: 0.5,
+            response_ms: 40.0,
+            utilization: 0.25,
+            requests_measured: 1000,
+        }]);
+        assert!(asz.contains("4,3,0.50,40.000,0.2500,1000"));
+    }
+}

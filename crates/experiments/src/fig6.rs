@@ -1,0 +1,144 @@
+//! Figures 6-1 and 6-2: fault-free and degraded-mode average response time
+//! as a function of the declustering ratio α.
+//!
+//! The paper's setup (Sections 6–7): 21 disks, 4 KB uniform accesses;
+//! Figure 6-1 is 100 % reads at 105/210/378 accesses/s, Figure 6-2 is
+//! 100 % writes at 105/210 accesses/s (378 writes/s would saturate the
+//! four-access RMW). For each α both the fault-free array and an array
+//! with one failed, unreplaced disk are measured.
+
+use crate::{alpha_sweep, paper_layout, ExperimentScale};
+use decluster_array::ArraySim;
+use decluster_sim::SimTime;
+use decluster_workload::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// One point of Figure 6-1/6-2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Point {
+    /// Parity stripe width `G`.
+    pub group: u16,
+    /// Declustering ratio α.
+    pub alpha: f64,
+    /// User access rate (accesses/s).
+    pub rate: f64,
+    /// Read fraction of the workload (1.0 for Fig 6-1, 0.0 for Fig 6-2).
+    pub read_fraction: f64,
+    /// Fault-free mean response time, ms.
+    pub fault_free_ms: f64,
+    /// Degraded-mode (one failed, unreplaced disk) mean response time, ms.
+    pub degraded_ms: f64,
+    /// Fault-free 90th-percentile response time, ms.
+    pub fault_free_p90_ms: f64,
+    /// Degraded 90th-percentile response time, ms.
+    pub degraded_p90_ms: f64,
+}
+
+/// Runs one (G, rate, mix) point: a fault-free run and a degraded run.
+pub fn run_point(scale: &ExperimentScale, g: u16, rate: f64, read_fraction: f64) -> Fig6Point {
+    let spec = WorkloadSpec::new(rate, read_fraction);
+    let duration = SimTime::from_secs(scale.duration_secs);
+    let warmup = SimTime::from_secs(scale.warmup_secs);
+
+    let fault_free = ArraySim::new(paper_layout(g), scale.array_config(), spec, 1)
+        .expect("paper layouts map paper disks")
+        .run_for(duration, warmup);
+
+    let mut degraded_sim = ArraySim::new(paper_layout(g), scale.array_config(), spec, 1)
+        .expect("paper layouts map paper disks");
+    degraded_sim.fail_disk(0);
+    let degraded = degraded_sim.run_for(duration, warmup);
+
+    Fig6Point {
+        group: g,
+        alpha: (g - 1) as f64 / 20.0,
+        rate,
+        read_fraction,
+        fault_free_ms: fault_free.all.mean_ms(),
+        degraded_ms: degraded.all.mean_ms(),
+        fault_free_p90_ms: fault_free.all.percentile_ms(0.9),
+        degraded_p90_ms: degraded.all.percentile_ms(0.9),
+    }
+}
+
+/// Figure 6-1: 100 % reads over the α sweep at each rate.
+pub fn figure_6_1(scale: &ExperimentScale, rates: &[f64]) -> Vec<Fig6Point> {
+    sweep(scale, rates, 1.0)
+}
+
+/// Figure 6-2: 100 % writes over the α sweep at each rate.
+pub fn figure_6_2(scale: &ExperimentScale, rates: &[f64]) -> Vec<Fig6Point> {
+    sweep(scale, rates, 0.0)
+}
+
+fn sweep(scale: &ExperimentScale, rates: &[f64], read_fraction: f64) -> Vec<Fig6Point> {
+    let mut points = Vec::new();
+    for &rate in rates {
+        for (g, _) in alpha_sweep() {
+            points.push(run_point(scale, g, rate, read_fraction));
+        }
+    }
+    points
+}
+
+/// The paper's rates for Figure 6-1.
+pub const READ_RATES: [f64; 3] = [105.0, 210.0, 378.0];
+/// The paper's rates for Figure 6-2 (378 writes/s is unsustainable).
+pub const WRITE_RATES: [f64; 2] = [105.0, 210.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degraded_reads_degrade_more_at_high_alpha() {
+        // The headline of Figure 6-1: degraded-mode response suffers less
+        // at low α. Compare G=4 (α=0.15) against RAID 5 (α=1.0).
+        let scale = ExperimentScale::tiny();
+        let low = run_point(&scale, 4, 105.0, 1.0);
+        let high = run_point(&scale, 21, 105.0, 1.0);
+        let low_penalty = low.degraded_ms / low.fault_free_ms;
+        let high_penalty = high.degraded_ms / high.fault_free_ms;
+        assert!(
+            low_penalty < high_penalty,
+            "α=0.15 penalty {low_penalty:.2} should beat α=1.0 penalty {high_penalty:.2}"
+        );
+    }
+
+    #[test]
+    fn fault_free_reads_insensitive_to_alpha() {
+        // Fault-free performance is essentially independent of declustering
+        // (Figure 6-1): reads are a single access wherever the data lives.
+        let scale = ExperimentScale::tiny();
+        let a = run_point(&scale, 4, 105.0, 1.0);
+        let b = run_point(&scale, 21, 105.0, 1.0);
+        let ratio = a.fault_free_ms / b.fault_free_ms;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "fault-free read response varies with alpha: {ratio}"
+        );
+    }
+
+    #[test]
+    fn degraded_writes_can_beat_fault_free_at_low_alpha() {
+        // Section 7's surprise: lost-parity writes cost one access instead
+        // of four, so degraded writes at low α can be *faster* on average.
+        let scale = ExperimentScale::tiny();
+        let p = run_point(&scale, 4, 105.0, 0.0);
+        assert!(
+            p.degraded_ms < p.fault_free_ms * 1.15,
+            "degraded writes {} should be near or below fault-free {}",
+            p.degraded_ms,
+            p.fault_free_ms
+        );
+    }
+
+    #[test]
+    fn sweep_produces_every_point() {
+        let scale = ExperimentScale::tiny();
+        let points = figure_6_1(&scale, &[105.0]);
+        assert_eq!(points.len(), 7);
+        assert!(points.iter().all(|p| p.fault_free_ms > 0.0));
+        assert!(points.iter().all(|p| p.read_fraction == 1.0));
+    }
+}

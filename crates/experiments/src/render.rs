@@ -1,0 +1,314 @@
+//! Plain-text rendering of experiment results, in the shape the paper
+//! reports them (one row per α, one series per rate/algorithm).
+
+use crate::fig4::Fig4Point;
+use crate::fig6::Fig6Point;
+use crate::fig8::Fig8Point;
+use crate::fig86::Fig86Point;
+use std::fmt::Write as _;
+
+fn secs(x: Option<f64>) -> String {
+    match x {
+        Some(s) => format!("{s:9.1}"),
+        None => format!("{:>9}", "-"),
+    }
+}
+
+/// Renders Figure 6-1/6-2 points: response time vs α, one block per rate.
+pub fn fig6_table(title: &str, points: &[Fig6Point]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let mut rates: Vec<f64> = points.iter().map(|p| p.rate).collect();
+    rates.sort_by(f64::total_cmp);
+    rates.dedup();
+    for rate in rates {
+        let _ = writeln!(out, "-- rate {rate:.0} accesses/s --");
+        let _ = writeln!(
+            out,
+            "{:>6} {:>5} {:>14} {:>13} {:>14} {:>13}",
+            "alpha", "G", "fault-free ms", "degraded ms", "ff p90 ms", "deg p90 ms"
+        );
+        for p in points.iter().filter(|p| p.rate == rate) {
+            let _ = writeln!(
+                out,
+                "{:>6.2} {:>5} {:>14.1} {:>13.1} {:>14.1} {:>13.1}",
+                p.alpha, p.group, p.fault_free_ms, p.degraded_ms, p.fault_free_p90_ms,
+                p.degraded_p90_ms
+            );
+        }
+    }
+    out
+}
+
+/// Renders Figure 8-1/8-3 points: reconstruction time vs α, one block per
+/// rate, one column per algorithm.
+pub fn fig8_recon_table(title: &str, points: &[Fig8Point]) -> String {
+    fig8_table(title, points, "reconstruction time (s)", |p| {
+        secs(p.recon_secs)
+    })
+}
+
+/// Renders Figure 8-2/8-4 points: mean user response time during
+/// reconstruction.
+pub fn fig8_response_table(title: &str, points: &[Fig8Point]) -> String {
+    fig8_table(title, points, "user response time (ms)", |p| {
+        format!("{:9.1}", p.user_ms)
+    })
+}
+
+fn fig8_table(
+    title: &str,
+    points: &[Fig8Point],
+    metric: &str,
+    cell: impl Fn(&Fig8Point) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} — {metric} ==");
+    let mut rates: Vec<f64> = points.iter().map(|p| p.rate).collect();
+    rates.sort_by(f64::total_cmp);
+    rates.dedup();
+    let algorithms = decluster_core::recon::ReconAlgorithm::ALL;
+    for rate in rates {
+        let _ = writeln!(out, "-- rate {rate:.0} accesses/s --");
+        let _ = write!(out, "{:>6} {:>5}", "alpha", "G");
+        for a in algorithms {
+            let _ = write!(out, " {:>18}", a.name());
+        }
+        let _ = writeln!(out);
+        let mut groups: Vec<u16> = points
+            .iter()
+            .filter(|p| p.rate == rate)
+            .map(|p| p.group)
+            .collect();
+        groups.sort_unstable();
+        groups.dedup();
+        for g in groups {
+            let _ = write!(out, "{:>6.2} {:>5}", (g - 1) as f64 / 20.0, g);
+            for a in algorithms {
+                match points
+                    .iter()
+                    .find(|p| p.rate == rate && p.group == g && p.algorithm == a)
+                {
+                    Some(p) => {
+                        let _ = write!(out, " {:>18}", cell(p));
+                    }
+                    None => {
+                        let _ = write!(out, " {:>18}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// Renders Table 8-1: `read(std) + write(std) = cycle` per algorithm and α.
+pub fn table_8_1(title: &str, rows: &[Fig8Point]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let mut groups: Vec<u16> = rows.iter().map(|p| p.group).collect();
+    groups.sort_unstable();
+    groups.dedup();
+    let _ = write!(out, "{:<20}", "algorithm");
+    for g in &groups {
+        let _ = write!(out, " {:>26}", format!("alpha = {:.2}", (*g - 1) as f64 / 20.0));
+    }
+    let _ = writeln!(out);
+    for a in decluster_core::recon::ReconAlgorithm::ALL {
+        let _ = write!(out, "{:<20}", a.name());
+        for &g in &groups {
+            match rows.iter().find(|p| p.group == g && p.algorithm == a) {
+                Some(p) => {
+                    let cycle = p.last_read_ms + p.last_write_ms;
+                    let _ = write!(
+                        out,
+                        " {:>26}",
+                        format!(
+                            "{:.0}({:.0})+{:.0}({:.0})={:.0}",
+                            p.last_read_ms,
+                            p.last_read_std_ms,
+                            p.last_write_ms,
+                            p.last_write_std_ms,
+                            cycle
+                        )
+                    );
+                }
+                None => {
+                    let _ = write!(out, " {:>26}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders Figure 8-6: model vs simulation per α.
+pub fn fig86_table(title: &str, points: &[Fig86Point]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>5} {:>12} {:>12} {:>8}",
+        "alpha", "G", "model (s)", "sim (s)", "ratio"
+    );
+    for p in points {
+        let ratio = match (p.model_secs, p.simulated_secs) {
+            (Some(m), Some(s)) if s > 0.0 => format!("{:8.1}", m / s),
+            _ => format!("{:>8}", "-"),
+        };
+        let _ = writeln!(
+            out,
+            "{:>6.2} {:>5} {:>12} {:>12} {}",
+            p.alpha,
+            p.group,
+            secs(p.model_secs).trim_start(),
+            secs(p.simulated_secs).trim_start(),
+            ratio
+        );
+    }
+    out
+}
+
+/// Renders the Figure 4-3 scatter as a `v × k` character grid.
+pub fn fig4_scatter(points: &[Fig4Point], max_v: u16) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Figure 4-3: known block designs (x = design exists) ==");
+    let _ = writeln!(out, "rows: tuple size k (stripe width); columns: objects v (disks)");
+    let max_k = points.iter().map(|p| p.k).max().unwrap_or(2);
+    let _ = write!(out, "{:>4} |", "k\\v");
+    for v in 3..=max_v {
+        let _ = write!(out, "{:>3}", v);
+    }
+    let _ = writeln!(out);
+    let width = 5 + 3 * (max_v as usize - 2);
+    let _ = writeln!(out, "{}", "-".repeat(width));
+    for k in (2..=max_k).rev() {
+        let _ = write!(out, "{k:>4} |");
+        for v in 3..=max_v {
+            let mark = if points.iter().any(|p| p.v == v && p.k == k) {
+                "x"
+            } else {
+                "."
+            };
+            let _ = write!(out, "{mark:>3}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decluster_core::recon::ReconAlgorithm;
+
+    fn fig8_point(g: u16, rate: f64, alg: ReconAlgorithm) -> Fig8Point {
+        Fig8Point {
+            group: g,
+            alpha: (g - 1) as f64 / 20.0,
+            rate,
+            algorithm: alg,
+            processes: 1,
+            recon_secs: Some(123.4),
+            user_ms: 56.7,
+            user_p90_ms: 100.0,
+            units_by_users: 0,
+            last_read_ms: 88.0,
+            last_write_ms: 15.0,
+            last_read_std_ms: 2.0,
+            last_write_std_ms: 0.2,
+        }
+    }
+
+    #[test]
+    fn fig6_table_includes_every_rate_block() {
+        let points = vec![
+            Fig6Point {
+                group: 4,
+                alpha: 0.15,
+                rate: 105.0,
+                read_fraction: 1.0,
+                fault_free_ms: 20.0,
+                degraded_ms: 25.0,
+                fault_free_p90_ms: 40.0,
+                degraded_p90_ms: 50.0,
+            },
+            Fig6Point {
+                group: 4,
+                alpha: 0.15,
+                rate: 210.0,
+                read_fraction: 1.0,
+                fault_free_ms: 30.0,
+                degraded_ms: 45.0,
+                fault_free_p90_ms: 60.0,
+                degraded_p90_ms: 90.0,
+            },
+        ];
+        let s = fig6_table("Figure 6-1", &points);
+        assert!(s.contains("rate 105"));
+        assert!(s.contains("rate 210"));
+        assert!(s.contains("0.15"));
+    }
+
+    #[test]
+    fn fig8_tables_have_algorithm_columns() {
+        let points: Vec<Fig8Point> = ReconAlgorithm::ALL
+            .into_iter()
+            .map(|a| fig8_point(4, 105.0, a))
+            .collect();
+        let s = fig8_recon_table("Figure 8-1", &points);
+        for a in ReconAlgorithm::ALL {
+            assert!(s.contains(a.name()), "missing column {a}");
+        }
+        assert!(s.contains("123.4"));
+        let s = fig8_response_table("Figure 8-2", &points);
+        assert!(s.contains("56.7"));
+    }
+
+    #[test]
+    fn table81_format_matches_paper_style() {
+        let rows: Vec<Fig8Point> = [4u16, 10, 21]
+            .into_iter()
+            .flat_map(|g| {
+                ReconAlgorithm::ALL
+                    .into_iter()
+                    .map(move |a| fig8_point(g, 210.0, a))
+            })
+            .collect();
+        let s = table_8_1("Table 8-1 single-thread", &rows);
+        // read(std)+write(std)=cycle
+        assert!(s.contains("88(2)+15(0)=103"), "{s}");
+        assert!(s.contains("alpha = 0.15"));
+        assert!(s.contains("alpha = 1.00"));
+    }
+
+    #[test]
+    fn fig86_table_shows_ratio() {
+        let points = vec![Fig86Point {
+            group: 4,
+            alpha: 0.15,
+            rate: 105.0,
+            algorithm: ReconAlgorithm::Redirect,
+            model_secs: Some(2000.0),
+            simulated_secs: Some(500.0),
+        }];
+        let s = fig86_table("Figure 8-6", &points);
+        assert!(s.contains("4.0"), "{s}");
+    }
+
+    #[test]
+    fn fig4_scatter_marks_points() {
+        let points = vec![Fig4Point {
+            v: 7,
+            k: 3,
+            b: 7,
+            lambda: 1,
+            alpha: 1.0 / 3.0,
+        }];
+        let s = fig4_scatter(&points, 10);
+        assert!(s.contains('x'));
+        assert!(s.lines().count() > 3);
+    }
+}

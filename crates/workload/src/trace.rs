@@ -1,0 +1,232 @@
+//! Request-trace record and replay.
+//!
+//! The paper evaluates on a synthetic stream; real deployments replay
+//! captured traces. This module gives the workload layer a stable,
+//! dependency-free text format (one request per line:
+//! `arrival_us kind logical_unit units`) so request streams can be
+//! captured from one simulation, stored with an experiment, and replayed
+//! bit-exactly into another.
+
+use crate::{AccessKind, UserRequest};
+use decluster_sim::SimTime;
+use std::fmt;
+use std::str::FromStr;
+
+/// A recorded request stream.
+///
+/// # Examples
+///
+/// ```
+/// use decluster_workload::trace::Trace;
+/// use decluster_workload::{Workload, WorkloadSpec};
+/// use decluster_sim::SimTime;
+///
+/// let mut gen = Workload::new(WorkloadSpec::half_and_half(50.0), 100, 7);
+/// let trace = Trace::record(&mut gen, SimTime::from_secs(2));
+/// let text = trace.to_string();
+/// let back: Trace = text.parse()?;
+/// assert_eq!(trace, back);
+/// # Ok::<(), decluster_workload::trace::ParseTraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    requests: Vec<UserRequest>,
+}
+
+impl Trace {
+    /// Wraps an explicit request list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals are not nondecreasing (a trace must be
+    /// replayable in order).
+    pub fn new(requests: Vec<UserRequest>) -> Trace {
+        for pair in requests.windows(2) {
+            assert!(
+                pair[0].arrival <= pair[1].arrival,
+                "trace arrivals must be nondecreasing"
+            );
+        }
+        Trace { requests }
+    }
+
+    /// Records every request a generator produces before `end`.
+    pub fn record(workload: &mut crate::Workload, end: SimTime) -> Trace {
+        Trace {
+            requests: workload.requests_until(end),
+        }
+    }
+
+    /// The recorded requests, in arrival order.
+    pub fn requests(&self) -> &[UserRequest] {
+        &self.requests
+    }
+
+    /// Number of recorded requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Iterates over the requests.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &UserRequest> + '_ {
+        self.requests.iter()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.requests {
+            let kind = match r.kind {
+                AccessKind::Read => 'R',
+                AccessKind::Write => 'W',
+            };
+            writeln!(f, "{} {} {} {}", r.arrival.as_us(), kind, r.logical_unit, r.units)?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a trace failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl FromStr for Trace {
+    type Err = ParseTraceError;
+
+    fn from_str(s: &str) -> Result<Trace, ParseTraceError> {
+        let mut requests = Vec::new();
+        let mut last_arrival = SimTime::ZERO;
+        for (i, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |reason: String| ParseTraceError {
+                line: i + 1,
+                reason,
+            };
+            let mut fields = line.split_whitespace();
+            let mut next = |name: &str| {
+                fields
+                    .next()
+                    .ok_or_else(|| err(format!("missing field {name}")))
+            };
+            let arrival_us: u64 = next("arrival")?
+                .parse()
+                .map_err(|e| err(format!("bad arrival: {e}")))?;
+            let kind = match next("kind")? {
+                "R" => AccessKind::Read,
+                "W" => AccessKind::Write,
+                other => return Err(err(format!("bad kind {other:?} (want R or W)"))),
+            };
+            let logical_unit: u64 = next("logical_unit")?
+                .parse()
+                .map_err(|e| err(format!("bad logical unit: {e}")))?;
+            let units: u64 = next("units")?
+                .parse()
+                .map_err(|e| err(format!("bad unit count: {e}")))?;
+            if units == 0 {
+                return Err(err("unit count must be positive".into()));
+            }
+            let arrival = SimTime::from_us(arrival_us);
+            if arrival < last_arrival {
+                return Err(err("arrivals must be nondecreasing".into()));
+            }
+            last_arrival = arrival;
+            requests.push(UserRequest {
+                arrival,
+                kind,
+                logical_unit,
+                units,
+            });
+        }
+        Ok(Trace { requests })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Workload, WorkloadSpec};
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let mut gen = Workload::new(
+            WorkloadSpec::new(120.0, 0.3).with_access_units(2),
+            500,
+            11,
+        );
+        let trace = Trace::record(&mut gen, SimTime::from_secs(5));
+        assert!(trace.len() > 400);
+        let parsed: Trace = trace.to_string().parse().unwrap();
+        assert_eq!(trace, parsed);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# a comment\n\n1000 R 5 1\n\n2000 W 9 4\n";
+        let t: Trace = text.parse().unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.requests()[0].kind, AccessKind::Read);
+        assert_eq!(t.requests()[1].units, 4);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad_kind = "100 X 5 1".parse::<Trace>().unwrap_err();
+        assert_eq!(bad_kind.line, 1);
+        assert!(bad_kind.to_string().contains("bad kind"));
+
+        let missing = "100 R 5".parse::<Trace>().unwrap_err();
+        assert!(missing.reason.contains("missing field"));
+
+        let out_of_order = "2000 R 1 1\n1000 R 2 1".parse::<Trace>().unwrap_err();
+        assert_eq!(out_of_order.line, 2);
+        assert!(out_of_order.reason.contains("nondecreasing"));
+
+        let zero = "100 R 1 0".parse::<Trace>().unwrap_err();
+        assert!(zero.reason.contains("positive"));
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn constructor_rejects_unsorted() {
+        let a = UserRequest {
+            arrival: SimTime::from_ms(2),
+            kind: AccessKind::Read,
+            logical_unit: 0,
+            units: 1,
+        };
+        let b = UserRequest {
+            arrival: SimTime::from_ms(1),
+            ..a
+        };
+        Trace::new(vec![a, b]);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t: Trace = "".parse().unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.to_string(), "");
+        assert_eq!(t.iter().len(), 0);
+    }
+}

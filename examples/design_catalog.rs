@@ -1,0 +1,59 @@
+//! Design catalog: the paper's six appendix block designs, verified, plus
+//! the Figure 4-3 scatter of every design the catalog can construct.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example design_catalog
+//! ```
+
+use decluster::core::design::{appendix, catalog};
+use decluster::experiments::{fig4, render};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== The paper's appendix designs (21-disk array) ==\n");
+    println!(
+        "{:>3} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8}",
+        "G", "b", "r", "lambda", "alpha", "overhead", "table"
+    );
+    for g in appendix::PAPER_GROUP_SIZES {
+        let d = appendix::design_for_group_size(g)?;
+        let p = d.params();
+        println!(
+            "{:>3} {:>6} {:>6} {:>6} {:>6.2} {:>7.0}% {:>8}",
+            g,
+            p.b,
+            p.r,
+            p.lambda,
+            p.alpha(),
+            100.0 / g as f64,
+            p.b * g as u64, // full block design table, in stripes
+        );
+    }
+    println!("\n'table' = parity stripes per full block design table (G copies of b tuples).\n");
+
+    println!("== A sample design in full: G = 5 (the projective plane of order 4) ==\n");
+    print!("{}", appendix::design_for_group_size(5)?);
+    println!();
+
+    // The paper's infeasibility example: 41 disks at 20% parity overhead.
+    println!("== The paper's 41-disk example ==\n");
+    match catalog::find(41, 5) {
+        Ok(d) => println!("found: {}", d.params()),
+        Err(e) => {
+            println!("direct lookup fails as the paper predicts: {e}");
+            let (d, g) = catalog::closest_group_size(41, 5)?;
+            println!(
+                "closest feasible design point: G = {g} -> {} (alpha = {:.2})",
+                d.params(),
+                d.params().alpha()
+            );
+        }
+    }
+    println!();
+
+    let points = fig4::figure_4_3(43, 10_000);
+    println!("{}", render::fig4_scatter(&points, 43));
+    println!("{} constructible designs with v <= 43.", points.len());
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! One-off validation at full disk capacity: single-thread baseline
+//! reconstruction at 105 accesses/s for alpha = 0.15 and RAID 5, compared
+//! with the paper's Figure 8-1 (~60 minutes fastest, ~2x gap).
+
+use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm};
+use decluster::experiments::paper_layout;
+use decluster::sim::SimTime;
+use decluster::workload::WorkloadSpec;
+
+fn main() {
+    for g in [4u16, 21] {
+        let mut s = ArraySim::new(
+            paper_layout(g),
+            ArrayConfig::paper(),
+            WorkloadSpec::half_and_half(105.0),
+            1,
+        )
+        .unwrap();
+        s.fail_disk(0);
+        s.start_reconstruction(ReconAlgorithm::Baseline, 1);
+        let r = s.run_until_reconstructed(SimTime::from_secs(100_000));
+        println!(
+            "G={g}: recon {:.0} s ({:.1} min), user {:.1} ms",
+            r.reconstruction_secs().unwrap_or(f64::NAN),
+            r.reconstruction_secs().unwrap_or(f64::NAN) / 60.0,
+            r.user.mean_ms()
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: build the paper's declustered array, run it healthy, break
+//! it, and rebuild it — printing what the paper's abstract promises: lower
+//! user impact during recovery than RAID 5 at the same cluster size.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm};
+use decluster::experiments::paper_layout;
+use decluster::sim::SimTime;
+use decluster::workload::WorkloadSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Shrunken IBM 0661 disks so the whole demo runs in seconds; use
+    // `ArrayConfig::paper()` for full-size disks.
+    let cfg = ArrayConfig::scaled(118);
+    let spec = WorkloadSpec::half_and_half(105.0);
+
+    println!("decluster quickstart: 21 disks, 105 user accesses/s, 50% reads\n");
+
+    for g in [4u16, 21] {
+        let layout = paper_layout(g);
+        println!(
+            "--- G = {g} (alpha = {:.2}, parity overhead {:.0}%) {}",
+            layout.alpha(),
+            layout.parity_overhead() * 100.0,
+            if g == 21 { "= RAID 5" } else { "declustered" },
+        );
+
+        // 1. Fault-free steady state.
+        let healthy = ArraySim::new(layout.clone(), cfg, spec, 1)?
+            .run_for(SimTime::from_secs(40), SimTime::from_secs(4));
+        println!(
+            "    fault-free:  {:6.1} ms mean response ({} requests)",
+            healthy.all.mean_ms(),
+            healthy.requests_measured
+        );
+
+        // 2. Degraded mode: disk 0 dead, no replacement yet.
+        let mut degraded_sim = ArraySim::new(layout.clone(), cfg, spec, 1)?;
+        degraded_sim.fail_disk(0);
+        let degraded =
+            degraded_sim.run_for(SimTime::from_secs(40), SimTime::from_secs(4));
+        println!(
+            "    degraded:    {:6.1} ms mean response",
+            degraded.all.mean_ms()
+        );
+
+        // 3. Reconstruction: replacement installed, 8-way rebuild with
+        //    redirection of reads.
+        let mut rebuild_sim = ArraySim::new(layout, cfg, spec, 1)?;
+        rebuild_sim.fail_disk(0);
+        rebuild_sim.start_reconstruction(ReconAlgorithm::Redirect, 8);
+        let rebuilt = rebuild_sim.run_until_reconstructed(SimTime::from_secs(50_000));
+        println!(
+            "    rebuilding:  {:6.1} ms mean response, reconstructed in {:.0} s",
+            rebuilt.user.mean_ms(),
+            rebuilt.reconstruction_secs().expect("rebuild completes"),
+        );
+        println!();
+    }
+
+    println!("Declustering (G=4) rebuilds faster and hurts users less than RAID 5 (G=21),");
+    println!("at the price of 25% parity overhead instead of ~5%.");
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Rebuild race: the paper's four reconstruction algorithms head-to-head.
+//!
+//! Fails disk 0 of the 21-disk array, installs a replacement, and rebuilds
+//! under each algorithm with one and with eight reconstruction processes,
+//! printing reconstruction time and user response time — the trade-off
+//! space of the paper's Section 8, including its surprise: with parallel
+//! reconstruction and low α, the *simplest* algorithms win.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example rebuild_race [alpha]
+//! ```
+//!
+//! where `alpha` is one of 0.1, 0.15, 0.2, 0.25, 0.45, 0.85, 1.0
+//! (default 0.15).
+
+use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm};
+use decluster::experiments::{alpha_sweep, paper_layout};
+use decluster::sim::SimTime;
+use decluster::workload::WorkloadSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let want_alpha: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0.15);
+    let (g, alpha) = alpha_sweep()
+        .into_iter()
+        .min_by(|a, b| {
+            (a.1 - want_alpha)
+                .abs()
+                .total_cmp(&(b.1 - want_alpha).abs())
+        })
+        .expect("sweep is nonempty");
+
+    let cfg = ArrayConfig::scaled(118);
+    let spec = WorkloadSpec::half_and_half(105.0);
+    println!(
+        "Rebuild race: 21 disks, G = {g} (alpha = {alpha:.2}), 105 accesses/s, 50% reads"
+    );
+    println!("(shrunken disks: absolute times are ~1/8 of full-capacity runs)\n");
+
+    for processes in [1usize, 8] {
+        println!("-- {processes} reconstruction process(es) --");
+        println!(
+            "{:<20} {:>12} {:>14} {:>14} {:>12}",
+            "algorithm", "rebuild (s)", "user mean(ms)", "user p90(ms)", "user-built"
+        );
+        for algorithm in ReconAlgorithm::ALL {
+            let mut sim = ArraySim::new(paper_layout(g), cfg, spec, 1)?;
+            sim.fail_disk(0);
+            sim.start_reconstruction(algorithm, processes);
+            let report = sim.run_until_reconstructed(SimTime::from_secs(100_000));
+            println!(
+                "{:<20} {:>12.1} {:>14.1} {:>14.1} {:>12}",
+                algorithm.name(),
+                report.reconstruction_secs().unwrap_or(f64::NAN),
+                report.user.mean_ms(),
+                report.user.percentile_ms(0.9),
+                report.units_by_users,
+            );
+        }
+        println!();
+    }
+    println!("'user-built' counts units rebuilt by user writes / piggybacked reads");
+    println!("rather than by the background sweep.");
+    Ok(())
+}

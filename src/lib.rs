@@ -1,0 +1,64 @@
+//! # decluster
+//!
+//! A full reproduction of Mark Holland and Garth Gibson's *Parity
+//! Declustering for Continuous Operation in Redundant Disk Arrays*
+//! (ASPLOS 1992) as a Rust workspace: block-design-based parity layouts, a
+//! disk-accurate array simulator, the paper's four reconstruction
+//! algorithms, the Muntz & Lui analytic model, and a harness regenerating
+//! every figure and table of the paper's evaluation.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! * [`core`] (`decluster-core`) — block designs (including the paper's
+//!   six appendix designs), declustered / RAID 5 / Reddy layouts, layout
+//!   criteria validators;
+//! * [`disk`] (`decluster-disk`) — the IBM 0661-class disk model with
+//!   fitted seek curve, rotational positioning, and CVSCAN scheduling;
+//! * [`sim`] (`decluster-sim`) — the deterministic event engine, RNG, and
+//!   statistics;
+//! * [`workload`] (`decluster-workload`) — the synthetic OLTP-style
+//!   workload generator;
+//! * [`mod@array`] (`decluster-array`) — the striping driver: fault-free,
+//!   degraded, and reconstructing array simulation plus a byte-accurate
+//!   data plane;
+//! * [`analytic`] (`decluster-analytic`) — the Muntz & Lui fluid model;
+//! * [`experiments`] (`decluster-experiments`) — runners for Figures 4-3,
+//!   6-1, 6-2, 8-1 … 8-4, 8-6 and Table 8-1.
+//!
+//! # Examples
+//!
+//! Build the paper's 21-disk array at α = 0.15, fail a disk, and rebuild
+//! it with the redirect algorithm while serving user requests:
+//!
+//! ```no_run
+//! use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm};
+//! use decluster::experiments::paper_layout;
+//! use decluster::sim::SimTime;
+//! use decluster::workload::WorkloadSpec;
+//!
+//! let mut sim = ArraySim::new(
+//!     paper_layout(4),
+//!     ArrayConfig::paper(),
+//!     WorkloadSpec::half_and_half(105.0),
+//!     1,
+//! )?;
+//! sim.fail_disk(0);
+//! sim.start_reconstruction(ReconAlgorithm::Redirect, 8);
+//! let report = sim.run_until_reconstructed(SimTime::from_secs(100_000));
+//! println!(
+//!     "rebuilt in {:?}, user response {:.1} ms",
+//!     report.reconstruction_time,
+//!     report.user.mean_ms()
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use decluster_analytic as analytic;
+pub use decluster_array as array;
+pub use decluster_core as core;
+pub use decluster_disk as disk;
+pub use decluster_experiments as experiments;
+pub use decluster_sim as sim;
+pub use decluster_workload as workload;

@@ -1,0 +1,149 @@
+//! Property-based tests on the disk model: physical plausibility bounds
+//! that must hold for every request the simulator can generate.
+
+use decluster::disk::{Disk, DiskRequest, Geometry, IoKind, SchedPolicy, SeekModel};
+use decluster::sim::SimTime;
+use proptest::prelude::*;
+
+fn geometry() -> Geometry {
+    Geometry::ibm0661()
+}
+
+/// Strategy: a valid 4 KB-style request (1..=64 sectors) anywhere on disk.
+fn request() -> impl Strategy<Value = (u64, u32)> {
+    let g = geometry();
+    let total = g.total_sectors();
+    (0u64..total, 1u32..=64).prop_filter("fits on disk", move |(start, sectors)| {
+        start + *sectors as u64 <= total
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Service time is bounded below by the pure transfer time and above
+    /// by max seek + full rotation + transfer with every skew penalty.
+    #[test]
+    fn service_time_is_physically_bounded(
+        (start, sectors) in request(),
+        head_warm in request(),
+        now_ms in 0u64..100_000,
+    ) {
+        let g = geometry();
+        let mut disk = Disk::new(g, 0);
+        // Position the head somewhere by serving one access first.
+        let now = SimTime::from_ms(now_ms);
+        let c0 = disk
+            .submit(now, DiskRequest::new(0, head_warm.0, head_warm.1, IoKind::Read))
+            .unwrap();
+        disk.complete(c0.at);
+        let t0 = c0.at;
+        let c1 = disk
+            .submit(t0, DiskRequest::new(1, start, sectors, IoKind::Write))
+            .unwrap();
+        let service = (c1.at - t0).as_ms_f64();
+
+        let sector_ms = g.sector_time_us() / 1_000.0;
+        let min_transfer = sectors as f64 * sector_ms;
+        prop_assert!(
+            service >= min_transfer - 0.01,
+            "service {service} below transfer floor {min_transfer}"
+        );
+        let crossings = (g.track_of(start + sectors as u64 - 1) - g.track_of(start)) as f64;
+        let max = g.seek_max_ms
+            + g.revolution_us as f64 / 1_000.0
+            + min_transfer
+            + crossings * g.track_skew_sectors as f64 * sector_ms
+            + 0.01;
+        prop_assert!(service <= max, "service {service} above ceiling {max}");
+    }
+
+    /// Completions from a busy disk are strictly ordered in time and every
+    /// submitted request completes exactly once, under every scheduler.
+    #[test]
+    fn every_request_completes_once(
+        reqs in proptest::collection::vec(request(), 1..40),
+        policy in prop_oneof![
+            Just(SchedPolicy::Fcfs),
+            Just(SchedPolicy::cvscan()),
+            Just(SchedPolicy::sstf()),
+            Just(SchedPolicy::scan()),
+        ],
+    ) {
+        let g = geometry();
+        let mut disk = Disk::with_policy(g, 0, policy);
+        let mut next = None;
+        for (i, &(start, sectors)) in reqs.iter().enumerate() {
+            let r = DiskRequest::new(i as u64, start, sectors, IoKind::Read);
+            if let Some(c) = disk.submit(SimTime::ZERO, r) {
+                next = Some(c);
+            }
+        }
+        let mut done = vec![false; reqs.len()];
+        let mut last = SimTime::ZERO;
+        let mut current = next.expect("first submit starts service");
+        loop {
+            prop_assert!(current.at >= last, "completions went backwards");
+            last = current.at;
+            let (id, nxt) = disk.complete(current.at);
+            prop_assert!(!done[id as usize], "request {id} completed twice");
+            done[id as usize] = true;
+            match nxt {
+                Some(c) => current = c,
+                None => break,
+            }
+        }
+        prop_assert!(done.iter().all(|&d| d), "requests dropped: {done:?}");
+        prop_assert_eq!(disk.stats().ios, reqs.len() as u64);
+    }
+
+    /// The fitted seek curve is monotone and within spec for any scaled
+    /// geometry the experiments use.
+    #[test]
+    fn seek_fit_holds_for_scaled_disks(cylinders in 3u32..=949) {
+        let g = Geometry::ibm0661_scaled(cylinders);
+        let m = SeekModel::fit(&g);
+        prop_assert!((m.seek_us(1) - g.seek_min_ms * 1000.0).abs() < 1e-6);
+        prop_assert!(
+            (m.seek_us(cylinders - 1) - g.seek_max_ms * 1000.0).abs() < 1e-6
+        );
+        let mut prev = 0.0;
+        let step = (cylinders / 97).max(1);
+        let mut d = 0;
+        while d < cylinders {
+            let t = m.seek_us(d);
+            prop_assert!(t >= prev - 1e-9, "seek decreased at {d}");
+            prev = t;
+            d += step;
+        }
+    }
+
+    /// Utilization never exceeds 1 and busy time never exceeds elapsed
+    /// time.
+    #[test]
+    fn utilization_bounded(reqs in proptest::collection::vec(request(), 1..30)) {
+        let g = geometry();
+        let mut disk = Disk::new(g, 0);
+        let mut current = None;
+        for (i, &(start, sectors)) in reqs.iter().enumerate() {
+            let r = DiskRequest::new(i as u64, start, sectors, IoKind::Write);
+            if let Some(c) = disk.submit(SimTime::ZERO, r) {
+                current = Some(c);
+            }
+        }
+        let mut last;
+        let mut c = current.unwrap();
+        loop {
+            last = c.at;
+            match disk.complete(c.at).1 {
+                Some(n) => c = n,
+                None => break,
+            }
+        }
+        let util = disk.stats().utilization(last);
+        prop_assert!(util <= 1.0 + 1e-9, "utilization {util}");
+        // Back-to-back service with a non-empty queue: the disk never
+        // idles, so utilization is exactly 1 up to rounding.
+        prop_assert!(util > 0.99, "saturated disk underutilized: {util}");
+    }
+}

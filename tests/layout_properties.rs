@@ -1,0 +1,172 @@
+//! Property-based tests on the layout machinery: every constructible
+//! design must yield a layout meeting the paper's criteria, and array
+//! mappings must round-trip addresses for arbitrary disk sizes.
+
+use decluster::core::design::{catalog, BlockDesign};
+use decluster::core::layout::{
+    criteria, tabular, ArrayMapping, DeclusteredLayout, ParityLayout, Raid5Layout,
+    TabularLayout, UnitRole,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a (v, k) pair the catalog can satisfy with a small table.
+fn small_catalog_pair() -> impl Strategy<Value = (u16, u16)> {
+    (3u16..=13, 2u16..=13)
+        .prop_filter("k <= v", |(v, k)| k <= v)
+        .prop_filter("design exists", |(v, k)| {
+            catalog::find_with_limit(*v, *k, 2_000).is_ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Criteria 1–3 hold for every layout the catalog can build.
+    #[test]
+    fn catalog_layouts_meet_criteria((v, k) in small_catalog_pair()) {
+        let design = catalog::find_with_limit(v, k, 2_000).unwrap();
+        if design.params().k < 2 {
+            return Ok(());
+        }
+        let layout = DeclusteredLayout::new(design).unwrap();
+        let report = criteria::check(&layout);
+        prop_assert!(report.all_hold(), "v={v} k={k}: {report:?}");
+    }
+
+    /// role_at and the stripe-location functions are mutually inverse over
+    /// arbitrary global offsets.
+    #[test]
+    fn role_location_inverse(
+        (v, k) in small_catalog_pair(),
+        offset in 0u64..5_000,
+        disk_sel in 0u16..100,
+    ) {
+        let design = catalog::find_with_limit(v, k, 2_000).unwrap();
+        if design.params().k < 2 {
+            return Ok(());
+        }
+        let layout = DeclusteredLayout::new(design).unwrap();
+        let disk = disk_sel % layout.disks();
+        match layout.role_at(disk, offset) {
+            UnitRole::Data { stripe, index } => {
+                let addr = layout.data_location(stripe, index);
+                prop_assert_eq!((addr.disk, addr.offset), (disk, offset));
+            }
+            UnitRole::Parity { stripe } => {
+                let addr = layout.parity_location(stripe);
+                prop_assert_eq!((addr.disk, addr.offset), (disk, offset));
+            }
+            UnitRole::Unmapped => prop_assert!(false, "raw layouts have no holes"),
+        }
+    }
+
+    /// Array mappings round-trip logical addresses for arbitrary disk
+    /// sizes (including awkward partial-table remainders).
+    #[test]
+    fn mapping_round_trips(
+        (v, k) in small_catalog_pair(),
+        units in 1u64..4_000,
+    ) {
+        let design = catalog::find_with_limit(v, k, 2_000).unwrap();
+        if design.params().k < 2 {
+            return Ok(());
+        }
+        let layout: Arc<dyn ParityLayout> =
+            Arc::new(DeclusteredLayout::new(design).unwrap());
+        let Ok(mapping) = ArrayMapping::new(layout, units) else {
+            // Disk too small to hold a single stripe: acceptable rejection.
+            return Ok(());
+        };
+        // Sample the logical space rather than sweeping it.
+        let step = (mapping.data_units() / 64).max(1);
+        let mut logical = 0;
+        while logical < mapping.data_units() {
+            let (stripe, index) = mapping.logical_to_stripe(logical);
+            prop_assert_eq!(mapping.stripe_to_logical(stripe, index), Some(logical));
+            let addr = mapping.logical_to_addr(logical);
+            prop_assert!(addr.offset < units, "unit past disk end");
+            prop_assert_eq!(
+                mapping.role_at(addr.disk, addr.offset),
+                UnitRole::Data { stripe, index }
+            );
+            logical += step;
+        }
+    }
+
+    /// Every mapped stripe of a truncated mapping lies entirely below the
+    /// disk end — reconstruction never chases a missing unit.
+    #[test]
+    fn truncation_never_splits_stripes(
+        (v, k) in small_catalog_pair(),
+        units in 1u64..4_000,
+    ) {
+        let design = catalog::find_with_limit(v, k, 2_000).unwrap();
+        if design.params().k < 2 {
+            return Ok(());
+        }
+        let layout: Arc<dyn ParityLayout> =
+            Arc::new(DeclusteredLayout::new(design).unwrap());
+        let Ok(mapping) = ArrayMapping::new(layout, units) else {
+            return Ok(());
+        };
+        let step = (mapping.stripes() / 64).max(1);
+        let mut seq = 0;
+        while seq < mapping.stripes() {
+            let stripe = mapping.stripe_by_seq(seq);
+            for u in mapping.stripe_units(stripe) {
+                prop_assert!(u.offset < units, "stripe {stripe} leaks past disk end");
+            }
+            seq += step;
+        }
+    }
+
+    /// Any catalog layout survives a text round-trip through the portable
+    /// table format cell-for-cell.
+    #[test]
+    fn tabular_round_trip((v, k) in small_catalog_pair()) {
+        let design = catalog::find_with_limit(v, k, 2_000).unwrap();
+        if design.params().k < 2 {
+            return Ok(());
+        }
+        let layout = DeclusteredLayout::new(design).unwrap();
+        let parsed: TabularLayout = tabular::export(&layout).parse().unwrap();
+        prop_assert_eq!(parsed.disks(), layout.disks());
+        prop_assert_eq!(parsed.table_height(), layout.table_height());
+        for disk in 0..layout.disks() {
+            for offset in 0..layout.table_height() {
+                prop_assert_eq!(
+                    parsed.role_in_table(disk, offset),
+                    layout.role_in_table(disk, offset)
+                );
+            }
+        }
+    }
+
+    /// RAID 5 layouts of any width satisfy the criteria (the baseline the
+    /// paper compares against).
+    #[test]
+    fn raid5_criteria_hold(c in 2u16..40) {
+        let layout = Raid5Layout::new(c).unwrap();
+        let report = criteria::check(&layout);
+        prop_assert!(report.all_hold(), "C={c}: {report:?}");
+        prop_assert_eq!(report.sequential_parallelism, c as usize);
+    }
+}
+
+/// Non-proptest sanity check: the complete-design layout used throughout
+/// the paper's figures satisfies the invariants the paper derives.
+#[test]
+fn paper_figure_layout_invariants() {
+    let design = BlockDesign::complete(5, 4).unwrap();
+    let params = design.params();
+    let layout = DeclusteredLayout::new(design).unwrap();
+    // Table height G·r and stripe count G·b (Section 4.2).
+    assert_eq!(layout.table_height(), 4 * params.r);
+    assert_eq!(layout.stripes_per_table(), 4 * params.b);
+    // Each surviving disk reads λ·G units per failed disk per full table.
+    let reads = criteria::reconstruction_reads_per_disk(&layout, 0);
+    for (d, &n) in reads.iter().enumerate().skip(1) {
+        assert_eq!(n, params.lambda * 4, "disk {d}");
+    }
+}
