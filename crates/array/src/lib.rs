@@ -54,6 +54,7 @@ pub mod extent;
 pub mod plan;
 pub mod report;
 pub mod sim;
+pub mod slab;
 pub mod spare;
 
 pub use config::ArrayConfig;

@@ -166,16 +166,32 @@ pub fn plan_user_access(
     logical: u64,
     fault: FaultView<'_>,
 ) -> OpPlan {
+    let mut units = Vec::new();
+    plan_user_access_with(mapping, kind, logical, fault, &mut units)
+}
+
+/// [`plan_user_access`] with a caller-provided scratch buffer for the
+/// stripe's unit addresses, so per-event planning allocates nothing for
+/// the stripe map. The buffer is cleared and refilled; its contents after
+/// the call are unspecified.
+pub fn plan_user_access_with(
+    mapping: &ArrayMapping,
+    kind: AccessKind,
+    logical: u64,
+    fault: FaultView<'_>,
+    units: &mut Vec<UnitAddr>,
+) -> OpPlan {
     let (stripe, index) = mapping.logical_to_stripe(logical);
-    let units = mapping.stripe_units(stripe);
+    units.clear();
+    mapping.stripe_units_into(stripe, units);
     let g = mapping.stripe_width() as usize;
     debug_assert_eq!(units.len(), g);
     let data = units[index as usize];
     let parity = units[g - 1];
 
     match kind {
-        AccessKind::Read => plan_read(&units, data, fault),
-        AccessKind::Write => plan_write(&units, data, parity, index, fault),
+        AccessKind::Read => plan_read(units, data, fault),
+        AccessKind::Write => plan_write(units, data, parity, index, fault),
     }
     .normalized()
 }

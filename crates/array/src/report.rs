@@ -24,6 +24,9 @@ pub struct RunReport {
     /// as ~0). Exposes the load imbalance that layout criterion 2 exists
     /// to prevent.
     pub per_disk_utilization: Vec<f64>,
+    /// Simulation events processed by the event loop — the denominator for
+    /// simulator throughput (events per wall-clock second) in benchmarks.
+    pub events_processed: u64,
 }
 
 /// Per-phase timing of reconstruction cycles (the paper's Table 8-1 rows).
@@ -74,6 +77,9 @@ pub struct ReconReport {
     /// whole percent of progress. Shows, e.g., the acceleration from
     /// user-driven "free" rebuilding under the piggybacking algorithms.
     pub progress: Vec<(f64, f64)>,
+    /// Simulation events processed by the event loop — the denominator for
+    /// simulator throughput (events per wall-clock second) in benchmarks.
+    pub events_processed: u64,
 }
 
 impl ReconReport {

@@ -1,21 +1,27 @@
 //! The event-driven array simulator.
 
 use crate::config::ArrayConfig;
-use crate::plan::{plan_user_access, FaultView, PlannedIo};
+use crate::plan::{plan_user_access_with, FaultView, PlannedIo};
 use crate::report::{CycleStats, ReconReport, RunReport};
+use crate::slab::Slab;
 use crate::spare::SpareMap;
 use decluster_core::error::Error;
-use decluster_core::layout::{ArrayMapping, ParityLayout};
+use decluster_core::layout::{ArrayMapping, ParityLayout, UnitAddr};
 use decluster_core::recon::ReconAlgorithm;
 use decluster_disk::{Disk, DiskRequest, IoKind, Priority};
 use decluster_sim::{EventQueue, ResponseStats, SimTime};
 use decluster_workload::{trace::Trace, AccessKind, UserRequest, Workload, WorkloadSpec};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Cycles kept for the "final cycles" statistics; the paper's Table 8-1
 /// averages the reconstruction of the last 300 stripe units.
 const LAST_CYCLE_WINDOW: usize = 300;
+
+/// Low half of an io id: the issuing op's slot in the ops slab.
+fn op_of_io(io_id: u64) -> u32 {
+    (io_id & u32::MAX as u64) as u32
+}
 
 /// Simulation events.
 #[derive(Debug, Clone, Copy)]
@@ -48,8 +54,9 @@ struct Op {
     recon: Option<ReconCycle>,
     /// Issue this op's accesses at background priority.
     background: bool,
-    /// For sub-plans of a multi-unit user access: the parent request.
-    parent: Option<u64>,
+    /// For sub-plans of a multi-unit user access: the parent request's
+    /// slot in the parents slab.
+    parent: Option<u32>,
     /// The logical span this op covers, for retry after a mid-run disk
     /// failure aborts it.
     span: Option<(u64, u64)>,
@@ -128,14 +135,24 @@ pub struct ArraySim {
     source: RequestSource,
     pending_arrival: Option<UserRequest>,
     arrival_cutoff: SimTime,
-    ops: HashMap<u64, Op>,
-    io_to_op: HashMap<u64, u64>,
+    /// In-flight operations. A disk io's id encodes its op's slot in its
+    /// low 32 bits (see [`ArraySim::issue`]), so completions find their op
+    /// with one indexed load — no id→op map at all.
+    ops: Slab<Op>,
     /// Multi-unit user requests awaiting their sub-plans:
     /// `(kind, arrival, outstanding sub-plans)`.
-    parents: HashMap<u64, (AccessKind, SimTime, u32)>,
-    next_id: u64,
+    parents: Slab<(AccessKind, SimTime, u32)>,
+    /// Distinguishes ios of successive ops reusing the same slot (upper 32
+    /// bits of each io id).
+    io_seq: u32,
     fault: Fault,
     scheduled_failure: Option<(u16, SimTime)>,
+    /// Scratch for stripe unit addresses, reused across events.
+    scratch_units: Vec<UnitAddr>,
+    /// Scratch for planned ios (reconstruction cycles), reused across
+    /// events.
+    scratch_ios: Vec<PlannedIo>,
+    events_processed: u64,
     // Measurement.
     measure_from: SimTime,
     reads: ResponseStats,
@@ -212,20 +229,27 @@ impl ArraySim {
         disks: Vec<Disk>,
         source: RequestSource,
     ) -> ArraySim {
+        // In-flight events are bounded by the disk count (one completion
+        // per disk in service) plus arrivals, recon kicks, and failure
+        // injections; a couple of events per disk plus slack covers the
+        // working set without ever regrowing the heap.
+        let queue = EventQueue::with_capacity(disks.len() * 2 + 64);
         ArraySim {
             cfg,
             mapping,
             disks,
-            queue: EventQueue::new(),
+            queue,
             source,
             pending_arrival: None,
             arrival_cutoff: SimTime::MAX,
-            ops: HashMap::new(),
-            io_to_op: HashMap::new(),
-            parents: HashMap::new(),
-            next_id: 0,
+            ops: Slab::new(),
+            parents: Slab::new(),
+            io_seq: 0,
             fault: Fault::None,
             scheduled_failure: None,
+            scratch_units: Vec::new(),
+            scratch_ios: Vec::new(),
+            events_processed: 0,
             measure_from: SimTime::ZERO,
             reads: ResponseStats::new(),
             writes: ResponseStats::new(),
@@ -423,6 +447,7 @@ impl ArraySim {
             requests_measured: self.requests_measured,
             mean_disk_utilization: mean_util,
             per_disk_utilization: per_disk,
+            events_processed: self.events_processed,
         }
     }
 
@@ -501,12 +526,14 @@ impl ArraySim {
             } else {
                 self.disks[r.failed as usize].stats().utilization(end)
             },
+            events_processed: self.events_processed,
         }
     }
 
     // --- Event handling --------------------------------------------------
 
     fn dispatch(&mut self, now: SimTime, event: Event) {
+        self.events_processed += 1;
         match event {
             Event::Arrival => self.on_arrival(now),
             Event::DiskDone(disk) => self.on_disk_done(disk, now),
@@ -522,11 +549,8 @@ impl ArraySim {
         );
         self.fault = Fault::Degraded { failed: disk };
         for io_id in self.disks[disk as usize].fail() {
-            let op_id = self
-                .io_to_op
-                .remove(&io_id)
-                .expect("lost io belongs to no op");
-            let op = self.ops.get_mut(&op_id).expect("op vanished at failure");
+            let op_id = op_of_io(io_id);
+            let op = self.ops.get_mut(op_id).expect("lost io belongs to no op");
             debug_assert!(op.recon.is_none(), "no reconstruction during steady state");
             op.aborted = true;
             op.outstanding -= 1;
@@ -538,8 +562,8 @@ impl ArraySim {
 
     /// Retries an aborted user operation under the current fault view; the
     /// original arrival time is preserved so the retry's latency counts.
-    fn retry_op(&mut self, op_id: u64, now: SimTime) {
-        let op = self.ops.remove(&op_id).expect("retrying unknown op");
+    fn retry_op(&mut self, op_id: u32, now: SimTime) {
+        let op = self.ops.remove(op_id).expect("retrying unknown op");
         let Some((start, count)) = op.span else {
             return; // background work (piggyback): nothing to retry
         };
@@ -547,9 +571,9 @@ impl ArraySim {
             let kind = op
                 .user
                 .map(|(k, _)| k)
-                .or_else(|| op.parent.map(|p| self.parents[&p].0))
+                .or_else(|| op.parent.map(|p| self.parents.get(p).expect("parent alive").0))
                 .expect("user spans carry a kind");
-            let plan = plan_user_access(&self.mapping, kind, start, self.view());
+            let plan = self.plan_one(kind, start);
             let replacement = Op {
                 user: op.user,
                 outstanding: 0,
@@ -566,11 +590,11 @@ impl ArraySim {
             self.issue(new_id, &plan.phase1, now);
         } else {
             let parent_id = op.parent.expect("multi-unit spans have parents");
-            let kind = self.parents[&parent_id].0;
+            let kind = self.parents.get(parent_id).expect("parent alive").0;
             let extent =
                 crate::extent::plan_extent(&self.mapping, kind, start, count, self.view());
             // The aborted sub-plan is replaced by possibly several plans.
-            self.parents.get_mut(&parent_id).expect("parent alive").2 +=
+            self.parents.get_mut(parent_id).expect("parent alive").2 +=
                 extent.plans.len() as u32 - 1;
             for (plan, span) in extent.plans.into_iter().zip(extent.spans) {
                 let sub = Op {
@@ -589,6 +613,16 @@ impl ArraySim {
                 self.issue(new_id, &plan.phase1, now);
             }
         }
+    }
+
+    /// Plans one single-unit user access with the reusable scratch buffer
+    /// (taken out for the call because the planner also borrows the fault
+    /// state).
+    fn plan_one(&mut self, kind: AccessKind, logical: u64) -> crate::plan::OpPlan {
+        let mut units = std::mem::take(&mut self.scratch_units);
+        let plan = plan_user_access_with(&self.mapping, kind, logical, self.view(), &mut units);
+        self.scratch_units = units;
+        plan
     }
 
     fn schedule_next_arrival(&mut self) {
@@ -610,8 +644,7 @@ impl ArraySim {
         debug_assert_eq!(req.arrival, now);
         self.requests_issued += 1;
         if req.units == 1 {
-            let plan =
-                plan_user_access(&self.mapping, req.kind, req.logical_unit, self.view());
+            let plan = self.plan_one(req.kind, req.logical_unit);
             let op = Op {
                 user: Some((req.kind, now)),
                 outstanding: 0,
@@ -637,10 +670,9 @@ impl ArraySim {
                 req.units,
                 self.view(),
             );
-            let parent_id = self.next_id;
-            self.next_id += 1;
-            self.parents
-                .insert(parent_id, (req.kind, now, extent.plans.len() as u32));
+            let parent_id = self
+                .parents
+                .insert((req.kind, now, extent.plans.len() as u32));
             for (plan, span) in extent.plans.into_iter().zip(extent.spans) {
                 let op = Op {
                     user: None,
@@ -669,15 +701,11 @@ impl ArraySim {
         if let Some(c) = next {
             self.queue.schedule(c.at, Event::DiskDone(disk));
         }
-        let op_id = self
-            .io_to_op
-            .remove(&io_id)
-            .expect("completed io belongs to no op");
-        self.advance_op(op_id, now);
+        self.advance_op(op_of_io(io_id), now);
     }
 
-    fn advance_op(&mut self, op_id: u64, now: SimTime) {
-        let op = self.ops.get_mut(&op_id).expect("op vanished mid-flight");
+    fn advance_op(&mut self, op_id: u32, now: SimTime) {
+        let op = self.ops.get_mut(op_id).expect("op vanished mid-flight");
         op.outstanding -= 1;
         if op.outstanding > 0 {
             return;
@@ -697,7 +725,7 @@ impl ArraySim {
             return;
         }
         // Fully complete.
-        let op = self.ops.remove(&op_id).expect("op vanished at completion");
+        let op = self.ops.remove(op_id).expect("op vanished at completion");
         if let Some((kind, arrival)) = op.user {
             if arrival >= self.measure_from {
                 let response = now - arrival;
@@ -719,7 +747,7 @@ impl ArraySim {
             let done = {
                 let entry = self
                     .parents
-                    .get_mut(&parent_id)
+                    .get_mut(parent_id)
                     .expect("sub-plan without a parent");
                 entry.2 -= 1;
                 entry.2 == 0
@@ -727,7 +755,7 @@ impl ArraySim {
             if done {
                 let (kind, arrival, _) = self
                     .parents
-                    .remove(&parent_id)
+                    .remove(parent_id)
                     .expect("parent vanished");
                 if arrival >= self.measure_from {
                     let response = now - arrival;
@@ -745,17 +773,14 @@ impl ArraySim {
         }
     }
 
-    fn insert_op(&mut self, op: Op) -> u64 {
-        let id = self.next_id;
-        self.next_id += 1;
-        self.ops.insert(id, op);
-        id
+    fn insert_op(&mut self, op: Op) -> u32 {
+        self.ops.insert(op)
     }
 
-    fn issue(&mut self, op_id: u64, ios: &[PlannedIo], now: SimTime) {
+    fn issue(&mut self, op_id: u32, ios: &[PlannedIo], now: SimTime) {
         assert!(!ios.is_empty(), "op {op_id} issued an empty phase");
         let background = {
-            let op = self.ops.get_mut(&op_id).expect("issuing for unknown op");
+            let op = self.ops.get_mut(op_id).expect("issuing for unknown op");
             op.outstanding = ios.len() as u32;
             op.background
         };
@@ -772,9 +797,12 @@ impl ArraySim {
                     r.failed
                 );
             }
-            let io_id = self.next_id;
-            self.next_id += 1;
-            self.io_to_op.insert(io_id, op_id);
+            // An io id carries its op's slot in the low half and a
+            // sequence number in the high half: completions decode the op
+            // directly, and concurrent ios of slot-reusing ops still get
+            // distinct disk-request ids.
+            let io_id = ((self.io_seq as u64) << 32) | op_id as u64;
+            self.io_seq = self.io_seq.wrapping_add(1);
             let request = DiskRequest::new(
                 io_id,
                 io.offset * self.cfg.unit_sectors as u64,
@@ -831,7 +859,7 @@ impl ArraySim {
                 Some(spares) => spares
                     .spare_of(offset)
                     .expect("piggybacked offsets are mapped"),
-                None => decluster_core::layout::UnitAddr::new(r.failed, offset),
+                None => UnitAddr::new(r.failed, offset),
             },
             _ => return, // already rebuilt meanwhile — skip the write
         };
@@ -885,16 +913,18 @@ impl ArraySim {
                 None => return, // sweep finished; stragglers arrive via user marks
             }
         };
-        let units = self.mapping.stripe_units(stripe);
-        let phase1: Vec<PlannedIo> = units
-            .iter()
-            .filter(|u| u.disk != failed)
-            .map(|&u| PlannedIo {
+        let mut units = std::mem::take(&mut self.scratch_units);
+        let mut phase1 = std::mem::take(&mut self.scratch_ios);
+        units.clear();
+        phase1.clear();
+        self.mapping.stripe_units_into(stripe, &mut units);
+        phase1.extend(units.iter().filter(|u| u.disk != failed).map(|&u| {
+            PlannedIo {
                 disk: u.disk,
                 offset: u.offset,
                 kind: IoKind::Read,
-            })
-            .collect();
+            }
+        }));
         let write_target = match &self.fault {
             Fault::Rebuilding(r) => match &r.spares {
                 Some(spares) => {
@@ -930,6 +960,10 @@ impl ArraySim {
         };
         let op_id = self.insert_op(op);
         self.issue(op_id, &phase1, now);
+        units.clear();
+        phase1.clear();
+        self.scratch_units = units;
+        self.scratch_ios = phase1;
     }
 
     fn finish_recon_cycle(&mut self, rc: ReconCycle, now: SimTime) {

@@ -2,8 +2,8 @@
 //! reconstruction throttling (the paper's future-work knob) and the
 //! FCFS-vs-CVSCAN scheduler effect on reconstruction itself.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use decluster_array::{ArrayConfig, ArraySim, ReconAlgorithm};
+use decluster_bench::Micro;
 use decluster_core::design::appendix;
 use decluster_core::layout::{DeclusteredLayout, ParityLayout};
 use decluster_disk::SchedPolicy;
@@ -24,46 +24,31 @@ fn rebuild(cfg: ArrayConfig) -> (f64, f64) {
     (r.reconstruction_secs().unwrap_or(f64::NAN), r.user.mean_ms())
 }
 
-fn bench_throttle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_throttle");
-    group.sample_size(10);
+fn main() {
+    let mut m = Micro::from_args("ablation");
+
     for (name, us) in [("none", 0u64), ("50ms", 50_000)] {
         let cfg = ArrayConfig::scaled(30).with_recon_throttle_us(us);
-        group.bench_function(name, |b| b.iter(|| rebuild(black_box(cfg))));
+        m.case(&format!("ablation_throttle/{name}"), || rebuild(cfg));
         let (t, ms) = rebuild(cfg);
         eprintln!("# throttle {name}: recon {t:.0} s, user {ms:.1} ms");
     }
-    group.finish();
-}
 
-fn bench_scheduler_effect(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_sched");
-    group.sample_size(10);
     for (name, policy) in [("cvscan", SchedPolicy::cvscan()), ("fcfs", SchedPolicy::Fcfs)] {
         let mut cfg = ArrayConfig::scaled(30);
         cfg.sched = policy;
-        group.bench_function(name, |b| b.iter(|| rebuild(black_box(cfg))));
+        m.case(&format!("ablation_sched/{name}"), || rebuild(cfg));
         let (t, ms) = rebuild(cfg);
         eprintln!("# scheduler {name}: recon {t:.0} s, user {ms:.1} ms");
     }
-    group.finish();
-}
 
-fn bench_priority(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_priority");
-    group.sample_size(10);
     for (name, on) in [("plain", false), ("user_priority", true)] {
         let cfg = ArrayConfig::scaled(30).with_recon_priority(on);
-        group.bench_function(name, |b| b.iter(|| rebuild(black_box(cfg))));
+        m.case(&format!("ablation_priority/{name}"), || rebuild(cfg));
         let (t, ms) = rebuild(cfg);
         eprintln!("# priority {name}: recon {t:.0} s, user {ms:.1} ms");
     }
-    group.finish();
-}
 
-fn bench_distributed_sparing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_sparing");
-    group.sample_size(10);
     let run = |distributed: bool, processes: usize| {
         let cfg = if distributed {
             ArrayConfig::scaled(40).with_distributed_spares(200)
@@ -83,9 +68,8 @@ fn bench_distributed_sparing(c: &mut Criterion) {
             .reconstruction_secs()
             .unwrap_or(f64::NAN)
     };
-    group.bench_function("dedicated_16way", |b| b.iter(|| run(black_box(false), 16)));
-    group.bench_function("distributed_16way", |b| b.iter(|| run(black_box(true), 16)));
-    group.finish();
+    m.case("ablation_sparing/dedicated_16way", || run(false, 16));
+    m.case("ablation_sparing/distributed_16way", || run(true, 16));
     for procs in [8usize, 16, 32] {
         eprintln!(
             "# sparing at {procs}-way: dedicated {:.1} s, distributed {:.1} s",
@@ -94,12 +78,3 @@ fn bench_distributed_sparing(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(
-    benches,
-    bench_throttle,
-    bench_scheduler_effect,
-    bench_priority,
-    bench_distributed_sparing
-);
-criterion_main!(benches);

@@ -2,13 +2,13 @@
 //! head-scheduler ablation (FCFS vs SSTF vs CVSCAN vs SCAN) that justifies
 //! the paper's CVSCAN choice.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use decluster_bench::Micro;
 use decluster_disk::{Disk, DiskRequest, Geometry, IoKind, SchedPolicy};
 use decluster_sim::{SimRng, SimTime};
 
 /// Drives a saturated disk through `n` random 4 KB reads under `policy`,
 /// returning the simulated completion time (for the ablation printout) —
-/// the wall-clock cost of this loop is what Criterion measures.
+/// the wall-clock cost of this loop is what the harness measures.
 fn saturated_run(policy: SchedPolicy, n: u64, seed: u64) -> SimTime {
     let g = Geometry::ibm0661();
     let units = g.total_sectors() / 8;
@@ -34,62 +34,49 @@ fn saturated_run(policy: SchedPolicy, n: u64, seed: u64) -> SimTime {
     last
 }
 
-fn bench_schedulers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("disk_sched");
+fn main() {
+    let mut m = Micro::from_args("disk");
+
     for (name, policy) in [
         ("fcfs", SchedPolicy::Fcfs),
         ("sstf", SchedPolicy::sstf()),
         ("cvscan", SchedPolicy::cvscan()),
         ("scan", SchedPolicy::scan()),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| saturated_run(black_box(policy), 500, 7))
-        });
+        m.case(&format!("disk_sched/{name}"), || saturated_run(policy, 500, 7));
         let t = saturated_run(policy, 2_000, 7);
         eprintln!(
             "# ablation: {name} sustains {:.1} random 4 KB reads/s (simulated)",
             2_000.0 / t.as_secs_f64()
         );
     }
-    group.finish();
-}
 
-fn bench_service_paths(c: &mut Criterion) {
     let g = Geometry::ibm0661();
-    let mut group = c.benchmark_group("disk_service");
-    group.bench_function("sequential_stream", |b| {
-        b.iter(|| {
-            let mut disk = Disk::new(g, 0);
-            let mut next = disk
-                .submit(SimTime::ZERO, DiskRequest::new(0, 0, 8, IoKind::Write))
+    m.case("disk_service/sequential_stream", || {
+        let mut disk = Disk::new(g, 0);
+        let mut next = disk
+            .submit(SimTime::ZERO, DiskRequest::new(0, 0, 8, IoKind::Write))
+            .unwrap();
+        for i in 1..64u64 {
+            disk.submit(SimTime::ZERO, DiskRequest::new(i, i * 8, 8, IoKind::Write));
+        }
+        while let Some(c) = disk.complete(next.at).1 {
+            next = c;
+        }
+        disk.stats().ios
+    });
+    let units = g.total_sectors() / 8;
+    m.case("disk_service/random_singles", || {
+        let mut rng = SimRng::new(3);
+        let mut disk = Disk::new(g, 0);
+        let mut now = SimTime::ZERO;
+        for i in 0..64u64 {
+            let c = disk
+                .submit(now, DiskRequest::new(i, rng.below(units) * 8, 8, IoKind::Read))
                 .unwrap();
-            for i in 1..64u64 {
-                disk.submit(SimTime::ZERO, DiskRequest::new(i, i * 8, 8, IoKind::Write));
-            }
-            while let Some(c) = disk.complete(next.at).1 {
-                next = c;
-            }
-            black_box(disk.stats().ios)
-        })
+            now = c.at;
+            disk.complete(now);
+        }
+        now
     });
-    group.bench_function("random_singles", |b| {
-        let units = g.total_sectors() / 8;
-        b.iter(|| {
-            let mut rng = SimRng::new(3);
-            let mut disk = Disk::new(g, 0);
-            let mut now = SimTime::ZERO;
-            for i in 0..64u64 {
-                let c = disk
-                    .submit(now, DiskRequest::new(i, rng.below(units) * 8, 8, IoKind::Read))
-                    .unwrap();
-                now = c.at;
-                disk.complete(now);
-            }
-            black_box(now)
-        })
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_schedulers, bench_service_paths);
-criterion_main!(benches);

@@ -1,19 +1,13 @@
 //! Figure 4-3 regeneration bench: building the known-designs scatter.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use decluster_bench::Micro;
 use decluster_experiments::fig4;
 
-fn bench_fig4(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4");
-    group.sample_size(10);
-    group.bench_function("scatter_v25", |b| {
-        b.iter(|| fig4::figure_4_3(black_box(25), 10_000))
-    });
-    group.finish();
+fn main() {
+    let mut m = Micro::from_args("fig4");
+
+    m.case("fig4/scatter_v25", || fig4::figure_4_3(25, 10_000));
 
     let points = fig4::figure_4_3(25, 10_000);
     eprintln!("# fig4-3: {} constructible designs with v <= 25", points.len());
 }
-
-criterion_group!(benches, bench_fig4);
-criterion_main!(benches);

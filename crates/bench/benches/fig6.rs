@@ -2,27 +2,23 @@
 //! point of each figure at reduced scale and prints the row, so
 //! `cargo bench` exercises the exact code path behind both figures.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use decluster_bench::Micro;
 use decluster_experiments::{fig6, ExperimentScale};
 
-fn bench_fig6(c: &mut Criterion) {
+fn main() {
+    let mut m = Micro::from_args("fig6");
     let scale = ExperimentScale::tiny();
-    let mut group = c.benchmark_group("fig6");
-    group.sample_size(10);
-    group.bench_function("fig6_1_point_g4_reads", |b| {
-        b.iter(|| fig6::run_point(black_box(&scale), 4, 105.0, 1.0))
-    });
-    group.bench_function("fig6_2_point_g4_writes", |b| {
-        b.iter(|| fig6::run_point(black_box(&scale), 4, 105.0, 0.0))
-    });
-    group.finish();
 
-    let p = fig6::run_point(&scale, 4, 105.0, 1.0);
+    m.case("fig6/fig6_1_point_g4_reads", || {
+        fig6::run_point(&scale, 4, 105.0, 1.0)
+    });
+    m.case("fig6/fig6_2_point_g4_writes", || {
+        fig6::run_point(&scale, 4, 105.0, 0.0)
+    });
+
+    let (p, events) = fig6::run_point_counted(&scale, 4, 105.0, 1.0);
     eprintln!(
-        "# fig6-1 sample row: alpha {:.2}, fault-free {:.1} ms, degraded {:.1} ms",
+        "# fig6-1 sample row: alpha {:.2}, fault-free {:.1} ms, degraded {:.1} ms ({events} events)",
         p.alpha, p.fault_free_ms, p.degraded_ms
     );
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

@@ -2,21 +2,20 @@
 //! reconstruction point at reduced scale, printing the rows the figures
 //! plot.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use decluster_bench::Micro;
 use decluster_core::recon::ReconAlgorithm;
 use decluster_experiments::{fig8, ExperimentScale};
 
-fn bench_fig8(c: &mut Criterion) {
+fn main() {
+    let mut m = Micro::from_args("fig8");
     let scale = ExperimentScale::tiny();
-    let mut group = c.benchmark_group("fig8");
-    group.sample_size(10);
-    group.bench_function("single_thread_baseline_g4", |b| {
-        b.iter(|| fig8::run_point(black_box(&scale), 4, 105.0, ReconAlgorithm::Baseline, 1))
+
+    m.case("fig8/single_thread_baseline_g4", || {
+        fig8::run_point(&scale, 4, 105.0, ReconAlgorithm::Baseline, 1)
     });
-    group.bench_function("eight_way_redirect_g4", |b| {
-        b.iter(|| fig8::run_point(black_box(&scale), 4, 105.0, ReconAlgorithm::Redirect, 8))
+    m.case("fig8/eight_way_redirect_g4", || {
+        fig8::run_point(&scale, 4, 105.0, ReconAlgorithm::Redirect, 8)
     });
-    group.finish();
 
     for (procs, label) in [(1, "fig8-1/8-2"), (8, "fig8-3/8-4")] {
         let p = fig8::run_point(&scale, 4, 105.0, ReconAlgorithm::Baseline, procs);
@@ -28,6 +27,3 @@ fn bench_fig8(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench_fig8);
-criterion_main!(benches);

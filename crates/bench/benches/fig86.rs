@@ -1,17 +1,17 @@
 //! Figure 8-6 regeneration bench: the Muntz & Lui model sweep (cheap) and
 //! one model-vs-simulation pairing.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use decluster_bench::Micro;
 use decluster_core::recon::ReconAlgorithm;
 use decluster_experiments::{fig8, fig86, ExperimentScale};
 
-fn bench_fig86(c: &mut Criterion) {
+fn main() {
+    let mut m = Micro::from_args("fig86");
     let scale = ExperimentScale::tiny();
-    let mut group = c.benchmark_group("fig86");
-    group.bench_function("model_sweep", |b| {
-        b.iter(|| fig86::model_sweep(black_box(&scale), 105.0, ReconAlgorithm::Redirect))
+
+    m.case("fig86/model_sweep", || {
+        fig86::model_sweep(&scale, 105.0, ReconAlgorithm::Redirect)
     });
-    group.finish();
 
     let model = fig86::model_for(&scale, 4, 105.0)
         .reconstruction_time(ReconAlgorithm::Redirect)
@@ -21,6 +21,3 @@ fn bench_fig86(c: &mut Criterion) {
         .unwrap();
     eprintln!("# fig8-6 sample: model {model:.0} s vs simulation {sim:.0} s (model pessimistic)");
 }
-
-criterion_group!(benches, bench_fig86);
-criterion_main!(benches);

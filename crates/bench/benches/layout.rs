@@ -2,77 +2,60 @@
 //! verification, table building, and the address-mapping hot paths the
 //! paper's efficient-mapping criterion cares about.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use decluster_bench::Micro;
 use decluster_core::design::{appendix, BlockDesign};
-use decluster_core::layout::{criteria, ArrayMapping, DeclusteredLayout, ParityLayout};
+use decluster_core::layout::{criteria, ArrayMapping, DeclusteredLayout, ParityLayout, UnitAddr};
 use std::sync::Arc;
 
-fn bench_design_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("design");
-    group.bench_function("appendix_g4_cyclic", |b| {
-        b.iter(|| appendix::design_for_group_size(black_box(4)).unwrap())
-    });
-    group.bench_function("appendix_g10_derived_paley", |b| {
-        b.iter(|| appendix::design_for_group_size(black_box(10)).unwrap())
-    });
-    group.bench_function("complete_21_18", |b| {
-        b.iter(|| BlockDesign::complete(black_box(21), black_box(18)).unwrap())
-    });
-    group.finish();
-}
+fn main() {
+    let mut m = Micro::from_args("layout");
 
-fn bench_layout_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("layout_build");
+    m.case("design/appendix_g4_cyclic", || {
+        appendix::design_for_group_size(4).unwrap()
+    });
+    m.case("design/appendix_g10_derived_paley", || {
+        appendix::design_for_group_size(10).unwrap()
+    });
+    m.case("design/complete_21_18", || {
+        BlockDesign::complete(21, 18).unwrap()
+    });
+
     for g in [4u16, 10] {
         let design = appendix::design_for_group_size(g).unwrap();
-        group.bench_function(format!("declustered_g{g}"), |b| {
-            b.iter(|| DeclusteredLayout::new(black_box(design.clone())).unwrap())
+        m.case(&format!("layout_build/declustered_g{g}"), || {
+            DeclusteredLayout::new(design.clone()).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_mapping_hot_path(c: &mut Criterion) {
     let layout: Arc<dyn ParityLayout> = Arc::new(
         DeclusteredLayout::new(appendix::design_for_group_size(4).unwrap()).unwrap(),
     );
     let mapping = ArrayMapping::new(layout, 79_716).unwrap();
-    let mut group = c.benchmark_group("mapping");
-    group.bench_function("logical_to_addr", |b| {
-        let mut l = 0u64;
-        b.iter(|| {
-            l = (l + 7919) % mapping.data_units();
-            black_box(mapping.logical_to_addr(l))
-        })
+    let mut l = 0u64;
+    m.case("mapping/logical_to_addr", || {
+        l = (l + 7919) % mapping.data_units();
+        mapping.logical_to_addr(l)
     });
-    group.bench_function("role_at", |b| {
-        let mut o = 0u64;
-        b.iter(|| {
-            o = (o + 6151) % mapping.units_per_disk();
-            black_box(mapping.role_at((o % 21) as u16, o))
-        })
+    let mut o = 0u64;
+    m.case("mapping/role_at", || {
+        o = (o + 6151) % mapping.units_per_disk();
+        mapping.role_at((o % 21) as u16, o)
     });
-    group.bench_function("stripe_units", |b| {
-        let mut s = 0u64;
-        b.iter(|| {
-            s = (s + 4093) % mapping.stripes();
-            black_box(mapping.stripe_units(mapping.stripe_by_seq(s)))
-        })
+    let mut s = 0u64;
+    m.case("mapping/stripe_units", || {
+        s = (s + 4093) % mapping.stripes();
+        mapping.stripe_units(mapping.stripe_by_seq(s))
     });
-    group.finish();
-}
+    let mut s2 = 0u64;
+    let mut scratch: Vec<UnitAddr> = Vec::new();
+    m.case("mapping/stripe_units_into_scratch", || {
+        s2 = (s2 + 4093) % mapping.stripes();
+        scratch.clear();
+        mapping.stripe_units_into(mapping.stripe_by_seq(s2), &mut scratch);
+        scratch.len()
+    });
 
-fn bench_criteria(c: &mut Criterion) {
     let layout =
         DeclusteredLayout::new(appendix::design_for_group_size(4).unwrap()).unwrap();
-    c.bench_function("criteria/check_g4", |b| b.iter(|| criteria::check(black_box(&layout))));
+    m.case("criteria/check_g4", || criteria::check(&layout));
 }
-
-criterion_group!(
-    benches,
-    bench_design_construction,
-    bench_layout_build,
-    bench_mapping_hot_path,
-    bench_criteria
-);
-criterion_main!(benches);

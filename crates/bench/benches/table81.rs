@@ -1,18 +1,17 @@
 //! Table 8-1 regeneration bench: one cycle-time measurement at reduced
 //! scale, printing the read(sd)+write(sd)=cycle row the table reports.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use decluster_bench::Micro;
 use decluster_core::recon::ReconAlgorithm;
 use decluster_experiments::{fig8, ExperimentScale};
 
-fn bench_table81(c: &mut Criterion) {
+fn main() {
+    let mut m = Micro::from_args("table81");
     let scale = ExperimentScale::tiny();
-    let mut group = c.benchmark_group("table81");
-    group.sample_size(10);
-    group.bench_function("cycle_times_baseline_g4", |b| {
-        b.iter(|| fig8::run_point(black_box(&scale), 4, 210.0, ReconAlgorithm::Baseline, 1))
+
+    m.case("table81/cycle_times_baseline_g4", || {
+        fig8::run_point(&scale, 4, 210.0, ReconAlgorithm::Baseline, 1)
     });
-    group.finish();
 
     let p = fig8::run_point(&scale, 4, 210.0, ReconAlgorithm::Baseline, 1);
     eprintln!(
@@ -24,6 +23,3 @@ fn bench_table81(c: &mut Criterion) {
         p.last_read_ms + p.last_write_ms
     );
 }
-
-criterion_group!(benches, bench_table81);
-criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Measures the parallel sweep runner itself: the same Figure 6-1 smoke
+//! sweep on one worker and on all cores, verifying byte-identical results
+//! and recording throughput to `results/bench_sweep.json`.
+//!
+//! Flags are the common set (`--cylinders`, `--seed`, `--threads`, …);
+//! `--threads` caps the parallel leg. On a multi-core machine (≥ 4 cores)
+//! the parallel leg is additionally asserted to be ≥ 3× faster — on fewer
+//! cores the speedup is recorded honestly but not asserted.
+
+use decluster_bench::{cli_from_args, print_header};
+use decluster_experiments::{csv, fig6, runner, ExperimentScale, Runner};
+
+fn main() {
+    let cli = cli_from_args();
+    let mut scale = ExperimentScale::tiny();
+    scale.cylinders = scale.cylinders.max(cli.scale.cylinders.min(118));
+    scale.seed = cli.scale.seed;
+    print_header("Sweep-runner benchmark (Figure 6-1 smoke sweep, 1 worker vs all cores)", &scale);
+
+    let rates = [105.0, 210.0];
+    let sequential = fig6::figure_6_1_on(&Runner::sequential(), &scale, &rates);
+    let parallel_runner = cli.runner();
+    let parallel = fig6::figure_6_1_on(&parallel_runner, &scale, &rates);
+
+    // Determinism: the parallel sweep must serialize byte-identically.
+    let seq_csv = csv::fig6_csv(&sequential.values);
+    let par_csv = csv::fig6_csv(&parallel.values);
+    assert_eq!(
+        seq_csv, par_csv,
+        "parallel sweep output differs from sequential"
+    );
+    println!("determinism: 1-worker and {}-worker sweeps serialized identically", parallel.threads);
+
+    let seq_report = sequential.report("fig6-smoke seq");
+    let par_report = parallel.report("fig6-smoke parallel");
+    let speedup = seq_report.wall_secs / par_report.wall_secs.max(1e-9);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("# {}", seq_report.summary_line());
+    println!("# {}", par_report.summary_line());
+    println!("# speedup: {speedup:.2}x on {cores} available core(s)");
+
+    runner::write_reports("results/bench_sweep.json", &[seq_report, par_report])
+        .expect("writing results/bench_sweep.json");
+    println!("# wrote results/bench_sweep.json");
+
+    // The ≥3x bar only makes sense with real parallel hardware under it.
+    if cores >= 4 && parallel_runner.threads() >= 4 {
+        assert!(
+            speedup >= 3.0,
+            "expected >=3x speedup on {cores} cores, measured {speedup:.2}x"
+        );
+    }
+}

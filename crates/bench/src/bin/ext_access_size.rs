@@ -3,17 +3,18 @@
 //! bandwidth — quantifying the large-write-optimization /
 //! maximal-parallelism balance the paper's Section 6 leaves open.
 
-use decluster_bench::{print_header, scale_from_args};
+use decluster_bench::{cli_from_args, print_header, print_sweep_footer};
 use decluster_experiments::access_size;
 
 fn main() {
-    let scale = scale_from_args();
-    print_header("Extension: access-size sweep (50% reads, 60 unit-equivalents/s)", &scale);
+    let cli = cli_from_args();
+    print_header("Extension: access-size sweep (50% reads, 60 unit-equivalents/s)", &cli.scale);
+    let run = access_size::sweep_on(&cli.runner(), &cli.scale, 4, 6, 60.0, 0.5);
     println!(
         "{:>6} {:>4} {:>13} {:>12} {:>10}",
         "units", "G", "response ms", "utilization", "requests"
     );
-    for p in access_size::sweep(&scale, 4, 6, 60.0, 0.5) {
+    for p in &run.values {
         println!(
             "{:>6} {:>4} {:>13.1} {:>12.3} {:>10}",
             p.access_units, p.group, p.response_ms, p.utilization, p.requests_measured
@@ -21,4 +22,5 @@ fn main() {
     }
     println!();
     println!("G = 4 writes full stripes from 3 aligned units; RAID 5 (G = 21) needs 20.");
+    print_sweep_footer(&run.report("ext-access-size"));
 }

@@ -2,19 +2,20 @@
 //! against parity declustering on the same 21-disk array — the
 //! cost/performance frame of the paper's introduction and Section 3.
 
-use decluster_bench::{print_header, scale_from_args};
+use decluster_bench::{cli_from_args, print_header, print_sweep_footer};
 use decluster_experiments::mirror;
 
 fn main() {
-    let scale = scale_from_args();
-    print_header("Extension: mirroring vs parity declustering (50% reads)", &scale);
+    let cli = cli_from_args();
+    print_header("Extension: mirroring vs parity declustering (50% reads)", &cli.scale);
     for rate in [105.0, 210.0] {
+        let run = mirror::comparison_on(&cli.runner(), &cli.scale, rate);
         println!("-- rate {rate:.0} accesses/s --");
         println!(
             "{:<20} {:>9} {:>14} {:>13} {:>11} {:>13}",
             "organization", "overhead", "fault-free ms", "degraded ms", "rebuild s", "rebuild ms"
         );
-        for p in mirror::comparison(&scale, rate) {
+        for p in &run.values {
             println!(
                 "{:<20} {:>8.0}% {:>14.1} {:>13.1} {:>11.1} {:>13.1}",
                 p.organization.name(),
@@ -25,6 +26,8 @@ fn main() {
                 p.recon_user_ms,
             );
         }
+        println!();
+        print_sweep_footer(&run.report(&format!("ext-mirroring @{rate:.0}")));
         println!();
     }
     println!("Mirrors buy write speed and fast copy-based rebuild for 50% capacity;");

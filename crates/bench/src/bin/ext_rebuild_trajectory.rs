@@ -5,30 +5,44 @@
 
 use decluster_analytic::ReconAlgorithm;
 use decluster_array::ArraySim;
-use decluster_bench::{print_header, scale_from_args};
+use decluster_bench::{cli_from_args, print_header, print_sweep_footer};
 use decluster_experiments::paper_layout;
 use decluster_sim::SimTime;
 use decluster_workload::WorkloadSpec;
 
 fn main() {
-    let scale = scale_from_args();
+    let cli = cli_from_args();
+    let scale = cli.scale;
     print_header("Extension: rebuild trajectories (G = 4, 210 accesses/s, single sweep)", &scale);
+    let scale = &scale;
+    let jobs: Vec<_> = ReconAlgorithm::ALL
+        .into_iter()
+        .map(|algorithm| {
+            move || {
+                let mut sim = ArraySim::new(
+                    paper_layout(4),
+                    scale.array_config(),
+                    WorkloadSpec::half_and_half(210.0),
+                    1,
+                )
+                .expect("paper layout fits");
+                sim.fail_disk(0);
+                sim.start_reconstruction(algorithm, 1);
+                let report =
+                    sim.run_until_reconstructed(SimTime::from_secs(scale.recon_limit_secs));
+                let events = report.events_processed;
+                ((algorithm, report), events)
+            }
+        })
+        .collect();
+    let run = cli.runner().run(jobs);
+
     println!("time to reach each rebuilt fraction, seconds:");
     println!(
         "{:<20} {:>7} {:>7} {:>7} {:>7} {:>7}",
         "algorithm", "20%", "40%", "60%", "80%", "100%"
     );
-    for algorithm in ReconAlgorithm::ALL {
-        let mut sim = ArraySim::new(
-            paper_layout(4),
-            scale.array_config(),
-            WorkloadSpec::half_and_half(210.0),
-            1,
-        )
-        .expect("paper layout fits");
-        sim.fail_disk(0);
-        sim.start_reconstruction(algorithm, 1);
-        let report = sim.run_until_reconstructed(SimTime::from_secs(scale.recon_limit_secs));
+    for (algorithm, report) in &run.values {
         print!("{:<20}", algorithm.name());
         for target in [0.2, 0.4, 0.6, 0.8, 1.0] {
             let t = report
@@ -47,4 +61,5 @@ fn main() {
     println!("The user-writes/piggyback algorithms accelerate towards the end: more of");
     println!("the address space is already rebuilt, so user activity stops costing");
     println!("on-the-fly reconstructions and starts contributing free rebuilds.");
+    print_sweep_footer(&run.report("ext-rebuild-trajectory"));
 }

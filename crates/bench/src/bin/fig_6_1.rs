@@ -1,12 +1,14 @@
 //! Regenerates Figure 6-1: fault-free and degraded average response time,
 //! 100% reads, rates 105/210/378 accesses/s, over the alpha sweep.
 
-use decluster_bench::{print_header, scale_from_args};
+use decluster_bench::{cli_from_args, print_header, print_sweep_footer};
 use decluster_experiments::{fig6, render};
 
 fn main() {
-    let scale = scale_from_args();
-    print_header("Figure 6-1 (100% reads)", &scale);
-    let points = fig6::figure_6_1(&scale, &fig6::READ_RATES);
-    println!("{}", render::fig6_table("Figure 6-1: response time, 100% reads", &points));
+    let cli = cli_from_args();
+    print_header("Figure 6-1 (100% reads)", &cli.scale);
+    let run = fig6::figure_6_1_on(&cli.runner(), &cli.scale, &fig6::READ_RATES);
+    let report = run.report("fig6-1");
+    println!("{}", render::fig6_table("Figure 6-1: response time, 100% reads", &run.values));
+    print_sweep_footer(&report);
 }

@@ -1,12 +1,14 @@
 //! Regenerates Figure 6-2: fault-free and degraded average response time,
 //! 100% writes, rates 105/210 accesses/s, over the alpha sweep.
 
-use decluster_bench::{print_header, scale_from_args};
+use decluster_bench::{cli_from_args, print_header, print_sweep_footer};
 use decluster_experiments::{fig6, render};
 
 fn main() {
-    let scale = scale_from_args();
-    print_header("Figure 6-2 (100% writes)", &scale);
-    let points = fig6::figure_6_2(&scale, &fig6::WRITE_RATES);
-    println!("{}", render::fig6_table("Figure 6-2: response time, 100% writes", &points));
+    let cli = cli_from_args();
+    print_header("Figure 6-2 (100% writes)", &cli.scale);
+    let run = fig6::figure_6_2_on(&cli.runner(), &cli.scale, &fig6::WRITE_RATES);
+    let report = run.report("fig6-2");
+    println!("{}", render::fig6_table("Figure 6-2: response time, 100% writes", &run.values));
+    print_sweep_footer(&report);
 }

@@ -3,13 +3,15 @@
 //! 105/210 accesses/s, four algorithms, over the alpha sweep. (Both
 //! figures come from the same sweep, so one binary prints both.)
 
-use decluster_bench::{print_header, scale_from_args};
+use decluster_bench::{cli_from_args, print_header, print_sweep_footer};
 use decluster_experiments::{fig8, render};
 
 fn main() {
-    let scale = scale_from_args();
-    print_header("Figures 8-1/8-2 (single-thread reconstruction)", &scale);
-    let points = fig8::figure_8_sweep(&scale, 1, &fig8::RATES);
-    println!("{}", render::fig8_recon_table("Figure 8-1: single-thread reconstruction time", &points));
-    println!("{}", render::fig8_response_table("Figure 8-2: single-thread user response time", &points));
+    let cli = cli_from_args();
+    print_header("Figures 8-1/8-2 (single-thread reconstruction)", &cli.scale);
+    let run = fig8::figure_8_sweep_on(&cli.runner(), &cli.scale, 1, &fig8::RATES);
+    let report = run.report("fig8-1/8-2");
+    println!("{}", render::fig8_recon_table("Figure 8-1: single-thread reconstruction time", &run.values));
+    println!("{}", render::fig8_response_table("Figure 8-2: single-thread user response time", &run.values));
+    print_sweep_footer(&report);
 }

@@ -3,24 +3,24 @@
 //! model's full-spare-capacity assumption corresponds to).
 
 use decluster_analytic::ReconAlgorithm;
-use decluster_bench::{print_header, scale_from_args};
-use decluster_experiments::{fig8, fig86, render};
+use decluster_bench::{cli_from_args, print_header, print_sweep_footer};
+use decluster_experiments::{fig86, render};
 
 fn main() {
-    let scale = scale_from_args();
-    print_header("Figure 8-6 (Muntz & Lui model vs simulation)", &scale);
+    let cli = cli_from_args();
+    print_header("Figure 8-6 (Muntz & Lui model vs simulation)", &cli.scale);
     for rate in [105.0, 210.0] {
         for algorithm in [ReconAlgorithm::UserWrites, ReconAlgorithm::Redirect] {
-            let points = fig86::figure_8_6(&scale, rate, algorithm, |g| {
-                fig8::run_point(&scale, g, rate, algorithm, 8).recon_secs
-            });
+            let run = fig86::figure_8_6_on(&cli.runner(), &cli.scale, rate, algorithm, 8);
+            let report = run.report(&format!("fig8-6 {algorithm} @{rate:.0}"));
             println!(
                 "{}",
                 render::fig86_table(
                     &format!("Figure 8-6: {algorithm} at {rate:.0} accesses/s (model uses mu = 46/s)"),
-                    &points
+                    &run.values
                 )
             );
+            print_sweep_footer(&report);
         }
     }
 }

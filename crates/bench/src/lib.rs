@@ -1,5 +1,5 @@
-//! Shared plumbing for the figure-regeneration binaries and Criterion
-//! benches.
+//! Shared plumbing for the figure-regeneration binaries and the
+//! dependency-free micro-benchmarks.
 //!
 //! Each binary under `src/bin/` regenerates one of the paper's tables or
 //! figures (see DESIGN.md's per-experiment index) and prints it as text.
@@ -9,49 +9,93 @@
 //!   to hours of CPU depending on the figure);
 //! * `--cylinders N` — run with N-cylinder disks (default 118 ≈ 1/8 of the
 //!   paper's drive; reconstruction times scale ≈ linearly with capacity);
-//! * `--seed S` — change the workload seed.
+//! * `--seed S` — change the workload seed;
+//! * `--threads T` — worker threads for the sweep (default: one per core;
+//!   every sweep produces identical output at any thread count).
+//!
+//! The files under `benches/` use [`Micro`], a self-calibrating
+//! wall-clock harness built on [`std::hint::black_box`] — the build
+//! environment has no crates.io access, so Criterion is not available.
 
 #![warn(missing_docs)]
 
-use decluster_experiments::ExperimentScale;
+use decluster_experiments::{ExperimentScale, Runner, SweepReport};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-/// Parses the common CLI flags into an [`ExperimentScale`].
+/// The common CLI of every figure binary.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchCli {
+    /// Experiment scale from `--full` / `--cylinders` / `--seed`.
+    pub scale: ExperimentScale,
+    /// Worker threads from `--threads` (`0` = one per core).
+    pub threads: usize,
+}
+
+impl BenchCli {
+    /// The worker pool this invocation asked for.
+    pub fn runner(&self) -> Runner {
+        Runner::new(self.threads)
+    }
+}
+
+/// Parses the common CLI flags.
 ///
 /// # Panics
 ///
 /// Panics with a usage message on malformed arguments.
-pub fn scale_from_args() -> ExperimentScale {
-    let mut scale = ExperimentScale::smoke();
+pub fn cli_from_args() -> BenchCli {
+    let mut cli = BenchCli {
+        scale: ExperimentScale::smoke(),
+        threads: 0,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--full" => scale = ExperimentScale::paper(),
+            "--full" => cli.scale = ExperimentScale::paper(),
             "--cylinders" => {
                 let n = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--cylinders needs a positive integer"));
-                scale.cylinders = n;
+                cli.scale.cylinders = n;
             }
             "--seed" => {
                 let s = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs an integer"));
-                scale.seed = s;
+                cli.scale.seed = s;
             }
-            "--help" | "-h" => usage("" ),
+            "--threads" => {
+                let t = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a non-negative integer"));
+                cli.threads = t;
+            }
+            "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
     }
-    scale
+    cli
+}
+
+/// Parses the common CLI flags into an [`ExperimentScale`] (ignores
+/// `--threads`; binaries that fan out use [`cli_from_args`]).
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed arguments.
+pub fn scale_from_args() -> ExperimentScale {
+    cli_from_args().scale
 }
 
 fn usage(problem: &str) -> ! {
     if !problem.is_empty() {
         eprintln!("error: {problem}");
     }
-    eprintln!("usage: <bin> [--full] [--cylinders N] [--seed S]");
+    eprintln!("usage: <bin> [--full] [--cylinders N] [--seed S] [--threads T]");
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }
 
@@ -72,13 +116,78 @@ pub fn print_header(what: &str, scale: &ExperimentScale) {
     println!();
 }
 
+/// Prints a sweep's throughput footer (`# <name>: N jobs on T threads …`).
+pub fn print_sweep_footer(report: &SweepReport) {
+    println!();
+    println!("# {}", report.summary_line());
+}
+
+/// A self-calibrating micro-benchmark harness: wall-clock timing with
+/// [`black_box`], no external dependencies.
+///
+/// Each case warms up for ~20 ms to estimate the per-iteration cost, then
+/// measures enough iterations for ~50 ms of runtime and prints ns/iter.
+/// Numbers are indicative (single sample, shared machine) — the harness
+/// exists so `cargo bench` keeps exercising exactly the code paths the
+/// figures use, and to make before/after comparisons cheap.
+#[derive(Debug)]
+pub struct Micro {
+    filter: Option<String>,
+    cases: usize,
+}
+
+impl Micro {
+    /// Builds the harness from the process arguments; the first non-flag
+    /// argument is a substring filter on case names (Cargo's `--bench`
+    /// flag is ignored).
+    pub fn from_args(what: &str) -> Micro {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        println!("# {what} micro-benchmarks (indicative single-sample wall clock)");
+        Micro { filter, cases: 0 }
+    }
+
+    /// Measures `f` if `name` passes the filter, printing ns/iter.
+    pub fn case<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.cases += 1;
+        // Warmup: run for ~20 ms to estimate the per-iteration cost.
+        let warmup = Duration::from_millis(20);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Measure: enough iterations for ~50 ms.
+        let iters = ((0.05 / per_iter).ceil() as u64).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        println!("bench {name:<44} {ns:>14.0} ns/iter  ({iters} iters)");
+    }
+
+    /// Cases actually measured (after filtering).
+    pub fn cases_run(&self) -> usize {
+        self.cases
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn default_scale_is_smoke() {
-        // scale_from_args reads real argv, so only check the default here.
+        // cli_from_args reads real argv, so only check the default here.
         let s = ExperimentScale::smoke();
         assert!(s.cylinders < 949);
         assert!(s.units_per_disk() > 0);
@@ -88,5 +197,29 @@ mod tests {
     fn header_mentions_scale() {
         // print_header only writes to stdout; smoke-test it doesn't panic.
         print_header("test", &ExperimentScale::tiny());
+    }
+
+    #[test]
+    fn micro_measures_a_trivial_case() {
+        let mut m = Micro {
+            filter: None,
+            cases: 0,
+        };
+        let mut x = 0u64;
+        m.case("trivial", || {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(m.cases_run(), 1);
+    }
+
+    #[test]
+    fn micro_filter_skips_mismatches() {
+        let mut m = Micro {
+            filter: Some("nothing-matches-this".into()),
+            cases: 0,
+        };
+        m.case("trivial", || 1u64);
+        assert_eq!(m.cases_run(), 0);
     }
 }

@@ -189,6 +189,20 @@ impl ParityLayout for DeclusteredLayout {
             self.units[stripe as usize * self.width as usize + self.width as usize - 1];
         UnitAddr::new(disk, offset as u64)
     }
+
+    // One contiguous copy out of the precomputed table, instead of G
+    // separate stripe/index decodes through the default method.
+    fn stripe_units_into(&self, stripe: u64, out: &mut Vec<UnitAddr>) {
+        let table = stripe / self.stripes;
+        let local = (stripe % self.stripes) as usize;
+        let base = table * self.height;
+        let g = self.width as usize;
+        out.extend(
+            self.units[local * g..(local + 1) * g]
+                .iter()
+                .map(|&(disk, offset)| UnitAddr::new(disk, offset as u64 + base)),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +317,23 @@ mod tests {
         let units = l.stripe_units(21);
         assert_eq!(units.len(), 4);
         assert!(units.iter().all(|u| u.offset >= 16 && u.offset < 32));
+    }
+
+    #[test]
+    fn stripe_units_into_matches_default_path() {
+        let l = figure_layout();
+        let mut scratch = Vec::new();
+        // Across table boundaries too: stripes 0..3 tables deep.
+        for stripe in 0..l.stripes_per_table() * 3 {
+            scratch.clear();
+            l.stripe_units_into(stripe, &mut scratch);
+            let mut expected = Vec::new();
+            for index in 0..l.data_units_per_stripe() {
+                expected.push(l.data_location(stripe, index));
+            }
+            expected.push(l.parity_location(stripe));
+            assert_eq!(scratch, expected, "stripe {stripe}");
+        }
     }
 
     #[test]

@@ -228,6 +228,18 @@ impl ArrayMapping {
         assert!(self.is_mapped(stripe), "stripe {stripe} is not mapped");
         self.layout.stripe_units(stripe)
     }
+
+    /// Appends the unit locations of a mapped stripe to `out`, in the same
+    /// order as [`ArrayMapping::stripe_units`]. The allocation-free form
+    /// for per-event hot paths: callers clear and refill a scratch buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stripe is unmapped.
+    pub fn stripe_units_into(&self, stripe: u64, out: &mut Vec<UnitAddr>) {
+        assert!(self.is_mapped(stripe), "stripe {stripe} is not mapped");
+        self.layout.stripe_units_into(stripe, out);
+    }
 }
 
 #[cfg(test)]

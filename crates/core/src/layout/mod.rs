@@ -194,11 +194,24 @@ pub trait ParityLayout: fmt::Debug + Send + Sync {
     /// in index order, then the parity unit.
     fn stripe_units(&self, stripe: u64) -> Vec<UnitAddr> {
         let mut units = Vec::with_capacity(self.stripe_width() as usize);
-        for index in 0..self.data_units_per_stripe() {
-            units.push(self.data_location(stripe, index));
-        }
-        units.push(self.parity_location(stripe));
+        self.stripe_units_into(stripe, &mut units);
         units
+    }
+
+    /// Appends the unit locations of global stripe `stripe` to `out` in the
+    /// same order as [`ParityLayout::stripe_units`]: the `G−1` data units in
+    /// index order, then the parity unit.
+    ///
+    /// This is the allocation-free form for hot paths that map stripes per
+    /// simulated event: callers keep a scratch buffer, clear it, and refill
+    /// it here. Table-backed layouts override this to copy straight out of
+    /// their precomputed tables.
+    fn stripe_units_into(&self, stripe: u64, out: &mut Vec<UnitAddr>) {
+        out.reserve(self.stripe_width() as usize);
+        for index in 0..self.data_units_per_stripe() {
+            out.push(self.data_location(stripe, index));
+        }
+        out.push(self.parity_location(stripe));
     }
 }
 

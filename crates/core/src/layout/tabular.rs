@@ -198,6 +198,21 @@ impl ParityLayout for TabularLayout {
         assert!(stripe < self.stripes_per_table(), "stripe {stripe} outside table");
         self.units[stripe as usize * self.width as usize + self.width as usize - 1]
     }
+
+    // One contiguous copy out of the parsed table, instead of G separate
+    // stripe/index decodes through the default method.
+    fn stripe_units_into(&self, stripe: u64, out: &mut Vec<UnitAddr>) {
+        let per_table = self.stripes_per_table();
+        let table = stripe / per_table;
+        let local = (stripe % per_table) as usize;
+        let base = table * self.height;
+        let g = self.width as usize;
+        out.extend(
+            self.units[local * g..(local + 1) * g]
+                .iter()
+                .map(|&u| UnitAddr::new(u.disk, u.offset + base)),
+        );
+    }
 }
 
 impl FromStr for TabularLayout {
@@ -389,5 +404,18 @@ mod tests {
         );
         assert_eq!(parsed.stripe_units(21), original.stripe_units(21));
         assert_eq!(parsed.alpha(), original.alpha());
+    }
+
+    #[test]
+    fn stripe_units_into_matches_default_path() {
+        let original = DeclusteredLayout::new(BlockDesign::complete(5, 4).unwrap()).unwrap();
+        let parsed = round_trip(&original);
+        let mut scratch = Vec::new();
+        for stripe in 0..parsed.stripes_per_table() * 3 {
+            scratch.clear();
+            parsed.stripe_units_into(stripe, &mut scratch);
+            assert_eq!(scratch, parsed.stripe_units(stripe), "stripe {stripe}");
+            assert_eq!(scratch, original.stripe_units(stripe), "stripe {stripe}");
+        }
     }
 }

@@ -9,6 +9,7 @@
 //! response time as a function of access size (in stripe units) for the
 //! declustered array against RAID 5, at equal byte bandwidth.
 
+use crate::runner::{Runner, SweepRun};
 use crate::{paper_layout, ExperimentScale};
 use decluster_array::ArraySim;
 use decluster_sim::SimTime;
@@ -42,6 +43,18 @@ pub fn run_point(
     unit_rate: f64,
     read_fraction: f64,
 ) -> AccessSizePoint {
+    run_point_counted(scale, g, units, unit_rate, read_fraction).0
+}
+
+/// [`run_point`], also returning the simulator events processed (the
+/// throughput denominator for [`Runner`] accounting).
+pub fn run_point_counted(
+    scale: &ExperimentScale,
+    g: u16,
+    units: u64,
+    unit_rate: f64,
+    read_fraction: f64,
+) -> (AccessSizePoint, u64) {
     let spec = WorkloadSpec::new(unit_rate / units as f64, read_fraction)
         .with_access_units(units);
     let report = ArraySim::new(paper_layout(g), scale.array_config(), spec, 1)
@@ -50,14 +63,15 @@ pub fn run_point(
             SimTime::from_secs(scale.duration_secs),
             SimTime::from_secs(scale.warmup_secs),
         );
-    AccessSizePoint {
+    let point = AccessSizePoint {
         group: g,
         access_units: units,
         read_fraction,
         response_ms: report.all.mean_ms(),
         utilization: report.mean_disk_utilization,
         requests_measured: report.requests_measured,
-    }
+    };
+    (point, report.events_processed)
 }
 
 /// The sweep: sizes 1..=max_units for the declustered G and for RAID 5.
@@ -68,12 +82,25 @@ pub fn sweep(
     unit_rate: f64,
     read_fraction: f64,
 ) -> Vec<AccessSizePoint> {
-    let mut points = Vec::new();
+    sweep_on(&Runner::sequential(), scale, g, max_units, unit_rate, read_fraction).into_values()
+}
+
+/// [`sweep`] fanned across `runner`'s workers.
+pub fn sweep_on(
+    runner: &Runner,
+    scale: &ExperimentScale,
+    g: u16,
+    max_units: u64,
+    unit_rate: f64,
+    read_fraction: f64,
+) -> SweepRun<AccessSizePoint> {
+    let mut jobs = Vec::new();
     for units in 1..=max_units {
-        points.push(run_point(scale, g, units, unit_rate, read_fraction));
-        points.push(run_point(scale, 21, units, unit_rate, read_fraction));
+        for group in [g, 21] {
+            jobs.push(move || run_point_counted(scale, group, units, unit_rate, read_fraction));
+        }
     }
-    points
+    runner.run(jobs)
 }
 
 #[cfg(test)]

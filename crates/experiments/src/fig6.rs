@@ -7,6 +7,7 @@
 //! four-access RMW). For each α both the fault-free array and an array
 //! with one failed, unreplaced disk are measured.
 
+use crate::runner::{Runner, SweepRun};
 use crate::{alpha_sweep, paper_layout, ExperimentScale};
 use decluster_array::ArraySim;
 use decluster_sim::SimTime;
@@ -36,6 +37,17 @@ pub struct Fig6Point {
 
 /// Runs one (G, rate, mix) point: a fault-free run and a degraded run.
 pub fn run_point(scale: &ExperimentScale, g: u16, rate: f64, read_fraction: f64) -> Fig6Point {
+    run_point_counted(scale, g, rate, read_fraction).0
+}
+
+/// [`run_point`], also returning the simulator events both runs processed
+/// (the throughput denominator for [`Runner`] accounting).
+pub fn run_point_counted(
+    scale: &ExperimentScale,
+    g: u16,
+    rate: f64,
+    read_fraction: f64,
+) -> (Fig6Point, u64) {
     let spec = WorkloadSpec::new(rate, read_fraction);
     let duration = SimTime::from_secs(scale.duration_secs);
     let warmup = SimTime::from_secs(scale.warmup_secs);
@@ -49,7 +61,7 @@ pub fn run_point(scale: &ExperimentScale, g: u16, rate: f64, read_fraction: f64)
     degraded_sim.fail_disk(0);
     let degraded = degraded_sim.run_for(duration, warmup);
 
-    Fig6Point {
+    let point = Fig6Point {
         group: g,
         alpha: (g - 1) as f64 / 20.0,
         rate,
@@ -58,27 +70,51 @@ pub fn run_point(scale: &ExperimentScale, g: u16, rate: f64, read_fraction: f64)
         degraded_ms: degraded.all.mean_ms(),
         fault_free_p90_ms: fault_free.all.percentile_ms(0.9),
         degraded_p90_ms: degraded.all.percentile_ms(0.9),
-    }
+    };
+    (point, fault_free.events_processed + degraded.events_processed)
 }
 
 /// Figure 6-1: 100 % reads over the α sweep at each rate.
 pub fn figure_6_1(scale: &ExperimentScale, rates: &[f64]) -> Vec<Fig6Point> {
-    sweep(scale, rates, 1.0)
+    figure_6_1_on(&Runner::sequential(), scale, rates).into_values()
 }
 
 /// Figure 6-2: 100 % writes over the α sweep at each rate.
 pub fn figure_6_2(scale: &ExperimentScale, rates: &[f64]) -> Vec<Fig6Point> {
-    sweep(scale, rates, 0.0)
+    figure_6_2_on(&Runner::sequential(), scale, rates).into_values()
 }
 
-fn sweep(scale: &ExperimentScale, rates: &[f64], read_fraction: f64) -> Vec<Fig6Point> {
-    let mut points = Vec::new();
+/// [`figure_6_1`] fanned across `runner`'s workers.
+pub fn figure_6_1_on(
+    runner: &Runner,
+    scale: &ExperimentScale,
+    rates: &[f64],
+) -> SweepRun<Fig6Point> {
+    sweep_on(runner, scale, rates, 1.0)
+}
+
+/// [`figure_6_2`] fanned across `runner`'s workers.
+pub fn figure_6_2_on(
+    runner: &Runner,
+    scale: &ExperimentScale,
+    rates: &[f64],
+) -> SweepRun<Fig6Point> {
+    sweep_on(runner, scale, rates, 0.0)
+}
+
+fn sweep_on(
+    runner: &Runner,
+    scale: &ExperimentScale,
+    rates: &[f64],
+    read_fraction: f64,
+) -> SweepRun<Fig6Point> {
+    let mut jobs = Vec::new();
     for &rate in rates {
         for (g, _) in alpha_sweep() {
-            points.push(run_point(scale, g, rate, read_fraction));
+            jobs.push(move || run_point_counted(scale, g, rate, read_fraction));
         }
     }
-    points
+    runner.run(jobs)
 }
 
 /// The paper's rates for Figure 6-1.

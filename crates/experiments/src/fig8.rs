@@ -8,6 +8,7 @@
 //! reconstruction; Table 8-1 additionally reports read-phase/write-phase
 //! durations of the final 300 reconstruction cycles at 210 accesses/s.
 
+use crate::runner::{Runner, SweepRun};
 use crate::{alpha_sweep, paper_layout, ExperimentScale};
 use decluster_array::{ArraySim, ReconAlgorithm, ReconReport};
 use decluster_sim::SimTime;
@@ -53,13 +54,28 @@ pub fn run_point(
     algorithm: ReconAlgorithm,
     processes: usize,
 ) -> Fig8Point {
+    run_point_counted(scale, g, rate, algorithm, processes).0
+}
+
+/// [`run_point`], also returning the simulator events processed (the
+/// throughput denominator for [`Runner`] accounting).
+pub fn run_point_counted(
+    scale: &ExperimentScale,
+    g: u16,
+    rate: f64,
+    algorithm: ReconAlgorithm,
+    processes: usize,
+) -> (Fig8Point, u64) {
     let spec = WorkloadSpec::half_and_half(rate);
     let mut sim = ArraySim::new(paper_layout(g), scale.array_config(), spec, 1)
         .expect("paper layouts map paper disks");
     sim.fail_disk(0);
     sim.start_reconstruction(algorithm, processes);
     let report = sim.run_until_reconstructed(SimTime::from_secs(scale.recon_limit_secs));
-    from_report(g, rate, algorithm, processes, &report)
+    (
+        from_report(g, rate, algorithm, processes, &report),
+        report.events_processed,
+    )
 }
 
 fn from_report(
@@ -92,27 +108,46 @@ pub const RATES: [f64; 2] = [105.0, 210.0];
 /// Figures 8-1/8-2 (single-thread) or 8-3/8-4 (`processes = 8`): the full
 /// sweep over α, algorithm, and rate.
 pub fn figure_8_sweep(scale: &ExperimentScale, processes: usize, rates: &[f64]) -> Vec<Fig8Point> {
-    let mut points = Vec::new();
+    figure_8_sweep_on(&Runner::sequential(), scale, processes, rates).into_values()
+}
+
+/// [`figure_8_sweep`] fanned across `runner`'s workers.
+pub fn figure_8_sweep_on(
+    runner: &Runner,
+    scale: &ExperimentScale,
+    processes: usize,
+    rates: &[f64],
+) -> SweepRun<Fig8Point> {
+    let mut jobs = Vec::new();
     for &rate in rates {
         for algorithm in ReconAlgorithm::ALL {
             for (g, _) in alpha_sweep() {
-                points.push(run_point(scale, g, rate, algorithm, processes));
+                jobs.push(move || run_point_counted(scale, g, rate, algorithm, processes));
             }
         }
     }
-    points
+    runner.run(jobs)
 }
 
 /// Table 8-1: reconstruction cycle phase times at 210 accesses/s for
 /// α ∈ {0.15, 0.45, 1.0}, all four algorithms, at the given parallelism.
 pub fn table_8_1(scale: &ExperimentScale, processes: usize) -> Vec<Fig8Point> {
-    let mut rows = Vec::new();
+    table_8_1_on(&Runner::sequential(), scale, processes).into_values()
+}
+
+/// [`table_8_1`] fanned across `runner`'s workers.
+pub fn table_8_1_on(
+    runner: &Runner,
+    scale: &ExperimentScale,
+    processes: usize,
+) -> SweepRun<Fig8Point> {
+    let mut jobs = Vec::new();
     for algorithm in ReconAlgorithm::ALL {
         for g in [4u16, 10, 21] {
-            rows.push(run_point(scale, g, 210.0, algorithm, processes));
+            jobs.push(move || run_point_counted(scale, g, 210.0, algorithm, processes));
         }
     }
-    rows
+    runner.run(jobs)
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! because it prices the replacement disk's sequential writes like random
 //! accesses.
 
+use crate::runner::{Runner, SweepRun};
 use crate::{alpha_sweep, ExperimentScale, PAPER_DISKS};
 use decluster_analytic::MuntzLuiModel;
 use decluster_core::recon::ReconAlgorithm;
@@ -69,6 +70,43 @@ pub fn figure_8_6(
         p.simulated_secs = simulate(p.group);
     }
     points
+}
+
+/// Full Figure 8-6 with the simulations (8-way reconstruction at each α)
+/// fanned across `runner`'s workers; model predictions are computed inline
+/// (they are closed-form and effectively free).
+pub fn figure_8_6_on(
+    runner: &Runner,
+    scale: &ExperimentScale,
+    rate: f64,
+    algorithm: ReconAlgorithm,
+    processes: usize,
+) -> SweepRun<Fig86Point> {
+    let jobs: Vec<_> = alpha_sweep()
+        .into_iter()
+        .map(|(g, _)| {
+            move || {
+                let (p, events) =
+                    crate::fig8::run_point_counted(scale, g, rate, algorithm, processes);
+                (p.recon_secs, events)
+            }
+        })
+        .collect();
+    let simulated = runner.run(jobs);
+    let values = model_sweep(scale, rate, algorithm)
+        .into_iter()
+        .zip(&simulated.values)
+        .map(|(mut p, &secs)| {
+            p.simulated_secs = secs;
+            p
+        })
+        .collect();
+    SweepRun {
+        values,
+        stats: simulated.stats,
+        threads: simulated.threads,
+        wall_secs: simulated.wall_secs,
+    }
 }
 
 #[cfg(test)]

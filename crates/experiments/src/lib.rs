@@ -38,6 +38,9 @@ pub mod fig8;
 pub mod fig86;
 pub mod mirror;
 pub mod render;
+pub mod runner;
+
+pub use runner::{Runner, SweepReport, SweepRun};
 
 use decluster_core::design::appendix;
 use decluster_core::layout::{DeclusteredLayout, ParityLayout, Raid5Layout};

@@ -10,6 +10,7 @@
 //! reliability trade. Running all three organizations on the same
 //! simulator makes the cost/performance comparison concrete.
 
+use crate::runner::{Runner, SweepRun};
 use crate::{paper_layout, ExperimentScale};
 use decluster_array::{ArraySim, ReconAlgorithm};
 use decluster_core::layout::{ChainedMirrorLayout, InterleavedMirrorLayout, ParityLayout};
@@ -79,6 +80,16 @@ pub struct MirrorPoint {
 
 /// Measures one organization under the paper's Section 8 workload shape.
 pub fn run_point(scale: &ExperimentScale, org: Organization, rate: f64) -> MirrorPoint {
+    run_point_counted(scale, org, rate).0
+}
+
+/// [`run_point`], also returning the simulator events all three runs
+/// processed (the throughput denominator for [`Runner`] accounting).
+pub fn run_point_counted(
+    scale: &ExperimentScale,
+    org: Organization,
+    rate: f64,
+) -> (MirrorPoint, u64) {
     let spec = WorkloadSpec::half_and_half(rate);
     let duration = SimTime::from_secs(scale.duration_secs);
     let warmup = SimTime::from_secs(scale.warmup_secs);
@@ -106,7 +117,7 @@ pub fn run_point(scale: &ExperimentScale, org: Organization, rate: f64) -> Mirro
     rec.start_reconstruction(ReconAlgorithm::Redirect, 8);
     let recon = rec.run_until_reconstructed(SimTime::from_secs(scale.recon_limit_secs));
 
-    MirrorPoint {
+    let point = MirrorPoint {
         organization: org,
         overhead: org.layout().parity_overhead(),
         fault_free_ms: fault_free.all.mean_ms(),
@@ -114,12 +125,20 @@ pub fn run_point(scale: &ExperimentScale, org: Organization, rate: f64) -> Mirro
         degraded_imbalance,
         recon_secs: recon.reconstruction_secs(),
         recon_user_ms: recon.user.mean_ms(),
-    }
+    };
+    let events =
+        fault_free.events_processed + degraded.events_processed + recon.events_processed;
+    (point, events)
 }
 
 /// The standard comparison: G ∈ {4, 10}, RAID 5, and both mirrors.
 pub fn comparison(scale: &ExperimentScale, rate: f64) -> Vec<MirrorPoint> {
-    [
+    comparison_on(&Runner::sequential(), scale, rate).into_values()
+}
+
+/// [`comparison`] fanned across `runner`'s workers.
+pub fn comparison_on(runner: &Runner, scale: &ExperimentScale, rate: f64) -> SweepRun<MirrorPoint> {
+    let jobs: Vec<_> = [
         Organization::ParityDeclustered { g: 4 },
         Organization::ParityDeclustered { g: 10 },
         Organization::ParityDeclustered { g: 21 },
@@ -127,8 +146,9 @@ pub fn comparison(scale: &ExperimentScale, rate: f64) -> Vec<MirrorPoint> {
         Organization::ChainedMirror,
     ]
     .into_iter()
-    .map(|org| run_point(scale, org, rate))
-    .collect()
+    .map(|org| move || run_point_counted(scale, org, rate))
+    .collect();
+    runner.run(jobs)
 }
 
 #[cfg(test)]

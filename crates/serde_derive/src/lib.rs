@@ -1,0 +1,24 @@
+//! No-op stand-ins for serde's `Serialize`/`Deserialize` derive macros.
+//!
+//! The build environment has no crates.io access, and the workspace uses
+//! the derives purely as markers (nothing serializes through serde at
+//! runtime — CSV and JSON output are hand-rolled). Expanding to an empty
+//! token stream keeps every `#[derive(Serialize, Deserialize)]` in the
+//! tree compiling unchanged, so the real serde can be swapped back in by
+//! pointing the workspace dependency at crates.io again.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and its `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and its `#[serde(...)]` attributes)
+/// and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -64,11 +64,24 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue at time zero with room for `capacity` pending
+    /// events before the heap reallocates. Long simulations schedule millions
+    /// of events but keep only a bounded set in flight; sizing the heap for
+    /// that working set up front keeps the hot loop reallocation-free.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             now: SimTime::ZERO,
             seq: 0,
         }
+    }
+
+    /// Number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// The current simulated time: the timestamp of the most recently popped
@@ -98,6 +111,13 @@ impl<E> EventQueue<E> {
             at >= self.now,
             "scheduled an event at {at} but the clock already reads {now}",
             now = self.now
+        );
+        // The tie-break counter must never wrap: at u64::MAX the ordering of
+        // same-instant events would silently invert. Even at a billion events
+        // per second this margin lasts centuries, so the check is debug-only.
+        debug_assert!(
+            self.seq < u64::MAX - (1 << 32),
+            "event sequence counter approaching u64::MAX; tie-break order would wrap"
         );
         let seq = self.seq;
         self.seq += 1;
@@ -193,6 +213,25 @@ mod tests {
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        // Filling to the requested capacity must not reallocate, and the
+        // queue must behave identically to one built with `new`.
+        let before = q.capacity();
+        for i in 0..64 {
+            q.schedule(SimTime::from_us(64 - i as u64), i);
+        }
+        assert_eq!(q.capacity(), before);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let mut expected: Vec<u32> = (0..64).collect();
+        expected.reverse();
+        assert_eq!(order, expected);
     }
 
     #[test]

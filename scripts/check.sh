@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Full local gate: release build, test suite, and lint-clean clippy.
+# Run from the repository root: scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> all checks passed"

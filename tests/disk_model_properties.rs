@@ -1,34 +1,39 @@
-//! Property-based tests on the disk model: physical plausibility bounds
+//! Property-style tests on the disk model: physical plausibility bounds
 //! that must hold for every request the simulator can generate.
+//!
+//! Randomized cases are driven by the workspace's deterministic
+//! [`SimRng`] (the build environment has no crates.io access, so proptest
+//! is unavailable); every case is reproducible from its printed case id.
 
 use decluster::disk::{Disk, DiskRequest, Geometry, IoKind, SchedPolicy, SeekModel};
-use decluster::sim::SimTime;
-use proptest::prelude::*;
+use decluster::sim::{SimRng, SimTime};
 
 fn geometry() -> Geometry {
     Geometry::ibm0661()
 }
 
-/// Strategy: a valid 4 KB-style request (1..=64 sectors) anywhere on disk.
-fn request() -> impl Strategy<Value = (u64, u32)> {
-    let g = geometry();
-    let total = g.total_sectors();
-    (0u64..total, 1u32..=64).prop_filter("fits on disk", move |(start, sectors)| {
-        start + *sectors as u64 <= total
-    })
+/// A valid 4 KB-style request (1..=64 sectors) anywhere on disk.
+fn request(rng: &mut SimRng) -> (u64, u32) {
+    let total = geometry().total_sectors();
+    loop {
+        let start = rng.below(total);
+        let sectors = 1 + rng.below(64) as u32;
+        if start + sectors as u64 <= total {
+            return (start, sectors);
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Service time is bounded below by the pure transfer time and above by
+/// max seek + full rotation + transfer with every skew penalty.
+#[test]
+fn service_time_is_physically_bounded() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::new(0x5EED_2001 ^ case);
+        let (start, sectors) = request(&mut rng);
+        let head_warm = request(&mut rng);
+        let now_ms = rng.below(100_000);
 
-    /// Service time is bounded below by the pure transfer time and above
-    /// by max seek + full rotation + transfer with every skew penalty.
-    #[test]
-    fn service_time_is_physically_bounded(
-        (start, sectors) in request(),
-        head_warm in request(),
-        now_ms in 0u64..100_000,
-    ) {
         let g = geometry();
         let mut disk = Disk::new(g, 0);
         // Position the head somewhere by serving one access first.
@@ -45,9 +50,9 @@ proptest! {
 
         let sector_ms = g.sector_time_us() / 1_000.0;
         let min_transfer = sectors as f64 * sector_ms;
-        prop_assert!(
+        assert!(
             service >= min_transfer - 0.01,
-            "service {service} below transfer floor {min_transfer}"
+            "case {case}: service {service} below transfer floor {min_transfer}"
         );
         let crossings = (g.track_of(start + sectors as u64 - 1) - g.track_of(start)) as f64;
         let max = g.seek_max_ms
@@ -55,21 +60,29 @@ proptest! {
             + min_transfer
             + crossings * g.track_skew_sectors as f64 * sector_ms
             + 0.01;
-        prop_assert!(service <= max, "service {service} above ceiling {max}");
+        assert!(
+            service <= max,
+            "case {case}: service {service} above ceiling {max}"
+        );
     }
+}
 
-    /// Completions from a busy disk are strictly ordered in time and every
-    /// submitted request completes exactly once, under every scheduler.
-    #[test]
-    fn every_request_completes_once(
-        reqs in proptest::collection::vec(request(), 1..40),
-        policy in prop_oneof![
-            Just(SchedPolicy::Fcfs),
-            Just(SchedPolicy::cvscan()),
-            Just(SchedPolicy::sstf()),
-            Just(SchedPolicy::scan()),
-        ],
-    ) {
+/// Completions from a busy disk are strictly ordered in time and every
+/// submitted request completes exactly once, under every scheduler.
+#[test]
+fn every_request_completes_once() {
+    let policies = [
+        SchedPolicy::Fcfs,
+        SchedPolicy::cvscan(),
+        SchedPolicy::sstf(),
+        SchedPolicy::scan(),
+    ];
+    for case in 0..128u64 {
+        let mut rng = SimRng::new(0x5EED_2002 ^ case);
+        let n = 1 + rng.below(39) as usize;
+        let reqs: Vec<(u64, u32)> = (0..n).map(|_| request(&mut rng)).collect();
+        let policy = policies[rng.below(policies.len() as u64) as usize];
+
         let g = geometry();
         let mut disk = Disk::with_policy(g, 0, policy);
         let mut next = None;
@@ -83,45 +96,58 @@ proptest! {
         let mut last = SimTime::ZERO;
         let mut current = next.expect("first submit starts service");
         loop {
-            prop_assert!(current.at >= last, "completions went backwards");
+            assert!(current.at >= last, "case {case}: completions went backwards");
             last = current.at;
             let (id, nxt) = disk.complete(current.at);
-            prop_assert!(!done[id as usize], "request {id} completed twice");
+            assert!(!done[id as usize], "case {case}: request {id} completed twice");
             done[id as usize] = true;
             match nxt {
                 Some(c) => current = c,
                 None => break,
             }
         }
-        prop_assert!(done.iter().all(|&d| d), "requests dropped: {done:?}");
-        prop_assert_eq!(disk.stats().ios, reqs.len() as u64);
+        assert!(done.iter().all(|&d| d), "case {case}: requests dropped: {done:?}");
+        assert_eq!(disk.stats().ios, reqs.len() as u64, "case {case}");
     }
+}
 
-    /// The fitted seek curve is monotone and within spec for any scaled
-    /// geometry the experiments use.
-    #[test]
-    fn seek_fit_holds_for_scaled_disks(cylinders in 3u32..=949) {
+/// The fitted seek curve is monotone and within spec for any scaled
+/// geometry the experiments use.
+#[test]
+fn seek_fit_holds_for_scaled_disks() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::new(0x5EED_2003 ^ case);
+        let cylinders = 3 + rng.below(947) as u32;
         let g = Geometry::ibm0661_scaled(cylinders);
         let m = SeekModel::fit(&g);
-        prop_assert!((m.seek_us(1) - g.seek_min_ms * 1000.0).abs() < 1e-6);
-        prop_assert!(
-            (m.seek_us(cylinders - 1) - g.seek_max_ms * 1000.0).abs() < 1e-6
+        assert!(
+            (m.seek_us(1) - g.seek_min_ms * 1000.0).abs() < 1e-6,
+            "case {case}: cylinders {cylinders}"
+        );
+        assert!(
+            (m.seek_us(cylinders - 1) - g.seek_max_ms * 1000.0).abs() < 1e-6,
+            "case {case}: cylinders {cylinders}"
         );
         let mut prev = 0.0;
         let step = (cylinders / 97).max(1);
         let mut d = 0;
         while d < cylinders {
             let t = m.seek_us(d);
-            prop_assert!(t >= prev - 1e-9, "seek decreased at {d}");
+            assert!(t >= prev - 1e-9, "case {case}: seek decreased at {d}");
             prev = t;
             d += step;
         }
     }
+}
 
-    /// Utilization never exceeds 1 and busy time never exceeds elapsed
-    /// time.
-    #[test]
-    fn utilization_bounded(reqs in proptest::collection::vec(request(), 1..30)) {
+/// Utilization never exceeds 1 and busy time never exceeds elapsed time.
+#[test]
+fn utilization_bounded() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::new(0x5EED_2004 ^ case);
+        let n = 1 + rng.below(29) as usize;
+        let reqs: Vec<(u64, u32)> = (0..n).map(|_| request(&mut rng)).collect();
+
         let g = geometry();
         let mut disk = Disk::new(g, 0);
         let mut current = None;
@@ -136,14 +162,14 @@ proptest! {
         loop {
             last = c.at;
             match disk.complete(c.at).1 {
-                Some(n) => c = n,
+                Some(nxt) => c = nxt,
                 None => break,
             }
         }
         let util = disk.stats().utilization(last);
-        prop_assert!(util <= 1.0 + 1e-9, "utilization {util}");
+        assert!(util <= 1.0 + 1e-9, "case {case}: utilization {util}");
         // Back-to-back service with a non-empty queue: the disk never
         // idles, so utilization is exactly 1 up to rounding.
-        prop_assert!(util > 0.99, "saturated disk underutilized: {util}");
+        assert!(util > 0.99, "case {case}: saturated disk underutilized: {util}");
     }
 }

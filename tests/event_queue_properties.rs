@@ -1,9 +1,12 @@
-//! Property-based test of the event queue against a reference model: a
+//! Property-style tests of the event queue against a reference model: a
 //! sorted list with stable insertion order. The whole simulator's
 //! causality rests on this ordering.
+//!
+//! Randomized cases are driven by the workspace's own deterministic
+//! [`SimRng`] (the build environment has no crates.io access, so proptest
+//! is unavailable); every case is reproducible from its printed case id.
 
-use decluster::sim::{EventQueue, SimTime};
-use proptest::prelude::*;
+use decluster::sim::{EventQueue, SimRng, SimTime};
 
 /// A scripted action against both implementations.
 #[derive(Debug, Clone)]
@@ -14,25 +17,29 @@ enum Action {
     Pop,
 }
 
-fn actions() -> impl Strategy<Value = Vec<Action>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u64..10_000).prop_map(Action::Schedule),
-            Just(Action::Pop),
-        ],
-        1..200,
-    )
+fn random_script(rng: &mut SimRng) -> Vec<Action> {
+    let len = 1 + rng.below(200) as usize;
+    (0..len)
+        .map(|_| {
+            if rng.chance(0.5) {
+                Action::Schedule(rng.below(10_000))
+            } else {
+                Action::Pop
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The queue agrees with a stable-sorted reference under arbitrary
-    /// interleavings of schedules and pops.
-    #[test]
-    fn matches_reference_model(script in actions()) {
+/// The queue agrees with a stable-sorted reference under arbitrary
+/// interleavings of schedules and pops.
+#[test]
+fn matches_reference_model() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::new(0x5EED_0001 ^ case);
+        let script = random_script(&mut rng);
         let mut queue: EventQueue<u32> = EventQueue::new();
-        // Reference: (time, insertion sequence, payload), kept sorted.
+        // Reference: (time, insertion sequence, payload), popped by minimum
+        // (time, seq).
         let mut reference: Vec<(SimTime, u64, u32)> = Vec::new();
         let mut now = SimTime::ZERO;
         let mut seq = 0u64;
@@ -58,19 +65,43 @@ proptest! {
                         (None, None) => {}
                         (Some((at, got)), Some(i)) => {
                             let (eat, _, want) = reference.remove(i);
-                            prop_assert_eq!(at, eat, "pop time mismatch");
-                            prop_assert_eq!(got, want, "pop payload mismatch");
-                            prop_assert!(at >= now, "time went backwards");
+                            assert_eq!(at, eat, "case {case}: pop time mismatch");
+                            assert_eq!(got, want, "case {case}: pop payload mismatch");
+                            assert!(at >= now, "case {case}: time went backwards");
                             now = at;
-                            prop_assert_eq!(queue.now(), now);
+                            assert_eq!(queue.now(), now);
                         }
                         (got, want) => {
-                            prop_assert!(false, "emptiness mismatch: {got:?} vs {want:?}");
+                            panic!("case {case}: emptiness mismatch: {got:?} vs {want:?}");
                         }
                     }
                 }
             }
         }
-        prop_assert_eq!(queue.len(), reference.len());
+        assert_eq!(queue.len(), reference.len(), "case {case}");
+    }
+}
+
+/// Draining the queue yields exactly the schedule sorted by (time, seq):
+/// the tie-break documented on `Scheduled::cmp` holds for arbitrary
+/// schedules, including heavy same-instant collisions.
+#[test]
+fn pop_order_equals_sorted_time_seq_order() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::new(0x5EED_0002 ^ case);
+        let n = 1 + rng.below(300) as usize;
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        let mut scheduled: Vec<(SimTime, u64, usize)> = Vec::new();
+        for i in 0..n {
+            // Coarse timestamps force plenty of exact ties.
+            let at = SimTime::from_us(rng.below(40) * 100);
+            queue.schedule(at, i);
+            scheduled.push((at, i as u64, i));
+        }
+        scheduled.sort_by_key(|&(at, seq, _)| (at, seq));
+        let drained: Vec<(SimTime, usize)> = std::iter::from_fn(|| queue.pop()).collect();
+        let expected: Vec<(SimTime, usize)> =
+            scheduled.into_iter().map(|(at, _, e)| (at, e)).collect();
+        assert_eq!(drained, expected, "case {case}");
     }
 }

@@ -1,161 +1,186 @@
-//! Property-based tests on the layout machinery: every constructible
+//! Property-style tests on the layout machinery: every constructible
 //! design must yield a layout meeting the paper's criteria, and array
 //! mappings must round-trip addresses for arbitrary disk sizes.
+//!
+//! Cases are enumerated/randomized with the workspace's deterministic
+//! [`SimRng`] (no crates.io access in the build environment, so proptest
+//! is unavailable); each case is identified in assertion messages.
 
 use decluster::core::design::{catalog, BlockDesign};
 use decluster::core::layout::{
     criteria, tabular, ArrayMapping, DeclusteredLayout, ParityLayout, Raid5Layout,
     TabularLayout, UnitRole,
 };
-use proptest::prelude::*;
+use decluster::sim::SimRng;
 use std::sync::Arc;
 
-/// Strategy: a (v, k) pair the catalog can satisfy with a small table.
-fn small_catalog_pair() -> impl Strategy<Value = (u16, u16)> {
-    (3u16..=13, 2u16..=13)
-        .prop_filter("k <= v", |(v, k)| k <= v)
-        .prop_filter("design exists", |(v, k)| {
-            catalog::find_with_limit(*v, *k, 2_000).is_ok()
-        })
+/// Every (v, k) pair with `k <= v` the catalog can satisfy with a small
+/// table — the strategy space the proptest version sampled from.
+fn small_catalog_pairs() -> Vec<(u16, u16)> {
+    let mut pairs = Vec::new();
+    for v in 3u16..=13 {
+        for k in 2u16..=v {
+            if catalog::find_with_limit(v, k, 2_000).is_ok() {
+                pairs.push((v, k));
+            }
+        }
+    }
+    assert!(!pairs.is_empty(), "catalog satisfies no small designs");
+    pairs
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn build_layout(v: u16, k: u16) -> Option<DeclusteredLayout> {
+    let design = catalog::find_with_limit(v, k, 2_000).unwrap();
+    if design.params().k < 2 {
+        return None;
+    }
+    Some(DeclusteredLayout::new(design).unwrap())
+}
 
-    /// Criteria 1–3 hold for every layout the catalog can build.
-    #[test]
-    fn catalog_layouts_meet_criteria((v, k) in small_catalog_pair()) {
-        let design = catalog::find_with_limit(v, k, 2_000).unwrap();
-        if design.params().k < 2 {
-            return Ok(());
-        }
-        let layout = DeclusteredLayout::new(design).unwrap();
+/// Criteria 1–3 hold for every layout the catalog can build.
+#[test]
+fn catalog_layouts_meet_criteria() {
+    for (v, k) in small_catalog_pairs() {
+        let Some(layout) = build_layout(v, k) else { continue };
         let report = criteria::check(&layout);
-        prop_assert!(report.all_hold(), "v={v} k={k}: {report:?}");
+        assert!(report.all_hold(), "v={v} k={k}: {report:?}");
     }
+}
 
-    /// role_at and the stripe-location functions are mutually inverse over
-    /// arbitrary global offsets.
-    #[test]
-    fn role_location_inverse(
-        (v, k) in small_catalog_pair(),
-        offset in 0u64..5_000,
-        disk_sel in 0u16..100,
-    ) {
-        let design = catalog::find_with_limit(v, k, 2_000).unwrap();
-        if design.params().k < 2 {
-            return Ok(());
-        }
-        let layout = DeclusteredLayout::new(design).unwrap();
-        let disk = disk_sel % layout.disks();
-        match layout.role_at(disk, offset) {
-            UnitRole::Data { stripe, index } => {
-                let addr = layout.data_location(stripe, index);
-                prop_assert_eq!((addr.disk, addr.offset), (disk, offset));
+/// role_at and the stripe-location functions are mutually inverse over
+/// arbitrary global offsets.
+#[test]
+fn role_location_inverse() {
+    let mut rng = SimRng::new(0x5EED_1001);
+    for (v, k) in small_catalog_pairs() {
+        let Some(layout) = build_layout(v, k) else { continue };
+        for _ in 0..24 {
+            let offset = rng.below(5_000);
+            let disk = (rng.below(100) % layout.disks() as u64) as u16;
+            match layout.role_at(disk, offset) {
+                UnitRole::Data { stripe, index } => {
+                    let addr = layout.data_location(stripe, index);
+                    assert_eq!(
+                        (addr.disk, addr.offset),
+                        (disk, offset),
+                        "v={v} k={k} disk={disk} offset={offset}"
+                    );
+                }
+                UnitRole::Parity { stripe } => {
+                    let addr = layout.parity_location(stripe);
+                    assert_eq!(
+                        (addr.disk, addr.offset),
+                        (disk, offset),
+                        "v={v} k={k} disk={disk} offset={offset}"
+                    );
+                }
+                UnitRole::Unmapped => panic!("v={v} k={k}: raw layouts have no holes"),
             }
-            UnitRole::Parity { stripe } => {
-                let addr = layout.parity_location(stripe);
-                prop_assert_eq!((addr.disk, addr.offset), (disk, offset));
+        }
+    }
+}
+
+/// Array mappings round-trip logical addresses for arbitrary disk sizes
+/// (including awkward partial-table remainders).
+#[test]
+fn mapping_round_trips() {
+    let mut rng = SimRng::new(0x5EED_1002);
+    for (v, k) in small_catalog_pairs() {
+        let Some(layout) = build_layout(v, k) else { continue };
+        let layout: Arc<dyn ParityLayout> = Arc::new(layout);
+        for _ in 0..6 {
+            let units = 1 + rng.below(3_999);
+            let Ok(mapping) = ArrayMapping::new(Arc::clone(&layout), units) else {
+                // Disk too small to hold a single stripe: acceptable rejection.
+                continue;
+            };
+            // Sample the logical space rather than sweeping it.
+            let step = (mapping.data_units() / 64).max(1);
+            let mut logical = 0;
+            while logical < mapping.data_units() {
+                let (stripe, index) = mapping.logical_to_stripe(logical);
+                assert_eq!(
+                    mapping.stripe_to_logical(stripe, index),
+                    Some(logical),
+                    "v={v} k={k} units={units}"
+                );
+                let addr = mapping.logical_to_addr(logical);
+                assert!(addr.offset < units, "v={v} k={k}: unit past disk end");
+                assert_eq!(
+                    mapping.role_at(addr.disk, addr.offset),
+                    UnitRole::Data { stripe, index },
+                    "v={v} k={k} units={units} logical={logical}"
+                );
+                logical += step;
             }
-            UnitRole::Unmapped => prop_assert!(false, "raw layouts have no holes"),
         }
     }
+}
 
-    /// Array mappings round-trip logical addresses for arbitrary disk
-    /// sizes (including awkward partial-table remainders).
-    #[test]
-    fn mapping_round_trips(
-        (v, k) in small_catalog_pair(),
-        units in 1u64..4_000,
-    ) {
-        let design = catalog::find_with_limit(v, k, 2_000).unwrap();
-        if design.params().k < 2 {
-            return Ok(());
-        }
-        let layout: Arc<dyn ParityLayout> =
-            Arc::new(DeclusteredLayout::new(design).unwrap());
-        let Ok(mapping) = ArrayMapping::new(layout, units) else {
-            // Disk too small to hold a single stripe: acceptable rejection.
-            return Ok(());
-        };
-        // Sample the logical space rather than sweeping it.
-        let step = (mapping.data_units() / 64).max(1);
-        let mut logical = 0;
-        while logical < mapping.data_units() {
-            let (stripe, index) = mapping.logical_to_stripe(logical);
-            prop_assert_eq!(mapping.stripe_to_logical(stripe, index), Some(logical));
-            let addr = mapping.logical_to_addr(logical);
-            prop_assert!(addr.offset < units, "unit past disk end");
-            prop_assert_eq!(
-                mapping.role_at(addr.disk, addr.offset),
-                UnitRole::Data { stripe, index }
-            );
-            logical += step;
-        }
-    }
-
-    /// Every mapped stripe of a truncated mapping lies entirely below the
-    /// disk end — reconstruction never chases a missing unit.
-    #[test]
-    fn truncation_never_splits_stripes(
-        (v, k) in small_catalog_pair(),
-        units in 1u64..4_000,
-    ) {
-        let design = catalog::find_with_limit(v, k, 2_000).unwrap();
-        if design.params().k < 2 {
-            return Ok(());
-        }
-        let layout: Arc<dyn ParityLayout> =
-            Arc::new(DeclusteredLayout::new(design).unwrap());
-        let Ok(mapping) = ArrayMapping::new(layout, units) else {
-            return Ok(());
-        };
-        let step = (mapping.stripes() / 64).max(1);
-        let mut seq = 0;
-        while seq < mapping.stripes() {
-            let stripe = mapping.stripe_by_seq(seq);
-            for u in mapping.stripe_units(stripe) {
-                prop_assert!(u.offset < units, "stripe {stripe} leaks past disk end");
+/// Every mapped stripe of a truncated mapping lies entirely below the
+/// disk end — reconstruction never chases a missing unit.
+#[test]
+fn truncation_never_splits_stripes() {
+    let mut rng = SimRng::new(0x5EED_1003);
+    for (v, k) in small_catalog_pairs() {
+        let Some(layout) = build_layout(v, k) else { continue };
+        let layout: Arc<dyn ParityLayout> = Arc::new(layout);
+        for _ in 0..6 {
+            let units = 1 + rng.below(3_999);
+            let Ok(mapping) = ArrayMapping::new(Arc::clone(&layout), units) else {
+                continue;
+            };
+            let step = (mapping.stripes() / 64).max(1);
+            let mut seq = 0;
+            while seq < mapping.stripes() {
+                let stripe = mapping.stripe_by_seq(seq);
+                for u in mapping.stripe_units(stripe) {
+                    assert!(
+                        u.offset < units,
+                        "v={v} k={k} units={units}: stripe {stripe} leaks past disk end"
+                    );
+                }
+                seq += step;
             }
-            seq += step;
         }
     }
+}
 
-    /// Any catalog layout survives a text round-trip through the portable
-    /// table format cell-for-cell.
-    #[test]
-    fn tabular_round_trip((v, k) in small_catalog_pair()) {
-        let design = catalog::find_with_limit(v, k, 2_000).unwrap();
-        if design.params().k < 2 {
-            return Ok(());
-        }
-        let layout = DeclusteredLayout::new(design).unwrap();
+/// Any catalog layout survives a text round-trip through the portable
+/// table format cell-for-cell.
+#[test]
+fn tabular_round_trip() {
+    for (v, k) in small_catalog_pairs() {
+        let Some(layout) = build_layout(v, k) else { continue };
         let parsed: TabularLayout = tabular::export(&layout).parse().unwrap();
-        prop_assert_eq!(parsed.disks(), layout.disks());
-        prop_assert_eq!(parsed.table_height(), layout.table_height());
+        assert_eq!(parsed.disks(), layout.disks());
+        assert_eq!(parsed.table_height(), layout.table_height());
         for disk in 0..layout.disks() {
             for offset in 0..layout.table_height() {
-                prop_assert_eq!(
+                assert_eq!(
                     parsed.role_in_table(disk, offset),
-                    layout.role_in_table(disk, offset)
+                    layout.role_in_table(disk, offset),
+                    "v={v} k={k} disk={disk} offset={offset}"
                 );
             }
         }
     }
+}
 
-    /// RAID 5 layouts of any width satisfy the criteria (the baseline the
-    /// paper compares against).
-    #[test]
-    fn raid5_criteria_hold(c in 2u16..40) {
+/// RAID 5 layouts of any width satisfy the criteria (the baseline the
+/// paper compares against).
+#[test]
+fn raid5_criteria_hold() {
+    for c in 2u16..40 {
         let layout = Raid5Layout::new(c).unwrap();
         let report = criteria::check(&layout);
-        prop_assert!(report.all_hold(), "C={c}: {report:?}");
-        prop_assert_eq!(report.sequential_parallelism, c as usize);
+        assert!(report.all_hold(), "C={c}: {report:?}");
+        assert_eq!(report.sequential_parallelism, c as usize);
     }
 }
 
-/// Non-proptest sanity check: the complete-design layout used throughout
-/// the paper's figures satisfies the invariants the paper derives.
+/// Sanity check: the complete-design layout used throughout the paper's
+/// figures satisfies the invariants the paper derives.
 #[test]
 fn paper_figure_layout_invariants() {
     let design = BlockDesign::complete(5, 4).unwrap();
