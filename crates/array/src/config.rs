@@ -1,6 +1,6 @@
 //! Array configuration.
 
-use decluster_disk::{Geometry, SchedPolicy};
+use decluster_disk::{Geometry, MediaFaultConfig, SchedPolicy};
 use serde::{Deserialize, Serialize};
 
 /// Physical and policy configuration of the simulated array, matching the
@@ -37,6 +37,10 @@ pub struct ArrayConfig {
     /// replacement disks, the paper's organization). With spares reserved,
     /// reconstruction may rebuild into them instead of a replacement.
     pub spare_units_per_disk: u64,
+    /// Media error processes injected into every disk (latent sector
+    /// errors, transient failures with retry/backoff). Inactive by
+    /// default: fault-free runs pay zero overhead.
+    pub media_faults: MediaFaultConfig,
 }
 
 impl ArrayConfig {
@@ -50,6 +54,7 @@ impl ArrayConfig {
             recon_throttle_us: 0,
             recon_priority: false,
             spare_units_per_disk: 0,
+            media_faults: MediaFaultConfig::none(),
         }
     }
 
@@ -108,6 +113,12 @@ impl ArrayConfig {
         self
     }
 
+    /// Returns a copy with the given media fault processes.
+    pub fn with_media_faults(mut self, faults: MediaFaultConfig) -> ArrayConfig {
+        self.media_faults = faults;
+        self
+    }
+
     /// Units per disk available for data and parity (total minus the
     /// distributed-spare reservation).
     pub fn data_units_per_disk(&self) -> u64 {
@@ -152,5 +163,8 @@ mod tests {
         let cfg = cfg.with_distributed_spares(1000);
         assert_eq!(cfg.data_units_per_disk(), cfg.units_per_disk() - 1000);
         assert_eq!(ArrayConfig::default(), ArrayConfig::paper());
+        let cfg = cfg.with_media_faults(MediaFaultConfig::none().with_latent_rate(1e-6));
+        assert!(cfg.media_faults.is_active());
+        assert!(!ArrayConfig::paper().media_faults.is_active());
     }
 }

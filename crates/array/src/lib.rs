@@ -39,10 +39,11 @@
 //! let layout = Arc::new(DeclusteredLayout::new(BlockDesign::complete(5, 4)?)?);
 //! let cfg = ArrayConfig::scaled(40); // 40-cylinder mini-disks for a fast test
 //! let mut sim = ArraySim::new(layout, cfg, WorkloadSpec::half_and_half(20.0), 1)?;
-//! sim.fail_disk(0);
-//! sim.start_reconstruction(ReconAlgorithm::Baseline, 1);
+//! sim.fail_disk(0)?;
+//! sim.start_reconstruction(ReconAlgorithm::Baseline, 1)?;
 //! let report = sim.run_until_reconstructed(SimTime::from_secs(10_000));
 //! assert!(report.reconstruction_time.is_some());
+//! assert!(report.data_loss.is_empty()); // single failure: nothing lost
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -51,6 +52,7 @@
 pub mod config;
 pub mod data;
 pub mod extent;
+pub mod loss;
 pub mod plan;
 pub mod report;
 pub mod sim;
@@ -59,5 +61,5 @@ pub mod spare;
 
 pub use config::ArrayConfig;
 pub use decluster_core::recon::ReconAlgorithm;
-pub use report::{ReconReport, RunReport};
-pub use sim::ArraySim;
+pub use report::{DataLossReport, LossCause, LostStripe, ReconReport, RunReport};
+pub use sim::{ArraySim, FaultPlan};

@@ -1,0 +1,171 @@
+//! Data-loss assessment: which stripes become unrecoverable when a fault
+//! lands beyond the array's single-failure tolerance.
+//!
+//! A single-failure-correcting stripe survives any one unavailable unit;
+//! it loses data exactly when **two or more** of its units are
+//! unavailable at once. [`assess_second_failure`] evaluates that
+//! criterion for every stripe of the array at the instant a second
+//! whole-disk failure lands, taking reconstruction progress into account:
+//!
+//! * a unit on the newly-failed disk is unavailable;
+//! * a unit of the first failed disk is unavailable until rebuilt — and,
+//!   under distributed sparing, unavailable *again* if its spare slot
+//!   sits on the newly-failed disk;
+//! * with a dedicated replacement, rebuilt units live on the replacement
+//!   (same index as the first failure) and survive it.
+//!
+//! The function is pure — mapping + fault state in, lost stripes out — so
+//! the exact-set tests in `tests/fault_injection.rs` can check it against
+//! layouts where the answer is computable by hand.
+
+use crate::report::{LossCause, LostStripe};
+use crate::spare::SpareMap;
+use decluster_core::layout::{ArrayMapping, UnitAddr};
+
+/// Enumerates the stripes that lose data when `second` fails while
+/// `first` (if any) is already failed or under reconstruction.
+///
+/// `rebuilt` is the first failure's per-offset rebuilt map (`None` when no
+/// rebuild is active); `spares` is the distributed-sparing assignment
+/// (`None` for a dedicated replacement, where a rebuilt unit lives at the
+/// first failure's own index on the swapped-in drive).
+///
+/// Lost stripes come back in stripe-id order, each with its unavailable
+/// units split into data and parity (a stripe's parity unit is its last).
+pub fn assess_second_failure(
+    mapping: &ArrayMapping,
+    first: Option<u16>,
+    second: u16,
+    rebuilt: Option<&[bool]>,
+    spares: Option<&SpareMap>,
+) -> Vec<LostStripe> {
+    let unavailable = |u: UnitAddr| -> bool {
+        if u.disk == second {
+            return true;
+        }
+        if Some(u.disk) != first {
+            return false;
+        }
+        match rebuilt {
+            // Rebuilt: alive on the replacement (survives unless it was
+            // rebuilt into a spare slot on the disk that just died).
+            Some(r) if r[u.offset as usize] => match spares {
+                Some(s) => s
+                    .spare_of(u.offset)
+                    .is_none_or(|slot| slot.disk == second),
+                None => false,
+            },
+            // Not rebuilt (or no rebuild at all): still lost.
+            _ => true,
+        }
+    };
+
+    let mut lost = Vec::new();
+    let mut units = Vec::new();
+    for stripe in 0..mapping.stripes() {
+        if !mapping.is_mapped(stripe) {
+            continue;
+        }
+        units.clear();
+        mapping.stripe_units_into(stripe, &mut units);
+        let parity_index = units.len() - 1; // stripe_units orders parity last
+        let mut data = 0u16;
+        let mut parity = 0u16;
+        for (i, &u) in units.iter().enumerate() {
+            if unavailable(u) {
+                if i == parity_index {
+                    parity += 1;
+                } else {
+                    data += 1;
+                }
+            }
+        }
+        if data + parity >= 2 {
+            lost.push(LostStripe {
+                stripe,
+                data_units: data,
+                parity_units: parity,
+                cause: LossCause::SecondDiskFailure,
+            });
+        }
+    }
+    lost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decluster_core::design::BlockDesign;
+    use decluster_core::layout::{DeclusteredLayout, ParityLayout};
+    use std::sync::Arc;
+
+    fn mapping(g: u16, units: u64) -> ArrayMapping {
+        let layout: Arc<dyn ParityLayout> = Arc::new(
+            DeclusteredLayout::new(BlockDesign::complete(6, g).unwrap()).unwrap(),
+        );
+        ArrayMapping::new(layout, units).unwrap()
+    }
+
+    /// Stripes holding units on both disks, straight from the mapping.
+    fn sharing(m: &ArrayMapping, a: u16, b: u16) -> Vec<u64> {
+        (0..m.stripes())
+            .filter(|&s| {
+                m.is_mapped(s) && {
+                    let units = m.stripe_units(s);
+                    units.iter().any(|u| u.disk == a) && units.iter().any(|u| u.disk == b)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_prior_failure_loses_nothing() {
+        let m = mapping(4, 120);
+        assert!(assess_second_failure(&m, None, 2, None, None).is_empty());
+    }
+
+    #[test]
+    fn degraded_double_failure_loses_exactly_the_shared_stripes() {
+        let m = mapping(4, 120);
+        let lost = assess_second_failure(&m, Some(0), 1, None, None);
+        let ids: Vec<u64> = lost.iter().map(|l| l.stripe).collect();
+        assert_eq!(ids, sharing(&m, 0, 1));
+        for l in &lost {
+            assert_eq!(l.data_units + l.parity_units, 2);
+            assert_eq!(l.cause, LossCause::SecondDiskFailure);
+        }
+    }
+
+    #[test]
+    fn fully_rebuilt_replacement_survives_second_failure() {
+        let m = mapping(4, 120);
+        let rebuilt = vec![true; 120];
+        let lost = assess_second_failure(&m, Some(0), 1, Some(&rebuilt), None);
+        assert!(lost.is_empty(), "rebuilt units live on the replacement");
+    }
+
+    #[test]
+    fn partially_rebuilt_loss_shrinks_with_progress() {
+        let m = mapping(4, 120);
+        let none = vec![false; 120];
+        let half: Vec<bool> = (0..120).map(|o| o < 60).collect();
+        let l_none = assess_second_failure(&m, Some(0), 1, Some(&none), None);
+        let l_half = assess_second_failure(&m, Some(0), 1, Some(&half), None);
+        assert!(l_half.len() < l_none.len());
+    }
+
+    #[test]
+    fn distributed_sparing_survives_any_single_follow_on_failure() {
+        // After a complete rebuild into spares, the placement constraint
+        // (no spare on a disk holding a unit of the same stripe)
+        // guarantees zero loss for ANY second failure.
+        let m = mapping(4, 120);
+        let spares = SpareMap::build(&m, 0, 40).unwrap();
+        let rebuilt = vec![true; 120];
+        for second in 1..m.disks() {
+            let lost =
+                assess_second_failure(&m, Some(0), second, Some(&rebuilt), Some(&spares));
+            assert!(lost.is_empty(), "disk {second} failure lost {lost:?}");
+        }
+    }
+}

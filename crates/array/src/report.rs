@@ -3,6 +3,76 @@
 use decluster_sim::{OnlineStats, ResponseStats, SimTime};
 use serde::{Deserialize, Serialize};
 
+/// Why a stripe lost data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossCause {
+    /// A second whole-disk failure made two of the stripe's units
+    /// unavailable.
+    SecondDiskFailure,
+    /// An unreadable sector was discovered while the stripe was already
+    /// missing a unit (degraded or not yet rebuilt).
+    MediaError {
+        /// The disk whose sector was unreadable.
+        disk: u16,
+    },
+}
+
+/// One parity stripe that lost data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LostStripe {
+    /// The stripe's id in the array mapping.
+    pub stripe: u64,
+    /// Unavailable data units in the stripe.
+    pub data_units: u16,
+    /// Unavailable parity units in the stripe (0 or 1).
+    pub parity_units: u16,
+    /// What made the stripe unrecoverable.
+    pub cause: LossCause,
+}
+
+/// Accounting of data lost to faults beyond the array's single-failure
+/// tolerance: which stripes became unrecoverable, split into data and
+/// parity units, plus how far reconstruction had progressed when the
+/// fatal fault landed.
+///
+/// An empty report (the [`Default`]) means the run lost nothing.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DataLossReport {
+    /// Every stripe that lost data, in stripe-id order for whole-disk
+    /// failures, discovery order for media errors.
+    pub stripes: Vec<LostStripe>,
+    /// The second whole-disk failure that ended the run, if one fired:
+    /// `(disk, time)`.
+    pub second_failure: Option<(u16, SimTime)>,
+    /// Reconstruction progress when the second failure landed:
+    /// `(units rebuilt, units total)`. `None` when no rebuild was active.
+    pub rebuilt_before_loss: Option<(u64, u64)>,
+}
+
+impl DataLossReport {
+    /// Whether the run lost any data.
+    pub fn is_empty(&self) -> bool {
+        self.stripes.is_empty()
+    }
+
+    /// Unavailable data units summed over all lost stripes.
+    pub fn lost_data_units(&self) -> u64 {
+        self.stripes.iter().map(|s| s.data_units as u64).sum()
+    }
+
+    /// Unavailable parity units summed over all lost stripes.
+    pub fn lost_parity_units(&self) -> u64 {
+        self.stripes.iter().map(|s| s.parity_units as u64).sum()
+    }
+
+    /// Fraction of the dead disk rebuilt before the loss event, if a
+    /// rebuild was running.
+    pub fn rebuilt_fraction_before_loss(&self) -> Option<f64> {
+        self.rebuilt_before_loss
+            .map(|(done, total)| if total == 0 { 1.0 } else { done as f64 / total as f64 })
+    }
+}
+
 /// Results of a steady-state run (fault-free or degraded mode).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -27,6 +97,9 @@ pub struct RunReport {
     /// Simulation events processed by the event loop — the denominator for
     /// simulator throughput (events per wall-clock second) in benchmarks.
     pub events_processed: u64,
+    /// Stripes that lost data (second failure, media errors). Empty on a
+    /// clean run; a terminal second failure also truncates `elapsed`.
+    pub data_loss: DataLossReport,
 }
 
 /// Per-phase timing of reconstruction cycles (the paper's Table 8-1 rows).
@@ -67,6 +140,10 @@ pub struct ReconReport {
     /// Units rebuilt as a side effect of user activity (direct writes,
     /// piggybacked reads).
     pub units_by_users: u64,
+    /// Units whose stripe proved unrecoverable (a survivor's sector was
+    /// unreadable): accounted as resolved so the sweep terminates, and
+    /// recorded in [`ReconReport::data_loss`].
+    pub units_lost: u64,
     /// Units on the replacement disk that needed rebuilding.
     pub units_total: u64,
     /// Mean utilization of surviving disks over the run.
@@ -80,6 +157,9 @@ pub struct ReconReport {
     /// Simulation events processed by the event loop — the denominator for
     /// simulator throughput (events per wall-clock second) in benchmarks.
     pub events_processed: u64,
+    /// Stripes that lost data (second failure, unreadable sectors during
+    /// rebuild). Empty when reconstruction ran to completion unscathed.
+    pub data_loss: DataLossReport,
 }
 
 impl ReconReport {
@@ -99,6 +179,41 @@ mod tests {
         c.read_ms.push(88.0);
         c.write_ms.push(15.0);
         assert!((c.cycle_ms() - 103.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_loss_report_reads_as_clean() {
+        let r = DataLossReport::default();
+        assert!(r.is_empty());
+        assert_eq!(r.lost_data_units(), 0);
+        assert_eq!(r.lost_parity_units(), 0);
+        assert_eq!(r.rebuilt_fraction_before_loss(), None);
+    }
+
+    #[test]
+    fn loss_report_sums_units_and_fractions() {
+        let r = DataLossReport {
+            stripes: vec![
+                LostStripe {
+                    stripe: 3,
+                    data_units: 2,
+                    parity_units: 0,
+                    cause: LossCause::SecondDiskFailure,
+                },
+                LostStripe {
+                    stripe: 9,
+                    data_units: 1,
+                    parity_units: 1,
+                    cause: LossCause::MediaError { disk: 4 },
+                },
+            ],
+            second_failure: Some((4, SimTime::from_secs(10))),
+            rebuilt_before_loss: Some((25, 100)),
+        };
+        assert!(!r.is_empty());
+        assert_eq!(r.lost_data_units(), 3);
+        assert_eq!(r.lost_parity_units(), 1);
+        assert_eq!(r.rebuilt_fraction_before_loss(), Some(0.25));
     }
 
     #[test]

@@ -1,17 +1,18 @@
 //! The event-driven array simulator.
 
 use crate::config::ArrayConfig;
+use crate::loss::assess_second_failure;
 use crate::plan::{plan_user_access_with, FaultView, PlannedIo};
-use crate::report::{CycleStats, ReconReport, RunReport};
+use crate::report::{CycleStats, DataLossReport, LossCause, LostStripe, ReconReport, RunReport};
 use crate::slab::Slab;
 use crate::spare::SpareMap;
 use decluster_core::error::Error;
 use decluster_core::layout::{ArrayMapping, ParityLayout, UnitAddr};
 use decluster_core::recon::ReconAlgorithm;
-use decluster_disk::{Disk, DiskRequest, IoKind, Priority};
+use decluster_disk::{AccessOutcome, Disk, DiskRequest, IoKind, MediaFaultModel, Priority};
 use decluster_sim::{EventQueue, ResponseStats, SimTime};
 use decluster_workload::{trace::Trace, AccessKind, UserRequest, Workload, WorkloadSpec};
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 /// Cycles kept for the "final cycles" statistics; the paper's Table 8-1
@@ -63,6 +64,92 @@ struct Op {
     /// Set when a disk failure dropped one of this op's accesses: the op
     /// drains its surviving accesses and is then retried.
     aborted: bool,
+    /// Set when a reconstruction cycle's survivor read hit an unreadable
+    /// sector: the stripe is unrecoverable, so the cycle skips its write
+    /// and resolves the offset as lost instead of rebuilt.
+    lost_cycle: bool,
+}
+
+/// A schedule of whole-disk failures to inject into a run, built before
+/// the simulation starts and installed with [`ArraySim::inject_faults`].
+///
+/// A plan with more than one failure (or one failure on top of an array
+/// already degraded or rebuilding) drives the array beyond its
+/// single-failure tolerance: the run ends at the fatal failure and the
+/// report's [`DataLossReport`] enumerates the stripes that became
+/// unrecoverable.
+///
+/// # Examples
+///
+/// ```
+/// use decluster_array::FaultPlan;
+/// use decluster_sim::SimTime;
+///
+/// let plan = FaultPlan::new()
+///     .fail_at(3, SimTime::from_secs(10))
+///     .fail_at(7, SimTime::from_secs(25));
+/// assert_eq!(plan.failures().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    failures: Vec<(u16, SimTime)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no failures).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a whole-disk failure of `disk` at simulated time `at`.
+    pub fn fail_at(mut self, disk: u16, at: SimTime) -> FaultPlan {
+        self.failures.push((disk, at));
+        self
+    }
+
+    /// The scheduled failures, in insertion order.
+    pub fn failures(&self) -> &[(u16, SimTime)] {
+        &self.failures
+    }
+}
+
+/// How a rebuilt offset got resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RebuildCredit {
+    /// The background sweep reconstructed it.
+    Sweep,
+    /// User activity reconstructed it (direct write or piggyback).
+    User,
+    /// Its stripe proved unrecoverable; the offset is resolved so the
+    /// sweep can terminate, and counted as lost.
+    Lost,
+}
+
+/// Accumulated data-loss state (second failures, unreadable sectors).
+#[derive(Debug, Default)]
+struct LossLog {
+    stripes: Vec<LostStripe>,
+    /// Stripe ids already recorded, so a media error and a later second
+    /// failure never double-count a stripe.
+    seen: HashSet<u64>,
+    second_failure: Option<(u16, SimTime)>,
+    rebuilt_before_loss: Option<(u64, u64)>,
+}
+
+impl LossLog {
+    fn record(&mut self, stripe: LostStripe) {
+        if self.seen.insert(stripe.stripe) {
+            self.stripes.push(stripe);
+        }
+    }
+
+    fn into_report(self) -> DataLossReport {
+        DataLossReport {
+            stripes: self.stripes,
+            second_failure: self.second_failure,
+            rebuilt_before_loss: self.rebuilt_before_loss,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -87,6 +174,7 @@ struct Rebuild {
     recent: VecDeque<(f64, f64)>,
     swept: u64,
     by_users: u64,
+    units_lost: u64,
     spares: Option<SpareMap>,
     progress: Vec<(f64, f64)>,
 }
@@ -146,7 +234,11 @@ pub struct ArraySim {
     /// bits of each io id).
     io_seq: u32,
     fault: Fault,
-    scheduled_failure: Option<(u16, SimTime)>,
+    scheduled_failures: Vec<(u16, SimTime)>,
+    loss: LossLog,
+    /// Set when a failure beyond the single-failure tolerance ends the
+    /// run: the time the fatal failure landed.
+    terminal_at: Option<SimTime>,
     /// Scratch for stripe unit addresses, reused across events.
     scratch_units: Vec<UnitAddr>,
     /// Scratch for planned ios (reconstruction cycles), reused across
@@ -246,7 +338,9 @@ impl ArraySim {
             parents: Slab::new(),
             io_seq: 0,
             fault: Fault::None,
-            scheduled_failure: None,
+            scheduled_failures: Vec::new(),
+            loss: LossLog::default(),
+            terminal_at: None,
             scratch_units: Vec::new(),
             scratch_ios: Vec::new(),
             events_processed: 0,
@@ -266,28 +360,47 @@ impl ArraySim {
     }
 
     fn make_disk(cfg: &ArrayConfig, label: usize) -> Disk {
-        if cfg.recon_priority {
+        let mut disk = if cfg.recon_priority {
             Disk::with_priority_scheduling(cfg.geometry, label, cfg.sched)
         } else {
             Disk::with_policy(cfg.geometry, label, cfg.sched)
+        };
+        if cfg.media_faults.is_active() {
+            disk.set_fault_model(MediaFaultModel::new(cfg.media_faults, label));
         }
+        disk
+    }
+
+    fn invalid<T>(reason: impl Into<String>) -> Result<T, Error> {
+        Err(Error::InvalidState {
+            reason: reason.into(),
+        })
     }
 
     /// Marks `disk` failed (degraded mode, no replacement yet).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if called after a run started, if the disk is out of range,
-    /// or if a disk already failed (the array is single-failure
-    /// correcting).
-    pub fn fail_disk(&mut self, disk: u16) {
-        assert!(!self.started, "fail_disk must precede the run");
-        assert!(disk < self.mapping.disks(), "disk {disk} out of range");
-        assert!(
-            matches!(self.fault, Fault::None) && self.scheduled_failure.is_none(),
-            "array already has a (scheduled) failure or failed disk"
-        );
+    /// Returns an error if called after a run started, if the disk is out
+    /// of range, if a disk already failed (at most one failure may exist
+    /// before the run — further failures are *scheduled* with
+    /// [`ArraySim::inject_faults`]), or if `disk` is already scheduled to
+    /// fail.
+    pub fn fail_disk(&mut self, disk: u16) -> Result<(), Error> {
+        if self.started {
+            return Self::invalid("fail_disk must precede the run");
+        }
+        if disk >= self.mapping.disks() {
+            return Self::invalid(format!("disk {disk} out of range"));
+        }
+        if !matches!(self.fault, Fault::None) {
+            return Self::invalid("a disk already failed before the run");
+        }
+        if self.scheduled_failures.iter().any(|&(d, _)| d == disk) {
+            return Self::invalid(format!("disk {disk} is already scheduled to fail"));
+        }
         self.fault = Fault::Degraded { failed: disk };
+        Ok(())
     }
 
     /// Schedules `disk` to fail at `at`, mid-run: accesses in flight on it
@@ -295,39 +408,76 @@ impl ArraySim {
     /// degraded state — the continuous-operation transition the paper's
     /// steady-state experiments bracket from both sides.
     ///
-    /// Only valid for steady-state runs ([`ArraySim::run_for`]).
+    /// If the failure lands while the array is already degraded or
+    /// rebuilding, it exceeds the single-failure tolerance: the run ends
+    /// there and the report's [`DataLossReport`] lists the stripes lost.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a run started, a disk already failed (or is scheduled
-    /// to), or `disk` is out of range.
-    pub fn fail_disk_at(&mut self, disk: u16, at: SimTime) {
-        assert!(!self.started, "fail_disk_at must precede the run");
-        assert!(disk < self.mapping.disks(), "disk {disk} out of range");
-        assert!(
-            matches!(self.fault, Fault::None) && self.scheduled_failure.is_none(),
-            "array already has a (scheduled) failure"
-        );
-        self.scheduled_failure = Some((disk, at));
+    /// Returns an error if a run started, `disk` is out of range, `disk`
+    /// already failed, or `disk` is already scheduled to fail.
+    pub fn fail_disk_at(&mut self, disk: u16, at: SimTime) -> Result<(), Error> {
+        self.schedule_failure(disk, at)
+    }
+
+    /// Installs a whole [`FaultPlan`]: every failure in the plan is
+    /// scheduled for injection when the run starts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a run started, or if any planned failure is
+    /// out of range, duplicates an already-failed disk, or duplicates
+    /// another scheduled failure. Failures before the error were already
+    /// installed; discard the simulator on error.
+    pub fn inject_faults(&mut self, plan: &FaultPlan) -> Result<(), Error> {
+        for &(disk, at) in plan.failures() {
+            self.schedule_failure(disk, at)?;
+        }
+        Ok(())
+    }
+
+    fn schedule_failure(&mut self, disk: u16, at: SimTime) -> Result<(), Error> {
+        if self.started {
+            return Self::invalid("fault injection must precede the run");
+        }
+        if disk >= self.mapping.disks() {
+            return Self::invalid(format!("disk {disk} out of range"));
+        }
+        let already_failed = match &self.fault {
+            Fault::None => None,
+            Fault::Degraded { failed } => Some(*failed),
+            Fault::Rebuilding(r) => Some(r.failed),
+        };
+        // Note: under a dedicated replacement the failed disk's slot holds
+        // a fresh drive once reconstruction is armed; re-failing that slot
+        // is still rejected to keep failure identities unambiguous.
+        if already_failed == Some(disk) {
+            return Self::invalid(format!("disk {disk} already failed"));
+        }
+        if self.scheduled_failures.iter().any(|&(d, _)| d == disk) {
+            return Self::invalid(format!("disk {disk} is already scheduled to fail"));
+        }
+        self.scheduled_failures.push((disk, at));
+        Ok(())
     }
 
     /// Installs a fresh replacement for the failed disk and arms
     /// `processes` reconstruction processes running `algorithm`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no disk has failed, a run has already started, or
-    /// `processes` is zero.
-    pub fn start_reconstruction(&mut self, algorithm: ReconAlgorithm, processes: usize) {
-        assert!(!self.started, "start_reconstruction must precede the run");
-        assert!(processes > 0, "need at least one reconstruction process");
-        let failed = match self.fault {
-            Fault::Degraded { failed } => failed,
-            _ => panic!("start_reconstruction requires a failed disk"),
-        };
+    /// Returns an error if no disk has failed, a run has already started,
+    /// or `processes` is zero.
+    pub fn start_reconstruction(
+        &mut self,
+        algorithm: ReconAlgorithm,
+        processes: usize,
+    ) -> Result<(), Error> {
+        let failed = self.check_rebuild_preconditions(processes)?;
         // Physically swap in a new drive.
         self.disks[failed as usize] = Self::make_disk(&self.cfg, failed as usize);
         self.arm_rebuild(failed, algorithm, processes, None);
+        Ok(())
     }
 
     /// Arms reconstruction into distributed spare slots instead of a
@@ -335,30 +485,38 @@ impl ArraySim {
     /// rebuilt into a spare slot on a surviving disk (see
     /// [`crate::spare::SpareMap`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no disk has failed, a run has already started,
+    /// Returns an error if no disk has failed, a run has already started,
     /// `processes` is zero, no spare space was reserved
     /// ([`ArrayConfig::with_distributed_spares`]), or the reserved spare
-    /// space cannot absorb the failed disk.
+    /// space cannot absorb the failed disk (the [`SpareMap::build`]
+    /// error is propagated).
     pub fn start_reconstruction_distributed(
         &mut self,
         algorithm: ReconAlgorithm,
         processes: usize,
-    ) {
-        assert!(!self.started, "start_reconstruction must precede the run");
-        assert!(processes > 0, "need at least one reconstruction process");
-        assert!(
-            self.cfg.spare_units_per_disk > 0,
-            "distributed sparing requires reserved spare space"
-        );
-        let failed = match self.fault {
-            Fault::Degraded { failed } => failed,
-            _ => panic!("start_reconstruction requires a failed disk"),
-        };
-        let spares = SpareMap::build(&self.mapping, failed, self.cfg.spare_units_per_disk)
-            .unwrap_or_else(|e| panic!("spare assignment failed: {e}"));
+    ) -> Result<(), Error> {
+        if self.cfg.spare_units_per_disk == 0 {
+            return Self::invalid("distributed sparing requires reserved spare space");
+        }
+        let failed = self.check_rebuild_preconditions(processes)?;
+        let spares = SpareMap::build(&self.mapping, failed, self.cfg.spare_units_per_disk)?;
         self.arm_rebuild(failed, algorithm, processes, Some(spares));
+        Ok(())
+    }
+
+    fn check_rebuild_preconditions(&self, processes: usize) -> Result<u16, Error> {
+        if self.started {
+            return Self::invalid("start_reconstruction must precede the run");
+        }
+        if processes == 0 {
+            return Self::invalid("need at least one reconstruction process");
+        }
+        match self.fault {
+            Fault::Degraded { failed } => Ok(failed),
+            _ => Self::invalid("start_reconstruction requires a failed disk"),
+        }
     }
 
     fn arm_rebuild(
@@ -387,6 +545,7 @@ impl ArraySim {
             recent: VecDeque::with_capacity(LAST_CYCLE_WINDOW + 1),
             swept: 0,
             by_users: 0,
+            units_lost: 0,
             spares,
             progress: Vec::with_capacity(101),
         }));
@@ -395,6 +554,10 @@ impl ArraySim {
     /// Runs a steady-state scenario (fault-free or degraded): user requests
     /// arrive until `duration`, responses of requests arriving after
     /// `warmup` are measured, and the run drains before reporting.
+    ///
+    /// A scheduled failure beyond the single-failure tolerance ends the
+    /// run early: `elapsed` is truncated to the fatal failure's time and
+    /// the report's [`RunReport::data_loss`] lists the stripes lost.
     ///
     /// # Panics
     ///
@@ -409,24 +572,27 @@ impl ArraySim {
         self.started = true;
         self.measure_from = warmup;
         self.arrival_cutoff = duration;
-        if let Some((disk, at)) = self.scheduled_failure {
+        for &(disk, at) in &self.scheduled_failures {
             self.queue.schedule(at, Event::DiskFail(disk));
         }
         self.schedule_next_arrival();
 
         while let Some((now, event)) = self.queue.pop() {
             self.dispatch(now, event);
+            if self.terminal_at.is_some() {
+                break;
+            }
         }
 
-        let elapsed = duration;
-        let failed = match self.fault {
+        let elapsed = self.terminal_at.unwrap_or(duration);
+        let first_failed = match self.fault {
             Fault::Degraded { failed } => Some(failed),
             _ => None,
         };
         let healthy: Vec<&Disk> = self
             .disks
             .iter()
-            .filter(|d| Some(d.label() as u16) != failed)
+            .filter(|d| Some(d.label() as u16) != first_failed && !d.is_failed())
             .collect();
         let mean_util = healthy
             .iter()
@@ -448,6 +614,7 @@ impl ArraySim {
             mean_disk_utilization: mean_util,
             per_disk_utilization: per_disk,
             events_processed: self.events_processed,
+            data_loss: self.loss.into_report(),
         }
     }
 
@@ -455,20 +622,28 @@ impl ArraySim {
     /// while the armed processes rebuild the replacement disk. Stops when
     /// the last unit is rebuilt, or at `limit`.
     ///
+    /// Scheduled failures ([`ArraySim::inject_faults`]) fire mid-rebuild:
+    /// a second whole-disk failure ends the run at its injection time with
+    /// the stripes lost recorded in [`ReconReport::data_loss`]. When the
+    /// rebuild completes before any pending failure fires, the run keeps
+    /// serving user requests until the failure lands, so a post-completion
+    /// failure verifies the restored redundancy (zero loss under a
+    /// dedicated replacement).
+    ///
     /// # Panics
     ///
     /// Panics if reconstruction was not armed.
     pub fn run_until_reconstructed(mut self, limit: SimTime) -> ReconReport {
-        assert!(
-            self.scheduled_failure.is_none(),
-            "failure injection is only supported in steady-state runs"
-        );
         let processes = match &self.fault {
             Fault::Rebuilding(r) => r.processes,
             _ => panic!("run_until_reconstructed requires start_reconstruction"),
         };
         self.started = true;
         self.measure_from = SimTime::ZERO;
+        for &(disk, at) in &self.scheduled_failures {
+            self.queue.schedule(at, Event::DiskFail(disk));
+        }
+        let mut pending_failures = self.scheduled_failures.len();
         self.schedule_next_arrival();
         for p in 0..processes {
             self.start_recon_cycle(p, SimTime::ZERO);
@@ -479,16 +654,24 @@ impl ArraySim {
             if now > limit {
                 break;
             }
+            if matches!(event, Event::DiskFail(_)) {
+                pending_failures -= 1;
+            }
             self.dispatch(now, event);
+            if self.terminal_at.is_some() {
+                break;
+            }
             if let Fault::Rebuilding(r) = &self.fault {
                 if let Some(t) = r.finished {
                     finish = Some(t);
-                    break;
+                    if pending_failures == 0 {
+                        break;
+                    }
                 }
             }
         }
 
-        let end = finish.unwrap_or(limit);
+        let end = self.terminal_at.or(finish).unwrap_or(limit);
         let r = match self.fault {
             Fault::Rebuilding(r) => r,
             _ => unreachable!(),
@@ -497,7 +680,7 @@ impl ArraySim {
         let survivors: Vec<&Disk> = self
             .disks
             .iter()
-            .filter(|d| d.label() as u16 != r.failed)
+            .filter(|d| d.label() as u16 != r.failed && !d.is_failed())
             .collect();
         let survivor_util = survivors
             .iter()
@@ -518,15 +701,18 @@ impl ArraySim {
             last_cycles,
             units_swept: r.swept,
             units_by_users: r.by_users,
+            units_lost: r.units_lost,
             units_total: r.target,
             progress: r.progress,
             survivor_utilization: survivor_util,
-            replacement_utilization: if distributed {
-                0.0 // no replacement disk exists under distributed sparing
+            replacement_utilization: if distributed || self.disks[r.failed as usize].is_failed()
+            {
+                0.0 // no (live) replacement disk exists
             } else {
                 self.disks[r.failed as usize].stats().utilization(end)
             },
             events_processed: self.events_processed,
+            data_loss: self.loss.into_report(),
         }
     }
 
@@ -543,10 +729,10 @@ impl ArraySim {
     }
 
     fn on_disk_fail(&mut self, disk: u16, now: SimTime) {
-        assert!(
-            matches!(self.fault, Fault::None),
-            "only single failures are supported"
-        );
+        if !matches!(self.fault, Fault::None) {
+            self.on_fatal_failure(disk, now);
+            return;
+        }
         self.fault = Fault::Degraded { failed: disk };
         for io_id in self.disks[disk as usize].fail() {
             let op_id = op_of_io(io_id);
@@ -558,6 +744,33 @@ impl ArraySim {
                 self.retry_op(op_id, now);
             }
         }
+    }
+
+    /// A whole-disk failure landed while the array was already degraded
+    /// or rebuilding: assess which stripes are now unrecoverable, record
+    /// the loss, and end the run (the caller's event loop observes
+    /// `terminal_at`).
+    fn on_fatal_failure(&mut self, disk: u16, now: SimTime) {
+        let (first, rebuilt, spares, progress) = match &self.fault {
+            Fault::Degraded { failed } => (Some(*failed), None, None, None),
+            Fault::Rebuilding(r) => (
+                Some(r.failed),
+                Some(r.rebuilt.as_slice()),
+                r.spares.as_ref(),
+                Some((r.rebuilt_count, r.target)),
+            ),
+            Fault::None => unreachable!("fatal failure requires a prior fault"),
+        };
+        let lost = assess_second_failure(&self.mapping, first, disk, rebuilt, spares);
+        for stripe in lost {
+            self.loss.record(stripe);
+        }
+        self.loss.second_failure = Some((disk, now));
+        self.loss.rebuilt_before_loss = progress;
+        // The run is over: in-flight ios on the dead disk are dropped
+        // without retry.
+        self.disks[disk as usize].fail();
+        self.terminal_at = Some(now);
     }
 
     /// Retries an aborted user operation under the current fault view; the
@@ -585,6 +798,7 @@ impl ArraySim {
                 parent: op.parent,
                 span: op.span,
                 aborted: false,
+                lost_cycle: false,
             };
             let new_id = self.insert_op(replacement);
             self.issue(new_id, &plan.phase1, now);
@@ -608,6 +822,7 @@ impl ArraySim {
                     parent: Some(parent_id),
                     span: Some(span),
                     aborted: false,
+                    lost_cycle: false,
                 };
                 let new_id = self.insert_op(sub);
                 self.issue(new_id, &plan.phase1, now);
@@ -656,6 +871,7 @@ impl ArraySim {
                 parent: None,
                 span: Some((req.logical_unit, 1)),
                 aborted: false,
+                lost_cycle: false,
             };
             let op_id = self.insert_op(op);
             self.issue(op_id, &plan.phase1, now);
@@ -685,6 +901,7 @@ impl ArraySim {
                     parent: Some(parent_id),
                     span: Some(span),
                     aborted: false,
+                    lost_cycle: false,
                 };
                 let op_id = self.insert_op(op);
                 self.issue(op_id, &plan.phase1, now);
@@ -697,11 +914,80 @@ impl ArraySim {
         if self.disks[disk as usize].is_failed() {
             return; // stale completion event from before the failure
         }
-        let (io_id, next) = self.disks[disk as usize].complete(now);
+        let (done, next) = self.disks[disk as usize].complete(now);
         if let Some(c) = next {
             self.queue.schedule(c.at, Event::DiskDone(disk));
         }
-        self.advance_op(op_of_io(io_id), now);
+        let op_id = op_of_io(done.id);
+        if let AccessOutcome::MediaError { .. } = done.outcome {
+            self.on_media_error(op_id, disk, done.start_sector);
+        }
+        self.advance_op(op_id, now);
+    }
+
+    /// A read exhausted its retries on an unreadable sector. The sector is
+    /// remapped (healed) so follow-up accesses succeed; whether data was
+    /// *lost* depends on the stripe: with full redundancy the unit is
+    /// recoverable from the surviving units and the issuing op simply
+    /// retries, but if the stripe was already missing a unit (failed disk,
+    /// not yet rebuilt) the error makes it unrecoverable.
+    fn on_media_error(&mut self, op_id: u32, disk: u16, start_sector: u64) {
+        self.disks[disk as usize].heal(start_sector, self.cfg.unit_sectors);
+        let offset = start_sector / self.cfg.unit_sectors as u64;
+        let op = self.ops.get_mut(op_id).expect("media error on unknown op");
+        if op.recon.is_some() {
+            // A reconstruction cycle lost a survivor: the stripe under
+            // rebuild is gone. The cycle resolves its offset as lost when
+            // its remaining reads drain.
+            op.lost_cycle = true;
+        } else {
+            // User (or piggyback) work: drain and retry — the healed
+            // sector reads clean, modelling recovery from redundancy
+            // (or fabricated data if the stripe was already degraded;
+            // the loss is recorded below either way).
+            op.aborted = true;
+        }
+        if offset >= self.mapping.units_per_disk() {
+            return; // spare-region access: stripe accounted via its home unit
+        }
+        let Some(stripe) = self.mapping.role_at(disk, offset).stripe() else {
+            return; // unmapped hole
+        };
+        let (first, rebuilt) = match &self.fault {
+            Fault::None => (None, None),
+            Fault::Degraded { failed } => (Some(*failed), None),
+            Fault::Rebuilding(r) => (Some(r.failed), Some(r.rebuilt.as_slice())),
+        };
+        let mut units = std::mem::take(&mut self.scratch_units);
+        units.clear();
+        self.mapping.stripe_units_into(stripe, &mut units);
+        let parity_index = units.len() - 1; // stripe_units orders parity last
+        let mut data = 0u16;
+        let mut parity = 0u16;
+        for (i, &u) in units.iter().enumerate() {
+            let gone = (u.disk == disk && u.offset == offset)
+                || (Some(u.disk) == first
+                    && match rebuilt {
+                        Some(r) => !r[u.offset as usize],
+                        None => true,
+                    });
+            if gone {
+                if i == parity_index {
+                    parity += 1;
+                } else {
+                    data += 1;
+                }
+            }
+        }
+        self.scratch_units = units;
+        if data + parity >= 2 {
+            self.loss.record(LostStripe {
+                stripe,
+                data_units: data,
+                parity_units: parity,
+                cause: LossCause::MediaError { disk },
+            });
+        }
     }
 
     fn advance_op(&mut self, op_id: u32, now: SimTime) {
@@ -712,6 +998,18 @@ impl ArraySim {
         }
         if op.aborted {
             self.retry_op(op_id, now);
+            return;
+        }
+        if op.lost_cycle {
+            // The cycle's stripe is unrecoverable: skip the rebuild write,
+            // resolve the offset as lost so the sweep still terminates.
+            let op = self.ops.remove(op_id).expect("op vanished at loss");
+            if let Some(offset) = op.mark_rebuilt {
+                self.mark_rebuilt(offset, now, RebuildCredit::Lost);
+            }
+            if let Some(rc) = op.recon {
+                self.finish_recon_cycle(rc, now);
+            }
             return;
         }
         if !op.phase2.is_empty() {
@@ -738,7 +1036,12 @@ impl ArraySim {
             }
         }
         if let Some(offset) = op.mark_rebuilt {
-            self.mark_rebuilt(offset, now, op.recon.is_none());
+            let credit = if op.recon.is_none() {
+                RebuildCredit::User
+            } else {
+                RebuildCredit::Sweep
+            };
+            self.mark_rebuilt(offset, now, credit);
         }
         if let Some(offset) = op.piggyback {
             self.spawn_piggyback_write(offset, now);
@@ -829,15 +1132,18 @@ impl ArraySim {
         }
     }
 
-    fn mark_rebuilt(&mut self, offset: u64, now: SimTime, by_user: bool) {
+    /// Resolves a replacement-disk offset: rebuilt (by the sweep or by
+    /// user activity) or lost (its stripe proved unrecoverable). Either
+    /// way it counts toward termination, so the sweep always finishes.
+    fn mark_rebuilt(&mut self, offset: u64, now: SimTime, credit: RebuildCredit) {
         if let Fault::Rebuilding(r) = &mut self.fault {
             if !r.rebuilt[offset as usize] {
                 r.rebuilt[offset as usize] = true;
                 r.rebuilt_count += 1;
-                if by_user {
-                    r.by_users += 1;
-                } else {
-                    r.swept += 1;
+                match credit {
+                    RebuildCredit::User => r.by_users += 1,
+                    RebuildCredit::Sweep => r.swept += 1,
+                    RebuildCredit::Lost => r.units_lost += 1,
                 }
                 // Sample the trajectory at each whole percent.
                 let fraction = r.rebuilt_count as f64 / r.target as f64;
@@ -879,6 +1185,7 @@ impl ArraySim {
             parent: None,
             span: None,
             aborted: false,
+            lost_cycle: false,
         };
         let op_id = self.insert_op(op);
         self.issue(op_id, &[io], now);
@@ -957,6 +1264,7 @@ impl ArraySim {
             parent: None,
             span: None,
             aborted: false,
+            lost_cycle: false,
         };
         let op_id = self.insert_op(op);
         self.issue(op_id, &phase1, now);
@@ -1041,7 +1349,7 @@ mod tests {
         let ff = sim(4, WorkloadSpec::all_reads(20.0))
             .run_for(SimTime::from_secs(60), SimTime::from_secs(5));
         let mut s = sim(4, WorkloadSpec::all_reads(20.0));
-        s.fail_disk(0);
+        s.fail_disk(0).unwrap();
         let deg = s.run_for(SimTime::from_secs(60), SimTime::from_secs(5));
         assert!(
             deg.all.mean_ms() > ff.all.mean_ms(),
@@ -1054,8 +1362,8 @@ mod tests {
     #[test]
     fn reconstruction_completes_and_accounts_every_unit() {
         let mut s = sim(4, WorkloadSpec::half_and_half(10.0));
-        s.fail_disk(2);
-        s.start_reconstruction(ReconAlgorithm::Baseline, 1);
+        s.fail_disk(2).unwrap();
+        s.start_reconstruction(ReconAlgorithm::Baseline, 1).unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some(), "{report:?}");
         assert_eq!(report.units_swept + report.units_by_users, report.units_total);
@@ -1069,8 +1377,8 @@ mod tests {
     #[test]
     fn user_writes_rebuild_some_units() {
         let mut s = sim(4, WorkloadSpec::all_writes(30.0));
-        s.fail_disk(2);
-        s.start_reconstruction(ReconAlgorithm::UserWrites, 1);
+        s.fail_disk(2).unwrap();
+        s.start_reconstruction(ReconAlgorithm::UserWrites, 1).unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some());
         assert!(
@@ -1084,8 +1392,8 @@ mod tests {
     fn parallel_reconstruction_is_faster() {
         let recon_time = |processes| {
             let mut s = sim(4, WorkloadSpec::half_and_half(10.0));
-            s.fail_disk(1);
-            s.start_reconstruction(ReconAlgorithm::Baseline, processes);
+            s.fail_disk(1).unwrap();
+            s.start_reconstruction(ReconAlgorithm::Baseline, processes).unwrap();
             s.run_until_reconstructed(SimTime::from_secs(100_000))
                 .reconstruction_secs()
                 .unwrap()
@@ -1105,8 +1413,8 @@ mod tests {
             let mut s =
                 ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(30.0), 1)
                     .unwrap();
-            s.fail_disk(1);
-            s.start_reconstruction(ReconAlgorithm::Baseline, 1);
+            s.fail_disk(1).unwrap();
+            s.start_reconstruction(ReconAlgorithm::Baseline, 1).unwrap();
             s.run_until_reconstructed(SimTime::from_secs(200_000))
         };
         let fast = run(0);
@@ -1127,8 +1435,8 @@ mod tests {
     #[test]
     fn recon_limit_reports_incomplete() {
         let mut s = sim(4, WorkloadSpec::half_and_half(10.0));
-        s.fail_disk(0);
-        s.start_reconstruction(ReconAlgorithm::Baseline, 1);
+        s.fail_disk(0).unwrap();
+        s.start_reconstruction(ReconAlgorithm::Baseline, 1).unwrap();
         let report = s.run_until_reconstructed(SimTime::from_ms(200));
         assert_eq!(report.reconstruction_time, None);
     }
@@ -1138,8 +1446,8 @@ mod tests {
         let layout = Arc::new(Raid5Layout::new(5).unwrap());
         let mut s =
             ArraySim::new(layout, tiny_cfg(), WorkloadSpec::half_and_half(10.0), 1).unwrap();
-        s.fail_disk(4);
-        s.start_reconstruction(ReconAlgorithm::Redirect, 1);
+        s.fail_disk(4).unwrap();
+        s.start_reconstruction(ReconAlgorithm::Redirect, 1).unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some());
         assert_eq!(report.units_swept + report.units_by_users, report.units_total);
@@ -1149,8 +1457,8 @@ mod tests {
     fn same_seed_reproduces_exactly() {
         let run = || {
             let mut s = sim(4, WorkloadSpec::half_and_half(15.0));
-            s.fail_disk(3);
-            s.start_reconstruction(ReconAlgorithm::Redirect, 2);
+            s.fail_disk(3).unwrap();
+            s.start_reconstruction(ReconAlgorithm::Redirect, 2).unwrap();
             s.run_until_reconstructed(SimTime::from_secs(100_000))
         };
         let a = run();
@@ -1161,17 +1469,187 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "requires a failed disk")]
-    fn recon_without_failure_panics() {
-        sim(4, WorkloadSpec::all_reads(1.0)).start_reconstruction(ReconAlgorithm::Baseline, 1);
+    fn recon_without_failure_is_rejected() {
+        let err = sim(4, WorkloadSpec::all_reads(1.0))
+            .start_reconstruction(ReconAlgorithm::Baseline, 1)
+            .unwrap_err();
+        assert!(err.to_string().contains("requires a failed disk"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "failed disk")]
-    fn double_failure_panics() {
+    fn double_immediate_failure_is_rejected() {
+        // At most one disk may be failed *before* the run; further
+        // failures are scheduled so their loss impact can be assessed.
         let mut s = sim(4, WorkloadSpec::all_reads(1.0));
-        s.fail_disk(0);
-        s.fail_disk(1);
+        s.fail_disk(0).unwrap();
+        let err = s.fail_disk(1).unwrap_err();
+        assert!(err.to_string().contains("already failed"), "{err}");
+        assert!(s.fail_disk(9).is_err(), "out-of-range disk accepted");
+    }
+
+    #[test]
+    fn duplicate_scheduled_failure_is_rejected() {
+        let mut s = sim(4, WorkloadSpec::all_reads(1.0));
+        s.fail_disk_at(2, SimTime::from_secs(1)).unwrap();
+        assert!(s.fail_disk_at(2, SimTime::from_secs(5)).is_err());
+        assert!(s.fail_disk(2).is_err(), "disk 2 is already doomed");
+        // A different disk is fine: that is the double-failure scenario.
+        s.fail_disk(0).unwrap();
+        assert!(s.fail_disk_at(0, SimTime::from_secs(9)).is_err());
+    }
+
+    #[test]
+    fn second_failure_in_degraded_mode_ends_run_with_loss() {
+        let mut s = sim(4, WorkloadSpec::all_reads(10.0));
+        s.fail_disk(0).unwrap();
+        let plan = FaultPlan::new().fail_at(1, SimTime::from_secs(20));
+        s.inject_faults(&plan).unwrap();
+        let mapping_stripes: Vec<u64> = {
+            let m = s.mapping();
+            (0..m.stripes())
+                .filter(|&st| {
+                    m.is_mapped(st) && {
+                        let units = m.stripe_units(st);
+                        units.iter().any(|u| u.disk == 0)
+                            && units.iter().any(|u| u.disk == 1)
+                    }
+                })
+                .collect()
+        };
+        let report = s.run_for(SimTime::from_secs(60), SimTime::from_secs(5));
+        assert_eq!(report.elapsed, SimTime::from_secs(20), "run ends at the loss");
+        assert_eq!(report.data_loss.second_failure, Some((1, SimTime::from_secs(20))));
+        let ids: Vec<u64> = report.data_loss.stripes.iter().map(|l| l.stripe).collect();
+        assert_eq!(ids, mapping_stripes, "exact lost-stripe set");
+        assert_eq!(report.data_loss.rebuilt_before_loss, None);
+    }
+
+    #[test]
+    fn second_failure_mid_rebuild_truncates_loss_by_progress() {
+        let mut s = sim(4, WorkloadSpec::all_reads(5.0));
+        s.fail_disk(0).unwrap();
+        s.start_reconstruction(ReconAlgorithm::Baseline, 4).unwrap();
+        // First find how long an unmolested rebuild takes.
+        let clean = {
+            let mut c = sim(4, WorkloadSpec::all_reads(5.0));
+            c.fail_disk(0).unwrap();
+            c.start_reconstruction(ReconAlgorithm::Baseline, 4).unwrap();
+            c.run_until_reconstructed(SimTime::from_secs(100_000))
+        };
+        let t = clean.reconstruction_secs().unwrap();
+        let mid = SimTime::from_secs_f64(t * 0.5);
+        s.inject_faults(&FaultPlan::new().fail_at(2, mid)).unwrap();
+        let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
+        assert_eq!(report.reconstruction_time, None, "rebuild was cut short");
+        let loss = &report.data_loss;
+        assert_eq!(loss.second_failure, Some((2, mid)));
+        let frac = loss.rebuilt_fraction_before_loss().unwrap();
+        assert!(frac > 0.1 && frac < 0.9, "half-way failure, got {frac}");
+        assert!(!loss.is_empty(), "mid-rebuild double failure must lose data");
+        // Fewer stripes lost than a no-rebuild double failure would lose.
+        let worst = assess_second_failure(s_mapping(), Some(0), 2, None, None).len();
+        assert!(loss.stripes.len() < worst, "{} !< {worst}", loss.stripes.len());
+    }
+
+    /// Mapping of the standard `small_layout(4)` + `tiny_cfg()` sim, for
+    /// assertions that need it after the sim was consumed.
+    fn s_mapping() -> &'static ArrayMapping {
+        use std::sync::OnceLock;
+        static MAPPING: OnceLock<ArrayMapping> = OnceLock::new();
+        MAPPING.get_or_init(|| {
+            ArraySim::new(small_layout(4), tiny_cfg(), WorkloadSpec::all_reads(1.0), 1)
+                .unwrap()
+                .mapping
+        })
+    }
+
+    #[test]
+    fn second_failure_after_completion_loses_nothing() {
+        // Acceptance criterion: once the replacement is fully rebuilt the
+        // array tolerates a fresh failure with zero data loss.
+        let clean = {
+            let mut c = sim(4, WorkloadSpec::all_reads(5.0));
+            c.fail_disk(0).unwrap();
+            c.start_reconstruction(ReconAlgorithm::Baseline, 4).unwrap();
+            c.run_until_reconstructed(SimTime::from_secs(100_000))
+        };
+        let t = clean.reconstruction_secs().unwrap();
+        let mut s = sim(4, WorkloadSpec::all_reads(5.0));
+        s.fail_disk(0).unwrap();
+        s.start_reconstruction(ReconAlgorithm::Baseline, 4).unwrap();
+        let late = SimTime::from_secs_f64(t * 1.5);
+        s.inject_faults(&FaultPlan::new().fail_at(3, late)).unwrap();
+        let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
+        assert!(report.reconstruction_time.is_some(), "rebuild completed first");
+        assert!(report.data_loss.is_empty(), "{:?}", report.data_loss);
+        assert_eq!(report.data_loss.second_failure, Some((3, late)));
+        assert_eq!(report.data_loss.rebuilt_before_loss, Some((report.units_total, report.units_total)));
+    }
+
+    #[test]
+    fn second_failure_is_deterministic() {
+        let run = || {
+            let mut s = sim(4, WorkloadSpec::half_and_half(15.0));
+            s.fail_disk(0).unwrap();
+            s.start_reconstruction(ReconAlgorithm::Redirect, 2).unwrap();
+            s.inject_faults(&FaultPlan::new().fail_at(1, SimTime::from_secs(30)))
+                .unwrap();
+            s.run_until_reconstructed(SimTime::from_secs(100_000))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.data_loss, b.data_loss);
+        assert_eq!(a.units_swept, b.units_swept);
+    }
+
+    #[test]
+    fn latent_media_errors_during_rebuild_are_accounted() {
+        // A high latent-error rate guarantees some reconstruction cycles
+        // hit unreadable survivors: those stripes are lost, the offsets
+        // resolve as lost, and the accounting identity still holds.
+        let cfg = tiny_cfg().with_media_faults(
+            decluster_disk::MediaFaultConfig::none().with_latent_rate(2e-4),
+        );
+        let mut s =
+            ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(10.0), 1).unwrap();
+        s.fail_disk(2).unwrap();
+        s.start_reconstruction(ReconAlgorithm::Baseline, 2).unwrap();
+        let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
+        assert!(report.reconstruction_time.is_some(), "sweep must terminate");
+        assert_eq!(
+            report.units_swept + report.units_by_users + report.units_lost,
+            report.units_total
+        );
+        assert!(report.units_lost > 0, "2e-4 latent rate should lose units");
+        assert!(!report.data_loss.is_empty());
+        assert!(report
+            .data_loss
+            .stripes
+            .iter()
+            .all(|l| matches!(l.cause, LossCause::MediaError { .. })));
+    }
+
+    #[test]
+    fn transient_errors_only_slow_the_array_down() {
+        // Pure transient faults (no latent errors) retry and succeed:
+        // nothing is lost, but response time goes up.
+        let faulty_cfg = tiny_cfg().with_media_faults(
+            decluster_disk::MediaFaultConfig::none().with_transient_rate(0.05),
+        );
+        let clean = sim(4, WorkloadSpec::all_reads(15.0))
+            .run_for(SimTime::from_secs(40), SimTime::from_secs(4));
+        let faulty =
+            ArraySim::new(small_layout(4), faulty_cfg, WorkloadSpec::all_reads(15.0), 1)
+                .unwrap()
+                .run_for(SimTime::from_secs(40), SimTime::from_secs(4));
+        assert!(faulty.data_loss.is_empty());
+        assert_eq!(clean.requests_measured, faulty.requests_measured);
+        assert!(
+            faulty.all.mean_ms() > clean.all.mean_ms(),
+            "retries should cost latency: {} vs {}",
+            faulty.all.mean_ms(),
+            clean.all.mean_ms()
+        );
     }
 
     #[test]
@@ -1212,8 +1690,8 @@ mod tests {
     fn multi_unit_degraded_reconstruction_still_completes() {
         let spec = WorkloadSpec::half_and_half(10.0).with_access_units(3);
         let mut s = ArraySim::new(small_layout(4), tiny_cfg(), spec, 1).unwrap();
-        s.fail_disk(2);
-        s.start_reconstruction(ReconAlgorithm::UserWrites, 2);
+        s.fail_disk(2).unwrap();
+        s.start_reconstruction(ReconAlgorithm::UserWrites, 2).unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some());
         assert_eq!(report.units_swept + report.units_by_users, report.units_total);
@@ -1225,8 +1703,8 @@ mod tests {
         let mut s =
             ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(10.0), 1)
                 .unwrap();
-        s.fail_disk(2);
-        s.start_reconstruction_distributed(ReconAlgorithm::Redirect, 4);
+        s.fail_disk(2).unwrap();
+        s.start_reconstruction_distributed(ReconAlgorithm::Redirect, 4).unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some(), "{report:?}");
         assert_eq!(report.units_swept + report.units_by_users, report.units_total);
@@ -1256,11 +1734,11 @@ mod tests {
             };
             let mut s =
                 ArraySim::new(layout, cfg, WorkloadSpec::half_and_half(105.0), 1).unwrap();
-            s.fail_disk(0);
+            s.fail_disk(0).unwrap();
             if distributed {
-                s.start_reconstruction_distributed(ReconAlgorithm::Baseline, processes);
+                s.start_reconstruction_distributed(ReconAlgorithm::Baseline, processes).unwrap();
             } else {
-                s.start_reconstruction(ReconAlgorithm::Baseline, processes);
+                s.start_reconstruction(ReconAlgorithm::Baseline, processes).unwrap();
             }
             s.run_until_reconstructed(SimTime::from_secs(100_000))
                 .reconstruction_secs()
@@ -1281,15 +1759,14 @@ mod tests {
         let cfg = tiny_cfg().with_distributed_spares(900);
         let mut s =
             ArraySim::new(small_layout(4), cfg, WorkloadSpec::all_reads(20.0), 1).unwrap();
-        s.fail_disk(0);
-        s.start_reconstruction_distributed(ReconAlgorithm::RedirectPiggyback, 8);
+        s.fail_disk(0).unwrap();
+        s.start_reconstruction_distributed(ReconAlgorithm::RedirectPiggyback, 8).unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some());
         assert!(report.user.count() > 0);
     }
 
     #[test]
-    #[should_panic(expected = "requires reserved spare space")]
     fn distributed_sparing_needs_reservation() {
         let mut s = ArraySim::new(
             small_layout(4),
@@ -1298,8 +1775,11 @@ mod tests {
             1,
         )
         .unwrap();
-        s.fail_disk(0);
-        s.start_reconstruction_distributed(ReconAlgorithm::Baseline, 1);
+        s.fail_disk(0).unwrap();
+        let err = s
+            .start_reconstruction_distributed(ReconAlgorithm::Baseline, 1)
+            .unwrap_err();
+        assert!(err.to_string().contains("requires reserved spare space"), "{err}");
     }
 
     #[test]
@@ -1312,10 +1792,10 @@ mod tests {
             .unwrap()
             .run_for(SimTime::from_secs(40), SimTime::from_secs(4));
         let mut deg_sim = ArraySim::new(small_layout(4), tiny_cfg(), spec, 1).unwrap();
-        deg_sim.fail_disk(1);
+        deg_sim.fail_disk(1).unwrap();
         let degraded = deg_sim.run_for(SimTime::from_secs(40), SimTime::from_secs(4));
         let mut mid_sim = ArraySim::new(small_layout(4), tiny_cfg(), spec, 1).unwrap();
-        mid_sim.fail_disk_at(1, SimTime::from_secs(15));
+        mid_sim.fail_disk_at(1, SimTime::from_secs(15)).unwrap();
         let mid = mid_sim.run_for(SimTime::from_secs(40), SimTime::from_secs(4));
         // Same arrival stream in all three runs: every measured request
         // completed despite the transition.
@@ -1338,7 +1818,7 @@ mod tests {
     fn mid_run_failure_with_multi_unit_requests() {
         let spec = WorkloadSpec::half_and_half(20.0).with_access_units(3);
         let mut s = ArraySim::new(small_layout(4), tiny_cfg(), spec, 1).unwrap();
-        s.fail_disk_at(0, SimTime::from_secs(10));
+        s.fail_disk_at(0, SimTime::from_secs(10)).unwrap();
         let report = s.run_for(SimTime::from_secs(30), SimTime::from_secs(2));
         assert!(report.requests_measured > 100);
         assert_eq!(
@@ -1357,24 +1837,27 @@ mod tests {
                 3,
             )
             .unwrap();
-            s.fail_disk_at(2, SimTime::from_secs(12));
+            s.fail_disk_at(2, SimTime::from_secs(12)).unwrap();
             s.run_for(SimTime::from_secs(30), SimTime::from_secs(2))
         };
         assert_eq!(run(), run());
     }
 
     #[test]
-    #[should_panic(expected = "(scheduled) failure")]
-    fn scheduled_failure_excludes_immediate_failure() {
-        let mut s = ArraySim::new(
-            small_layout(4),
-            tiny_cfg(),
-            WorkloadSpec::all_reads(1.0),
-            1,
-        )
-        .unwrap();
-        s.fail_disk_at(0, SimTime::from_secs(1));
-        s.fail_disk(1);
+    fn fault_injection_is_rejected_after_run_start() {
+        let mut s = sim(4, WorkloadSpec::all_reads(1.0));
+        s.fail_disk(0).unwrap();
+        let report = {
+            let mut probe = sim(4, WorkloadSpec::all_reads(1.0));
+            probe.started = true;
+            assert!(probe.fail_disk(0).is_err());
+            assert!(probe.fail_disk_at(1, SimTime::from_secs(1)).is_err());
+            assert!(probe
+                .inject_faults(&FaultPlan::new().fail_at(1, SimTime::from_secs(1)))
+                .is_err());
+            s.run_for(SimTime::from_secs(5), SimTime::from_secs(1))
+        };
+        assert!(report.data_loss.is_empty());
     }
 
     #[test]
@@ -1426,8 +1909,8 @@ mod tests {
     #[test]
     fn progress_trajectory_is_monotone_and_complete() {
         let mut s = sim(4, WorkloadSpec::half_and_half(10.0));
-        s.fail_disk(1);
-        s.start_reconstruction(ReconAlgorithm::Baseline, 2);
+        s.fail_disk(1).unwrap();
+        s.start_reconstruction(ReconAlgorithm::Baseline, 2).unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         let progress = &report.progress;
         assert!(progress.len() >= 100, "only {} samples", progress.len());
@@ -1448,8 +1931,8 @@ mod tests {
             let mut s =
                 ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(40.0), 1)
                     .unwrap();
-            s.fail_disk(1);
-            s.start_reconstruction(ReconAlgorithm::Baseline, 8);
+            s.fail_disk(1).unwrap();
+            s.start_reconstruction(ReconAlgorithm::Baseline, 8).unwrap();
             s.run_until_reconstructed(SimTime::from_secs(200_000))
         };
         let plain = run(false);
@@ -1471,8 +1954,8 @@ mod tests {
     #[should_panic(expected = "steady-state")]
     fn run_for_rejects_reconstruction() {
         let mut s = sim(4, WorkloadSpec::all_reads(1.0));
-        s.fail_disk(0);
-        s.start_reconstruction(ReconAlgorithm::Baseline, 1);
+        s.fail_disk(0).unwrap();
+        s.start_reconstruction(ReconAlgorithm::Baseline, 1).unwrap();
         s.run_for(SimTime::from_secs(1), SimTime::ZERO);
     }
 }

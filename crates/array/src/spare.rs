@@ -192,4 +192,71 @@ mod tests {
             Err(Error::BadParameters { .. })
         ));
     }
+
+    #[test]
+    fn error_message_names_the_exhausted_offset_and_disk() {
+        let m = mapping(4, 160);
+        let err = SpareMap::build(&m, 2, 8).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("spare capacity exhausted"), "{msg}");
+        assert!(msg.contains("disk 2"), "{msg}");
+    }
+
+    #[test]
+    fn unsatisfiable_placement_on_full_width_stripes_is_rejected() {
+        // In a complete (4, 4) design every stripe spans every disk, so no
+        // survivor is ever eligible: placement must fail no matter how
+        // much spare capacity is reserved.
+        let layout: Arc<dyn ParityLayout> = Arc::new(
+            DeclusteredLayout::new(BlockDesign::complete(4, 4).unwrap()).unwrap(),
+        );
+        let m = ArrayMapping::new(layout, 120).unwrap();
+        assert!(matches!(
+            SpareMap::build(&m, 0, 1_000_000),
+            Err(Error::BadParameters { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_reservation_is_rejected_for_any_mapped_disk() {
+        let m = mapping(4, 160);
+        for failed in 0..6u16 {
+            assert!(
+                SpareMap::build(&m, failed, 0).is_err(),
+                "disk {failed}: zero spare units cannot absorb anything"
+            );
+        }
+    }
+
+    #[test]
+    fn follow_on_failure_never_takes_two_units_of_one_stripe() {
+        // Regression for the single-failure-correcting criterion: after
+        // rebuilding disk 0 into spares, a failure of ANY surviving disk
+        // must cost each stripe at most one unit (home units + relocated
+        // spare units combined).
+        let m = mapping(4, 160);
+        let failed = 0u16;
+        let spares = SpareMap::build(&m, failed, 40).unwrap();
+        for second in 1..6u16 {
+            for stripe in 0..m.stripes() {
+                if !m.is_mapped(stripe) {
+                    continue;
+                }
+                let mut hit = 0;
+                for u in m.stripe_units(stripe) {
+                    if u.disk == second {
+                        hit += 1; // a home unit of the second disk
+                    } else if u.disk == failed
+                        && spares.spare_of(u.offset).expect("mapped").disk == second
+                    {
+                        hit += 1; // a relocated unit now living on it
+                    }
+                }
+                assert!(
+                    hit <= 1,
+                    "stripe {stripe}: disk {second} holds {hit} units after sparing"
+                );
+            }
+        }
+    }
 }

@@ -18,8 +18,8 @@ fn layout() -> Arc<dyn ParityLayout> {
 fn rebuild(cfg: ArrayConfig) -> (f64, f64) {
     let mut sim = ArraySim::new(layout(), cfg, WorkloadSpec::half_and_half(105.0), 1)
         .expect("layout fits");
-    sim.fail_disk(0);
-    sim.start_reconstruction(ReconAlgorithm::Baseline, 1);
+    sim.fail_disk(0).expect("disk is healthy and in range");
+    sim.start_reconstruction(ReconAlgorithm::Baseline, 1).expect("a disk failed and processes > 0");
     let r = sim.run_until_reconstructed(SimTime::from_secs(100_000));
     (r.reconstruction_secs().unwrap_or(f64::NAN), r.user.mean_ms())
 }
@@ -58,11 +58,11 @@ fn main() {
         let mut sim =
             ArraySim::new(layout(), cfg, WorkloadSpec::half_and_half(105.0), 1)
                 .expect("layout fits");
-        sim.fail_disk(0);
+        sim.fail_disk(0).expect("disk is healthy and in range");
         if distributed {
-            sim.start_reconstruction_distributed(ReconAlgorithm::Baseline, processes);
+            sim.start_reconstruction_distributed(ReconAlgorithm::Baseline, processes).expect("a disk failed and processes > 0");
         } else {
-            sim.start_reconstruction(ReconAlgorithm::Baseline, processes);
+            sim.start_reconstruction(ReconAlgorithm::Baseline, processes).expect("a disk failed and processes > 0");
         }
         sim.run_until_reconstructed(SimTime::from_secs(100_000))
             .reconstruction_secs()

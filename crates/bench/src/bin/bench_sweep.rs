@@ -39,8 +39,10 @@ fn main() {
     println!("# {}", par_report.summary_line());
     println!("# speedup: {speedup:.2}x on {cores} available core(s)");
 
-    runner::write_reports("results/bench_sweep.json", &[seq_report, par_report])
-        .expect("writing results/bench_sweep.json");
+    if let Err(e) = runner::write_reports("results/bench_sweep.json", &[seq_report, par_report]) {
+        eprintln!("error: could not write results/bench_sweep.json: {e}");
+        std::process::exit(1);
+    }
     println!("# wrote results/bench_sweep.json");
 
     // The ≥3x bar only makes sense with real parallel hardware under it.

@@ -1,0 +1,170 @@
+//! Monte Carlo data-loss campaign: second failures injected into
+//! rebuilds across the paper's layouts, estimating `P(data loss | second
+//! fault)`, the window of vulnerability, and an empirically corrected
+//! MTTDL. Writes `results/campaign.json`.
+//!
+//! Flags (parsed here, not via the common set, because of `--replay`):
+//!
+//! * `--full` / `--cylinders N` / `--seed S` / `--threads T` — as in the
+//!   other figure binaries;
+//! * `--trials N` — Monte Carlo trials per layout (default 8 at smoke
+//!   scale, 40 at full scale);
+//! * `--out PATH` — where to write the JSON report (default
+//!   `results/campaign.json`);
+//! * `--replay LAYOUT TRIAL` — instead of a campaign, reproduce one
+//!   recorded trial bit-for-bit (e.g. `--replay declustered-g4 3`) and
+//!   print its JSON line.
+
+use decluster_bench::print_header;
+use decluster_experiments::campaign::{
+    self, CampaignLayout, CampaignSpec, TrialOutcome,
+};
+use decluster_experiments::Runner;
+
+struct Cli {
+    spec: CampaignSpec,
+    threads: usize,
+    out: String,
+    replay: Option<(CampaignLayout, usize)>,
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!(
+        "usage: campaign [--full] [--cylinders N] [--seed S] [--threads T] \
+         [--trials N] [--out PATH] [--replay LAYOUT TRIAL]"
+    );
+    std::process::exit(if problem.is_empty() { 0 } else { 2 });
+}
+
+fn cli() -> Cli {
+    let mut cli = Cli {
+        spec: CampaignSpec::smoke(),
+        threads: 0,
+        out: "results/campaign.json".to_string(),
+        replay: None,
+    };
+    let mut trials_override = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => {
+                cli.spec = CampaignSpec::paper();
+            }
+            "--cylinders" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--cylinders needs a positive integer"));
+                cli.spec.scale.cylinders = n;
+            }
+            "--seed" => {
+                let s = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+                cli.spec.scale.seed = s;
+            }
+            "--threads" => {
+                cli.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a non-negative integer"));
+            }
+            "--trials" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--trials needs a positive integer"));
+                if n == 0 {
+                    usage("--trials needs a positive integer");
+                }
+                trials_override = Some(n);
+            }
+            "--out" => {
+                cli.out = args.next().unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--replay" => {
+                let layout = args
+                    .next()
+                    .as_deref()
+                    .and_then(CampaignLayout::from_name)
+                    .unwrap_or_else(|| {
+                        usage("--replay needs a layout name (e.g. declustered-g4)")
+                    });
+                let trial = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--replay needs a trial index"));
+                cli.replay = Some((layout, trial));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if let Some(n) = trials_override {
+        cli.spec.trials = n;
+    }
+    cli
+}
+
+fn print_trial(t: &TrialOutcome) {
+    println!("{}", t.to_json());
+}
+
+fn main() {
+    let cli = cli();
+
+    if let Some((layout, trial)) = cli.replay {
+        let outcome = campaign::replay_trial(&cli.spec, layout, trial)
+            .unwrap_or_else(|e| usage(&format!("replay failed: {e}")));
+        print_trial(&outcome);
+        return;
+    }
+
+    print_header(
+        "Monte Carlo data-loss campaign (second faults injected into rebuilds)",
+        &cli.spec.scale,
+    );
+    println!(
+        "# {} trials/layout, horizon {}x rebuild time, MTBF {} h",
+        cli.spec.trials, cli.spec.horizon_factor, cli.spec.mtbf_hours
+    );
+    println!();
+
+    let runner = Runner::new(cli.threads);
+    let report = campaign::run_campaign(&cli.spec, &runner)
+        .unwrap_or_else(|e| panic!("campaign failed: {e}"));
+
+    println!(
+        "{:<24} {:>5} {:>12} {:>8} {:>10} {:>12} {:>14}",
+        "layout", "G", "rebuild s", "P(loss)", "P(l|reb)", "window s", "MTTDL h"
+    );
+    for l in &report.layouts {
+        println!(
+            "{:<24} {:>5} {:>12.1} {:>8.3} {:>10.3} {:>12.1} {:>14}",
+            l.name,
+            l.group,
+            l.baseline_recon_secs,
+            l.p_loss,
+            l.p_loss_during_rebuild,
+            l.window_secs,
+            l.mttdl_hours
+                .map_or("unbounded".to_string(), |m| format!("{m:.0}")),
+        );
+    }
+
+    match campaign::write_campaign(&cli.out, &report) {
+        Ok(()) => println!("\n# wrote {}", cli.out),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", cli.out);
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "# replay any trial: campaign --cylinders {} --seed {} --trials {} --replay <layout> <trial>",
+        cli.spec.scale.cylinders, cli.spec.scale.seed, cli.spec.trials
+    );
+}

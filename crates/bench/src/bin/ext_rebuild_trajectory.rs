@@ -26,8 +26,9 @@ fn main() {
                     1,
                 )
                 .expect("paper layout fits");
-                sim.fail_disk(0);
-                sim.start_reconstruction(algorithm, 1);
+                sim.fail_disk(0).expect("disk 0 exists and is healthy");
+                sim.start_reconstruction(algorithm, 1)
+                    .expect("a disk failed and processes > 0");
                 let report =
                     sim.run_until_reconstructed(SimTime::from_secs(scale.recon_limit_secs));
                 let events = report.events_processed;

@@ -50,6 +50,13 @@ pub enum Error {
         /// Human-readable explanation.
         reason: String,
     },
+    /// A simulator or driver was driven illegally: a fault injected after
+    /// the run started, a duplicate failure, reconstruction armed without
+    /// a failed disk, and the like.
+    InvalidState {
+        /// Human-readable explanation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -80,6 +87,7 @@ impl fmt::Display for Error {
                 write!(f, "no known block design with v={v} objects and tuple size k={k}")
             }
             Error::NotSymmetric { reason } => write!(f, "design is not symmetric: {reason}"),
+            Error::InvalidState { reason } => write!(f, "invalid state: {reason}"),
         }
     }
 }

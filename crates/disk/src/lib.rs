@@ -27,12 +27,14 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod geometry;
 pub mod model;
 pub mod sched;
 pub mod seek;
 
+pub use fault::{AccessOutcome, MediaFaultConfig, MediaFaultModel};
 pub use geometry::Geometry;
-pub use model::{Completion, Disk, DiskRequest, DiskStats, IoKind, Priority};
+pub use model::{Completion, CompletedIo, Disk, DiskRequest, DiskStats, IoKind, Priority};
 pub use sched::SchedPolicy;
 pub use seek::SeekModel;

@@ -1,5 +1,6 @@
 //! The simulated disk: queueing, head motion, rotation, and transfers.
 
+use crate::fault::{AccessOutcome, MediaFaultModel};
 use crate::geometry::Geometry;
 use crate::sched::{direction_after, pick_next, ArmDirection, SchedPolicy};
 use crate::seek::SeekModel;
@@ -95,6 +96,10 @@ pub struct DiskStats {
     pub service_ms: OnlineStats,
     /// Per-access queueing delay before service began, ms.
     pub queue_wait_ms: OnlineStats,
+    /// Transient failures retried internally (see [`crate::fault`]).
+    pub transient_retries: u64,
+    /// Accesses that finished with a hard [`AccessOutcome::MediaError`].
+    pub media_errors: u64,
 }
 
 impl DiskStats {
@@ -114,9 +119,28 @@ struct ActiveIo {
     id: u64,
     finish: SimTime,
     kind: IoKind,
+    start_sector: u64,
     sectors: u32,
     arrived: SimTime,
     started: SimTime,
+    outcome: AccessOutcome,
+}
+
+/// A finished access, returned by [`Disk::complete`]: the request's
+/// identity plus its typed [`AccessOutcome`], so callers cannot mistake a
+/// failed access for a successful one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedIo {
+    /// The tag from the finished [`DiskRequest`].
+    pub id: u64,
+    /// Read or write.
+    pub kind: IoKind,
+    /// First logical sector of the transfer.
+    pub start_sector: u64,
+    /// Sectors transferred.
+    pub sectors: u32,
+    /// How the access finished.
+    pub outcome: AccessOutcome,
 }
 
 /// A single simulated disk drive.
@@ -145,7 +169,8 @@ struct ActiveIo {
 /// // Disk busy: the second submission queues.
 /// assert!(disk.submit(SimTime::ZERO, DiskRequest::new(2, 8, 8, IoKind::Write)).is_none());
 /// let (done, next) = disk.complete(c1.at);
-/// assert_eq!(done, 1);
+/// assert_eq!(done.id, 1);
+/// assert!(!done.outcome.is_error()); // no fault model: always Ok
 /// let c2 = next.unwrap();
 /// // A sequential follow-on needs no seek and no rotational re-sync: it
 /// // streams at media rate (~0.29 ms per sector).
@@ -165,6 +190,7 @@ pub struct Disk {
     stats: DiskStats,
     priority_scheduling: bool,
     failed: bool,
+    faults: Option<MediaFaultModel>,
 }
 
 impl Disk {
@@ -191,6 +217,7 @@ impl Disk {
             stats: DiskStats::default(),
             priority_scheduling: false,
             failed: false,
+            faults: None,
         }
     }
 
@@ -206,6 +233,27 @@ impl Disk {
         let mut disk = Disk::with_policy(geometry, label, policy);
         disk.priority_scheduling = true;
         disk
+    }
+
+    /// Installs a media fault process (latent sector errors, transient
+    /// failures with retry/backoff). Without one, every access returns
+    /// [`AccessOutcome::Ok`] with zero overhead.
+    pub fn set_fault_model(&mut self, faults: MediaFaultModel) {
+        self.faults = Some(faults);
+    }
+
+    /// The installed fault process, if any.
+    pub fn fault_model(&self) -> Option<&MediaFaultModel> {
+        self.faults.as_ref()
+    }
+
+    /// Remaps (heals) every defective sector in the range — the array's
+    /// scrub-on-error recovery: after reconstructing the lost data from
+    /// redundancy it rewrites the unit, reallocating the bad sector.
+    pub fn heal(&mut self, start_sector: u64, sectors: u32) {
+        if let Some(f) = self.faults.as_mut() {
+            f.heal(start_sector, sectors);
+        }
     }
 
     /// The disk's geometry.
@@ -284,12 +332,13 @@ impl Disk {
     /// be the promised completion time) and, if work is queued, starts the
     /// next access chosen by the head scheduler.
     ///
-    /// Returns the finished request's id and the next completion, if any.
+    /// Returns the finished access — with its typed [`AccessOutcome`] —
+    /// and the next completion, if any.
     ///
     /// # Panics
     ///
     /// Panics if the disk is idle or `now` differs from the promised time.
-    pub fn complete(&mut self, now: SimTime) -> (u64, Option<Completion>) {
+    pub fn complete(&mut self, now: SimTime) -> (CompletedIo, Option<Completion>) {
         let active = self.active.take().expect("complete() on an idle disk");
         assert_eq!(
             active.finish, now,
@@ -302,6 +351,9 @@ impl Disk {
             IoKind::Write => self.stats.writes += 1,
         }
         self.stats.sectors += active.sectors as u64;
+        if active.outcome.is_error() {
+            self.stats.media_errors += 1;
+        }
         self.stats
             .service_ms
             .push((active.finish - active.started).as_ms_f64());
@@ -334,13 +386,55 @@ impl Disk {
         .map(|chosen| self.queue.swap_remove(candidates[chosen].0))
         .map(|(_, arrived, req)| self.start_service(now, arrived, req));
 
-        (active.id, next)
+        let done = CompletedIo {
+            id: active.id,
+            kind: active.kind,
+            start_sector: active.start_sector,
+            sectors: active.sectors,
+            outcome: active.outcome,
+        };
+        (done, next)
     }
 
     /// Computes the service interval for `request` beginning at `now` and
     /// records it as the active access.
+    ///
+    /// With a fault model installed the interval folds in transient
+    /// retries (each failed attempt costs one extra revolution plus an
+    /// exponentially-growing backoff), and the access's [`AccessOutcome`]
+    /// is decided here: reads covering a latent-defective sector — or any
+    /// access exhausting its retries — finish as a hard media error, while
+    /// writes remap the defects they cover.
     fn start_service(&mut self, now: SimTime, arrived: SimTime, request: DiskRequest) -> Completion {
-        let service_us = self.service_time_us(now, &request);
+        let mut service_us = self.service_time_us(now, &request);
+        let mut outcome = AccessOutcome::Ok { retries: 0 };
+        if let Some(faults) = self.faults.as_mut() {
+            let (retries, exhausted) = faults.draw_attempts();
+            if retries > 0 {
+                let revolution_us =
+                    self.geometry.sectors_per_track as f64 * self.geometry.sector_time_us();
+                service_us += retries as f64 * revolution_us + faults.backoff_us(retries);
+                self.stats.transient_retries += retries as u64;
+            }
+            outcome = if exhausted {
+                AccessOutcome::MediaError {
+                    sector: request.start_sector,
+                }
+            } else {
+                match request.kind {
+                    IoKind::Read => {
+                        match faults.first_bad_sector(request.start_sector, request.sectors) {
+                            Some(sector) => AccessOutcome::MediaError { sector },
+                            None => AccessOutcome::Ok { retries },
+                        }
+                    }
+                    IoKind::Write => {
+                        faults.heal(request.start_sector, request.sectors);
+                        AccessOutcome::Ok { retries }
+                    }
+                }
+            };
+        }
         let finish = now + SimTime::from_us(service_us.round() as u64);
         // The head ends where the transfer ends.
         let last = request.start_sector + request.sectors as u64 - 1;
@@ -352,9 +446,11 @@ impl Disk {
             id: request.id,
             finish,
             kind: request.kind,
+            start_sector: request.start_sector,
             sectors: request.sectors,
             arrived,
             started: now,
+            outcome,
         });
         Completion {
             id: request.id,
@@ -427,7 +523,7 @@ mod tests {
         assert!(d.submit(SimTime::ZERO, read(2, 160)).is_none());
         assert_eq!(d.queue_len(), 1);
         let (done, next) = d.complete(c1.at);
-        assert_eq!(done, 1);
+        assert_eq!(done.id, 1);
         assert!(next.is_some());
         assert_eq!(d.queue_len(), 0);
     }
@@ -490,8 +586,8 @@ mod tests {
         let mut times = vec![];
         let mut next = Some(c1);
         while let Some(c) = next {
-            let (id, n) = d.complete(c.at);
-            times.push((id, c.at));
+            let (done, n) = d.complete(c.at);
+            times.push((done.id, c.at));
             next = n;
         }
         // CVSCAN services near requests (8, 16) before the far one (id 2).
@@ -692,5 +788,86 @@ mod tests {
         let (_, next) = d.complete(c.at);
         // Nearest wins regardless of class.
         assert_eq!(next.unwrap().id, 1);
+    }
+
+    #[test]
+    fn read_over_defective_sector_surfaces_media_error() {
+        use crate::fault::{AccessOutcome, MediaFaultConfig, MediaFaultModel};
+        let cfg = MediaFaultConfig::none().with_latent_rate(0.02);
+        let probe = MediaFaultModel::new(cfg, 0);
+        let bad = (0..100_000).find(|&s| probe.latent_bad(s)).expect("defect");
+        let mut d = disk();
+        d.set_fault_model(MediaFaultModel::new(cfg, 0));
+        let c = d.submit(SimTime::ZERO, read(1, bad)).unwrap();
+        let (done, _) = d.complete(c.at);
+        assert_eq!(done.outcome, AccessOutcome::MediaError { sector: bad });
+        assert_eq!(d.stats().media_errors, 1);
+    }
+
+    #[test]
+    fn write_heals_defective_sectors() {
+        use crate::fault::{MediaFaultConfig, MediaFaultModel};
+        let cfg = MediaFaultConfig::none().with_latent_rate(0.02);
+        let probe = MediaFaultModel::new(cfg, 0);
+        let bad = (0..100_000).find(|&s| probe.latent_bad(s)).expect("defect");
+        let mut d = disk();
+        d.set_fault_model(MediaFaultModel::new(cfg, 0));
+        let c = d
+            .submit(SimTime::ZERO, DiskRequest::new(1, bad, 8, IoKind::Write))
+            .unwrap();
+        let (done, _) = d.complete(c.at);
+        assert!(!done.outcome.is_error(), "writes remap defects: {done:?}");
+        // The same sector now reads clean.
+        let c = d.submit(c.at, read(2, bad)).unwrap();
+        let (done, _) = d.complete(c.at);
+        assert!(!done.outcome.is_error());
+        assert_eq!(d.stats().media_errors, 0);
+    }
+
+    #[test]
+    fn transient_retries_add_latency_deterministically() {
+        use crate::fault::{MediaFaultConfig, MediaFaultModel};
+        let run = |rate: f64| {
+            let mut d = disk();
+            if rate > 0.0 {
+                d.set_fault_model(MediaFaultModel::new(
+                    MediaFaultConfig::none().with_transient_rate(rate),
+                    0,
+                ));
+            }
+            let mut now = SimTime::ZERO;
+            for i in 0..500u64 {
+                let c = d.submit(now, read(i, (i * 7919) % 100_000)).unwrap();
+                now = c.at;
+                d.complete(now);
+            }
+            (now, d.stats().transient_retries)
+        };
+        let (clean, r0) = run(0.0);
+        assert_eq!(r0, 0);
+        let (faulty_a, ra) = run(0.3);
+        let (faulty_b, rb) = run(0.3);
+        assert!(ra > 0, "30% transient rate over 500 ios must retry");
+        assert!(faulty_a > clean, "retries must cost service time");
+        assert_eq!((faulty_a, ra), (faulty_b, rb), "fault draws must replay");
+    }
+
+    #[test]
+    fn zero_rate_model_is_byte_identical_to_none() {
+        use crate::fault::{MediaFaultConfig, MediaFaultModel};
+        let run = |with_model: bool| {
+            let mut d = disk();
+            if with_model {
+                d.set_fault_model(MediaFaultModel::new(MediaFaultConfig::none(), 0));
+            }
+            let mut now = SimTime::ZERO;
+            for i in 0..200u64 {
+                let c = d.submit(now, read(i, (i * 977) % 50_000)).unwrap();
+                now = c.at;
+                d.complete(now);
+            }
+            now
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -1,0 +1,691 @@
+//! Monte Carlo data-loss campaigns: second failures injected into
+//! rebuilds, measuring when redundancy actually runs out.
+//!
+//! The paper's reliability argument (chapter 3) is analytic: a second
+//! whole-disk failure during repair loses data, so MTTDL is
+//! `m² / (C·(C−1)·r)` and everything hinges on shrinking the repair time
+//! `r`. The simulator can interrogate the step that model takes on faith —
+//! *does* a second failure during repair lose data? Under parity
+//! declustering a second fault only loses the stripes that actually
+//! straddle both dead disks, and a rebuild that has already passed a
+//! stripe has moved it out of harm's way, so the answer is a probability,
+//! not a certainty.
+//!
+//! A campaign measures that probability by brute force. For each layout
+//! under test it first runs a clean rebuild to calibrate the repair time
+//! `T`, then runs `trials` independent simulations, each injecting a
+//! second whole-disk failure at a stratified time across
+//! `[0, horizon_factor · T)` (the tail past `T` lands after the rebuild
+//! completes and must lose nothing). Every trial is a closed deterministic
+//! simulation keyed by the campaign seed and its trial index, so any
+//! recorded outcome can be reproduced bit-for-bit from the report alone —
+//! see [`replay_trial`] and the `campaign` binary's `--replay` flag.
+//!
+//! Outputs per layout: `P(loss | second fault)`, the conditional
+//! `P(loss | second fault during rebuild)` the analytic model assumes to
+//! be 1, the window of vulnerability in seconds, mean lost stripes, and an
+//! empirically corrected MTTDL (the analytic figure divided by the
+//! observed loss probability). Trials fan across cores with [`Runner`];
+//! results serialize to `results/campaign.json` with a stable field
+//! order.
+
+use crate::runner::Runner;
+use crate::{paper_layout, ExperimentScale, PAPER_DISKS};
+use decluster_analytic::reliability;
+use decluster_array::{ArraySim, FaultPlan, ReconAlgorithm, ReconReport};
+use decluster_core::error::Error;
+use decluster_sim::{SimRng, SimTime};
+use decluster_workload::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// A repair organization under campaign test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CampaignLayout {
+    /// Parity declustering with stripe width `g`, rebuilt onto a
+    /// dedicated replacement disk.
+    Declustered {
+        /// Parity stripe width (units per stripe, parity included).
+        g: u16,
+    },
+    /// Left-symmetric RAID 5 across all 21 disks (`α = 1`), rebuilt onto
+    /// a dedicated replacement.
+    Raid5,
+    /// Parity declustering with stripe width `g`, rebuilt into
+    /// distributed spare slots (the failed disk stays dead).
+    DistributedSparing {
+        /// Parity stripe width (units per stripe, parity included).
+        g: u16,
+    },
+}
+
+impl CampaignLayout {
+    /// Stable name used in reports and by the replay CLI.
+    pub fn name(&self) -> String {
+        match self {
+            CampaignLayout::Declustered { g } => format!("declustered-g{g}"),
+            CampaignLayout::Raid5 => "raid5".to_string(),
+            CampaignLayout::DistributedSparing { g } => format!("distributed-sparing-g{g}"),
+        }
+    }
+
+    /// Parity stripe width.
+    pub fn group(&self) -> u16 {
+        match self {
+            CampaignLayout::Declustered { g } | CampaignLayout::DistributedSparing { g } => *g,
+            CampaignLayout::Raid5 => PAPER_DISKS,
+        }
+    }
+
+    /// Declustering ratio `α = (G−1)/(C−1)`.
+    pub fn alpha(&self) -> f64 {
+        (self.group() - 1) as f64 / (PAPER_DISKS - 1) as f64
+    }
+
+    fn is_distributed(&self) -> bool {
+        matches!(self, CampaignLayout::DistributedSparing { .. })
+    }
+
+    /// Parses a [`CampaignLayout::name`] back into the layout.
+    pub fn from_name(name: &str) -> Option<CampaignLayout> {
+        if name == "raid5" {
+            return Some(CampaignLayout::Raid5);
+        }
+        if let Some(g) = name.strip_prefix("declustered-g") {
+            return g.parse().ok().map(|g| CampaignLayout::Declustered { g });
+        }
+        if let Some(g) = name.strip_prefix("distributed-sparing-g") {
+            return g
+                .parse()
+                .ok()
+                .map(|g| CampaignLayout::DistributedSparing { g });
+        }
+        None
+    }
+}
+
+/// What to run: scale, trial count, and the failure/repair parameters
+/// shared by every layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Disk size, seeds, and simulated-time caps.
+    pub scale: ExperimentScale,
+    /// Layouts under test.
+    pub layouts: Vec<CampaignLayout>,
+    /// Monte Carlo trials per layout.
+    pub trials: usize,
+    /// User accesses per second (half reads, half writes) during rebuild.
+    pub rate: f64,
+    /// Parallel reconstruction processes.
+    pub processes: usize,
+    /// Per-disk MTBF in hours, for the MTTDL projection.
+    pub mtbf_hours: f64,
+    /// Second-fault times span `[0, horizon_factor · T)` where `T` is the
+    /// layout's calibrated rebuild time; the fraction past `1.0` lands
+    /// after the rebuild completes and checks that nothing is lost.
+    pub horizon_factor: f64,
+}
+
+impl CampaignSpec {
+    /// The default layout set: two declustered widths, the RAID 5
+    /// baseline, and distributed sparing at the narrow width.
+    pub fn default_layouts() -> Vec<CampaignLayout> {
+        vec![
+            CampaignLayout::Declustered { g: 4 },
+            CampaignLayout::Declustered { g: 10 },
+            CampaignLayout::Raid5,
+            CampaignLayout::DistributedSparing { g: 4 },
+        ]
+    }
+
+    /// Paper-scale campaign: full disks, 40 trials per layout.
+    pub fn paper() -> CampaignSpec {
+        CampaignSpec {
+            scale: ExperimentScale::paper(),
+            layouts: Self::default_layouts(),
+            trials: 40,
+            rate: 105.0,
+            processes: 8,
+            mtbf_hours: 150_000.0,
+            horizon_factor: 1.25,
+        }
+    }
+
+    /// Reduced-scale campaign for CI and the check-script smoke run.
+    pub fn smoke() -> CampaignSpec {
+        CampaignSpec {
+            scale: ExperimentScale::smoke(),
+            layouts: Self::default_layouts(),
+            trials: 8,
+            rate: 50.0,
+            processes: 8,
+            mtbf_hours: 150_000.0,
+            horizon_factor: 1.25,
+        }
+    }
+
+    /// Tiny campaign for unit tests: two layouts, a handful of trials.
+    pub fn tiny() -> CampaignSpec {
+        CampaignSpec {
+            scale: ExperimentScale::tiny(),
+            layouts: vec![
+                CampaignLayout::Declustered { g: 4 },
+                CampaignLayout::Raid5,
+            ],
+            trials: 4,
+            rate: 50.0,
+            processes: 8,
+            mtbf_hours: 150_000.0,
+            horizon_factor: 1.25,
+        }
+    }
+
+    /// Spare units reserved per disk for distributed-sparing layouts:
+    /// an eighth of the disk, ≈ 2.5× what absorbing one failed disk
+    /// across 20 survivors strictly needs.
+    pub fn spare_units(&self) -> u64 {
+        (self.scale.units_per_disk() / 8).max(1)
+    }
+}
+
+/// One Monte Carlo trial: a second whole-disk failure injected into a
+/// rebuild, and what it cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Trial index within the layout (also the stratification slot).
+    pub trial: usize,
+    /// Workload stream fed to [`ArraySim::new`] — replaying with this
+    /// stream and the same spec reproduces the trial bit-for-bit.
+    pub seed_stream: u64,
+    /// The disk that failed second (never disk 0, the first failure).
+    pub second_disk: u16,
+    /// When the second failure landed, in simulated seconds.
+    pub second_at_secs: f64,
+    /// Fraction of the first disk rebuilt when the second fault hit
+    /// (`1.0` when the rebuild had already completed).
+    pub rebuilt_fraction: f64,
+    /// Parity stripes that lost data.
+    pub lost_stripes: u64,
+    /// Data units unrecoverable across those stripes.
+    pub lost_data_units: u64,
+    /// Parity units unrecoverable across those stripes.
+    pub lost_parity_units: u64,
+    /// Whether the rebuild finished before the second fault landed.
+    pub recon_completed: bool,
+}
+
+impl TrialOutcome {
+    /// Renders the trial as a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"trial\":{},\"seed_stream\":{},\"second_disk\":{},",
+                "\"second_at_secs\":{},\"rebuilt_fraction\":{},",
+                "\"lost_stripes\":{},\"lost_data_units\":{},",
+                "\"lost_parity_units\":{},\"recon_completed\":{}}}"
+            ),
+            self.trial,
+            self.seed_stream,
+            self.second_disk,
+            json_f64(self.second_at_secs),
+            json_f64(self.rebuilt_fraction),
+            self.lost_stripes,
+            self.lost_data_units,
+            self.lost_parity_units,
+            self.recon_completed,
+        )
+    }
+}
+
+/// One layout's campaign outcome: the calibrated rebuild time, every
+/// trial, and the loss statistics over them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayoutSummary {
+    /// Layout name (see [`CampaignLayout::name`]).
+    pub name: String,
+    /// Parity stripe width.
+    pub group: u16,
+    /// Declustering ratio.
+    pub alpha: f64,
+    /// Clean rebuild time `T` in simulated seconds (the trial horizon is
+    /// `horizon_factor · T`).
+    pub baseline_recon_secs: f64,
+    /// Fraction of all trials that lost data.
+    pub p_loss: f64,
+    /// Fraction of the trials whose fault landed *during* the rebuild
+    /// that lost data — the probability the analytic MTTDL model takes
+    /// to be 1.
+    pub p_loss_during_rebuild: f64,
+    /// Mean lost stripes per trial (over all trials, zeros included).
+    pub mean_lost_stripes: f64,
+    /// Window of vulnerability: the span of second-fault times that lose
+    /// data, `p_loss · horizon` seconds.
+    pub window_secs: f64,
+    /// Analytic MTTDL corrected by the measured loss probability:
+    /// `m² / (C·(C−1)·r) / p_loss_during_rebuild`. `None` when no trial
+    /// lost data (the campaign measured the MTTDL as unbounded).
+    pub mttdl_hours: Option<f64>,
+    /// Every trial, in stratification order.
+    pub trials: Vec<TrialOutcome>,
+}
+
+impl LayoutSummary {
+    /// Renders the summary as a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        let trials: Vec<String> = self
+            .trials
+            .iter()
+            .map(|t| format!("      {}", t.to_json()))
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "      \"name\":\"{}\",\"group\":{},\"alpha\":{},\n",
+                "      \"baseline_recon_secs\":{},\"p_loss\":{},",
+                "\"p_loss_during_rebuild\":{},\n",
+                "      \"mean_lost_stripes\":{},\"window_secs\":{},",
+                "\"mttdl_hours\":{},\n",
+                "      \"trials\":[\n{}\n      ]\n    }}"
+            ),
+            self.name,
+            self.group,
+            json_f64(self.alpha),
+            json_f64(self.baseline_recon_secs),
+            json_f64(self.p_loss),
+            json_f64(self.p_loss_during_rebuild),
+            json_f64(self.mean_lost_stripes),
+            json_f64(self.window_secs),
+            self.mttdl_hours.map_or("null".to_string(), json_f64),
+            trials.join(",\n"),
+        )
+    }
+}
+
+/// A whole campaign: the spec's shared parameters plus every layout's
+/// summary, as written to `results/campaign.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Monte Carlo trials per layout.
+    pub trials_per_layout: usize,
+    /// Second-fault horizon as a multiple of each layout's rebuild time.
+    pub horizon_factor: f64,
+    /// Per-disk MTBF used for the MTTDL projection.
+    pub mtbf_hours: f64,
+    /// Campaign seed (trials are keyed off it; see [`replay_trial`]).
+    pub seed: u64,
+    /// Per-layout outcomes, in spec order.
+    pub layouts: Vec<LayoutSummary>,
+}
+
+impl CampaignReport {
+    /// Renders the report as a JSON document (stable key order; identical
+    /// bytes for identical specs, whatever the thread count).
+    pub fn to_json(&self) -> String {
+        let layouts: Vec<String> = self
+            .layouts
+            .iter()
+            .map(|l| format!("    {}", l.to_json()))
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"trials_per_layout\":{},\"horizon_factor\":{},",
+                "\"mtbf_hours\":{},\"seed\":{},\n",
+                "  \"layouts\":[\n{}\n  ]\n}}\n"
+            ),
+            self.trials_per_layout,
+            json_f64(self.horizon_factor),
+            json_f64(self.mtbf_hours),
+            self.seed,
+            layouts.join(",\n"),
+        )
+    }
+
+    /// The summary for `name`, if the campaign ran that layout.
+    pub fn layout(&self, name: &str) -> Option<&LayoutSummary> {
+        self.layouts.iter().find(|l| l.name == name)
+    }
+}
+
+/// JSON rendering of a finite `f64` via the shortest round-trip `Display`
+/// form, so reports are byte-identical across runs and thread counts.
+fn json_f64(x: f64) -> String {
+    debug_assert!(x.is_finite(), "campaign reports only finite values");
+    format!("{x}")
+}
+
+/// Builds the simulator for one campaign run (baseline or trial) of
+/// `layout` with the given workload stream.
+fn build_sim(
+    spec: &CampaignSpec,
+    layout: CampaignLayout,
+    seed_stream: u64,
+) -> Result<ArraySim, Error> {
+    let mut cfg = spec.scale.array_config();
+    if layout.is_distributed() {
+        cfg = cfg.with_distributed_spares(spec.spare_units());
+    }
+    let workload = WorkloadSpec::half_and_half(spec.rate);
+    let mut sim = ArraySim::new(paper_layout(layout.group()), cfg, workload, seed_stream)?;
+    sim.fail_disk(0)?;
+    if layout.is_distributed() {
+        sim.start_reconstruction_distributed(ReconAlgorithm::Baseline, spec.processes)?;
+    } else {
+        sim.start_reconstruction(ReconAlgorithm::Baseline, spec.processes)?;
+    }
+    Ok(sim)
+}
+
+/// Workload stream for trial `trial` (stream 0 is the baseline run).
+fn trial_stream(trial: usize) -> u64 {
+    trial as u64 + 1
+}
+
+/// The second-failed disk for a trial: drawn from the campaign seed, the
+/// layout, and the trial index; never disk 0 (the first failure).
+fn second_disk(spec: &CampaignSpec, layout: CampaignLayout, trial: usize) -> u16 {
+    let tag = (layout.group() as u64) << 40
+        | (layout.is_distributed() as u64) << 56
+        | trial as u64;
+    let mut rng = SimRng::new(spec.scale.seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    1 + rng.below((PAPER_DISKS - 1) as u64) as u16
+}
+
+/// The stratified second-fault time for a trial: the midpoint of slot
+/// `trial` across `[0, horizon_factor · baseline)`.
+fn second_at_secs(spec: &CampaignSpec, baseline_secs: f64, trial: usize) -> f64 {
+    let horizon = spec.horizon_factor * baseline_secs;
+    (trial as f64 + 0.5) / spec.trials as f64 * horizon
+}
+
+/// Runs the clean rebuild that calibrates a layout's repair time.
+///
+/// Returns the rebuild time in seconds (the scale's reconstruction cap if
+/// the rebuild did not finish under it) and the events processed.
+fn run_baseline(spec: &CampaignSpec, layout: CampaignLayout) -> Result<(f64, u64), Error> {
+    let sim = build_sim(spec, layout, 0)?;
+    let limit = SimTime::from_secs(spec.scale.recon_limit_secs);
+    let report = sim.run_until_reconstructed(limit);
+    let secs = report
+        .reconstruction_secs()
+        .unwrap_or(spec.scale.recon_limit_secs as f64);
+    Ok((secs, report.events_processed))
+}
+
+/// Runs one Monte Carlo trial against a calibrated baseline.
+fn run_trial(
+    spec: &CampaignSpec,
+    layout: CampaignLayout,
+    trial: usize,
+    baseline_secs: f64,
+) -> Result<(TrialOutcome, u64), Error> {
+    let seed_stream = trial_stream(trial);
+    let disk = second_disk(spec, layout, trial);
+    let at_secs = second_at_secs(spec, baseline_secs, trial);
+
+    let mut sim = build_sim(spec, layout, seed_stream)?;
+    sim.inject_faults(&FaultPlan::new().fail_at(disk, SimTime::from_secs_f64(at_secs)))?;
+    let limit = SimTime::from_secs(spec.scale.recon_limit_secs);
+    let report: ReconReport = sim.run_until_reconstructed(limit);
+
+    let loss = &report.data_loss;
+    let outcome = TrialOutcome {
+        trial,
+        seed_stream,
+        second_disk: disk,
+        second_at_secs: at_secs,
+        rebuilt_fraction: loss.rebuilt_fraction_before_loss().unwrap_or(1.0),
+        lost_stripes: loss.stripes.len() as u64,
+        lost_data_units: loss.lost_data_units(),
+        lost_parity_units: loss.lost_parity_units(),
+        recon_completed: report.reconstruction_time.is_some(),
+    };
+    Ok((outcome, report.events_processed))
+}
+
+/// Folds a layout's trials into its summary statistics.
+fn summarize(
+    spec: &CampaignSpec,
+    layout: CampaignLayout,
+    baseline_secs: f64,
+    trials: Vec<TrialOutcome>,
+) -> LayoutSummary {
+    let n = trials.len().max(1) as f64;
+    let losses = trials.iter().filter(|t| t.lost_stripes > 0).count() as f64;
+    let during = trials.iter().filter(|t| !t.recon_completed).count() as f64;
+    let p_loss = losses / n;
+    let p_loss_during_rebuild = if during > 0.0 { losses / during } else { 0.0 };
+    let mean_lost_stripes = trials.iter().map(|t| t.lost_stripes as f64).sum::<f64>() / n;
+    let horizon = spec.horizon_factor * baseline_secs;
+    let mttdl_hours = if p_loss_during_rebuild > 0.0 {
+        let analytic =
+            reliability::mttdl_hours(PAPER_DISKS, spec.mtbf_hours, baseline_secs / 3600.0);
+        Some(analytic / p_loss_during_rebuild)
+    } else {
+        None
+    };
+    LayoutSummary {
+        name: layout.name(),
+        group: layout.group(),
+        alpha: layout.alpha(),
+        baseline_recon_secs: baseline_secs,
+        p_loss,
+        p_loss_during_rebuild,
+        mean_lost_stripes,
+        window_secs: p_loss * horizon,
+        mttdl_hours,
+        trials,
+    }
+}
+
+/// Runs the whole campaign: one calibration rebuild per layout, then
+/// `spec.trials` Monte Carlo trials per layout, all fanned across
+/// `runner`'s workers.
+///
+/// The result is deterministic — identical at any thread count — because
+/// every run is a closed simulation keyed by the spec and [`Runner`]
+/// returns values in submission order.
+///
+/// # Errors
+///
+/// Returns an error if a layout cannot be built at the spec's scale (e.g.
+/// spare reservation too small for the disk size).
+pub fn run_campaign(spec: &CampaignSpec, runner: &Runner) -> Result<CampaignReport, Error> {
+    // Phase 1: calibrate every layout's rebuild time in parallel.
+    let baseline_jobs: Vec<_> = spec
+        .layouts
+        .iter()
+        .map(|&layout| move || (run_baseline(spec, layout), 0u64))
+        .collect();
+    let baselines = runner.run(baseline_jobs).into_values();
+    let mut calibrated = Vec::with_capacity(spec.layouts.len());
+    for (&layout, outcome) in spec.layouts.iter().zip(baselines) {
+        let (secs, _events) = outcome?;
+        calibrated.push((layout, secs));
+    }
+
+    // Phase 2: every trial of every layout is one independent job.
+    let trial_jobs: Vec<_> = calibrated
+        .iter()
+        .flat_map(|&(layout, secs)| {
+            (0..spec.trials).map(move |trial| {
+                move || match run_trial(spec, layout, trial, secs) {
+                    Ok((outcome, events)) => (Ok(outcome), events),
+                    Err(e) => (Err(e), 0),
+                }
+            })
+        })
+        .collect();
+    let results = runner.run(trial_jobs).into_values();
+
+    let mut layouts = Vec::with_capacity(calibrated.len());
+    let mut results = results.into_iter();
+    for &(layout, secs) in &calibrated {
+        let trials = results
+            .by_ref()
+            .take(spec.trials)
+            .collect::<Result<Vec<_>, _>>()?;
+        layouts.push(summarize(spec, layout, secs, trials));
+    }
+    Ok(CampaignReport {
+        trials_per_layout: spec.trials,
+        horizon_factor: spec.horizon_factor,
+        mtbf_hours: spec.mtbf_hours,
+        seed: spec.scale.seed,
+        layouts,
+    })
+}
+
+/// Reproduces one recorded trial bit-for-bit from the spec alone: reruns
+/// the layout's calibration rebuild, then the trial simulation with the
+/// same derived seed, fault time, and fault disk.
+///
+/// # Errors
+///
+/// Returns an error if `trial` is out of range or the layout cannot be
+/// built at the spec's scale.
+pub fn replay_trial(
+    spec: &CampaignSpec,
+    layout: CampaignLayout,
+    trial: usize,
+) -> Result<TrialOutcome, Error> {
+    if trial >= spec.trials {
+        return Err(Error::BadParameters {
+            reason: format!("trial {trial} out of range (campaign has {})", spec.trials),
+        });
+    }
+    let (baseline_secs, _) = run_baseline(spec, layout)?;
+    let (outcome, _) = run_trial(spec, layout, trial, baseline_secs)?;
+    Ok(outcome)
+}
+
+/// Writes a campaign report as JSON, creating parent directories.
+///
+/// # Errors
+///
+/// Returns any underlying filesystem error.
+pub fn write_campaign(
+    path: impl AsRef<std::path::Path>,
+    report: &CampaignReport,
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, report.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::tiny();
+        spec.layouts = vec![CampaignLayout::Declustered { g: 4 }];
+        spec.trials = 4;
+        spec
+    }
+
+    #[test]
+    fn layout_names_round_trip() {
+        for layout in CampaignSpec::default_layouts() {
+            assert_eq!(CampaignLayout::from_name(&layout.name()), Some(layout));
+        }
+        assert_eq!(CampaignLayout::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn second_disk_never_hits_the_first_failure() {
+        let spec = CampaignSpec::tiny();
+        for layout in CampaignSpec::default_layouts() {
+            for trial in 0..64 {
+                let d = second_disk(&spec, layout, trial);
+                assert!(d >= 1 && d < PAPER_DISKS, "trial {trial}: disk {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_times_are_stratified_across_the_horizon() {
+        let spec = test_spec();
+        let times: Vec<f64> = (0..spec.trials)
+            .map(|t| second_at_secs(&spec, 100.0, t))
+            .collect();
+        let horizon = spec.horizon_factor * 100.0;
+        for pair in times.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        assert!(times[0] > 0.0 && times[spec.trials - 1] < horizon);
+        // Stratification covers the post-completion tail.
+        assert!(times[spec.trials - 1] > 100.0);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_thread_counts() {
+        let spec = test_spec();
+        let seq = run_campaign(&spec, &Runner::sequential()).unwrap();
+        let par = run_campaign(&spec, &Runner::new(4)).unwrap();
+        assert_eq!(seq.to_json(), par.to_json());
+    }
+
+    #[test]
+    fn trials_behave_physically() {
+        let spec = test_spec();
+        let report = run_campaign(&spec, &Runner::new(0)).unwrap();
+        let layout = &report.layouts[0];
+        assert!(layout.baseline_recon_secs > 0.0);
+        assert!((0.0..=1.0).contains(&layout.p_loss));
+        assert!((0.0..=1.0).contains(&layout.p_loss_during_rebuild));
+        for t in &layout.trials {
+            // A fault after the rebuild completed must lose nothing.
+            if t.recon_completed {
+                assert_eq!(t.lost_stripes, 0, "trial {}: loss after rebuild", t.trial);
+            }
+            // Loss only happens with the rebuild still in flight.
+            if t.lost_stripes > 0 {
+                assert!(!t.recon_completed);
+                assert!(t.rebuilt_fraction < 1.0);
+            }
+            assert_eq!(
+                t.lost_data_units > 0 || t.lost_parity_units > 0,
+                t.lost_stripes > 0
+            );
+        }
+        // The stratified horizon puts the last trial past completion.
+        assert!(layout.trials.last().unwrap().recon_completed);
+        // And the first trial lands early in the rebuild, where the two
+        // dead disks still share live stripes: data is lost.
+        assert!(layout.trials[0].lost_stripes > 0);
+    }
+
+    #[test]
+    fn replay_reproduces_a_trial_bit_for_bit() {
+        let spec = test_spec();
+        let report = run_campaign(&spec, &Runner::new(0)).unwrap();
+        let recorded = &report.layouts[0].trials[1];
+        let replayed = replay_trial(&spec, CampaignLayout::Declustered { g: 4 }, 1).unwrap();
+        assert_eq!(recorded.to_json(), replayed.to_json());
+        assert_eq!(*recorded, replayed);
+    }
+
+    #[test]
+    fn replay_rejects_out_of_range_trials() {
+        let spec = test_spec();
+        assert!(replay_trial(&spec, CampaignLayout::Declustered { g: 4 }, 99).is_err());
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let spec = test_spec();
+        let report = run_campaign(&spec, &Runner::new(0)).unwrap();
+        let json = report.to_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert!(json.contains("\"trials_per_layout\":4"));
+        assert!(json.contains("\"name\":\"declustered-g4\""));
+        assert!(json.contains("\"mttdl_hours\":"));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+}

@@ -58,7 +58,7 @@ pub fn run_point_counted(
 
     let mut degraded_sim = ArraySim::new(paper_layout(g), scale.array_config(), spec, 1)
         .expect("paper layouts map paper disks");
-    degraded_sim.fail_disk(0);
+    degraded_sim.fail_disk(0).expect("disk 0 exists and is healthy");
     let degraded = degraded_sim.run_for(duration, warmup);
 
     let point = Fig6Point {

@@ -69,8 +69,9 @@ pub fn run_point_counted(
     let spec = WorkloadSpec::half_and_half(rate);
     let mut sim = ArraySim::new(paper_layout(g), scale.array_config(), spec, 1)
         .expect("paper layouts map paper disks");
-    sim.fail_disk(0);
-    sim.start_reconstruction(algorithm, processes);
+    sim.fail_disk(0).expect("disk 0 exists and is healthy");
+    sim.start_reconstruction(algorithm, processes)
+        .expect("a disk failed and processes > 0");
     let report = sim.run_until_reconstructed(SimTime::from_secs(scale.recon_limit_secs));
     (
         from_report(g, rate, algorithm, processes, &report),

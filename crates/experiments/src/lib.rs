@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod access_size;
+pub mod campaign;
 pub mod csv;
 pub mod fig4;
 pub mod fig6;

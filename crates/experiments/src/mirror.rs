@@ -99,7 +99,7 @@ pub fn run_point_counted(
         .expect("21-disk layouts fit")
         .run_for(duration, warmup);
     let mut deg = ArraySim::new(org.layout(), cfg, spec, 1).expect("layout fits");
-    deg.fail_disk(0);
+    deg.fail_disk(0).expect("disk 0 exists and is healthy");
     let degraded = deg.run_for(duration, warmup);
     let mut survivors: Vec<f64> = degraded
         .per_disk_utilization
@@ -113,8 +113,9 @@ pub fn run_point_counted(
     let max = *survivors.last().expect("survivors exist");
     let degraded_imbalance = if median > 0.0 { max / median } else { 1.0 };
     let mut rec = ArraySim::new(org.layout(), cfg, spec, 1).expect("layout fits");
-    rec.fail_disk(0);
-    rec.start_reconstruction(ReconAlgorithm::Redirect, 8);
+    rec.fail_disk(0).expect("disk 0 exists and is healthy");
+    rec.start_reconstruction(ReconAlgorithm::Redirect, 8)
+        .expect("a disk failed and processes > 0");
     let recon = rec.run_until_reconstructed(SimTime::from_secs(scale.recon_limit_secs));
 
     let point = MirrorPoint {

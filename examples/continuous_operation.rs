@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // request in flight at the instant of failure is retried under the
     // degraded state; none is lost.
     let mut sim = ArraySim::new(paper_layout(g), cfg, spec, 1)?;
-    sim.fail_disk_at(7, SimTime::from_secs(20));
+    sim.fail_disk_at(7, SimTime::from_secs(20)).expect("disk is healthy and in range");
     let transition = sim.run_for(SimTime::from_secs(60), SimTime::from_secs(2));
     println!(
         "[0-60s]   disk 7 fails at t=20s mid-run: {} requests served, mean {:.1} ms",
@@ -37,8 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Phase 3: a replacement arrives; 8-way rebuild with redirection while
     // the workload continues.
     let mut sim = ArraySim::new(paper_layout(g), cfg, spec, 2)?;
-    sim.fail_disk(7);
-    sim.start_reconstruction(ReconAlgorithm::Redirect, 8);
+    sim.fail_disk(7).expect("disk is healthy and in range");
+    sim.start_reconstruction(ReconAlgorithm::Redirect, 8).expect("a disk failed and processes > 0");
     let rebuild = sim.run_until_reconstructed(SimTime::from_secs(100_000));
     let recon_secs = rebuild.reconstruction_secs().expect("rebuild completes");
     println!(

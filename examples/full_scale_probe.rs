@@ -16,8 +16,8 @@ fn main() {
             1,
         )
         .unwrap();
-        s.fail_disk(0);
-        s.start_reconstruction(ReconAlgorithm::Baseline, 1);
+        s.fail_disk(0).expect("disk is healthy and in range");
+        s.start_reconstruction(ReconAlgorithm::Baseline, 1).expect("a disk failed and processes > 0");
         let r = s.run_until_reconstructed(SimTime::from_secs(100_000));
         println!(
             "G={g}: recon {:.0} s ({:.1} min), user {:.1} ms",

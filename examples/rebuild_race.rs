@@ -50,8 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         for algorithm in ReconAlgorithm::ALL {
             let mut sim = ArraySim::new(paper_layout(g), cfg, spec, 1)?;
-            sim.fail_disk(0);
-            sim.start_reconstruction(algorithm, processes);
+            sim.fail_disk(0).expect("disk is healthy and in range");
+            sim.start_reconstruction(algorithm, processes).expect("a disk failed and processes > 0");
             let report = sim.run_until_reconstructed(SimTime::from_secs(100_000));
             println!(
                 "{:<20} {:>12.1} {:>14.1} {:>14.1} {:>12}",

@@ -14,4 +14,10 @@ cargo test -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> campaign smoke (tiny Monte Carlo data-loss campaign + replay)"
+cargo run --release -q -p decluster-bench --bin campaign -- \
+    --cylinders 30 --trials 4 --out results/campaign_smoke.json
+cargo run --release -q -p decluster-bench --bin campaign -- \
+    --cylinders 30 --trials 4 --replay declustered-g4 0
+
 echo "==> all checks passed"

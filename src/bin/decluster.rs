@@ -265,7 +265,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             );
         }
         (Some(disk), None) => {
-            sim.fail_disk(disk);
+            sim.fail_disk(disk).map_err(|e| e.to_string())?;
             let r = sim.run_for(SimTime::from_secs(seconds), SimTime::from_secs(seconds / 10));
             println!(
                 "degraded (disk {disk} dead): {} requests, mean {:.1} ms, p90 {:.1} ms",
@@ -275,8 +275,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             );
         }
         (Some(disk), Some(algorithm)) => {
-            sim.fail_disk(disk);
-            sim.start_reconstruction(algorithm, processes);
+            sim.fail_disk(disk).map_err(|e| e.to_string())?;
+            sim.start_reconstruction(algorithm, processes)
+                .map_err(|e| e.to_string())?;
             let r = sim.run_until_reconstructed(SimTime::from_secs(1_000_000));
             match r.reconstruction_secs() {
                 Some(t) => println!(

@@ -28,8 +28,8 @@ fn reconstruction_runs_are_bit_identical() {
         let mut s =
             ArraySim::new(paper_layout(4), cfg(), WorkloadSpec::half_and_half(60.0), 7)
                 .unwrap();
-        s.fail_disk(5);
-        s.start_reconstruction(ReconAlgorithm::RedirectPiggyback, 4);
+        s.fail_disk(5).expect("disk is healthy and in range");
+        s.start_reconstruction(ReconAlgorithm::RedirectPiggyback, 4).expect("a disk failed and processes > 0");
         s.run_until_reconstructed(SimTime::from_secs(50_000))
     };
     let a = run();

@@ -98,7 +98,8 @@ fn every_request_completes_once() {
         loop {
             assert!(current.at >= last, "case {case}: completions went backwards");
             last = current.at;
-            let (id, nxt) = disk.complete(current.at);
+            let (io, nxt) = disk.complete(current.at);
+            let id = io.id;
             assert!(!done[id as usize], "case {case}: request {id} completed twice");
             done[id as usize] = true;
             match nxt {

@@ -1,0 +1,201 @@
+//! End-to-end fault injection: scheduled second failures and media errors
+//! driven through the full simulator, with lost-stripe sets checked
+//! against the mapping and the pure loss assessment.
+//!
+//! The unit tests in `decluster-array` cover each mechanism in isolation;
+//! these tests wire the whole stack together — paper layouts, the fault
+//! plan, distributed sparing, and the media-error model — and pin the
+//! exact data-loss accounting an operator would read out of a report.
+
+use decluster::array::loss::assess_second_failure;
+use decluster::array::spare::SpareMap;
+use decluster::array::{ArrayConfig, ArraySim, FaultPlan, LossCause, ReconAlgorithm};
+use decluster::core::layout::ArrayMapping;
+use decluster::disk::MediaFaultConfig;
+use decluster::experiments::paper_layout;
+use decluster::sim::SimTime;
+use decluster::workload::WorkloadSpec;
+
+fn cfg() -> ArrayConfig {
+    ArrayConfig::scaled(30)
+}
+
+fn mapping_for(cfg: &ArrayConfig, g: u16) -> ArrayMapping {
+    ArrayMapping::new(paper_layout(g), cfg.data_units_per_disk()).unwrap()
+}
+
+/// Stripe ids holding units on both disks, straight from the mapping.
+fn sharing(m: &ArrayMapping, a: u16, b: u16) -> Vec<u64> {
+    (0..m.stripes())
+        .filter(|&s| {
+            m.is_mapped(s) && {
+                let units = m.stripe_units(s);
+                units.iter().any(|u| u.disk == a) && units.iter().any(|u| u.disk == b)
+            }
+        })
+        .collect()
+}
+
+/// A second failure with no rebuild running loses exactly the stripes
+/// that straddle both dead disks — computable from the mapping alone.
+#[test]
+fn degraded_second_failure_loses_exactly_the_shared_stripes() {
+    let cfg = cfg();
+    let expected = sharing(&mapping_for(&cfg, 4), 0, 5);
+    assert!(!expected.is_empty(), "test layout must share stripes");
+
+    let mut sim = ArraySim::new(paper_layout(4), cfg, WorkloadSpec::half_and_half(40.0), 3)
+        .unwrap();
+    sim.fail_disk(0).unwrap();
+    sim.inject_faults(&FaultPlan::new().fail_at(5, SimTime::from_secs(10)))
+        .unwrap();
+    let report = sim.run_for(SimTime::from_secs(30), SimTime::from_secs(2));
+
+    assert_eq!(report.data_loss.second_failure, Some((5, SimTime::from_secs(10))));
+    assert_eq!(report.elapsed, SimTime::from_secs(10), "run ends at the fatal fault");
+    let ids: Vec<u64> = report.data_loss.stripes.iter().map(|l| l.stripe).collect();
+    assert_eq!(ids, expected);
+    for l in &report.data_loss.stripes {
+        assert_eq!(l.cause, LossCause::SecondDiskFailure);
+        assert_eq!(l.data_units + l.parity_units, 2, "exactly two units straddle");
+    }
+}
+
+/// The further a rebuild has swept, the fewer stripes a second failure
+/// takes — and the loss never exceeds the no-rebuild worst case.
+#[test]
+fn rebuild_progress_shrinks_the_lost_set() {
+    let cfg = cfg();
+    let worst = sharing(&mapping_for(&cfg, 4), 0, 7).len();
+    let run_with_fault_at = |secs: f64| {
+        let mut sim =
+            ArraySim::new(paper_layout(4), cfg.clone(), WorkloadSpec::half_and_half(40.0), 3)
+                .unwrap();
+        sim.fail_disk(0).unwrap();
+        sim.start_reconstruction(ReconAlgorithm::Baseline, 4).unwrap();
+        sim.inject_faults(&FaultPlan::new().fail_at(7, SimTime::from_secs_f64(secs)))
+            .unwrap();
+        sim.run_until_reconstructed(SimTime::from_secs(10_000))
+    };
+
+    // Calibrate a clean rebuild, then inject early and late.
+    let mut clean = ArraySim::new(paper_layout(4), cfg, WorkloadSpec::half_and_half(40.0), 3)
+        .unwrap();
+    clean.fail_disk(0).unwrap();
+    clean.start_reconstruction(ReconAlgorithm::Baseline, 4).unwrap();
+    let t = clean
+        .run_until_reconstructed(SimTime::from_secs(10_000))
+        .reconstruction_secs()
+        .expect("clean rebuild completes");
+
+    let early = run_with_fault_at(0.25 * t);
+    let late = run_with_fault_at(0.75 * t);
+    let (e, l) = (early.data_loss.stripes.len(), late.data_loss.stripes.len());
+    assert!(e > 0, "an early second fault must lose data");
+    assert!(l < e, "late fault ({l} stripes) must lose less than early ({e})");
+    assert!(e <= worst, "loss ({e}) cannot exceed the shared-stripe count ({worst})");
+    let fe = early.data_loss.rebuilt_fraction_before_loss().unwrap();
+    let fl = late.data_loss.rebuilt_fraction_before_loss().unwrap();
+    assert!(fe < fl, "rebuilt fractions must order with the fault times");
+}
+
+/// After a complete rebuild into distributed spares, a failure of a disk
+/// *holding relocated spare units* still loses nothing: the placement
+/// constraint keeps every stripe at one unit per disk.
+#[test]
+fn distributed_sparing_spare_disk_failure_after_rebuild_loses_nothing() {
+    let cfg = cfg().with_distributed_spares(200);
+    let m = mapping_for(&cfg, 4);
+
+    // Pick a second disk that actually received relocated units, so this
+    // exercises the spare-disk case and not a bystander.
+    let spares = SpareMap::build(&m, 0, 200).unwrap();
+    let second = (0..m.units_per_disk())
+        .find_map(|o| spares.spare_of(o))
+        .expect("rebuild relocates at least one unit")
+        .disk;
+
+    let mut sim =
+        ArraySim::new(paper_layout(4), cfg, WorkloadSpec::half_and_half(40.0), 3).unwrap();
+    sim.fail_disk(0).unwrap();
+    sim.start_reconstruction_distributed(ReconAlgorithm::Baseline, 4)
+        .unwrap();
+    // Far beyond any plausible rebuild time at this scale.
+    sim.inject_faults(&FaultPlan::new().fail_at(second, SimTime::from_secs(5_000)))
+        .unwrap();
+    let report = sim.run_until_reconstructed(SimTime::from_secs(10_000));
+
+    assert!(report.reconstruction_time.is_some(), "rebuild finishes first");
+    assert!(
+        report.data_loss.is_empty(),
+        "spare placement must survive the spare-holder's failure: {:?}",
+        report.data_loss.stripes
+    );
+    assert_eq!(report.data_loss.second_failure, Some((second, SimTime::from_secs(5_000))));
+}
+
+/// Mid-rebuild loss under distributed sparing stays within the pure
+/// assessment's no-progress worst case, and every lost stripe is
+/// explainable: it straddles the two dead disks, or one of its rebuilt
+/// units was relocated onto the second dead disk.
+#[test]
+fn distributed_sparing_mid_rebuild_loss_matches_the_pure_assessment() {
+    let cfg = cfg().with_distributed_spares(200);
+    let m = mapping_for(&cfg, 4);
+    let spares = SpareMap::build(&m, 0, 200).unwrap();
+    let second = 9u16;
+
+    let worst: Vec<u64> = assess_second_failure(&m, Some(0), second, None, None)
+        .iter()
+        .map(|l| l.stripe)
+        .collect();
+
+    let mut sim =
+        ArraySim::new(paper_layout(4), cfg, WorkloadSpec::half_and_half(40.0), 3).unwrap();
+    sim.fail_disk(0).unwrap();
+    sim.start_reconstruction_distributed(ReconAlgorithm::Baseline, 4)
+        .unwrap();
+    sim.inject_faults(&FaultPlan::new().fail_at(second, SimTime::from_secs(8)))
+        .unwrap();
+    let report = sim.run_until_reconstructed(SimTime::from_secs(10_000));
+
+    assert!(!report.data_loss.is_empty(), "mid-rebuild fault must lose data");
+    for l in &report.data_loss.stripes {
+        assert!(
+            worst.contains(&l.stripe),
+            "stripe {} lost but not in the no-progress worst case",
+            l.stripe
+        );
+        let units = m.stripe_units(l.stripe);
+        let explainable = units.iter().any(|u| u.disk == second)
+            || units.iter().any(|u| {
+                u.disk == 0 && spares.spare_of(u.offset).is_some_and(|s| s.disk == second)
+            });
+        assert!(explainable, "stripe {} lost for no modelled reason", l.stripe);
+    }
+}
+
+/// The full fault stack — media errors plus a scheduled second failure —
+/// is a pure function of configuration and seed.
+#[test]
+fn fault_plans_are_deterministic_end_to_end() {
+    let run = || {
+        let cfg = cfg().with_media_faults(
+            MediaFaultConfig::none()
+                .with_latent_rate(1e-4)
+                .with_transient_rate(0.01)
+                .with_seed(11),
+        );
+        let mut sim =
+            ArraySim::new(paper_layout(4), cfg, WorkloadSpec::half_and_half(40.0), 5).unwrap();
+        sim.fail_disk(0).unwrap();
+        sim.start_reconstruction(ReconAlgorithm::Baseline, 2).unwrap();
+        sim.inject_faults(&FaultPlan::new().fail_at(3, SimTime::from_secs(12)))
+            .unwrap();
+        sim.run_until_reconstructed(SimTime::from_secs(10_000))
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+    assert_eq!(a.data_loss.second_failure, Some((3, SimTime::from_secs(12))));
+}

@@ -193,8 +193,8 @@ fn parsed_layout_table_drives_the_simulator() {
             1,
         )
         .unwrap();
-        s.fail_disk(0);
-        s.start_reconstruction(ReconAlgorithm::Redirect, 4);
+        s.fail_disk(0).expect("disk is healthy and in range");
+        s.start_reconstruction(ReconAlgorithm::Redirect, 4).expect("a disk failed and processes > 0");
         s.run_until_reconstructed(SimTime::from_secs(100_000))
     };
     let a = run(native);
