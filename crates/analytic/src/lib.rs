@@ -93,7 +93,10 @@ impl MuntzLuiModel {
         mu: f64,
         units_per_disk: u64,
     ) -> MuntzLuiModel {
-        assert!(disks >= 2 && group >= 2 && group <= disks, "need 2 <= G <= C");
+        assert!(
+            disks >= 2 && group >= 2 && group <= disks,
+            "need 2 <= G <= C"
+        );
         assert!(user_rate.is_finite() && user_rate > 0.0, "bad user rate");
         assert!(mu.is_finite() && mu > 0.0, "bad service rate");
         assert!(
@@ -216,8 +219,7 @@ impl MuntzLuiModel {
     pub fn rebuild_rate_at(&self, algorithm: ReconAlgorithm, x: f64) -> f64 {
         let load = self.load_at(algorithm, x);
         let survivor_spare = (self.mu - load.survivor_rate).max(0.0);
-        let by_survivors =
-            survivor_spare * (self.disks as f64 - 1.0) / (self.group as f64 - 1.0);
+        let by_survivors = survivor_spare * (self.disks as f64 - 1.0) / (self.group as f64 - 1.0);
         by_survivors.min(self.mu)
     }
 
@@ -244,8 +246,7 @@ impl MuntzLuiModel {
     /// load at all, every disk at full tilt.
     pub fn offline_reconstruction_time(&self) -> f64 {
         let u = self.units_per_disk as f64;
-        let by_survivors =
-            self.mu * (self.disks as f64 - 1.0) / (self.group as f64 - 1.0);
+        let by_survivors = self.mu * (self.disks as f64 - 1.0) / (self.group as f64 - 1.0);
         u / by_survivors.min(self.mu)
     }
 }

@@ -68,7 +68,10 @@ pub fn mttdl_hours(disks: u16, mtbf_hours: f64, repair_hours: f64) -> f64 {
 /// Panics unless `fatal_pairs` is positive and the times are positive and
 /// finite.
 pub fn mttdl_hours_fatal(fatal_pairs: u64, mtbf_hours: f64, repair_hours: f64) -> f64 {
-    assert!(fatal_pairs > 0, "a layout with no fatal pairs never loses data");
+    assert!(
+        fatal_pairs > 0,
+        "a layout with no fatal pairs never loses data"
+    );
     assert!(
         mtbf_hours.is_finite() && mtbf_hours > 0.0,
         "MTBF must be positive and finite"

@@ -3,6 +3,79 @@
 use decluster_disk::{Geometry, MediaFaultConfig, SchedPolicy};
 use serde::{Deserialize, Serialize};
 
+/// Patrol-read scrubbing policy: a background process that cycles through
+/// parity stripes verifying every unit, so latent sector errors are found
+/// and repaired from redundancy *before* a disk failure exposes them.
+///
+/// The scrubber is throttled two ways so user response time degrades by a
+/// bounded amount: at most [`ScrubConfig::max_outstanding`] verify cycles
+/// are in flight at once, and when user requests are in flight a kick
+/// backs off instead of claiming a stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScrubConfig {
+    /// Master switch. Disabled (the default) costs nothing: runs are
+    /// byte-identical with PR-2 behavior.
+    pub enabled: bool,
+    /// Microseconds between scrub kicks — the patrol rate ceiling (one
+    /// stripe verify is started per kick at most).
+    pub interval_us: u64,
+    /// Maximum stripe-verify cycles in flight at once.
+    pub max_outstanding: u32,
+    /// Backoff, µs, when a kick finds user requests in flight: the
+    /// scrubber yields the idle window it was hoping for.
+    pub backoff_us: u64,
+}
+
+impl ScrubConfig {
+    /// Scrubbing disabled (the default).
+    pub fn off() -> ScrubConfig {
+        ScrubConfig {
+            enabled: false,
+            interval_us: 2_000,
+            max_outstanding: 1,
+            backoff_us: 2_000,
+        }
+    }
+
+    /// Scrubbing enabled at the default patrol rate (one stripe per 2 ms,
+    /// one cycle in flight, 2 ms idle-wait backoff).
+    pub fn on() -> ScrubConfig {
+        ScrubConfig {
+            enabled: true,
+            ..ScrubConfig::off()
+        }
+    }
+
+    /// Returns a copy with the given kick interval.
+    pub fn with_interval_us(mut self, us: u64) -> ScrubConfig {
+        self.interval_us = us;
+        self
+    }
+
+    /// Returns a copy with the given in-flight cycle cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero (the cap would deadlock the scrubber).
+    pub fn with_max_outstanding(mut self, max: u32) -> ScrubConfig {
+        assert!(max > 0, "a zero cycle cap would stall the scrubber");
+        self.max_outstanding = max;
+        self
+    }
+
+    /// Returns a copy with the given user-traffic backoff.
+    pub fn with_backoff_us(mut self, us: u64) -> ScrubConfig {
+        self.backoff_us = us;
+        self
+    }
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        ScrubConfig::off()
+    }
+}
+
 /// Physical and policy configuration of the simulated array, matching the
 /// paper's Table 5-1 defaults.
 ///
@@ -41,6 +114,8 @@ pub struct ArrayConfig {
     /// errors, transient failures with retry/backoff). Inactive by
     /// default: fault-free runs pay zero overhead.
     pub media_faults: MediaFaultConfig,
+    /// Patrol-read scrubbing policy. Off by default.
+    pub scrub: ScrubConfig,
 }
 
 impl ArrayConfig {
@@ -55,6 +130,7 @@ impl ArrayConfig {
             recon_priority: false,
             spare_units_per_disk: 0,
             media_faults: MediaFaultConfig::none(),
+            scrub: ScrubConfig::off(),
         }
     }
 
@@ -119,6 +195,12 @@ impl ArrayConfig {
         self
     }
 
+    /// Returns a copy with the given patrol-read scrubbing policy.
+    pub fn with_scrub(mut self, scrub: ScrubConfig) -> ArrayConfig {
+        self.scrub = scrub;
+        self
+    }
+
     /// Units per disk available for data and parity (total minus the
     /// distributed-spare reservation).
     pub fn data_units_per_disk(&self) -> u64 {
@@ -166,5 +248,27 @@ mod tests {
         let cfg = cfg.with_media_faults(MediaFaultConfig::none().with_latent_rate(1e-6));
         assert!(cfg.media_faults.is_active());
         assert!(!ArrayConfig::paper().media_faults.is_active());
+    }
+
+    #[test]
+    fn scrub_builders() {
+        assert_eq!(ScrubConfig::default(), ScrubConfig::off());
+        assert!(!ArrayConfig::paper().scrub.enabled);
+        let cfg = ArrayConfig::paper().with_scrub(
+            ScrubConfig::on()
+                .with_interval_us(500)
+                .with_max_outstanding(2)
+                .with_backoff_us(750),
+        );
+        assert!(cfg.scrub.enabled);
+        assert_eq!(cfg.scrub.interval_us, 500);
+        assert_eq!(cfg.scrub.max_outstanding, 2);
+        assert_eq!(cfg.scrub.backoff_us, 750);
+    }
+
+    #[test]
+    #[should_panic(expected = "stall")]
+    fn zero_outstanding_cap_is_rejected() {
+        let _ = ScrubConfig::on().with_max_outstanding(0);
     }
 }

@@ -20,10 +20,10 @@
 //! let layout = Arc::new(DeclusteredLayout::new(BlockDesign::complete(5, 4)?)?);
 //! let mut array = DataArray::new(layout, 32, 8)?;
 //! array.write(0, &[7; 8]);
-//! array.fail_disk(array.locate(0).disk);   // lose the disk holding unit 0
+//! array.fail_disk(array.locate(0).disk)?;  // lose the disk holding unit 0
 //! assert_eq!(array.read(0), vec![7; 8]);   // rebuilt on the fly
-//! array.replace_disk();
-//! array.reconstruct_all();
+//! array.replace_disk()?;
+//! array.reconstruct_all()?;
 //! assert_eq!(array.read(0), vec![7; 8]);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -138,7 +138,7 @@ impl DataArray {
         let (stripe, index) = self.mapping.logical_to_stripe(logical);
         let units = self.mapping.stripe_units(stripe);
         let addr = units[index as usize];
-        let parity = *units.last().unwrap();
+        let parity = units[units.len() - 1]; // parity is ordered last
         let data_lost = self.is_lost(addr);
         let parity_lost = self.is_lost(parity);
 
@@ -172,8 +172,7 @@ impl DataArray {
         if let Some(rebuilt) = &mut self.rebuilt {
             let offset = addr.offset as usize;
             let start = offset * self.unit_bytes;
-            self.disks[addr.disk as usize][start..start + self.unit_bytes]
-                .copy_from_slice(data);
+            self.disks[addr.disk as usize][start..start + self.unit_bytes].copy_from_slice(data);
             rebuilt[offset] = true;
         }
     }
@@ -189,7 +188,11 @@ impl DataArray {
     /// overruns capacity, or the array is not fault-free (extents under
     /// failure decompose to per-unit writes at the caller's level).
     pub fn write_extent(&mut self, start: u64, data: &[u8]) {
-        assert_eq!(data.len() % self.unit_bytes, 0, "extent must be whole units");
+        assert_eq!(
+            data.len() % self.unit_bytes,
+            0,
+            "extent must be whole units"
+        );
         let count = (data.len() / self.unit_bytes) as u64;
         assert!(count > 0, "empty extent");
         assert!(
@@ -217,7 +220,8 @@ impl DataArray {
                     self.unit_mut(*addr).copy_from_slice(unit);
                     Self::xor_into(&mut parity_acc, unit);
                 }
-                self.unit_mut(*units.last().unwrap()).copy_from_slice(&parity_acc);
+                self.unit_mut(units[units.len() - 1])
+                    .copy_from_slice(&parity_acc);
                 logical += d;
             } else {
                 self.write(logical, &chunk[..self.unit_bytes]);
@@ -228,18 +232,28 @@ impl DataArray {
 
     /// Fails a disk: its contents are gone.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a disk already failed or `disk` is out of range.
-    pub fn fail_disk(&mut self, disk: u16) {
-        assert!(self.failed.is_none(), "array already degraded");
-        assert!(disk < self.mapping.disks(), "disk {disk} out of range");
+    /// Returns an error if a disk already failed or `disk` is out of
+    /// range.
+    pub fn fail_disk(&mut self, disk: u16) -> Result<(), Error> {
+        if self.failed.is_some() {
+            return Err(Error::InvalidState {
+                reason: "array already degraded".into(),
+            });
+        }
+        if disk >= self.mapping.disks() {
+            return Err(Error::InvalidState {
+                reason: format!("disk {disk} out of range"),
+            });
+        }
         self.failed = Some(disk);
         // Losing the medium: scramble it so tests cannot accidentally read
         // stale data through a bug.
         for b in &mut self.disks[disk as usize] {
             *b = 0xDB;
         }
+        Ok(())
     }
 
     /// Attempts to fail a *second* disk while one is already down: always
@@ -252,88 +266,104 @@ impl DataArray {
     ///
     /// # Errors
     ///
-    /// Returns the lost stripe ids (empty only for layouts where the pair
-    /// shares no stripe, e.g. non-adjacent disks under chained mirroring —
-    /// in which case the failure would actually be survivable, and the
-    /// caller may choose to proceed by other means).
-    ///
-    /// # Panics
-    ///
-    /// Panics if no disk has failed yet or `second` is invalid.
-    pub fn second_failure_losses(&self, second: u16) -> Result<(), Vec<u64>> {
-        let first = self.failed.expect("no first failure yet");
-        assert!(second < self.mapping.disks(), "disk {second} out of range");
-        assert_ne!(second, first, "disk {second} is already the failed disk");
+    /// Returns an error if no disk has failed yet or `second` is invalid.
+    /// Otherwise returns the lost stripe ids (empty only for layouts where
+    /// the pair shares no stripe, e.g. non-adjacent disks under chained
+    /// mirroring — in which case the failure would actually be
+    /// survivable).
+    pub fn second_failure_losses(&self, second: u16) -> Result<Vec<u64>, Error> {
+        let Some(first) = self.failed else {
+            return Err(Error::InvalidState {
+                reason: "no first failure yet".into(),
+            });
+        };
+        if second >= self.mapping.disks() || second == first {
+            return Err(Error::InvalidState {
+                reason: format!("disk {second} is not a valid second failure"),
+            });
+        }
         let mut lost = Vec::new();
         for seq in 0..self.mapping.stripes() {
             let stripe = self.mapping.stripe_by_seq(seq);
             let units = self.mapping.stripe_units(stripe);
-            let hits_first = units
-                .iter()
-                .any(|u| u.disk == first && self.is_lost(*u));
+            let hits_first = units.iter().any(|u| u.disk == first && self.is_lost(*u));
             let hits_second = units.iter().any(|u| u.disk == second);
             if hits_first && hits_second {
                 lost.push(stripe);
             }
         }
-        if lost.is_empty() {
-            Ok(())
-        } else {
-            Err(lost)
-        }
+        Ok(lost)
     }
 
     /// Installs a blank replacement for the failed disk.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no disk has failed or a replacement is already installed.
-    pub fn replace_disk(&mut self) {
-        let f = self.failed.expect("no failed disk to replace");
-        assert!(self.rebuilt.is_none(), "replacement already installed");
+    /// Returns an error if no disk has failed or a replacement is already
+    /// installed.
+    pub fn replace_disk(&mut self) -> Result<(), Error> {
+        let Some(f) = self.failed else {
+            return Err(Error::InvalidState {
+                reason: "no failed disk to replace".into(),
+            });
+        };
+        if self.rebuilt.is_some() {
+            return Err(Error::InvalidState {
+                reason: "replacement already installed".into(),
+            });
+        }
         for b in &mut self.disks[f as usize] {
             *b = 0;
         }
         self.rebuilt = Some(vec![false; self.disks[f as usize].len() / self.unit_bytes]);
+        Ok(())
     }
 
     /// Reconstructs the unit at `offset` of the replacement disk (one
     /// sweep cycle). Skips units already rebuilt and unmapped holes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no replacement is installed.
-    pub fn reconstruct_unit(&mut self, offset: u64) {
-        let f = self.failed.expect("no failed disk");
-        assert!(self.rebuilt.is_some(), "install a replacement first");
-        if self.rebuilt.as_ref().unwrap()[offset as usize] {
-            return;
+    /// Returns an error if no replacement is installed.
+    pub fn reconstruct_unit(&mut self, offset: u64) -> Result<(), Error> {
+        let (Some(f), Some(rebuilt)) = (self.failed, &self.rebuilt) else {
+            return Err(Error::InvalidState {
+                reason: "install a replacement first".into(),
+            });
+        };
+        if rebuilt[offset as usize] {
+            return Ok(());
         }
         let Some(stripe) = self.mapping.role_at(f, offset).stripe() else {
-            return; // unmapped hole
+            return Ok(()); // unmapped hole
         };
         let units = self.mapping.stripe_units(stripe);
         let mut acc = vec![0u8; self.unit_bytes];
         for u in units.iter().filter(|u| u.disk != f) {
             Self::xor_into(&mut acc, self.unit(*u));
         }
-        self.unit_mut(UnitAddr::new(f, offset)).copy_from_slice(&acc);
-        self.rebuilt.as_mut().unwrap()[offset as usize] = true;
+        self.unit_mut(UnitAddr::new(f, offset))
+            .copy_from_slice(&acc);
+        if let Some(rebuilt) = &mut self.rebuilt {
+            rebuilt[offset as usize] = true;
+        }
+        Ok(())
     }
 
     /// Sweeps the whole replacement disk; afterwards the array is
     /// fault-free again.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no replacement is installed.
-    pub fn reconstruct_all(&mut self) {
+    /// Returns an error if no replacement is installed.
+    pub fn reconstruct_all(&mut self) -> Result<(), Error> {
         let units = self.mapping.units_per_disk();
         for offset in 0..units {
-            self.reconstruct_unit(offset);
+            self.reconstruct_unit(offset)?;
         }
         self.failed = None;
         self.rebuilt = None;
+        Ok(())
     }
 
     /// Verifies that every mapped stripe's parity equals the XOR of its
@@ -360,6 +390,59 @@ impl DataArray {
         }
         Ok(())
     }
+
+    /// Corrupts a stripe's parity unit, modelling the write hole: a crash
+    /// that lands a data write but not its parity update leaves the stripe
+    /// in exactly this state. [`DataArray::verify_parity`] will flag the
+    /// stripe until [`DataArray::recompute_parity`] repairs it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stripe is unmapped or its parity unit is
+    /// currently lost (nothing stored to corrupt).
+    pub fn scramble_parity(&mut self, stripe: u64) -> Result<(), Error> {
+        let parity = self.parity_addr(stripe)?;
+        for b in self.unit_mut(parity) {
+            *b = !*b;
+        }
+        Ok(())
+    }
+
+    /// Recomputes a stripe's parity from its data units — the per-stripe
+    /// repair a resync pass applies to a torn stripe.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stripe is unmapped or its parity unit is
+    /// currently lost (the reconstruction sweep, not resync, will
+    /// recreate it).
+    pub fn recompute_parity(&mut self, stripe: u64) -> Result<(), Error> {
+        let parity = self.parity_addr(stripe)?;
+        let units = self.mapping.stripe_units(stripe);
+        let mut acc = vec![0u8; self.unit_bytes];
+        for u in &units[..units.len() - 1] {
+            Self::xor_into(&mut acc, self.unit(*u));
+        }
+        self.unit_mut(parity).copy_from_slice(&acc);
+        Ok(())
+    }
+
+    /// The live parity unit of a mapped stripe.
+    fn parity_addr(&self, stripe: u64) -> Result<UnitAddr, Error> {
+        if !self.mapping.is_mapped(stripe) {
+            return Err(Error::InvalidState {
+                reason: format!("stripe {stripe} is not mapped"),
+            });
+        }
+        let units = self.mapping.stripe_units(stripe);
+        let parity = units[units.len() - 1]; // parity is ordered last
+        if self.is_lost(parity) {
+            return Err(Error::InvalidState {
+                reason: format!("stripe {stripe} has no live parity unit"),
+            });
+        }
+        Ok(parity)
+    }
 }
 
 #[cfg(test)]
@@ -370,9 +453,8 @@ mod tests {
     use decluster_sim::SimRng;
 
     fn array(g: u16, units: u64) -> DataArray {
-        let layout = Arc::new(
-            DeclusteredLayout::new(BlockDesign::complete(5, g).unwrap()).unwrap(),
-        );
+        let layout =
+            Arc::new(DeclusteredLayout::new(BlockDesign::complete(5, g).unwrap()).unwrap());
         DataArray::new(layout, units, 8).unwrap()
     }
 
@@ -407,7 +489,7 @@ mod tests {
             a.write(l, &v);
             shadow.insert(l, v);
         }
-        a.fail_disk(3);
+        a.fail_disk(3).unwrap();
         for (l, v) in &shadow {
             assert_eq!(&a.read(*l), v, "logical {l}");
         }
@@ -417,7 +499,7 @@ mod tests {
     fn degraded_writes_fold_into_parity() {
         let mut a = array(4, 32);
         let mut rng = SimRng::new(3);
-        a.fail_disk(1);
+        a.fail_disk(1).unwrap();
         let mut shadow = std::collections::HashMap::new();
         for _ in 0..500 {
             let l = rng.below(a.data_units());
@@ -442,7 +524,7 @@ mod tests {
             a.write(l, &v);
             shadow.insert(l, v);
         }
-        a.fail_disk(2);
+        a.fail_disk(2).unwrap();
         // Degraded-mode churn before the replacement arrives.
         for _ in 0..300 {
             let l = rng.below(a.data_units());
@@ -450,11 +532,11 @@ mod tests {
             a.write(l, &v);
             shadow.insert(l, v);
         }
-        a.replace_disk();
+        a.replace_disk().unwrap();
         // Interleave user writes with the reconstruction sweep.
         let units = a.mapping.units_per_disk();
         for offset in 0..units {
-            a.reconstruct_unit(offset);
+            a.reconstruct_unit(offset).unwrap();
             if offset % 3 == 0 {
                 let l = rng.below(a.data_units());
                 let v = unit_of(&mut rng);
@@ -462,7 +544,7 @@ mod tests {
                 shadow.insert(l, v);
             }
         }
-        a.reconstruct_all();
+        a.reconstruct_all().unwrap();
         for (l, v) in &shadow {
             assert_eq!(&a.read(*l), v, "logical {l}");
         }
@@ -480,9 +562,9 @@ mod tests {
                 a.write(l, &v);
                 shadow.push(v);
             }
-            a.fail_disk(failed);
-            a.replace_disk();
-            a.reconstruct_all();
+            a.fail_disk(failed).unwrap();
+            a.replace_disk().unwrap();
+            a.reconstruct_all().unwrap();
             for (l, v) in shadow.iter().enumerate() {
                 assert_eq!(&a.read(l as u64), v, "disk {failed}, logical {l}");
             }
@@ -501,12 +583,12 @@ mod tests {
             a.write(l, &v);
             shadow.push(v);
         }
-        a.fail_disk(0);
+        a.fail_disk(0).unwrap();
         for (l, v) in shadow.iter().enumerate() {
             assert_eq!(&a.read(l as u64), v);
         }
-        a.replace_disk();
-        a.reconstruct_all();
+        a.replace_disk().unwrap();
+        a.reconstruct_all().unwrap();
         a.verify_parity().unwrap();
     }
 
@@ -514,9 +596,8 @@ mod tests {
     fn mirror_pair_semantics() {
         // G = 2: parity is a copy; folding and reconstruction degenerate to
         // mirroring and must still work.
-        let layout = Arc::new(
-            DeclusteredLayout::new(BlockDesign::complete(5, 2).unwrap()).unwrap(),
-        );
+        let layout =
+            Arc::new(DeclusteredLayout::new(BlockDesign::complete(5, 2).unwrap()).unwrap());
         let mut a = DataArray::new(layout, 16, 8).unwrap();
         let mut rng = SimRng::new(6);
         let mut shadow = Vec::new();
@@ -525,12 +606,12 @@ mod tests {
             a.write(l, &v);
             shadow.push(v);
         }
-        a.fail_disk(4);
+        a.fail_disk(4).unwrap();
         for (l, v) in shadow.iter().enumerate() {
             assert_eq!(&a.read(l as u64), v);
         }
-        a.replace_disk();
-        a.reconstruct_all();
+        a.replace_disk().unwrap();
+        a.reconstruct_all().unwrap();
         a.verify_parity().unwrap();
     }
 
@@ -553,9 +634,9 @@ mod tests {
         a.verify_parity().unwrap();
         // Data survives a failure + rebuild, proving the optimized parity
         // was correct.
-        a.fail_disk(2);
-        a.replace_disk();
-        a.reconstruct_all();
+        a.fail_disk(2).unwrap();
+        a.replace_disk().unwrap();
+        a.reconstruct_all().unwrap();
         for (l, v) in shadow.iter().enumerate() {
             assert_eq!(&a.read(l as u64), v, "logical {l}");
         }
@@ -565,7 +646,7 @@ mod tests {
     #[should_panic(expected = "fault-free")]
     fn extent_write_rejects_degraded_array() {
         let mut a = array(4, 32);
-        a.fail_disk(0);
+        a.fail_disk(0).unwrap();
         a.write_extent(0, &[0u8; 24]);
     }
 
@@ -577,32 +658,68 @@ mod tests {
             let v = unit_of(&mut rng);
             a.write(l, &v);
         }
-        a.fail_disk(0);
-        let before = a.second_failure_losses(1).unwrap_err().len();
+        a.fail_disk(0).unwrap();
+        let before = a.second_failure_losses(1).unwrap().len();
         assert!(before > 0, "disks 0 and 1 share stripes in this layout");
-        a.replace_disk();
+        a.replace_disk().unwrap();
         // Rebuild the first half of the disk: fewer stripes remain exposed.
         for offset in 0..16 {
-            a.reconstruct_unit(offset);
+            a.reconstruct_unit(offset).unwrap();
         }
-        let after = match a.second_failure_losses(1) {
-            Err(lost) => lost.len(),
-            Ok(()) => 0,
-        };
-        assert!(after < before, "exposure should shrink: {before} -> {after}");
+        let after = a.second_failure_losses(1).unwrap().len();
+        assert!(
+            after < before,
+            "exposure should shrink: {before} -> {after}"
+        );
         // Fully rebuilt: no stripe is exposed at all.
         for offset in 16..32 {
-            a.reconstruct_unit(offset);
+            a.reconstruct_unit(offset).unwrap();
         }
-        assert!(a.second_failure_losses(1).is_ok());
+        assert!(a.second_failure_losses(1).unwrap().is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "already degraded")]
-    fn double_failure_panics() {
+    fn double_failure_is_rejected() {
         let mut a = array(4, 16);
-        a.fail_disk(0);
-        a.fail_disk(1);
+        assert!(a.second_failure_losses(1).is_err(), "array still healthy");
+        a.fail_disk(0).unwrap();
+        assert!(a.fail_disk(1).is_err(), "array already degraded");
+        assert!(a.fail_disk(9).is_err(), "disk out of range");
+        assert!(a.second_failure_losses(0).is_err(), "same disk twice");
+        assert!(a.reconstruct_unit(0).is_err(), "no replacement yet");
+        a.replace_disk().unwrap();
+        assert!(a.replace_disk().is_err(), "replacement already installed");
+    }
+
+    #[test]
+    fn scramble_and_recompute_parity_round_trip() {
+        let mut a = array(4, 32);
+        let mut rng = SimRng::new(21);
+        for l in 0..a.data_units() {
+            let v = unit_of(&mut rng);
+            a.write(l, &v);
+        }
+        a.verify_parity().unwrap();
+        let (stripe, _) = a.mapping.logical_to_stripe(5);
+        a.scramble_parity(stripe).unwrap();
+        assert_eq!(a.verify_parity(), Err(stripe), "scramble must be visible");
+        a.recompute_parity(stripe).unwrap();
+        a.verify_parity().unwrap();
+    }
+
+    #[test]
+    fn parity_helpers_reject_bad_stripes() {
+        let mut a = array(4, 32);
+        assert!(a.scramble_parity(u64::MAX).is_err(), "unmapped stripe");
+        assert!(a.recompute_parity(u64::MAX).is_err(), "unmapped stripe");
+        // Fail the disk holding some stripe's parity: that stripe's parity
+        // can no longer be scrambled or recomputed.
+        let (stripe, _) = a.mapping.logical_to_stripe(0);
+        let units = a.mapping.stripe_units(stripe);
+        let parity = units[units.len() - 1];
+        a.fail_disk(parity.disk).unwrap();
+        assert!(a.scramble_parity(stripe).is_err(), "parity unit is lost");
+        assert!(a.recompute_parity(stripe).is_err(), "parity unit is lost");
     }
 
     #[test]

@@ -68,8 +68,7 @@ pub fn plan_extent(
     let end = start + count;
     while logical < end {
         let within = logical % d;
-        let stripe_fully_covered =
-            kind == AccessKind::Write && within == 0 && end - logical >= d;
+        let stripe_fully_covered = kind == AccessKind::Write && within == 0 && end - logical >= d;
         if stripe_fully_covered {
             if let Some(full) = plan_full_stripe_write(mapping, logical, fault) {
                 plan.plans.push(full);
@@ -134,9 +133,8 @@ mod tests {
     use std::sync::Arc;
 
     fn mapping(g: u16) -> ArrayMapping {
-        let layout: Arc<dyn ParityLayout> = Arc::new(
-            DeclusteredLayout::new(BlockDesign::complete(5, g).unwrap()).unwrap(),
-        );
+        let layout: Arc<dyn ParityLayout> =
+            Arc::new(DeclusteredLayout::new(BlockDesign::complete(5, g).unwrap()).unwrap());
         ArrayMapping::new(layout, 200).unwrap()
     }
 
@@ -148,10 +146,7 @@ mod tests {
         assert_eq!(p.plans.len(), 1);
         // G = 4 parallel writes, zero reads.
         assert_eq!(p.accesses(), 4);
-        assert!(p.plans[0]
-            .phase1
-            .iter()
-            .all(|io| io.kind == IoKind::Write));
+        assert!(p.plans[0].phase1.iter().all(|io| io.kind == IoKind::Write));
         assert!(p.plans[0].phase2.is_empty());
     }
 
@@ -202,7 +197,13 @@ mod tests {
         let (stripe, _) = m.logical_to_stripe(0);
         let has_disk0 = m.stripe_units(stripe).iter().any(|u| u.disk == 0);
         assert!(has_disk0, "stripe 0 of the complete design touches disk 0");
-        let p = plan_extent(&m, AccessKind::Write, 0, 3, FaultView::Degraded { failed: 0 });
+        let p = plan_extent(
+            &m,
+            AccessKind::Write,
+            0,
+            3,
+            FaultView::Degraded { failed: 0 },
+        );
         assert_eq!(p.full_stripe_writes, 0);
         assert_eq!(p.plans.len(), 3);
         // And no plan touches the dead disk.
@@ -229,7 +230,13 @@ mod tests {
             }
         }
         let start = aligned.expect("some stripe avoids disk 0");
-        let p = plan_extent(&m, AccessKind::Write, start, 3, FaultView::Degraded { failed: 0 });
+        let p = plan_extent(
+            &m,
+            AccessKind::Write,
+            start,
+            3,
+            FaultView::Degraded { failed: 0 },
+        );
         assert_eq!(p.full_stripe_writes, 1);
         assert_eq!(p.accesses(), 4);
     }
@@ -256,7 +263,13 @@ mod tests {
     #[should_panic(expected = "beyond capacity")]
     fn overrun_panics() {
         let m = mapping(4);
-        plan_extent(&m, AccessKind::Read, m.data_units() - 1, 2, FaultView::FaultFree);
+        plan_extent(
+            &m,
+            AccessKind::Read,
+            m.data_units() - 1,
+            2,
+            FaultView::FaultFree,
+        );
     }
 
     #[test]

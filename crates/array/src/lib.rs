@@ -54,12 +54,17 @@ pub mod data;
 pub mod extent;
 pub mod loss;
 pub mod plan;
+pub mod recovery;
 pub mod report;
 pub mod sim;
 pub mod slab;
 pub mod spare;
 
-pub use config::ArrayConfig;
+pub use config::{ArrayConfig, ScrubConfig};
 pub use decluster_core::recon::ReconAlgorithm;
-pub use report::{DataLossReport, LossCause, LostStripe, ReconReport, RunReport};
-pub use sim::{ArraySim, FaultPlan};
+pub use recovery::recover;
+pub use report::{
+    ConsistencyReport, CrashReport, DataLossReport, LossCause, LostStripe, ReconReport,
+    RecoveryPolicy, RunReport, ScrubReport,
+};
+pub use sim::{ArraySim, CrashPlan, FaultPlan};

@@ -50,9 +50,7 @@ pub fn assess_second_failure(
             // Rebuilt: alive on the replacement (survives unless it was
             // rebuilt into a spare slot on the disk that just died).
             Some(r) if r[u.offset as usize] => match spares {
-                Some(s) => s
-                    .spare_of(u.offset)
-                    .is_none_or(|slot| slot.disk == second),
+                Some(s) => s.spare_of(u.offset).is_none_or(|slot| slot.disk == second),
                 None => false,
             },
             // Not rebuilt (or no rebuild at all): still lost.
@@ -100,9 +98,8 @@ mod tests {
     use std::sync::Arc;
 
     fn mapping(g: u16, units: u64) -> ArrayMapping {
-        let layout: Arc<dyn ParityLayout> = Arc::new(
-            DeclusteredLayout::new(BlockDesign::complete(6, g).unwrap()).unwrap(),
-        );
+        let layout: Arc<dyn ParityLayout> =
+            Arc::new(DeclusteredLayout::new(BlockDesign::complete(6, g).unwrap()).unwrap());
         ArrayMapping::new(layout, units).unwrap()
     }
 
@@ -163,8 +160,7 @@ mod tests {
         let spares = SpareMap::build(&m, 0, 40).unwrap();
         let rebuilt = vec![true; 120];
         for second in 1..m.disks() {
-            let lost =
-                assess_second_failure(&m, Some(0), second, Some(&rebuilt), Some(&spares));
+            let lost = assess_second_failure(&m, Some(0), second, Some(&rebuilt), Some(&spares));
             assert!(lost.is_empty(), "disk {second} failure lost {lost:?}");
         }
     }

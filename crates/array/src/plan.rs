@@ -104,9 +104,7 @@ impl FaultView<'_> {
     fn failed(&self) -> Option<u16> {
         match self {
             FaultView::FaultFree => None,
-            FaultView::Degraded { failed } | FaultView::Rebuilding { failed, .. } => {
-                Some(*failed)
-            }
+            FaultView::Degraded { failed } | FaultView::Rebuilding { failed, .. } => Some(*failed),
         }
     }
 
@@ -206,9 +204,7 @@ fn plan_read(units: &[UnitAddr], data: UnitAddr, fault: FaultView<'_>) -> OpPlan
         };
     }
     // Data is on the failed slot.
-    if fault.is_rebuilt(data.offset)
-        && fault.algorithm().is_some_and(|a| a.redirects_reads())
-    {
+    if fault.is_rebuilt(data.offset) && fault.algorithm().is_some_and(|a| a.redirects_reads()) {
         // Redirection of reads: the rebuilt copy (replacement disk or
         // spare slot) already holds it.
         return OpPlan {
@@ -223,9 +219,7 @@ fn plan_read(units: &[UnitAddr], data: UnitAddr, fault: FaultView<'_>) -> OpPlan
         .map(|&u| PlannedIo::read(u))
         .collect();
     let piggyback = match fault.algorithm() {
-        Some(a) if a.piggybacks_writes() && !fault.is_rebuilt(data.offset) => {
-            Some(data.offset)
-        }
+        Some(a) if a.piggybacks_writes() && !fault.is_rebuilt(data.offset) => Some(data.offset),
         _ => None,
     };
     OpPlan {
@@ -261,8 +255,7 @@ fn plan_write(
                 .find(|&(i, _)| i != index as usize)
                 .map(|(_, &u)| u)
                 .expect("a G=3 stripe has two data units");
-            let sibling_lost =
-                Some(sibling.disk) == failed && !fault.is_rebuilt(sibling.offset);
+            let sibling_lost = Some(sibling.disk) == failed && !fault.is_rebuilt(sibling.offset);
             if sibling_lost {
                 return OpPlan {
                     phase1: vec![PlannedIo::read(data_live), PlannedIo::read(parity_live)],
@@ -295,9 +288,7 @@ fn plan_write(
         .filter(|&(i, _)| i != index as usize)
         .map(|(_, &u)| PlannedIo::read(u))
         .collect();
-    let direct = fault
-        .algorithm()
-        .is_some_and(|a| a.writes_to_replacement());
+    let direct = fault.algorithm().is_some_and(|a| a.writes_to_replacement());
     let mut phase2 = vec![PlannedIo::write(fault.live_location(parity))];
     let mut mark_rebuilt = None;
     if direct {
@@ -350,9 +341,8 @@ mod tests {
     use std::sync::Arc;
 
     fn mapping(g: u16) -> ArrayMapping {
-        let layout: Arc<dyn ParityLayout> = Arc::new(
-            DeclusteredLayout::new(BlockDesign::complete(5, g).unwrap()).unwrap(),
-        );
+        let layout: Arc<dyn ParityLayout> =
+            Arc::new(DeclusteredLayout::new(BlockDesign::complete(5, g).unwrap()).unwrap());
         ArrayMapping::new(layout, 200).unwrap()
     }
 
@@ -471,7 +461,10 @@ mod tests {
         let p = plan_user_access(&m, AccessKind::Read, l, FaultView::Degraded { failed: 2 });
         // G−1 = 3 survivor reads, no phase 2.
         assert_eq!(p.phase1.len(), 3);
-        assert!(p.phase1.iter().all(|io| io.kind == IoKind::Read && io.disk != 2));
+        assert!(p
+            .phase1
+            .iter()
+            .all(|io| io.kind == IoKind::Read && io.disk != 2));
         assert!(p.phase2.is_empty());
         assert_eq!(p.piggyback, None);
     }
@@ -549,7 +542,10 @@ mod tests {
         // Sibling reads, then parity write + replacement data write.
         assert_eq!(p.phase1.len(), 2);
         assert_eq!(p.phase2.len(), 2);
-        assert!(p.phase2.iter().any(|io| io.disk == 0 && io.offset == addr.offset));
+        assert!(p
+            .phase2
+            .iter()
+            .any(|io| io.disk == 0 && io.offset == addr.offset));
         assert_eq!(p.mark_rebuilt, Some(addr.offset));
     }
 
@@ -663,8 +659,7 @@ mod tests {
         let p = plan_user_access(&m, AccessKind::Read, l, FaultView::Degraded { failed: 4 });
         // α = 1: every surviving disk participates.
         assert_eq!(p.phase1.len(), 4);
-        let disks: std::collections::HashSet<u16> =
-            p.phase1.iter().map(|io| io.disk).collect();
+        let disks: std::collections::HashSet<u16> = p.phase1.iter().map(|io| io.disk).collect();
         assert_eq!(disks.len(), 4);
     }
 }

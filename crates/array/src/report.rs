@@ -68,9 +68,109 @@ impl DataLossReport {
     /// Fraction of the dead disk rebuilt before the loss event, if a
     /// rebuild was running.
     pub fn rebuilt_fraction_before_loss(&self) -> Option<f64> {
-        self.rebuilt_before_loss
-            .map(|(done, total)| if total == 0 { 1.0 } else { done as f64 / total as f64 })
+        self.rebuilt_before_loss.map(|(done, total)| {
+            if total == 0 {
+                1.0
+            } else {
+                done as f64 / total as f64
+            }
+        })
     }
+}
+
+/// What the patrol-read scrubber did over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// Stripe verify cycles completed (a stripe re-verified on a later
+    /// pass counts again).
+    pub stripes_scanned: u64,
+    /// Verify reads issued by scrub cycles.
+    pub units_read: u64,
+    /// Latent sector errors the patrol discovered.
+    pub errors_found: u64,
+    /// Discovered errors repaired from redundancy (rewritten). Errors on
+    /// stripes already missing a unit are unrepairable and are recorded
+    /// in the run's [`DataLossReport`] instead.
+    pub errors_repaired: u64,
+    /// Kicks that found user requests in flight and yielded instead of
+    /// claiming a stripe — the throttle at work.
+    pub backoffs: u64,
+    /// Completed full passes over the stripe space.
+    pub passes: u64,
+}
+
+/// The state a power loss left the array in: which parity updates were
+/// torn mid-flight and which stripes the dirty-region log would have
+/// listed. Produced when a [`crate::CrashPlan`] fires; consumed by
+/// [`crate::recovery::recover`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CrashReport {
+    /// When the power cut landed.
+    pub at: SimTime,
+    /// Stripes with a write phase *partially* applied at the cut — some
+    /// of the phase's writes had landed, some had not, so the stripe's
+    /// parity no longer matches its data (the RAID-5 write hole).
+    /// Sorted, deduplicated; always a subset of `dirty_stripes`.
+    pub torn_stripes: Vec<u64>,
+    /// Stripes any in-flight operation was going to write — what a
+    /// dirty-region log flushed before issuing data writes would hold.
+    /// Sorted, deduplicated.
+    pub dirty_stripes: Vec<u64>,
+    /// The failed disk at crash time, if the array was degraded or
+    /// rebuilding: recovery must not try to read or rewrite its units.
+    pub failed_disk: Option<u16>,
+}
+
+impl CrashReport {
+    /// Whether the crash left any stripe inconsistent.
+    pub fn is_clean(&self) -> bool {
+        self.torn_stripes.is_empty()
+    }
+}
+
+/// How restart recovery decides which stripes to verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Verify every mapped stripe — correct with no logging at all, but
+    /// the whole array must be read.
+    FullResync,
+    /// Verify only the stripes the dirty-region log named (writes in
+    /// flight at the crash) — the same repairs at a fraction of the
+    /// reads.
+    DirtyRegionLog,
+}
+
+impl RecoveryPolicy {
+    /// Stable lower-case name (JSON keys, CLI flags).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::FullResync => "full-resync",
+            RecoveryPolicy::DirtyRegionLog => "dirty-region-log",
+        }
+    }
+}
+
+/// Exact accounting of one restart recovery: what was scanned, what was
+/// torn, what was repaired, and how long the pass took on the simulated
+/// disks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConsistencyReport {
+    /// The policy that ran.
+    pub policy: RecoveryPolicy,
+    /// Stripes read and verified.
+    pub stripes_checked: u64,
+    /// Torn stripes the scan encountered.
+    pub torn_found: u64,
+    /// Torn stripes repaired (parity rewritten from the surviving data,
+    /// or moot because the parity unit sat on the failed disk).
+    pub torn_repaired: u64,
+    /// Stripe units read by the scan.
+    pub resync_units_read: u64,
+    /// Stripe units written by repairs.
+    pub resync_units_written: u64,
+    /// Wall time of the recovery pass, seconds: per-disk sequential
+    /// pipelines running in parallel, so the slowest disk sets the time.
+    pub recovery_secs: f64,
 }
 
 /// Results of a steady-state run (fault-free or degraded mode).
@@ -100,6 +200,16 @@ pub struct RunReport {
     /// Stripes that lost data (second failure, media errors). Empty on a
     /// clean run; a terminal second failure also truncates `elapsed`.
     pub data_loss: DataLossReport,
+    /// Patrol-read scrubbing statistics, when the scrubber was enabled.
+    pub scrub: Option<ScrubReport>,
+    /// The write-hole state a [`crate::CrashPlan`] left behind, when one
+    /// fired (the crash also truncates `elapsed`).
+    pub crash: Option<CrashReport>,
+    /// Unhealed latent defects on surviving disks' mapped sectors at the
+    /// end of the run, when media faults were active. With a terminal
+    /// second failure this is the exposure *at second-fault time* — the
+    /// count scrubbing exists to shrink.
+    pub exposed_defects: Option<u64>,
 }
 
 /// Per-phase timing of reconstruction cycles (the paper's Table 8-1 rows).
@@ -160,6 +270,15 @@ pub struct ReconReport {
     /// Stripes that lost data (second failure, unreadable sectors during
     /// rebuild). Empty when reconstruction ran to completion unscathed.
     pub data_loss: DataLossReport,
+    /// Patrol-read scrubbing statistics, when the scrubber was enabled.
+    pub scrub: Option<ScrubReport>,
+    /// The write-hole state a [`crate::CrashPlan`] left behind, when one
+    /// fired mid-rebuild (the crash ends the run).
+    pub crash: Option<CrashReport>,
+    /// Unhealed latent defects on surviving disks' mapped sectors at the
+    /// end of the run, when media faults were active. With a terminal
+    /// second failure this is the exposure *at second-fault time*.
+    pub exposed_defects: Option<u64>,
 }
 
 impl ReconReport {

@@ -3,7 +3,10 @@
 use crate::config::ArrayConfig;
 use crate::loss::assess_second_failure;
 use crate::plan::{plan_user_access_with, FaultView, PlannedIo};
-use crate::report::{CycleStats, DataLossReport, LossCause, LostStripe, ReconReport, RunReport};
+use crate::report::{
+    CrashReport, CycleStats, DataLossReport, LossCause, LostStripe, ReconReport, RunReport,
+    ScrubReport,
+};
 use crate::slab::Slab;
 use crate::spare::SpareMap;
 use decluster_core::error::Error;
@@ -35,6 +38,11 @@ enum Event {
     ReconKick(usize),
     /// A disk fails mid-run (scheduled failure injection).
     DiskFail(u16),
+    /// The patrol-read scrubber wakes to (maybe) verify the next stripe.
+    ScrubKick,
+    /// Power is cut ([`CrashPlan`]): in-flight writes tear and the run
+    /// ends with a [`CrashReport`].
+    Crash,
 }
 
 /// One in-flight operation (user access, reconstruction cycle, or
@@ -68,6 +76,16 @@ struct Op {
     /// sector: the stripe is unrecoverable, so the cycle skips its write
     /// and resolves the offset as lost instead of rebuilt.
     lost_cycle: bool,
+    /// `Some(stripe)` for a patrol-read verify cycle of that stripe.
+    scrub: Option<u64>,
+    /// Whether the phase currently in flight issues writes (phases are
+    /// homogeneous: reads then writes). With `phase_size` this classifies
+    /// the op at a crash: a write phase with some-but-not-all accesses
+    /// landed is *torn*.
+    writing: bool,
+    /// Accesses the current phase started with (`outstanding` counts how
+    /// many have not yet landed).
+    phase_size: u32,
 }
 
 /// A schedule of whole-disk failures to inject into a run, built before
@@ -111,6 +129,53 @@ impl FaultPlan {
     pub fn failures(&self) -> &[(u16, SimTime)] {
         &self.failures
     }
+}
+
+/// A scheduled power loss: at the planned instant the array stops dead —
+/// every disk access still in flight is abandoned where it stood, so a
+/// read-modify-write whose writes had partially landed leaves its stripe's
+/// parity inconsistent with its data (the RAID-5 *write hole*).
+///
+/// The run ends at the cut; the report's [`CrashReport`] records exactly
+/// which stripes were torn and which a dirty-region log would have named,
+/// and [`crate::recovery::recover`] replays restart recovery from it.
+///
+/// # Examples
+///
+/// ```
+/// use decluster_array::CrashPlan;
+/// use decluster_sim::SimTime;
+///
+/// let plan = CrashPlan::at(SimTime::from_secs(5));
+/// assert_eq!(plan.when(), SimTime::from_secs(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    at: SimTime,
+}
+
+impl CrashPlan {
+    /// Cuts power at simulated time `at`.
+    pub fn at(at: SimTime) -> CrashPlan {
+        CrashPlan { at }
+    }
+
+    /// The planned instant of the cut.
+    pub fn when(&self) -> SimTime {
+        self.at
+    }
+}
+
+/// Patrol-read scrubber state (present only when
+/// [`crate::ScrubConfig::enabled`]).
+#[derive(Debug)]
+struct Scrub {
+    /// Next stripe (by mapping sequence index) to verify.
+    cursor: u64,
+    /// Verify cycles currently in flight.
+    active: u32,
+    /// Accumulated statistics, moved into the run report at the end.
+    report: ScrubReport,
 }
 
 /// How a rebuilt offset got resolved.
@@ -239,6 +304,15 @@ pub struct ArraySim {
     /// Set when a failure beyond the single-failure tolerance ends the
     /// run: the time the fatal failure landed.
     terminal_at: Option<SimTime>,
+    /// Patrol-read scrubber, when enabled by the configuration.
+    scrub: Option<Scrub>,
+    /// User requests in flight (arrived, not yet fully responded): the
+    /// scrubber's idle detector.
+    user_inflight: u32,
+    /// Scheduled power loss, consumed when its event fires.
+    crash_plan: Option<SimTime>,
+    /// The write-hole state captured when the crash fired.
+    crash: Option<CrashReport>,
     /// Scratch for stripe unit addresses, reused across events.
     scratch_units: Vec<UnitAddr>,
     /// Scratch for planned ios (reconstruction cycles), reused across
@@ -280,7 +354,12 @@ impl ArraySim {
             mapping.data_units(),
             cfg.seed ^ seed_stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
-        Ok(Self::with_source(cfg, mapping, disks, RequestSource::Synthetic(workload)))
+        Ok(Self::with_source(
+            cfg,
+            mapping,
+            disks,
+            RequestSource::Synthetic(workload),
+        ))
     }
 
     /// Builds a simulator that replays a recorded [`Trace`] instead of the
@@ -341,6 +420,14 @@ impl ArraySim {
             scheduled_failures: Vec::new(),
             loss: LossLog::default(),
             terminal_at: None,
+            scrub: cfg.scrub.enabled.then(|| Scrub {
+                cursor: 0,
+                active: 0,
+                report: ScrubReport::default(),
+            }),
+            user_inflight: 0,
+            crash_plan: None,
+            crash: None,
             scratch_units: Vec::new(),
             scratch_ios: Vec::new(),
             events_processed: 0,
@@ -436,6 +523,24 @@ impl ArraySim {
         Ok(())
     }
 
+    /// Installs a [`CrashPlan`]: power is cut at the planned time, tearing
+    /// in-flight parity updates, and the run ends there with a
+    /// [`CrashReport`] in the run's report.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a run started or a crash is already planned.
+    pub fn inject_crash(&mut self, plan: &CrashPlan) -> Result<(), Error> {
+        if self.started {
+            return Self::invalid("crash injection must precede the run");
+        }
+        if self.crash_plan.is_some() {
+            return Self::invalid("a crash is already planned");
+        }
+        self.crash_plan = Some(plan.when());
+        Ok(())
+    }
+
     fn schedule_failure(&mut self, disk: u16, at: SimTime) -> Result<(), Error> {
         if self.started {
             return Self::invalid("fault injection must precede the run");
@@ -528,9 +633,7 @@ impl ArraySim {
     ) {
         let units = self.mapping.units_per_disk();
         let target = (0..units)
-            .filter(|&o| {
-                self.mapping.role_at(failed, o) != decluster_core::UnitRole::Unmapped
-            })
+            .filter(|&o| self.mapping.role_at(failed, o) != decluster_core::UnitRole::Unmapped)
             .count() as u64;
         self.fault = Fault::Rebuilding(Box::new(Rebuild {
             failed,
@@ -575,6 +678,10 @@ impl ArraySim {
         for &(disk, at) in &self.scheduled_failures {
             self.queue.schedule(at, Event::DiskFail(disk));
         }
+        if let Some(at) = self.crash_plan {
+            self.queue.schedule(at, Event::Crash);
+        }
+        self.schedule_first_scrub_kick();
         self.schedule_next_arrival();
 
         while let Some((now, event)) = self.queue.pop() {
@@ -604,6 +711,7 @@ impl ArraySim {
             .iter()
             .map(|d| d.stats().utilization(elapsed))
             .collect();
+        let exposed = self.exposed_defects(first_failed);
         RunReport {
             reads: self.reads,
             writes: self.writes,
@@ -615,6 +723,9 @@ impl ArraySim {
             per_disk_utilization: per_disk,
             events_processed: self.events_processed,
             data_loss: self.loss.into_report(),
+            scrub: self.scrub.map(|s| s.report),
+            crash: self.crash,
+            exposed_defects: exposed,
         }
     }
 
@@ -643,7 +754,14 @@ impl ArraySim {
         for &(disk, at) in &self.scheduled_failures {
             self.queue.schedule(at, Event::DiskFail(disk));
         }
-        let mut pending_failures = self.scheduled_failures.len();
+        if let Some(at) = self.crash_plan {
+            self.queue.schedule(at, Event::Crash);
+        }
+        // Disruptions the run must wait for even after the rebuild
+        // finishes: scheduled failures and the planned crash.
+        let mut pending_disruptions =
+            self.scheduled_failures.len() + usize::from(self.crash_plan.is_some());
+        self.schedule_first_scrub_kick();
         self.schedule_next_arrival();
         for p in 0..processes {
             self.start_recon_cycle(p, SimTime::ZERO);
@@ -654,8 +772,8 @@ impl ArraySim {
             if now > limit {
                 break;
             }
-            if matches!(event, Event::DiskFail(_)) {
-                pending_failures -= 1;
+            if matches!(event, Event::DiskFail(_) | Event::Crash) {
+                pending_disruptions -= 1;
             }
             self.dispatch(now, event);
             if self.terminal_at.is_some() {
@@ -664,7 +782,7 @@ impl ArraySim {
             if let Fault::Rebuilding(r) = &self.fault {
                 if let Some(t) = r.finished {
                     finish = Some(t);
-                    if pending_failures == 0 {
+                    if pending_disruptions == 0 {
                         break;
                     }
                 }
@@ -672,6 +790,10 @@ impl ArraySim {
         }
 
         let end = self.terminal_at.or(finish).unwrap_or(limit);
+        let exposed = match &self.fault {
+            Fault::Rebuilding(r) => self.exposed_defects(Some(r.failed)),
+            _ => None,
+        };
         let r = match self.fault {
             Fault::Rebuilding(r) => r,
             _ => unreachable!(),
@@ -705,14 +827,16 @@ impl ArraySim {
             units_total: r.target,
             progress: r.progress,
             survivor_utilization: survivor_util,
-            replacement_utilization: if distributed || self.disks[r.failed as usize].is_failed()
-            {
+            replacement_utilization: if distributed || self.disks[r.failed as usize].is_failed() {
                 0.0 // no (live) replacement disk exists
             } else {
                 self.disks[r.failed as usize].stats().utilization(end)
             },
             events_processed: self.events_processed,
             data_loss: self.loss.into_report(),
+            scrub: self.scrub.map(|s| s.report),
+            crash: self.crash,
+            exposed_defects: exposed,
         }
     }
 
@@ -725,6 +849,8 @@ impl ArraySim {
             Event::DiskDone(disk) => self.on_disk_done(disk, now),
             Event::ReconKick(process) => self.start_recon_cycle(process, now),
             Event::DiskFail(disk) => self.on_disk_fail(disk, now),
+            Event::ScrubKick => self.on_scrub_kick(now),
+            Event::Crash => self.on_crash(now),
         }
     }
 
@@ -778,13 +904,22 @@ impl ArraySim {
     fn retry_op(&mut self, op_id: u32, now: SimTime) {
         let op = self.ops.remove(op_id).expect("retrying unknown op");
         let Some((start, count)) = op.span else {
-            return; // background work (piggyback): nothing to retry
+            // Background work: a piggyback write is simply dropped, but a
+            // scrub cycle must release its in-flight slot or the patrol
+            // stalls at its outstanding cap.
+            if op.scrub.is_some() {
+                self.finish_scrub_cycle();
+            }
+            return;
         };
         if count == 1 {
             let kind = op
                 .user
                 .map(|(k, _)| k)
-                .or_else(|| op.parent.map(|p| self.parents.get(p).expect("parent alive").0))
+                .or_else(|| {
+                    op.parent
+                        .map(|p| self.parents.get(p).expect("parent alive").0)
+                })
                 .expect("user spans carry a kind");
             let plan = self.plan_one(kind, start);
             let replacement = Op {
@@ -799,14 +934,16 @@ impl ArraySim {
                 span: op.span,
                 aborted: false,
                 lost_cycle: false,
+                scrub: None,
+                writing: false,
+                phase_size: 0,
             };
             let new_id = self.insert_op(replacement);
             self.issue(new_id, &plan.phase1, now);
         } else {
             let parent_id = op.parent.expect("multi-unit spans have parents");
             let kind = self.parents.get(parent_id).expect("parent alive").0;
-            let extent =
-                crate::extent::plan_extent(&self.mapping, kind, start, count, self.view());
+            let extent = crate::extent::plan_extent(&self.mapping, kind, start, count, self.view());
             // The aborted sub-plan is replaced by possibly several plans.
             self.parents.get_mut(parent_id).expect("parent alive").2 +=
                 extent.plans.len() as u32 - 1;
@@ -823,6 +960,9 @@ impl ArraySim {
                     span: Some(span),
                     aborted: false,
                     lost_cycle: false,
+                    scrub: None,
+                    writing: false,
+                    phase_size: 0,
                 };
                 let new_id = self.insert_op(sub);
                 self.issue(new_id, &plan.phase1, now);
@@ -858,6 +998,7 @@ impl ArraySim {
             .expect("Arrival event without a pending request");
         debug_assert_eq!(req.arrival, now);
         self.requests_issued += 1;
+        self.user_inflight += 1;
         if req.units == 1 {
             let plan = self.plan_one(req.kind, req.logical_unit);
             let op = Op {
@@ -872,6 +1013,9 @@ impl ArraySim {
                 span: Some((req.logical_unit, 1)),
                 aborted: false,
                 lost_cycle: false,
+                scrub: None,
+                writing: false,
+                phase_size: 0,
             };
             let op_id = self.insert_op(op);
             self.issue(op_id, &plan.phase1, now);
@@ -902,6 +1046,9 @@ impl ArraySim {
                     span: Some(span),
                     aborted: false,
                     lost_cycle: false,
+                    scrub: None,
+                    writing: false,
+                    phase_size: 0,
                 };
                 let op_id = self.insert_op(op);
                 self.issue(op_id, &plan.phase1, now);
@@ -934,8 +1081,34 @@ impl ArraySim {
     fn on_media_error(&mut self, op_id: u32, disk: u16, start_sector: u64) {
         self.disks[disk as usize].heal(start_sector, self.cfg.unit_sectors);
         let offset = start_sector / self.cfg.unit_sectors as u64;
+        // Assess the stripe first: is it unrecoverable (this unit plus a
+        // missing one elsewhere)? `None` for spare-region accesses (the
+        // stripe is accounted via its home unit) and unmapped holes.
+        let loss_info = if offset >= self.mapping.units_per_disk() {
+            None
+        } else {
+            self.assess_media_error(disk, offset)
+        };
+        let unrecoverable = matches!(loss_info, Some((_, d, p)) if d + p >= 2);
         let op = self.ops.get_mut(op_id).expect("media error on unknown op");
-        if op.recon.is_some() {
+        let is_scrub = op.scrub.is_some();
+        let mut repaired = false;
+        if is_scrub {
+            // The patrol found a latent error. With full redundancy the
+            // unit is recoverable from the units this cycle is already
+            // reading: rewrite it (the heal above reallocated the
+            // sector; the write models the repair I/O). On a stripe
+            // already missing a unit there is nothing to rebuild from —
+            // the loss is recorded below.
+            if !unrecoverable {
+                op.phase2.push(PlannedIo {
+                    disk,
+                    offset,
+                    kind: IoKind::Write,
+                });
+                repaired = true;
+            }
+        } else if op.recon.is_some() {
             // A reconstruction cycle lost a survivor: the stripe under
             // rebuild is gone. The cycle resolves its offset as lost when
             // its remaining reads drain.
@@ -947,12 +1120,32 @@ impl ArraySim {
             // the loss is recorded below either way).
             op.aborted = true;
         }
-        if offset >= self.mapping.units_per_disk() {
-            return; // spare-region access: stripe accounted via its home unit
+        if is_scrub {
+            let scrub = self.scrub.as_mut().expect("scrub op without scrubber");
+            scrub.report.errors_found += 1;
+            if repaired {
+                scrub.report.errors_repaired += 1;
+            }
         }
-        let Some(stripe) = self.mapping.role_at(disk, offset).stripe() else {
-            return; // unmapped hole
-        };
+        if let Some((stripe, data, parity)) = loss_info {
+            if data + parity >= 2 {
+                self.loss.record(LostStripe {
+                    stripe,
+                    data_units: data,
+                    parity_units: parity,
+                    cause: LossCause::MediaError { disk },
+                });
+            }
+        }
+    }
+
+    /// Counts how many of the stripe's units are unavailable given a media
+    /// error at `(disk, offset)`: the erroring unit itself plus anything
+    /// on the failed, not-yet-rebuilt disk. Returns
+    /// `(stripe, data unavailable, parity unavailable)`, or `None` off the
+    /// mapped space.
+    fn assess_media_error(&mut self, disk: u16, offset: u64) -> Option<(u64, u16, u16)> {
+        let stripe = self.mapping.role_at(disk, offset).stripe()?;
         let (first, rebuilt) = match &self.fault {
             Fault::None => (None, None),
             Fault::Degraded { failed } => (Some(*failed), None),
@@ -980,14 +1173,7 @@ impl ArraySim {
             }
         }
         self.scratch_units = units;
-        if data + parity >= 2 {
-            self.loss.record(LostStripe {
-                stripe,
-                data_units: data,
-                parity_units: parity,
-                cause: LossCause::MediaError { disk },
-            });
-        }
+        Some((stripe, data, parity))
     }
 
     fn advance_op(&mut self, op_id: u32, now: SimTime) {
@@ -1025,6 +1211,7 @@ impl ArraySim {
         // Fully complete.
         let op = self.ops.remove(op_id).expect("op vanished at completion");
         if let Some((kind, arrival)) = op.user {
+            self.user_inflight -= 1;
             if arrival >= self.measure_from {
                 let response = now - arrival;
                 self.all.record(response);
@@ -1056,10 +1243,8 @@ impl ArraySim {
                 entry.2 == 0
             };
             if done {
-                let (kind, arrival, _) = self
-                    .parents
-                    .remove(parent_id)
-                    .expect("parent vanished");
+                let (kind, arrival, _) = self.parents.remove(parent_id).expect("parent vanished");
+                self.user_inflight -= 1;
                 if arrival >= self.measure_from {
                     let response = now - arrival;
                     self.all.record(response);
@@ -1074,6 +1259,9 @@ impl ArraySim {
         if let Some(rc) = op.recon {
             self.finish_recon_cycle(rc, now);
         }
+        if op.scrub.is_some() {
+            self.finish_scrub_cycle();
+        }
     }
 
     fn insert_op(&mut self, op: Op) -> u32 {
@@ -1085,6 +1273,8 @@ impl ArraySim {
         let background = {
             let op = self.ops.get_mut(op_id).expect("issuing for unknown op");
             op.outstanding = ios.len() as u32;
+            op.phase_size = ios.len() as u32;
+            op.writing = ios.iter().any(|io| io.kind == IoKind::Write);
             op.background
         };
         let priority = if background {
@@ -1186,6 +1376,9 @@ impl ArraySim {
             span: None,
             aborted: false,
             lost_cycle: false,
+            scrub: None,
+            writing: false,
+            phase_size: 0,
         };
         let op_id = self.insert_op(op);
         self.issue(op_id, &[io], now);
@@ -1225,19 +1418,20 @@ impl ArraySim {
         units.clear();
         phase1.clear();
         self.mapping.stripe_units_into(stripe, &mut units);
-        phase1.extend(units.iter().filter(|u| u.disk != failed).map(|&u| {
-            PlannedIo {
-                disk: u.disk,
-                offset: u.offset,
-                kind: IoKind::Read,
-            }
-        }));
+        phase1.extend(
+            units
+                .iter()
+                .filter(|u| u.disk != failed)
+                .map(|&u| PlannedIo {
+                    disk: u.disk,
+                    offset: u.offset,
+                    kind: IoKind::Read,
+                }),
+        );
         let write_target = match &self.fault {
             Fault::Rebuilding(r) => match &r.spares {
                 Some(spares) => {
-                    let addr = spares
-                        .spare_of(offset)
-                        .expect("claimed offsets are mapped");
+                    let addr = spares.spare_of(offset).expect("claimed offsets are mapped");
                     (addr.disk, addr.offset)
                 }
                 None => (failed, offset),
@@ -1265,6 +1459,9 @@ impl ArraySim {
             span: None,
             aborted: false,
             lost_cycle: false,
+            scrub: None,
+            writing: false,
+            phase_size: 0,
         };
         let op_id = self.insert_op(op);
         self.issue(op_id, &phase1, now);
@@ -1294,11 +1491,210 @@ impl ArraySim {
                 .schedule(now + throttle, Event::ReconKick(rc.process));
         }
     }
+
+    // --- Patrol-read scrubbing -------------------------------------------
+
+    /// Arms the scrub kick chain at run start (one self-perpetuating
+    /// event; each kick schedules the next).
+    fn schedule_first_scrub_kick(&mut self) {
+        if self.scrub.is_some() {
+            self.queue.schedule(
+                SimTime::from_us(self.cfg.scrub.interval_us),
+                Event::ScrubKick,
+            );
+        }
+    }
+
+    /// One tick of the patrol: back off if users are in flight, otherwise
+    /// claim the next stripe for verification (bounded by the in-flight
+    /// cycle cap), and schedule the next tick.
+    fn on_scrub_kick(&mut self, now: SimTime) {
+        if now >= self.arrival_cutoff {
+            return; // run is draining: stop the kick chain so it can end
+        }
+        let Some(scrub) = &mut self.scrub else {
+            return;
+        };
+        if self.user_inflight > 0 {
+            // Not an idle window: yield to user traffic (the throttle that
+            // bounds response-time degradation).
+            scrub.report.backoffs += 1;
+            self.queue.schedule(
+                now + SimTime::from_us(self.cfg.scrub.backoff_us),
+                Event::ScrubKick,
+            );
+            return;
+        }
+        let interval = SimTime::from_us(self.cfg.scrub.interval_us);
+        self.queue.schedule(now + interval, Event::ScrubKick);
+        if scrub.active >= self.cfg.scrub.max_outstanding {
+            return; // at the outstanding-I/O cap: try again next tick
+        }
+        let stripes = self.mapping.stripes();
+        if stripes == 0 {
+            return;
+        }
+        let seq = scrub.cursor;
+        scrub.cursor += 1;
+        if scrub.cursor == stripes {
+            scrub.cursor = 0;
+            scrub.report.passes += 1;
+        }
+        let stripe = self.mapping.stripe_by_seq(seq);
+        self.start_scrub_cycle(stripe, now);
+    }
+
+    /// Launches one verify cycle: background-priority reads of every
+    /// available unit of `stripe`. Latent errors surface as media errors
+    /// and are repaired in [`ArraySim::on_media_error`].
+    fn start_scrub_cycle(&mut self, stripe: u64, now: SimTime) {
+        let skip = match &self.fault {
+            Fault::None => None,
+            // The failed slot is unreadable (degraded / distributed
+            // sparing) or partially garbage (replacement mid-rebuild):
+            // the patrol verifies survivors only.
+            Fault::Degraded { failed } => Some(*failed),
+            Fault::Rebuilding(r) => Some(r.failed),
+        };
+        let mut units = std::mem::take(&mut self.scratch_units);
+        let mut phase1 = std::mem::take(&mut self.scratch_ios);
+        units.clear();
+        phase1.clear();
+        self.mapping.stripe_units_into(stripe, &mut units);
+        phase1.extend(
+            units
+                .iter()
+                .filter(|u| Some(u.disk) != skip)
+                .map(|&u| PlannedIo {
+                    disk: u.disk,
+                    offset: u.offset,
+                    kind: IoKind::Read,
+                }),
+        );
+        if !phase1.is_empty() {
+            let scrub = self.scrub.as_mut().expect("scrub cycle without scrubber");
+            scrub.active += 1;
+            scrub.report.units_read += phase1.len() as u64;
+            let op = Op {
+                user: None,
+                outstanding: 0,
+                phase2: Vec::new(),
+                mark_rebuilt: None,
+                piggyback: None,
+                recon: None,
+                background: true,
+                parent: None,
+                span: None,
+                aborted: false,
+                lost_cycle: false,
+                scrub: Some(stripe),
+                writing: false,
+                phase_size: 0,
+            };
+            let op_id = self.insert_op(op);
+            self.issue(op_id, &phase1, now);
+        }
+        units.clear();
+        phase1.clear();
+        self.scratch_units = units;
+        self.scratch_ios = phase1;
+    }
+
+    /// A verify cycle resolved (all reads landed, or the op was dropped by
+    /// a mid-run disk failure): release its in-flight slot.
+    fn finish_scrub_cycle(&mut self) {
+        if let Some(scrub) = &mut self.scrub {
+            scrub.active -= 1;
+            scrub.report.stripes_scanned += 1;
+        }
+    }
+
+    /// Unhealed latent defects over the mapped sectors of every live disk
+    /// except the (first) failed slot — `None` when media faults are off.
+    /// Under a dedicated replacement the failed slot is excluded too: the
+    /// swapped-in drive re-derives the same defect pattern from its label,
+    /// which would double-count the dead disk's defects.
+    fn exposed_defects(&self, first_failed: Option<u16>) -> Option<u64> {
+        if !self.cfg.media_faults.is_active() {
+            return None;
+        }
+        let mapped_sectors = self.mapping.units_per_disk() * self.cfg.unit_sectors as u64;
+        Some(
+            self.disks
+                .iter()
+                .filter(|d| Some(d.label() as u16) != first_failed && !d.is_failed())
+                .map(|d| d.count_defective(mapped_sectors))
+                .sum(),
+        )
+    }
+
+    // --- Crash (write-hole) injection ------------------------------------
+
+    /// Power is cut: classify every in-flight operation, record the torn
+    /// and dirty stripe sets, and end the run.
+    fn on_crash(&mut self, now: SimTime) {
+        let failed_disk = match &self.fault {
+            Fault::None => None,
+            Fault::Degraded { failed } => Some(*failed),
+            Fault::Rebuilding(r) => Some(r.failed),
+        };
+        let mut torn: Vec<u64> = Vec::new();
+        let mut dirty: Vec<u64> = Vec::new();
+        for (_, op) in self.ops.iter() {
+            // An op is *going to* write if a write phase is in flight now
+            // or queued behind the current read phase; reconstruction and
+            // piggyback ops write the rebuilt unit they carry.
+            let writes = op.writing
+                || op.phase2.iter().any(|io| io.kind == IoKind::Write)
+                || op.mark_rebuilt.is_some();
+            if !writes {
+                continue;
+            }
+            // Torn: a write phase with some accesses landed and some not —
+            // the stripe's parity update was half-applied. (An access
+            // still in service at the cut did not land.)
+            let landed = op.phase_size - op.outstanding;
+            let is_torn = op.writing && landed > 0 && op.outstanding > 0;
+            let mark = |list: &mut Vec<u64>| match (op.scrub, op.mark_rebuilt, op.span) {
+                (Some(stripe), _, _) => list.push(stripe),
+                (None, Some(offset), _) => {
+                    let failed = failed_disk.expect("rebuild writes imply a failed disk");
+                    if let Some(stripe) = self.mapping.role_at(failed, offset).stripe() {
+                        list.push(stripe);
+                    }
+                }
+                (None, None, Some((start, count))) => {
+                    for logical in start..start + count {
+                        list.push(self.mapping.logical_to_stripe(logical).0);
+                    }
+                }
+                (None, None, None) => {}
+            };
+            mark(&mut dirty);
+            if is_torn {
+                mark(&mut torn);
+            }
+        }
+        torn.sort_unstable();
+        torn.dedup();
+        dirty.sort_unstable();
+        dirty.dedup();
+        self.crash = Some(CrashReport {
+            at: now,
+            torn_stripes: torn,
+            dirty_stripes: dirty,
+            failed_disk,
+        });
+        // Power is gone: every queued or in-service access is abandoned
+        // where it stood. The run ends here.
+        self.terminal_at = Some(now);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ScrubConfig;
     use decluster_core::design::BlockDesign;
     use decluster_core::layout::{DeclusteredLayout, Raid5Layout};
 
@@ -1326,7 +1722,10 @@ mod tests {
             "mean {}",
             report.all.mean_ms()
         );
-        assert_eq!(report.reads.count() + report.writes.count(), report.all.count());
+        assert_eq!(
+            report.reads.count() + report.writes.count(),
+            report.all.count()
+        );
         assert_eq!(report.writes.count(), 0);
     }
 
@@ -1366,7 +1765,10 @@ mod tests {
         s.start_reconstruction(ReconAlgorithm::Baseline, 1).unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some(), "{report:?}");
-        assert_eq!(report.units_swept + report.units_by_users, report.units_total);
+        assert_eq!(
+            report.units_swept + report.units_by_users,
+            report.units_total
+        );
         // Baseline sends no user work to the replacement.
         assert_eq!(report.units_by_users, 0);
         assert!(report.cycles.read_ms.count() > 0);
@@ -1378,14 +1780,18 @@ mod tests {
     fn user_writes_rebuild_some_units() {
         let mut s = sim(4, WorkloadSpec::all_writes(30.0));
         s.fail_disk(2).unwrap();
-        s.start_reconstruction(ReconAlgorithm::UserWrites, 1).unwrap();
+        s.start_reconstruction(ReconAlgorithm::UserWrites, 1)
+            .unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some());
         assert!(
             report.units_by_users > 0,
             "direct writes should pre-rebuild units: {report:?}"
         );
-        assert_eq!(report.units_swept + report.units_by_users, report.units_total);
+        assert_eq!(
+            report.units_swept + report.units_by_users,
+            report.units_total
+        );
     }
 
     #[test]
@@ -1393,7 +1799,8 @@ mod tests {
         let recon_time = |processes| {
             let mut s = sim(4, WorkloadSpec::half_and_half(10.0));
             s.fail_disk(1).unwrap();
-            s.start_reconstruction(ReconAlgorithm::Baseline, processes).unwrap();
+            s.start_reconstruction(ReconAlgorithm::Baseline, processes)
+                .unwrap();
             s.run_until_reconstructed(SimTime::from_secs(100_000))
                 .reconstruction_secs()
                 .unwrap()
@@ -1411,8 +1818,7 @@ mod tests {
         let run = |throttle_us| {
             let cfg = tiny_cfg().with_recon_throttle_us(throttle_us);
             let mut s =
-                ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(30.0), 1)
-                    .unwrap();
+                ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(30.0), 1).unwrap();
             s.fail_disk(1).unwrap();
             s.start_reconstruction(ReconAlgorithm::Baseline, 1).unwrap();
             s.run_until_reconstructed(SimTime::from_secs(200_000))
@@ -1423,7 +1829,10 @@ mod tests {
             fast.reconstruction_secs().unwrap(),
             slow.reconstruction_secs().unwrap(),
         );
-        assert!(t_slow > t_fast * 1.5, "throttle had no effect: {t_fast} vs {t_slow}");
+        assert!(
+            t_slow > t_fast * 1.5,
+            "throttle had no effect: {t_fast} vs {t_slow}"
+        );
         assert!(
             slow.user.mean_ms() < fast.user.mean_ms(),
             "throttling should lower user response time: {} vs {}",
@@ -1450,7 +1859,10 @@ mod tests {
         s.start_reconstruction(ReconAlgorithm::Redirect, 1).unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some());
-        assert_eq!(report.units_swept + report.units_by_users, report.units_total);
+        assert_eq!(
+            report.units_swept + report.units_by_users,
+            report.units_total
+        );
     }
 
     #[test]
@@ -1510,15 +1922,21 @@ mod tests {
                 .filter(|&st| {
                     m.is_mapped(st) && {
                         let units = m.stripe_units(st);
-                        units.iter().any(|u| u.disk == 0)
-                            && units.iter().any(|u| u.disk == 1)
+                        units.iter().any(|u| u.disk == 0) && units.iter().any(|u| u.disk == 1)
                     }
                 })
                 .collect()
         };
         let report = s.run_for(SimTime::from_secs(60), SimTime::from_secs(5));
-        assert_eq!(report.elapsed, SimTime::from_secs(20), "run ends at the loss");
-        assert_eq!(report.data_loss.second_failure, Some((1, SimTime::from_secs(20))));
+        assert_eq!(
+            report.elapsed,
+            SimTime::from_secs(20),
+            "run ends at the loss"
+        );
+        assert_eq!(
+            report.data_loss.second_failure,
+            Some((1, SimTime::from_secs(20)))
+        );
         let ids: Vec<u64> = report.data_loss.stripes.iter().map(|l| l.stripe).collect();
         assert_eq!(ids, mapping_stripes, "exact lost-stripe set");
         assert_eq!(report.data_loss.rebuilt_before_loss, None);
@@ -1545,10 +1963,17 @@ mod tests {
         assert_eq!(loss.second_failure, Some((2, mid)));
         let frac = loss.rebuilt_fraction_before_loss().unwrap();
         assert!(frac > 0.1 && frac < 0.9, "half-way failure, got {frac}");
-        assert!(!loss.is_empty(), "mid-rebuild double failure must lose data");
+        assert!(
+            !loss.is_empty(),
+            "mid-rebuild double failure must lose data"
+        );
         // Fewer stripes lost than a no-rebuild double failure would lose.
         let worst = assess_second_failure(s_mapping(), Some(0), 2, None, None).len();
-        assert!(loss.stripes.len() < worst, "{} !< {worst}", loss.stripes.len());
+        assert!(
+            loss.stripes.len() < worst,
+            "{} !< {worst}",
+            loss.stripes.len()
+        );
     }
 
     /// Mapping of the standard `small_layout(4)` + `tiny_cfg()` sim, for
@@ -1580,10 +2005,16 @@ mod tests {
         let late = SimTime::from_secs_f64(t * 1.5);
         s.inject_faults(&FaultPlan::new().fail_at(3, late)).unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
-        assert!(report.reconstruction_time.is_some(), "rebuild completed first");
+        assert!(
+            report.reconstruction_time.is_some(),
+            "rebuild completed first"
+        );
         assert!(report.data_loss.is_empty(), "{:?}", report.data_loss);
         assert_eq!(report.data_loss.second_failure, Some((3, late)));
-        assert_eq!(report.data_loss.rebuilt_before_loss, Some((report.units_total, report.units_total)));
+        assert_eq!(
+            report.data_loss.rebuilt_before_loss,
+            Some((report.units_total, report.units_total))
+        );
     }
 
     #[test]
@@ -1607,9 +2038,8 @@ mod tests {
         // A high latent-error rate guarantees some reconstruction cycles
         // hit unreadable survivors: those stripes are lost, the offsets
         // resolve as lost, and the accounting identity still holds.
-        let cfg = tiny_cfg().with_media_faults(
-            decluster_disk::MediaFaultConfig::none().with_latent_rate(2e-4),
-        );
+        let cfg = tiny_cfg()
+            .with_media_faults(decluster_disk::MediaFaultConfig::none().with_latent_rate(2e-4));
         let mut s =
             ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(10.0), 1).unwrap();
         s.fail_disk(2).unwrap();
@@ -1633,15 +2063,18 @@ mod tests {
     fn transient_errors_only_slow_the_array_down() {
         // Pure transient faults (no latent errors) retry and succeed:
         // nothing is lost, but response time goes up.
-        let faulty_cfg = tiny_cfg().with_media_faults(
-            decluster_disk::MediaFaultConfig::none().with_transient_rate(0.05),
-        );
+        let faulty_cfg = tiny_cfg()
+            .with_media_faults(decluster_disk::MediaFaultConfig::none().with_transient_rate(0.05));
         let clean = sim(4, WorkloadSpec::all_reads(15.0))
             .run_for(SimTime::from_secs(40), SimTime::from_secs(4));
-        let faulty =
-            ArraySim::new(small_layout(4), faulty_cfg, WorkloadSpec::all_reads(15.0), 1)
-                .unwrap()
-                .run_for(SimTime::from_secs(40), SimTime::from_secs(4));
+        let faulty = ArraySim::new(
+            small_layout(4),
+            faulty_cfg,
+            WorkloadSpec::all_reads(15.0),
+            1,
+        )
+        .unwrap()
+        .run_for(SimTime::from_secs(40), SimTime::from_secs(4));
         assert!(faulty.data_loss.is_empty());
         assert_eq!(clean.requests_measured, faulty.requests_measured);
         assert!(
@@ -1691,23 +2124,30 @@ mod tests {
         let spec = WorkloadSpec::half_and_half(10.0).with_access_units(3);
         let mut s = ArraySim::new(small_layout(4), tiny_cfg(), spec, 1).unwrap();
         s.fail_disk(2).unwrap();
-        s.start_reconstruction(ReconAlgorithm::UserWrites, 2).unwrap();
+        s.start_reconstruction(ReconAlgorithm::UserWrites, 2)
+            .unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some());
-        assert_eq!(report.units_swept + report.units_by_users, report.units_total);
+        assert_eq!(
+            report.units_swept + report.units_by_users,
+            report.units_total
+        );
     }
 
     #[test]
     fn distributed_sparing_completes_without_a_replacement() {
         let cfg = tiny_cfg().with_distributed_spares(900);
         let mut s =
-            ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(10.0), 1)
-                .unwrap();
+            ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(10.0), 1).unwrap();
         s.fail_disk(2).unwrap();
-        s.start_reconstruction_distributed(ReconAlgorithm::Redirect, 4).unwrap();
+        s.start_reconstruction_distributed(ReconAlgorithm::Redirect, 4)
+            .unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some(), "{report:?}");
-        assert_eq!(report.units_swept + report.units_by_users, report.units_total);
+        assert_eq!(
+            report.units_swept + report.units_by_users,
+            report.units_total
+        );
         // No replacement disk exists.
         assert_eq!(report.replacement_utilization, 0.0);
     }
@@ -1732,13 +2172,14 @@ mod tests {
             } else {
                 ArrayConfig::scaled(40)
             };
-            let mut s =
-                ArraySim::new(layout, cfg, WorkloadSpec::half_and_half(105.0), 1).unwrap();
+            let mut s = ArraySim::new(layout, cfg, WorkloadSpec::half_and_half(105.0), 1).unwrap();
             s.fail_disk(0).unwrap();
             if distributed {
-                s.start_reconstruction_distributed(ReconAlgorithm::Baseline, processes).unwrap();
+                s.start_reconstruction_distributed(ReconAlgorithm::Baseline, processes)
+                    .unwrap();
             } else {
-                s.start_reconstruction(ReconAlgorithm::Baseline, processes).unwrap();
+                s.start_reconstruction(ReconAlgorithm::Baseline, processes)
+                    .unwrap();
             }
             s.run_until_reconstructed(SimTime::from_secs(100_000))
                 .reconstruction_secs()
@@ -1757,10 +2198,10 @@ mod tests {
         // slots; correctness here is "the run completes and measures
         // responses" — address-level checks live in the planner tests.
         let cfg = tiny_cfg().with_distributed_spares(900);
-        let mut s =
-            ArraySim::new(small_layout(4), cfg, WorkloadSpec::all_reads(20.0), 1).unwrap();
+        let mut s = ArraySim::new(small_layout(4), cfg, WorkloadSpec::all_reads(20.0), 1).unwrap();
         s.fail_disk(0).unwrap();
-        s.start_reconstruction_distributed(ReconAlgorithm::RedirectPiggyback, 8).unwrap();
+        s.start_reconstruction_distributed(ReconAlgorithm::RedirectPiggyback, 8)
+            .unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some());
         assert!(report.user.count() > 0);
@@ -1768,18 +2209,16 @@ mod tests {
 
     #[test]
     fn distributed_sparing_needs_reservation() {
-        let mut s = ArraySim::new(
-            small_layout(4),
-            tiny_cfg(),
-            WorkloadSpec::all_reads(1.0),
-            1,
-        )
-        .unwrap();
+        let mut s =
+            ArraySim::new(small_layout(4), tiny_cfg(), WorkloadSpec::all_reads(1.0), 1).unwrap();
         s.fail_disk(0).unwrap();
         let err = s
             .start_reconstruction_distributed(ReconAlgorithm::Baseline, 1)
             .unwrap_err();
-        assert!(err.to_string().contains("requires reserved spare space"), "{err}");
+        assert!(
+            err.to_string().contains("requires reserved spare space"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -1898,8 +2337,7 @@ mod tests {
     #[test]
     fn hot_spot_workload_runs() {
         use decluster_workload::Locality;
-        let spec =
-            WorkloadSpec::half_and_half(20.0).with_locality(Locality::eighty_twenty());
+        let spec = WorkloadSpec::half_and_half(20.0).with_locality(Locality::eighty_twenty());
         let report = ArraySim::new(small_layout(4), tiny_cfg(), spec, 1)
             .unwrap()
             .run_for(SimTime::from_secs(20), SimTime::from_secs(2));
@@ -1919,9 +2357,7 @@ mod tests {
             assert!(pair[0].1 < pair[1].1, "fraction not increasing");
         }
         assert!((progress.last().unwrap().1 - 1.0).abs() < 1e-12);
-        assert!(
-            (progress.last().unwrap().0 - report.reconstruction_secs().unwrap()).abs() < 1e-9
-        );
+        assert!((progress.last().unwrap().0 - report.reconstruction_secs().unwrap()).abs() < 1e-9);
     }
 
     #[test]
@@ -1929,8 +2365,7 @@ mod tests {
         let run = |priority| {
             let cfg = tiny_cfg().with_recon_priority(priority);
             let mut s =
-                ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(40.0), 1)
-                    .unwrap();
+                ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(40.0), 1).unwrap();
             s.fail_disk(1).unwrap();
             s.start_reconstruction(ReconAlgorithm::Baseline, 8).unwrap();
             s.run_until_reconstructed(SimTime::from_secs(200_000))
@@ -1944,8 +2379,7 @@ mod tests {
             plain.user.mean_ms()
         );
         assert!(
-            prioritized.reconstruction_secs().unwrap()
-                >= plain.reconstruction_secs().unwrap(),
+            prioritized.reconstruction_secs().unwrap() >= plain.reconstruction_secs().unwrap(),
             "priority scheduling cannot speed reconstruction up"
         );
     }
@@ -1957,5 +2391,181 @@ mod tests {
         s.fail_disk(0).unwrap();
         s.start_reconstruction(ReconAlgorithm::Baseline, 1).unwrap();
         s.run_for(SimTime::from_secs(1), SimTime::ZERO);
+    }
+
+    fn latent_cfg(scrub: ScrubConfig) -> ArrayConfig {
+        tiny_cfg()
+            .with_media_faults(decluster_disk::MediaFaultConfig::none().with_latent_rate(2e-4))
+            .with_scrub(scrub)
+    }
+
+    #[test]
+    fn scrubber_heals_latent_defects() {
+        let run = |scrub| {
+            ArraySim::new(
+                small_layout(4),
+                latent_cfg(scrub),
+                WorkloadSpec::all_reads(2.0),
+                1,
+            )
+            .unwrap()
+            .run_for(SimTime::from_secs(60), SimTime::from_secs(5))
+        };
+        let unscrubbed = run(ScrubConfig::off());
+        assert!(unscrubbed.scrub.is_none(), "scrub off reports no scrub");
+        let baseline = unscrubbed.exposed_defects.expect("faults are active");
+        assert!(baseline > 0, "2e-4 latent rate should seed defects");
+
+        let scrubbed = run(ScrubConfig::on().with_interval_us(500));
+        let report = scrubbed.scrub.expect("scrub on reports the patrol");
+        assert!(report.stripes_scanned > 0, "{report:?}");
+        assert!(report.units_read >= report.stripes_scanned * 3);
+        assert!(report.errors_found > 0, "patrol must hit latent defects");
+        assert_eq!(
+            report.errors_found, report.errors_repaired,
+            "fault-free stripes always repair from parity"
+        );
+        let exposed = scrubbed.exposed_defects.expect("faults are active");
+        assert!(
+            exposed < baseline,
+            "patrol should shrink exposure: {exposed} vs {baseline}"
+        );
+    }
+
+    #[test]
+    fn scrubber_backs_off_under_load_and_is_bounded() {
+        let cfg = tiny_cfg().with_scrub(ScrubConfig::on());
+        let report = ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(60.0), 1)
+            .unwrap()
+            .run_for(SimTime::from_secs(30), SimTime::from_secs(3));
+        let scrub = report.scrub.expect("scrub on");
+        assert!(
+            scrub.backoffs > 0,
+            "a busy array must force backoffs: {scrub:?}"
+        );
+    }
+
+    #[test]
+    fn scrub_accounting_identity_holds_during_rebuild() {
+        let cfg = latent_cfg(ScrubConfig::on().with_interval_us(500));
+        let mut s =
+            ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(10.0), 1).unwrap();
+        s.fail_disk(2).unwrap();
+        s.start_reconstruction(ReconAlgorithm::Baseline, 2).unwrap();
+        let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
+        assert!(report.reconstruction_time.is_some(), "sweep must terminate");
+        assert_eq!(
+            report.units_swept + report.units_by_users + report.units_lost,
+            report.units_total,
+            "scrub traffic must not leak into sweep accounting"
+        );
+        let scrub = report.scrub.expect("scrub on");
+        assert!(scrub.stripes_scanned > 0);
+    }
+
+    #[test]
+    fn crash_mid_run_classifies_torn_and_dirty_stripes() {
+        // Near-saturating write load: the disk queues are never empty, so
+        // the cut is guaranteed to land amid half-applied parity updates.
+        let mut s = sim(4, WorkloadSpec::all_writes(55.0));
+        s.inject_crash(&CrashPlan::at(SimTime::from_secs(5)))
+            .unwrap();
+        let report = s.run_for(SimTime::from_secs(60), SimTime::ZERO);
+        let crash = report.crash.expect("planned crash must fire");
+        assert_eq!(crash.at, SimTime::from_secs(5));
+        assert_eq!(crash.failed_disk, None);
+        assert!(
+            !crash.dirty_stripes.is_empty(),
+            "a saturating write load always has writes in flight"
+        );
+        for torn in &crash.torn_stripes {
+            assert!(
+                crash.dirty_stripes.contains(torn),
+                "torn stripe {torn} missing from dirty set"
+            );
+        }
+        // The cut ends the run: nothing arrives after it.
+        assert!(report.elapsed <= SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn crash_during_rebuild_ends_the_run_with_a_report() {
+        let mut s = sim(4, WorkloadSpec::half_and_half(10.0));
+        s.fail_disk(1).unwrap();
+        s.inject_crash(&CrashPlan::at(SimTime::from_secs(10)))
+            .unwrap();
+        s.start_reconstruction(ReconAlgorithm::Baseline, 2).unwrap();
+        let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
+        let crash = report.crash.as_ref().expect("planned crash must fire");
+        assert_eq!(crash.failed_disk, Some(1));
+        assert!(
+            report.reconstruction_time.is_none(),
+            "power cut mid-rebuild leaves the sweep unfinished"
+        );
+        assert!(
+            !crash.dirty_stripes.is_empty(),
+            "rebuild writes were in flight"
+        );
+    }
+
+    #[test]
+    fn crash_injection_is_rejected_after_start_or_twice() {
+        let mut s = sim(4, WorkloadSpec::all_reads(5.0));
+        s.inject_crash(&CrashPlan::at(SimTime::from_secs(2)))
+            .unwrap();
+        assert!(
+            s.inject_crash(&CrashPlan::at(SimTime::from_secs(3)))
+                .is_err(),
+            "double crash plan accepted"
+        );
+    }
+
+    #[test]
+    fn crash_report_feeds_recovery_end_to_end() {
+        let mut s = sim(4, WorkloadSpec::all_writes(55.0));
+        s.inject_crash(&CrashPlan::at(SimTime::from_secs(5)))
+            .unwrap();
+        let report = s.run_for(SimTime::from_secs(60), SimTime::ZERO);
+        let crash = report.crash.expect("planned crash must fire");
+        assert!(
+            !crash.torn_stripes.is_empty(),
+            "a saturated cut tears writes"
+        );
+        let full = crate::recovery::recover(
+            small_layout(4),
+            &tiny_cfg(),
+            &crash,
+            crate::report::RecoveryPolicy::FullResync,
+        )
+        .unwrap();
+        let drl = crate::recovery::recover(
+            small_layout(4),
+            &tiny_cfg(),
+            &crash,
+            crate::report::RecoveryPolicy::DirtyRegionLog,
+        )
+        .unwrap();
+        assert_eq!(full.torn_found, crash.torn_stripes.len() as u64);
+        assert_eq!(drl.torn_found, full.torn_found);
+        assert_eq!(drl.torn_repaired, drl.torn_found);
+        assert!(drl.resync_units_read < full.resync_units_read);
+    }
+
+    #[test]
+    fn scrub_off_is_byte_identical_to_no_scrub_config() {
+        // The master switch must cost nothing: a disabled scrubber cannot
+        // perturb the event sequence.
+        let a = sim(4, WorkloadSpec::half_and_half(20.0))
+            .run_for(SimTime::from_secs(20), SimTime::from_secs(2));
+        let b = ArraySim::new(
+            small_layout(4),
+            tiny_cfg().with_scrub(ScrubConfig::off().with_interval_us(1)),
+            WorkloadSpec::half_and_half(20.0),
+            1,
+        )
+        .unwrap()
+        .run_for(SimTime::from_secs(20), SimTime::from_secs(2));
+        assert_eq!(a.all.mean_ms(), b.all.mean_ms());
+        assert_eq!(a.requests_measured, b.requests_measured);
     }
 }

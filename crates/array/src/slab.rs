@@ -73,6 +73,16 @@ impl<T> Slab<T> {
         self.slots.get_mut(slot as usize)?.as_mut()
     }
 
+    /// Iterates over the live entries in slot order, yielding
+    /// `(slot, &entry)`. Used for whole-slab scans outside the hot path
+    /// (e.g. classifying in-flight operations at a crash).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, v)))
+    }
+
     /// Removes and returns the entry at `slot`, freeing the slot for
     /// reuse. Returns `None` if the slot is vacant.
     pub fn remove(&mut self, slot: u32) -> Option<T> {
@@ -138,6 +148,17 @@ mod tests {
         *slab.get_mut(slot).unwrap() += 1;
         assert_eq!(slab.get(slot), Some(&42));
         assert!(!slab.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_live_entries_in_slot_order() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        let c = slab.insert("c");
+        slab.remove(b);
+        let seen: Vec<_> = slab.iter().collect();
+        assert_eq!(seen, vec![(a, &"a"), (c, &"c")]);
     }
 
     #[test]

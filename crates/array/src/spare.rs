@@ -116,9 +116,8 @@ mod tests {
     use std::sync::Arc;
 
     fn mapping(g: u16, units: u64) -> ArrayMapping {
-        let layout: Arc<dyn ParityLayout> = Arc::new(
-            DeclusteredLayout::new(BlockDesign::complete(6, g).unwrap()).unwrap(),
-        );
+        let layout: Arc<dyn ParityLayout> =
+            Arc::new(DeclusteredLayout::new(BlockDesign::complete(6, g).unwrap()).unwrap());
         ArrayMapping::new(layout, units).unwrap()
     }
 
@@ -207,9 +206,8 @@ mod tests {
         // In a complete (4, 4) design every stripe spans every disk, so no
         // survivor is ever eligible: placement must fail no matter how
         // much spare capacity is reserved.
-        let layout: Arc<dyn ParityLayout> = Arc::new(
-            DeclusteredLayout::new(BlockDesign::complete(4, 4).unwrap()).unwrap(),
-        );
+        let layout: Arc<dyn ParityLayout> =
+            Arc::new(DeclusteredLayout::new(BlockDesign::complete(4, 4).unwrap()).unwrap());
         let m = ArrayMapping::new(layout, 120).unwrap();
         assert!(matches!(
             SpareMap::build(&m, 0, 1_000_000),

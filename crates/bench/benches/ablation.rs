@@ -16,12 +16,16 @@ fn layout() -> Arc<dyn ParityLayout> {
 }
 
 fn rebuild(cfg: ArrayConfig) -> (f64, f64) {
-    let mut sim = ArraySim::new(layout(), cfg, WorkloadSpec::half_and_half(105.0), 1)
-        .expect("layout fits");
+    let mut sim =
+        ArraySim::new(layout(), cfg, WorkloadSpec::half_and_half(105.0), 1).expect("layout fits");
     sim.fail_disk(0).expect("disk is healthy and in range");
-    sim.start_reconstruction(ReconAlgorithm::Baseline, 1).expect("a disk failed and processes > 0");
+    sim.start_reconstruction(ReconAlgorithm::Baseline, 1)
+        .expect("a disk failed and processes > 0");
     let r = sim.run_until_reconstructed(SimTime::from_secs(100_000));
-    (r.reconstruction_secs().unwrap_or(f64::NAN), r.user.mean_ms())
+    (
+        r.reconstruction_secs().unwrap_or(f64::NAN),
+        r.user.mean_ms(),
+    )
 }
 
 fn main() {
@@ -34,7 +38,10 @@ fn main() {
         eprintln!("# throttle {name}: recon {t:.0} s, user {ms:.1} ms");
     }
 
-    for (name, policy) in [("cvscan", SchedPolicy::cvscan()), ("fcfs", SchedPolicy::Fcfs)] {
+    for (name, policy) in [
+        ("cvscan", SchedPolicy::cvscan()),
+        ("fcfs", SchedPolicy::Fcfs),
+    ] {
         let mut cfg = ArrayConfig::scaled(30);
         cfg.sched = policy;
         m.case(&format!("ablation_sched/{name}"), || rebuild(cfg));
@@ -55,14 +62,15 @@ fn main() {
         } else {
             ArrayConfig::scaled(40)
         };
-        let mut sim =
-            ArraySim::new(layout(), cfg, WorkloadSpec::half_and_half(105.0), 1)
-                .expect("layout fits");
+        let mut sim = ArraySim::new(layout(), cfg, WorkloadSpec::half_and_half(105.0), 1)
+            .expect("layout fits");
         sim.fail_disk(0).expect("disk is healthy and in range");
         if distributed {
-            sim.start_reconstruction_distributed(ReconAlgorithm::Baseline, processes).expect("a disk failed and processes > 0");
+            sim.start_reconstruction_distributed(ReconAlgorithm::Baseline, processes)
+                .expect("a disk failed and processes > 0");
         } else {
-            sim.start_reconstruction(ReconAlgorithm::Baseline, processes).expect("a disk failed and processes > 0");
+            sim.start_reconstruction(ReconAlgorithm::Baseline, processes)
+                .expect("a disk failed and processes > 0");
         }
         sim.run_until_reconstructed(SimTime::from_secs(100_000))
             .reconstruction_secs()

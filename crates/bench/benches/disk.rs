@@ -15,7 +15,10 @@ fn saturated_run(policy: SchedPolicy, n: u64, seed: u64) -> SimTime {
     let mut rng = SimRng::new(seed);
     let mut disk = Disk::with_policy(g, 0, policy);
     let mut next = disk
-        .submit(SimTime::ZERO, DiskRequest::new(0, rng.below(units) * 8, 8, IoKind::Read))
+        .submit(
+            SimTime::ZERO,
+            DiskRequest::new(0, rng.below(units) * 8, 8, IoKind::Read),
+        )
         .expect("idle disk starts immediately");
     for i in 1..n {
         disk.submit(
@@ -43,7 +46,9 @@ fn main() {
         ("cvscan", SchedPolicy::cvscan()),
         ("scan", SchedPolicy::scan()),
     ] {
-        m.case(&format!("disk_sched/{name}"), || saturated_run(policy, 500, 7));
+        m.case(&format!("disk_sched/{name}"), || {
+            saturated_run(policy, 500, 7)
+        });
         let t = saturated_run(policy, 2_000, 7);
         eprintln!(
             "# ablation: {name} sustains {:.1} random 4 KB reads/s (simulated)",
@@ -72,7 +77,10 @@ fn main() {
         let mut now = SimTime::ZERO;
         for i in 0..64u64 {
             let c = disk
-                .submit(now, DiskRequest::new(i, rng.below(units) * 8, 8, IoKind::Read))
+                .submit(
+                    now,
+                    DiskRequest::new(i, rng.below(units) * 8, 8, IoKind::Read),
+                )
                 .unwrap();
             now = c.at;
             disk.complete(now);

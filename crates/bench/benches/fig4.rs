@@ -9,5 +9,8 @@ fn main() {
     m.case("fig4/scatter_v25", || fig4::figure_4_3(25, 10_000));
 
     let points = fig4::figure_4_3(25, 10_000);
-    eprintln!("# fig4-3: {} constructible designs with v <= 25", points.len());
+    eprintln!(
+        "# fig4-3: {} constructible designs with v <= 25",
+        points.len()
+    );
 }

@@ -16,7 +16,7 @@ fn main() {
         fig6::run_point(&scale, 4, 105.0, 0.0)
     });
 
-    let (p, events) = fig6::run_point_counted(&scale, 4, 105.0, 1.0);
+    let (p, events) = fig6::run_point_counted(&scale, 4, 105.0, 1.0).unwrap();
     eprintln!(
         "# fig6-1 sample row: alpha {:.2}, fault-free {:.1} ms, degraded {:.1} ms ({events} events)",
         p.alpha, p.fault_free_ms, p.degraded_ms

@@ -18,7 +18,7 @@ fn main() {
     });
 
     for (procs, label) in [(1, "fig8-1/8-2"), (8, "fig8-3/8-4")] {
-        let p = fig8::run_point(&scale, 4, 105.0, ReconAlgorithm::Baseline, procs);
+        let p = fig8::run_point(&scale, 4, 105.0, ReconAlgorithm::Baseline, procs).unwrap();
         eprintln!(
             "# {label} sample row: alpha {:.2}, recon {:.1} s, user {:.1} ms",
             p.alpha,

@@ -17,6 +17,7 @@ fn main() {
         .reconstruction_time(ReconAlgorithm::Redirect)
         .unwrap();
     let sim = fig8::run_point(&scale, 4, 105.0, ReconAlgorithm::Redirect, 8)
+        .unwrap()
         .recon_secs
         .unwrap();
     eprintln!("# fig8-6 sample: model {model:.0} s vs simulation {sim:.0} s (model pessimistic)");

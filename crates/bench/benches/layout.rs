@@ -27,9 +27,8 @@ fn main() {
         });
     }
 
-    let layout: Arc<dyn ParityLayout> = Arc::new(
-        DeclusteredLayout::new(appendix::design_for_group_size(4).unwrap()).unwrap(),
-    );
+    let layout: Arc<dyn ParityLayout> =
+        Arc::new(DeclusteredLayout::new(appendix::design_for_group_size(4).unwrap()).unwrap());
     let mapping = ArrayMapping::new(layout, 79_716).unwrap();
     let mut l = 0u64;
     m.case("mapping/logical_to_addr", || {
@@ -55,7 +54,6 @@ fn main() {
         scratch.len()
     });
 
-    let layout =
-        DeclusteredLayout::new(appendix::design_for_group_size(4).unwrap()).unwrap();
+    let layout = DeclusteredLayout::new(appendix::design_for_group_size(4).unwrap()).unwrap();
     m.case("criteria/check_g4", || criteria::check(&layout));
 }

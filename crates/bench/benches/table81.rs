@@ -13,7 +13,7 @@ fn main() {
         fig8::run_point(&scale, 4, 210.0, ReconAlgorithm::Baseline, 1)
     });
 
-    let p = fig8::run_point(&scale, 4, 210.0, ReconAlgorithm::Baseline, 1);
+    let p = fig8::run_point(&scale, 4, 210.0, ReconAlgorithm::Baseline, 1).unwrap();
     eprintln!(
         "# table 8-1 sample cell (alpha 0.15, baseline): {:.0}({:.0})+{:.0}({:.0})={:.0} ms",
         p.last_read_ms,

@@ -7,7 +7,7 @@
 //! the parallel leg is additionally asserted to be ≥ 3× faster — on fewer
 //! cores the speedup is recorded honestly but not asserted.
 
-use decluster_bench::{cli_from_args, print_header};
+use decluster_bench::{cli_from_args, print_header, sweep_or_exit};
 use decluster_experiments::{csv, fig6, runner, ExperimentScale, Runner};
 
 fn main() {
@@ -15,12 +15,21 @@ fn main() {
     let mut scale = ExperimentScale::tiny();
     scale.cylinders = scale.cylinders.max(cli.scale.cylinders.min(118));
     scale.seed = cli.scale.seed;
-    print_header("Sweep-runner benchmark (Figure 6-1 smoke sweep, 1 worker vs all cores)", &scale);
+    print_header(
+        "Sweep-runner benchmark (Figure 6-1 smoke sweep, 1 worker vs all cores)",
+        &scale,
+    );
 
     let rates = [105.0, 210.0];
-    let sequential = fig6::figure_6_1_on(&Runner::sequential(), &scale, &rates);
+    let sequential = sweep_or_exit(
+        fig6::figure_6_1_on(&Runner::sequential(), &scale, &rates),
+        "sequential leg",
+    );
     let parallel_runner = cli.runner();
-    let parallel = fig6::figure_6_1_on(&parallel_runner, &scale, &rates);
+    let parallel = sweep_or_exit(
+        fig6::figure_6_1_on(&parallel_runner, &scale, &rates),
+        "parallel leg",
+    );
 
     // Determinism: the parallel sweep must serialize byte-identically.
     let seq_csv = csv::fig6_csv(&sequential.values);
@@ -29,7 +38,10 @@ fn main() {
         seq_csv, par_csv,
         "parallel sweep output differs from sequential"
     );
-    println!("determinism: 1-worker and {}-worker sweeps serialized identically", parallel.threads);
+    println!(
+        "determinism: 1-worker and {}-worker sweeps serialized identically",
+        parallel.threads
+    );
 
     let seq_report = sequential.report("fig6-smoke seq");
     let par_report = parallel.report("fig6-smoke parallel");

@@ -1,7 +1,8 @@
 //! Monte Carlo data-loss campaign: second failures injected into
 //! rebuilds across the paper's layouts, estimating `P(data loss | second
 //! fault)`, the window of vulnerability, and an empirically corrected
-//! MTTDL. Writes `results/campaign.json`.
+//! MTTDL. Optional arms add latent-defect scrub-off/scrub-on pairs and
+//! crash/write-hole recovery trials. Writes `results/campaign.json`.
 //!
 //! Flags (parsed here, not via the common set, because of `--replay`):
 //!
@@ -9,23 +10,33 @@
 //!   other figure binaries;
 //! * `--trials N` — Monte Carlo trials per layout (default 8 at smoke
 //!   scale, 40 at full scale);
+//! * `--scrub-trials N` / `--crash-trials N` — trials for the scrub and
+//!   crash arms (`0` disables an arm);
 //! * `--out PATH` — where to write the JSON report (default
 //!   `results/campaign.json`);
 //! * `--replay LAYOUT TRIAL` — instead of a campaign, reproduce one
-//!   recorded trial bit-for-bit (e.g. `--replay declustered-g4 3`) and
-//!   print its JSON line.
+//!   recorded whole-disk trial bit-for-bit (e.g. `--replay
+//!   declustered-g4 3`) and print its JSON line;
+//! * `--replay-scrub LAYOUT TRIAL off|on` — reproduce one scrub-arm
+//!   trial;
+//! * `--replay-crash LAYOUT TRIAL` — reproduce one crash trial, rerunning
+//!   restart recovery under both policies.
 
 use decluster_bench::print_header;
-use decluster_experiments::campaign::{
-    self, CampaignLayout, CampaignSpec, TrialOutcome,
-};
+use decluster_experiments::campaign::{self, CampaignLayout, CampaignSpec};
 use decluster_experiments::Runner;
+
+enum Replay {
+    Trial(CampaignLayout, usize),
+    Scrub(CampaignLayout, usize, bool),
+    Crash(CampaignLayout, usize),
+}
 
 struct Cli {
     spec: CampaignSpec,
     threads: usize,
     out: String,
-    replay: Option<(CampaignLayout, usize)>,
+    replay: Option<Replay>,
 }
 
 fn usage(problem: &str) -> ! {
@@ -34,9 +45,24 @@ fn usage(problem: &str) -> ! {
     }
     eprintln!(
         "usage: campaign [--full] [--cylinders N] [--seed S] [--threads T] \
-         [--trials N] [--out PATH] [--replay LAYOUT TRIAL]"
+         [--trials N] [--scrub-trials N] [--crash-trials N] [--out PATH] \
+         [--replay LAYOUT TRIAL] [--replay-scrub LAYOUT TRIAL off|on] \
+         [--replay-crash LAYOUT TRIAL]"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
+}
+
+fn replay_target(args: &mut impl Iterator<Item = String>, flag: &str) -> (CampaignLayout, usize) {
+    let layout = args
+        .next()
+        .as_deref()
+        .and_then(CampaignLayout::from_name)
+        .unwrap_or_else(|| usage(&format!("{flag} needs a layout name (e.g. declustered-g4)")));
+    let trial = args
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a trial index")));
+    (layout, trial)
 }
 
 fn cli() -> Cli {
@@ -47,6 +73,8 @@ fn cli() -> Cli {
         replay: None,
     };
     let mut trials_override = None;
+    let mut scrub_override = None;
+    let mut crash_override = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -83,22 +111,39 @@ fn cli() -> Cli {
                 }
                 trials_override = Some(n);
             }
+            "--scrub-trials" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--scrub-trials needs a non-negative integer"));
+                scrub_override = Some(n);
+            }
+            "--crash-trials" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--crash-trials needs a non-negative integer"));
+                crash_override = Some(n);
+            }
             "--out" => {
                 cli.out = args.next().unwrap_or_else(|| usage("--out needs a path"));
             }
             "--replay" => {
-                let layout = args
-                    .next()
-                    .as_deref()
-                    .and_then(CampaignLayout::from_name)
-                    .unwrap_or_else(|| {
-                        usage("--replay needs a layout name (e.g. declustered-g4)")
-                    });
-                let trial = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--replay needs a trial index"));
-                cli.replay = Some((layout, trial));
+                let (layout, trial) = replay_target(&mut args, "--replay");
+                cli.replay = Some(Replay::Trial(layout, trial));
+            }
+            "--replay-scrub" => {
+                let (layout, trial) = replay_target(&mut args, "--replay-scrub");
+                let enabled = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage("--replay-scrub needs a final off|on argument"),
+                };
+                cli.replay = Some(Replay::Scrub(layout, trial, enabled));
+            }
+            "--replay-crash" => {
+                let (layout, trial) = replay_target(&mut args, "--replay-crash");
+                cli.replay = Some(Replay::Crash(layout, trial));
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
@@ -107,20 +152,34 @@ fn cli() -> Cli {
     if let Some(n) = trials_override {
         cli.spec.trials = n;
     }
+    if let Some(n) = scrub_override {
+        cli.spec.scrub_trials = n;
+    }
+    if let Some(n) = crash_override {
+        cli.spec.crash_trials = n;
+    }
     cli
-}
-
-fn print_trial(t: &TrialOutcome) {
-    println!("{}", t.to_json());
 }
 
 fn main() {
     let cli = cli();
 
-    if let Some((layout, trial)) = cli.replay {
-        let outcome = campaign::replay_trial(&cli.spec, layout, trial)
-            .unwrap_or_else(|e| usage(&format!("replay failed: {e}")));
-        print_trial(&outcome);
+    if let Some(replay) = cli.replay {
+        let json = match replay {
+            Replay::Trial(layout, trial) => {
+                campaign::replay_trial(&cli.spec, layout, trial).map(|t| t.to_json())
+            }
+            Replay::Scrub(layout, trial, enabled) => {
+                campaign::replay_scrub_trial(&cli.spec, layout, trial, enabled).map(|t| t.to_json())
+            }
+            Replay::Crash(layout, trial) => {
+                campaign::replay_crash_trial(&cli.spec, layout, trial).map(|t| t.to_json())
+            }
+        };
+        match json {
+            Ok(json) => println!("{json}"),
+            Err(e) => usage(&format!("replay failed: {e}")),
+        }
         return;
     }
 
@@ -131,6 +190,10 @@ fn main() {
     println!(
         "# {} trials/layout, horizon {}x rebuild time, MTBF {} h",
         cli.spec.trials, cli.spec.horizon_factor, cli.spec.mtbf_hours
+    );
+    println!(
+        "# arms: {} scrub pairs (latent rate {}), {} crash trials",
+        cli.spec.scrub_trials, cli.spec.latent_rate, cli.spec.crash_trials
     );
     println!();
 
@@ -156,6 +219,50 @@ fn main() {
         );
     }
 
+    if report.scrub_trials_per_layout > 0 {
+        println!();
+        println!(
+            "{:<24} {:>14} {:>14} {:>10} {:>10}",
+            "scrub arm", "exposed(off)", "exposed(on)", "found", "repaired"
+        );
+        for l in &report.layouts {
+            if let [off, on] = l.scrub_arms.as_slice() {
+                println!(
+                    "{:<24} {:>14.1} {:>14.1} {:>10} {:>10}",
+                    l.name,
+                    off.mean_exposed_defects,
+                    on.mean_exposed_defects,
+                    on.errors_found,
+                    on.errors_repaired,
+                );
+            }
+        }
+    }
+
+    if report.crash_trials_per_layout > 0 {
+        println!();
+        println!(
+            "{:<24} {:>6} {:>6} {:>12} {:>12} {:>12} {:>12}",
+            "crash arm (mean/trial)", "torn", "dirty", "full read", "drl read", "full s", "drl s"
+        );
+        for l in &report.layouts {
+            let n = l.crash_trials.len().max(1) as f64;
+            let mean = |f: &dyn Fn(&campaign::CrashTrialOutcome) -> f64| {
+                l.crash_trials.iter().map(f).sum::<f64>() / n
+            };
+            println!(
+                "{:<24} {:>6.1} {:>6.1} {:>12.0} {:>12.0} {:>12.2} {:>12.2}",
+                l.name,
+                mean(&|c| c.torn_stripes as f64),
+                mean(&|c| c.dirty_stripes as f64),
+                mean(&|c| c.full.units_read as f64),
+                mean(&|c| c.drl.units_read as f64),
+                mean(&|c| c.full.recovery_secs),
+                mean(&|c| c.drl.recovery_secs),
+            );
+        }
+    }
+
     match campaign::write_campaign(&cli.out, &report) {
         Ok(()) => println!("\n# wrote {}", cli.out),
         Err(e) => {
@@ -167,4 +274,5 @@ fn main() {
         "# replay any trial: campaign --cylinders {} --seed {} --trials {} --replay <layout> <trial>",
         cli.spec.scale.cylinders, cli.spec.scale.seed, cli.spec.trials
     );
+    println!("#                or --replay-scrub <layout> <trial> off|on / --replay-crash <layout> <trial>");
 }

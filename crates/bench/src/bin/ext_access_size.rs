@@ -3,13 +3,19 @@
 //! bandwidth — quantifying the large-write-optimization /
 //! maximal-parallelism balance the paper's Section 6 leaves open.
 
-use decluster_bench::{cli_from_args, print_header, print_sweep_footer};
+use decluster_bench::{cli_from_args, print_header, print_sweep_footer, sweep_or_exit};
 use decluster_experiments::access_size;
 
 fn main() {
     let cli = cli_from_args();
-    print_header("Extension: access-size sweep (50% reads, 60 unit-equivalents/s)", &cli.scale);
-    let run = access_size::sweep_on(&cli.runner(), &cli.scale, 4, 6, 60.0, 0.5);
+    print_header(
+        "Extension: access-size sweep (50% reads, 60 unit-equivalents/s)",
+        &cli.scale,
+    );
+    let run = sweep_or_exit(
+        access_size::sweep_on(&cli.runner(), &cli.scale, 4, 6, 60.0, 0.5),
+        "access-size sweep",
+    );
     println!(
         "{:>6} {:>4} {:>13} {:>12} {:>10}",
         "units", "G", "response ms", "utilization", "requests"

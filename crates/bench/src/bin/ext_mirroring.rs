@@ -2,14 +2,20 @@
 //! against parity declustering on the same 21-disk array — the
 //! cost/performance frame of the paper's introduction and Section 3.
 
-use decluster_bench::{cli_from_args, print_header, print_sweep_footer};
+use decluster_bench::{cli_from_args, print_header, print_sweep_footer, sweep_or_exit};
 use decluster_experiments::mirror;
 
 fn main() {
     let cli = cli_from_args();
-    print_header("Extension: mirroring vs parity declustering (50% reads)", &cli.scale);
+    print_header(
+        "Extension: mirroring vs parity declustering (50% reads)",
+        &cli.scale,
+    );
     for rate in [105.0, 210.0] {
-        let run = mirror::comparison_on(&cli.runner(), &cli.scale, rate);
+        let run = sweep_or_exit(
+            mirror::comparison_on(&cli.runner(), &cli.scale, rate),
+            "mirroring comparison",
+        );
         println!("-- rate {rate:.0} accesses/s --");
         println!(
             "{:<20} {:>9} {:>14} {:>13} {:>11} {:>13}",

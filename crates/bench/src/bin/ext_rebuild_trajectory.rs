@@ -13,14 +13,17 @@ use decluster_workload::WorkloadSpec;
 fn main() {
     let cli = cli_from_args();
     let scale = cli.scale;
-    print_header("Extension: rebuild trajectories (G = 4, 210 accesses/s, single sweep)", &scale);
+    print_header(
+        "Extension: rebuild trajectories (G = 4, 210 accesses/s, single sweep)",
+        &scale,
+    );
     let scale = &scale;
     let jobs: Vec<_> = ReconAlgorithm::ALL
         .into_iter()
         .map(|algorithm| {
             move || {
                 let mut sim = ArraySim::new(
-                    paper_layout(4),
+                    paper_layout(4).expect("G = 4 is a paper group size"),
                     scale.array_config(),
                     WorkloadSpec::half_and_half(210.0),
                     1,

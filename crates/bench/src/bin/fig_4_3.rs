@@ -5,5 +5,8 @@ use decluster_experiments::{fig4, render};
 fn main() {
     let points = fig4::figure_4_3(43, 10_000);
     println!("{}", render::fig4_scatter(&points, 43));
-    println!("{} constructible designs with v <= 43, table <= 10,000 tuples.", points.len());
+    println!(
+        "{} constructible designs with v <= 43, table <= 10,000 tuples.",
+        points.len()
+    );
 }

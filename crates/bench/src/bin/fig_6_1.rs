@@ -1,14 +1,20 @@
 //! Regenerates Figure 6-1: fault-free and degraded average response time,
 //! 100% reads, rates 105/210/378 accesses/s, over the alpha sweep.
 
-use decluster_bench::{cli_from_args, print_header, print_sweep_footer};
+use decluster_bench::{cli_from_args, print_header, print_sweep_footer, sweep_or_exit};
 use decluster_experiments::{fig6, render};
 
 fn main() {
     let cli = cli_from_args();
     print_header("Figure 6-1 (100% reads)", &cli.scale);
-    let run = fig6::figure_6_1_on(&cli.runner(), &cli.scale, &fig6::READ_RATES);
+    let run = sweep_or_exit(
+        fig6::figure_6_1_on(&cli.runner(), &cli.scale, &fig6::READ_RATES),
+        "figure 6-1",
+    );
     let report = run.report("fig6-1");
-    println!("{}", render::fig6_table("Figure 6-1: response time, 100% reads", &run.values));
+    println!(
+        "{}",
+        render::fig6_table("Figure 6-1: response time, 100% reads", &run.values)
+    );
     print_sweep_footer(&report);
 }

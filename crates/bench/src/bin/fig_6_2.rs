@@ -1,14 +1,20 @@
 //! Regenerates Figure 6-2: fault-free and degraded average response time,
 //! 100% writes, rates 105/210 accesses/s, over the alpha sweep.
 
-use decluster_bench::{cli_from_args, print_header, print_sweep_footer};
+use decluster_bench::{cli_from_args, print_header, print_sweep_footer, sweep_or_exit};
 use decluster_experiments::{fig6, render};
 
 fn main() {
     let cli = cli_from_args();
     print_header("Figure 6-2 (100% writes)", &cli.scale);
-    let run = fig6::figure_6_2_on(&cli.runner(), &cli.scale, &fig6::WRITE_RATES);
+    let run = sweep_or_exit(
+        fig6::figure_6_2_on(&cli.runner(), &cli.scale, &fig6::WRITE_RATES),
+        "figure 6-2",
+    );
     let report = run.report("fig6-2");
-    println!("{}", render::fig6_table("Figure 6-2: response time, 100% writes", &run.values));
+    println!(
+        "{}",
+        render::fig6_table("Figure 6-2: response time, 100% writes", &run.values)
+    );
     print_sweep_footer(&report);
 }

@@ -3,15 +3,24 @@
 //! 105/210 accesses/s, four algorithms, over the alpha sweep. (Both
 //! figures come from the same sweep, so one binary prints both.)
 
-use decluster_bench::{cli_from_args, print_header, print_sweep_footer};
+use decluster_bench::{cli_from_args, print_header, print_sweep_footer, sweep_or_exit};
 use decluster_experiments::{fig8, render};
 
 fn main() {
     let cli = cli_from_args();
     print_header("Figures 8-1/8-2 (single-thread reconstruction)", &cli.scale);
-    let run = fig8::figure_8_sweep_on(&cli.runner(), &cli.scale, 1, &fig8::RATES);
+    let run = sweep_or_exit(
+        fig8::figure_8_sweep_on(&cli.runner(), &cli.scale, 1, &fig8::RATES),
+        "figures 8-1/8-2",
+    );
     let report = run.report("fig8-1/8-2");
-    println!("{}", render::fig8_recon_table("Figure 8-1: single-thread reconstruction time", &run.values));
-    println!("{}", render::fig8_response_table("Figure 8-2: single-thread user response time", &run.values));
+    println!(
+        "{}",
+        render::fig8_recon_table("Figure 8-1: single-thread reconstruction time", &run.values)
+    );
+    println!(
+        "{}",
+        render::fig8_response_table("Figure 8-2: single-thread user response time", &run.values)
+    );
     print_sweep_footer(&report);
 }

@@ -2,15 +2,30 @@
 //! and average user response time during reconstruction. (Both figures
 //! come from the same sweep, so one binary prints both.)
 
-use decluster_bench::{cli_from_args, print_header, print_sweep_footer};
+use decluster_bench::{cli_from_args, print_header, print_sweep_footer, sweep_or_exit};
 use decluster_experiments::{fig8, render};
 
 fn main() {
     let cli = cli_from_args();
-    print_header("Figures 8-3/8-4 (eight-way parallel reconstruction)", &cli.scale);
-    let run = fig8::figure_8_sweep_on(&cli.runner(), &cli.scale, 8, &fig8::RATES);
+    print_header(
+        "Figures 8-3/8-4 (eight-way parallel reconstruction)",
+        &cli.scale,
+    );
+    let run = sweep_or_exit(
+        fig8::figure_8_sweep_on(&cli.runner(), &cli.scale, 8, &fig8::RATES),
+        "figures 8-3/8-4",
+    );
     let report = run.report("fig8-3/8-4");
-    println!("{}", render::fig8_recon_table("Figure 8-3: 8-way parallel reconstruction time", &run.values));
-    println!("{}", render::fig8_response_table("Figure 8-4: 8-way parallel user response time", &run.values));
+    println!(
+        "{}",
+        render::fig8_recon_table(
+            "Figure 8-3: 8-way parallel reconstruction time",
+            &run.values
+        )
+    );
+    println!(
+        "{}",
+        render::fig8_response_table("Figure 8-4: 8-way parallel user response time", &run.values)
+    );
     print_sweep_footer(&report);
 }

@@ -3,7 +3,7 @@
 //! model's full-spare-capacity assumption corresponds to).
 
 use decluster_analytic::ReconAlgorithm;
-use decluster_bench::{cli_from_args, print_header, print_sweep_footer};
+use decluster_bench::{cli_from_args, print_header, print_sweep_footer, sweep_or_exit};
 use decluster_experiments::{fig86, render};
 
 fn main() {
@@ -11,12 +11,17 @@ fn main() {
     print_header("Figure 8-6 (Muntz & Lui model vs simulation)", &cli.scale);
     for rate in [105.0, 210.0] {
         for algorithm in [ReconAlgorithm::UserWrites, ReconAlgorithm::Redirect] {
-            let run = fig86::figure_8_6_on(&cli.runner(), &cli.scale, rate, algorithm, 8);
+            let run = sweep_or_exit(
+                fig86::figure_8_6_on(&cli.runner(), &cli.scale, rate, algorithm, 8),
+                "figure 8-6",
+            );
             let report = run.report(&format!("fig8-6 {algorithm} @{rate:.0}"));
             println!(
                 "{}",
                 render::fig86_table(
-                    &format!("Figure 8-6: {algorithm} at {rate:.0} accesses/s (model uses mu = 46/s)"),
+                    &format!(
+                        "Figure 8-6: {algorithm} at {rate:.0} accesses/s (model uses mu = 46/s)"
+                    ),
                     &run.values
                 )
             );

@@ -2,16 +2,37 @@
 //! phase over the last 300 rebuilt units) at 210 accesses/s for
 //! alpha in {0.15, 0.45, 1.0}, single-thread and eight-way parallel.
 
-use decluster_bench::{cli_from_args, print_header, print_sweep_footer};
+use decluster_bench::{cli_from_args, print_header, print_sweep_footer, sweep_or_exit};
 use decluster_experiments::{fig8, render};
 
 fn main() {
     let cli = cli_from_args();
-    print_header("Table 8-1 (reconstruction cycle times at rate 210)", &cli.scale);
-    let single = fig8::table_8_1_on(&cli.runner(), &cli.scale, 1);
-    println!("{}", render::table_8_1("Table 8-1: single-thread reconstruction, read(sd)+write(sd)=cycle ms", &single.values));
-    let parallel = fig8::table_8_1_on(&cli.runner(), &cli.scale, 8);
-    println!("{}", render::table_8_1("Table 8-1: eight-way parallel reconstruction, read(sd)+write(sd)=cycle ms", &parallel.values));
+    print_header(
+        "Table 8-1 (reconstruction cycle times at rate 210)",
+        &cli.scale,
+    );
+    let single = sweep_or_exit(
+        fig8::table_8_1_on(&cli.runner(), &cli.scale, 1),
+        "table 8-1 single",
+    );
+    println!(
+        "{}",
+        render::table_8_1(
+            "Table 8-1: single-thread reconstruction, read(sd)+write(sd)=cycle ms",
+            &single.values
+        )
+    );
+    let parallel = sweep_or_exit(
+        fig8::table_8_1_on(&cli.runner(), &cli.scale, 8),
+        "table 8-1 8-way",
+    );
+    println!(
+        "{}",
+        render::table_8_1(
+            "Table 8-1: eight-way parallel reconstruction, read(sd)+write(sd)=cycle ms",
+            &parallel.values
+        )
+    );
     print_sweep_footer(&single.report("table8-1 single"));
     print_sweep_footer(&parallel.report("table8-1 8-way"));
 }

@@ -19,7 +19,7 @@
 
 #![warn(missing_docs)]
 
-use decluster_experiments::{ExperimentScale, Runner, SweepReport};
+use decluster_experiments::{ExperimentScale, Runner, SweepReport, SweepRun};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -122,6 +122,18 @@ pub fn print_sweep_footer(report: &SweepReport) {
     println!("# {}", report.summary_line());
 }
 
+/// Unwraps a sweep whose jobs return `Result`, exiting with a message on
+/// the first failed point (figure binaries have no caller to propagate to).
+pub fn sweep_or_exit<T, E: std::fmt::Display>(
+    run: SweepRun<Result<T, E>>,
+    what: &str,
+) -> SweepRun<T> {
+    run.transpose().unwrap_or_else(|e| {
+        eprintln!("error: {what}: {e}");
+        std::process::exit(1);
+    })
+}
+
 /// A self-calibrating micro-benchmark harness: wall-clock timing with
 /// [`black_box`], no external dependencies.
 ///
@@ -141,9 +153,7 @@ impl Micro {
     /// argument is a substring filter on case names (Cargo's `--bench`
     /// flag is ignored).
     pub fn from_args(what: &str) -> Micro {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         println!("# {what} micro-benchmarks (indicative single-sample wall clock)");
         Micro { filter, cases: 0 }
     }

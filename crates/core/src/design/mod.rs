@@ -288,11 +288,7 @@ mod tests {
         // The paper's Figure 4-1: b=5, v=5, k=4, r=4, λ=3.
         let d = BlockDesign::complete(5, 4).unwrap();
         let p = d.params();
-        assert_eq!(
-            (p.b, p.v, p.k, p.r, p.lambda),
-            (5, 5, 4, 4, 3),
-            "{p}"
-        );
+        assert_eq!((p.b, p.v, p.k, p.r, p.lambda), (5, 5, 4, 4, 3), "{p}");
         let tuples: Vec<&[u16]> = d.tuples().collect();
         assert_eq!(
             tuples,
@@ -361,8 +357,8 @@ mod tests {
     #[test]
     fn rejects_unbalanced_pairs() {
         // Every object appears twice, but pair (0,1) twice vs (0,2) zero.
-        let err = BlockDesign::new(4, vec![vec![0, 1], vec![0, 1], vec![2, 3], vec![2, 3]])
-            .unwrap_err();
+        let err =
+            BlockDesign::new(4, vec![vec![0, 1], vec![0, 1], vec![2, 3], vec![2, 3]]).unwrap_err();
         assert!(matches!(err, Error::UnbalancedPairs { .. }));
     }
 

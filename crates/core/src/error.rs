@@ -84,7 +84,10 @@ impl fmt::Display for Error {
                 pair.0, pair.1
             ),
             Error::NoKnownDesign { v, k } => {
-                write!(f, "no known block design with v={v} objects and tuple size k={k}")
+                write!(
+                    f,
+                    "no known block design with v={v} objects and tuple size k={k}"
+                )
             }
             Error::NotSymmetric { reason } => write!(f, "design is not symmetric: {reason}"),
             Error::InvalidState { reason } => write!(f, "invalid state: {reason}"),

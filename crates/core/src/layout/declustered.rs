@@ -103,8 +103,7 @@ impl DeclusteredLayout {
                         roles[slot] = Some(LocalRole::Parity {
                             stripe: stripe as u32,
                         });
-                        units[(stripe as usize) * g as usize + (g as usize - 1)] =
-                            (disk, offset);
+                        units[(stripe as usize) * g as usize + (g as usize - 1)] = (disk, offset);
                     } else {
                         roles[slot] = Some(LocalRole::Data {
                             stripe: stripe as u32,
@@ -158,7 +157,11 @@ impl ParityLayout for DeclusteredLayout {
     }
 
     fn role_in_table(&self, disk: u16, offset: u64) -> UnitRole {
-        assert!(disk < self.disks, "disk {disk} out of range 0..{}", self.disks);
+        assert!(
+            disk < self.disks,
+            "disk {disk} out of range 0..{}",
+            self.disks
+        );
         assert!(
             offset < self.height,
             "offset {offset} outside table 0..{}",
@@ -178,8 +181,7 @@ impl ParityLayout for DeclusteredLayout {
     fn data_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr {
         assert!(stripe < self.stripes, "stripe {stripe} outside table");
         assert!(index < self.width - 1, "data index {index} outside stripe");
-        let (disk, offset) =
-            self.units[stripe as usize * self.width as usize + index as usize];
+        let (disk, offset) = self.units[stripe as usize * self.width as usize + index as usize];
         UnitAddr::new(disk, offset as u64)
     }
 
@@ -222,34 +224,79 @@ mod tests {
         let expected = [
             // offset 0: D0.0 D0.1 D0.2 P0 P1
             [
-                Data { stripe: 0, index: 0 },
-                Data { stripe: 0, index: 1 },
-                Data { stripe: 0, index: 2 },
+                Data {
+                    stripe: 0,
+                    index: 0,
+                },
+                Data {
+                    stripe: 0,
+                    index: 1,
+                },
+                Data {
+                    stripe: 0,
+                    index: 2,
+                },
                 Parity { stripe: 0 },
                 Parity { stripe: 1 },
             ],
             // offset 1: D1.0 D1.1 D1.2 D2.2 P2
             [
-                Data { stripe: 1, index: 0 },
-                Data { stripe: 1, index: 1 },
-                Data { stripe: 1, index: 2 },
-                Data { stripe: 2, index: 2 },
+                Data {
+                    stripe: 1,
+                    index: 0,
+                },
+                Data {
+                    stripe: 1,
+                    index: 1,
+                },
+                Data {
+                    stripe: 1,
+                    index: 2,
+                },
+                Data {
+                    stripe: 2,
+                    index: 2,
+                },
                 Parity { stripe: 2 },
             ],
             // offset 2: D2.0 D2.1 D3.1 D3.2 P3
             [
-                Data { stripe: 2, index: 0 },
-                Data { stripe: 2, index: 1 },
-                Data { stripe: 3, index: 1 },
-                Data { stripe: 3, index: 2 },
+                Data {
+                    stripe: 2,
+                    index: 0,
+                },
+                Data {
+                    stripe: 2,
+                    index: 1,
+                },
+                Data {
+                    stripe: 3,
+                    index: 1,
+                },
+                Data {
+                    stripe: 3,
+                    index: 2,
+                },
                 Parity { stripe: 3 },
             ],
             // offset 3: D3.0 D4.0 D4.1 D4.2 P4
             [
-                Data { stripe: 3, index: 0 },
-                Data { stripe: 4, index: 0 },
-                Data { stripe: 4, index: 1 },
-                Data { stripe: 4, index: 2 },
+                Data {
+                    stripe: 3,
+                    index: 0,
+                },
+                Data {
+                    stripe: 4,
+                    index: 0,
+                },
+                Data {
+                    stripe: 4,
+                    index: 1,
+                },
+                Data {
+                    stripe: 4,
+                    index: 2,
+                },
                 Parity { stripe: 4 },
             ],
         ];
@@ -310,10 +357,7 @@ mod tests {
     fn period_extends_globally() {
         let l = figure_layout();
         assert_eq!(l.role_at(3, 16), UnitRole::Parity { stripe: 20 });
-        assert_eq!(
-            l.parity_location(20),
-            UnitAddr::new(3, 16)
-        );
+        assert_eq!(l.parity_location(20), UnitAddr::new(3, 16));
         let units = l.stripe_units(21);
         assert_eq!(units.len(), 4);
         assert!(units.iter().all(|u| u.offset >= 16 && u.offset < 32));

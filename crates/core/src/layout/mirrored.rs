@@ -88,7 +88,10 @@ impl ParityLayout for InterleavedMirrorLayout {
 
     fn role_in_table(&self, disk: u16, offset: u64) -> UnitRole {
         assert!(disk < self.disks, "disk {disk} out of range");
-        assert!(offset < self.table_height(), "offset {offset} outside table");
+        assert!(
+            offset < self.table_height(),
+            "offset {offset} outside table"
+        );
         let row = offset / 2;
         let stripe_base = row * self.disks as u64;
         if offset.is_multiple_of(2) {
@@ -109,7 +112,10 @@ impl ParityLayout for InterleavedMirrorLayout {
     }
 
     fn data_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr {
-        assert!(stripe < self.stripes_per_table(), "stripe {stripe} outside table");
+        assert!(
+            stripe < self.stripes_per_table(),
+            "stripe {stripe} outside table"
+        );
         assert!(index == 0, "mirrored stripes have one data unit");
         let row = stripe / self.disks as u64;
         let disk = (stripe % self.disks as u64) as u16;
@@ -117,7 +123,10 @@ impl ParityLayout for InterleavedMirrorLayout {
     }
 
     fn parity_unit_in_table(&self, stripe: u64) -> UnitAddr {
-        assert!(stripe < self.stripes_per_table(), "stripe {stripe} outside table");
+        assert!(
+            stripe < self.stripes_per_table(),
+            "stripe {stripe} outside table"
+        );
         let row = stripe / self.disks as u64;
         let primary = (stripe % self.disks as u64) as u16;
         UnitAddr::new(self.secondary_of(row, primary), row * 2 + 1)
@@ -243,10 +252,9 @@ mod tests {
                         l.data_unit_in_table(stripe, index),
                         UnitAddr::new(disk, offset)
                     ),
-                    UnitRole::Parity { stripe } => assert_eq!(
-                        l.parity_unit_in_table(stripe),
-                        UnitAddr::new(disk, offset)
-                    ),
+                    UnitRole::Parity { stripe } => {
+                        assert_eq!(l.parity_unit_in_table(stripe), UnitAddr::new(disk, offset))
+                    }
                     UnitRole::Unmapped => panic!("no holes"),
                 }
             }
@@ -298,10 +306,9 @@ mod tests {
                         l.data_unit_in_table(stripe, index),
                         UnitAddr::new(disk, offset)
                     ),
-                    UnitRole::Parity { stripe } => assert_eq!(
-                        l.parity_unit_in_table(stripe),
-                        UnitAddr::new(disk, offset)
-                    ),
+                    UnitRole::Parity { stripe } => {
+                        assert_eq!(l.parity_unit_in_table(stripe), UnitAddr::new(disk, offset))
+                    }
                     UnitRole::Unmapped => panic!("no holes"),
                 }
             }

@@ -221,7 +221,10 @@ mod tests {
 
     #[test]
     fn unit_role_accessors() {
-        let d = UnitRole::Data { stripe: 3, index: 1 };
+        let d = UnitRole::Data {
+            stripe: 3,
+            index: 1,
+        };
         let p = UnitRole::Parity { stripe: 3 };
         assert_eq!(d.stripe(), Some(3));
         assert_eq!(p.stripe(), Some(3));

@@ -64,7 +64,11 @@ impl ParityLayout for Raid5Layout {
 
     fn role_in_table(&self, disk: u16, offset: u64) -> UnitRole {
         let c = self.disks as u64;
-        assert!(disk < self.disks, "disk {disk} out of range 0..{}", self.disks);
+        assert!(
+            disk < self.disks,
+            "disk {disk} out of range 0..{}",
+            self.disks
+        );
         assert!(offset < c, "offset {offset} outside table 0..{c}");
         let stripe = offset;
         let index = (disk as u64 + stripe) % c;
@@ -148,7 +152,10 @@ mod tests {
             for offset in 0..7u64 {
                 match l.role_in_table(disk, offset) {
                     UnitRole::Data { stripe, index } => {
-                        assert_eq!(l.data_unit_in_table(stripe, index), UnitAddr::new(disk, offset));
+                        assert_eq!(
+                            l.data_unit_in_table(stripe, index),
+                            UnitAddr::new(disk, offset)
+                        );
                     }
                     UnitRole::Parity { stripe } => {
                         assert_eq!(l.parity_unit_in_table(stripe), UnitAddr::new(disk, offset));
@@ -162,7 +169,13 @@ mod tests {
     #[test]
     fn global_roles_extend_periodically() {
         let l = Raid5Layout::new(5).unwrap();
-        assert_eq!(l.role_at(0, 10), UnitRole::Data { stripe: 10, index: 0 });
+        assert_eq!(
+            l.role_at(0, 10),
+            UnitRole::Data {
+                stripe: 10,
+                index: 0
+            }
+        );
         assert_eq!(l.parity_location(7), UnitAddr::new(2, 7));
     }
 

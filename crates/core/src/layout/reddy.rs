@@ -115,7 +115,10 @@ impl ParityLayout for ReddyLayout {
 
     fn role_in_table(&self, disk: u16, offset: u64) -> UnitRole {
         assert!(disk < self.disks, "disk {disk} out of range");
-        assert!(offset < self.table_height(), "offset {offset} outside table");
+        assert!(
+            offset < self.table_height(),
+            "offset {offset} outside table"
+        );
         let base = offset % self.base_rows;
         let parity_pos = ((offset / self.base_rows) % self.group as u64) as u16;
         for group in 0..2u16 {
@@ -138,7 +141,10 @@ impl ParityLayout for ReddyLayout {
     }
 
     fn data_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr {
-        assert!(stripe < self.stripes_per_table(), "stripe {stripe} outside table");
+        assert!(
+            stripe < self.stripes_per_table(),
+            "stripe {stripe} outside table"
+        );
         assert!(index < self.group - 1, "data index {index} outside stripe");
         let offset = stripe / 2;
         let group = (stripe % 2) as u16;
@@ -149,7 +155,10 @@ impl ParityLayout for ReddyLayout {
     }
 
     fn parity_unit_in_table(&self, stripe: u64) -> UnitAddr {
-        assert!(stripe < self.stripes_per_table(), "stripe {stripe} outside table");
+        assert!(
+            stripe < self.stripes_per_table(),
+            "stripe {stripe} outside table"
+        );
         let offset = stripe / 2;
         let group = (stripe % 2) as u16;
         let base = offset % self.base_rows;
@@ -194,10 +203,9 @@ mod tests {
                         l.data_unit_in_table(stripe, index),
                         UnitAddr::new(disk, offset)
                     ),
-                    UnitRole::Parity { stripe } => assert_eq!(
-                        l.parity_unit_in_table(stripe),
-                        UnitAddr::new(disk, offset)
-                    ),
+                    UnitRole::Parity { stripe } => {
+                        assert_eq!(l.parity_unit_in_table(stripe), UnitAddr::new(disk, offset))
+                    }
                     UnitRole::Unmapped => panic!("no holes"),
                 }
             }

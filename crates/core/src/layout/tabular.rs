@@ -139,9 +139,7 @@ impl TabularLayout {
                     });
                 }
                 roles[cell] = Some(if j == width as usize - 1 {
-                    UnitRole::Parity {
-                        stripe: sid as u64,
-                    }
+                    UnitRole::Parity { stripe: sid as u64 }
                 } else {
                     UnitRole::Data {
                         stripe: sid as u64,
@@ -189,13 +187,19 @@ impl ParityLayout for TabularLayout {
     }
 
     fn data_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr {
-        assert!(stripe < self.stripes_per_table(), "stripe {stripe} outside table");
+        assert!(
+            stripe < self.stripes_per_table(),
+            "stripe {stripe} outside table"
+        );
         assert!(index < self.width - 1, "data index {index} outside stripe");
         self.units[stripe as usize * self.width as usize + index as usize]
     }
 
     fn parity_unit_in_table(&self, stripe: u64) -> UnitAddr {
-        assert!(stripe < self.stripes_per_table(), "stripe {stripe} outside table");
+        assert!(
+            stripe < self.stripes_per_table(),
+            "stripe {stripe} outside table"
+        );
         self.units[stripe as usize * self.width as usize + self.width as usize - 1]
     }
 
@@ -352,10 +356,7 @@ mod tests {
         let layout: TabularLayout = text.parse().unwrap();
         assert_eq!(layout.stripes_per_table(), 3);
         criteria::check_single_failure_correcting(&layout).unwrap();
-        assert_eq!(
-            layout.role_in_table(2, 0),
-            UnitRole::Parity { stripe: 1 }
-        );
+        assert_eq!(layout.role_in_table(2, 0), UnitRole::Parity { stripe: 1 });
     }
 
     #[test]
@@ -398,10 +399,7 @@ mod tests {
         // Periodicity and stripe arithmetic work through the trait.
         let original = DeclusteredLayout::new(BlockDesign::complete(5, 4).unwrap()).unwrap();
         let parsed = round_trip(&original);
-        assert_eq!(
-            parsed.parity_location(25),
-            original.parity_location(25)
-        );
+        assert_eq!(parsed.parity_location(25), original.parity_location(25));
         assert_eq!(parsed.stripe_units(21), original.stripe_units(21));
         assert_eq!(parsed.alpha(), original.alpha());
     }

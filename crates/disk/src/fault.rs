@@ -192,8 +192,7 @@ impl MediaFaultModel {
         for s in start..start + sectors as u64 {
             // Only store sectors that were actually defective: the healed
             // set stays tiny even over long runs.
-            if mix(self.disk_key ^ s.wrapping_mul(0x9E37_79B9_7F4A_7C15)) < self.latent_threshold
-            {
+            if mix(self.disk_key ^ s.wrapping_mul(0x9E37_79B9_7F4A_7C15)) < self.latent_threshold {
                 self.healed.insert(s);
             }
         }
@@ -214,6 +213,18 @@ impl MediaFaultModel {
             retries += 1;
         }
         (retries, false)
+    }
+
+    /// Number of sectors in `[0, sectors)` currently carrying an unhealed
+    /// latent defect — the disk's *exposed* defects. A second fault turns
+    /// each of these into an unrecoverable stripe, so this count at
+    /// second-fault time is the quantity patrol scrubbing exists to drive
+    /// down.
+    pub fn count_defective(&self, sectors: u64) -> u64 {
+        if self.latent_threshold == 0 {
+            return 0;
+        }
+        (0..sectors).filter(|&s| self.latent_bad(s)).count() as u64
     }
 
     /// Total backoff paid for `retries` retries, µs: `backoff_us * (2^retries - 1)`.
@@ -267,7 +278,9 @@ mod tests {
     fn healing_clears_a_defect() {
         let cfg = MediaFaultConfig::none().with_latent_rate(0.05);
         let mut m = MediaFaultModel::new(cfg, 0);
-        let bad = (0..100_000).find(|&s| m.latent_bad(s)).expect("some defect");
+        let bad = (0..100_000)
+            .find(|&s| m.latent_bad(s))
+            .expect("some defect");
         m.heal(bad, 1);
         assert!(!m.latent_bad(bad));
         assert_eq!(m.first_bad_sector(bad, 1), None);

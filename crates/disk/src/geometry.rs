@@ -240,7 +240,10 @@ mod tests {
         let n = 4_000;
         for i in 0..n {
             let c = disk
-                .submit(now, DiskRequest::new(i, rng.below(units) * 8, 8, IoKind::Read))
+                .submit(
+                    now,
+                    DiskRequest::new(i, rng.below(units) * 8, 8, IoKind::Read),
+                )
                 .unwrap();
             let service = (c.at - now).as_us() as f64;
             s1 += service;

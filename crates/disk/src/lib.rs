@@ -35,6 +35,6 @@ pub mod seek;
 
 pub use fault::{AccessOutcome, MediaFaultConfig, MediaFaultModel};
 pub use geometry::Geometry;
-pub use model::{Completion, CompletedIo, Disk, DiskRequest, DiskStats, IoKind, Priority};
+pub use model::{CompletedIo, Completion, Disk, DiskRequest, DiskStats, IoKind, Priority};
 pub use sched::SchedPolicy;
 pub use seek::SeekModel;

@@ -225,11 +225,7 @@ impl Disk {
     /// [`Priority::Background`] request is only dispatched when no user
     /// request is queued. (Dispatch is non-preemptive: an in-service
     /// background access still finishes.)
-    pub fn with_priority_scheduling(
-        geometry: Geometry,
-        label: usize,
-        policy: SchedPolicy,
-    ) -> Disk {
+    pub fn with_priority_scheduling(geometry: Geometry, label: usize, policy: SchedPolicy) -> Disk {
         let mut disk = Disk::with_policy(geometry, label, policy);
         disk.priority_scheduling = true;
         disk
@@ -254,6 +250,15 @@ impl Disk {
         if let Some(f) = self.faults.as_mut() {
             f.heal(start_sector, sectors);
         }
+    }
+
+    /// Unhealed latent defects in the disk's first `sectors` sectors
+    /// (zero without a fault model). See
+    /// [`MediaFaultModel::count_defective`].
+    pub fn count_defective(&self, sectors: u64) -> u64 {
+        self.faults
+            .as_ref()
+            .map_or(0, |f| f.count_defective(sectors))
     }
 
     /// The disk's geometry.
@@ -405,7 +410,12 @@ impl Disk {
     /// is decided here: reads covering a latent-defective sector — or any
     /// access exhausting its retries — finish as a hard media error, while
     /// writes remap the defects they cover.
-    fn start_service(&mut self, now: SimTime, arrived: SimTime, request: DiskRequest) -> Completion {
+    fn start_service(
+        &mut self,
+        now: SimTime,
+        arrived: SimTime,
+        request: DiskRequest,
+    ) -> Completion {
         let mut service_us = self.service_time_us(now, &request);
         let mut outcome = AccessOutcome::Ok { retries: 0 };
         if let Some(faults) = self.faults.as_mut() {
@@ -484,8 +494,7 @@ impl Disk {
 
         let last = request.start_sector + request.sectors as u64 - 1;
         let crossings = g.track_of(last) - track;
-        let transfer_us = (request.sectors as f64
-            + crossings as f64 * g.track_skew_sectors as f64)
+        let transfer_us = (request.sectors as f64 + crossings as f64 * g.track_skew_sectors as f64)
             * g.sector_time_us();
 
         seek_us + rot_us + transfer_us
@@ -540,10 +549,7 @@ mod tests {
             .unwrap();
         for i in 1..12u64 {
             assert!(d
-                .submit(
-                    SimTime::ZERO,
-                    DiskRequest::new(i, i * 8, 8, IoKind::Write)
-                )
+                .submit(SimTime::ZERO, DiskRequest::new(i, i * 8, 8, IoKind::Write))
                 .is_none());
         }
         let mut next = Some(first);
@@ -751,8 +757,7 @@ mod tests {
         // Background request much closer to the head than the user request.
         d.submit(
             SimTime::ZERO,
-            DiskRequest::new(1, 2 * spc, 8, IoKind::Read)
-                .with_priority(Priority::Background),
+            DiskRequest::new(1, 2 * spc, 8, IoKind::Read).with_priority(Priority::Background),
         );
         d.submit(SimTime::ZERO, read(2, 800 * spc));
         let (_, next) = d.complete(c.at);
@@ -781,8 +786,7 @@ mod tests {
         let c = d.submit(SimTime::ZERO, read(0, 0)).unwrap();
         d.submit(
             SimTime::ZERO,
-            DiskRequest::new(1, 2 * spc, 8, IoKind::Read)
-                .with_priority(Priority::Background),
+            DiskRequest::new(1, 2 * spc, 8, IoKind::Read).with_priority(Priority::Background),
         );
         d.submit(SimTime::ZERO, read(2, 800 * spc));
         let (_, next) = d.complete(c.at);

@@ -91,7 +91,12 @@ pub fn pick_next(
                     ArmDirection::Up => cyl < head,
                     ArmDirection::Down => cyl > head,
                 };
-                let score = dist + if reverses && cyl != head { penalty } else { 0.0 };
+                let score = dist
+                    + if reverses && cyl != head {
+                        penalty
+                    } else {
+                        0.0
+                    };
                 let better = match best {
                     None => true,
                     Some((_, s, q)) => score < s || (score == s && seq < q),
@@ -188,8 +193,17 @@ mod tests {
 
     #[test]
     fn direction_tracking() {
-        assert_eq!(direction_after(10, 20, ArmDirection::Down), ArmDirection::Up);
-        assert_eq!(direction_after(20, 10, ArmDirection::Up), ArmDirection::Down);
-        assert_eq!(direction_after(10, 10, ArmDirection::Down), ArmDirection::Down);
+        assert_eq!(
+            direction_after(10, 20, ArmDirection::Down),
+            ArmDirection::Up
+        );
+        assert_eq!(
+            direction_after(20, 10, ArmDirection::Up),
+            ArmDirection::Down
+        );
+        assert_eq!(
+            direction_after(10, 10, ArmDirection::Down),
+            ArmDirection::Down
+        );
     }
 }

@@ -84,10 +84,7 @@ impl SeekModel {
         let (s, l) = ((d_max - 1.0).sqrt(), d_max - 1.0);
         let det = m_sqrt * l - m_lin * s;
         let (a, b) = if det.abs() > 1e-9 {
-            (
-                (r1 * l - r2 * m_lin) / det,
-                (m_sqrt * r2 - s * r1) / det,
-            )
+            ((r1 * l - r2 * m_lin) / det, (m_sqrt * r2 - s * r1) / det)
         } else {
             // Three cylinders leave only two distinct distances, where the
             // √ and linear terms are indistinguishable: fall back to the

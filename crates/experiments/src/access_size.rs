@@ -12,6 +12,7 @@
 use crate::runner::{Runner, SweepRun};
 use crate::{paper_layout, ExperimentScale};
 use decluster_array::ArraySim;
+use decluster_core::error::Error;
 use decluster_sim::SimTime;
 use decluster_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
@@ -36,33 +37,39 @@ pub struct AccessSizePoint {
 
 /// Measures one point: `units`-unit accesses at a fixed *byte* bandwidth
 /// of `unit_rate` single-unit-equivalents per second.
+///
+/// # Errors
+///
+/// Returns an error if `g` is not a paper group size or the layout cannot
+/// map the scaled disks.
 pub fn run_point(
     scale: &ExperimentScale,
     g: u16,
     units: u64,
     unit_rate: f64,
     read_fraction: f64,
-) -> AccessSizePoint {
-    run_point_counted(scale, g, units, unit_rate, read_fraction).0
+) -> Result<AccessSizePoint, Error> {
+    run_point_counted(scale, g, units, unit_rate, read_fraction).map(|(p, _)| p)
 }
 
 /// [`run_point`], also returning the simulator events processed (the
 /// throughput denominator for [`Runner`] accounting).
+///
+/// # Errors
+///
+/// See [`run_point`].
 pub fn run_point_counted(
     scale: &ExperimentScale,
     g: u16,
     units: u64,
     unit_rate: f64,
     read_fraction: f64,
-) -> (AccessSizePoint, u64) {
-    let spec = WorkloadSpec::new(unit_rate / units as f64, read_fraction)
-        .with_access_units(units);
-    let report = ArraySim::new(paper_layout(g), scale.array_config(), spec, 1)
-        .expect("paper layouts fit")
-        .run_for(
-            SimTime::from_secs(scale.duration_secs),
-            SimTime::from_secs(scale.warmup_secs),
-        );
+) -> Result<(AccessSizePoint, u64), Error> {
+    let spec = WorkloadSpec::new(unit_rate / units as f64, read_fraction).with_access_units(units);
+    let report = ArraySim::new(paper_layout(g)?, scale.array_config(), spec, 1)?.run_for(
+        SimTime::from_secs(scale.duration_secs),
+        SimTime::from_secs(scale.warmup_secs),
+    );
     let point = AccessSizePoint {
         group: g,
         access_units: units,
@@ -71,18 +78,31 @@ pub fn run_point_counted(
         utilization: report.mean_disk_utilization,
         requests_measured: report.requests_measured,
     };
-    (point, report.events_processed)
+    Ok((point, report.events_processed))
 }
 
 /// The sweep: sizes 1..=max_units for the declustered G and for RAID 5.
+///
+/// # Errors
+///
+/// Returns the first failed point, in sweep order.
 pub fn sweep(
     scale: &ExperimentScale,
     g: u16,
     max_units: u64,
     unit_rate: f64,
     read_fraction: f64,
-) -> Vec<AccessSizePoint> {
-    sweep_on(&Runner::sequential(), scale, g, max_units, unit_rate, read_fraction).into_values()
+) -> Result<Vec<AccessSizePoint>, Error> {
+    Ok(sweep_on(
+        &Runner::sequential(),
+        scale,
+        g,
+        max_units,
+        unit_rate,
+        read_fraction,
+    )
+    .transpose()?
+    .into_values())
 }
 
 /// [`sweep`] fanned across `runner`'s workers.
@@ -93,11 +113,16 @@ pub fn sweep_on(
     max_units: u64,
     unit_rate: f64,
     read_fraction: f64,
-) -> SweepRun<AccessSizePoint> {
+) -> SweepRun<Result<AccessSizePoint, Error>> {
     let mut jobs = Vec::new();
     for units in 1..=max_units {
         for group in [g, 21] {
-            jobs.push(move || run_point_counted(scale, group, units, unit_rate, read_fraction));
+            jobs.push(move || {
+                match run_point_counted(scale, group, units, unit_rate, read_fraction) {
+                    Ok((p, events)) => (Ok(p), events),
+                    Err(e) => (Err(e), 0),
+                }
+            });
         }
     }
     runner.run(jobs)
@@ -112,8 +137,8 @@ mod tests {
         // A G=4 layout turns aligned 3-unit writes into criterion-5 full
         // stripes: utilization per byte collapses versus single-unit RMWs.
         let scale = ExperimentScale::tiny();
-        let small = run_point(&scale, 4, 1, 60.0, 0.0);
-        let full = run_point(&scale, 4, 3, 60.0, 0.0);
+        let small = run_point(&scale, 4, 1, 60.0, 0.0).unwrap();
+        let full = run_point(&scale, 4, 3, 60.0, 0.0).unwrap();
         assert!(
             full.utilization < small.utilization * 0.75,
             "full-stripe writes {} vs unit writes {}",
@@ -127,8 +152,8 @@ mod tests {
         // At access size = G−1 = 3 units, the declustered array writes
         // full stripes while RAID 5 (G−1 = 20) still does RMWs.
         let scale = ExperimentScale::tiny();
-        let decl = run_point(&scale, 4, 3, 60.0, 0.0);
-        let raid5 = run_point(&scale, 21, 3, 60.0, 0.0);
+        let decl = run_point(&scale, 4, 3, 60.0, 0.0).unwrap();
+        let raid5 = run_point(&scale, 21, 3, 60.0, 0.0).unwrap();
         assert!(
             decl.utilization < raid5.utilization,
             "declustered {} vs RAID 5 {}",
@@ -140,7 +165,7 @@ mod tests {
     #[test]
     fn sweep_covers_both_layouts() {
         let scale = ExperimentScale::tiny();
-        let points = sweep(&scale, 4, 2, 40.0, 0.5);
+        let points = sweep(&scale, 4, 2, 40.0, 0.5).unwrap();
         assert_eq!(points.len(), 4);
         assert!(points.iter().any(|p| p.group == 4));
         assert!(points.iter().any(|p| p.group == 21));

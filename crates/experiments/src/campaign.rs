@@ -28,12 +28,42 @@
 //! observed loss probability). Trials fan across cores with [`Runner`];
 //! results serialize to `results/campaign.json` with a stable field
 //! order.
+//!
+//! Two optional arms extend the whole-disk campaign:
+//!
+//! * **Scrub arms** ([`CampaignSpec::scrub_trials`] > 0) seed every disk
+//!   with latent sector errors at [`CampaignSpec::latent_rate`] and run
+//!   each trial twice — patrol scrubbing off, then on with
+//!   [`CampaignSpec::scrub`]. The array serves user traffic fault-free
+//!   for one calibrated rebuild time `T` (the patrol window), disk 0
+//!   fails at `T`, and a second whole-disk fault lands stratified across
+//!   the degraded window `[T, 2T)`. Each off/on pair shares its workload
+//!   stream, fault disk, and fault times, so the arm isolates exactly one
+//!   variable: how many latent defects are still exposed on the surviving
+//!   disks when redundancy runs out
+//!   ([`ScrubTrialOutcome::exposed_defects`]).
+//! * **Crash trials** ([`CampaignSpec::crash_trials`] > 0) cut power at a
+//!   stratified time during the rebuild, tearing in-flight read-modify-
+//!   write parity updates, then run restart recovery under *both*
+//!   policies — [`RecoveryPolicy::FullResync`] and
+//!   [`RecoveryPolicy::DirtyRegionLog`] — recording the repair counts,
+//!   units moved, and recovery wall time of each
+//!   ([`CrashTrialOutcome`]).
+//!
+//! Both arms are replayable bit-for-bit ([`replay_scrub_trial`],
+//! [`replay_crash_trial`]) and render into the same stable-order JSON
+//! report, so a campaign is byte-identical at any thread count whether or
+//! not the arms run.
 
 use crate::runner::Runner;
 use crate::{paper_layout, ExperimentScale, PAPER_DISKS};
 use decluster_analytic::reliability;
-use decluster_array::{ArraySim, FaultPlan, ReconAlgorithm, ReconReport};
+use decluster_array::{
+    recover, ArrayConfig, ArraySim, ConsistencyReport, CrashPlan, FaultPlan, ReconAlgorithm,
+    ReconReport, RecoveryPolicy, ScrubConfig,
+};
 use decluster_core::error::Error;
+use decluster_disk::MediaFaultConfig;
 use decluster_sim::{SimRng, SimTime};
 use decluster_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
@@ -123,6 +153,17 @@ pub struct CampaignSpec {
     /// layout's calibrated rebuild time; the fraction past `1.0` lands
     /// after the rebuild completes and checks that nothing is lost.
     pub horizon_factor: f64,
+    /// Paired scrub-off/scrub-on trials per layout (`0` disables the
+    /// scrub arm).
+    pub scrub_trials: usize,
+    /// Crash/recovery trials per layout (`0` disables the crash arm).
+    pub crash_trials: usize,
+    /// Per-sector latent defect probability seeded into every disk for
+    /// the scrub arm.
+    pub latent_rate: f64,
+    /// Patrol-read policy for the scrub-on arm (the off arm always runs
+    /// [`ScrubConfig::off`]).
+    pub scrub: ScrubConfig,
 }
 
 impl CampaignSpec {
@@ -147,6 +188,10 @@ impl CampaignSpec {
             processes: 8,
             mtbf_hours: 150_000.0,
             horizon_factor: 1.25,
+            scrub_trials: 20,
+            crash_trials: 10,
+            latent_rate: 2e-4,
+            scrub: ScrubConfig::on().with_interval_us(200),
         }
     }
 
@@ -160,6 +205,10 @@ impl CampaignSpec {
             processes: 8,
             mtbf_hours: 150_000.0,
             horizon_factor: 1.25,
+            scrub_trials: 4,
+            crash_trials: 2,
+            latent_rate: 2e-4,
+            scrub: ScrubConfig::on().with_interval_us(200),
         }
     }
 
@@ -167,15 +216,16 @@ impl CampaignSpec {
     pub fn tiny() -> CampaignSpec {
         CampaignSpec {
             scale: ExperimentScale::tiny(),
-            layouts: vec![
-                CampaignLayout::Declustered { g: 4 },
-                CampaignLayout::Raid5,
-            ],
+            layouts: vec![CampaignLayout::Declustered { g: 4 }, CampaignLayout::Raid5],
             trials: 4,
             rate: 50.0,
             processes: 8,
             mtbf_hours: 150_000.0,
             horizon_factor: 1.25,
+            scrub_trials: 3,
+            crash_trials: 2,
+            latent_rate: 1e-3,
+            scrub: ScrubConfig::on().with_interval_us(200),
         }
     }
 
@@ -236,6 +286,183 @@ impl TrialOutcome {
     }
 }
 
+/// One scrub-arm trial: latent defects seeded, a second whole-disk fault
+/// injected mid-rebuild, and how many defects were still exposed on the
+/// surviving disks when it hit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScrubTrialOutcome {
+    /// Trial index within the arm (also the stratification slot).
+    pub trial: usize,
+    /// Workload stream fed to [`ArraySim::new`] (disjoint from the
+    /// whole-disk trial streams).
+    pub seed_stream: u64,
+    /// The disk that failed second (never disk 0, the first failure).
+    pub second_disk: u16,
+    /// When the second failure landed, in simulated seconds (stratified
+    /// across `[0, T)`, always inside the rebuild window).
+    pub second_at_secs: f64,
+    /// Latent defective sectors still present on the surviving disks at
+    /// the end of the run — the dual-failure exposure the patrol exists
+    /// to shrink.
+    pub exposed_defects: u64,
+    /// Latent errors the patrol discovered (always `0` with scrub off).
+    pub errors_found: u64,
+    /// Discovered errors repaired from redundancy.
+    pub errors_repaired: u64,
+    /// Parity stripes that lost data in this trial.
+    pub lost_stripes: u64,
+}
+
+impl ScrubTrialOutcome {
+    /// Renders the trial as a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"trial\":{},\"seed_stream\":{},\"second_disk\":{},",
+                "\"second_at_secs\":{},\"exposed_defects\":{},",
+                "\"errors_found\":{},\"errors_repaired\":{},",
+                "\"lost_stripes\":{}}}"
+            ),
+            self.trial,
+            self.seed_stream,
+            self.second_disk,
+            json_f64(self.second_at_secs),
+            self.exposed_defects,
+            self.errors_found,
+            self.errors_repaired,
+            self.lost_stripes,
+        )
+    }
+}
+
+/// One side of the scrub arm (patrol off or on), folded over its trials.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScrubArmSummary {
+    /// Whether the patrol scrubber ran in this arm.
+    pub scrub_enabled: bool,
+    /// Mean latent defects exposed at second-fault time, over the arm's
+    /// trials.
+    pub mean_exposed_defects: f64,
+    /// Total latent errors the patrol found across the arm.
+    pub errors_found: u64,
+    /// Total latent errors the patrol repaired across the arm.
+    pub errors_repaired: u64,
+    /// Fraction of the arm's trials that lost data.
+    pub p_loss: f64,
+    /// Every trial, in stratification order.
+    pub trials: Vec<ScrubTrialOutcome>,
+}
+
+impl ScrubArmSummary {
+    /// Renders the arm as a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        let trials: Vec<String> = self.trials.iter().map(|t| t.to_json()).collect();
+        format!(
+            concat!(
+                "{{\"scrub_enabled\":{},\"mean_exposed_defects\":{},",
+                "\"errors_found\":{},\"errors_repaired\":{},\"p_loss\":{},",
+                "\"trials\":[{}]}}"
+            ),
+            self.scrub_enabled,
+            json_f64(self.mean_exposed_defects),
+            self.errors_found,
+            self.errors_repaired,
+            json_f64(self.p_loss),
+            trials.join(","),
+        )
+    }
+}
+
+/// One restart-recovery pass of a crash trial, distilled from the
+/// simulator's [`ConsistencyReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryOutcome {
+    /// Recovery wall time, seconds.
+    pub recovery_secs: f64,
+    /// Stripes read and verified by the pass.
+    pub stripes_checked: u64,
+    /// Torn stripes the pass encountered.
+    pub torn_found: u64,
+    /// Torn stripes repaired (or moot on the failed disk).
+    pub torn_repaired: u64,
+    /// Stripe units read by the pass.
+    pub units_read: u64,
+    /// Stripe units written by repairs.
+    pub units_written: u64,
+}
+
+impl RecoveryOutcome {
+    fn from_report(r: &ConsistencyReport) -> RecoveryOutcome {
+        RecoveryOutcome {
+            recovery_secs: r.recovery_secs,
+            stripes_checked: r.stripes_checked,
+            torn_found: r.torn_found,
+            torn_repaired: r.torn_repaired,
+            units_read: r.resync_units_read,
+            units_written: r.resync_units_written,
+        }
+    }
+
+    /// Renders the pass as a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"recovery_secs\":{},\"stripes_checked\":{},",
+                "\"torn_found\":{},\"torn_repaired\":{},",
+                "\"units_read\":{},\"units_written\":{}}}"
+            ),
+            json_f64(self.recovery_secs),
+            self.stripes_checked,
+            self.torn_found,
+            self.torn_repaired,
+            self.units_read,
+            self.units_written,
+        )
+    }
+}
+
+/// One crash trial: power cut mid-rebuild, then restart recovery run
+/// under both policies against the same crash state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashTrialOutcome {
+    /// Trial index within the arm (also the stratification slot).
+    pub trial: usize,
+    /// Workload stream fed to [`ArraySim::new`] (disjoint from the other
+    /// arms' streams).
+    pub seed_stream: u64,
+    /// When the power cut landed, in simulated seconds.
+    pub crash_at_secs: f64,
+    /// Stripes whose parity update was half-applied at the cut (the
+    /// write hole).
+    pub torn_stripes: u64,
+    /// Stripes the dirty-region log named (any write in flight).
+    pub dirty_stripes: u64,
+    /// The full-resync recovery pass.
+    pub full: RecoveryOutcome,
+    /// The dirty-region-log recovery pass.
+    pub drl: RecoveryOutcome,
+}
+
+impl CrashTrialOutcome {
+    /// Renders the trial as a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"trial\":{},\"seed_stream\":{},\"crash_at_secs\":{},",
+                "\"torn_stripes\":{},\"dirty_stripes\":{},",
+                "\"full\":{},\"drl\":{}}}"
+            ),
+            self.trial,
+            self.seed_stream,
+            json_f64(self.crash_at_secs),
+            self.torn_stripes,
+            self.dirty_stripes,
+            self.full.to_json(),
+            self.drl.to_json(),
+        )
+    }
+}
+
 /// One layout's campaign outcome: the calibrated rebuild time, every
 /// trial, and the loss statistics over them.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -266,6 +493,12 @@ pub struct LayoutSummary {
     pub mttdl_hours: Option<f64>,
     /// Every trial, in stratification order.
     pub trials: Vec<TrialOutcome>,
+    /// The scrub arm's off/on summaries (empty when the arm is disabled;
+    /// off first, then on).
+    pub scrub_arms: Vec<ScrubArmSummary>,
+    /// Every crash trial, in stratification order (empty when the arm is
+    /// disabled).
+    pub crash_trials: Vec<CrashTrialOutcome>,
 }
 
 impl LayoutSummary {
@@ -276,6 +509,23 @@ impl LayoutSummary {
             .iter()
             .map(|t| format!("      {}", t.to_json()))
             .collect();
+        let scrub_arms: Vec<String> = self
+            .scrub_arms
+            .iter()
+            .map(|a| format!("      {}", a.to_json()))
+            .collect();
+        let crash_trials: Vec<String> = self
+            .crash_trials
+            .iter()
+            .map(|c| format!("      {}", c.to_json()))
+            .collect();
+        let block = |items: Vec<String>| {
+            if items.is_empty() {
+                String::new()
+            } else {
+                format!("\n{}\n      ", items.join(",\n"))
+            }
+        };
         format!(
             concat!(
                 "{{\n",
@@ -284,7 +534,9 @@ impl LayoutSummary {
                 "\"p_loss_during_rebuild\":{},\n",
                 "      \"mean_lost_stripes\":{},\"window_secs\":{},",
                 "\"mttdl_hours\":{},\n",
-                "      \"trials\":[\n{}\n      ]\n    }}"
+                "      \"trials\":[\n{}\n      ],\n",
+                "      \"scrub_arms\":[{}],\n",
+                "      \"crash_trials\":[{}]\n    }}"
             ),
             self.name,
             self.group,
@@ -296,6 +548,8 @@ impl LayoutSummary {
             json_f64(self.window_secs),
             self.mttdl_hours.map_or("null".to_string(), json_f64),
             trials.join(",\n"),
+            block(scrub_arms),
+            block(crash_trials),
         )
     }
 }
@@ -306,6 +560,12 @@ impl LayoutSummary {
 pub struct CampaignReport {
     /// Monte Carlo trials per layout.
     pub trials_per_layout: usize,
+    /// Paired scrub-arm trials per layout (`0` when the arm was off).
+    pub scrub_trials_per_layout: usize,
+    /// Crash trials per layout (`0` when the arm was off).
+    pub crash_trials_per_layout: usize,
+    /// Per-sector latent defect probability seeded for the scrub arm.
+    pub latent_rate: f64,
     /// Second-fault horizon as a multiple of each layout's rebuild time.
     pub horizon_factor: f64,
     /// Per-disk MTBF used for the MTTDL projection.
@@ -328,11 +588,15 @@ impl CampaignReport {
         format!(
             concat!(
                 "{{\n",
-                "  \"trials_per_layout\":{},\"horizon_factor\":{},",
-                "\"mtbf_hours\":{},\"seed\":{},\n",
+                "  \"trials_per_layout\":{},\"scrub_trials_per_layout\":{},",
+                "\"crash_trials_per_layout\":{},\"latent_rate\":{},",
+                "\"horizon_factor\":{},\"mtbf_hours\":{},\"seed\":{},\n",
                 "  \"layouts\":[\n{}\n  ]\n}}\n"
             ),
             self.trials_per_layout,
+            self.scrub_trials_per_layout,
+            self.crash_trials_per_layout,
+            json_f64(self.latent_rate),
             json_f64(self.horizon_factor),
             json_f64(self.mtbf_hours),
             self.seed,
@@ -353,19 +617,27 @@ fn json_f64(x: f64) -> String {
     format!("{x}")
 }
 
-/// Builds the simulator for one campaign run (baseline or trial) of
-/// `layout` with the given workload stream.
-fn build_sim(
+/// The array configuration shared by every run of `layout` in this
+/// campaign (arms layer media faults and scrubbing on top of it).
+fn campaign_config(spec: &CampaignSpec, layout: CampaignLayout) -> ArrayConfig {
+    let cfg = spec.scale.array_config();
+    if layout.is_distributed() {
+        cfg.with_distributed_spares(spec.spare_units())
+    } else {
+        cfg
+    }
+}
+
+/// Builds the simulator for one campaign run of `layout` under an
+/// explicit configuration: disk 0 failed, rebuild started.
+fn build_sim_with(
     spec: &CampaignSpec,
     layout: CampaignLayout,
+    cfg: ArrayConfig,
     seed_stream: u64,
 ) -> Result<ArraySim, Error> {
-    let mut cfg = spec.scale.array_config();
-    if layout.is_distributed() {
-        cfg = cfg.with_distributed_spares(spec.spare_units());
-    }
     let workload = WorkloadSpec::half_and_half(spec.rate);
-    let mut sim = ArraySim::new(paper_layout(layout.group()), cfg, workload, seed_stream)?;
+    let mut sim = ArraySim::new(paper_layout(layout.group())?, cfg, workload, seed_stream)?;
     sim.fail_disk(0)?;
     if layout.is_distributed() {
         sim.start_reconstruction_distributed(ReconAlgorithm::Baseline, spec.processes)?;
@@ -375,17 +647,38 @@ fn build_sim(
     Ok(sim)
 }
 
+/// Builds the simulator for one whole-disk run (baseline or trial) of
+/// `layout` with the given workload stream.
+fn build_sim(
+    spec: &CampaignSpec,
+    layout: CampaignLayout,
+    seed_stream: u64,
+) -> Result<ArraySim, Error> {
+    build_sim_with(spec, layout, campaign_config(spec, layout), seed_stream)
+}
+
 /// Workload stream for trial `trial` (stream 0 is the baseline run).
 fn trial_stream(trial: usize) -> u64 {
     trial as u64 + 1
 }
 
+/// Workload stream for scrub-arm trial `trial`: a block disjoint from
+/// [`trial_stream`] so the arms never share a workload realization. The
+/// off and on sides of a pair share the stream deliberately.
+fn scrub_stream(trial: usize) -> u64 {
+    (1 << 16) + trial as u64
+}
+
+/// Workload stream for crash trial `trial`: disjoint from both other
+/// arms.
+fn crash_stream(trial: usize) -> u64 {
+    (1 << 17) + trial as u64
+}
+
 /// The second-failed disk for a trial: drawn from the campaign seed, the
 /// layout, and the trial index; never disk 0 (the first failure).
 fn second_disk(spec: &CampaignSpec, layout: CampaignLayout, trial: usize) -> u16 {
-    let tag = (layout.group() as u64) << 40
-        | (layout.is_distributed() as u64) << 56
-        | trial as u64;
+    let tag = (layout.group() as u64) << 40 | (layout.is_distributed() as u64) << 56 | trial as u64;
     let mut rng = SimRng::new(spec.scale.seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     1 + rng.below((PAPER_DISKS - 1) as u64) as u16
 }
@@ -442,12 +735,140 @@ fn run_trial(
     Ok((outcome, report.events_processed))
 }
 
+/// The stratified fault/crash time for an arm trial: the midpoint of
+/// slot `trial` across `[0, baseline)`, so every slot lands inside the
+/// rebuild window.
+fn arm_at_secs(baseline_secs: f64, trials: usize, trial: usize) -> f64 {
+    (trial as f64 + 0.5) / trials.max(1) as f64 * baseline_secs
+}
+
+/// Runs one scrub-arm trial: latent defects seeded everywhere, patrol
+/// off or on, then a double whole-disk failure.
+///
+/// The timeline has three windows, all sized by the layout's calibrated
+/// rebuild time `T`: the array serves user traffic fault-free for `T`
+/// (the patrol's chance to sweep — a throttled scrubber yields to busy
+/// disks, so a rebuilding array is exactly where it cannot catch up),
+/// disk 0 fails at `T`, and the second fault lands stratified across the
+/// degraded window `[T, 2T)`. The defects still latent on the surviving
+/// disks at that instant are the trial's exposure.
+fn run_scrub_trial(
+    spec: &CampaignSpec,
+    layout: CampaignLayout,
+    trial: usize,
+    baseline_secs: f64,
+    scrub_enabled: bool,
+) -> Result<(ScrubTrialOutcome, u64), Error> {
+    let seed_stream = scrub_stream(trial);
+    let disk = second_disk(spec, layout, trial);
+    let first_at_secs = baseline_secs.max(1.0);
+    let at_secs = first_at_secs + arm_at_secs(first_at_secs, spec.scrub_trials, trial);
+    let scrub = if scrub_enabled {
+        spec.scrub
+    } else {
+        ScrubConfig::off()
+    };
+    let cfg = campaign_config(spec, layout)
+        .with_media_faults(MediaFaultConfig::none().with_latent_rate(spec.latent_rate))
+        .with_scrub(scrub);
+
+    let workload = WorkloadSpec::half_and_half(spec.rate);
+    let mut sim = ArraySim::new(paper_layout(layout.group())?, cfg, workload, seed_stream)?;
+    sim.inject_faults(
+        &FaultPlan::new()
+            .fail_at(0, SimTime::from_secs_f64(first_at_secs))
+            .fail_at(disk, SimTime::from_secs_f64(at_secs)),
+    )?;
+    // The second fault is fatal and ends the run; the duration only has
+    // to reach past it.
+    let duration = SimTime::from_secs_f64(2.5 * first_at_secs);
+    let report = sim.run_for(duration, SimTime::ZERO);
+
+    let (found, repaired) = report
+        .scrub
+        .as_ref()
+        .map_or((0, 0), |s| (s.errors_found, s.errors_repaired));
+    let outcome = ScrubTrialOutcome {
+        trial,
+        seed_stream,
+        second_disk: disk,
+        second_at_secs: at_secs,
+        exposed_defects: report.exposed_defects.unwrap_or(0),
+        errors_found: found,
+        errors_repaired: repaired,
+        lost_stripes: report.data_loss.stripes.len() as u64,
+    };
+    Ok((outcome, report.events_processed))
+}
+
+/// Runs one crash trial: power cut at a stratified time during the
+/// rebuild, then restart recovery under both policies against the
+/// recorded crash state.
+fn run_crash_trial(
+    spec: &CampaignSpec,
+    layout: CampaignLayout,
+    trial: usize,
+    baseline_secs: f64,
+) -> Result<(CrashTrialOutcome, u64), Error> {
+    let seed_stream = crash_stream(trial);
+    let at_secs = arm_at_secs(baseline_secs, spec.crash_trials, trial);
+    let cfg = campaign_config(spec, layout);
+
+    let mut sim = build_sim_with(spec, layout, cfg, seed_stream)?;
+    sim.inject_crash(&CrashPlan::at(SimTime::from_secs_f64(at_secs)))?;
+    let limit = SimTime::from_secs(spec.scale.recon_limit_secs);
+    let report: ReconReport = sim.run_until_reconstructed(limit);
+    let crash = report.crash.as_ref().ok_or_else(|| Error::InvalidState {
+        reason: format!("crash planned at {at_secs} s never fired"),
+    })?;
+
+    let full = recover(
+        paper_layout(layout.group())?,
+        &cfg,
+        crash,
+        RecoveryPolicy::FullResync,
+    )?;
+    let drl = recover(
+        paper_layout(layout.group())?,
+        &cfg,
+        crash,
+        RecoveryPolicy::DirtyRegionLog,
+    )?;
+    let outcome = CrashTrialOutcome {
+        trial,
+        seed_stream,
+        crash_at_secs: at_secs,
+        torn_stripes: crash.torn_stripes.len() as u64,
+        dirty_stripes: crash.dirty_stripes.len() as u64,
+        full: RecoveryOutcome::from_report(&full),
+        drl: RecoveryOutcome::from_report(&drl),
+    };
+    Ok((outcome, report.events_processed))
+}
+
+/// Folds one side of the scrub arm into its summary.
+fn summarize_scrub_arm(scrub_enabled: bool, trials: Vec<ScrubTrialOutcome>) -> ScrubArmSummary {
+    let n = trials.len().max(1) as f64;
+    let mean_exposed_defects = trials.iter().map(|t| t.exposed_defects as f64).sum::<f64>() / n;
+    let p_loss = trials.iter().filter(|t| t.lost_stripes > 0).count() as f64 / n;
+    ScrubArmSummary {
+        scrub_enabled,
+        mean_exposed_defects,
+        errors_found: trials.iter().map(|t| t.errors_found).sum(),
+        errors_repaired: trials.iter().map(|t| t.errors_repaired).sum(),
+        p_loss,
+        trials,
+    }
+}
+
 /// Folds a layout's trials into its summary statistics.
 fn summarize(
     spec: &CampaignSpec,
     layout: CampaignLayout,
     baseline_secs: f64,
     trials: Vec<TrialOutcome>,
+    scrub_arms: Vec<ScrubArmSummary>,
+    crash_trials: Vec<CrashTrialOutcome>,
 ) -> LayoutSummary {
     let n = trials.len().max(1) as f64;
     let losses = trials.iter().filter(|t| t.lost_stripes > 0).count() as f64;
@@ -474,6 +895,8 @@ fn summarize(
         window_secs: p_loss * horizon,
         mttdl_hours,
         trials,
+        scrub_arms,
+        crash_trials,
     }
 }
 
@@ -517,17 +940,81 @@ pub fn run_campaign(spec: &CampaignSpec, runner: &Runner) -> Result<CampaignRepo
         .collect();
     let results = runner.run(trial_jobs).into_values();
 
+    // Phase 3: the scrub arm — every layout's paired off/on trials.
+    let scrub_results = if spec.scrub_trials > 0 {
+        let jobs: Vec<_> = calibrated
+            .iter()
+            .flat_map(|&(layout, secs)| {
+                [false, true].into_iter().flat_map(move |enabled| {
+                    (0..spec.scrub_trials).map(move |trial| {
+                        move || match run_scrub_trial(spec, layout, trial, secs, enabled) {
+                            Ok((outcome, events)) => (Ok(outcome), events),
+                            Err(e) => (Err(e), 0),
+                        }
+                    })
+                })
+            })
+            .collect();
+        runner.run(jobs).into_values()
+    } else {
+        Vec::new()
+    };
+
+    // Phase 4: the crash arm.
+    let crash_results = if spec.crash_trials > 0 {
+        let jobs: Vec<_> = calibrated
+            .iter()
+            .flat_map(|&(layout, secs)| {
+                (0..spec.crash_trials).map(move |trial| {
+                    move || match run_crash_trial(spec, layout, trial, secs) {
+                        Ok((outcome, events)) => (Ok(outcome), events),
+                        Err(e) => (Err(e), 0),
+                    }
+                })
+            })
+            .collect();
+        runner.run(jobs).into_values()
+    } else {
+        Vec::new()
+    };
+
     let mut layouts = Vec::with_capacity(calibrated.len());
     let mut results = results.into_iter();
+    let mut scrub_results = scrub_results.into_iter();
+    let mut crash_results = crash_results.into_iter();
     for &(layout, secs) in &calibrated {
         let trials = results
             .by_ref()
             .take(spec.trials)
             .collect::<Result<Vec<_>, _>>()?;
-        layouts.push(summarize(spec, layout, secs, trials));
+        let mut scrub_arms = Vec::new();
+        if spec.scrub_trials > 0 {
+            for enabled in [false, true] {
+                let arm = scrub_results
+                    .by_ref()
+                    .take(spec.scrub_trials)
+                    .collect::<Result<Vec<_>, _>>()?;
+                scrub_arms.push(summarize_scrub_arm(enabled, arm));
+            }
+        }
+        let crash_trials = crash_results
+            .by_ref()
+            .take(spec.crash_trials)
+            .collect::<Result<Vec<_>, _>>()?;
+        layouts.push(summarize(
+            spec,
+            layout,
+            secs,
+            trials,
+            scrub_arms,
+            crash_trials,
+        ));
     }
     Ok(CampaignReport {
         trials_per_layout: spec.trials,
+        scrub_trials_per_layout: spec.scrub_trials,
+        crash_trials_per_layout: spec.crash_trials,
+        latent_rate: spec.latent_rate,
         horizon_factor: spec.horizon_factor,
         mtbf_hours: spec.mtbf_hours,
         seed: spec.scale.seed,
@@ -555,6 +1042,58 @@ pub fn replay_trial(
     }
     let (baseline_secs, _) = run_baseline(spec, layout)?;
     let (outcome, _) = run_trial(spec, layout, trial, baseline_secs)?;
+    Ok(outcome)
+}
+
+/// Reproduces one recorded scrub-arm trial bit-for-bit from the spec
+/// alone (see [`replay_trial`]).
+///
+/// # Errors
+///
+/// Returns an error if `trial` is out of range or the layout cannot be
+/// built at the spec's scale.
+pub fn replay_scrub_trial(
+    spec: &CampaignSpec,
+    layout: CampaignLayout,
+    trial: usize,
+    scrub_enabled: bool,
+) -> Result<ScrubTrialOutcome, Error> {
+    if trial >= spec.scrub_trials {
+        return Err(Error::BadParameters {
+            reason: format!(
+                "scrub trial {trial} out of range (campaign has {})",
+                spec.scrub_trials
+            ),
+        });
+    }
+    let (baseline_secs, _) = run_baseline(spec, layout)?;
+    let (outcome, _) = run_scrub_trial(spec, layout, trial, baseline_secs, scrub_enabled)?;
+    Ok(outcome)
+}
+
+/// Reproduces one recorded crash trial bit-for-bit from the spec alone:
+/// the same power cut, the same torn state, and the same
+/// [`ConsistencyReport`] figures under both recovery policies.
+///
+/// # Errors
+///
+/// Returns an error if `trial` is out of range or the layout cannot be
+/// built at the spec's scale.
+pub fn replay_crash_trial(
+    spec: &CampaignSpec,
+    layout: CampaignLayout,
+    trial: usize,
+) -> Result<CrashTrialOutcome, Error> {
+    if trial >= spec.crash_trials {
+        return Err(Error::BadParameters {
+            reason: format!(
+                "crash trial {trial} out of range (campaign has {})",
+                spec.crash_trials
+            ),
+        });
+    }
+    let (baseline_secs, _) = run_baseline(spec, layout)?;
+    let (outcome, _) = run_crash_trial(spec, layout, trial, baseline_secs)?;
     Ok(outcome)
 }
 
@@ -599,7 +1138,7 @@ mod tests {
         for layout in CampaignSpec::default_layouts() {
             for trial in 0..64 {
                 let d = second_disk(&spec, layout, trial);
-                assert!(d >= 1 && d < PAPER_DISKS, "trial {trial}: disk {d}");
+                assert!((1..PAPER_DISKS).contains(&d), "trial {trial}: disk {d}");
             }
         }
     }
@@ -658,6 +1197,75 @@ mod tests {
     }
 
     #[test]
+    fn scrub_arm_shrinks_exposure_and_repairs_errors() {
+        let spec = test_spec();
+        let report = run_campaign(&spec, &Runner::new(0)).unwrap();
+        let layout = &report.layouts[0];
+        assert_eq!(layout.scrub_arms.len(), 2, "an off arm and an on arm");
+        let (off, on) = (&layout.scrub_arms[0], &layout.scrub_arms[1]);
+        assert!(!off.scrub_enabled && on.scrub_enabled);
+        assert_eq!(off.errors_found, 0, "no patrol, no discoveries");
+        assert!(on.errors_found > 0, "the patrol must find latent errors");
+        assert!(on.errors_repaired > 0, "and repair them from redundancy");
+        assert!(
+            on.mean_exposed_defects < off.mean_exposed_defects,
+            "scrubbing must shrink the defects exposed at second-fault \
+             time: on {} vs off {}",
+            on.mean_exposed_defects,
+            off.mean_exposed_defects
+        );
+        // The pairing holds: both sides saw the same fault schedule.
+        for (a, b) in off.trials.iter().zip(&on.trials) {
+            assert_eq!(a.seed_stream, b.seed_stream);
+            assert_eq!(a.second_disk, b.second_disk);
+            assert_eq!(a.second_at_secs, b.second_at_secs);
+        }
+    }
+
+    #[test]
+    fn crash_trials_recover_under_both_policies() {
+        let spec = test_spec();
+        let report = run_campaign(&spec, &Runner::new(0)).unwrap();
+        let layout = &report.layouts[0];
+        assert_eq!(layout.crash_trials.len(), spec.crash_trials);
+        for c in &layout.crash_trials {
+            // Both policies see and repair every torn stripe.
+            assert_eq!(c.full.torn_found, c.torn_stripes);
+            assert_eq!(c.full.torn_repaired, c.full.torn_found);
+            assert_eq!(c.drl.torn_found, c.torn_stripes);
+            assert_eq!(c.drl.torn_repaired, c.drl.torn_found);
+            // The log names exactly the stripes the DRL pass verifies,
+            // a strict subset of the full scan's read set.
+            assert_eq!(c.drl.stripes_checked, c.dirty_stripes);
+            assert!(c.full.stripes_checked > c.drl.stripes_checked);
+            assert!(
+                c.drl.units_read < c.full.units_read,
+                "trial {}: the dirty-region log must bound the resync reads",
+                c.trial
+            );
+            assert!(c.full.recovery_secs > 0.0);
+            assert!(c.drl.recovery_secs <= c.full.recovery_secs);
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_scrub_and_crash_trials_bit_for_bit() {
+        let spec = test_spec();
+        let layout = CampaignLayout::Declustered { g: 4 };
+        let report = run_campaign(&spec, &Runner::new(0)).unwrap();
+        let recorded = &report.layouts[0].scrub_arms[1].trials[1];
+        let replayed = replay_scrub_trial(&spec, layout, 1, true).unwrap();
+        assert_eq!(recorded.to_json(), replayed.to_json());
+        assert_eq!(*recorded, replayed);
+        let recorded = &report.layouts[0].crash_trials[0];
+        let replayed = replay_crash_trial(&spec, layout, 0).unwrap();
+        assert_eq!(recorded.to_json(), replayed.to_json());
+        assert_eq!(*recorded, replayed);
+        assert!(replay_scrub_trial(&spec, layout, 99, true).is_err());
+        assert!(replay_crash_trial(&spec, layout, 99).is_err());
+    }
+
+    #[test]
     fn replay_reproduces_a_trial_bit_for_bit() {
         let spec = test_spec();
         let report = run_campaign(&spec, &Runner::new(0)).unwrap();
@@ -684,8 +1292,12 @@ mod tests {
             "unbalanced braces"
         );
         assert!(json.contains("\"trials_per_layout\":4"));
+        assert!(json.contains("\"scrub_trials_per_layout\":3"));
+        assert!(json.contains("\"crash_trials_per_layout\":2"));
         assert!(json.contains("\"name\":\"declustered-g4\""));
         assert!(json.contains("\"mttdl_hours\":"));
+        assert!(json.contains("\"scrub_enabled\":true"));
+        assert!(json.contains("\"full\":{") && json.contains("\"drl\":{"));
         assert!(!json.contains("NaN") && !json.contains("inf"));
     }
 }

@@ -52,7 +52,14 @@ mod tests {
     #[test]
     fn scatter_contains_the_paper_designs() {
         let points = figure_4_3(25, 10_000);
-        for (k, b) in [(3u16, 70u64), (4, 105), (5, 21), (6, 42), (10, 42), (18, 1330)] {
+        for (k, b) in [
+            (3u16, 70u64),
+            (4, 105),
+            (5, 21),
+            (6, 42),
+            (10, 42),
+            (18, 1330),
+        ] {
             assert!(
                 points.iter().any(|p| p.v == 21 && p.k == k && p.b == b),
                 "missing appendix design k={k}"

@@ -10,6 +10,7 @@
 use crate::runner::{Runner, SweepRun};
 use crate::{alpha_sweep, paper_layout, ExperimentScale};
 use decluster_array::ArraySim;
+use decluster_core::error::Error;
 use decluster_sim::SimTime;
 use decluster_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
@@ -36,29 +37,41 @@ pub struct Fig6Point {
 }
 
 /// Runs one (G, rate, mix) point: a fault-free run and a degraded run.
-pub fn run_point(scale: &ExperimentScale, g: u16, rate: f64, read_fraction: f64) -> Fig6Point {
-    run_point_counted(scale, g, rate, read_fraction).0
+///
+/// # Errors
+///
+/// Returns an error if `g` is not a paper group size or the layout cannot
+/// map the scaled disks.
+pub fn run_point(
+    scale: &ExperimentScale,
+    g: u16,
+    rate: f64,
+    read_fraction: f64,
+) -> Result<Fig6Point, Error> {
+    run_point_counted(scale, g, rate, read_fraction).map(|(p, _)| p)
 }
 
 /// [`run_point`], also returning the simulator events both runs processed
 /// (the throughput denominator for [`Runner`] accounting).
+///
+/// # Errors
+///
+/// See [`run_point`].
 pub fn run_point_counted(
     scale: &ExperimentScale,
     g: u16,
     rate: f64,
     read_fraction: f64,
-) -> (Fig6Point, u64) {
+) -> Result<(Fig6Point, u64), Error> {
     let spec = WorkloadSpec::new(rate, read_fraction);
     let duration = SimTime::from_secs(scale.duration_secs);
     let warmup = SimTime::from_secs(scale.warmup_secs);
 
-    let fault_free = ArraySim::new(paper_layout(g), scale.array_config(), spec, 1)
-        .expect("paper layouts map paper disks")
-        .run_for(duration, warmup);
+    let fault_free =
+        ArraySim::new(paper_layout(g)?, scale.array_config(), spec, 1)?.run_for(duration, warmup);
 
-    let mut degraded_sim = ArraySim::new(paper_layout(g), scale.array_config(), spec, 1)
-        .expect("paper layouts map paper disks");
-    degraded_sim.fail_disk(0).expect("disk 0 exists and is healthy");
+    let mut degraded_sim = ArraySim::new(paper_layout(g)?, scale.array_config(), spec, 1)?;
+    degraded_sim.fail_disk(0)?;
     let degraded = degraded_sim.run_for(duration, warmup);
 
     let point = Fig6Point {
@@ -71,17 +84,32 @@ pub fn run_point_counted(
         fault_free_p90_ms: fault_free.all.percentile_ms(0.9),
         degraded_p90_ms: degraded.all.percentile_ms(0.9),
     };
-    (point, fault_free.events_processed + degraded.events_processed)
+    Ok((
+        point,
+        fault_free.events_processed + degraded.events_processed,
+    ))
 }
 
 /// Figure 6-1: 100 % reads over the α sweep at each rate.
-pub fn figure_6_1(scale: &ExperimentScale, rates: &[f64]) -> Vec<Fig6Point> {
-    figure_6_1_on(&Runner::sequential(), scale, rates).into_values()
+///
+/// # Errors
+///
+/// Returns the first failed point, in sweep order.
+pub fn figure_6_1(scale: &ExperimentScale, rates: &[f64]) -> Result<Vec<Fig6Point>, Error> {
+    Ok(figure_6_1_on(&Runner::sequential(), scale, rates)
+        .transpose()?
+        .into_values())
 }
 
 /// Figure 6-2: 100 % writes over the α sweep at each rate.
-pub fn figure_6_2(scale: &ExperimentScale, rates: &[f64]) -> Vec<Fig6Point> {
-    figure_6_2_on(&Runner::sequential(), scale, rates).into_values()
+///
+/// # Errors
+///
+/// Returns the first failed point, in sweep order.
+pub fn figure_6_2(scale: &ExperimentScale, rates: &[f64]) -> Result<Vec<Fig6Point>, Error> {
+    Ok(figure_6_2_on(&Runner::sequential(), scale, rates)
+        .transpose()?
+        .into_values())
 }
 
 /// [`figure_6_1`] fanned across `runner`'s workers.
@@ -89,7 +117,7 @@ pub fn figure_6_1_on(
     runner: &Runner,
     scale: &ExperimentScale,
     rates: &[f64],
-) -> SweepRun<Fig6Point> {
+) -> SweepRun<Result<Fig6Point, Error>> {
     sweep_on(runner, scale, rates, 1.0)
 }
 
@@ -98,7 +126,7 @@ pub fn figure_6_2_on(
     runner: &Runner,
     scale: &ExperimentScale,
     rates: &[f64],
-) -> SweepRun<Fig6Point> {
+) -> SweepRun<Result<Fig6Point, Error>> {
     sweep_on(runner, scale, rates, 0.0)
 }
 
@@ -107,11 +135,16 @@ fn sweep_on(
     scale: &ExperimentScale,
     rates: &[f64],
     read_fraction: f64,
-) -> SweepRun<Fig6Point> {
+) -> SweepRun<Result<Fig6Point, Error>> {
     let mut jobs = Vec::new();
     for &rate in rates {
         for (g, _) in alpha_sweep() {
-            jobs.push(move || run_point_counted(scale, g, rate, read_fraction));
+            jobs.push(
+                move || match run_point_counted(scale, g, rate, read_fraction) {
+                    Ok((p, events)) => (Ok(p), events),
+                    Err(e) => (Err(e), 0),
+                },
+            );
         }
     }
     runner.run(jobs)
@@ -131,8 +164,8 @@ mod tests {
         // The headline of Figure 6-1: degraded-mode response suffers less
         // at low α. Compare G=4 (α=0.15) against RAID 5 (α=1.0).
         let scale = ExperimentScale::tiny();
-        let low = run_point(&scale, 4, 105.0, 1.0);
-        let high = run_point(&scale, 21, 105.0, 1.0);
+        let low = run_point(&scale, 4, 105.0, 1.0).unwrap();
+        let high = run_point(&scale, 21, 105.0, 1.0).unwrap();
         let low_penalty = low.degraded_ms / low.fault_free_ms;
         let high_penalty = high.degraded_ms / high.fault_free_ms;
         assert!(
@@ -146,8 +179,8 @@ mod tests {
         // Fault-free performance is essentially independent of declustering
         // (Figure 6-1): reads are a single access wherever the data lives.
         let scale = ExperimentScale::tiny();
-        let a = run_point(&scale, 4, 105.0, 1.0);
-        let b = run_point(&scale, 21, 105.0, 1.0);
+        let a = run_point(&scale, 4, 105.0, 1.0).unwrap();
+        let b = run_point(&scale, 21, 105.0, 1.0).unwrap();
         let ratio = a.fault_free_ms / b.fault_free_ms;
         assert!(
             (0.8..1.25).contains(&ratio),
@@ -160,7 +193,7 @@ mod tests {
         // Section 7's surprise: lost-parity writes cost one access instead
         // of four, so degraded writes at low α can be *faster* on average.
         let scale = ExperimentScale::tiny();
-        let p = run_point(&scale, 4, 105.0, 0.0);
+        let p = run_point(&scale, 4, 105.0, 0.0).unwrap();
         assert!(
             p.degraded_ms < p.fault_free_ms * 1.15,
             "degraded writes {} should be near or below fault-free {}",
@@ -172,7 +205,7 @@ mod tests {
     #[test]
     fn sweep_produces_every_point() {
         let scale = ExperimentScale::tiny();
-        let points = figure_6_1(&scale, &[105.0]);
+        let points = figure_6_1(&scale, &[105.0]).unwrap();
         assert_eq!(points.len(), 7);
         assert!(points.iter().all(|p| p.fault_free_ms > 0.0));
         assert!(points.iter().all(|p| p.read_fraction == 1.0));

@@ -11,6 +11,7 @@
 use crate::runner::{Runner, SweepRun};
 use crate::{alpha_sweep, paper_layout, ExperimentScale};
 use decluster_array::{ArraySim, ReconAlgorithm, ReconReport};
+use decluster_core::error::Error;
 use decluster_sim::SimTime;
 use decluster_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
@@ -47,36 +48,43 @@ pub struct Fig8Point {
 }
 
 /// Runs one reconstruction scenario.
+///
+/// # Errors
+///
+/// Returns an error if `g` is not a paper group size, the layout cannot
+/// map the scaled disks, or `processes` is zero.
 pub fn run_point(
     scale: &ExperimentScale,
     g: u16,
     rate: f64,
     algorithm: ReconAlgorithm,
     processes: usize,
-) -> Fig8Point {
-    run_point_counted(scale, g, rate, algorithm, processes).0
+) -> Result<Fig8Point, Error> {
+    run_point_counted(scale, g, rate, algorithm, processes).map(|(p, _)| p)
 }
 
 /// [`run_point`], also returning the simulator events processed (the
 /// throughput denominator for [`Runner`] accounting).
+///
+/// # Errors
+///
+/// See [`run_point`].
 pub fn run_point_counted(
     scale: &ExperimentScale,
     g: u16,
     rate: f64,
     algorithm: ReconAlgorithm,
     processes: usize,
-) -> (Fig8Point, u64) {
+) -> Result<(Fig8Point, u64), Error> {
     let spec = WorkloadSpec::half_and_half(rate);
-    let mut sim = ArraySim::new(paper_layout(g), scale.array_config(), spec, 1)
-        .expect("paper layouts map paper disks");
-    sim.fail_disk(0).expect("disk 0 exists and is healthy");
-    sim.start_reconstruction(algorithm, processes)
-        .expect("a disk failed and processes > 0");
+    let mut sim = ArraySim::new(paper_layout(g)?, scale.array_config(), spec, 1)?;
+    sim.fail_disk(0)?;
+    sim.start_reconstruction(algorithm, processes)?;
     let report = sim.run_until_reconstructed(SimTime::from_secs(scale.recon_limit_secs));
-    (
+    Ok((
         from_report(g, rate, algorithm, processes, &report),
         report.events_processed,
-    )
+    ))
 }
 
 fn from_report(
@@ -108,8 +116,20 @@ pub const RATES: [f64; 2] = [105.0, 210.0];
 
 /// Figures 8-1/8-2 (single-thread) or 8-3/8-4 (`processes = 8`): the full
 /// sweep over α, algorithm, and rate.
-pub fn figure_8_sweep(scale: &ExperimentScale, processes: usize, rates: &[f64]) -> Vec<Fig8Point> {
-    figure_8_sweep_on(&Runner::sequential(), scale, processes, rates).into_values()
+///
+/// # Errors
+///
+/// Returns the first failed point, in sweep order.
+pub fn figure_8_sweep(
+    scale: &ExperimentScale,
+    processes: usize,
+    rates: &[f64],
+) -> Result<Vec<Fig8Point>, Error> {
+    Ok(
+        figure_8_sweep_on(&Runner::sequential(), scale, processes, rates)
+            .transpose()?
+            .into_values(),
+    )
 }
 
 /// [`figure_8_sweep`] fanned across `runner`'s workers.
@@ -118,12 +138,17 @@ pub fn figure_8_sweep_on(
     scale: &ExperimentScale,
     processes: usize,
     rates: &[f64],
-) -> SweepRun<Fig8Point> {
+) -> SweepRun<Result<Fig8Point, Error>> {
     let mut jobs = Vec::new();
     for &rate in rates {
         for algorithm in ReconAlgorithm::ALL {
             for (g, _) in alpha_sweep() {
-                jobs.push(move || run_point_counted(scale, g, rate, algorithm, processes));
+                jobs.push(
+                    move || match run_point_counted(scale, g, rate, algorithm, processes) {
+                        Ok((p, events)) => (Ok(p), events),
+                        Err(e) => (Err(e), 0),
+                    },
+                );
             }
         }
     }
@@ -132,8 +157,14 @@ pub fn figure_8_sweep_on(
 
 /// Table 8-1: reconstruction cycle phase times at 210 accesses/s for
 /// α ∈ {0.15, 0.45, 1.0}, all four algorithms, at the given parallelism.
-pub fn table_8_1(scale: &ExperimentScale, processes: usize) -> Vec<Fig8Point> {
-    table_8_1_on(&Runner::sequential(), scale, processes).into_values()
+///
+/// # Errors
+///
+/// Returns the first failed point, in sweep order.
+pub fn table_8_1(scale: &ExperimentScale, processes: usize) -> Result<Vec<Fig8Point>, Error> {
+    Ok(table_8_1_on(&Runner::sequential(), scale, processes)
+        .transpose()?
+        .into_values())
 }
 
 /// [`table_8_1`] fanned across `runner`'s workers.
@@ -141,11 +172,16 @@ pub fn table_8_1_on(
     runner: &Runner,
     scale: &ExperimentScale,
     processes: usize,
-) -> SweepRun<Fig8Point> {
+) -> SweepRun<Result<Fig8Point, Error>> {
     let mut jobs = Vec::new();
     for algorithm in ReconAlgorithm::ALL {
         for g in [4u16, 10, 21] {
-            jobs.push(move || run_point_counted(scale, g, 210.0, algorithm, processes));
+            jobs.push(
+                move || match run_point_counted(scale, g, 210.0, algorithm, processes) {
+                    Ok((p, events)) => (Ok(p), events),
+                    Err(e) => (Err(e), 0),
+                },
+            );
         }
     }
     runner.run(jobs)
@@ -160,8 +196,8 @@ mod tests {
         // The headline of Figures 8-1/8-2: at α = 0.15 reconstruction is
         // much faster than RAID 5 and user response time is lower.
         let scale = ExperimentScale::tiny();
-        let low = run_point(&scale, 4, 105.0, ReconAlgorithm::Baseline, 1);
-        let high = run_point(&scale, 21, 105.0, ReconAlgorithm::Baseline, 1);
+        let low = run_point(&scale, 4, 105.0, ReconAlgorithm::Baseline, 1).unwrap();
+        let high = run_point(&scale, 21, 105.0, ReconAlgorithm::Baseline, 1).unwrap();
         let (t_low, t_high) = (low.recon_secs.unwrap(), high.recon_secs.unwrap());
         assert!(
             t_low < t_high * 0.75,
@@ -180,8 +216,8 @@ mod tests {
         // Figures 8-3/8-4: 8-way reconstruction is several times faster
         // but user response time suffers.
         let scale = ExperimentScale::tiny();
-        let single = run_point(&scale, 4, 105.0, ReconAlgorithm::Baseline, 1);
-        let eight = run_point(&scale, 4, 105.0, ReconAlgorithm::Baseline, 8);
+        let single = run_point(&scale, 4, 105.0, ReconAlgorithm::Baseline, 1).unwrap();
+        let eight = run_point(&scale, 4, 105.0, ReconAlgorithm::Baseline, 8).unwrap();
         assert!(
             eight.recon_secs.unwrap() < single.recon_secs.unwrap() / 2.0,
             "8-way {:?} vs single {:?}",
@@ -201,8 +237,8 @@ mod tests {
         // Table 8-1: the read phase (max of G−1 reads on loaded disks)
         // grows with stripe width.
         let scale = ExperimentScale::tiny();
-        let low = run_point(&scale, 4, 210.0, ReconAlgorithm::Baseline, 1);
-        let high = run_point(&scale, 21, 210.0, ReconAlgorithm::Baseline, 1);
+        let low = run_point(&scale, 4, 210.0, ReconAlgorithm::Baseline, 1).unwrap();
+        let high = run_point(&scale, 21, 210.0, ReconAlgorithm::Baseline, 1).unwrap();
         assert!(
             high.last_read_ms > low.last_read_ms,
             "read phase α=1.0 {} vs α=0.15 {}",
@@ -215,7 +251,7 @@ mod tests {
     fn table_has_twelve_rows() {
         // Only checks shape (the runs themselves are exercised above).
         let scale = ExperimentScale::tiny();
-        let rows = table_8_1(&scale, 1);
+        let rows = table_8_1(&scale, 1).unwrap();
         assert_eq!(rows.len(), 12);
         assert!(rows.iter().all(|r| r.rate == 210.0));
     }

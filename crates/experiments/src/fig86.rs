@@ -10,6 +10,7 @@
 use crate::runner::{Runner, SweepRun};
 use crate::{alpha_sweep, ExperimentScale, PAPER_DISKS};
 use decluster_analytic::MuntzLuiModel;
+use decluster_core::error::Error;
 use decluster_core::recon::ReconAlgorithm;
 use serde::{Deserialize, Serialize};
 
@@ -36,7 +37,11 @@ pub struct Fig86Point {
 }
 
 /// Model predictions over the α sweep (no simulation).
-pub fn model_sweep(scale: &ExperimentScale, rate: f64, algorithm: ReconAlgorithm) -> Vec<Fig86Point> {
+pub fn model_sweep(
+    scale: &ExperimentScale,
+    rate: f64,
+    algorithm: ReconAlgorithm,
+) -> Vec<Fig86Point> {
     alpha_sweep()
         .into_iter()
         .map(|(g, alpha)| Fig86Point {
@@ -81,24 +86,25 @@ pub fn figure_8_6_on(
     rate: f64,
     algorithm: ReconAlgorithm,
     processes: usize,
-) -> SweepRun<Fig86Point> {
+) -> SweepRun<Result<Fig86Point, Error>> {
     let jobs: Vec<_> = alpha_sweep()
         .into_iter()
         .map(|(g, _)| {
-            move || {
-                let (p, events) =
-                    crate::fig8::run_point_counted(scale, g, rate, algorithm, processes);
-                (p.recon_secs, events)
+            move || match crate::fig8::run_point_counted(scale, g, rate, algorithm, processes) {
+                Ok((p, events)) => (Ok(p.recon_secs), events),
+                Err(e) => (Err(e), 0),
             }
         })
         .collect();
     let simulated = runner.run(jobs);
     let values = model_sweep(scale, rate, algorithm)
         .into_iter()
-        .zip(&simulated.values)
-        .map(|(mut p, &secs)| {
-            p.simulated_secs = secs;
-            p
+        .zip(simulated.values)
+        .map(|(mut p, secs)| {
+            secs.map(|s| {
+                p.simulated_secs = s;
+                p
+            })
         })
         .collect();
     SweepRun {
@@ -123,7 +129,7 @@ mod tests {
         // one (the paper's fastest reconstructions are 8-way).
         let scale = ExperimentScale::tiny();
         let g = 4;
-        let sim = fig8::run_point(&scale, g, 105.0, ReconAlgorithm::Redirect, 8);
+        let sim = fig8::run_point(&scale, g, 105.0, ReconAlgorithm::Redirect, 8).unwrap();
         let model = model_for(&scale, g, 105.0)
             .reconstruction_time(ReconAlgorithm::Redirect)
             .unwrap();

@@ -23,9 +23,10 @@
 //!
 //! // One fault-free/degraded point of Figure 6-1 at smoke scale.
 //! let scale = ExperimentScale::smoke();
-//! let point = fig6::run_point(&scale, 4, 105.0, 1.0);
+//! let point = fig6::run_point(&scale, 4, 105.0, 1.0)?;
 //! assert!(point.fault_free_ms > 0.0);
 //! assert!(point.degraded_ms >= point.fault_free_ms * 0.5);
+//! # Ok::<(), decluster_core::error::Error>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -44,6 +45,7 @@ pub mod runner;
 pub use runner::{Runner, SweepReport, SweepRun};
 
 use decluster_core::design::appendix;
+use decluster_core::error::Error;
 use decluster_core::layout::{DeclusteredLayout, ParityLayout, Raid5Layout};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -63,16 +65,15 @@ pub fn alpha_sweep() -> Vec<(u16, f64)> {
 /// Builds the paper's layout for stripe width `g` on 21 disks:
 /// left-symmetric RAID 5 for `g = 21`, the appendix block design otherwise.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `g` is not one of the paper's group sizes.
-pub fn paper_layout(g: u16) -> Arc<dyn ParityLayout> {
+/// Returns an error if `g` is not one of the paper's group sizes.
+pub fn paper_layout(g: u16) -> Result<Arc<dyn ParityLayout>, Error> {
     if g == PAPER_DISKS {
-        Arc::new(Raid5Layout::new(PAPER_DISKS).expect("21-disk RAID 5 always builds"))
+        Ok(Arc::new(Raid5Layout::new(PAPER_DISKS)?))
     } else {
-        let design = appendix::design_for_group_size(g)
-            .unwrap_or_else(|e| panic!("no appendix design for G={g}: {e}"));
-        Arc::new(DeclusteredLayout::new(design).expect("appendix designs always lay out"))
+        let design = appendix::design_for_group_size(g)?;
+        Ok(Arc::new(DeclusteredLayout::new(design)?))
     }
 }
 
@@ -166,11 +167,17 @@ mod tests {
     #[test]
     fn layouts_build_for_every_sweep_point() {
         for (g, alpha) in alpha_sweep() {
-            let l = paper_layout(g);
+            let l = paper_layout(g).unwrap();
             assert_eq!(l.disks(), 21);
             assert_eq!(l.stripe_width(), g);
             assert!((l.alpha() - alpha).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn unsupported_group_size_is_a_typed_error() {
+        assert!(paper_layout(7).is_err());
+        assert!(paper_layout(0).is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use crate::runner::{Runner, SweepRun};
 use crate::{paper_layout, ExperimentScale};
 use decluster_array::{ArraySim, ReconAlgorithm};
+use decluster_core::error::Error;
 use decluster_core::layout::{ChainedMirrorLayout, InterleavedMirrorLayout, ParityLayout};
 use decluster_sim::SimTime;
 use decluster_workload::WorkloadSpec;
@@ -44,15 +45,15 @@ impl Organization {
     }
 
     /// Builds the 21-disk layout.
-    pub fn layout(&self) -> Arc<dyn ParityLayout> {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unsupported parity group size.
+    pub fn layout(&self) -> Result<Arc<dyn ParityLayout>, Error> {
         match self {
             Organization::ParityDeclustered { g } => paper_layout(*g),
-            Organization::InterleavedMirror => {
-                Arc::new(InterleavedMirrorLayout::new(21).expect("21 disks suffice"))
-            }
-            Organization::ChainedMirror => {
-                Arc::new(ChainedMirrorLayout::new(21).expect("21 disks suffice"))
-            }
+            Organization::InterleavedMirror => Ok(Arc::new(InterleavedMirrorLayout::new(21)?)),
+            Organization::ChainedMirror => Ok(Arc::new(ChainedMirrorLayout::new(21)?)),
         }
     }
 }
@@ -79,27 +80,38 @@ pub struct MirrorPoint {
 }
 
 /// Measures one organization under the paper's Section 8 workload shape.
-pub fn run_point(scale: &ExperimentScale, org: Organization, rate: f64) -> MirrorPoint {
-    run_point_counted(scale, org, rate).0
+///
+/// # Errors
+///
+/// Returns an error if the organization's layout cannot be built or does
+/// not map the scaled disks.
+pub fn run_point(
+    scale: &ExperimentScale,
+    org: Organization,
+    rate: f64,
+) -> Result<MirrorPoint, Error> {
+    run_point_counted(scale, org, rate).map(|(p, _)| p)
 }
 
 /// [`run_point`], also returning the simulator events all three runs
 /// processed (the throughput denominator for [`Runner`] accounting).
+///
+/// # Errors
+///
+/// See [`run_point`].
 pub fn run_point_counted(
     scale: &ExperimentScale,
     org: Organization,
     rate: f64,
-) -> (MirrorPoint, u64) {
+) -> Result<(MirrorPoint, u64), Error> {
     let spec = WorkloadSpec::half_and_half(rate);
     let duration = SimTime::from_secs(scale.duration_secs);
     let warmup = SimTime::from_secs(scale.warmup_secs);
     let cfg = scale.array_config();
 
-    let fault_free = ArraySim::new(org.layout(), cfg, spec, 1)
-        .expect("21-disk layouts fit")
-        .run_for(duration, warmup);
-    let mut deg = ArraySim::new(org.layout(), cfg, spec, 1).expect("layout fits");
-    deg.fail_disk(0).expect("disk 0 exists and is healthy");
+    let fault_free = ArraySim::new(org.layout()?, cfg, spec, 1)?.run_for(duration, warmup);
+    let mut deg = ArraySim::new(org.layout()?, cfg, spec, 1)?;
+    deg.fail_disk(0)?;
     let degraded = deg.run_for(duration, warmup);
     let mut survivors: Vec<f64> = degraded
         .per_disk_utilization
@@ -110,35 +122,43 @@ pub fn run_point_counted(
         .collect();
     survivors.sort_by(f64::total_cmp);
     let median = survivors[survivors.len() / 2];
-    let max = *survivors.last().expect("survivors exist");
+    let max = survivors[survivors.len() - 1]; // layouts have ≥ 2 disks
     let degraded_imbalance = if median > 0.0 { max / median } else { 1.0 };
-    let mut rec = ArraySim::new(org.layout(), cfg, spec, 1).expect("layout fits");
-    rec.fail_disk(0).expect("disk 0 exists and is healthy");
-    rec.start_reconstruction(ReconAlgorithm::Redirect, 8)
-        .expect("a disk failed and processes > 0");
+    let mut rec = ArraySim::new(org.layout()?, cfg, spec, 1)?;
+    rec.fail_disk(0)?;
+    rec.start_reconstruction(ReconAlgorithm::Redirect, 8)?;
     let recon = rec.run_until_reconstructed(SimTime::from_secs(scale.recon_limit_secs));
 
     let point = MirrorPoint {
         organization: org,
-        overhead: org.layout().parity_overhead(),
+        overhead: org.layout()?.parity_overhead(),
         fault_free_ms: fault_free.all.mean_ms(),
         degraded_ms: degraded.all.mean_ms(),
         degraded_imbalance,
         recon_secs: recon.reconstruction_secs(),
         recon_user_ms: recon.user.mean_ms(),
     };
-    let events =
-        fault_free.events_processed + degraded.events_processed + recon.events_processed;
-    (point, events)
+    let events = fault_free.events_processed + degraded.events_processed + recon.events_processed;
+    Ok((point, events))
 }
 
 /// The standard comparison: G ∈ {4, 10}, RAID 5, and both mirrors.
-pub fn comparison(scale: &ExperimentScale, rate: f64) -> Vec<MirrorPoint> {
-    comparison_on(&Runner::sequential(), scale, rate).into_values()
+///
+/// # Errors
+///
+/// Returns the first failed point, in sweep order.
+pub fn comparison(scale: &ExperimentScale, rate: f64) -> Result<Vec<MirrorPoint>, Error> {
+    Ok(comparison_on(&Runner::sequential(), scale, rate)
+        .transpose()?
+        .into_values())
 }
 
 /// [`comparison`] fanned across `runner`'s workers.
-pub fn comparison_on(runner: &Runner, scale: &ExperimentScale, rate: f64) -> SweepRun<MirrorPoint> {
+pub fn comparison_on(
+    runner: &Runner,
+    scale: &ExperimentScale,
+    rate: f64,
+) -> SweepRun<Result<MirrorPoint, Error>> {
     let jobs: Vec<_> = [
         Organization::ParityDeclustered { g: 4 },
         Organization::ParityDeclustered { g: 10 },
@@ -147,7 +167,12 @@ pub fn comparison_on(runner: &Runner, scale: &ExperimentScale, rate: f64) -> Swe
         Organization::ChainedMirror,
     ]
     .into_iter()
-    .map(|org| move || run_point_counted(scale, org, rate))
+    .map(|org| {
+        move || match run_point_counted(scale, org, rate) {
+            Ok((p, events)) => (Ok(p), events),
+            Err(e) => (Err(e), 0),
+        }
+    })
     .collect();
     runner.run(jobs)
 }
@@ -159,8 +184,8 @@ mod tests {
     #[test]
     fn mirrors_write_faster_but_cost_more() {
         let scale = ExperimentScale::tiny();
-        let mirror = run_point(&scale, Organization::InterleavedMirror, 105.0);
-        let parity = run_point(&scale, Organization::ParityDeclustered { g: 4 }, 105.0);
+        let mirror = run_point(&scale, Organization::InterleavedMirror, 105.0).unwrap();
+        let parity = run_point(&scale, Organization::ParityDeclustered { g: 4 }, 105.0).unwrap();
         // Two writes beat a four-access RMW at 50% writes.
         assert!(
             mirror.fault_free_ms < parity.fault_free_ms,
@@ -177,7 +202,7 @@ mod tests {
     fn interleaved_reconstructs_and_chained_reconstructs() {
         let scale = ExperimentScale::tiny();
         for org in [Organization::InterleavedMirror, Organization::ChainedMirror] {
-            let p = run_point(&scale, org, 105.0);
+            let p = run_point(&scale, org, 105.0).unwrap();
             assert!(p.recon_secs.is_some(), "{}: {p:?}", org.name());
         }
     }
@@ -194,8 +219,8 @@ mod tests {
         // the successor runs ~1.2-1.3x hotter; interleaving spreads the
         // same reads over everyone.
         let scale = ExperimentScale::tiny();
-        let chained = run_point(&scale, Organization::ChainedMirror, 210.0);
-        let interleaved = run_point(&scale, Organization::InterleavedMirror, 210.0);
+        let chained = run_point(&scale, Organization::ChainedMirror, 210.0).unwrap();
+        let interleaved = run_point(&scale, Organization::InterleavedMirror, 210.0).unwrap();
         assert!(
             chained.degraded_imbalance > 1.1,
             "chained imbalance {} should be visible",

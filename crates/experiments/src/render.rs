@@ -32,7 +32,11 @@ pub fn fig6_table(title: &str, points: &[Fig6Point]) -> String {
             let _ = writeln!(
                 out,
                 "{:>6.2} {:>5} {:>14.1} {:>13.1} {:>14.1} {:>13.1}",
-                p.alpha, p.group, p.fault_free_ms, p.degraded_ms, p.fault_free_p90_ms,
+                p.alpha,
+                p.group,
+                p.fault_free_ms,
+                p.degraded_ms,
+                p.fault_free_p90_ms,
                 p.degraded_p90_ms
             );
         }
@@ -112,7 +116,11 @@ pub fn table_8_1(title: &str, rows: &[Fig8Point]) -> String {
     groups.dedup();
     let _ = write!(out, "{:<20}", "algorithm");
     for g in &groups {
-        let _ = write!(out, " {:>26}", format!("alpha = {:.2}", (*g - 1) as f64 / 20.0));
+        let _ = write!(
+            out,
+            " {:>26}",
+            format!("alpha = {:.2}", (*g - 1) as f64 / 20.0)
+        );
     }
     let _ = writeln!(out);
     for a in decluster_core::recon::ReconAlgorithm::ALL {
@@ -174,8 +182,14 @@ pub fn fig86_table(title: &str, points: &[Fig86Point]) -> String {
 /// Renders the Figure 4-3 scatter as a `v × k` character grid.
 pub fn fig4_scatter(points: &[Fig4Point], max_v: u16) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Figure 4-3: known block designs (x = design exists) ==");
-    let _ = writeln!(out, "rows: tuple size k (stripe width); columns: objects v (disks)");
+    let _ = writeln!(
+        out,
+        "== Figure 4-3: known block designs (x = design exists) =="
+    );
+    let _ = writeln!(
+        out,
+        "rows: tuple size k (stripe width); columns: objects v (disks)"
+    );
     let max_k = points.iter().map(|p| p.k).max().unwrap_or(2);
     let _ = write!(out, "{:>4} |", "k\\v");
     for v in 3..=max_v {

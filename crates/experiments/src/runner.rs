@@ -206,6 +206,25 @@ impl<T> SweepRun<T> {
     }
 }
 
+impl<T, E> SweepRun<Result<T, E>> {
+    /// Propagates the first failed job, keeping the per-job statistics and
+    /// wall clock when every job succeeded. Failed jobs report zero events,
+    /// so a surviving run's throughput accounting is exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first job error, in submission order.
+    pub fn transpose(self) -> Result<SweepRun<T>, E> {
+        let values = self.values.into_iter().collect::<Result<Vec<T>, E>>()?;
+        Ok(SweepRun {
+            values,
+            stats: self.stats,
+            threads: self.threads,
+            wall_secs: self.wall_secs,
+        })
+    }
+}
+
 /// Throughput summary of one sweep, as recorded in
 /// `results/bench_sweep.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -283,7 +302,10 @@ pub fn write_reports(
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let body: Vec<String> = reports.iter().map(|r| format!("  {}", r.to_json())).collect();
+    let body: Vec<String> = reports
+        .iter()
+        .map(|r| format!("  {}", r.to_json()))
+        .collect();
     std::fs::write(path, format!("[\n{}\n]\n", body.join(",\n")))
 }
 
@@ -320,11 +342,7 @@ mod tests {
 
     #[test]
     fn sequential_matches_parallel() {
-        let jobs = || {
-            (0..12u64)
-                .map(|i| move || (i * i, i))
-                .collect::<Vec<_>>()
-        };
+        let jobs = || (0..12u64).map(|i| move || (i * i, i)).collect::<Vec<_>>();
         let seq = Runner::sequential().run(jobs());
         let par = Runner::new(8).run(jobs());
         assert_eq!(seq.values, par.values);

@@ -10,8 +10,12 @@ use decluster_experiments::{csv, fig6, fig8, ExperimentScale, Runner};
 fn fig6_smoke_sweep_is_identical_across_worker_counts() {
     let scale = ExperimentScale::tiny();
     let rates = [105.0];
-    let seq = fig6::figure_6_1_on(&Runner::sequential(), &scale, &rates);
-    let par = fig6::figure_6_1_on(&Runner::new(4), &scale, &rates);
+    let seq = fig6::figure_6_1_on(&Runner::sequential(), &scale, &rates)
+        .transpose()
+        .unwrap();
+    let par = fig6::figure_6_1_on(&Runner::new(4), &scale, &rates)
+        .transpose()
+        .unwrap();
     assert_eq!(seq.values.len(), 7, "one point per alpha");
     assert_eq!(
         csv::fig6_csv(&seq.values),
@@ -27,8 +31,12 @@ fn fig6_smoke_sweep_is_identical_across_worker_counts() {
 #[test]
 fn fig8_table_rows_are_identical_across_worker_counts() {
     let scale = ExperimentScale::tiny();
-    let seq = fig8::table_8_1_on(&Runner::sequential(), &scale, 1);
-    let par = fig8::table_8_1_on(&Runner::new(8), &scale, 1);
+    let seq = fig8::table_8_1_on(&Runner::sequential(), &scale, 1)
+        .transpose()
+        .unwrap();
+    let par = fig8::table_8_1_on(&Runner::new(8), &scale, 1)
+        .transpose()
+        .unwrap();
     assert_eq!(csv::fig8_csv(&seq.values), csv::fig8_csv(&par.values));
     assert_eq!(seq.events(), par.events());
 }

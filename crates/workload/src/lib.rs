@@ -188,8 +188,7 @@ impl Workload {
         UserRequest {
             arrival: self.clock,
             kind,
-            logical_unit: self.spec.locality.draw(&mut self.rng, slots)
-                * self.spec.access_units,
+            logical_unit: self.spec.locality.draw(&mut self.rng, slots) * self.spec.access_units,
             units: self.spec.access_units,
         }
     }

@@ -11,8 +11,7 @@ use decluster_sim::SimRng;
 use serde::{Deserialize, Serialize};
 
 /// How access targets are distributed over the logical address space.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Locality {
     /// Every unit equally likely (the paper's model).
     #[default]
@@ -84,7 +83,6 @@ impl Locality {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -85,7 +85,14 @@ impl fmt::Display for Trace {
                 AccessKind::Read => 'R',
                 AccessKind::Write => 'W',
             };
-            writeln!(f, "{} {} {} {}", r.arrival.as_us(), kind, r.logical_unit, r.units)?;
+            writeln!(
+                f,
+                "{} {} {} {}",
+                r.arrival.as_us(),
+                kind,
+                r.logical_unit,
+                r.units
+            )?;
         }
         Ok(())
     }
@@ -169,11 +176,7 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_everything() {
-        let mut gen = Workload::new(
-            WorkloadSpec::new(120.0, 0.3).with_access_units(2),
-            500,
-            11,
-        );
+        let mut gen = Workload::new(WorkloadSpec::new(120.0, 0.3).with_access_units(2), 500, 11);
         let trace = Trace::record(&mut gen, SimTime::from_secs(5));
         assert!(trace.len() > 400);
         let parsed: Trace = trace.to_string().parse().unwrap();

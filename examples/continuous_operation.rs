@@ -25,8 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Phase 1+2: healthy service, then disk 7 dies at t = 20 s. Every
     // request in flight at the instant of failure is retried under the
     // degraded state; none is lost.
-    let mut sim = ArraySim::new(paper_layout(g), cfg, spec, 1)?;
-    sim.fail_disk_at(7, SimTime::from_secs(20)).expect("disk is healthy and in range");
+    let mut sim = ArraySim::new(paper_layout(g)?, cfg, spec, 1)?;
+    sim.fail_disk_at(7, SimTime::from_secs(20))
+        .expect("disk is healthy and in range");
     let transition = sim.run_for(SimTime::from_secs(60), SimTime::from_secs(2));
     println!(
         "[0-60s]   disk 7 fails at t=20s mid-run: {} requests served, mean {:.1} ms",
@@ -36,9 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Phase 3: a replacement arrives; 8-way rebuild with redirection while
     // the workload continues.
-    let mut sim = ArraySim::new(paper_layout(g), cfg, spec, 2)?;
+    let mut sim = ArraySim::new(paper_layout(g)?, cfg, spec, 2)?;
     sim.fail_disk(7).expect("disk is healthy and in range");
-    sim.start_reconstruction(ReconAlgorithm::Redirect, 8).expect("a disk failed and processes > 0");
+    sim.start_reconstruction(ReconAlgorithm::Redirect, 8)
+        .expect("a disk failed and processes > 0");
     let rebuild = sim.run_until_reconstructed(SimTime::from_secs(100_000));
     let recon_secs = rebuild.reconstruction_secs().expect("rebuild completes");
     println!(
@@ -66,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{line}");
 
     // Phase 4: fault-free again.
-    let healthy = ArraySim::new(paper_layout(g), cfg, spec, 3)?
+    let healthy = ArraySim::new(paper_layout(g)?, cfg, spec, 3)?
         .run_for(SimTime::from_secs(40), SimTime::from_secs(4));
     println!(
         "[after]   back to fault-free service: mean {:.1} ms\n",

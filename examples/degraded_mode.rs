@@ -32,7 +32,7 @@ fn main() {
             "alpha", "G", "fault-free(ms)", "degraded(ms)", "penalty"
         );
         for (g, alpha) in decluster::experiments::alpha_sweep() {
-            let p = fig6::run_point(&scale, g, 105.0, mix);
+            let p = fig6::run_point(&scale, g, 105.0, mix).expect("paper group sizes build");
             println!(
                 "{:>6.2} {:>4} {:>15.1} {:>14.1} {:>8.0}%",
                 alpha,

@@ -10,14 +10,15 @@ use decluster::workload::WorkloadSpec;
 fn main() {
     for g in [4u16, 21] {
         let mut s = ArraySim::new(
-            paper_layout(g),
+            paper_layout(g).expect("paper group sizes build"),
             ArrayConfig::paper(),
             WorkloadSpec::half_and_half(105.0),
             1,
         )
         .unwrap();
         s.fail_disk(0).expect("disk is healthy and in range");
-        s.start_reconstruction(ReconAlgorithm::Baseline, 1).expect("a disk failed and processes > 0");
+        s.start_reconstruction(ReconAlgorithm::Baseline, 1)
+            .expect("a disk failed and processes > 0");
         let r = s.run_until_reconstructed(SimTime::from_secs(100_000));
         println!(
             "G={g}: recon {:.0} s ({:.1} min), user {:.1} ms",

@@ -64,13 +64,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "G", "alpha", "criteria", "pair const", "parity/disk", "table rows", "parallel"
     );
     for (g, alpha) in alpha_sweep() {
-        let layout = paper_layout(g);
+        let layout = paper_layout(g)?;
         let report = criteria::check(layout.as_ref());
         println!(
             "{:>3} {:>6.2} {:>10} {:>12} {:>12} {:>12} {:>10}",
             g,
             alpha,
-            if report.all_hold() { "1-3 hold" } else { "VIOLATED" },
+            if report.all_hold() {
+                "1-3 hold"
+            } else {
+                "VIOLATED"
+            },
             report
                 .distributed_reconstruction
                 .as_ref()

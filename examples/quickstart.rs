@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("decluster quickstart: 21 disks, 105 user accesses/s, 50% reads\n");
 
     for g in [4u16, 21] {
-        let layout = paper_layout(g);
+        let layout = paper_layout(g)?;
         println!(
             "--- G = {g} (alpha = {:.2}, parity overhead {:.0}%) {}",
             layout.alpha(),
@@ -41,9 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // 2. Degraded mode: disk 0 dead, no replacement yet.
         let mut degraded_sim = ArraySim::new(layout.clone(), cfg, spec, 1)?;
-        degraded_sim.fail_disk(0).expect("disk is healthy and in range");
-        let degraded =
-            degraded_sim.run_for(SimTime::from_secs(40), SimTime::from_secs(4));
+        degraded_sim
+            .fail_disk(0)
+            .expect("disk is healthy and in range");
+        let degraded = degraded_sim.run_for(SimTime::from_secs(40), SimTime::from_secs(4));
         println!(
             "    degraded:    {:6.1} ms mean response",
             degraded.all.mean_ms()
@@ -52,8 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // 3. Reconstruction: replacement installed, 8-way rebuild with
         //    redirection of reads.
         let mut rebuild_sim = ArraySim::new(layout, cfg, spec, 1)?;
-        rebuild_sim.fail_disk(0).expect("disk is healthy and in range");
-        rebuild_sim.start_reconstruction(ReconAlgorithm::Redirect, 8).expect("a disk failed and processes > 0");
+        rebuild_sim
+            .fail_disk(0)
+            .expect("disk is healthy and in range");
+        rebuild_sim
+            .start_reconstruction(ReconAlgorithm::Redirect, 8)
+            .expect("a disk failed and processes > 0");
         let rebuilt = rebuild_sim.run_until_reconstructed(SimTime::from_secs(50_000));
         println!(
             "    rebuilding:  {:6.1} ms mean response, reconstructed in {:.0} s",

@@ -37,9 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let cfg = ArrayConfig::scaled(118);
     let spec = WorkloadSpec::half_and_half(105.0);
-    println!(
-        "Rebuild race: 21 disks, G = {g} (alpha = {alpha:.2}), 105 accesses/s, 50% reads"
-    );
+    println!("Rebuild race: 21 disks, G = {g} (alpha = {alpha:.2}), 105 accesses/s, 50% reads");
     println!("(shrunken disks: absolute times are ~1/8 of full-capacity runs)\n");
 
     for processes in [1usize, 8] {
@@ -49,9 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "algorithm", "rebuild (s)", "user mean(ms)", "user p90(ms)", "user-built"
         );
         for algorithm in ReconAlgorithm::ALL {
-            let mut sim = ArraySim::new(paper_layout(g), cfg, spec, 1)?;
+            let mut sim = ArraySim::new(paper_layout(g)?, cfg, spec, 1)?;
             sim.fail_disk(0).expect("disk is healthy and in range");
-            sim.start_reconstruction(algorithm, processes).expect("a disk failed and processes > 0");
+            sim.start_reconstruction(algorithm, processes)
+                .expect("a disk failed and processes > 0");
             let report = sim.run_until_reconstructed(SimTime::from_secs(100_000));
             println!(
                 "{:<20} {:>12.1} {:>14.1} {:>14.1} {:>12}",

@@ -39,10 +39,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let groups: Vec<u16> = alpha_sweep().into_iter().map(|(g, _)| g).collect();
     let table = reliability::tradeoff_table(21, MTBF_HOURS, &groups, |g| {
-        let mut sim = ArraySim::new(paper_layout(g), cfg, spec, 1)
-            .expect("paper layouts fit scaled disks");
+        let mut sim = ArraySim::new(
+            paper_layout(g).expect("paper group sizes build"),
+            cfg,
+            spec,
+            1,
+        )
+        .expect("paper layouts fit scaled disks");
         sim.fail_disk(0).expect("disk is healthy and in range");
-        sim.start_reconstruction(ReconAlgorithm::Redirect, 8).expect("a disk failed and processes > 0");
+        sim.start_reconstruction(ReconAlgorithm::Redirect, 8)
+            .expect("a disk failed and processes > 0");
         let report = sim.run_until_reconstructed(SimTime::from_secs(100_000));
         let secs = report
             .reconstruction_secs()

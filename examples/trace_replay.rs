@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = WorkloadSpec::half_and_half(60.0).with_locality(Locality::eighty_twenty());
 
     // 1. Record a 30-second request stream from the synthetic generator.
-    let data_units = ArraySim::new(paper_layout(4), cfg, spec, 1)?
+    let data_units = ArraySim::new(paper_layout(4)?, cfg, spec, 1)?
         .mapping()
         .data_units();
     let mut generator = Workload::new(spec, data_units, 12345);
@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Replay into two identically configured arrays: results match
     //    exactly (the simulator is a pure function of trace + config).
     let run = |trace: Trace| -> Result<_, Box<dyn std::error::Error>> {
-        Ok(ArraySim::with_trace(paper_layout(4), cfg, trace)?
+        Ok(ArraySim::with_trace(paper_layout(4)?, cfg, trace)?
             .run_for(SimTime::from_secs(30), SimTime::from_secs(3)))
     };
     let first = run(trace.clone())?;

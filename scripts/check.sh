@@ -1,9 +1,13 @@
 #!/usr/bin/env sh
-# Full local gate: release build, test suite, and lint-clean clippy.
+# Full local gate: formatting, release build, test suite, lint-clean
+# clippy, and campaign smoke runs (including the scrub/crash arms).
 # Run from the repository root: scripts/check.sh
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
 
 echo "==> cargo build --release"
 cargo build --release
@@ -16,8 +20,22 @@ cargo clippy --workspace -- -D warnings
 
 echo "==> campaign smoke (tiny Monte Carlo data-loss campaign + replay)"
 cargo run --release -q -p decluster-bench --bin campaign -- \
-    --cylinders 30 --trials 4 --out results/campaign_smoke.json
+    --cylinders 30 --trials 4 --scrub-trials 0 --crash-trials 0 \
+    --out results/campaign_smoke.json
 cargo run --release -q -p decluster-bench --bin campaign -- \
     --cylinders 30 --trials 4 --replay declustered-g4 0
+
+echo "==> scrub/crash campaign smoke (arms on, output to a temp dir)"
+SCRUB_SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SCRUB_SMOKE_DIR"' EXIT
+cargo run --release -q -p decluster-bench --bin campaign -- \
+    --cylinders 30 --trials 2 --scrub-trials 2 --crash-trials 1 \
+    --out "$SCRUB_SMOKE_DIR/campaign_scrub_smoke.json"
+cargo run --release -q -p decluster-bench --bin campaign -- \
+    --cylinders 30 --trials 2 --scrub-trials 2 --crash-trials 1 \
+    --replay-scrub declustered-g4 0 on
+cargo run --release -q -p decluster-bench --bin campaign -- \
+    --cylinders 30 --trials 2 --scrub-trials 2 --crash-trials 1 \
+    --replay-crash declustered-g4 0
 
 echo "==> all checks passed"

@@ -15,8 +15,7 @@ use decluster::analytic::reliability;
 use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm};
 use decluster::core::design::catalog;
 use decluster::core::layout::{
-    criteria, tabular, vulnerability, DeclusteredLayout, ParityLayout, Raid5Layout,
-    TabularLayout,
+    criteria, tabular, vulnerability, DeclusteredLayout, ParityLayout, Raid5Layout, TabularLayout,
 };
 use decluster::sim::SimTime;
 use decluster::workload::WorkloadSpec;
@@ -117,7 +116,11 @@ fn report_criteria(layout: &dyn ParityLayout) {
     let report = criteria::check(layout);
     println!(
         "criteria 1-3: {}",
-        if report.all_hold() { "hold" } else { "VIOLATED" }
+        if report.all_hold() {
+            "hold"
+        } else {
+            "VIOLATED"
+        }
     );
     match &report.distributed_reconstruction {
         Ok(k) => println!("  pair constant (stripes shared per disk pair/table): {k}"),
@@ -127,7 +130,10 @@ fn report_criteria(layout: &dyn ParityLayout) {
         Ok(p) => println!("  parity units per disk per table: {p}"),
         Err(e) => println!("  distributed parity violated: {e}"),
     }
-    println!("  table height (criterion 4 metric): {}", report.table_height);
+    println!(
+        "  table height (criterion 4 metric): {}",
+        report.table_height
+    );
 }
 
 fn cmd_layout(args: &[String]) -> Result<(), String> {
@@ -255,7 +261,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 
     match (fail, rebuild) {
         (None, _) => {
-            let r = sim.run_for(SimTime::from_secs(seconds), SimTime::from_secs(seconds / 10));
+            let r = sim.run_for(
+                SimTime::from_secs(seconds),
+                SimTime::from_secs(seconds / 10),
+            );
             println!(
                 "fault-free: {} requests, mean {:.1} ms, p90 {:.1} ms, disk utilization {:.0}%",
                 r.requests_measured,
@@ -266,7 +275,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         }
         (Some(disk), None) => {
             sim.fail_disk(disk).map_err(|e| e.to_string())?;
-            let r = sim.run_for(SimTime::from_secs(seconds), SimTime::from_secs(seconds / 10));
+            let r = sim.run_for(
+                SimTime::from_secs(seconds),
+                SimTime::from_secs(seconds / 10),
+            );
             println!(
                 "degraded (disk {disk} dead): {} requests, mean {:.1} ms, p90 {:.1} ms",
                 r.requests_measured,

@@ -37,13 +37,13 @@
 //! use decluster::workload::WorkloadSpec;
 //!
 //! let mut sim = ArraySim::new(
-//!     paper_layout(4),
+//!     paper_layout(4)?,
 //!     ArrayConfig::paper(),
 //!     WorkloadSpec::half_and_half(105.0),
 //!     1,
 //! )?;
-//! sim.fail_disk(0);
-//! sim.start_reconstruction(ReconAlgorithm::Redirect, 8);
+//! sim.fail_disk(0)?;
+//! sim.start_reconstruction(ReconAlgorithm::Redirect, 8)?;
 //! let report = sim.run_until_reconstructed(SimTime::from_secs(100_000));
 //! println!(
 //!     "rebuilt in {:?}, user response {:.1} ms",

@@ -13,9 +13,14 @@ fn cfg() -> ArrayConfig {
 #[test]
 fn steady_state_runs_are_bit_identical() {
     let run = || {
-        ArraySim::new(paper_layout(4), cfg(), WorkloadSpec::half_and_half(60.0), 7)
-            .unwrap()
-            .run_for(SimTime::from_secs(20), SimTime::from_secs(2))
+        ArraySim::new(
+            paper_layout(4).unwrap(),
+            cfg(),
+            WorkloadSpec::half_and_half(60.0),
+            7,
+        )
+        .unwrap()
+        .run_for(SimTime::from_secs(20), SimTime::from_secs(2))
     };
     let a = run();
     let b = run();
@@ -25,11 +30,16 @@ fn steady_state_runs_are_bit_identical() {
 #[test]
 fn reconstruction_runs_are_bit_identical() {
     let run = || {
-        let mut s =
-            ArraySim::new(paper_layout(4), cfg(), WorkloadSpec::half_and_half(60.0), 7)
-                .unwrap();
+        let mut s = ArraySim::new(
+            paper_layout(4).unwrap(),
+            cfg(),
+            WorkloadSpec::half_and_half(60.0),
+            7,
+        )
+        .unwrap();
         s.fail_disk(5).expect("disk is healthy and in range");
-        s.start_reconstruction(ReconAlgorithm::RedirectPiggyback, 4).expect("a disk failed and processes > 0");
+        s.start_reconstruction(ReconAlgorithm::RedirectPiggyback, 4)
+            .expect("a disk failed and processes > 0");
         s.run_until_reconstructed(SimTime::from_secs(50_000))
     };
     let a = run();
@@ -45,7 +55,7 @@ fn reconstruction_runs_are_bit_identical() {
 fn different_seed_streams_differ() {
     let run = |stream| {
         ArraySim::new(
-            paper_layout(4),
+            paper_layout(4).unwrap(),
             cfg(),
             WorkloadSpec::half_and_half(60.0),
             stream,
@@ -68,7 +78,7 @@ fn results_are_stable_across_seeds_in_aggregate() {
     // figures report is robust.
     let mean = |stream| {
         ArraySim::new(
-            paper_layout(4),
+            paper_layout(4).unwrap(),
             cfg(),
             WorkloadSpec::all_reads(60.0),
             stream,

@@ -39,7 +39,10 @@ fn service_time_is_physically_bounded() {
         // Position the head somewhere by serving one access first.
         let now = SimTime::from_ms(now_ms);
         let c0 = disk
-            .submit(now, DiskRequest::new(0, head_warm.0, head_warm.1, IoKind::Read))
+            .submit(
+                now,
+                DiskRequest::new(0, head_warm.0, head_warm.1, IoKind::Read),
+            )
             .unwrap();
         disk.complete(c0.at);
         let t0 = c0.at;
@@ -96,18 +99,27 @@ fn every_request_completes_once() {
         let mut last = SimTime::ZERO;
         let mut current = next.expect("first submit starts service");
         loop {
-            assert!(current.at >= last, "case {case}: completions went backwards");
+            assert!(
+                current.at >= last,
+                "case {case}: completions went backwards"
+            );
             last = current.at;
             let (io, nxt) = disk.complete(current.at);
             let id = io.id;
-            assert!(!done[id as usize], "case {case}: request {id} completed twice");
+            assert!(
+                !done[id as usize],
+                "case {case}: request {id} completed twice"
+            );
             done[id as usize] = true;
             match nxt {
                 Some(c) => current = c,
                 None => break,
             }
         }
-        assert!(done.iter().all(|&d| d), "case {case}: requests dropped: {done:?}");
+        assert!(
+            done.iter().all(|&d| d),
+            "case {case}: requests dropped: {done:?}"
+        );
         assert_eq!(disk.stats().ios, reqs.len() as u64, "case {case}");
     }
 }
@@ -171,6 +183,9 @@ fn utilization_bounded() {
         assert!(util <= 1.0 + 1e-9, "case {case}: utilization {util}");
         // Back-to-back service with a non-empty queue: the disk never
         // idles, so utilization is exactly 1 up to rounding.
-        assert!(util > 0.99, "case {case}: saturated disk underutilized: {util}");
+        assert!(
+            util > 0.99,
+            "case {case}: saturated disk underutilized: {util}"
+        );
     }
 }

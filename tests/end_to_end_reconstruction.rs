@@ -31,7 +31,7 @@ fn exercise(layout: Arc<dyn ParityLayout>, units_per_disk: u64, seed: u64, faile
         array.write(logical, &v);
         shadow.insert(logical, v);
     }
-    array.fail_disk(failed);
+    array.fail_disk(failed).expect("first failure is legal");
     for _ in 0..200 {
         let logical = rng.below(array.data_units());
         if rng.chance(0.5) {
@@ -42,9 +42,13 @@ fn exercise(layout: Arc<dyn ParityLayout>, units_per_disk: u64, seed: u64, faile
             shadow.insert(logical, v);
         }
     }
-    array.replace_disk();
+    array
+        .replace_disk()
+        .expect("a failed disk awaits replacement");
     for offset in 0..units_per_disk {
-        array.reconstruct_unit(offset);
+        array
+            .reconstruct_unit(offset)
+            .expect("replacement installed");
         if offset % 5 == 0 {
             let logical = rng.below(array.data_units());
             let v = random_unit(&mut rng);
@@ -52,12 +56,14 @@ fn exercise(layout: Arc<dyn ParityLayout>, units_per_disk: u64, seed: u64, faile
             shadow.insert(logical, v);
         }
     }
-    array.reconstruct_all();
+    array.reconstruct_all().expect("replacement installed");
 
     for (logical, v) in &shadow {
         assert_eq!(&array.read(*logical), v, "logical {logical} after rebuild");
     }
-    array.verify_parity().expect("parity consistent after rebuild");
+    array
+        .verify_parity()
+        .expect("parity consistent after rebuild");
 }
 
 #[test]
@@ -66,9 +72,7 @@ fn every_appendix_layout_survives_failure_and_rebuild() {
         let layout: Arc<dyn ParityLayout> = if g == 21 {
             Arc::new(Raid5Layout::new(21).unwrap())
         } else {
-            Arc::new(
-                DeclusteredLayout::new(appendix::design_for_group_size(g).unwrap()).unwrap(),
-            )
+            Arc::new(DeclusteredLayout::new(appendix::design_for_group_size(g).unwrap()).unwrap())
         };
         // One full table plus change, to exercise truncation.
         let units = layout.table_height() + layout.table_height() / 3;
@@ -103,9 +107,8 @@ fn random_history_never_loses_data() {
         let c = 5 + rng.below(4) as u16; // 5..=8 (always >= g)
         let failed = rng.below(5) as u16;
         let seed = rng.below(1_000);
-        let layout: Arc<dyn ParityLayout> = Arc::new(
-            DeclusteredLayout::new(BlockDesign::complete(c, g).unwrap()).unwrap(),
-        );
+        let layout: Arc<dyn ParityLayout> =
+            Arc::new(DeclusteredLayout::new(BlockDesign::complete(c, g).unwrap()).unwrap());
         let units = layout.table_height() * 2 + 3;
         exercise(layout, units, seed, failed % c);
     }

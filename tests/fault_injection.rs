@@ -21,7 +21,7 @@ fn cfg() -> ArrayConfig {
 }
 
 fn mapping_for(cfg: &ArrayConfig, g: u16) -> ArrayMapping {
-    ArrayMapping::new(paper_layout(g), cfg.data_units_per_disk()).unwrap()
+    ArrayMapping::new(paper_layout(g).unwrap(), cfg.data_units_per_disk()).unwrap()
 }
 
 /// Stripe ids holding units on both disks, straight from the mapping.
@@ -44,20 +44,36 @@ fn degraded_second_failure_loses_exactly_the_shared_stripes() {
     let expected = sharing(&mapping_for(&cfg, 4), 0, 5);
     assert!(!expected.is_empty(), "test layout must share stripes");
 
-    let mut sim = ArraySim::new(paper_layout(4), cfg, WorkloadSpec::half_and_half(40.0), 3)
-        .unwrap();
+    let mut sim = ArraySim::new(
+        paper_layout(4).unwrap(),
+        cfg,
+        WorkloadSpec::half_and_half(40.0),
+        3,
+    )
+    .unwrap();
     sim.fail_disk(0).unwrap();
     sim.inject_faults(&FaultPlan::new().fail_at(5, SimTime::from_secs(10)))
         .unwrap();
     let report = sim.run_for(SimTime::from_secs(30), SimTime::from_secs(2));
 
-    assert_eq!(report.data_loss.second_failure, Some((5, SimTime::from_secs(10))));
-    assert_eq!(report.elapsed, SimTime::from_secs(10), "run ends at the fatal fault");
+    assert_eq!(
+        report.data_loss.second_failure,
+        Some((5, SimTime::from_secs(10)))
+    );
+    assert_eq!(
+        report.elapsed,
+        SimTime::from_secs(10),
+        "run ends at the fatal fault"
+    );
     let ids: Vec<u64> = report.data_loss.stripes.iter().map(|l| l.stripe).collect();
     assert_eq!(ids, expected);
     for l in &report.data_loss.stripes {
         assert_eq!(l.cause, LossCause::SecondDiskFailure);
-        assert_eq!(l.data_units + l.parity_units, 2, "exactly two units straddle");
+        assert_eq!(
+            l.data_units + l.parity_units,
+            2,
+            "exactly two units straddle"
+        );
     }
 }
 
@@ -68,21 +84,33 @@ fn rebuild_progress_shrinks_the_lost_set() {
     let cfg = cfg();
     let worst = sharing(&mapping_for(&cfg, 4), 0, 7).len();
     let run_with_fault_at = |secs: f64| {
-        let mut sim =
-            ArraySim::new(paper_layout(4), cfg.clone(), WorkloadSpec::half_and_half(40.0), 3)
-                .unwrap();
+        let mut sim = ArraySim::new(
+            paper_layout(4).unwrap(),
+            cfg,
+            WorkloadSpec::half_and_half(40.0),
+            3,
+        )
+        .unwrap();
         sim.fail_disk(0).unwrap();
-        sim.start_reconstruction(ReconAlgorithm::Baseline, 4).unwrap();
+        sim.start_reconstruction(ReconAlgorithm::Baseline, 4)
+            .unwrap();
         sim.inject_faults(&FaultPlan::new().fail_at(7, SimTime::from_secs_f64(secs)))
             .unwrap();
         sim.run_until_reconstructed(SimTime::from_secs(10_000))
     };
 
     // Calibrate a clean rebuild, then inject early and late.
-    let mut clean = ArraySim::new(paper_layout(4), cfg, WorkloadSpec::half_and_half(40.0), 3)
-        .unwrap();
+    let mut clean = ArraySim::new(
+        paper_layout(4).unwrap(),
+        cfg,
+        WorkloadSpec::half_and_half(40.0),
+        3,
+    )
+    .unwrap();
     clean.fail_disk(0).unwrap();
-    clean.start_reconstruction(ReconAlgorithm::Baseline, 4).unwrap();
+    clean
+        .start_reconstruction(ReconAlgorithm::Baseline, 4)
+        .unwrap();
     let t = clean
         .run_until_reconstructed(SimTime::from_secs(10_000))
         .reconstruction_secs()
@@ -92,8 +120,14 @@ fn rebuild_progress_shrinks_the_lost_set() {
     let late = run_with_fault_at(0.75 * t);
     let (e, l) = (early.data_loss.stripes.len(), late.data_loss.stripes.len());
     assert!(e > 0, "an early second fault must lose data");
-    assert!(l < e, "late fault ({l} stripes) must lose less than early ({e})");
-    assert!(e <= worst, "loss ({e}) cannot exceed the shared-stripe count ({worst})");
+    assert!(
+        l < e,
+        "late fault ({l} stripes) must lose less than early ({e})"
+    );
+    assert!(
+        e <= worst,
+        "loss ({e}) cannot exceed the shared-stripe count ({worst})"
+    );
     let fe = early.data_loss.rebuilt_fraction_before_loss().unwrap();
     let fl = late.data_loss.rebuilt_fraction_before_loss().unwrap();
     assert!(fe < fl, "rebuilt fractions must order with the fault times");
@@ -115,8 +149,13 @@ fn distributed_sparing_spare_disk_failure_after_rebuild_loses_nothing() {
         .expect("rebuild relocates at least one unit")
         .disk;
 
-    let mut sim =
-        ArraySim::new(paper_layout(4), cfg, WorkloadSpec::half_and_half(40.0), 3).unwrap();
+    let mut sim = ArraySim::new(
+        paper_layout(4).unwrap(),
+        cfg,
+        WorkloadSpec::half_and_half(40.0),
+        3,
+    )
+    .unwrap();
     sim.fail_disk(0).unwrap();
     sim.start_reconstruction_distributed(ReconAlgorithm::Baseline, 4)
         .unwrap();
@@ -125,13 +164,19 @@ fn distributed_sparing_spare_disk_failure_after_rebuild_loses_nothing() {
         .unwrap();
     let report = sim.run_until_reconstructed(SimTime::from_secs(10_000));
 
-    assert!(report.reconstruction_time.is_some(), "rebuild finishes first");
+    assert!(
+        report.reconstruction_time.is_some(),
+        "rebuild finishes first"
+    );
     assert!(
         report.data_loss.is_empty(),
         "spare placement must survive the spare-holder's failure: {:?}",
         report.data_loss.stripes
     );
-    assert_eq!(report.data_loss.second_failure, Some((second, SimTime::from_secs(5_000))));
+    assert_eq!(
+        report.data_loss.second_failure,
+        Some((second, SimTime::from_secs(5_000)))
+    );
 }
 
 /// Mid-rebuild loss under distributed sparing stays within the pure
@@ -150,8 +195,13 @@ fn distributed_sparing_mid_rebuild_loss_matches_the_pure_assessment() {
         .map(|l| l.stripe)
         .collect();
 
-    let mut sim =
-        ArraySim::new(paper_layout(4), cfg, WorkloadSpec::half_and_half(40.0), 3).unwrap();
+    let mut sim = ArraySim::new(
+        paper_layout(4).unwrap(),
+        cfg,
+        WorkloadSpec::half_and_half(40.0),
+        3,
+    )
+    .unwrap();
     sim.fail_disk(0).unwrap();
     sim.start_reconstruction_distributed(ReconAlgorithm::Baseline, 4)
         .unwrap();
@@ -159,7 +209,10 @@ fn distributed_sparing_mid_rebuild_loss_matches_the_pure_assessment() {
         .unwrap();
     let report = sim.run_until_reconstructed(SimTime::from_secs(10_000));
 
-    assert!(!report.data_loss.is_empty(), "mid-rebuild fault must lose data");
+    assert!(
+        !report.data_loss.is_empty(),
+        "mid-rebuild fault must lose data"
+    );
     for l in &report.data_loss.stripes {
         assert!(
             worst.contains(&l.stripe),
@@ -171,7 +224,11 @@ fn distributed_sparing_mid_rebuild_loss_matches_the_pure_assessment() {
             || units.iter().any(|u| {
                 u.disk == 0 && spares.spare_of(u.offset).is_some_and(|s| s.disk == second)
             });
-        assert!(explainable, "stripe {} lost for no modelled reason", l.stripe);
+        assert!(
+            explainable,
+            "stripe {} lost for no modelled reason",
+            l.stripe
+        );
     }
 }
 
@@ -186,10 +243,16 @@ fn fault_plans_are_deterministic_end_to_end() {
                 .with_transient_rate(0.01)
                 .with_seed(11),
         );
-        let mut sim =
-            ArraySim::new(paper_layout(4), cfg, WorkloadSpec::half_and_half(40.0), 5).unwrap();
+        let mut sim = ArraySim::new(
+            paper_layout(4).unwrap(),
+            cfg,
+            WorkloadSpec::half_and_half(40.0),
+            5,
+        )
+        .unwrap();
         sim.fail_disk(0).unwrap();
-        sim.start_reconstruction(ReconAlgorithm::Baseline, 2).unwrap();
+        sim.start_reconstruction(ReconAlgorithm::Baseline, 2)
+            .unwrap();
         sim.inject_faults(&FaultPlan::new().fail_at(3, SimTime::from_secs(12)))
             .unwrap();
         sim.run_until_reconstructed(SimTime::from_secs(10_000))
@@ -197,5 +260,8 @@ fn fault_plans_are_deterministic_end_to_end() {
     let a = run();
     let b = run();
     assert_eq!(a, b);
-    assert_eq!(a.data_loss.second_failure, Some((3, SimTime::from_secs(12))));
+    assert_eq!(
+        a.data_loss.second_failure,
+        Some((3, SimTime::from_secs(12)))
+    );
 }

@@ -8,8 +8,8 @@
 
 use decluster::core::design::{catalog, BlockDesign};
 use decluster::core::layout::{
-    criteria, tabular, ArrayMapping, DeclusteredLayout, ParityLayout, Raid5Layout,
-    TabularLayout, UnitRole,
+    criteria, tabular, ArrayMapping, DeclusteredLayout, ParityLayout, Raid5Layout, TabularLayout,
+    UnitRole,
 };
 use decluster::sim::SimRng;
 use std::sync::Arc;
@@ -41,7 +41,9 @@ fn build_layout(v: u16, k: u16) -> Option<DeclusteredLayout> {
 #[test]
 fn catalog_layouts_meet_criteria() {
     for (v, k) in small_catalog_pairs() {
-        let Some(layout) = build_layout(v, k) else { continue };
+        let Some(layout) = build_layout(v, k) else {
+            continue;
+        };
         let report = criteria::check(&layout);
         assert!(report.all_hold(), "v={v} k={k}: {report:?}");
     }
@@ -53,7 +55,9 @@ fn catalog_layouts_meet_criteria() {
 fn role_location_inverse() {
     let mut rng = SimRng::new(0x5EED_1001);
     for (v, k) in small_catalog_pairs() {
-        let Some(layout) = build_layout(v, k) else { continue };
+        let Some(layout) = build_layout(v, k) else {
+            continue;
+        };
         for _ in 0..24 {
             let offset = rng.below(5_000);
             let disk = (rng.below(100) % layout.disks() as u64) as u16;
@@ -86,7 +90,9 @@ fn role_location_inverse() {
 fn mapping_round_trips() {
     let mut rng = SimRng::new(0x5EED_1002);
     for (v, k) in small_catalog_pairs() {
-        let Some(layout) = build_layout(v, k) else { continue };
+        let Some(layout) = build_layout(v, k) else {
+            continue;
+        };
         let layout: Arc<dyn ParityLayout> = Arc::new(layout);
         for _ in 0..6 {
             let units = 1 + rng.below(3_999);
@@ -123,7 +129,9 @@ fn mapping_round_trips() {
 fn truncation_never_splits_stripes() {
     let mut rng = SimRng::new(0x5EED_1003);
     for (v, k) in small_catalog_pairs() {
-        let Some(layout) = build_layout(v, k) else { continue };
+        let Some(layout) = build_layout(v, k) else {
+            continue;
+        };
         let layout: Arc<dyn ParityLayout> = Arc::new(layout);
         for _ in 0..6 {
             let units = 1 + rng.below(3_999);
@@ -151,7 +159,9 @@ fn truncation_never_splits_stripes() {
 #[test]
 fn tabular_round_trip() {
     for (v, k) in small_catalog_pairs() {
-        let Some(layout) = build_layout(v, k) else { continue };
+        let Some(layout) = build_layout(v, k) else {
+            continue;
+        };
         let parsed: TabularLayout = tabular::export(&layout).parse().unwrap();
         assert_eq!(parsed.disks(), layout.disks());
         assert_eq!(parsed.table_height(), layout.table_height());

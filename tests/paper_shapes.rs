@@ -20,9 +20,9 @@ fn declustering_monotonically_softens_degraded_reads() {
     // Figure 6-1: degraded-mode read response time should rise with α
     // (more survivors touched per on-the-fly reconstruction).
     let s = scale();
-    let low = fig6::run_point(&s, 4, 105.0, 1.0);
-    let mid = fig6::run_point(&s, 10, 105.0, 1.0);
-    let high = fig6::run_point(&s, 21, 105.0, 1.0);
+    let low = fig6::run_point(&s, 4, 105.0, 1.0).unwrap();
+    let mid = fig6::run_point(&s, 10, 105.0, 1.0).unwrap();
+    let high = fig6::run_point(&s, 21, 105.0, 1.0).unwrap();
     assert!(
         low.degraded_ms < mid.degraded_ms && mid.degraded_ms < high.degraded_ms,
         "degraded reads not monotone in alpha: {} {} {}",
@@ -38,8 +38,8 @@ fn fault_free_performance_does_not_pay_for_declustering() {
     // healthy (away from the G=3 write-optimization special case).
     let s = scale();
     for mix in [1.0, 0.0] {
-        let a = fig6::run_point(&s, 4, 105.0, mix);
-        let b = fig6::run_point(&s, 21, 105.0, mix);
+        let a = fig6::run_point(&s, 4, 105.0, mix).unwrap();
+        let b = fig6::run_point(&s, 21, 105.0, mix).unwrap();
         let ratio = a.fault_free_ms / b.fault_free_ms;
         assert!(
             (0.75..1.33).contains(&ratio),
@@ -56,6 +56,7 @@ fn reconstruction_time_rises_with_alpha() {
         .into_iter()
         .map(|g| {
             fig8::run_point(&s, g, 105.0, ReconAlgorithm::Baseline, 1)
+                .unwrap()
                 .recon_secs
                 .expect("reconstruction completes at light load")
         })
@@ -78,8 +79,8 @@ fn user_response_during_recovery_improves_with_declustering() {
     // Figure 8-2: at 105 accesses/s the paper reports ~33% lower response
     // time at α = 0.15 than RAID 5.
     let s = scale();
-    let low = fig8::run_point(&s, 4, 105.0, ReconAlgorithm::Baseline, 1);
-    let high = fig8::run_point(&s, 21, 105.0, ReconAlgorithm::Baseline, 1);
+    let low = fig8::run_point(&s, 4, 105.0, ReconAlgorithm::Baseline, 1).unwrap();
+    let high = fig8::run_point(&s, 21, 105.0, ReconAlgorithm::Baseline, 1).unwrap();
     assert!(
         low.user_ms < high.user_ms * 0.9,
         "α=0.15 response {} vs RAID 5 {}",
@@ -94,8 +95,8 @@ fn eight_way_reconstruction_is_much_faster_but_degrades_response() {
     // 35–75% worse response time. At tiny scale we accept >2x and any
     // response degradation.
     let s = scale();
-    let one = fig8::run_point(&s, 10, 105.0, ReconAlgorithm::Baseline, 1);
-    let eight = fig8::run_point(&s, 10, 105.0, ReconAlgorithm::Baseline, 8);
+    let one = fig8::run_point(&s, 10, 105.0, ReconAlgorithm::Baseline, 1).unwrap();
+    let eight = fig8::run_point(&s, 10, 105.0, ReconAlgorithm::Baseline, 8).unwrap();
     let speedup = one.recon_secs.unwrap() / eight.recon_secs.unwrap();
     assert!(speedup > 2.0, "8-way speedup only {speedup}");
     assert!(
@@ -118,7 +119,10 @@ fn simple_algorithms_win_at_low_alpha_with_parallel_reconstruction() {
         .map(|a| {
             (
                 a,
-                fig8::run_point(&s, 4, 210.0, a, 8).recon_secs.unwrap(),
+                fig8::run_point(&s, 4, 210.0, a, 8)
+                    .unwrap()
+                    .recon_secs
+                    .unwrap(),
             )
         })
         .collect();
@@ -135,8 +139,8 @@ fn redirect_helps_heavily_loaded_raid5_response() {
     // Section 8.2: redirection of reads buys 10–15% response-time
     // reduction in heavily-loaded RAID 5 arrays.
     let s = scale();
-    let baseline = fig8::run_point(&s, 21, 210.0, ReconAlgorithm::Baseline, 1);
-    let redirect = fig8::run_point(&s, 21, 210.0, ReconAlgorithm::Redirect, 1);
+    let baseline = fig8::run_point(&s, 21, 210.0, ReconAlgorithm::Baseline, 1).unwrap();
+    let redirect = fig8::run_point(&s, 21, 210.0, ReconAlgorithm::Redirect, 1).unwrap();
     assert!(
         redirect.user_ms < baseline.user_ms,
         "redirect {} should beat baseline {} on RAID 5 at 210/s",
@@ -152,6 +156,7 @@ fn muntz_lui_model_is_pessimistic_and_orders_algorithms_differently() {
     // redirect — opposite to what the simulator shows at low alpha.
     let s = scale();
     let sim = fig8::run_point(&s, 4, 105.0, ReconAlgorithm::Redirect, 8)
+        .unwrap()
         .recon_secs
         .unwrap();
     let model = fig86::model_for(&s, 4, 105.0)
@@ -170,8 +175,8 @@ fn piggyback_changes_little_over_redirect() {
     // Section 8.2: "piggybacking of writes yields very little improvement
     // or penalty over redirection of reads alone."
     let s = scale();
-    let rd = fig8::run_point(&s, 10, 105.0, ReconAlgorithm::Redirect, 1);
-    let pb = fig8::run_point(&s, 10, 105.0, ReconAlgorithm::RedirectPiggyback, 1);
+    let rd = fig8::run_point(&s, 10, 105.0, ReconAlgorithm::Redirect, 1).unwrap();
+    let pb = fig8::run_point(&s, 10, 105.0, ReconAlgorithm::RedirectPiggyback, 1).unwrap();
     let t_ratio = pb.recon_secs.unwrap() / rd.recon_secs.unwrap();
     let r_ratio = pb.user_ms / rd.user_ms;
     assert!((0.7..1.3).contains(&t_ratio), "recon ratio {t_ratio}");
@@ -183,7 +188,7 @@ fn parsed_layout_table_drives_the_simulator() {
     // Export the paper's G=4 layout to the portable text format, parse it
     // back, and run a reconstruction on the parsed table: identical
     // behaviour to the native layout, seed for seed.
-    let native = paper_layout(4);
+    let native = paper_layout(4).unwrap();
     let parsed: TabularLayout = tabular::export(native.as_ref()).parse().unwrap();
     let run = |layout: Arc<dyn decluster::core::layout::ParityLayout>| {
         let mut s = ArraySim::new(
@@ -194,7 +199,8 @@ fn parsed_layout_table_drives_the_simulator() {
         )
         .unwrap();
         s.fail_disk(0).expect("disk is healthy and in range");
-        s.start_reconstruction(ReconAlgorithm::Redirect, 4).expect("a disk failed and processes > 0");
+        s.start_reconstruction(ReconAlgorithm::Redirect, 4)
+            .expect("a disk failed and processes > 0");
         s.run_until_reconstructed(SimTime::from_secs(100_000))
     };
     let a = run(native);

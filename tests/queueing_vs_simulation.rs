@@ -22,7 +22,7 @@ fn moments() -> ServiceMoments {
 
 fn simulate(g: u16, rate: f64, read_fraction: f64, degraded: bool) -> (f64, f64) {
     let mut sim = ArraySim::new(
-        paper_layout(g),
+        paper_layout(g).unwrap(),
         cfg(),
         WorkloadSpec::new(rate, read_fraction),
         1,

@@ -1,0 +1,203 @@
+//! Integration and property tests for the robustness subsystem: patrol-
+//! read scrubbing and crash/write-hole recovery, driven through the full
+//! stack — the disk fault model, the array simulator, the recovery
+//! scanner, the byte-accurate data plane, and the campaign harness.
+
+use decluster::array::data::DataArray;
+use decluster::array::{
+    recover, ArrayConfig, ArraySim, CrashPlan, ReconAlgorithm, RecoveryPolicy, ScrubConfig,
+};
+use decluster::disk::{MediaFaultConfig, MediaFaultModel};
+use decluster::experiments::campaign::{self, CampaignLayout, CampaignSpec};
+use decluster::experiments::{paper_layout, Runner};
+use decluster::sim::{SimRng, SimTime};
+use decluster::workload::WorkloadSpec;
+
+/// Media retries back off exponentially: retry `k` waits
+/// `backoff_us << (k-1)`, so the total paid for `r` retries telescopes to
+/// the closed form `backoff_us * (2^r - 1)` the disk model reports.
+#[test]
+fn retry_backoff_total_matches_the_closed_form() {
+    for base in [1u64, 250, 1_000, 4_096] {
+        let mut cfg = MediaFaultConfig::none().with_transient_rate(0.1);
+        cfg.backoff_us = base;
+        let model = MediaFaultModel::new(cfg, 0);
+        let mut total = 0u64;
+        for retries in 0..=8u8 {
+            let closed_form = base as f64 * ((1u64 << retries) - 1) as f64;
+            assert_eq!(
+                model.backoff_us(retries),
+                closed_form,
+                "base {base}, {retries} retries"
+            );
+            // The closed form really is the telescoped sum of the
+            // per-retry waits.
+            if retries > 0 {
+                total += base << (retries - 1);
+            }
+            assert_eq!(total as f64, closed_form);
+        }
+    }
+}
+
+fn latent_cfg(scrub: ScrubConfig, latent_rate: f64) -> ArrayConfig {
+    ArrayConfig::scaled(30)
+        .with_media_faults(MediaFaultConfig::none().with_latent_rate(latent_rate))
+        .with_scrub(scrub)
+}
+
+/// Every stripe unit of the failed disk is accounted for exactly once,
+/// whatever the scrubber, the workload, or the defect density does to the
+/// rebuild: swept by a reconstruction process, rebuilt via user-write
+/// piggybacking, or lost to a latent error meeting the failed disk.
+#[test]
+fn scrub_sweep_accounting_identity_holds_across_seeds_and_rates() {
+    for seed_stream in [1u64, 9, 42] {
+        for latent_rate in [0.0, 2e-4, 2e-3] {
+            let cfg = latent_cfg(ScrubConfig::on().with_interval_us(500), latent_rate);
+            let mut sim = ArraySim::new(
+                paper_layout(4).unwrap(),
+                cfg,
+                WorkloadSpec::half_and_half(30.0),
+                seed_stream,
+            )
+            .unwrap();
+            sim.fail_disk(0).unwrap();
+            sim.start_reconstruction(ReconAlgorithm::Baseline, 4)
+                .unwrap();
+            let report = sim.run_until_reconstructed(SimTime::from_secs(100_000));
+            assert!(report.reconstruction_time.is_some(), "sweep must finish");
+            assert_eq!(
+                report.units_swept + report.units_by_users + report.units_lost,
+                report.units_total,
+                "stream {seed_stream}, rate {latent_rate}: sweep accounting leaked"
+            );
+        }
+    }
+}
+
+/// The scrubber's two throttles (in-flight cap + busy backoff) bound how
+/// much patrolling costs the foreground: mean user response time with the
+/// patrol running stays within 25% of the scrub-off baseline, while the
+/// patrol still makes real progress.
+#[test]
+fn scrub_throttle_bounds_user_response_time_degradation() {
+    let run = |scrub: ScrubConfig| {
+        let sim = ArraySim::new(
+            paper_layout(4).unwrap(),
+            latent_cfg(scrub, 2e-4),
+            WorkloadSpec::half_and_half(60.0),
+            11,
+        )
+        .unwrap();
+        sim.run_for(SimTime::from_secs(40), SimTime::from_secs(4))
+    };
+    let off = run(ScrubConfig::off());
+    let on = run(ScrubConfig::on().with_interval_us(500));
+    assert!(off.scrub.is_none());
+    let scrub = on.scrub.expect("patrol enabled");
+    assert!(scrub.stripes_scanned > 0, "the patrol must make progress");
+    assert!(scrub.backoffs > 0, "the throttle must actually engage");
+    let (base, patrolled) = (off.all.mean_ms(), on.all.mean_ms());
+    assert!(
+        patrolled <= base * 1.25,
+        "patrol slowed user traffic past the bound: {patrolled:.2} ms vs {base:.2} ms"
+    );
+}
+
+/// A power cut under a saturating write load tears parity updates; both
+/// restart policies must find and repair every torn stripe, the
+/// dirty-region log must read strictly less than the full resync, and a
+/// byte-level replay of the repairs must leave zero inconsistent stripes
+/// under an exhaustive parity check.
+#[test]
+fn crash_recovery_closes_the_write_hole_under_both_policies() {
+    let cfg = ArrayConfig::scaled(30);
+    let layout = paper_layout(4).unwrap();
+    // 400 writes/s saturates the 21-disk array, so the cut is guaranteed
+    // to land amid half-applied parity updates.
+    let mut sim = ArraySim::new(layout.clone(), cfg, WorkloadSpec::all_writes(400.0), 3).unwrap();
+    sim.inject_crash(&CrashPlan::at(SimTime::from_secs(5)))
+        .unwrap();
+    let report = sim.run_for(SimTime::from_secs(60), SimTime::ZERO);
+    let crash = report.crash.expect("the planned cut must fire");
+    assert!(
+        !crash.torn_stripes.is_empty(),
+        "a saturating write load always has half-applied parity updates"
+    );
+
+    let full = recover(layout.clone(), &cfg, &crash, RecoveryPolicy::FullResync).unwrap();
+    let drl = recover(layout.clone(), &cfg, &crash, RecoveryPolicy::DirtyRegionLog).unwrap();
+    for pass in [&full, &drl] {
+        assert_eq!(pass.torn_found, crash.torn_stripes.len() as u64);
+        assert_eq!(
+            pass.torn_repaired, pass.torn_found,
+            "every torn stripe repaired"
+        );
+    }
+    assert_eq!(drl.stripes_checked, crash.dirty_stripes.len() as u64);
+    assert!(
+        drl.resync_units_read < full.resync_units_read,
+        "the dirty-region log must bound the resync read set: {} vs {}",
+        drl.resync_units_read,
+        full.resync_units_read
+    );
+    assert!(drl.recovery_secs <= full.recovery_secs);
+
+    // Byte-level replay on the data plane: tear exactly the stripes the
+    // crash recorded, repair exactly the set the DRL pass verified (its
+    // log), and demand a clean exhaustive parity check — if the log
+    // missed a torn stripe, this fails.
+    let mut array = DataArray::new(layout, cfg.data_units_per_disk(), 8).unwrap();
+    let mut rng = SimRng::new(17);
+    for _ in 0..512 {
+        let logical = rng.below(array.data_units());
+        let unit: Vec<u8> = (0..8).map(|_| rng.next_u64() as u8).collect();
+        array.write(logical, &unit);
+    }
+    for &stripe in &crash.torn_stripes {
+        array.scramble_parity(stripe).unwrap();
+    }
+    assert!(array.verify_parity().is_err(), "the tear must be visible");
+    for &stripe in &crash.dirty_stripes {
+        array.recompute_parity(stripe).unwrap();
+    }
+    array
+        .verify_parity()
+        .expect("zero inconsistent stripes after dirty-region recovery");
+}
+
+/// The campaign's smoke-scale scrub arm: with latent defects seeded at
+/// the spec's rate, patrolling strictly lowers the mean defect count
+/// exposed at second-fault time, and the crash arm's dirty-region log
+/// recovers with strictly fewer reads than the full resync.
+#[test]
+fn smoke_scale_campaign_arms_show_the_headline_effects() {
+    let mut spec = CampaignSpec::smoke();
+    spec.layouts = vec![CampaignLayout::Declustered { g: 4 }];
+    spec.trials = 1; // the whole-disk arm is covered by its own tests
+    spec.scrub_trials = 2;
+    spec.crash_trials = 1;
+    let report = campaign::run_campaign(&spec, &Runner::new(0)).unwrap();
+    let layout = &report.layouts[0];
+
+    let [off, on] = layout.scrub_arms.as_slice() else {
+        panic!("expected an off arm and an on arm");
+    };
+    assert!(
+        on.errors_repaired > 0,
+        "the patrol must repair latent errors"
+    );
+    assert!(
+        on.mean_exposed_defects < off.mean_exposed_defects,
+        "scrub-on must strictly lower exposure at second-fault time: {} vs {}",
+        on.mean_exposed_defects,
+        off.mean_exposed_defects
+    );
+
+    let crash = &layout.crash_trials[0];
+    assert_eq!(crash.full.torn_repaired, crash.full.torn_found);
+    assert_eq!(crash.drl.torn_repaired, crash.drl.torn_found);
+    assert_eq!(crash.drl.torn_found, crash.torn_stripes);
+    assert!(crash.drl.units_read < crash.full.units_read);
+}
