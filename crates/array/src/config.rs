@@ -121,17 +121,22 @@ pub struct ArrayConfig {
 impl ArrayConfig {
     /// The paper's configuration: IBM 0661 disks, 4 KB units, CVSCAN.
     pub fn paper() -> ArrayConfig {
-        ArrayConfig {
-            geometry: Geometry::ibm0661(),
-            unit_sectors: 8,
-            sched: SchedPolicy::cvscan(),
-            seed: 0x1992,
-            recon_throttle_us: 0,
-            recon_priority: false,
-            spare_units_per_disk: 0,
-            media_faults: MediaFaultConfig::none(),
-            scrub: ScrubConfig::off(),
-        }
+        ArrayConfig::builder().build()
+    }
+
+    /// A typed builder starting from the paper defaults.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use decluster_array::ArrayConfig;
+    ///
+    /// let cfg = ArrayConfig::builder().cylinders(100).seed(7).build();
+    /// assert_eq!(cfg.seed, 7);
+    /// assert_eq!(cfg.units_per_disk(), 100 * 14 * 48 / 8);
+    /// ```
+    pub fn builder() -> ArrayConfigBuilder {
+        ArrayConfigBuilder::default()
     }
 
     /// The paper's configuration on proportionally shrunken disks with
@@ -140,10 +145,7 @@ impl ArrayConfig {
     /// reconstruction quickly. Reconstruction time scales approximately
     /// linearly with capacity.
     pub fn scaled(cylinders: u32) -> ArrayConfig {
-        ArrayConfig {
-            geometry: Geometry::ibm0661_scaled(cylinders),
-            ..ArrayConfig::paper()
-        }
+        ArrayConfig::builder().cylinders(cylinders).build()
     }
 
     /// Stripe units each disk holds.
@@ -156,51 +158,6 @@ impl ArrayConfig {
         self.unit_sectors as u64 * self.geometry.bytes_per_sector as u64
     }
 
-    /// Returns a copy with a different workload seed.
-    pub fn with_seed(mut self, seed: u64) -> ArrayConfig {
-        self.seed = seed;
-        self
-    }
-
-    /// Returns a copy with reconstruction throttling.
-    pub fn with_recon_throttle_us(mut self, us: u64) -> ArrayConfig {
-        self.recon_throttle_us = us;
-        self
-    }
-
-    /// Returns a copy with user-over-reconstruction priority scheduling.
-    pub fn with_recon_priority(mut self, on: bool) -> ArrayConfig {
-        self.recon_priority = on;
-        self
-    }
-
-    /// Returns a copy reserving `units` spare units per disk for
-    /// distributed sparing.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the reservation leaves no data capacity.
-    pub fn with_distributed_spares(mut self, units: u64) -> ArrayConfig {
-        assert!(
-            units < self.units_per_disk(),
-            "spare reservation {units} swallows the whole disk"
-        );
-        self.spare_units_per_disk = units;
-        self
-    }
-
-    /// Returns a copy with the given media fault processes.
-    pub fn with_media_faults(mut self, faults: MediaFaultConfig) -> ArrayConfig {
-        self.media_faults = faults;
-        self
-    }
-
-    /// Returns a copy with the given patrol-read scrubbing policy.
-    pub fn with_scrub(mut self, scrub: ScrubConfig) -> ArrayConfig {
-        self.scrub = scrub;
-        self
-    }
-
     /// Units per disk available for data and parity (total minus the
     /// distributed-spare reservation).
     pub fn data_units_per_disk(&self) -> u64 {
@@ -211,6 +168,119 @@ impl ArrayConfig {
 impl Default for ArrayConfig {
     fn default() -> Self {
         ArrayConfig::paper()
+    }
+}
+
+/// Typed builder for [`ArrayConfig`], starting from the paper's
+/// Table 5-1 defaults (full-size IBM 0661 disks, 4 KB units, CVSCAN,
+/// no throttle, no sparing, media faults and scrubbing off).
+///
+/// Fault *schedules* — [`crate::FaultPlan`] and [`crate::CrashPlan`] —
+/// are injected into a built [`crate::ArraySim`] rather than carried in
+/// the config: a config describes the array, a plan describes one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayConfigBuilder {
+    cfg: ArrayConfig,
+}
+
+impl Default for ArrayConfigBuilder {
+    fn default() -> Self {
+        ArrayConfigBuilder {
+            cfg: ArrayConfig {
+                geometry: Geometry::ibm0661(),
+                unit_sectors: 8,
+                sched: SchedPolicy::cvscan(),
+                seed: 0x1992,
+                recon_throttle_us: 0,
+                recon_priority: false,
+                spare_units_per_disk: 0,
+                media_faults: MediaFaultConfig::none(),
+                scrub: ScrubConfig::off(),
+            },
+        }
+    }
+}
+
+impl ArrayConfigBuilder {
+    /// Shrinks every disk to `cylinders` cylinders (same seek envelope
+    /// and per-track timing, smaller capacity) for experiments that
+    /// must run a full reconstruction quickly.
+    pub fn cylinders(mut self, cylinders: u32) -> ArrayConfigBuilder {
+        self.cfg.geometry = Geometry::ibm0661_scaled(cylinders);
+        self
+    }
+
+    /// Replaces the per-disk geometry wholesale.
+    pub fn geometry(mut self, geometry: Geometry) -> ArrayConfigBuilder {
+        self.cfg.geometry = geometry;
+        self
+    }
+
+    /// Sets the head-scheduling policy for every disk.
+    pub fn sched(mut self, sched: SchedPolicy) -> ArrayConfigBuilder {
+        self.cfg.sched = sched;
+        self
+    }
+
+    /// Sets the workload generator seed.
+    pub fn seed(mut self, seed: u64) -> ArrayConfigBuilder {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Inserts a delay between a reconstruction process's cycles.
+    pub fn recon_throttle_us(mut self, us: u64) -> ArrayConfigBuilder {
+        self.cfg.recon_throttle_us = us;
+        self
+    }
+
+    /// Strictly prioritizes user accesses over reconstruction accesses.
+    pub fn recon_priority(mut self, on: bool) -> ArrayConfigBuilder {
+        self.cfg.recon_priority = on;
+        self
+    }
+
+    /// Reserves `units` spare units per disk for distributed sparing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation leaves no data capacity.
+    pub fn distributed_spares(mut self, units: u64) -> ArrayConfigBuilder {
+        assert!(
+            units < self.cfg.units_per_disk(),
+            "spare reservation {units} swallows the whole disk"
+        );
+        self.cfg.spare_units_per_disk = units;
+        self
+    }
+
+    /// Injects the given media fault processes into every disk.
+    pub fn media_faults(mut self, faults: MediaFaultConfig) -> ArrayConfigBuilder {
+        self.cfg.media_faults = faults;
+        self
+    }
+
+    /// Sets the patrol-read scrubbing policy.
+    pub fn scrub(mut self, scrub: ScrubConfig) -> ArrayConfigBuilder {
+        self.cfg.scrub = scrub;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distributed-spare reservation no longer fits the
+    /// final geometry (e.g. `distributed_spares` before a shrinking
+    /// `cylinders` call).
+    pub fn build(self) -> ArrayConfig {
+        assert!(
+            self.cfg.spare_units_per_disk == 0
+                || self.cfg.spare_units_per_disk < self.cfg.units_per_disk(),
+            "spare reservation {} swallows the whole disk",
+            self.cfg.spare_units_per_disk
+        );
+        self.cfg
     }
 }
 
@@ -234,32 +304,53 @@ mod tests {
     }
 
     #[test]
-    fn builders() {
-        let cfg = ArrayConfig::paper()
-            .with_seed(7)
-            .with_recon_throttle_us(500)
-            .with_recon_priority(true);
+    fn builder_sets_every_knob() {
+        let cfg = ArrayConfig::builder()
+            .seed(7)
+            .recon_throttle_us(500)
+            .recon_priority(true)
+            .distributed_spares(1000)
+            .media_faults(MediaFaultConfig::none().with_latent_rate(1e-6))
+            .build();
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.recon_throttle_us, 500);
         assert!(cfg.recon_priority);
-        let cfg = cfg.with_distributed_spares(1000);
         assert_eq!(cfg.data_units_per_disk(), cfg.units_per_disk() - 1000);
-        assert_eq!(ArrayConfig::default(), ArrayConfig::paper());
-        let cfg = cfg.with_media_faults(MediaFaultConfig::none().with_latent_rate(1e-6));
         assert!(cfg.media_faults.is_active());
         assert!(!ArrayConfig::paper().media_faults.is_active());
+        assert_eq!(ArrayConfig::default(), ArrayConfig::paper());
+    }
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        assert_eq!(ArrayConfig::builder().build(), ArrayConfig::paper());
+        assert_eq!(
+            ArrayConfig::builder().cylinders(100).build(),
+            ArrayConfig::scaled(100)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "swallows the whole disk")]
+    fn oversized_spare_reservation_is_rejected() {
+        let _ = ArrayConfig::builder()
+            .cylinders(30)
+            .distributed_spares(u64::MAX)
+            .build();
     }
 
     #[test]
     fn scrub_builders() {
         assert_eq!(ScrubConfig::default(), ScrubConfig::off());
         assert!(!ArrayConfig::paper().scrub.enabled);
-        let cfg = ArrayConfig::paper().with_scrub(
-            ScrubConfig::on()
-                .with_interval_us(500)
-                .with_max_outstanding(2)
-                .with_backoff_us(750),
-        );
+        let cfg = ArrayConfig::builder()
+            .scrub(
+                ScrubConfig::on()
+                    .with_interval_us(500)
+                    .with_max_outstanding(2)
+                    .with_backoff_us(750),
+            )
+            .build();
         assert!(cfg.scrub.enabled);
         assert_eq!(cfg.scrub.interval_us, 500);
         assert_eq!(cfg.scrub.max_outstanding, 2);

@@ -28,7 +28,7 @@
 //! # Examples
 //!
 //! ```
-//! use decluster_array::{ArrayConfig, ArraySim, ReconAlgorithm};
+//! use decluster_array::{ArrayConfig, ArraySim, ReconAlgorithm, ReconOptions};
 //! use decluster_core::design::BlockDesign;
 //! use decluster_core::layout::DeclusteredLayout;
 //! use decluster_sim::SimTime;
@@ -37,13 +37,14 @@
 //!
 //! // A small declustered array under a light half-read workload.
 //! let layout = Arc::new(DeclusteredLayout::new(BlockDesign::complete(5, 4)?)?);
-//! let cfg = ArrayConfig::scaled(40); // 40-cylinder mini-disks for a fast test
+//! let cfg = ArrayConfig::builder().cylinders(40).build(); // mini-disks for a fast test
 //! let mut sim = ArraySim::new(layout, cfg, WorkloadSpec::half_and_half(20.0), 1)?;
 //! sim.fail_disk(0)?;
-//! sim.start_reconstruction(ReconAlgorithm::Baseline, 1)?;
+//! sim.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline))?;
 //! let report = sim.run_until_reconstructed(SimTime::from_secs(10_000));
 //! assert!(report.reconstruction_time.is_some());
 //! assert!(report.data_loss.is_empty()); // single failure: nothing lost
+//! println!("mean user response {:.1} ms", report.ops.all.mean_ms());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -60,11 +61,11 @@ pub mod sim;
 pub mod slab;
 pub mod spare;
 
-pub use config::{ArrayConfig, ScrubConfig};
+pub use config::{ArrayConfig, ArrayConfigBuilder, ScrubConfig};
 pub use decluster_core::recon::ReconAlgorithm;
 pub use recovery::recover;
 pub use report::{
-    ConsistencyReport, CrashReport, DataLossReport, LossCause, LostStripe, ReconReport,
+    ConsistencyReport, CrashReport, DataLossReport, LossCause, LostStripe, OpStats, ReconReport,
     RecoveryPolicy, RunReport, ScrubReport,
 };
-pub use sim::{ArraySim, CrashPlan, FaultPlan};
+pub use sim::{ArraySim, CrashPlan, FaultPlan, ReconOptions};

@@ -1,7 +1,90 @@
 //! Result types returned by array simulations.
 
-use decluster_sim::{OnlineStats, ResponseStats, SimTime};
+use decluster_sim::{LatencyHistogram, Observations, OnlineStats, ResponseStats, SimTime};
 use serde::{Deserialize, Serialize};
+
+/// User-visible response-time statistics, shared by [`RunReport`] and
+/// [`ReconReport`].
+///
+/// Each op class keeps both the exact sample store ([`ResponseStats`],
+/// for exact means and nearest-rank percentiles) and a fixed-bucket
+/// log-scaled [`LatencyHistogram`] whose `merge` is exactly associative
+/// — the parallel sweep runner combines per-shard histograms in
+/// submission order and gets byte-identical reports at any thread
+/// count.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Response times of user reads completed in the measurement window.
+    pub reads: ResponseStats,
+    /// Response times of user writes completed in the measurement window.
+    pub writes: ResponseStats,
+    /// All user responses combined.
+    pub all: ResponseStats,
+    /// Log-scaled histogram of `reads`.
+    pub read_hist: LatencyHistogram,
+    /// Log-scaled histogram of `writes`.
+    pub write_hist: LatencyHistogram,
+    /// Log-scaled histogram of `all`.
+    pub all_hist: LatencyHistogram,
+}
+
+impl OpStats {
+    /// Records one completed user read.
+    pub fn record_read(&mut self, response: SimTime) {
+        self.reads.record(response);
+        self.all.record(response);
+        self.read_hist.record(response);
+        self.all_hist.record(response);
+    }
+
+    /// Records one completed user write.
+    pub fn record_write(&mut self, response: SimTime) {
+        self.writes.record(response);
+        self.all.record(response);
+        self.write_hist.record(response);
+        self.all_hist.record(response);
+    }
+
+    /// Exact median response time over all user requests, ms.
+    pub fn p50_ms(&self) -> f64 {
+        self.percentile_or_zero(0.5)
+    }
+
+    /// Exact 95th-percentile response time over all user requests, ms.
+    pub fn p95_ms(&self) -> f64 {
+        self.percentile_or_zero(0.95)
+    }
+
+    /// Exact 99th-percentile response time over all user requests, ms.
+    pub fn p99_ms(&self) -> f64 {
+        self.percentile_or_zero(0.99)
+    }
+
+    /// Exact maximum response time over all user requests, ms.
+    pub fn max_ms(&self) -> f64 {
+        self.all.max_ms()
+    }
+
+    fn percentile_or_zero(&self, q: f64) -> f64 {
+        if self.all.count() == 0 {
+            0.0
+        } else {
+            self.all.percentile_ms(q)
+        }
+    }
+
+    /// Folds `other` into `self`. The histogram components merge
+    /// exactly (integer counters), so shard order does not affect the
+    /// merged histograms.
+    pub fn merge(&mut self, other: &OpStats) {
+        self.reads.merge(&other.reads);
+        self.writes.merge(&other.writes);
+        self.all.merge(&other.all);
+        self.read_hist.merge(&other.read_hist);
+        self.write_hist.merge(&other.write_hist);
+        self.all_hist.merge(&other.all_hist);
+    }
+}
 
 /// Why a stripe lost data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -176,12 +259,9 @@ pub struct ConsistencyReport {
 /// Results of a steady-state run (fault-free or degraded mode).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
-    /// Response times of user reads completed in the measurement window.
-    pub reads: ResponseStats,
-    /// Response times of user writes completed in the measurement window.
-    pub writes: ResponseStats,
-    /// All user responses combined.
-    pub all: ResponseStats,
+    /// User response-time statistics (reads, writes, combined), with
+    /// log-scaled latency histograms.
+    pub ops: OpStats,
     /// Simulated time covered by the run.
     pub elapsed: SimTime,
     /// User requests issued (including warmup).
@@ -210,6 +290,10 @@ pub struct RunReport {
     /// second failure this is the exposure *at second-fault time* — the
     /// count scrubbing exists to shrink.
     pub exposed_defects: Option<u64>,
+    /// Everything an active [`decluster_sim::Probe`] recorded: per-class
+    /// histograms, per-disk timelines, the optional trace. `None` under
+    /// the default [`decluster_sim::NoProbe`].
+    pub observations: Option<Observations>,
 }
 
 /// Per-phase timing of reconstruction cycles (the paper's Table 8-1 rows).
@@ -234,12 +318,9 @@ pub struct ReconReport {
     /// Wall-clock reconstruction time, or `None` if the run hit its limit
     /// before the replacement was fully rebuilt.
     pub reconstruction_time: Option<SimTime>,
-    /// User response times during reconstruction.
-    pub user: ResponseStats,
-    /// User reads during reconstruction.
-    pub reads: ResponseStats,
-    /// User writes during reconstruction.
-    pub writes: ResponseStats,
+    /// User response-time statistics during reconstruction (`ops.all`
+    /// is the paper's "user response time"), with latency histograms.
+    pub ops: OpStats,
     /// Cycle statistics over the whole reconstruction.
     pub cycles: CycleStats,
     /// Cycle statistics over only the final cycles (the paper's Table 8-1
@@ -279,6 +360,10 @@ pub struct ReconReport {
     /// end of the run, when media faults were active. With a terminal
     /// second failure this is the exposure *at second-fault time*.
     pub exposed_defects: Option<u64>,
+    /// Everything an active [`decluster_sim::Probe`] recorded: per-class
+    /// histograms, per-disk timelines, the optional trace. `None` under
+    /// the default [`decluster_sim::NoProbe`].
+    pub observations: Option<Observations>,
 }
 
 impl ReconReport {
@@ -291,6 +376,50 @@ impl ReconReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn op_stats_records_into_class_and_combined() {
+        let mut s = OpStats::default();
+        s.record_read(SimTime::from_ms(10));
+        s.record_write(SimTime::from_ms(30));
+        assert_eq!(s.reads.count(), 1);
+        assert_eq!(s.writes.count(), 1);
+        assert_eq!(s.all.count(), 2);
+        assert_eq!(s.read_hist.count(), 1);
+        assert_eq!(s.all_hist.count(), 2);
+        assert_eq!(s.max_ms(), 30.0);
+        assert_eq!(s.p50_ms(), 10.0);
+        assert_eq!(s.p99_ms(), 30.0);
+    }
+
+    #[test]
+    fn empty_op_stats_percentiles_are_zero() {
+        let s = OpStats::default();
+        assert_eq!(s.p50_ms(), 0.0);
+        assert_eq!(s.p95_ms(), 0.0);
+        assert_eq!(s.p99_ms(), 0.0);
+        assert_eq!(s.max_ms(), 0.0);
+    }
+
+    #[test]
+    fn op_stats_merge_matches_sequential_recording() {
+        let mut merged = OpStats::default();
+        let mut sequential = OpStats::default();
+        let mut shard = OpStats::default();
+        for i in 1..=10u64 {
+            let t = SimTime::from_ms(i);
+            sequential.record_read(t);
+            if i <= 5 {
+                merged.record_read(t);
+            } else {
+                shard.record_read(t);
+            }
+        }
+        merged.merge(&shard);
+        assert_eq!(merged.all.count(), sequential.all.count());
+        assert_eq!(merged.all_hist, sequential.all_hist);
+        assert_eq!(merged.p95_ms(), sequential.p95_ms());
+    }
 
     #[test]
     fn cycle_stats_sum() {

@@ -4,8 +4,8 @@ use crate::config::ArrayConfig;
 use crate::loss::assess_second_failure;
 use crate::plan::{plan_user_access_with, FaultView, PlannedIo};
 use crate::report::{
-    CrashReport, CycleStats, DataLossReport, LossCause, LostStripe, ReconReport, RunReport,
-    ScrubReport,
+    CrashReport, CycleStats, DataLossReport, LossCause, LostStripe, OpStats, ReconReport,
+    RunReport, ScrubReport,
 };
 use crate::slab::Slab;
 use crate::spare::SpareMap;
@@ -13,7 +13,8 @@ use decluster_core::error::Error;
 use decluster_core::layout::{ArrayMapping, ParityLayout, UnitAddr};
 use decluster_core::recon::ReconAlgorithm;
 use decluster_disk::{AccessOutcome, Disk, DiskRequest, IoKind, MediaFaultModel, Priority};
-use decluster_sim::{EventQueue, ResponseStats, SimTime};
+use decluster_sim::probe::{DiskSample, NoProbe, OpClass, Probe};
+use decluster_sim::{EventQueue, SimTime};
 use decluster_workload::{trace::Trace, AccessKind, UserRequest, Workload, WorkloadSpec};
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
@@ -76,8 +77,10 @@ struct Op {
     /// sector: the stripe is unrecoverable, so the cycle skips its write
     /// and resolves the offset as lost instead of rebuilt.
     lost_cycle: bool,
-    /// `Some(stripe)` for a patrol-read verify cycle of that stripe.
-    scrub: Option<u64>,
+    /// `Some((stripe, started))` for a patrol-read verify cycle of that
+    /// stripe, stamped with the cycle's start time so its duration can be
+    /// observed.
+    scrub: Option<(u64, SimTime)>,
     /// Whether the phase currently in flight issues writes (phases are
     /// homogeneous: reads then writes). With `phase_size` this classifies
     /// the op at a crash: a write phase with some-but-not-all accesses
@@ -279,8 +282,16 @@ enum Fault {
 /// [`ArraySim::run_for`] or [`ArraySim::run_until_reconstructed`].
 ///
 /// See the crate docs for an end-to-end example.
+///
+/// The `P` type parameter is the instrumentation [`Probe`]. It defaults
+/// to [`NoProbe`], whose hooks are empty and compile away entirely, so
+/// uninstrumented simulations pay nothing. Pass a
+/// [`Recorder`](decluster_sim::Recorder) via [`ArraySim::new_probed`] to
+/// capture latency histograms, per-disk utilization timelines, and an
+/// optional event trace in the report's
+/// [`observations`](RunReport::observations).
 #[derive(Debug)]
-pub struct ArraySim {
+pub struct ArraySim<P: Probe = NoProbe> {
     cfg: ArrayConfig,
     mapping: ArrayMapping,
     disks: Vec<Disk>,
@@ -321,12 +332,79 @@ pub struct ArraySim {
     events_processed: u64,
     // Measurement.
     measure_from: SimTime,
-    reads: ResponseStats,
-    writes: ResponseStats,
-    all: ResponseStats,
+    stats: OpStats,
     requests_issued: u64,
     requests_measured: u64,
     started: bool,
+    /// Instrumentation hooks; [`NoProbe`] by default, in which case every
+    /// call below is guarded by `P::ACTIVE` and compiles to nothing.
+    probe: P,
+}
+
+/// Options for [`ArraySim::start_reconstruction`]: which algorithm runs,
+/// how many parallel sweep processes it uses, and whether rebuilt units
+/// land on distributed spare space instead of a replacement disk.
+///
+/// # Examples
+///
+/// ```
+/// use decluster_array::ReconOptions;
+/// use decluster_core::recon::ReconAlgorithm;
+///
+/// let opts = ReconOptions::new(ReconAlgorithm::Redirect)
+///     .processes(4)
+///     .distributed();
+/// assert_eq!(opts.process_count(), 4);
+/// assert!(opts.is_distributed());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconOptions {
+    algorithm: ReconAlgorithm,
+    processes: usize,
+    distributed: bool,
+}
+
+impl ReconOptions {
+    /// Rebuild with `algorithm`, one sweep process, onto a replacement
+    /// disk.
+    pub fn new(algorithm: ReconAlgorithm) -> ReconOptions {
+        ReconOptions {
+            algorithm,
+            processes: 1,
+            distributed: false,
+        }
+    }
+
+    /// Sets the number of parallel reconstruction processes.
+    #[must_use]
+    pub fn processes(mut self, processes: usize) -> ReconOptions {
+        self.processes = processes;
+        self
+    }
+
+    /// Rebuilds onto the array's reserved distributed spare space instead
+    /// of a replacement disk (requires
+    /// [`spare reservation`](crate::ArrayConfigBuilder::distributed_spares)).
+    #[must_use]
+    pub fn distributed(mut self) -> ReconOptions {
+        self.distributed = true;
+        self
+    }
+
+    /// The reconstruction algorithm.
+    pub fn algorithm(&self) -> ReconAlgorithm {
+        self.algorithm
+    }
+
+    /// Parallel sweep processes.
+    pub fn process_count(&self) -> usize {
+        self.processes
+    }
+
+    /// Whether rebuilt units land on distributed spare space.
+    pub fn is_distributed(&self) -> bool {
+        self.distributed
+    }
 }
 
 impl ArraySim {
@@ -345,21 +423,7 @@ impl ArraySim {
         spec: WorkloadSpec,
         seed_stream: u64,
     ) -> Result<ArraySim, Error> {
-        let mapping = ArrayMapping::new(layout, cfg.data_units_per_disk())?;
-        let disks = (0..mapping.disks())
-            .map(|d| Self::make_disk(&cfg, d as usize))
-            .collect();
-        let workload = Workload::new(
-            spec,
-            mapping.data_units(),
-            cfg.seed ^ seed_stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
-        Ok(Self::with_source(
-            cfg,
-            mapping,
-            disks,
-            RequestSource::Synthetic(workload),
-        ))
+        ArraySim::new_probed(layout, cfg, spec, seed_stream, NoProbe)
     }
 
     /// Builds a simulator that replays a recorded [`Trace`] instead of the
@@ -374,6 +438,55 @@ impl ArraySim {
         cfg: ArrayConfig,
         trace: Trace,
     ) -> Result<ArraySim, Error> {
+        ArraySim::with_trace_probed(layout, cfg, trace, NoProbe)
+    }
+}
+
+impl<P: Probe> ArraySim<P> {
+    /// [`ArraySim::new`] with an instrumentation `probe` attached; the
+    /// probe's findings come back in the report's `observations`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the layout cannot map the configured disk size
+    /// (see [`ArrayMapping::new`]).
+    pub fn new_probed(
+        layout: Arc<dyn ParityLayout>,
+        cfg: ArrayConfig,
+        spec: WorkloadSpec,
+        seed_stream: u64,
+        probe: P,
+    ) -> Result<ArraySim<P>, Error> {
+        let mapping = ArrayMapping::new(layout, cfg.data_units_per_disk())?;
+        let disks = (0..mapping.disks())
+            .map(|d| Self::make_disk(&cfg, d as usize))
+            .collect();
+        let workload = Workload::new(
+            spec,
+            mapping.data_units(),
+            cfg.seed ^ seed_stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        Ok(Self::with_source(
+            cfg,
+            mapping,
+            disks,
+            RequestSource::Synthetic(workload),
+            probe,
+        ))
+    }
+
+    /// [`ArraySim::with_trace`] with an instrumentation `probe` attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the layout cannot map the configured disk size
+    /// or a trace request addresses units beyond the array's capacity.
+    pub fn with_trace_probed(
+        layout: Arc<dyn ParityLayout>,
+        cfg: ArrayConfig,
+        trace: Trace,
+        probe: P,
+    ) -> Result<ArraySim<P>, Error> {
         let mapping = ArrayMapping::new(layout, cfg.data_units_per_disk())?;
         for r in trace.iter() {
             if r.logical_unit + r.units > mapping.data_units() {
@@ -391,7 +504,7 @@ impl ArraySim {
             .map(|d| Self::make_disk(&cfg, d as usize))
             .collect();
         let source = RequestSource::Trace(trace.requests().to_vec().into_iter());
-        Ok(Self::with_source(cfg, mapping, disks, source))
+        Ok(Self::with_source(cfg, mapping, disks, source, probe))
     }
 
     fn with_source(
@@ -399,11 +512,15 @@ impl ArraySim {
         mapping: ArrayMapping,
         disks: Vec<Disk>,
         source: RequestSource,
-    ) -> ArraySim {
+        probe: P,
+    ) -> ArraySim<P> {
         // In-flight events are bounded by the disk count (one completion
-        // per disk in service) plus arrivals, recon kicks, and failure
-        // injections; a couple of events per disk plus slack covers the
-        // working set without ever regrowing the heap.
+        // per disk in service) plus arrivals, recon kicks, failure
+        // injections, and the scrubber's self-rescheduling kick; a couple
+        // of events per disk plus slack covers the working set without
+        // ever regrowing the heap. `prepare_run` reserves for the
+        // run-specific sources (failure plan, crash, recon kicks) once the
+        // scenario is known.
         let queue = EventQueue::with_capacity(disks.len() * 2 + 64);
         ArraySim {
             cfg,
@@ -432,12 +549,11 @@ impl ArraySim {
             scratch_ios: Vec::new(),
             events_processed: 0,
             measure_from: SimTime::ZERO,
-            reads: ResponseStats::new(),
-            writes: ResponseStats::new(),
-            all: ResponseStats::new(),
+            stats: OpStats::default(),
             requests_issued: 0,
             requests_measured: 0,
             started: false,
+            probe,
         }
     }
 
@@ -566,48 +682,40 @@ impl ArraySim {
         Ok(())
     }
 
-    /// Installs a fresh replacement for the failed disk and arms
-    /// `processes` reconstruction processes running `algorithm`.
+    /// Arms reconstruction of the failed disk per `opts`.
+    ///
+    /// Under the default (dedicated-replacement) options a fresh drive is
+    /// swapped into the failed slot and `opts.process_count()` processes
+    /// rebuild it running `opts.algorithm()`. With
+    /// [`ReconOptions::distributed`] the failed disk stays dead and every
+    /// lost unit is rebuilt into a reserved spare slot on a surviving disk
+    /// (see [`crate::spare::SpareMap`]).
     ///
     /// # Errors
     ///
     /// Returns an error if no disk has failed, a run has already started,
-    /// or `processes` is zero.
-    pub fn start_reconstruction(
-        &mut self,
-        algorithm: ReconAlgorithm,
-        processes: usize,
-    ) -> Result<(), Error> {
-        let failed = self.check_rebuild_preconditions(processes)?;
-        // Physically swap in a new drive.
-        self.disks[failed as usize] = Self::make_disk(&self.cfg, failed as usize);
-        self.arm_rebuild(failed, algorithm, processes, None);
-        Ok(())
-    }
-
-    /// Arms reconstruction into distributed spare slots instead of a
-    /// replacement disk: the failed disk stays dead and every lost unit is
-    /// rebuilt into a spare slot on a surviving disk (see
-    /// [`crate::spare::SpareMap`]).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if no disk has failed, a run has already started,
-    /// `processes` is zero, no spare space was reserved
-    /// ([`ArrayConfig::with_distributed_spares`]), or the reserved spare
-    /// space cannot absorb the failed disk (the [`SpareMap::build`]
-    /// error is propagated).
-    pub fn start_reconstruction_distributed(
-        &mut self,
-        algorithm: ReconAlgorithm,
-        processes: usize,
-    ) -> Result<(), Error> {
-        if self.cfg.spare_units_per_disk == 0 {
+    /// or `opts.process_count()` is zero. Distributed sparing additionally
+    /// requires reserved spare space
+    /// ([`ArrayConfigBuilder::distributed_spares`](crate::ArrayConfigBuilder::distributed_spares))
+    /// that can absorb the failed disk (the [`SpareMap::build`] error is
+    /// propagated).
+    pub fn start_reconstruction(&mut self, opts: ReconOptions) -> Result<(), Error> {
+        if opts.distributed && self.cfg.spare_units_per_disk == 0 {
             return Self::invalid("distributed sparing requires reserved spare space");
         }
-        let failed = self.check_rebuild_preconditions(processes)?;
-        let spares = SpareMap::build(&self.mapping, failed, self.cfg.spare_units_per_disk)?;
-        self.arm_rebuild(failed, algorithm, processes, Some(spares));
+        let failed = self.check_rebuild_preconditions(opts.processes)?;
+        let spares = if opts.distributed {
+            Some(SpareMap::build(
+                &self.mapping,
+                failed,
+                self.cfg.spare_units_per_disk,
+            )?)
+        } else {
+            // Physically swap in a new drive.
+            self.disks[failed as usize] = Self::make_disk(&self.cfg, failed as usize);
+            None
+        };
+        self.arm_rebuild(failed, opts.algorithm, opts.processes, spares);
         Ok(())
     }
 
@@ -654,6 +762,52 @@ impl ArraySim {
         }));
     }
 
+    /// Marks the run started and schedules every pre-planned event source
+    /// (failure injections, the crash, the scrubber's first kick, the
+    /// first arrival), reserving queue head-room for all of them up front
+    /// so the event heap never regrows mid-run — the scrubber's backoff
+    /// re-arm used to push past the initial capacity.
+    fn prepare_run(&mut self) {
+        self.started = true;
+        let recon_processes = match &self.fault {
+            Fault::Rebuilding(r) => r.processes,
+            _ => 0,
+        };
+        self.queue.reserve(
+            self.scheduled_failures.len()
+                + usize::from(self.crash_plan.is_some())
+                + if self.scrub.is_some() { 2 } else { 0 }
+                + recon_processes
+                + 1,
+        );
+        for &(disk, at) in &self.scheduled_failures {
+            self.queue.schedule(at, Event::DiskFail(disk));
+        }
+        if let Some(at) = self.crash_plan {
+            self.queue.schedule(at, Event::Crash);
+        }
+        self.schedule_first_scrub_kick();
+        self.schedule_next_arrival();
+    }
+
+    /// One probe sampling pass over the disks, run after each dispatched
+    /// event when the probe is active and its sampling interval elapsed.
+    fn probe_disks(&mut self, now: SimTime) {
+        if !self.probe.sample_due(now) {
+            return;
+        }
+        for d in &self.disks {
+            self.probe.disk_sample(
+                now,
+                DiskSample {
+                    disk: d.label() as u16,
+                    busy_us: d.stats().busy_us,
+                    queue_depth: d.queue_len() as u32 + u32::from(d.is_busy()),
+                },
+            );
+        }
+    }
+
     /// Runs a steady-state scenario (fault-free or degraded): user requests
     /// arrive until `duration`, responses of requests arriving after
     /// `warmup` are measured, and the run drains before reporting.
@@ -672,20 +826,15 @@ impl ArraySim {
             "run_for is for steady-state scenarios"
         );
         assert!(warmup < duration, "warmup must precede duration");
-        self.started = true;
         self.measure_from = warmup;
         self.arrival_cutoff = duration;
-        for &(disk, at) in &self.scheduled_failures {
-            self.queue.schedule(at, Event::DiskFail(disk));
-        }
-        if let Some(at) = self.crash_plan {
-            self.queue.schedule(at, Event::Crash);
-        }
-        self.schedule_first_scrub_kick();
-        self.schedule_next_arrival();
+        self.prepare_run();
 
         while let Some((now, event)) = self.queue.pop() {
             self.dispatch(now, event);
+            if P::ACTIVE {
+                self.probe_disks(now);
+            }
             if self.terminal_at.is_some() {
                 break;
             }
@@ -712,10 +861,13 @@ impl ArraySim {
             .map(|d| d.stats().utilization(elapsed))
             .collect();
         let exposed = self.exposed_defects(first_failed);
+        let observations = if P::ACTIVE {
+            self.probe.collect(elapsed)
+        } else {
+            None
+        };
         RunReport {
-            reads: self.reads,
-            writes: self.writes,
-            all: self.all,
+            ops: self.stats,
             elapsed,
             requests_issued: self.requests_issued,
             requests_measured: self.requests_measured,
@@ -726,6 +878,7 @@ impl ArraySim {
             scrub: self.scrub.map(|s| s.report),
             crash: self.crash,
             exposed_defects: exposed,
+            observations,
         }
     }
 
@@ -749,20 +902,12 @@ impl ArraySim {
             Fault::Rebuilding(r) => r.processes,
             _ => panic!("run_until_reconstructed requires start_reconstruction"),
         };
-        self.started = true;
         self.measure_from = SimTime::ZERO;
-        for &(disk, at) in &self.scheduled_failures {
-            self.queue.schedule(at, Event::DiskFail(disk));
-        }
-        if let Some(at) = self.crash_plan {
-            self.queue.schedule(at, Event::Crash);
-        }
         // Disruptions the run must wait for even after the rebuild
         // finishes: scheduled failures and the planned crash.
         let mut pending_disruptions =
             self.scheduled_failures.len() + usize::from(self.crash_plan.is_some());
-        self.schedule_first_scrub_kick();
-        self.schedule_next_arrival();
+        self.prepare_run();
         for p in 0..processes {
             self.start_recon_cycle(p, SimTime::ZERO);
         }
@@ -776,6 +921,9 @@ impl ArraySim {
                 pending_disruptions -= 1;
             }
             self.dispatch(now, event);
+            if P::ACTIVE {
+                self.probe_disks(now);
+            }
             if self.terminal_at.is_some() {
                 break;
             }
@@ -814,11 +962,14 @@ impl ArraySim {
             last_cycles.read_ms.push(read);
             last_cycles.write_ms.push(write);
         }
+        let observations = if P::ACTIVE {
+            self.probe.collect(end)
+        } else {
+            None
+        };
         ReconReport {
             reconstruction_time: finish,
-            user: self.all,
-            reads: self.reads,
-            writes: self.writes,
+            ops: self.stats,
             cycles: r.cycles,
             last_cycles,
             units_swept: r.swept,
@@ -837,6 +988,7 @@ impl ArraySim {
             scrub: self.scrub.map(|s| s.report),
             crash: self.crash,
             exposed_defects: exposed,
+            observations,
         }
     }
 
@@ -1213,13 +1365,7 @@ impl ArraySim {
         if let Some((kind, arrival)) = op.user {
             self.user_inflight -= 1;
             if arrival >= self.measure_from {
-                let response = now - arrival;
-                self.all.record(response);
-                match kind {
-                    AccessKind::Read => self.reads.record(response),
-                    AccessKind::Write => self.writes.record(response),
-                }
-                self.requests_measured += 1;
+                self.record_user_response(kind, now - arrival, now);
             }
         }
         if let Some(offset) = op.mark_rebuilt {
@@ -1246,22 +1392,40 @@ impl ArraySim {
                 let (kind, arrival, _) = self.parents.remove(parent_id).expect("parent vanished");
                 self.user_inflight -= 1;
                 if arrival >= self.measure_from {
-                    let response = now - arrival;
-                    self.all.record(response);
-                    match kind {
-                        AccessKind::Read => self.reads.record(response),
-                        AccessKind::Write => self.writes.record(response),
-                    }
-                    self.requests_measured += 1;
+                    self.record_user_response(kind, now - arrival, now);
                 }
             }
         }
         if let Some(rc) = op.recon {
             self.finish_recon_cycle(rc, now);
         }
-        if op.scrub.is_some() {
+        if let Some((_, started)) = op.scrub {
             self.finish_scrub_cycle();
+            if P::ACTIVE {
+                self.probe.latency(now, OpClass::Scrub, now - started);
+            }
         }
+    }
+
+    /// Records one measured user response into the always-on [`OpStats`]
+    /// and, when instrumentation is active, into the probe's per-class
+    /// histograms.
+    fn record_user_response(&mut self, kind: AccessKind, response: SimTime, now: SimTime) {
+        match kind {
+            AccessKind::Read => {
+                self.stats.record_read(response);
+                if P::ACTIVE {
+                    self.probe.latency(now, OpClass::UserRead, response);
+                }
+            }
+            AccessKind::Write => {
+                self.stats.record_write(response);
+                if P::ACTIVE {
+                    self.probe.latency(now, OpClass::UserWrite, response);
+                }
+            }
+        }
+        self.requests_measured += 1;
     }
 
     fn insert_op(&mut self, op: Op) -> u32 {
@@ -1341,6 +1505,9 @@ impl ArraySim {
                 let percent_prev = (r.progress.last().map_or(0.0, |&(_, f)| f) * 100.0) as u32;
                 if r.progress.is_empty() || percent_now > percent_prev {
                     r.progress.push((now.as_secs_f64(), fraction));
+                    if P::ACTIVE {
+                        self.probe.recon_progress(now, r.rebuilt_count, r.target);
+                    }
                 }
                 if r.rebuilt_count == r.target && r.finished.is_none() {
                     r.finished = Some(now);
@@ -1473,6 +1640,13 @@ impl ArraySim {
 
     fn finish_recon_cycle(&mut self, rc: ReconCycle, now: SimTime) {
         let throttle = SimTime::from_us(self.cfg.recon_throttle_us);
+        if P::ACTIVE {
+            let read_done = rc.read_done.unwrap_or(now);
+            self.probe
+                .latency(now, OpClass::ReconRead, read_done - rc.started);
+            self.probe
+                .latency(now, OpClass::ReconWrite, now - read_done);
+        }
         if let Fault::Rebuilding(r) = &mut self.fault {
             let read_done = rc.read_done.unwrap_or(now);
             let read_ms = (read_done - rc.started).as_ms_f64();
@@ -1587,7 +1761,7 @@ impl ArraySim {
                 span: None,
                 aborted: false,
                 lost_cycle: false,
-                scrub: Some(stripe),
+                scrub: Some((stripe, now)),
                 writing: false,
                 phase_size: 0,
             };
@@ -1656,7 +1830,7 @@ impl ArraySim {
             let landed = op.phase_size - op.outstanding;
             let is_torn = op.writing && landed > 0 && op.outstanding > 0;
             let mark = |list: &mut Vec<u64>| match (op.scrub, op.mark_rebuilt, op.span) {
-                (Some(stripe), _, _) => list.push(stripe),
+                (Some((stripe, _)), _, _) => list.push(stripe),
                 (None, Some(offset), _) => {
                     let failed = failed_disk.expect("rebuild writes imply a failed disk");
                     if let Some(stripe) = self.mapping.role_at(failed, offset).stripe() {
@@ -1706,6 +1880,11 @@ mod tests {
         ArrayConfig::scaled(40)
     }
 
+    /// A builder pre-scaled like [`tiny_cfg`], for tests that tweak knobs.
+    fn tiny_builder() -> crate::config::ArrayConfigBuilder {
+        ArrayConfig::builder().cylinders(40)
+    }
+
     fn sim(g: u16, spec: WorkloadSpec) -> ArraySim {
         ArraySim::new(small_layout(g), tiny_cfg(), spec, 1).unwrap()
     }
@@ -1718,15 +1897,15 @@ mod tests {
         // A lightly-loaded single random read averages ~22 ms service and
         // little queueing.
         assert!(
-            report.all.mean_ms() > 5.0 && report.all.mean_ms() < 40.0,
+            report.ops.all.mean_ms() > 5.0 && report.ops.all.mean_ms() < 40.0,
             "mean {}",
-            report.all.mean_ms()
+            report.ops.all.mean_ms()
         );
         assert_eq!(
-            report.reads.count() + report.writes.count(),
-            report.all.count()
+            report.ops.reads.count() + report.ops.writes.count(),
+            report.ops.all.count()
         );
-        assert_eq!(report.writes.count(), 0);
+        assert_eq!(report.ops.writes.count(), 0);
     }
 
     #[test]
@@ -1736,10 +1915,10 @@ mod tests {
         let write_report = sim(4, WorkloadSpec::all_writes(10.0))
             .run_for(SimTime::from_secs(60), SimTime::from_secs(5));
         assert!(
-            write_report.all.mean_ms() > read_report.all.mean_ms() * 1.5,
+            write_report.ops.all.mean_ms() > read_report.ops.all.mean_ms() * 1.5,
             "writes {} vs reads {}",
-            write_report.all.mean_ms(),
-            read_report.all.mean_ms()
+            write_report.ops.all.mean_ms(),
+            read_report.ops.all.mean_ms()
         );
     }
 
@@ -1751,10 +1930,10 @@ mod tests {
         s.fail_disk(0).unwrap();
         let deg = s.run_for(SimTime::from_secs(60), SimTime::from_secs(5));
         assert!(
-            deg.all.mean_ms() > ff.all.mean_ms(),
+            deg.ops.all.mean_ms() > ff.ops.all.mean_ms(),
             "degraded {} vs fault-free {}",
-            deg.all.mean_ms(),
-            ff.all.mean_ms()
+            deg.ops.all.mean_ms(),
+            ff.ops.all.mean_ms()
         );
     }
 
@@ -1762,7 +1941,8 @@ mod tests {
     fn reconstruction_completes_and_accounts_every_unit() {
         let mut s = sim(4, WorkloadSpec::half_and_half(10.0));
         s.fail_disk(2).unwrap();
-        s.start_reconstruction(ReconAlgorithm::Baseline, 1).unwrap();
+        s.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline))
+            .unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some(), "{report:?}");
         assert_eq!(
@@ -1780,7 +1960,7 @@ mod tests {
     fn user_writes_rebuild_some_units() {
         let mut s = sim(4, WorkloadSpec::all_writes(30.0));
         s.fail_disk(2).unwrap();
-        s.start_reconstruction(ReconAlgorithm::UserWrites, 1)
+        s.start_reconstruction(ReconOptions::new(ReconAlgorithm::UserWrites))
             .unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some());
@@ -1799,8 +1979,10 @@ mod tests {
         let recon_time = |processes| {
             let mut s = sim(4, WorkloadSpec::half_and_half(10.0));
             s.fail_disk(1).unwrap();
-            s.start_reconstruction(ReconAlgorithm::Baseline, processes)
-                .unwrap();
+            s.start_reconstruction(
+                ReconOptions::new(ReconAlgorithm::Baseline).processes(processes),
+            )
+            .unwrap();
             s.run_until_reconstructed(SimTime::from_secs(100_000))
                 .reconstruction_secs()
                 .unwrap()
@@ -1816,11 +1998,12 @@ mod tests {
     #[test]
     fn throttled_reconstruction_is_slower_but_gentler() {
         let run = |throttle_us| {
-            let cfg = tiny_cfg().with_recon_throttle_us(throttle_us);
+            let cfg = tiny_builder().recon_throttle_us(throttle_us).build();
             let mut s =
                 ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(30.0), 1).unwrap();
             s.fail_disk(1).unwrap();
-            s.start_reconstruction(ReconAlgorithm::Baseline, 1).unwrap();
+            s.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline))
+                .unwrap();
             s.run_until_reconstructed(SimTime::from_secs(200_000))
         };
         let fast = run(0);
@@ -1834,10 +2017,10 @@ mod tests {
             "throttle had no effect: {t_fast} vs {t_slow}"
         );
         assert!(
-            slow.user.mean_ms() < fast.user.mean_ms(),
+            slow.ops.all.mean_ms() < fast.ops.all.mean_ms(),
             "throttling should lower user response time: {} vs {}",
-            slow.user.mean_ms(),
-            fast.user.mean_ms()
+            slow.ops.all.mean_ms(),
+            fast.ops.all.mean_ms()
         );
     }
 
@@ -1845,7 +2028,8 @@ mod tests {
     fn recon_limit_reports_incomplete() {
         let mut s = sim(4, WorkloadSpec::half_and_half(10.0));
         s.fail_disk(0).unwrap();
-        s.start_reconstruction(ReconAlgorithm::Baseline, 1).unwrap();
+        s.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline))
+            .unwrap();
         let report = s.run_until_reconstructed(SimTime::from_ms(200));
         assert_eq!(report.reconstruction_time, None);
     }
@@ -1856,7 +2040,8 @@ mod tests {
         let mut s =
             ArraySim::new(layout, tiny_cfg(), WorkloadSpec::half_and_half(10.0), 1).unwrap();
         s.fail_disk(4).unwrap();
-        s.start_reconstruction(ReconAlgorithm::Redirect, 1).unwrap();
+        s.start_reconstruction(ReconOptions::new(ReconAlgorithm::Redirect))
+            .unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some());
         assert_eq!(
@@ -1870,20 +2055,21 @@ mod tests {
         let run = || {
             let mut s = sim(4, WorkloadSpec::half_and_half(15.0));
             s.fail_disk(3).unwrap();
-            s.start_reconstruction(ReconAlgorithm::Redirect, 2).unwrap();
+            s.start_reconstruction(ReconOptions::new(ReconAlgorithm::Redirect).processes(2))
+                .unwrap();
             s.run_until_reconstructed(SimTime::from_secs(100_000))
         };
         let a = run();
         let b = run();
         assert_eq!(a.reconstruction_time, b.reconstruction_time);
-        assert_eq!(a.user, b.user);
+        assert_eq!(a.ops, b.ops);
         assert_eq!(a.units_swept, b.units_swept);
     }
 
     #[test]
     fn recon_without_failure_is_rejected() {
         let err = sim(4, WorkloadSpec::all_reads(1.0))
-            .start_reconstruction(ReconAlgorithm::Baseline, 1)
+            .start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline))
             .unwrap_err();
         assert!(err.to_string().contains("requires a failed disk"), "{err}");
     }
@@ -1946,12 +2132,14 @@ mod tests {
     fn second_failure_mid_rebuild_truncates_loss_by_progress() {
         let mut s = sim(4, WorkloadSpec::all_reads(5.0));
         s.fail_disk(0).unwrap();
-        s.start_reconstruction(ReconAlgorithm::Baseline, 4).unwrap();
+        s.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline).processes(4))
+            .unwrap();
         // First find how long an unmolested rebuild takes.
         let clean = {
             let mut c = sim(4, WorkloadSpec::all_reads(5.0));
             c.fail_disk(0).unwrap();
-            c.start_reconstruction(ReconAlgorithm::Baseline, 4).unwrap();
+            c.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline).processes(4))
+                .unwrap();
             c.run_until_reconstructed(SimTime::from_secs(100_000))
         };
         let t = clean.reconstruction_secs().unwrap();
@@ -1995,13 +2183,15 @@ mod tests {
         let clean = {
             let mut c = sim(4, WorkloadSpec::all_reads(5.0));
             c.fail_disk(0).unwrap();
-            c.start_reconstruction(ReconAlgorithm::Baseline, 4).unwrap();
+            c.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline).processes(4))
+                .unwrap();
             c.run_until_reconstructed(SimTime::from_secs(100_000))
         };
         let t = clean.reconstruction_secs().unwrap();
         let mut s = sim(4, WorkloadSpec::all_reads(5.0));
         s.fail_disk(0).unwrap();
-        s.start_reconstruction(ReconAlgorithm::Baseline, 4).unwrap();
+        s.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline).processes(4))
+            .unwrap();
         let late = SimTime::from_secs_f64(t * 1.5);
         s.inject_faults(&FaultPlan::new().fail_at(3, late)).unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
@@ -2022,7 +2212,8 @@ mod tests {
         let run = || {
             let mut s = sim(4, WorkloadSpec::half_and_half(15.0));
             s.fail_disk(0).unwrap();
-            s.start_reconstruction(ReconAlgorithm::Redirect, 2).unwrap();
+            s.start_reconstruction(ReconOptions::new(ReconAlgorithm::Redirect).processes(2))
+                .unwrap();
             s.inject_faults(&FaultPlan::new().fail_at(1, SimTime::from_secs(30)))
                 .unwrap();
             s.run_until_reconstructed(SimTime::from_secs(100_000))
@@ -2038,12 +2229,14 @@ mod tests {
         // A high latent-error rate guarantees some reconstruction cycles
         // hit unreadable survivors: those stripes are lost, the offsets
         // resolve as lost, and the accounting identity still holds.
-        let cfg = tiny_cfg()
-            .with_media_faults(decluster_disk::MediaFaultConfig::none().with_latent_rate(2e-4));
+        let cfg = tiny_builder()
+            .media_faults(decluster_disk::MediaFaultConfig::none().with_latent_rate(2e-4))
+            .build();
         let mut s =
             ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(10.0), 1).unwrap();
         s.fail_disk(2).unwrap();
-        s.start_reconstruction(ReconAlgorithm::Baseline, 2).unwrap();
+        s.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline).processes(2))
+            .unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some(), "sweep must terminate");
         assert_eq!(
@@ -2063,8 +2256,9 @@ mod tests {
     fn transient_errors_only_slow_the_array_down() {
         // Pure transient faults (no latent errors) retry and succeed:
         // nothing is lost, but response time goes up.
-        let faulty_cfg = tiny_cfg()
-            .with_media_faults(decluster_disk::MediaFaultConfig::none().with_transient_rate(0.05));
+        let faulty_cfg = tiny_builder()
+            .media_faults(decluster_disk::MediaFaultConfig::none().with_transient_rate(0.05))
+            .build();
         let clean = sim(4, WorkloadSpec::all_reads(15.0))
             .run_for(SimTime::from_secs(40), SimTime::from_secs(4));
         let faulty = ArraySim::new(
@@ -2078,10 +2272,10 @@ mod tests {
         assert!(faulty.data_loss.is_empty());
         assert_eq!(clean.requests_measured, faulty.requests_measured);
         assert!(
-            faulty.all.mean_ms() > clean.all.mean_ms(),
+            faulty.ops.all.mean_ms() > clean.ops.all.mean_ms(),
             "retries should cost latency: {} vs {}",
-            faulty.all.mean_ms(),
-            clean.all.mean_ms()
+            faulty.ops.all.mean_ms(),
+            clean.ops.all.mean_ms()
         );
     }
 
@@ -2093,8 +2287,8 @@ mod tests {
         assert!(report.requests_measured > 100);
         // One response per request, even though each request spans units.
         assert_eq!(
-            report.reads.count() + report.writes.count(),
-            report.all.count()
+            report.ops.reads.count() + report.ops.writes.count(),
+            report.ops.all.count()
         );
     }
 
@@ -2124,7 +2318,7 @@ mod tests {
         let spec = WorkloadSpec::half_and_half(10.0).with_access_units(3);
         let mut s = ArraySim::new(small_layout(4), tiny_cfg(), spec, 1).unwrap();
         s.fail_disk(2).unwrap();
-        s.start_reconstruction(ReconAlgorithm::UserWrites, 2)
+        s.start_reconstruction(ReconOptions::new(ReconAlgorithm::UserWrites).processes(2))
             .unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some());
@@ -2136,12 +2330,16 @@ mod tests {
 
     #[test]
     fn distributed_sparing_completes_without_a_replacement() {
-        let cfg = tiny_cfg().with_distributed_spares(900);
+        let cfg = tiny_builder().distributed_spares(900).build();
         let mut s =
             ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(10.0), 1).unwrap();
         s.fail_disk(2).unwrap();
-        s.start_reconstruction_distributed(ReconAlgorithm::Redirect, 4)
-            .unwrap();
+        s.start_reconstruction(
+            ReconOptions::new(ReconAlgorithm::Redirect)
+                .processes(4)
+                .distributed(),
+        )
+        .unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some(), "{report:?}");
         assert_eq!(
@@ -2168,18 +2366,24 @@ mod tests {
             .unwrap();
             let layout: Arc<dyn ParityLayout> = Arc::new(layout);
             let cfg = if distributed {
-                ArrayConfig::scaled(40).with_distributed_spares(200)
+                tiny_builder().distributed_spares(200).build()
             } else {
                 ArrayConfig::scaled(40)
             };
             let mut s = ArraySim::new(layout, cfg, WorkloadSpec::half_and_half(105.0), 1).unwrap();
             s.fail_disk(0).unwrap();
             if distributed {
-                s.start_reconstruction_distributed(ReconAlgorithm::Baseline, processes)
-                    .unwrap();
+                s.start_reconstruction(
+                    ReconOptions::new(ReconAlgorithm::Baseline)
+                        .processes(processes)
+                        .distributed(),
+                )
+                .unwrap();
             } else {
-                s.start_reconstruction(ReconAlgorithm::Baseline, processes)
-                    .unwrap();
+                s.start_reconstruction(
+                    ReconOptions::new(ReconAlgorithm::Baseline).processes(processes),
+                )
+                .unwrap();
             }
             s.run_until_reconstructed(SimTime::from_secs(100_000))
                 .reconstruction_secs()
@@ -2197,14 +2401,18 @@ mod tests {
         // After rebuild completes mid-run, redirected reads hit spare
         // slots; correctness here is "the run completes and measures
         // responses" — address-level checks live in the planner tests.
-        let cfg = tiny_cfg().with_distributed_spares(900);
+        let cfg = tiny_builder().distributed_spares(900).build();
         let mut s = ArraySim::new(small_layout(4), cfg, WorkloadSpec::all_reads(20.0), 1).unwrap();
         s.fail_disk(0).unwrap();
-        s.start_reconstruction_distributed(ReconAlgorithm::RedirectPiggyback, 8)
-            .unwrap();
+        s.start_reconstruction(
+            ReconOptions::new(ReconAlgorithm::RedirectPiggyback)
+                .processes(8)
+                .distributed(),
+        )
+        .unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some());
-        assert!(report.user.count() > 0);
+        assert!(report.ops.all.count() > 0);
     }
 
     #[test]
@@ -2213,7 +2421,7 @@ mod tests {
             ArraySim::new(small_layout(4), tiny_cfg(), WorkloadSpec::all_reads(1.0), 1).unwrap();
         s.fail_disk(0).unwrap();
         let err = s
-            .start_reconstruction_distributed(ReconAlgorithm::Baseline, 1)
+            .start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline).distributed())
             .unwrap_err();
         assert!(
             err.to_string().contains("requires reserved spare space"),
@@ -2240,16 +2448,16 @@ mod tests {
         // completed despite the transition.
         assert_eq!(mid.requests_measured, fault_free.requests_measured);
         assert!(
-            mid.all.mean_ms() >= fault_free.all.mean_ms() * 0.95,
+            mid.ops.all.mean_ms() >= fault_free.ops.all.mean_ms() * 0.95,
             "mid {} vs fault-free {}",
-            mid.all.mean_ms(),
-            fault_free.all.mean_ms()
+            mid.ops.all.mean_ms(),
+            fault_free.ops.all.mean_ms()
         );
         assert!(
-            mid.all.mean_ms() <= degraded.all.mean_ms() * 1.15,
+            mid.ops.all.mean_ms() <= degraded.ops.all.mean_ms() * 1.15,
             "mid {} vs degraded {}",
-            mid.all.mean_ms(),
-            degraded.all.mean_ms()
+            mid.ops.all.mean_ms(),
+            degraded.ops.all.mean_ms()
         );
     }
 
@@ -2261,8 +2469,8 @@ mod tests {
         let report = s.run_for(SimTime::from_secs(30), SimTime::from_secs(2));
         assert!(report.requests_measured > 100);
         assert_eq!(
-            report.reads.count() + report.writes.count(),
-            report.all.count()
+            report.ops.reads.count() + report.ops.writes.count(),
+            report.ops.all.count()
         );
     }
 
@@ -2322,7 +2530,7 @@ mod tests {
         let replayed = ArraySim::with_trace(small_layout(4), tiny_cfg(), trace)
             .unwrap()
             .run_for(SimTime::from_secs(20), SimTime::from_secs(2));
-        assert_eq!(synthetic.all, replayed.all);
+        assert_eq!(synthetic.ops, replayed.ops);
         assert_eq!(synthetic.requests_measured, replayed.requests_measured);
     }
 
@@ -2348,7 +2556,8 @@ mod tests {
     fn progress_trajectory_is_monotone_and_complete() {
         let mut s = sim(4, WorkloadSpec::half_and_half(10.0));
         s.fail_disk(1).unwrap();
-        s.start_reconstruction(ReconAlgorithm::Baseline, 2).unwrap();
+        s.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline).processes(2))
+            .unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         let progress = &report.progress;
         assert!(progress.len() >= 100, "only {} samples", progress.len());
@@ -2363,20 +2572,21 @@ mod tests {
     #[test]
     fn recon_priority_protects_user_response() {
         let run = |priority| {
-            let cfg = tiny_cfg().with_recon_priority(priority);
+            let cfg = tiny_builder().recon_priority(priority).build();
             let mut s =
                 ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(40.0), 1).unwrap();
             s.fail_disk(1).unwrap();
-            s.start_reconstruction(ReconAlgorithm::Baseline, 8).unwrap();
+            s.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline).processes(8))
+                .unwrap();
             s.run_until_reconstructed(SimTime::from_secs(200_000))
         };
         let plain = run(false);
         let prioritized = run(true);
         assert!(
-            prioritized.user.mean_ms() < plain.user.mean_ms(),
+            prioritized.ops.all.mean_ms() < plain.ops.all.mean_ms(),
             "priority scheduling should lower user response: {} vs {}",
-            prioritized.user.mean_ms(),
-            plain.user.mean_ms()
+            prioritized.ops.all.mean_ms(),
+            plain.ops.all.mean_ms()
         );
         assert!(
             prioritized.reconstruction_secs().unwrap() >= plain.reconstruction_secs().unwrap(),
@@ -2389,14 +2599,16 @@ mod tests {
     fn run_for_rejects_reconstruction() {
         let mut s = sim(4, WorkloadSpec::all_reads(1.0));
         s.fail_disk(0).unwrap();
-        s.start_reconstruction(ReconAlgorithm::Baseline, 1).unwrap();
+        s.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline))
+            .unwrap();
         s.run_for(SimTime::from_secs(1), SimTime::ZERO);
     }
 
     fn latent_cfg(scrub: ScrubConfig) -> ArrayConfig {
-        tiny_cfg()
-            .with_media_faults(decluster_disk::MediaFaultConfig::none().with_latent_rate(2e-4))
-            .with_scrub(scrub)
+        tiny_builder()
+            .media_faults(decluster_disk::MediaFaultConfig::none().with_latent_rate(2e-4))
+            .scrub(scrub)
+            .build()
     }
 
     #[test]
@@ -2434,7 +2646,7 @@ mod tests {
 
     #[test]
     fn scrubber_backs_off_under_load_and_is_bounded() {
-        let cfg = tiny_cfg().with_scrub(ScrubConfig::on());
+        let cfg = tiny_builder().scrub(ScrubConfig::on()).build();
         let report = ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(60.0), 1)
             .unwrap()
             .run_for(SimTime::from_secs(30), SimTime::from_secs(3));
@@ -2451,7 +2663,8 @@ mod tests {
         let mut s =
             ArraySim::new(small_layout(4), cfg, WorkloadSpec::half_and_half(10.0), 1).unwrap();
         s.fail_disk(2).unwrap();
-        s.start_reconstruction(ReconAlgorithm::Baseline, 2).unwrap();
+        s.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline).processes(2))
+            .unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         assert!(report.reconstruction_time.is_some(), "sweep must terminate");
         assert_eq!(
@@ -2494,7 +2707,8 @@ mod tests {
         s.fail_disk(1).unwrap();
         s.inject_crash(&CrashPlan::at(SimTime::from_secs(10)))
             .unwrap();
-        s.start_reconstruction(ReconAlgorithm::Baseline, 2).unwrap();
+        s.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline).processes(2))
+            .unwrap();
         let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
         let crash = report.crash.as_ref().expect("planned crash must fire");
         assert_eq!(crash.failed_disk, Some(1));
@@ -2559,13 +2773,105 @@ mod tests {
             .run_for(SimTime::from_secs(20), SimTime::from_secs(2));
         let b = ArraySim::new(
             small_layout(4),
-            tiny_cfg().with_scrub(ScrubConfig::off().with_interval_us(1)),
+            tiny_builder()
+                .scrub(ScrubConfig::off().with_interval_us(1))
+                .build(),
             WorkloadSpec::half_and_half(20.0),
             1,
         )
         .unwrap()
         .run_for(SimTime::from_secs(20), SimTime::from_secs(2));
-        assert_eq!(a.all.mean_ms(), b.all.mean_ms());
+        assert_eq!(a.ops.all.mean_ms(), b.ops.all.mean_ms());
         assert_eq!(a.requests_measured, b.requests_measured);
+    }
+
+    #[test]
+    fn recorder_probe_observes_without_perturbing() {
+        use decluster_sim::Recorder;
+        let spec = WorkloadSpec::half_and_half(20.0);
+        let plain = sim(4, spec).run_for(SimTime::from_secs(30), SimTime::from_secs(3));
+        let probed = ArraySim::new_probed(small_layout(4), tiny_cfg(), spec, 1, Recorder::new())
+            .unwrap()
+            .run_for(SimTime::from_secs(30), SimTime::from_secs(3));
+        // Instrumentation is read-only: every simulated quantity matches.
+        assert_eq!(plain.ops, probed.ops);
+        assert_eq!(plain.events_processed, probed.events_processed);
+        assert!(plain.observations.is_none());
+        let obs = probed.observations.expect("recorder must report");
+        let reads = obs.class(OpClass::UserRead).expect("all classes present");
+        assert_eq!(reads.count(), probed.ops.reads.count());
+        assert!((reads.mean_ms() - probed.ops.reads.mean_ms()).abs() < 1e-9);
+        // One utilization timeline per disk, with samples in [0, 1].
+        assert_eq!(obs.timelines.len(), 5);
+        for tl in &obs.timelines {
+            assert!(!tl.samples.is_empty(), "disk {} never sampled", tl.disk);
+            for s in &tl.samples {
+                assert!((0.0..=1.0).contains(&s.utilization));
+            }
+        }
+    }
+
+    #[test]
+    fn recorder_probe_sees_recon_scrub_and_progress() {
+        use decluster_sim::Recorder;
+        let mut s = ArraySim::new_probed(
+            small_layout(4),
+            latent_cfg(ScrubConfig::on().with_interval_us(50_000)),
+            WorkloadSpec::half_and_half(10.0),
+            1,
+            Recorder::new(),
+        )
+        .unwrap();
+        s.fail_disk(1).unwrap();
+        s.start_reconstruction(ReconOptions::new(ReconAlgorithm::Redirect).processes(2))
+            .unwrap();
+        let report = s.run_until_reconstructed(SimTime::from_secs(100_000));
+        assert!(report.reconstruction_time.is_some());
+        let obs = report.observations.expect("recorder must report");
+        assert!(obs.class(OpClass::ReconRead).unwrap().count() > 0);
+        assert!(obs.class(OpClass::ReconWrite).unwrap().count() > 0);
+        assert!(obs.class(OpClass::Scrub).unwrap().count() > 0);
+        assert_eq!(obs.recon_total, report.units_total);
+        assert!(!obs.recon_progress.is_empty());
+        for pair in obs.recon_progress.windows(2) {
+            assert!(pair[0].t_us <= pair[1].t_us);
+            assert!(pair[0].rebuilt < pair[1].rebuilt);
+        }
+        assert_eq!(
+            obs.recon_progress.last().unwrap().rebuilt,
+            report.units_total
+        );
+    }
+
+    #[test]
+    fn event_queue_never_regrows_mid_run() {
+        // The scrubber's backoff re-arm (and injected faults, crashes,
+        // recon kicks) must all fit in the capacity reserved before the
+        // first event pops; regrowth mid-run would mean the reservation
+        // undercounts an event source.
+        let mut s = ArraySim::new(
+            small_layout(4),
+            latent_cfg(ScrubConfig::on().with_interval_us(20_000)),
+            WorkloadSpec::half_and_half(30.0),
+            1,
+        )
+        .unwrap();
+        s.fail_disk_at(2, SimTime::from_secs(4)).unwrap();
+        s.measure_from = SimTime::from_secs(1);
+        s.arrival_cutoff = SimTime::from_secs(20);
+        s.prepare_run();
+        let reserved = s.queue.capacity();
+        while let Some((now, event)) = s.queue.pop() {
+            s.dispatch(now, event);
+            if s.terminal_at.is_some() {
+                break;
+            }
+        }
+        assert!(s.events_processed > 1_000, "run was non-trivial");
+        assert_eq!(
+            s.queue.capacity(),
+            reserved,
+            "event heap regrew past its up-front reservation"
+        );
     }
 }

@@ -2,7 +2,7 @@
 //! reconstruction throttling (the paper's future-work knob) and the
 //! FCFS-vs-CVSCAN scheduler effect on reconstruction itself.
 
-use decluster_array::{ArrayConfig, ArraySim, ReconAlgorithm};
+use decluster_array::{ArrayConfig, ArraySim, ReconAlgorithm, ReconOptions};
 use decluster_bench::Micro;
 use decluster_core::design::appendix;
 use decluster_core::layout::{DeclusteredLayout, ParityLayout};
@@ -19,12 +19,12 @@ fn rebuild(cfg: ArrayConfig) -> (f64, f64) {
     let mut sim =
         ArraySim::new(layout(), cfg, WorkloadSpec::half_and_half(105.0), 1).expect("layout fits");
     sim.fail_disk(0).expect("disk is healthy and in range");
-    sim.start_reconstruction(ReconAlgorithm::Baseline, 1)
+    sim.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline))
         .expect("a disk failed and processes > 0");
     let r = sim.run_until_reconstructed(SimTime::from_secs(100_000));
     (
         r.reconstruction_secs().unwrap_or(f64::NAN),
-        r.user.mean_ms(),
+        r.ops.all.mean_ms(),
     )
 }
 
@@ -32,7 +32,10 @@ fn main() {
     let mut m = Micro::from_args("ablation");
 
     for (name, us) in [("none", 0u64), ("50ms", 50_000)] {
-        let cfg = ArrayConfig::scaled(30).with_recon_throttle_us(us);
+        let cfg = ArrayConfig::builder()
+            .cylinders(30)
+            .recon_throttle_us(us)
+            .build();
         m.case(&format!("ablation_throttle/{name}"), || rebuild(cfg));
         let (t, ms) = rebuild(cfg);
         eprintln!("# throttle {name}: recon {t:.0} s, user {ms:.1} ms");
@@ -42,15 +45,17 @@ fn main() {
         ("cvscan", SchedPolicy::cvscan()),
         ("fcfs", SchedPolicy::Fcfs),
     ] {
-        let mut cfg = ArrayConfig::scaled(30);
-        cfg.sched = policy;
+        let cfg = ArrayConfig::builder().cylinders(30).sched(policy).build();
         m.case(&format!("ablation_sched/{name}"), || rebuild(cfg));
         let (t, ms) = rebuild(cfg);
         eprintln!("# scheduler {name}: recon {t:.0} s, user {ms:.1} ms");
     }
 
     for (name, on) in [("plain", false), ("user_priority", true)] {
-        let cfg = ArrayConfig::scaled(30).with_recon_priority(on);
+        let cfg = ArrayConfig::builder()
+            .cylinders(30)
+            .recon_priority(on)
+            .build();
         m.case(&format!("ablation_priority/{name}"), || rebuild(cfg));
         let (t, ms) = rebuild(cfg);
         eprintln!("# priority {name}: recon {t:.0} s, user {ms:.1} ms");
@@ -58,20 +63,22 @@ fn main() {
 
     let run = |distributed: bool, processes: usize| {
         let cfg = if distributed {
-            ArrayConfig::scaled(40).with_distributed_spares(200)
+            ArrayConfig::builder()
+                .cylinders(40)
+                .distributed_spares(200)
+                .build()
         } else {
             ArrayConfig::scaled(40)
         };
         let mut sim = ArraySim::new(layout(), cfg, WorkloadSpec::half_and_half(105.0), 1)
             .expect("layout fits");
         sim.fail_disk(0).expect("disk is healthy and in range");
+        let mut opts = ReconOptions::new(ReconAlgorithm::Baseline).processes(processes);
         if distributed {
-            sim.start_reconstruction_distributed(ReconAlgorithm::Baseline, processes)
-                .expect("a disk failed and processes > 0");
-        } else {
-            sim.start_reconstruction(ReconAlgorithm::Baseline, processes)
-                .expect("a disk failed and processes > 0");
+            opts = opts.distributed();
         }
+        sim.start_reconstruction(opts)
+            .expect("a disk failed and processes > 0");
         sim.run_until_reconstructed(SimTime::from_secs(100_000))
             .reconstruction_secs()
             .unwrap_or(f64::NAN)

@@ -4,7 +4,7 @@
 //! user-writes/piggybacking that the Muntz & Lui model counts on.
 
 use decluster_analytic::ReconAlgorithm;
-use decluster_array::ArraySim;
+use decluster_array::{ArraySim, ReconOptions};
 use decluster_bench::{cli_from_args, print_header, print_sweep_footer};
 use decluster_experiments::paper_layout;
 use decluster_sim::SimTime;
@@ -30,7 +30,7 @@ fn main() {
                 )
                 .expect("paper layout fits");
                 sim.fail_disk(0).expect("disk 0 exists and is healthy");
-                sim.start_reconstruction(algorithm, 1)
+                sim.start_reconstruction(ReconOptions::new(algorithm))
                     .expect("a disk failed and processes > 0");
                 let report =
                     sim.run_until_reconstructed(SimTime::from_secs(scale.recon_limit_secs));

@@ -1,6 +1,7 @@
 //! Regenerates Figure 6-1: fault-free and degraded average response time,
 //! 100% reads, rates 105/210/378 accesses/s, over the alpha sweep.
 
+use decluster_bench::trace::TraceScenario;
 use decluster_bench::{cli_from_args, print_header, print_sweep_footer, sweep_or_exit};
 use decluster_experiments::{fig6, render};
 
@@ -17,4 +18,12 @@ fn main() {
         render::fig6_table("Figure 6-1: response time, 100% reads", &run.values)
     );
     print_sweep_footer(&report);
+    // A replayable event trace of the figure's representative point:
+    // G = 4 degraded at the lowest rate.
+    cli.write_trace_if_asked(TraceScenario::Fig6 {
+        g: 4,
+        rate: 105.0,
+        read_fraction: 1.0,
+        degraded: true,
+    });
 }

@@ -1,6 +1,7 @@
 //! Regenerates Figure 6-2: fault-free and degraded average response time,
 //! 100% writes, rates 105/210 accesses/s, over the alpha sweep.
 
+use decluster_bench::trace::TraceScenario;
 use decluster_bench::{cli_from_args, print_header, print_sweep_footer, sweep_or_exit};
 use decluster_experiments::{fig6, render};
 
@@ -17,4 +18,10 @@ fn main() {
         render::fig6_table("Figure 6-2: response time, 100% writes", &run.values)
     );
     print_sweep_footer(&report);
+    cli.write_trace_if_asked(TraceScenario::Fig6 {
+        g: 4,
+        rate: 105.0,
+        read_fraction: 0.0,
+        degraded: true,
+    });
 }

@@ -3,7 +3,9 @@
 //! 105/210 accesses/s, four algorithms, over the alpha sweep. (Both
 //! figures come from the same sweep, so one binary prints both.)
 
+use decluster_bench::trace::TraceScenario;
 use decluster_bench::{cli_from_args, print_header, print_sweep_footer, sweep_or_exit};
+use decluster_core::recon::ReconAlgorithm;
 use decluster_experiments::{fig8, render};
 
 fn main() {
@@ -23,4 +25,10 @@ fn main() {
         render::fig8_response_table("Figure 8-2: single-thread user response time", &run.values)
     );
     print_sweep_footer(&report);
+    cli.write_trace_if_asked(TraceScenario::Fig8 {
+        g: 4,
+        rate: 105.0,
+        algorithm: ReconAlgorithm::Baseline,
+        processes: 1,
+    });
 }

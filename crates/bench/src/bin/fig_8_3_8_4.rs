@@ -2,7 +2,9 @@
 //! and average user response time during reconstruction. (Both figures
 //! come from the same sweep, so one binary prints both.)
 
+use decluster_bench::trace::TraceScenario;
 use decluster_bench::{cli_from_args, print_header, print_sweep_footer, sweep_or_exit};
+use decluster_core::recon::ReconAlgorithm;
 use decluster_experiments::{fig8, render};
 
 fn main() {
@@ -28,4 +30,10 @@ fn main() {
         render::fig8_response_table("Figure 8-4: 8-way parallel user response time", &run.values)
     );
     print_sweep_footer(&report);
+    cli.write_trace_if_asked(TraceScenario::Fig8 {
+        g: 4,
+        rate: 105.0,
+        algorithm: ReconAlgorithm::Baseline,
+        processes: 8,
+    });
 }

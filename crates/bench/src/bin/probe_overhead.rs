@@ -1,0 +1,90 @@
+//! Verifies the observability layer's zero-cost claim: the same
+//! simulation run under the default `NoProbe` and under a full
+//! `Recorder` must produce identical reports (the probe observes, never
+//! perturbs), and the `NoProbe` run must not pay for the instrumentation
+//! (its wall clock stays within a tolerance of the probed run's — on a
+//! shared machine the guard is deliberately loose, but a probe
+//! accidentally left in the hot path shows up as a multiple, not a
+//! fraction).
+
+use decluster_array::{ArraySim, ReconAlgorithm, ReconOptions};
+use decluster_bench::{cli_from_args, print_header};
+use decluster_experiments::paper_layout;
+use decluster_sim::{Recorder, SimTime};
+use decluster_workload::WorkloadSpec;
+use std::time::Instant;
+
+fn main() {
+    let cli = cli_from_args();
+    print_header(
+        "Probe overhead check (G = 4, 105 accesses/s rebuild)",
+        &cli.scale,
+    );
+
+    let limit = SimTime::from_secs(cli.scale.recon_limit_secs);
+    let build_plain = || {
+        let mut sim = ArraySim::new(
+            paper_layout(4).expect("G = 4 is a paper group size"),
+            cli.scale.array_config(),
+            WorkloadSpec::half_and_half(105.0),
+            1,
+        )
+        .expect("paper layout fits");
+        sim.fail_disk(0).expect("disk 0 exists");
+        sim.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline))
+            .expect("a disk failed");
+        sim
+    };
+
+    // Warm both paths once, then time one run of each.
+    let _ = build_plain().run_until_reconstructed(limit);
+    let start = Instant::now();
+    let plain = build_plain().run_until_reconstructed(limit);
+    let plain_wall = start.elapsed();
+
+    let build_probed = || {
+        let mut sim = ArraySim::new_probed(
+            paper_layout(4).expect("G = 4 is a paper group size"),
+            cli.scale.array_config(),
+            WorkloadSpec::half_and_half(105.0),
+            1,
+            Recorder::new(),
+        )
+        .expect("paper layout fits");
+        sim.fail_disk(0).expect("disk 0 exists");
+        sim.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline))
+            .expect("a disk failed");
+        sim
+    };
+    let _ = build_probed().run_until_reconstructed(limit);
+    let start = Instant::now();
+    let probed = build_probed().run_until_reconstructed(limit);
+    let probed_wall = start.elapsed();
+
+    // The probe must observe without perturbing: identical simulation
+    // results, field for field (observations aside).
+    assert_eq!(plain.reconstruction_time, probed.reconstruction_time);
+    assert_eq!(plain.ops, probed.ops);
+    assert_eq!(plain.events_processed, probed.events_processed);
+    assert_eq!(plain.units_swept, probed.units_swept);
+    assert!(plain.observations.is_none());
+    let obs = probed.observations.expect("Recorder always reports");
+    assert!(!obs.timelines.is_empty());
+
+    println!(
+        "unprobed: {:>10.3} ms   probed: {:>10.3} ms   ratio {:.3}",
+        plain_wall.as_secs_f64() * 1e3,
+        probed_wall.as_secs_f64() * 1e3,
+        plain_wall.as_secs_f64() / probed_wall.as_secs_f64().max(1e-9),
+    );
+    println!("reports identical: reconstruction, ops, events, units");
+
+    // The zero-cost gate: a NoProbe build must not be slower than the
+    // instrumented one beyond shared-machine noise.
+    let ratio = plain_wall.as_secs_f64() / probed_wall.as_secs_f64().max(1e-9);
+    if ratio > 1.5 {
+        eprintln!("error: NoProbe run is {ratio:.2}x the probed run — instrumentation is leaking into the hot path");
+        std::process::exit(1);
+    }
+    println!("no-regression gate passed (NoProbe/Recorder wall ratio {ratio:.3} <= 1.5)");
+}

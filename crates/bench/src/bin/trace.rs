@@ -1,0 +1,28 @@
+//! Trace tooling: `trace replay <file>` re-runs the scenario named in a
+//! JSONL trace's header line and verifies every recorded event line
+//! matches the fresh run bit for bit. Traces are written by the figure
+//! binaries' `--trace FILE` flag.
+
+use decluster_bench::trace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, path] if cmd == "replay" => match trace::verify_file(path) {
+            Ok(lines) => {
+                println!("ok: {path}: {lines} event lines replayed bit-for-bit");
+            }
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        _ => {
+            eprintln!("usage: trace replay <file.jsonl>");
+            eprintln!();
+            eprintln!("Re-runs the simulation named in the trace header and verifies");
+            eprintln!("the recorded event stream matches bit for bit.");
+            std::process::exit(2);
+        }
+    }
+}

@@ -19,23 +19,51 @@
 
 #![warn(missing_docs)]
 
+pub mod trace;
+
 use decluster_experiments::{ExperimentScale, Runner, SweepReport, SweepRun};
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// The common CLI of every figure binary.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BenchCli {
     /// Experiment scale from `--full` / `--cylinders` / `--seed`.
     pub scale: ExperimentScale,
     /// Worker threads from `--threads` (`0` = one per core).
     pub threads: usize,
+    /// Where `--trace` asked for a replayable JSONL event trace of the
+    /// figure's representative point (`None` = no trace).
+    pub trace: Option<PathBuf>,
 }
 
 impl BenchCli {
     /// The worker pool this invocation asked for.
     pub fn runner(&self) -> Runner {
         Runner::new(self.threads)
+    }
+
+    /// Records `scenario` at this invocation's scale and writes the JSONL
+    /// trace to the `--trace` path, if one was given. Prints a one-line
+    /// summary; exits with a message on failure.
+    pub fn write_trace_if_asked(&self, scenario: trace::TraceScenario) {
+        let Some(path) = &self.trace else { return };
+        let header = trace::TraceHeader {
+            scale: self.scale,
+            scenario,
+            trace_cap: decluster_sim::Recorder::DEFAULT_TRACE_CAP,
+        };
+        match trace::write(path, &header) {
+            Ok(lines) => println!(
+                "# trace: {lines} event lines -> {} (verify with `trace replay`)",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("error: writing trace {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -48,6 +76,7 @@ pub fn cli_from_args() -> BenchCli {
     let mut cli = BenchCli {
         scale: ExperimentScale::smoke(),
         threads: 0,
+        trace: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -74,6 +103,12 @@ pub fn cli_from_args() -> BenchCli {
                     .unwrap_or_else(|| usage("--threads needs a non-negative integer"));
                 cli.threads = t;
             }
+            "--trace" => {
+                let p = args
+                    .next()
+                    .unwrap_or_else(|| usage("--trace needs a file path"));
+                cli.trace = Some(PathBuf::from(p));
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -95,7 +130,7 @@ fn usage(problem: &str) -> ! {
     if !problem.is_empty() {
         eprintln!("error: {problem}");
     }
-    eprintln!("usage: <bin> [--full] [--cylinders N] [--seed S] [--threads T]");
+    eprintln!("usage: <bin> [--full] [--cylinders N] [--seed S] [--threads T] [--trace FILE]");
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }
 

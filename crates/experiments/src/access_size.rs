@@ -74,7 +74,7 @@ pub fn run_point_counted(
         group: g,
         access_units: units,
         read_fraction,
-        response_ms: report.all.mean_ms(),
+        response_ms: report.ops.all.mean_ms(),
         utilization: report.mean_disk_utilization,
         requests_measured: report.requests_measured,
     };

@@ -59,12 +59,12 @@ use crate::runner::Runner;
 use crate::{paper_layout, ExperimentScale, PAPER_DISKS};
 use decluster_analytic::reliability;
 use decluster_array::{
-    recover, ArrayConfig, ArraySim, ConsistencyReport, CrashPlan, FaultPlan, ReconAlgorithm,
-    ReconReport, RecoveryPolicy, ScrubConfig,
+    recover, ArrayConfig, ArrayConfigBuilder, ArraySim, ConsistencyReport, CrashPlan, FaultPlan,
+    ReconAlgorithm, ReconOptions, ReconReport, RecoveryPolicy, ScrubConfig,
 };
 use decluster_core::error::Error;
 use decluster_disk::MediaFaultConfig;
-use decluster_sim::{SimRng, SimTime};
+use decluster_sim::{DiskTimeline, NoProbe, Probe, Recorder, SimRng, SimTime};
 use decluster_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
@@ -253,6 +253,13 @@ pub struct TrialOutcome {
     /// Fraction of the first disk rebuilt when the second fault hit
     /// (`1.0` when the rebuild had already completed).
     pub rebuilt_fraction: f64,
+    /// Median user response time during the trial, ms (`0` when the
+    /// second fault killed the run before any request completed).
+    pub user_p50_ms: f64,
+    /// 95th-percentile user response time during the trial, ms.
+    pub user_p95_ms: f64,
+    /// 99th-percentile user response time during the trial, ms.
+    pub user_p99_ms: f64,
     /// Parity stripes that lost data.
     pub lost_stripes: u64,
     /// Data units unrecoverable across those stripes.
@@ -270,6 +277,7 @@ impl TrialOutcome {
             concat!(
                 "{{\"trial\":{},\"seed_stream\":{},\"second_disk\":{},",
                 "\"second_at_secs\":{},\"rebuilt_fraction\":{},",
+                "\"user_p50_ms\":{},\"user_p95_ms\":{},\"user_p99_ms\":{},",
                 "\"lost_stripes\":{},\"lost_data_units\":{},",
                 "\"lost_parity_units\":{},\"recon_completed\":{}}}"
             ),
@@ -278,6 +286,9 @@ impl TrialOutcome {
             self.second_disk,
             json_f64(self.second_at_secs),
             json_f64(self.rebuilt_fraction),
+            json_f64(self.user_p50_ms),
+            json_f64(self.user_p95_ms),
+            json_f64(self.user_p99_ms),
             self.lost_stripes,
             self.lost_data_units,
             self.lost_parity_units,
@@ -491,6 +502,9 @@ pub struct LayoutSummary {
     /// `m² / (C·(C−1)·r) / p_loss_during_rebuild`. `None` when no trial
     /// lost data (the campaign measured the MTTDL as unbounded).
     pub mttdl_hours: Option<f64>,
+    /// Per-disk utilization/queue-depth timelines recorded during the
+    /// calibration rebuild (bounded samples; disk 0 is the replacement).
+    pub baseline_utilization: Vec<DiskTimeline>,
     /// Every trial, in stratification order.
     pub trials: Vec<TrialOutcome>,
     /// The scrub arm's off/on summaries (empty when the arm is disabled;
@@ -534,6 +548,7 @@ impl LayoutSummary {
                 "\"p_loss_during_rebuild\":{},\n",
                 "      \"mean_lost_stripes\":{},\"window_secs\":{},",
                 "\"mttdl_hours\":{},\n",
+                "      \"baseline_utilization\":[{}],\n",
                 "      \"trials\":[\n{}\n      ],\n",
                 "      \"scrub_arms\":[{}],\n",
                 "      \"crash_trials\":[{}]\n    }}"
@@ -547,6 +562,11 @@ impl LayoutSummary {
             json_f64(self.mean_lost_stripes),
             json_f64(self.window_secs),
             self.mttdl_hours.map_or("null".to_string(), json_f64),
+            self.baseline_utilization
+                .iter()
+                .map(DiskTimeline::to_json)
+                .collect::<Vec<_>>()
+                .join(","),
             trials.join(",\n"),
             block(scrub_arms),
             block(crash_trials),
@@ -617,15 +637,41 @@ fn json_f64(x: f64) -> String {
     format!("{x}")
 }
 
-/// The array configuration shared by every run of `layout` in this
-/// campaign (arms layer media faults and scrubbing on top of it).
-fn campaign_config(spec: &CampaignSpec, layout: CampaignLayout) -> ArrayConfig {
-    let cfg = spec.scale.array_config();
+/// The array configuration builder shared by every run of `layout` in
+/// this campaign (arms layer media faults and scrubbing on top of it).
+fn campaign_config(spec: &CampaignSpec, layout: CampaignLayout) -> ArrayConfigBuilder {
+    let builder = spec.scale.config_builder();
     if layout.is_distributed() {
-        cfg.with_distributed_spares(spec.spare_units())
+        builder.distributed_spares(spec.spare_units())
     } else {
-        cfg
+        builder
     }
+}
+
+/// Builds the simulator for one campaign run of `layout` under an
+/// explicit configuration and probe: disk 0 failed, rebuild started.
+fn build_sim_probed<P: Probe>(
+    spec: &CampaignSpec,
+    layout: CampaignLayout,
+    cfg: ArrayConfig,
+    seed_stream: u64,
+    probe: P,
+) -> Result<ArraySim<P>, Error> {
+    let workload = WorkloadSpec::half_and_half(spec.rate);
+    let mut sim = ArraySim::new_probed(
+        paper_layout(layout.group())?,
+        cfg,
+        workload,
+        seed_stream,
+        probe,
+    )?;
+    sim.fail_disk(0)?;
+    let mut opts = ReconOptions::new(ReconAlgorithm::Baseline).processes(spec.processes);
+    if layout.is_distributed() {
+        opts = opts.distributed();
+    }
+    sim.start_reconstruction(opts)?;
+    Ok(sim)
 }
 
 /// Builds the simulator for one campaign run of `layout` under an
@@ -636,15 +682,7 @@ fn build_sim_with(
     cfg: ArrayConfig,
     seed_stream: u64,
 ) -> Result<ArraySim, Error> {
-    let workload = WorkloadSpec::half_and_half(spec.rate);
-    let mut sim = ArraySim::new(paper_layout(layout.group())?, cfg, workload, seed_stream)?;
-    sim.fail_disk(0)?;
-    if layout.is_distributed() {
-        sim.start_reconstruction_distributed(ReconAlgorithm::Baseline, spec.processes)?;
-    } else {
-        sim.start_reconstruction(ReconAlgorithm::Baseline, spec.processes)?;
-    }
-    Ok(sim)
+    build_sim_probed(spec, layout, cfg, seed_stream, NoProbe)
 }
 
 /// Builds the simulator for one whole-disk run (baseline or trial) of
@@ -654,7 +692,12 @@ fn build_sim(
     layout: CampaignLayout,
     seed_stream: u64,
 ) -> Result<ArraySim, Error> {
-    build_sim_with(spec, layout, campaign_config(spec, layout), seed_stream)
+    build_sim_with(
+        spec,
+        layout,
+        campaign_config(spec, layout).build(),
+        seed_stream,
+    )
 }
 
 /// Workload stream for trial `trial` (stream 0 is the baseline run).
@@ -690,18 +733,32 @@ fn second_at_secs(spec: &CampaignSpec, baseline_secs: f64, trial: usize) -> f64 
     (trial as f64 + 0.5) / spec.trials as f64 * horizon
 }
 
-/// Runs the clean rebuild that calibrates a layout's repair time.
+/// Runs the clean rebuild that calibrates a layout's repair time, with a
+/// [`Recorder`] probe attached so the report carries the rebuild's
+/// per-disk utilization timelines.
 ///
 /// Returns the rebuild time in seconds (the scale's reconstruction cap if
-/// the rebuild did not finish under it) and the events processed.
-fn run_baseline(spec: &CampaignSpec, layout: CampaignLayout) -> Result<(f64, u64), Error> {
-    let sim = build_sim(spec, layout, 0)?;
+/// the rebuild did not finish under it), the bounded utilization
+/// timelines, and the events processed.
+fn run_baseline(
+    spec: &CampaignSpec,
+    layout: CampaignLayout,
+) -> Result<(f64, Vec<DiskTimeline>, u64), Error> {
+    let probe = Recorder::new().with_max_samples(64);
+    let sim = build_sim_probed(
+        spec,
+        layout,
+        campaign_config(spec, layout).build(),
+        0,
+        probe,
+    )?;
     let limit = SimTime::from_secs(spec.scale.recon_limit_secs);
     let report = sim.run_until_reconstructed(limit);
     let secs = report
         .reconstruction_secs()
         .unwrap_or(spec.scale.recon_limit_secs as f64);
-    Ok((secs, report.events_processed))
+    let timelines = report.observations.map(|o| o.timelines).unwrap_or_default();
+    Ok((secs, timelines, report.events_processed))
 }
 
 /// Runs one Monte Carlo trial against a calibrated baseline.
@@ -727,6 +784,9 @@ fn run_trial(
         second_disk: disk,
         second_at_secs: at_secs,
         rebuilt_fraction: loss.rebuilt_fraction_before_loss().unwrap_or(1.0),
+        user_p50_ms: report.ops.p50_ms(),
+        user_p95_ms: report.ops.p95_ms(),
+        user_p99_ms: report.ops.p99_ms(),
         lost_stripes: loss.stripes.len() as u64,
         lost_data_units: loss.lost_data_units(),
         lost_parity_units: loss.lost_parity_units(),
@@ -769,8 +829,9 @@ fn run_scrub_trial(
         ScrubConfig::off()
     };
     let cfg = campaign_config(spec, layout)
-        .with_media_faults(MediaFaultConfig::none().with_latent_rate(spec.latent_rate))
-        .with_scrub(scrub);
+        .media_faults(MediaFaultConfig::none().with_latent_rate(spec.latent_rate))
+        .scrub(scrub)
+        .build();
 
     let workload = WorkloadSpec::half_and_half(spec.rate);
     let mut sim = ArraySim::new(paper_layout(layout.group())?, cfg, workload, seed_stream)?;
@@ -812,7 +873,7 @@ fn run_crash_trial(
 ) -> Result<(CrashTrialOutcome, u64), Error> {
     let seed_stream = crash_stream(trial);
     let at_secs = arm_at_secs(baseline_secs, spec.crash_trials, trial);
-    let cfg = campaign_config(spec, layout);
+    let cfg = campaign_config(spec, layout).build();
 
     let mut sim = build_sim_with(spec, layout, cfg, seed_stream)?;
     sim.inject_crash(&CrashPlan::at(SimTime::from_secs_f64(at_secs)))?;
@@ -866,6 +927,7 @@ fn summarize(
     spec: &CampaignSpec,
     layout: CampaignLayout,
     baseline_secs: f64,
+    baseline_utilization: Vec<DiskTimeline>,
     trials: Vec<TrialOutcome>,
     scrub_arms: Vec<ScrubArmSummary>,
     crash_trials: Vec<CrashTrialOutcome>,
@@ -894,6 +956,7 @@ fn summarize(
         mean_lost_stripes,
         window_secs: p_loss * horizon,
         mttdl_hours,
+        baseline_utilization,
         trials,
         scrub_arms,
         crash_trials,
@@ -921,9 +984,11 @@ pub fn run_campaign(spec: &CampaignSpec, runner: &Runner) -> Result<CampaignRepo
         .collect();
     let baselines = runner.run(baseline_jobs).into_values();
     let mut calibrated = Vec::with_capacity(spec.layouts.len());
+    let mut baseline_timelines = Vec::with_capacity(spec.layouts.len());
     for (&layout, outcome) in spec.layouts.iter().zip(baselines) {
-        let (secs, _events) = outcome?;
+        let (secs, timelines, _events) = outcome?;
         calibrated.push((layout, secs));
+        baseline_timelines.push(timelines);
     }
 
     // Phase 2: every trial of every layout is one independent job.
@@ -982,7 +1047,7 @@ pub fn run_campaign(spec: &CampaignSpec, runner: &Runner) -> Result<CampaignRepo
     let mut results = results.into_iter();
     let mut scrub_results = scrub_results.into_iter();
     let mut crash_results = crash_results.into_iter();
-    for &(layout, secs) in &calibrated {
+    for (&(layout, secs), timelines) in calibrated.iter().zip(baseline_timelines) {
         let trials = results
             .by_ref()
             .take(spec.trials)
@@ -1005,6 +1070,7 @@ pub fn run_campaign(spec: &CampaignSpec, runner: &Runner) -> Result<CampaignRepo
             spec,
             layout,
             secs,
+            timelines,
             trials,
             scrub_arms,
             crash_trials,
@@ -1040,7 +1106,7 @@ pub fn replay_trial(
             reason: format!("trial {trial} out of range (campaign has {})", spec.trials),
         });
     }
-    let (baseline_secs, _) = run_baseline(spec, layout)?;
+    let (baseline_secs, _, _) = run_baseline(spec, layout)?;
     let (outcome, _) = run_trial(spec, layout, trial, baseline_secs)?;
     Ok(outcome)
 }
@@ -1066,7 +1132,7 @@ pub fn replay_scrub_trial(
             ),
         });
     }
-    let (baseline_secs, _) = run_baseline(spec, layout)?;
+    let (baseline_secs, _, _) = run_baseline(spec, layout)?;
     let (outcome, _) = run_scrub_trial(spec, layout, trial, baseline_secs, scrub_enabled)?;
     Ok(outcome)
 }
@@ -1092,7 +1158,7 @@ pub fn replay_crash_trial(
             ),
         });
     }
-    let (baseline_secs, _) = run_baseline(spec, layout)?;
+    let (baseline_secs, _, _) = run_baseline(spec, layout)?;
     let (outcome, _) = run_crash_trial(spec, layout, trial, baseline_secs)?;
     Ok(outcome)
 }
@@ -1174,7 +1240,21 @@ mod tests {
         assert!(layout.baseline_recon_secs > 0.0);
         assert!((0.0..=1.0).contains(&layout.p_loss));
         assert!((0.0..=1.0).contains(&layout.p_loss_during_rebuild));
+        // The calibration rebuild was probed: every disk has a bounded
+        // utilization timeline with sane values.
+        assert_eq!(layout.baseline_utilization.len(), PAPER_DISKS as usize);
+        for t in &layout.baseline_utilization {
+            assert!(!t.samples.is_empty());
+            assert!(t.samples.len() <= 65);
+            assert!(t
+                .samples
+                .iter()
+                .all(|s| (0.0..=1.0).contains(&s.utilization)));
+        }
         for t in &layout.trials {
+            // The latency quantiles are ordered (zeros when the second
+            // fault killed the run before a request completed).
+            assert!(t.user_p50_ms <= t.user_p95_ms && t.user_p95_ms <= t.user_p99_ms);
             // A fault after the rebuild completed must lose nothing.
             if t.recon_completed {
                 assert_eq!(t.lost_stripes, 0, "trial {}: loss after rebuild", t.trial);
@@ -1296,6 +1376,8 @@ mod tests {
         assert!(json.contains("\"crash_trials_per_layout\":2"));
         assert!(json.contains("\"name\":\"declustered-g4\""));
         assert!(json.contains("\"mttdl_hours\":"));
+        assert!(json.contains("\"user_p50_ms\":") && json.contains("\"user_p99_ms\":"));
+        assert!(json.contains("\"baseline_utilization\":[{\"disk\":0,"));
         assert!(json.contains("\"scrub_enabled\":true"));
         assert!(json.contains("\"full\":{") && json.contains("\"drl\":{"));
         assert!(!json.contains("NaN") && !json.contains("inf"));

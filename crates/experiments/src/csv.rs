@@ -18,13 +18,16 @@ fn opt(x: Option<f64>) -> String {
 
 /// Figure 6 points as CSV.
 pub fn fig6_csv(points: &[Fig6Point]) -> String {
-    let mut out = String::from(
-        "alpha,group,rate,read_fraction,fault_free_ms,degraded_ms,fault_free_p90_ms,degraded_p90_ms\n",
-    );
+    let mut out = String::from(concat!(
+        "alpha,group,rate,read_fraction,fault_free_ms,degraded_ms,",
+        "fault_free_p90_ms,degraded_p90_ms,",
+        "fault_free_p50_ms,fault_free_p95_ms,fault_free_p99_ms,",
+        "degraded_p50_ms,degraded_p95_ms,degraded_p99_ms\n"
+    ));
     for p in points {
         let _ = writeln!(
             out,
-            "{:.3},{},{:.0},{:.2},{:.3},{:.3},{:.3},{:.3}",
+            "{:.3},{},{:.0},{:.2},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
             p.alpha,
             p.group,
             p.rate,
@@ -32,7 +35,13 @@ pub fn fig6_csv(points: &[Fig6Point]) -> String {
             p.fault_free_ms,
             p.degraded_ms,
             p.fault_free_p90_ms,
-            p.degraded_p90_ms
+            p.degraded_p90_ms,
+            p.fault_free_p50_ms,
+            p.fault_free_p95_ms,
+            p.fault_free_p99_ms,
+            p.degraded_p50_ms,
+            p.degraded_p95_ms,
+            p.degraded_p99_ms
         );
     }
     out
@@ -40,13 +49,15 @@ pub fn fig6_csv(points: &[Fig6Point]) -> String {
 
 /// Figure 8 points as CSV.
 pub fn fig8_csv(points: &[Fig8Point]) -> String {
-    let mut out = String::from(
-        "alpha,group,rate,algorithm,processes,recon_secs,user_ms,user_p90_ms,units_by_users,last_read_ms,last_write_ms\n",
-    );
+    let mut out = String::from(concat!(
+        "alpha,group,rate,algorithm,processes,recon_secs,user_ms,user_p90_ms,",
+        "user_p50_ms,user_p95_ms,user_p99_ms,",
+        "units_by_users,last_read_ms,last_write_ms\n"
+    ));
     for p in points {
         let _ = writeln!(
             out,
-            "{:.3},{},{:.0},{},{},{},{:.3},{:.3},{},{:.3},{:.3}",
+            "{:.3},{},{:.0},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{},{:.3},{:.3}",
             p.alpha,
             p.group,
             p.rate,
@@ -55,6 +66,9 @@ pub fn fig8_csv(points: &[Fig8Point]) -> String {
             opt(p.recon_secs),
             p.user_ms,
             p.user_p90_ms,
+            p.user_p50_ms,
+            p.user_p95_ms,
+            p.user_p99_ms,
             p.units_by_users,
             p.last_read_ms,
             p.last_write_ms
@@ -125,10 +139,16 @@ mod tests {
             degraded_ms: 23.75,
             fault_free_p90_ms: 33.0,
             degraded_p90_ms: 34.5,
+            fault_free_p50_ms: 20.0,
+            fault_free_p95_ms: 36.0,
+            fault_free_p99_ms: 48.0,
+            degraded_p50_ms: 21.0,
+            degraded_p95_ms: 38.0,
+            degraded_p99_ms: 51.0,
         }];
         let csv = fig6_csv(&points);
         let mut lines = csv.lines();
-        assert_eq!(lines.next().unwrap().split(',').count(), 8);
+        assert_eq!(lines.next().unwrap().split(',').count(), 14);
         let row = lines.next().unwrap();
         assert!(row.starts_with("0.150,4,105,1.00,22.500,23.750"));
         assert_eq!(lines.next(), None);
@@ -145,6 +165,9 @@ mod tests {
             recon_secs: None,
             user_ms: 90.0,
             user_p90_ms: 150.0,
+            user_p50_ms: 80.0,
+            user_p95_ms: 170.0,
+            user_p99_ms: 240.0,
             units_by_users: 0,
             last_read_ms: 100.0,
             last_write_ms: 20.0,

@@ -11,7 +11,7 @@ use crate::runner::{Runner, SweepRun};
 use crate::{alpha_sweep, paper_layout, ExperimentScale};
 use decluster_array::ArraySim;
 use decluster_core::error::Error;
-use decluster_sim::SimTime;
+use decluster_sim::{Observations, Recorder, SimTime};
 use decluster_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
@@ -34,6 +34,18 @@ pub struct Fig6Point {
     pub fault_free_p90_ms: f64,
     /// Degraded 90th-percentile response time, ms.
     pub degraded_p90_ms: f64,
+    /// Fault-free median response time, ms.
+    pub fault_free_p50_ms: f64,
+    /// Fault-free 95th-percentile response time, ms.
+    pub fault_free_p95_ms: f64,
+    /// Fault-free 99th-percentile response time, ms.
+    pub fault_free_p99_ms: f64,
+    /// Degraded median response time, ms.
+    pub degraded_p50_ms: f64,
+    /// Degraded 95th-percentile response time, ms.
+    pub degraded_p95_ms: f64,
+    /// Degraded 99th-percentile response time, ms.
+    pub degraded_p99_ms: f64,
 }
 
 /// Runs one (G, rate, mix) point: a fault-free run and a degraded run.
@@ -79,10 +91,16 @@ pub fn run_point_counted(
         alpha: (g - 1) as f64 / 20.0,
         rate,
         read_fraction,
-        fault_free_ms: fault_free.all.mean_ms(),
-        degraded_ms: degraded.all.mean_ms(),
-        fault_free_p90_ms: fault_free.all.percentile_ms(0.9),
-        degraded_p90_ms: degraded.all.percentile_ms(0.9),
+        fault_free_ms: fault_free.ops.all.mean_ms(),
+        degraded_ms: degraded.ops.all.mean_ms(),
+        fault_free_p90_ms: fault_free.ops.all.percentile_ms(0.9),
+        degraded_p90_ms: degraded.ops.all.percentile_ms(0.9),
+        fault_free_p50_ms: fault_free.ops.p50_ms(),
+        fault_free_p95_ms: fault_free.ops.p95_ms(),
+        fault_free_p99_ms: fault_free.ops.p99_ms(),
+        degraded_p50_ms: degraded.ops.p50_ms(),
+        degraded_p95_ms: degraded.ops.p95_ms(),
+        degraded_p99_ms: degraded.ops.p99_ms(),
     };
     Ok((
         point,
@@ -150,6 +168,54 @@ fn sweep_on(
     runner.run(jobs)
 }
 
+/// Re-runs one (G, rate, mix) point with a [`Recorder`] probe attached
+/// and returns its [`Observations`]: per-class latency histograms and
+/// per-disk utilization timelines for the fault-free (or, with
+/// `degraded`, the one-failed-disk) scenario. Used by the figure binaries
+/// to export a representative timeline next to the sweep data.
+///
+/// # Errors
+///
+/// Returns an error if `g` is not a paper group size or the layout cannot
+/// map the scaled disks.
+pub fn observe_point(
+    scale: &ExperimentScale,
+    g: u16,
+    rate: f64,
+    read_fraction: f64,
+    degraded: bool,
+) -> Result<Observations, Error> {
+    observe_point_with(scale, g, rate, read_fraction, degraded, Recorder::new())
+}
+
+/// [`observe_point`] with a caller-configured [`Recorder`] (e.g. one with
+/// the JSONL trace enabled).
+///
+/// # Errors
+///
+/// See [`observe_point`].
+pub fn observe_point_with(
+    scale: &ExperimentScale,
+    g: u16,
+    rate: f64,
+    read_fraction: f64,
+    degraded: bool,
+    recorder: Recorder,
+) -> Result<Observations, Error> {
+    let spec = WorkloadSpec::new(rate, read_fraction);
+    let mut sim = ArraySim::new_probed(paper_layout(g)?, scale.array_config(), spec, 1, recorder)?;
+    if degraded {
+        sim.fail_disk(0)?;
+    }
+    let report = sim.run_for(
+        SimTime::from_secs(scale.duration_secs),
+        SimTime::from_secs(scale.warmup_secs),
+    );
+    Ok(report
+        .observations
+        .expect("a Recorder probe always reports"))
+}
+
 /// The paper's rates for Figure 6-1.
 pub const READ_RATES: [f64; 3] = [105.0, 210.0, 378.0];
 /// The paper's rates for Figure 6-2 (378 writes/s is unsustainable).
@@ -209,5 +275,23 @@ mod tests {
         assert_eq!(points.len(), 7);
         assert!(points.iter().all(|p| p.fault_free_ms > 0.0));
         assert!(points.iter().all(|p| p.read_fraction == 1.0));
+        // The histogram-derived quantiles are ordered and populated.
+        for p in &points {
+            assert!(p.fault_free_p50_ms > 0.0);
+            assert!(p.fault_free_p50_ms <= p.fault_free_p95_ms);
+            assert!(p.fault_free_p95_ms <= p.fault_free_p99_ms);
+            assert!(p.degraded_p50_ms <= p.degraded_p95_ms);
+            assert!(p.degraded_p95_ms <= p.degraded_p99_ms);
+        }
+    }
+
+    #[test]
+    fn observe_point_yields_timelines() {
+        let scale = ExperimentScale::tiny();
+        let obs = observe_point(&scale, 4, 105.0, 1.0, false).unwrap();
+        assert_eq!(obs.timelines.len(), 21, "one timeline per disk");
+        assert!(obs
+            .class(decluster_sim::OpClass::UserRead)
+            .is_some_and(|h| h.count() > 0));
     }
 }

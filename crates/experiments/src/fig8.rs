@@ -10,9 +10,9 @@
 
 use crate::runner::{Runner, SweepRun};
 use crate::{alpha_sweep, paper_layout, ExperimentScale};
-use decluster_array::{ArraySim, ReconAlgorithm, ReconReport};
+use decluster_array::{ArraySim, ReconAlgorithm, ReconOptions, ReconReport};
 use decluster_core::error::Error;
-use decluster_sim::SimTime;
+use decluster_sim::{Observations, Recorder, SimTime};
 use decluster_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +35,12 @@ pub struct Fig8Point {
     pub user_ms: f64,
     /// 90th-percentile user response time during reconstruction, ms.
     pub user_p90_ms: f64,
+    /// Median user response time during reconstruction, ms.
+    pub user_p50_ms: f64,
+    /// 95th-percentile user response time during reconstruction, ms.
+    pub user_p95_ms: f64,
+    /// 99th-percentile user response time during reconstruction, ms.
+    pub user_p99_ms: f64,
     /// Units rebuilt by user activity rather than the sweep.
     pub units_by_users: u64,
     /// Mean read-phase / write-phase times over the last 300 cycles, ms.
@@ -79,7 +85,7 @@ pub fn run_point_counted(
     let spec = WorkloadSpec::half_and_half(rate);
     let mut sim = ArraySim::new(paper_layout(g)?, scale.array_config(), spec, 1)?;
     sim.fail_disk(0)?;
-    sim.start_reconstruction(algorithm, processes)?;
+    sim.start_reconstruction(ReconOptions::new(algorithm).processes(processes))?;
     let report = sim.run_until_reconstructed(SimTime::from_secs(scale.recon_limit_secs));
     Ok((
         from_report(g, rate, algorithm, processes, &report),
@@ -101,14 +107,61 @@ fn from_report(
         algorithm,
         processes,
         recon_secs: report.reconstruction_secs(),
-        user_ms: report.user.mean_ms(),
-        user_p90_ms: report.user.percentile_ms(0.9),
+        user_ms: report.ops.all.mean_ms(),
+        user_p90_ms: report.ops.all.percentile_ms(0.9),
+        user_p50_ms: report.ops.p50_ms(),
+        user_p95_ms: report.ops.p95_ms(),
+        user_p99_ms: report.ops.p99_ms(),
         units_by_users: report.units_by_users,
         last_read_ms: report.last_cycles.read_ms.mean(),
         last_write_ms: report.last_cycles.write_ms.mean(),
         last_read_std_ms: report.last_cycles.read_ms.std_dev(),
         last_write_std_ms: report.last_cycles.write_ms.std_dev(),
     }
+}
+
+/// Re-runs one reconstruction scenario with a [`Recorder`] probe and
+/// returns its [`Observations`]: per-class latency histograms (user,
+/// reconstruction read/write), per-disk utilization timelines covering
+/// survivors and the replacement, and the rebuild-progress samples. Used
+/// by the figure binaries to export a representative timeline.
+///
+/// # Errors
+///
+/// Returns an error if `g` is not a paper group size, the layout cannot
+/// map the scaled disks, or `processes` is zero.
+pub fn observe_point(
+    scale: &ExperimentScale,
+    g: u16,
+    rate: f64,
+    algorithm: ReconAlgorithm,
+    processes: usize,
+) -> Result<Observations, Error> {
+    observe_point_with(scale, g, rate, algorithm, processes, Recorder::new())
+}
+
+/// [`observe_point`] with a caller-configured [`Recorder`] (e.g. one with
+/// the JSONL trace enabled).
+///
+/// # Errors
+///
+/// See [`observe_point`].
+pub fn observe_point_with(
+    scale: &ExperimentScale,
+    g: u16,
+    rate: f64,
+    algorithm: ReconAlgorithm,
+    processes: usize,
+    recorder: Recorder,
+) -> Result<Observations, Error> {
+    let spec = WorkloadSpec::half_and_half(rate);
+    let mut sim = ArraySim::new_probed(paper_layout(g)?, scale.array_config(), spec, 1, recorder)?;
+    sim.fail_disk(0)?;
+    sim.start_reconstruction(ReconOptions::new(algorithm).processes(processes))?;
+    let report = sim.run_until_reconstructed(SimTime::from_secs(scale.recon_limit_secs));
+    Ok(report
+        .observations
+        .expect("a Recorder probe always reports"))
 }
 
 /// The paper's Section 8 rates.
@@ -254,5 +307,20 @@ mod tests {
         let rows = table_8_1(&scale, 1).unwrap();
         assert_eq!(rows.len(), 12);
         assert!(rows.iter().all(|r| r.rate == 210.0));
+        for r in &rows {
+            assert!(r.user_p50_ms > 0.0);
+            assert!(r.user_p50_ms <= r.user_p95_ms && r.user_p95_ms <= r.user_p99_ms);
+        }
+    }
+
+    #[test]
+    fn observe_point_covers_recon_classes() {
+        let scale = ExperimentScale::tiny();
+        let obs = observe_point(&scale, 4, 105.0, ReconAlgorithm::Baseline, 1).unwrap();
+        assert_eq!(obs.timelines.len(), 21);
+        assert!(obs
+            .class(decluster_sim::OpClass::ReconRead)
+            .is_some_and(|h| h.count() > 0));
+        assert!(!obs.recon_progress.is_empty());
     }
 }

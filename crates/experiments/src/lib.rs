@@ -129,11 +129,16 @@ impl ExperimentScale {
 
     /// The array configuration at this scale.
     pub fn array_config(&self) -> decluster_array::ArrayConfig {
-        if self.cylinders == 949 {
-            decluster_array::ArrayConfig::paper().with_seed(self.seed)
-        } else {
-            decluster_array::ArrayConfig::scaled(self.cylinders).with_seed(self.seed)
-        }
+        self.config_builder().build()
+    }
+
+    /// A configuration builder pre-loaded with this scale's disk size and
+    /// seed, for experiments that layer extra knobs (spares, media
+    /// faults, scrubbing) on top.
+    pub fn config_builder(&self) -> decluster_array::ArrayConfigBuilder {
+        decluster_array::ArrayConfig::builder()
+            .cylinders(self.cylinders)
+            .seed(self.seed)
     }
 
     /// Units per disk at this scale.

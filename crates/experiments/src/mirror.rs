@@ -12,7 +12,7 @@
 
 use crate::runner::{Runner, SweepRun};
 use crate::{paper_layout, ExperimentScale};
-use decluster_array::{ArraySim, ReconAlgorithm};
+use decluster_array::{ArraySim, ReconAlgorithm, ReconOptions};
 use decluster_core::error::Error;
 use decluster_core::layout::{ChainedMirrorLayout, InterleavedMirrorLayout, ParityLayout};
 use decluster_sim::SimTime;
@@ -126,17 +126,17 @@ pub fn run_point_counted(
     let degraded_imbalance = if median > 0.0 { max / median } else { 1.0 };
     let mut rec = ArraySim::new(org.layout()?, cfg, spec, 1)?;
     rec.fail_disk(0)?;
-    rec.start_reconstruction(ReconAlgorithm::Redirect, 8)?;
+    rec.start_reconstruction(ReconOptions::new(ReconAlgorithm::Redirect).processes(8))?;
     let recon = rec.run_until_reconstructed(SimTime::from_secs(scale.recon_limit_secs));
 
     let point = MirrorPoint {
         organization: org,
         overhead: org.layout()?.parity_overhead(),
-        fault_free_ms: fault_free.all.mean_ms(),
-        degraded_ms: degraded.all.mean_ms(),
+        fault_free_ms: fault_free.ops.all.mean_ms(),
+        degraded_ms: degraded.ops.all.mean_ms(),
         degraded_imbalance,
         recon_secs: recon.reconstruction_secs(),
-        recon_user_ms: recon.user.mean_ms(),
+        recon_user_ms: recon.ops.all.mean_ms(),
     };
     let events = fault_free.events_processed + degraded.events_processed + recon.events_processed;
     Ok((point, events))

@@ -228,6 +228,9 @@ mod tests {
             recon_secs: Some(123.4),
             user_ms: 56.7,
             user_p90_ms: 100.0,
+            user_p50_ms: 50.0,
+            user_p95_ms: 110.0,
+            user_p99_ms: 160.0,
             units_by_users: 0,
             last_read_ms: 88.0,
             last_write_ms: 15.0,
@@ -248,6 +251,12 @@ mod tests {
                 degraded_ms: 25.0,
                 fault_free_p90_ms: 40.0,
                 degraded_p90_ms: 50.0,
+                fault_free_p50_ms: 18.0,
+                fault_free_p95_ms: 44.0,
+                fault_free_p99_ms: 60.0,
+                degraded_p50_ms: 22.0,
+                degraded_p95_ms: 55.0,
+                degraded_p99_ms: 75.0,
             },
             Fig6Point {
                 group: 4,
@@ -258,6 +267,12 @@ mod tests {
                 degraded_ms: 45.0,
                 fault_free_p90_ms: 60.0,
                 degraded_p90_ms: 90.0,
+                fault_free_p50_ms: 27.0,
+                fault_free_p95_ms: 66.0,
+                fault_free_p99_ms: 90.0,
+                degraded_p50_ms: 40.0,
+                degraded_p95_ms: 99.0,
+                degraded_p99_ms: 130.0,
             },
         ];
         let s = fig6_table("Figure 6-1", &points);

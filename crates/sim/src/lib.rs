@@ -35,11 +35,18 @@
 
 #![warn(missing_docs)]
 
+pub mod histogram;
+pub mod probe;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use histogram::LatencyHistogram;
+pub use probe::{
+    DiskSample, DiskTimeline, NoProbe, Observations, OpClass, Probe, ReconSample, Recorder,
+    TimelineSample,
+};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{OnlineStats, ResponseStats};

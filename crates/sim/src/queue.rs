@@ -84,6 +84,15 @@ impl<E> EventQueue<E> {
         self.heap.capacity()
     }
 
+    /// Grows the queue so at least `additional` more events fit beyond
+    /// the current pending set without reallocating. Late-arriving
+    /// event sources (scrubber re-arms, scheduled failures, crash
+    /// timers) should be reserved for once, up front, so the hot loop
+    /// never pays for heap growth mid-run.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// The current simulated time: the timestamp of the most recently popped
     /// event, or [`SimTime::ZERO`] before the first pop.
     pub fn now(&self) -> SimTime {
@@ -232,6 +241,21 @@ mod tests {
         let mut expected: Vec<u32> = (0..64).collect();
         expected.reverse();
         assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn reserve_extends_capacity_beyond_pending() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(4);
+        for i in 0..4 {
+            q.schedule(SimTime::from_us(u64::from(i)), i);
+        }
+        q.reserve(16);
+        let before = q.capacity();
+        assert!(before >= q.len() + 16);
+        for i in 0..16 {
+            q.schedule(SimTime::from_ms(1), i);
+        }
+        assert_eq!(q.capacity(), before);
     }
 
     #[test]

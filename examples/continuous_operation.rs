@@ -11,7 +11,7 @@
 //! cargo run --release --example continuous_operation
 //! ```
 
-use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm};
+use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm, ReconOptions};
 use decluster::experiments::paper_layout;
 use decluster::sim::SimTime;
 use decluster::workload::WorkloadSpec;
@@ -32,14 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "[0-60s]   disk 7 fails at t=20s mid-run: {} requests served, mean {:.1} ms",
         transition.requests_measured,
-        transition.all.mean_ms()
+        transition.ops.all.mean_ms()
     );
 
     // Phase 3: a replacement arrives; 8-way rebuild with redirection while
     // the workload continues.
     let mut sim = ArraySim::new(paper_layout(g)?, cfg, spec, 2)?;
     sim.fail_disk(7).expect("disk is healthy and in range");
-    sim.start_reconstruction(ReconAlgorithm::Redirect, 8)
+    sim.start_reconstruction(ReconOptions::new(ReconAlgorithm::Redirect).processes(8))
         .expect("a disk failed and processes > 0");
     let rebuild = sim.run_until_reconstructed(SimTime::from_secs(100_000));
     let recon_secs = rebuild.reconstruction_secs().expect("rebuild completes");
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "[rebuild] replacement installed: rebuilt {} units in {:.0} s, users saw {:.1} ms",
         rebuild.units_total,
         recon_secs,
-        rebuild.user.mean_ms()
+        rebuild.ops.all.mean_ms()
     );
 
     // The rebuild trajectory as a sparkline (10% buckets).
@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .run_for(SimTime::from_secs(40), SimTime::from_secs(4));
     println!(
         "[after]   back to fault-free service: mean {:.1} ms\n",
-        healthy.all.mean_ms()
+        healthy.ops.all.mean_ms()
     );
 
     println!("No request was ever refused: that is the continuous-operation guarantee");

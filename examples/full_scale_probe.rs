@@ -2,7 +2,7 @@
 //! reconstruction at 105 accesses/s for alpha = 0.15 and RAID 5, compared
 //! with the paper's Figure 8-1 (~60 minutes fastest, ~2x gap).
 
-use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm};
+use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm, ReconOptions};
 use decluster::experiments::paper_layout;
 use decluster::sim::SimTime;
 use decluster::workload::WorkloadSpec;
@@ -17,14 +17,14 @@ fn main() {
         )
         .unwrap();
         s.fail_disk(0).expect("disk is healthy and in range");
-        s.start_reconstruction(ReconAlgorithm::Baseline, 1)
+        s.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline))
             .expect("a disk failed and processes > 0");
         let r = s.run_until_reconstructed(SimTime::from_secs(100_000));
         println!(
             "G={g}: recon {:.0} s ({:.1} min), user {:.1} ms",
             r.reconstruction_secs().unwrap_or(f64::NAN),
             r.reconstruction_secs().unwrap_or(f64::NAN) / 60.0,
-            r.user.mean_ms()
+            r.ops.all.mean_ms()
         );
     }
 }

@@ -8,7 +8,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm};
+use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm, ReconOptions};
 use decluster::experiments::paper_layout;
 use decluster::sim::SimTime;
 use decluster::workload::WorkloadSpec;
@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .run_for(SimTime::from_secs(40), SimTime::from_secs(4));
         println!(
             "    fault-free:  {:6.1} ms mean response ({} requests)",
-            healthy.all.mean_ms(),
+            healthy.ops.all.mean_ms(),
             healthy.requests_measured
         );
 
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let degraded = degraded_sim.run_for(SimTime::from_secs(40), SimTime::from_secs(4));
         println!(
             "    degraded:    {:6.1} ms mean response",
-            degraded.all.mean_ms()
+            degraded.ops.all.mean_ms()
         );
 
         // 3. Reconstruction: replacement installed, 8-way rebuild with
@@ -57,12 +57,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .fail_disk(0)
             .expect("disk is healthy and in range");
         rebuild_sim
-            .start_reconstruction(ReconAlgorithm::Redirect, 8)
+            .start_reconstruction(ReconOptions::new(ReconAlgorithm::Redirect).processes(8))
             .expect("a disk failed and processes > 0");
         let rebuilt = rebuild_sim.run_until_reconstructed(SimTime::from_secs(50_000));
         println!(
             "    rebuilding:  {:6.1} ms mean response, reconstructed in {:.0} s",
-            rebuilt.user.mean_ms(),
+            rebuilt.ops.all.mean_ms(),
             rebuilt.reconstruction_secs().expect("rebuild completes"),
         );
         println!();

@@ -15,7 +15,7 @@
 //! where `alpha` is one of 0.1, 0.15, 0.2, 0.25, 0.45, 0.85, 1.0
 //! (default 0.15).
 
-use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm};
+use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm, ReconOptions};
 use decluster::experiments::{alpha_sweep, paper_layout};
 use decluster::sim::SimTime;
 use decluster::workload::WorkloadSpec;
@@ -49,15 +49,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for algorithm in ReconAlgorithm::ALL {
             let mut sim = ArraySim::new(paper_layout(g)?, cfg, spec, 1)?;
             sim.fail_disk(0).expect("disk is healthy and in range");
-            sim.start_reconstruction(algorithm, processes)
+            sim.start_reconstruction(ReconOptions::new(algorithm).processes(processes))
                 .expect("a disk failed and processes > 0");
             let report = sim.run_until_reconstructed(SimTime::from_secs(100_000));
             println!(
                 "{:<20} {:>12.1} {:>14.1} {:>14.1} {:>12}",
                 algorithm.name(),
                 report.reconstruction_secs().unwrap_or(f64::NAN),
-                report.user.mean_ms(),
-                report.user.percentile_ms(0.9),
+                report.ops.all.mean_ms(),
+                report.ops.all.percentile_ms(0.9),
                 report.units_by_users,
             );
         }

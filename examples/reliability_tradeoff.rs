@@ -15,7 +15,7 @@
 //! ```
 
 use decluster::analytic::reliability;
-use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm};
+use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm, ReconOptions};
 use decluster::experiments::{alpha_sweep, paper_layout};
 use decluster::sim::SimTime;
 use decluster::workload::WorkloadSpec;
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .expect("paper layouts fit scaled disks");
         sim.fail_disk(0).expect("disk is healthy and in range");
-        sim.start_reconstruction(ReconAlgorithm::Redirect, 8)
+        sim.start_reconstruction(ReconOptions::new(ReconAlgorithm::Redirect).processes(8))
             .expect("a disk failed and processes > 0");
         let report = sim.run_until_reconstructed(SimTime::from_secs(100_000));
         let secs = report

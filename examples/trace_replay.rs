@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "replayed twice: {} measured requests, mean response {:.1} ms (identical runs)",
         first.requests_measured,
-        first.all.mean_ms()
+        first.ops.all.mean_ms()
     );
     Ok(())
 }

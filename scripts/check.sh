@@ -38,4 +38,13 @@ cargo run --release -q -p decluster-bench --bin campaign -- \
     --cylinders 30 --trials 2 --scrub-trials 2 --crash-trials 1 \
     --replay-crash declustered-g4 0
 
+echo "==> observability smoke (fig6 --trace record + bit-for-bit replay)"
+TRACE_FILE="$SCRUB_SMOKE_DIR/fig6.trace"
+cargo run --release -q -p decluster-bench --bin fig_6_1 -- \
+    --cylinders 30 --trace "$TRACE_FILE" > /dev/null
+cargo run --release -q -p decluster-bench --bin trace -- replay "$TRACE_FILE"
+
+echo "==> probe overhead gate (NoProbe hot path must not regress)"
+cargo run --release -q -p decluster-bench --bin probe_overhead
+
 echo "==> all checks passed"

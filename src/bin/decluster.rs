@@ -12,7 +12,7 @@
 //! Run `decluster help` (or any subcommand with `--help`) for details.
 
 use decluster::analytic::reliability;
-use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm};
+use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm, ReconOptions};
 use decluster::core::design::catalog;
 use decluster::core::layout::{
     criteria, tabular, vulnerability, DeclusteredLayout, ParityLayout, Raid5Layout, TabularLayout,
@@ -246,11 +246,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     }
 
     let layout = build_layout(disks, group)?;
-    let cfg = if cylinders == 949 {
-        ArrayConfig::paper().with_seed(seed)
-    } else {
-        ArrayConfig::scaled(cylinders).with_seed(seed)
-    };
+    let cfg = ArrayConfig::builder()
+        .cylinders(cylinders)
+        .seed(seed)
+        .build();
     let spec = WorkloadSpec::new(rate, reads);
     let mut sim = ArraySim::new(layout, cfg, spec, 1).map_err(|e| e.to_string())?;
     println!(
@@ -268,8 +267,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             println!(
                 "fault-free: {} requests, mean {:.1} ms, p90 {:.1} ms, disk utilization {:.0}%",
                 r.requests_measured,
-                r.all.mean_ms(),
-                r.all.percentile_ms(0.9),
+                r.ops.all.mean_ms(),
+                r.ops.all.percentile_ms(0.9),
                 r.mean_disk_utilization * 100.0
             );
         }
@@ -282,13 +281,13 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             println!(
                 "degraded (disk {disk} dead): {} requests, mean {:.1} ms, p90 {:.1} ms",
                 r.requests_measured,
-                r.all.mean_ms(),
-                r.all.percentile_ms(0.9)
+                r.ops.all.mean_ms(),
+                r.ops.all.percentile_ms(0.9)
             );
         }
         (Some(disk), Some(algorithm)) => {
             sim.fail_disk(disk).map_err(|e| e.to_string())?;
-            sim.start_reconstruction(algorithm, processes)
+            sim.start_reconstruction(ReconOptions::new(algorithm).processes(processes))
                 .map_err(|e| e.to_string())?;
             let r = sim.run_until_reconstructed(SimTime::from_secs(1_000_000));
             match r.reconstruction_secs() {
@@ -297,8 +296,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                      ({} units swept, {} by users); user mean {:.1} ms, p90 {:.1} ms",
                     r.units_swept,
                     r.units_by_users,
-                    r.user.mean_ms(),
-                    r.user.percentile_ms(0.9)
+                    r.ops.all.mean_ms(),
+                    r.ops.all.percentile_ms(0.9)
                 ),
                 None => println!("reconstruction did not finish within the simulation cap"),
             }

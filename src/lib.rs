@@ -31,7 +31,7 @@
 //! it with the redirect algorithm while serving user requests:
 //!
 //! ```no_run
-//! use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm};
+//! use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm, ReconOptions};
 //! use decluster::experiments::paper_layout;
 //! use decluster::sim::SimTime;
 //! use decluster::workload::WorkloadSpec;
@@ -43,12 +43,12 @@
 //!     1,
 //! )?;
 //! sim.fail_disk(0)?;
-//! sim.start_reconstruction(ReconAlgorithm::Redirect, 8)?;
+//! sim.start_reconstruction(ReconOptions::new(ReconAlgorithm::Redirect).processes(8))?;
 //! let report = sim.run_until_reconstructed(SimTime::from_secs(100_000));
 //! println!(
 //!     "rebuilt in {:?}, user response {:.1} ms",
 //!     report.reconstruction_time,
-//!     report.user.mean_ms()
+//!     report.ops.all.mean_ms()
 //! );
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

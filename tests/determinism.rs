@@ -1,7 +1,7 @@
 //! Reproducibility: a simulation is a pure function of configuration and
 //! seed, and seeds actually matter.
 
-use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm};
+use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm, ReconOptions};
 use decluster::experiments::paper_layout;
 use decluster::sim::SimTime;
 use decluster::workload::WorkloadSpec;
@@ -38,14 +38,14 @@ fn reconstruction_runs_are_bit_identical() {
         )
         .unwrap();
         s.fail_disk(5).expect("disk is healthy and in range");
-        s.start_reconstruction(ReconAlgorithm::RedirectPiggyback, 4)
+        s.start_reconstruction(ReconOptions::new(ReconAlgorithm::RedirectPiggyback).processes(4))
             .expect("a disk failed and processes > 0");
         s.run_until_reconstructed(SimTime::from_secs(50_000))
     };
     let a = run();
     let b = run();
     assert_eq!(a.reconstruction_time, b.reconstruction_time);
-    assert_eq!(a.user, b.user);
+    assert_eq!(a.ops, b.ops);
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.units_swept, b.units_swept);
     assert_eq!(a.units_by_users, b.units_by_users);
@@ -66,7 +66,7 @@ fn different_seed_streams_differ() {
     let a = run(1);
     let b = run(2);
     assert_ne!(
-        a.all, b.all,
+        a.ops.all, b.ops.all,
         "different seed streams produced identical response distributions"
     );
 }
@@ -85,6 +85,7 @@ fn results_are_stable_across_seeds_in_aggregate() {
         )
         .unwrap()
         .run_for(SimTime::from_secs(30), SimTime::from_secs(3))
+        .ops
         .all
         .mean_ms()
     };

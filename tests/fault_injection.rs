@@ -9,7 +9,7 @@
 
 use decluster::array::loss::assess_second_failure;
 use decluster::array::spare::SpareMap;
-use decluster::array::{ArrayConfig, ArraySim, FaultPlan, LossCause, ReconAlgorithm};
+use decluster::array::{ArrayConfig, ArraySim, FaultPlan, LossCause, ReconAlgorithm, ReconOptions};
 use decluster::core::layout::ArrayMapping;
 use decluster::disk::MediaFaultConfig;
 use decluster::experiments::paper_layout;
@@ -92,7 +92,7 @@ fn rebuild_progress_shrinks_the_lost_set() {
         )
         .unwrap();
         sim.fail_disk(0).unwrap();
-        sim.start_reconstruction(ReconAlgorithm::Baseline, 4)
+        sim.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline).processes(4))
             .unwrap();
         sim.inject_faults(&FaultPlan::new().fail_at(7, SimTime::from_secs_f64(secs)))
             .unwrap();
@@ -109,7 +109,7 @@ fn rebuild_progress_shrinks_the_lost_set() {
     .unwrap();
     clean.fail_disk(0).unwrap();
     clean
-        .start_reconstruction(ReconAlgorithm::Baseline, 4)
+        .start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline).processes(4))
         .unwrap();
     let t = clean
         .run_until_reconstructed(SimTime::from_secs(10_000))
@@ -138,7 +138,10 @@ fn rebuild_progress_shrinks_the_lost_set() {
 /// constraint keeps every stripe at one unit per disk.
 #[test]
 fn distributed_sparing_spare_disk_failure_after_rebuild_loses_nothing() {
-    let cfg = cfg().with_distributed_spares(200);
+    let cfg = ArrayConfig::builder()
+        .cylinders(30)
+        .distributed_spares(200)
+        .build();
     let m = mapping_for(&cfg, 4);
 
     // Pick a second disk that actually received relocated units, so this
@@ -157,8 +160,12 @@ fn distributed_sparing_spare_disk_failure_after_rebuild_loses_nothing() {
     )
     .unwrap();
     sim.fail_disk(0).unwrap();
-    sim.start_reconstruction_distributed(ReconAlgorithm::Baseline, 4)
-        .unwrap();
+    sim.start_reconstruction(
+        ReconOptions::new(ReconAlgorithm::Baseline)
+            .processes(4)
+            .distributed(),
+    )
+    .unwrap();
     // Far beyond any plausible rebuild time at this scale.
     sim.inject_faults(&FaultPlan::new().fail_at(second, SimTime::from_secs(5_000)))
         .unwrap();
@@ -185,7 +192,10 @@ fn distributed_sparing_spare_disk_failure_after_rebuild_loses_nothing() {
 /// units was relocated onto the second dead disk.
 #[test]
 fn distributed_sparing_mid_rebuild_loss_matches_the_pure_assessment() {
-    let cfg = cfg().with_distributed_spares(200);
+    let cfg = ArrayConfig::builder()
+        .cylinders(30)
+        .distributed_spares(200)
+        .build();
     let m = mapping_for(&cfg, 4);
     let spares = SpareMap::build(&m, 0, 200).unwrap();
     let second = 9u16;
@@ -203,8 +213,12 @@ fn distributed_sparing_mid_rebuild_loss_matches_the_pure_assessment() {
     )
     .unwrap();
     sim.fail_disk(0).unwrap();
-    sim.start_reconstruction_distributed(ReconAlgorithm::Baseline, 4)
-        .unwrap();
+    sim.start_reconstruction(
+        ReconOptions::new(ReconAlgorithm::Baseline)
+            .processes(4)
+            .distributed(),
+    )
+    .unwrap();
     sim.inject_faults(&FaultPlan::new().fail_at(second, SimTime::from_secs(8)))
         .unwrap();
     let report = sim.run_until_reconstructed(SimTime::from_secs(10_000));
@@ -237,12 +251,15 @@ fn distributed_sparing_mid_rebuild_loss_matches_the_pure_assessment() {
 #[test]
 fn fault_plans_are_deterministic_end_to_end() {
     let run = || {
-        let cfg = cfg().with_media_faults(
-            MediaFaultConfig::none()
-                .with_latent_rate(1e-4)
-                .with_transient_rate(0.01)
-                .with_seed(11),
-        );
+        let cfg = ArrayConfig::builder()
+            .cylinders(30)
+            .media_faults(
+                MediaFaultConfig::none()
+                    .with_latent_rate(1e-4)
+                    .with_transient_rate(0.01)
+                    .with_seed(11),
+            )
+            .build();
         let mut sim = ArraySim::new(
             paper_layout(4).unwrap(),
             cfg,
@@ -251,7 +268,7 @@ fn fault_plans_are_deterministic_end_to_end() {
         )
         .unwrap();
         sim.fail_disk(0).unwrap();
-        sim.start_reconstruction(ReconAlgorithm::Baseline, 2)
+        sim.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline).processes(2))
             .unwrap();
         sim.inject_faults(&FaultPlan::new().fail_at(3, SimTime::from_secs(12)))
             .unwrap();

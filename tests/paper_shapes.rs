@@ -4,7 +4,7 @@
 //! tracks against the paper.
 
 use decluster::analytic::MuntzLuiModel;
-use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm};
+use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm, ReconOptions};
 use decluster::core::layout::{tabular, TabularLayout};
 use decluster::experiments::{fig6, fig8, fig86, paper_layout, ExperimentScale};
 use decluster::sim::SimTime;
@@ -199,12 +199,12 @@ fn parsed_layout_table_drives_the_simulator() {
         )
         .unwrap();
         s.fail_disk(0).expect("disk is healthy and in range");
-        s.start_reconstruction(ReconAlgorithm::Redirect, 4)
+        s.start_reconstruction(ReconOptions::new(ReconAlgorithm::Redirect).processes(4))
             .expect("a disk failed and processes > 0");
         s.run_until_reconstructed(SimTime::from_secs(100_000))
     };
     let a = run(native);
     let b = run(Arc::new(parsed));
     assert_eq!(a.reconstruction_time, b.reconstruction_time);
-    assert_eq!(a.user, b.user);
+    assert_eq!(a.ops, b.ops);
 }

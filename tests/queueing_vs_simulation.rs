@@ -32,7 +32,7 @@ fn simulate(g: u16, rate: f64, read_fraction: f64, degraded: bool) -> (f64, f64)
         sim.fail_disk(0).expect("disk is healthy and in range");
     }
     let report = sim.run_for(SimTime::from_secs(60), SimTime::from_secs(6));
-    (report.reads.mean_ms(), report.writes.mean_ms())
+    (report.ops.reads.mean_ms(), report.ops.writes.mean_ms())
 }
 
 fn assert_close(what: &str, model: f64, sim: f64, tolerance: f64) {

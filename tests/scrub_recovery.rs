@@ -5,7 +5,8 @@
 
 use decluster::array::data::DataArray;
 use decluster::array::{
-    recover, ArrayConfig, ArraySim, CrashPlan, ReconAlgorithm, RecoveryPolicy, ScrubConfig,
+    recover, ArrayConfig, ArraySim, CrashPlan, ReconAlgorithm, ReconOptions, RecoveryPolicy,
+    ScrubConfig,
 };
 use decluster::disk::{MediaFaultConfig, MediaFaultModel};
 use decluster::experiments::campaign::{self, CampaignLayout, CampaignSpec};
@@ -41,9 +42,11 @@ fn retry_backoff_total_matches_the_closed_form() {
 }
 
 fn latent_cfg(scrub: ScrubConfig, latent_rate: f64) -> ArrayConfig {
-    ArrayConfig::scaled(30)
-        .with_media_faults(MediaFaultConfig::none().with_latent_rate(latent_rate))
-        .with_scrub(scrub)
+    ArrayConfig::builder()
+        .cylinders(30)
+        .media_faults(MediaFaultConfig::none().with_latent_rate(latent_rate))
+        .scrub(scrub)
+        .build()
 }
 
 /// Every stripe unit of the failed disk is accounted for exactly once,
@@ -63,7 +66,7 @@ fn scrub_sweep_accounting_identity_holds_across_seeds_and_rates() {
             )
             .unwrap();
             sim.fail_disk(0).unwrap();
-            sim.start_reconstruction(ReconAlgorithm::Baseline, 4)
+            sim.start_reconstruction(ReconOptions::new(ReconAlgorithm::Baseline).processes(4))
                 .unwrap();
             let report = sim.run_until_reconstructed(SimTime::from_secs(100_000));
             assert!(report.reconstruction_time.is_some(), "sweep must finish");
@@ -98,7 +101,7 @@ fn scrub_throttle_bounds_user_response_time_degradation() {
     let scrub = on.scrub.expect("patrol enabled");
     assert!(scrub.stripes_scanned > 0, "the patrol must make progress");
     assert!(scrub.backoffs > 0, "the throttle must actually engage");
-    let (base, patrolled) = (off.all.mean_ms(), on.all.mean_ms());
+    let (base, patrolled) = (off.ops.all.mean_ms(), on.ops.all.mean_ms());
     assert!(
         patrolled <= base * 1.25,
         "patrol slowed user traffic past the bound: {patrolled:.2} ms vs {base:.2} ms"
