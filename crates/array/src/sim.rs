@@ -1022,6 +1022,23 @@ impl<P: Probe> ArraySim<P> {
                 self.retry_op(op_id, now);
             }
         }
+        // An op whose in-flight ios all live on surviving disks is not in
+        // the lost-io list above, yet its queued phase-2 writes may still
+        // name the dead disk (the plan predates the failure; a completed
+        // phase-1 read on the dying disk leaves no in-flight trace).
+        // Abort those too, so they drain and replan under the degraded
+        // view instead of submitting to a failed disk.
+        let stale: Vec<u32> = self
+            .ops
+            .iter()
+            .filter(|(_, op)| !op.aborted && op.phase2.iter().any(|io| io.disk == disk))
+            .map(|(id, _)| id)
+            .collect();
+        for op_id in stale {
+            let op = self.ops.get_mut(op_id).expect("stale op vanished");
+            debug_assert!(op.outstanding > 0, "live op with no in-flight io");
+            op.aborted = true;
+        }
     }
 
     /// A whole-disk failure landed while the array was already degraded

@@ -1,0 +1,382 @@
+//! Operate a file-backed declustered store (`decluster-store`) from the
+//! command line: format, fill, benchmark, fail, rebuild, verify.
+//!
+//! ```text
+//! store mkfs DIR [--disks C] [--group G] [--units N] [--unit-bytes B]
+//!               [--layout declustered|complete|raid5] [--array-id ID]
+//! store fill DIR [--seed S]
+//! store bench DIR [--requests N] [--threads T] [--read-fraction F]
+//!                [--rate R] [--seed S] [--out PATH]
+//! store fail DIR DISK
+//! store rebuild DIR [--threads T]
+//! store verify DIR [--seed S] [--skip-content]
+//! ```
+//!
+//! `fill` writes a deterministic per-unit pattern derived from `--seed`;
+//! `verify` regenerates it and checks every logical unit (through the
+//! degraded read path when a disk is down), then scans parity when the
+//! store is fault-free. `rebuild` installs a blank replacement, rebuilds
+//! it online, and prints each surviving disk's read fraction next to the
+//! layout's α = (G−1)/(C−1). `bench` replays a generated workload over a
+//! worker pool and writes a JSON summary (default
+//! `results/store_bench.json`).
+
+use decluster_store::{BlockStore, LayoutSpec, StoreError, StorePool};
+use decluster_workload::{AccessKind, Workload, WorkloadSpec};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!(
+        "usage: store mkfs DIR [--disks C] [--group G] [--units N] [--unit-bytes B] \
+         [--layout declustered|complete|raid5] [--array-id ID]\n\
+         \x20      store fill DIR [--seed S]\n\
+         \x20      store bench DIR [--requests N] [--threads T] [--read-fraction F] \
+         [--rate R] [--seed S] [--out PATH]\n\
+         \x20      store fail DIR DISK\n\
+         \x20      store rebuild DIR [--threads T]\n\
+         \x20      store verify DIR [--seed S] [--skip-content]"
+    );
+    std::process::exit(if problem.is_empty() { 0 } else { 2 });
+}
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+}
+
+fn fail(err: StoreError) -> ! {
+    eprintln!("error: {err}");
+    std::process::exit(1);
+}
+
+fn open(dir: &Path) -> BlockStore {
+    match BlockStore::open(dir) {
+        Ok((store, report)) => {
+            if let Some(r) = report {
+                println!(
+                    "recovery ({}): {} stripes checked, {} torn, {} repaired",
+                    r.policy.name(),
+                    r.stripes_checked,
+                    r.torn_found,
+                    r.torn_repaired
+                );
+            }
+            store
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn describe(store: &BlockStore) {
+    let spec = store.spec();
+    println!(
+        "{} C={} G={} α={:.4}  {} units/disk × {} B  {} data units ({} blocks)",
+        spec.name(),
+        spec.disks(),
+        spec.group(),
+        spec.alpha(),
+        store.mapping().units_per_disk(),
+        store.unit_bytes(),
+        store.data_units(),
+        store.block_count()
+    );
+}
+
+/// The deterministic fill pattern: an xorshift stream keyed by
+/// `(seed, logical)`, so `verify` can regenerate any unit on its own.
+fn pattern(seed: u64, logical: u64, unit_bytes: usize) -> Vec<u8> {
+    let mut x = seed ^ logical.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0123_4567_89AB_CDEF;
+    (0..unit_bytes)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x as u8
+        })
+        .collect()
+}
+
+fn mkfs(dir: &Path, mut args: impl Iterator<Item = String>) {
+    let mut disks: u16 = 10;
+    let mut group: u16 = 4;
+    let mut units: u64 = 336;
+    let mut unit_bytes: u32 = 4096;
+    let mut layout = "declustered".to_string();
+    let mut array_id: u64 = 0xDEC1;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--disks" => disks = parse(&mut args, "--disks"),
+            "--group" => group = parse(&mut args, "--group"),
+            "--units" => units = parse(&mut args, "--units"),
+            "--unit-bytes" => unit_bytes = parse(&mut args, "--unit-bytes"),
+            "--layout" => layout = parse(&mut args, "--layout"),
+            "--array-id" => array_id = parse(&mut args, "--array-id"),
+            other => usage(&format!("unknown mkfs flag {other}")),
+        }
+    }
+    let spec = match layout.as_str() {
+        "declustered" => LayoutSpec::Declustered { disks, group },
+        "complete" => LayoutSpec::Complete { disks, group },
+        "raid5" => LayoutSpec::Raid5 { disks },
+        other => usage(&format!("unknown layout {other}")),
+    };
+    let store =
+        BlockStore::create(dir, spec, units, unit_bytes, array_id).unwrap_or_else(|e| fail(e));
+    describe(&store);
+    store.close().unwrap_or_else(|e| fail(e));
+    println!("formatted {}", dir.display());
+}
+
+fn fill(dir: &Path, mut args: impl Iterator<Item = String>) {
+    let mut seed: u64 = 1;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => seed = parse(&mut args, "--seed"),
+            other => usage(&format!("unknown fill flag {other}")),
+        }
+    }
+    let store = open(dir);
+    describe(&store);
+    let start = Instant::now();
+    for logical in 0..store.data_units() {
+        let data = pattern(seed, logical, store.unit_bytes());
+        store.write_unit(logical, &data).unwrap_or_else(|e| fail(e));
+    }
+    println!(
+        "filled {} units in {:.2}s (seed {seed})",
+        store.data_units(),
+        start.elapsed().as_secs_f64()
+    );
+    store.close().unwrap_or_else(|e| fail(e));
+}
+
+fn fail_disk(dir: &Path, disk: u16) {
+    let store = open(dir);
+    store.fail_disk(disk).unwrap_or_else(|e| fail(e));
+    println!("disk {disk} failed; store is degraded");
+    store.close().unwrap_or_else(|e| fail(e));
+}
+
+fn rebuild(dir: &Path, mut args: impl Iterator<Item = String>) {
+    let mut threads: usize = 0;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => threads = parse(&mut args, "--threads"),
+            other => usage(&format!("unknown rebuild flag {other}")),
+        }
+    }
+    let store = open(dir);
+    describe(&store);
+    store.replace_disk().unwrap_or_else(|e| fail(e));
+    let report = store.rebuild(threads).unwrap_or_else(|e| fail(e));
+    println!(
+        "rebuilt disk {} in {:.2}s: {} units reconstructed, {} already valid, {} holes",
+        report.failed_disk,
+        report.wall_secs,
+        report.units_rebuilt,
+        report.units_already_valid,
+        report.units_unmapped
+    );
+    println!("per-disk rebuild reads (α = {:.4}):", report.alpha);
+    for disk in 0..report.disk_reads.len() as u16 {
+        if disk == report.failed_disk {
+            println!(
+                "  disk {disk:3}: replacement, {} writes",
+                report.disk_writes[disk as usize]
+            );
+        } else {
+            println!(
+                "  disk {disk:3}: {:5} reads / {:5} mapped units = {:.4}",
+                report.disk_reads[disk as usize],
+                report.mapped_units_per_disk[disk as usize],
+                report.read_fraction(disk)
+            );
+        }
+    }
+    store.close().unwrap_or_else(|e| fail(e));
+}
+
+fn verify(dir: &Path, mut args: impl Iterator<Item = String>) {
+    let mut seed: u64 = 1;
+    let mut check_content = true;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => seed = parse(&mut args, "--seed"),
+            "--skip-content" => check_content = false,
+            other => usage(&format!("unknown verify flag {other}")),
+        }
+    }
+    let store = open(dir);
+    describe(&store);
+    if let Some(disk) = store.failed_disk() {
+        println!("store is degraded (disk {disk} down): reads go through reconstruction");
+    }
+    if check_content {
+        let mut buf = vec![0u8; store.unit_bytes()];
+        for logical in 0..store.data_units() {
+            store
+                .read_unit(logical, &mut buf)
+                .unwrap_or_else(|e| fail(e));
+            if buf != pattern(seed, logical, store.unit_bytes()) {
+                fail(StoreError::VerifyFailed { logical });
+            }
+        }
+        println!(
+            "content ok: {} units match the fill pattern",
+            store.data_units()
+        );
+    }
+    if store.failed_disk().is_none() {
+        store.verify_parity().unwrap_or_else(|e| fail(e));
+        println!("parity ok: every mapped stripe is consistent");
+    }
+    store.close().unwrap_or_else(|e| fail(e));
+}
+
+fn bench(dir: &Path, mut args: impl Iterator<Item = String>) {
+    let mut requests: usize = 2000;
+    let mut threads: usize = 0;
+    let mut read_fraction: f64 = 0.5;
+    let mut rate: f64 = 500.0;
+    let mut seed: u64 = 7;
+    let mut out = "results/store_bench.json".to_string();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--requests" => requests = parse(&mut args, "--requests"),
+            "--threads" => threads = parse(&mut args, "--threads"),
+            "--read-fraction" => read_fraction = parse(&mut args, "--read-fraction"),
+            "--rate" => rate = parse(&mut args, "--rate"),
+            "--seed" => seed = parse(&mut args, "--seed"),
+            "--out" => out = parse(&mut args, "--out"),
+            other => usage(&format!("unknown bench flag {other}")),
+        }
+    }
+    let store = open(dir);
+    describe(&store);
+    let mut workload = Workload::new(
+        WorkloadSpec::new(rate, read_fraction),
+        store.data_units(),
+        seed,
+    );
+    let stream: Vec<_> = (0..requests).map(|_| workload.next_request()).collect();
+    let pool = StorePool::new(threads);
+    let per_worker = requests.div_ceil(pool.threads());
+    let before = store.io_counters();
+    let start = Instant::now();
+    let results = pool.run(
+        stream
+            .chunks(per_worker.max(1))
+            .enumerate()
+            .map(|(w, chunk)| {
+                let store = &store;
+                move || -> Result<(u64, u64), StoreError> {
+                    let mut buf = vec![0u8; store.unit_bytes()];
+                    let (mut reads, mut writes) = (0u64, 0u64);
+                    for (i, req) in chunk.iter().enumerate() {
+                        for u in 0..req.units {
+                            let logical = (req.logical_unit + u) % store.data_units();
+                            match req.kind {
+                                AccessKind::Read => {
+                                    store.read_unit(logical, &mut buf)?;
+                                    reads += 1;
+                                }
+                                AccessKind::Write => {
+                                    let gen = (w * per_worker + i) as u64;
+                                    let data = pattern(seed ^ gen, logical, store.unit_bytes());
+                                    store.write_unit(logical, &data)?;
+                                    writes += 1;
+                                }
+                            }
+                        }
+                    }
+                    Ok((reads, writes))
+                }
+            })
+            .collect(),
+    );
+    let wall = start.elapsed().as_secs_f64();
+    let (mut reads, mut writes) = (0u64, 0u64);
+    for r in results {
+        let (r_done, w_done) = r.unwrap_or_else(|e| fail(e));
+        reads += r_done;
+        writes += w_done;
+    }
+    let after = store.io_counters();
+    let user_units = reads + writes;
+    let iops = user_units as f64 / wall;
+    let mb_s = user_units as f64 * store.unit_bytes() as f64 / (wall * 1024.0 * 1024.0);
+    println!(
+        "{user_units} unit accesses ({reads} reads, {writes} writes) in {wall:.3}s: \
+         {iops:.0} units/s, {mb_s:.1} MB/s over {} workers",
+        pool.threads()
+    );
+    if store.failed_disk().is_none() {
+        store.verify_parity().unwrap_or_else(|e| fail(e));
+        println!("parity ok after benchmark");
+    }
+
+    let spec = store.spec();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"layout\": \"{}\",\n", spec.name()));
+    json.push_str(&format!("  \"disks\": {},\n", spec.disks()));
+    json.push_str(&format!("  \"group\": {},\n", spec.group()));
+    json.push_str(&format!("  \"alpha\": {:.6},\n", spec.alpha()));
+    json.push_str(&format!("  \"unit_bytes\": {},\n", store.unit_bytes()));
+    json.push_str(&format!("  \"data_units\": {},\n", store.data_units()));
+    json.push_str(&format!("  \"requests\": {requests},\n"));
+    json.push_str(&format!("  \"read_fraction\": {read_fraction},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"threads\": {},\n", pool.threads()));
+    json.push_str(&format!("  \"user_reads\": {reads},\n"));
+    json.push_str(&format!("  \"user_writes\": {writes},\n"));
+    json.push_str(&format!("  \"wall_secs\": {wall:.6},\n"));
+    json.push_str(&format!("  \"units_per_sec\": {iops:.3},\n"));
+    json.push_str(&format!("  \"throughput_mb_s\": {mb_s:.3},\n"));
+    json.push_str("  \"per_disk\": [\n");
+    for (i, (a, b)) in after.iter().zip(&before).enumerate() {
+        json.push_str(&format!(
+            "    {{\"disk\": {i}, \"reads\": {}, \"writes\": {}}}{}\n",
+            a.reads - b.reads,
+            a.writes - b.writes,
+            if i + 1 == after.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Some(parent) = PathBuf::from(&out).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    match std::fs::write(&out, json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => fail(StoreError::io("write benchmark report", &out, e)),
+    }
+    store.close().unwrap_or_else(|e| fail(e));
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        usage("missing subcommand");
+    };
+    if command == "--help" || command == "-h" {
+        usage("");
+    }
+    let dir = PathBuf::from(
+        args.next()
+            .unwrap_or_else(|| usage("missing store directory")),
+    );
+    match command.as_str() {
+        "mkfs" => mkfs(&dir, args),
+        "fill" => fill(&dir, args),
+        "bench" => bench(&dir, args),
+        "fail" => fail_disk(&dir, parse(&mut args, "fail DISK")),
+        "rebuild" => rebuild(&dir, args),
+        "verify" => verify(&dir, args),
+        other => usage(&format!("unknown subcommand {other}")),
+    }
+}

@@ -199,6 +199,20 @@ impl ArrayMapping {
             .map(|seq| seq * self.layout.data_units_per_stripe() as u64 + index as u64)
     }
 
+    /// Maps a physical unit back to the logical data unit stored there —
+    /// the full inverse of [`ArrayMapping::logical_to_addr`]. `None` for
+    /// parity units and unmapped holes, which hold no logical data.
+    ///
+    /// # Panics
+    ///
+    /// As for [`ArrayMapping::role_at`].
+    pub fn addr_to_logical(&self, addr: UnitAddr) -> Option<u64> {
+        match self.role_at(addr.disk, addr.offset) {
+            UnitRole::Data { stripe, index } => self.stripe_to_logical(stripe, index),
+            _ => None,
+        }
+    }
+
     /// The role of the unit at (`disk`, `offset`), honouring truncation:
     /// units of stripes cut off by disk end are [`UnitRole::Unmapped`].
     ///
@@ -299,6 +313,25 @@ mod tests {
                 m.role_at(addr.disk, addr.offset),
                 UnitRole::Data { stripe, index }
             );
+        }
+    }
+
+    #[test]
+    fn addr_to_logical_inverts_logical_to_addr() {
+        let m = ArrayMapping::new(decl_5_4(), 20).unwrap();
+        for logical in 0..m.data_units() {
+            let addr = m.logical_to_addr(logical);
+            assert_eq!(m.addr_to_logical(addr), Some(logical));
+        }
+        // Parity units and unmapped holes hold no logical data.
+        for disk in 0..5 {
+            for offset in 0..20 {
+                let addr = UnitAddr::new(disk, offset);
+                match m.role_at(disk, offset) {
+                    UnitRole::Data { .. } => assert!(m.addr_to_logical(addr).is_some()),
+                    _ => assert_eq!(m.addr_to_logical(addr), None),
+                }
+            }
         }
     }
 

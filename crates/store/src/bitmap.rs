@@ -1,0 +1,282 @@
+//! The file-backed write-intent bitmap: one bit per mapped stripe,
+//! persisted before the stripe's writes are issued.
+//!
+//! This is the store's dirty-region log, with the same semantics the
+//! simulator's crash recovery assumes (`decluster_array::recovery`): a
+//! stripe with writes in flight has its bit set **on disk** before any
+//! data or parity write lands, so after a crash the set bits are a
+//! superset of the torn stripes — recovery under
+//! [`decluster_array::RecoveryPolicy::DirtyRegionLog`] resyncs only
+//! those.
+//!
+//! Bits are *set* write-through (one page write per newly-dirtied
+//! stripe) but *cleared* lazily in memory and flushed in batches: a
+//! stale set bit only costs an extra stripe resync after a crash, never
+//! correctness, so completions stay off the disk's critical path.
+
+use crate::error::{Result, StoreError};
+use crate::superblock::fnv1a;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"DCLBITM1";
+/// Header: magic, stripe count, header checksum.
+const HEADER_BYTES: u64 = 24;
+/// Granularity of persistence: one page of bitmap bytes.
+const PAGE_BYTES: usize = 4096;
+/// Lazy clears accumulated before differing pages are flushed.
+const CLEAR_FLUSH_EVERY: u64 = 4096;
+
+/// A persistent bitmap over the store's dense stripe sequence numbers.
+#[derive(Debug)]
+pub struct IntentBitmap {
+    path: PathBuf,
+    file: File,
+    stripes: u64,
+    /// Current in-memory image.
+    bits: Vec<u8>,
+    /// Image last persisted to the file.
+    persisted: Vec<u8>,
+    clears_pending: u64,
+}
+
+impl IntentBitmap {
+    /// Creates a zeroed bitmap for `stripes` stripes at `path`,
+    /// overwriting any existing file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on any syscall failure.
+    pub fn create(path: &Path, stripes: u64) -> Result<IntentBitmap> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| StoreError::io("create intent bitmap", path, e))?;
+        let bits = vec![0u8; stripes.div_ceil(8) as usize];
+        let mut header = [0u8; HEADER_BYTES as usize];
+        header[0..8].copy_from_slice(MAGIC);
+        header[8..16].copy_from_slice(&stripes.to_le_bytes());
+        let sum = fnv1a(&header[0..16]);
+        header[16..24].copy_from_slice(&sum.to_le_bytes());
+        file.write_all(&header)
+            .and_then(|()| file.write_all(&bits))
+            .and_then(|()| file.sync_data())
+            .map_err(|e| StoreError::io("initialize intent bitmap", path, e))?;
+        Ok(IntentBitmap {
+            path: path.to_path_buf(),
+            file,
+            stripes,
+            persisted: bits.clone(),
+            bits,
+            clears_pending: 0,
+        })
+    }
+
+    /// Opens an existing bitmap, validating the header against the
+    /// store's stripe count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on syscall failure or
+    /// [`StoreError::Corrupt`] if the header disagrees.
+    pub fn open(path: &Path, stripes: u64) -> Result<IntentBitmap> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| StoreError::io("open intent bitmap", path, e))?;
+        let mut header = [0u8; HEADER_BYTES as usize];
+        file.read_exact(&mut header)
+            .map_err(|e| StoreError::io("read intent bitmap header", path, e))?;
+        if &header[0..8] != MAGIC {
+            return Err(StoreError::corrupt(path, "bad magic"));
+        }
+        let mut sum = [0u8; 8];
+        sum.copy_from_slice(&header[16..24]);
+        if u64::from_le_bytes(sum) != fnv1a(&header[0..16]) {
+            return Err(StoreError::corrupt(path, "header checksum mismatch"));
+        }
+        let mut count = [0u8; 8];
+        count.copy_from_slice(&header[8..16]);
+        let stored = u64::from_le_bytes(count);
+        if stored != stripes {
+            return Err(StoreError::corrupt(
+                path,
+                format!("bitmap covers {stored} stripes, store has {stripes}"),
+            ));
+        }
+        let mut bits = vec![0u8; stripes.div_ceil(8) as usize];
+        file.read_exact(&mut bits)
+            .map_err(|e| StoreError::io("read intent bitmap", path, e))?;
+        Ok(IntentBitmap {
+            path: path.to_path_buf(),
+            file,
+            stripes,
+            persisted: bits.clone(),
+            bits,
+            clears_pending: 0,
+        })
+    }
+
+    /// Number of stripes covered.
+    pub fn stripes(&self) -> u64 {
+        self.stripes
+    }
+
+    /// Marks stripe `seq` dirty, persisting the change before returning —
+    /// the write-ahead step of the DRL protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the page cannot be persisted.
+    pub fn mark(&mut self, seq: u64) -> Result<()> {
+        let (byte, mask) = self.locate(seq)?;
+        self.bits[byte] |= mask;
+        if self.persisted[byte] & mask == 0 {
+            self.flush_page(byte / PAGE_BYTES, true)?;
+        }
+        Ok(())
+    }
+
+    /// Clears stripe `seq` in memory; the file catches up lazily (a stale
+    /// set bit is harmless — it only widens the post-crash resync).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if a batched flush fails.
+    pub fn clear(&mut self, seq: u64) -> Result<()> {
+        let (byte, mask) = self.locate(seq)?;
+        self.bits[byte] &= !mask;
+        self.clears_pending += 1;
+        if self.clears_pending >= CLEAR_FLUSH_EVERY {
+            self.flush_all(false)?;
+        }
+        Ok(())
+    }
+
+    /// Whether stripe `seq` is dirty in memory.
+    pub fn is_dirty(&self, seq: u64) -> bool {
+        let byte = (seq / 8) as usize;
+        seq < self.stripes && self.bits[byte] & (1 << (seq % 8)) != 0
+    }
+
+    /// Every dirty stripe sequence number, ascending.
+    pub fn dirty_seqs(&self) -> Vec<u64> {
+        (0..self.stripes).filter(|&s| self.is_dirty(s)).collect()
+    }
+
+    /// Dirty stripes in memory.
+    pub fn count(&self) -> u64 {
+        self.bits.iter().map(|b| b.count_ones() as u64).sum()
+    }
+
+    /// Clears every bit and persists the empty image (clean close).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on any syscall failure.
+    pub fn clear_all(&mut self) -> Result<()> {
+        self.bits.iter_mut().for_each(|b| *b = 0);
+        self.flush_all(true)
+    }
+
+    fn locate(&self, seq: u64) -> Result<(usize, u8)> {
+        if seq >= self.stripes {
+            return Err(StoreError::state(format!(
+                "stripe seq {seq} beyond bitmap ({} stripes)",
+                self.stripes
+            )));
+        }
+        Ok(((seq / 8) as usize, 1 << (seq % 8)))
+    }
+
+    /// Writes one page of bitmap bytes back to the file, optionally
+    /// syncing (the mark path syncs; lazy clear flushes don't need to).
+    fn flush_page(&mut self, page: usize, sync: bool) -> Result<()> {
+        let start = page * PAGE_BYTES;
+        let end = (start + PAGE_BYTES).min(self.bits.len());
+        self.file
+            .seek(SeekFrom::Start(HEADER_BYTES + start as u64))
+            .and_then(|_| self.file.write_all(&self.bits[start..end]))
+            .and_then(|()| if sync { self.file.sync_data() } else { Ok(()) })
+            .map_err(|e| StoreError::io("persist intent bitmap page", &self.path, e))?;
+        self.persisted[start..end].copy_from_slice(&self.bits[start..end]);
+        Ok(())
+    }
+
+    fn flush_all(&mut self, sync: bool) -> Result<()> {
+        let pages = self.bits.len().div_ceil(PAGE_BYTES);
+        for page in 0..pages {
+            let start = page * PAGE_BYTES;
+            let end = (start + PAGE_BYTES).min(self.bits.len());
+            if self.bits[start..end] != self.persisted[start..end] {
+                self.flush_page(page, false)?;
+            }
+        }
+        if sync {
+            self.file
+                .sync_data()
+                .map_err(|e| StoreError::io("sync intent bitmap", &self.path, e))?;
+        }
+        self.clears_pending = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("decluster-store-bitmap-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn marks_persist_immediately_clears_lazily() {
+        let path = tmp("persist.bitmap");
+        let mut b = IntentBitmap::create(&path, 100).unwrap();
+        b.mark(3).unwrap();
+        b.mark(97).unwrap();
+        assert!(b.is_dirty(3) && b.is_dirty(97));
+        assert_eq!(b.count(), 2);
+
+        // A fresh open sees the marks: they were persisted write-through.
+        let reopened = IntentBitmap::open(&path, 100).unwrap();
+        assert_eq!(reopened.dirty_seqs(), vec![3, 97]);
+
+        // A lazy clear is visible in memory but not yet on disk.
+        b.clear(3).unwrap();
+        assert!(!b.is_dirty(3));
+        let reopened = IntentBitmap::open(&path, 100).unwrap();
+        assert!(reopened.is_dirty(3), "clears must be lazy");
+
+        // clear_all persists the empty image.
+        b.clear_all().unwrap();
+        let reopened = IntentBitmap::open(&path, 100).unwrap();
+        assert_eq!(reopened.count(), 0);
+    }
+
+    #[test]
+    fn open_validates_stripe_count_and_header() {
+        let path = tmp("validate.bitmap");
+        IntentBitmap::create(&path, 64).unwrap();
+        assert!(IntentBitmap::open(&path, 65).is_err());
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(IntentBitmap::open(&path, 64).is_err());
+    }
+
+    #[test]
+    fn out_of_range_seq_is_rejected() {
+        let path = tmp("range.bitmap");
+        let mut b = IntentBitmap::create(&path, 8).unwrap();
+        assert!(b.mark(8).is_err());
+        assert!(b.clear(9).is_err());
+        assert!(!b.is_dirty(8));
+    }
+}

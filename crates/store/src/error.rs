@@ -1,0 +1,121 @@
+//! Typed errors for the block store.
+//!
+//! Every syscall failure on the I/O path surfaces here with the file and
+//! operation that failed — the store never unwraps an `io::Result`.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Alias for store results.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A syscall on a backing file failed.
+    Io {
+        /// What the store was doing ("read unit", "write superblock", …).
+        op: &'static str,
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: io::Error,
+    },
+    /// A backing file's on-disk metadata failed validation.
+    Corrupt {
+        /// The file involved.
+        path: PathBuf,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The backing files disagree about the array's identity (layout,
+    /// geometry, or array id) — they are not one array.
+    Mismatch {
+        /// What disagreed.
+        reason: String,
+    },
+    /// The layout math rejected the requested geometry.
+    Layout(decluster_core::Error),
+    /// The operation is invalid in the store's current fault state.
+    InvalidState {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A parity scan found a stripe whose parity does not equal the XOR
+    /// of its data units.
+    ParityMismatch {
+        /// The first inconsistent stripe.
+        stripe: u64,
+    },
+    /// A content verification found a logical unit that does not hold the
+    /// expected bytes.
+    VerifyFailed {
+        /// The first mismatching logical data unit.
+        logical: u64,
+    },
+}
+
+impl StoreError {
+    /// Wraps an `io::Error` with the operation and path that hit it.
+    pub fn io(op: &'static str, path: impl Into<PathBuf>, source: io::Error) -> StoreError {
+        StoreError::Io {
+            op,
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// A corruption error for `path`.
+    pub fn corrupt(path: impl Into<PathBuf>, reason: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            path: path.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// An invalid-state error.
+    pub fn state(reason: impl Into<String>) -> StoreError {
+        StoreError::InvalidState {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "{op} on {}: {source}", path.display())
+            }
+            StoreError::Corrupt { path, reason } => {
+                write!(f, "corrupt store file {}: {reason}", path.display())
+            }
+            StoreError::Mismatch { reason } => write!(f, "backing files disagree: {reason}"),
+            StoreError::Layout(e) => write!(f, "layout: {e}"),
+            StoreError::InvalidState { reason } => write!(f, "invalid state: {reason}"),
+            StoreError::ParityMismatch { stripe } => {
+                write!(f, "parity mismatch in stripe {stripe}")
+            }
+            StoreError::VerifyFailed { logical } => {
+                write!(f, "content mismatch at logical unit {logical}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Layout(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<decluster_core::Error> for StoreError {
+    fn from(e: decluster_core::Error) -> StoreError {
+        StoreError::Layout(e)
+    }
+}

@@ -1,0 +1,32 @@
+//! A file-backed declustered block store: the layout math the simulator
+//! evaluates analytically, driving a real I/O engine.
+//!
+//! The rest of the workspace *models* the paper — block designs,
+//! declustered layouts, timing simulation, Monte Carlo campaigns. This
+//! crate *runs* it: one backing file per disk, a superblock naming the
+//! layout, and a [`BlockStore`] that routes a flat block address space
+//! through [`decluster_core::layout::ArrayMapping`] with
+//! read-modify-write parity maintenance, on-the-fly degraded
+//! reconstruction, online rebuild to a spare (with per-disk I/O
+//! counters that surface the paper's α = (G−1)/(C−1) rebuild read
+//! fraction on real files), and a persistent write-intent bitmap giving
+//! dirty-region-log crash recovery.
+//!
+//! The store's byte semantics are deliberately identical to the
+//! in-memory oracle `decluster_array::data::DataArray`, so a
+//! differential harness can replay one workload into both and demand
+//! byte-identical final contents — see `tests/differential.rs`.
+
+#![warn(missing_docs)]
+
+mod bitmap;
+mod error;
+mod pool;
+mod store;
+mod superblock;
+
+pub use bitmap::IntentBitmap;
+pub use error::{Result, StoreError};
+pub use pool::StorePool;
+pub use store::{BlockStore, DiskCounters, RebuildReport};
+pub use superblock::{LayoutSpec, Superblock, BLOCK_BYTES, SUPERBLOCK_BYTES};

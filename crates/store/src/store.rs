@@ -1,0 +1,1258 @@
+//! The block store proper: one backing file per disk, the simulator's
+//! layout math routing every access.
+//!
+//! [`BlockStore`] exposes a flat logical block address space
+//! ([`BLOCK_BYTES`]-sized blocks) and maps it through
+//! [`ArrayMapping`] exactly as the byte-accurate model
+//! (`decluster_array::data::DataArray`) does, so the two are
+//! byte-for-byte comparable: fault-free writes are read-modify-write
+//! (`parity ^= old ^ new`), writes whose parity unit is lost store the
+//! data alone, writes whose data unit is lost fold the new value into
+//! parity (and go straight to the replacement once one is installed),
+//! and degraded reads reconstruct on the fly from the XOR of the
+//! stripe's survivors.
+//!
+//! Concurrency: a fixed table of stripe locks serializes the
+//! read-modify-write cycles of colliding stripes while letting disjoint
+//! stripes proceed in parallel; admin transitions (`fail_disk`,
+//! `replace_disk`, rebuild completion) take every stripe lock, so they
+//! see no in-flight user I/O. The write-intent bitmap
+//! ([`crate::bitmap::IntentBitmap`]) is marked durably before a
+//! stripe's first write lands and cleared lazily after, giving crash
+//! recovery ([`BlockStore::open_with_recovery`]) the dirty-region-log
+//! bound on resync work.
+
+use crate::bitmap::IntentBitmap;
+use crate::error::{Result, StoreError};
+use crate::pool::{lock, StorePool};
+use crate::superblock::{LayoutSpec, Superblock, BLOCK_BYTES, SUPERBLOCK_BYTES};
+use decluster_array::{ConsistencyReport, RecoveryPolicy};
+use decluster_core::layout::{ArrayMapping, UnitAddr, UnitRole};
+use std::fs::OpenOptions;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Upper bound on the stripe-lock table; stripes hash onto it by id.
+const MAX_STRIPE_LOCKS: u64 = 1024;
+
+/// One disk's backing file, with cumulative unit-I/O counters — the
+/// observable that makes the paper's α = (G−1)/(C−1) rebuild read
+/// fraction measurable on real files.
+#[derive(Debug)]
+struct DiskFile {
+    path: PathBuf,
+    file: std::fs::File,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl DiskFile {
+    fn open(path: PathBuf, create: bool) -> Result<DiskFile> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(create)
+            .truncate(create)
+            .open(&path)
+            .map_err(|e| StoreError::io("open backing file", &path, e))?;
+        Ok(DiskFile {
+            path,
+            file,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        })
+    }
+
+    /// Reads the stripe unit at `offset` (units, not bytes) into `buf`.
+    fn read_unit(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let pos = SUPERBLOCK_BYTES + offset * buf.len() as u64;
+        self.file
+            .read_exact_at(buf, pos)
+            .map_err(|e| StoreError::io("read unit", &self.path, e))?;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Writes the stripe unit at `offset`.
+    fn write_unit(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let pos = SUPERBLOCK_BYTES + offset * data.len() as u64;
+        self.file
+            .write_all_at(data, pos)
+            .map_err(|e| StoreError::io("write unit", &self.path, e))?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_superblock(&self, sb: &Superblock) -> Result<()> {
+        self.file
+            .write_all_at(&sb.encode(), 0)
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| StoreError::io("write superblock", &self.path, e))
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| StoreError::io("sync backing file", &self.path, e))
+    }
+}
+
+/// The fault state, mirroring `DataArray`: a failed disk, and once a
+/// replacement is installed, the per-offset rebuilt map.
+#[derive(Debug, Default)]
+struct FaultState {
+    failed: Option<u16>,
+    rebuilt: Option<Vec<bool>>,
+}
+
+impl FaultState {
+    /// Whether `addr` is currently unreadable (failed and not yet
+    /// rebuilt).
+    fn is_lost(&self, addr: UnitAddr) -> bool {
+        match (self.failed, &self.rebuilt) {
+            (Some(f), None) => addr.disk == f,
+            (Some(f), Some(rebuilt)) => addr.disk == f && !rebuilt[addr.offset as usize],
+            _ => false,
+        }
+    }
+}
+
+/// Cumulative I/O counters of one backing file, in stripe units.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskCounters {
+    /// Units read since open.
+    pub reads: u64,
+    /// Units written since open.
+    pub writes: u64,
+}
+
+/// What an online rebuild did, with the per-disk I/O that proves the
+/// declustering ratio.
+#[derive(Debug, Clone)]
+pub struct RebuildReport {
+    /// The disk that was rebuilt.
+    pub failed_disk: u16,
+    /// Units reconstructed from surviving stripes.
+    pub units_rebuilt: u64,
+    /// Units skipped because degraded-mode writes had already placed
+    /// them on the replacement.
+    pub units_already_valid: u64,
+    /// Unmapped holes skipped.
+    pub units_unmapped: u64,
+    /// Units read from each disk during the rebuild window.
+    pub disk_reads: Vec<u64>,
+    /// Units written to each disk during the rebuild window.
+    pub disk_writes: Vec<u64>,
+    /// Mapped (non-hole) units on each disk — the denominator of the
+    /// per-disk read fraction.
+    pub mapped_units_per_disk: Vec<u64>,
+    /// The layout's declustering ratio α = (G−1)/(C−1): the predicted
+    /// fraction of each surviving disk read by the rebuild.
+    pub alpha: f64,
+    /// Wall-clock time of the rebuild.
+    pub wall_secs: f64,
+}
+
+impl RebuildReport {
+    /// Fraction of `disk`'s mapped units the rebuild read — compare
+    /// against [`RebuildReport::alpha`] for surviving disks.
+    pub fn read_fraction(&self, disk: u16) -> f64 {
+        let mapped = self.mapped_units_per_disk[disk as usize];
+        if mapped == 0 {
+            0.0
+        } else {
+            self.disk_reads[disk as usize] as f64 / mapped as f64
+        }
+    }
+}
+
+/// How a unit write's new contents are supplied.
+enum NewData<'a> {
+    /// Replace the whole unit.
+    Full(&'a [u8]),
+    /// Overwrite `bytes` at byte offset `at`, keeping the rest.
+    Splice { at: usize, bytes: &'a [u8] },
+}
+
+/// Per-worker tally of a rebuild range.
+#[derive(Debug, Default, Clone, Copy)]
+struct RebuildChunk {
+    rebuilt: u64,
+    already_valid: u64,
+    unmapped: u64,
+}
+
+/// A file-backed declustered array.
+///
+/// All I/O methods take `&self`; the store is `Sync` and safe to drive
+/// from a [`StorePool`].
+#[derive(Debug)]
+pub struct BlockStore {
+    dir: PathBuf,
+    mapping: ArrayMapping,
+    spec: LayoutSpec,
+    array_id: u64,
+    unit_bytes: usize,
+    blocks_per_unit: u64,
+    disks: Vec<DiskFile>,
+    locks: Vec<Mutex<()>>,
+    state: Mutex<FaultState>,
+    intent: Mutex<IntentBitmap>,
+}
+
+fn disk_path(dir: &Path, disk: u16) -> PathBuf {
+    dir.join(format!("disk-{disk:03}.dat"))
+}
+
+fn bitmap_path(dir: &Path) -> PathBuf {
+    dir.join("intent.bitmap")
+}
+
+fn xor_into(acc: &mut [u8], src: &[u8]) {
+    for (a, s) in acc.iter_mut().zip(src) {
+        *a ^= s;
+    }
+}
+
+impl BlockStore {
+    /// Formats a new store in `dir` (`mkfs`): one zeroed backing file
+    /// per disk, each stamped with a superblock carrying the layout
+    /// identity and the shared `array_id`, plus an empty write-intent
+    /// bitmap.
+    ///
+    /// The returned store is open (superblocks marked not-clean); call
+    /// [`BlockStore::close`] for a clean shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the geometry is invalid, a store already exists in
+    /// `dir`, or any file operation fails.
+    pub fn create(
+        dir: &Path,
+        spec: LayoutSpec,
+        units_per_disk: u64,
+        unit_bytes: u32,
+        array_id: u64,
+    ) -> Result<BlockStore> {
+        if unit_bytes == 0 || !unit_bytes.is_multiple_of(BLOCK_BYTES) {
+            return Err(StoreError::state(format!(
+                "unit size {unit_bytes} is not a multiple of {BLOCK_BYTES}"
+            )));
+        }
+        let mapping = ArrayMapping::new(spec.build()?, units_per_disk)?;
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::io("create store dir", dir, e))?;
+        if disk_path(dir, 0).exists() {
+            return Err(StoreError::state(format!(
+                "a store already exists in {}",
+                dir.display()
+            )));
+        }
+        let size = SUPERBLOCK_BYTES + units_per_disk * unit_bytes as u64;
+        let mut disks = Vec::with_capacity(spec.disks() as usize);
+        for i in 0..spec.disks() {
+            let d = DiskFile::open(disk_path(dir, i), true)?;
+            d.file
+                .set_len(size)
+                .map_err(|e| StoreError::io("size backing file", &d.path, e))?;
+            d.write_superblock(&Superblock {
+                spec,
+                unit_bytes,
+                units_per_disk,
+                disk_index: i,
+                array_id,
+                clean: false,
+                failed_disk: None,
+            })?;
+            disks.push(d);
+        }
+        let intent = IntentBitmap::create(&bitmap_path(dir), mapping.stripes())?;
+        Ok(Self::assemble(
+            dir, mapping, spec, array_id, unit_bytes, disks, intent, None,
+        ))
+    }
+
+    /// Opens an existing store with the default crash-recovery policy
+    /// ([`RecoveryPolicy::DirtyRegionLog`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`BlockStore::open_with_recovery`].
+    pub fn open(dir: &Path) -> Result<(BlockStore, Option<ConsistencyReport>)> {
+        Self::open_with_recovery(dir, RecoveryPolicy::DirtyRegionLog)
+    }
+
+    /// Opens an existing store, validating every readable superblock
+    /// against the others and, if the store was not cleanly closed,
+    /// running a parity resync under `policy` before any user I/O.
+    ///
+    /// An unreadable superblock is tolerated only on the disk the
+    /// surviving superblocks name as failed (its medium was lost). The
+    /// returned report is `Some` exactly when recovery ran.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no valid superblock exists, the files disagree about
+    /// the array's identity, or any file operation fails.
+    pub fn open_with_recovery(
+        dir: &Path,
+        policy: RecoveryPolicy,
+    ) -> Result<(BlockStore, Option<ConsistencyReport>)> {
+        // Collect every consecutive backing file and its decode result.
+        let mut decoded: Vec<(PathBuf, Result<Superblock>)> = Vec::new();
+        loop {
+            let path = disk_path(dir, decoded.len() as u16);
+            if !path.exists() {
+                break;
+            }
+            let mut buf = vec![0u8; SUPERBLOCK_BYTES as usize];
+            let res = DiskFile::open(path.clone(), false).and_then(|d| {
+                d.file
+                    .read_exact_at(&mut buf, 0)
+                    .map_err(|e| StoreError::io("read superblock", &d.path, e))?;
+                Superblock::decode(&buf, &path)
+            });
+            decoded.push((path, res));
+        }
+        let Some(reference) = decoded.iter().find_map(|(_, r)| r.as_ref().ok()).copied() else {
+            return Err(StoreError::corrupt(
+                dir,
+                "no backing file has a valid superblock",
+            ));
+        };
+        if reference.spec.disks() as usize != decoded.len() {
+            return Err(StoreError::Mismatch {
+                reason: format!(
+                    "superblock names {} disks but {} backing files exist",
+                    reference.spec.disks(),
+                    decoded.len()
+                ),
+            });
+        }
+        // Identity and failed-disk consensus across the valid superblocks.
+        let mut failed: Option<u16> = None;
+        let mut clean = true;
+        for (i, (path, res)) in decoded.iter().enumerate() {
+            // Unreadable superblocks are judged below, once consensus is known.
+            let Ok(sb) = res else { continue };
+            if !sb.same_array(&reference) {
+                return Err(StoreError::Mismatch {
+                    reason: format!("{} belongs to a different array", path.display()),
+                });
+            }
+            if sb.disk_index != i as u16 {
+                return Err(StoreError::Mismatch {
+                    reason: format!(
+                        "{} claims disk index {}, expected {i}",
+                        path.display(),
+                        sb.disk_index
+                    ),
+                });
+            }
+            clean &= sb.clean;
+            if let Some(f) = sb.failed_disk {
+                if failed.is_some_and(|prev| prev != f) {
+                    return Err(StoreError::Mismatch {
+                        reason: "superblocks disagree about which disk failed".into(),
+                    });
+                }
+                failed = Some(f);
+            }
+        }
+        for (i, (_, res)) in decoded.iter().enumerate() {
+            if let Err(e) = res {
+                if failed != Some(i as u16) {
+                    return Err(StoreError::corrupt(
+                        &decoded[i].0,
+                        format!("unreadable superblock on a disk not marked failed: {e}"),
+                    ));
+                }
+            }
+        }
+        let mapping = ArrayMapping::new(reference.spec.build()?, reference.units_per_disk)?;
+        let disks = decoded
+            .into_iter()
+            .map(|(path, _)| DiskFile::open(path, false))
+            .collect::<Result<Vec<_>>>()?;
+        let intent = IntentBitmap::open(&bitmap_path(dir), mapping.stripes())?;
+        let store = Self::assemble(
+            dir,
+            mapping,
+            reference.spec,
+            reference.array_id,
+            reference.unit_bytes,
+            disks,
+            intent,
+            failed,
+        );
+        let report = if clean {
+            None
+        } else {
+            Some(store.recover(policy)?)
+        };
+        // Mark open: a crash from here on must trigger recovery again.
+        store.write_superblocks(false)?;
+        Ok((store, report))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        dir: &Path,
+        mapping: ArrayMapping,
+        spec: LayoutSpec,
+        array_id: u64,
+        unit_bytes: u32,
+        disks: Vec<DiskFile>,
+        intent: IntentBitmap,
+        failed: Option<u16>,
+    ) -> BlockStore {
+        let lock_count = mapping.stripes().clamp(1, MAX_STRIPE_LOCKS);
+        BlockStore {
+            dir: dir.to_path_buf(),
+            blocks_per_unit: (unit_bytes / BLOCK_BYTES) as u64,
+            unit_bytes: unit_bytes as usize,
+            mapping,
+            spec,
+            array_id,
+            disks,
+            locks: (0..lock_count).map(|_| Mutex::new(())).collect(),
+            state: Mutex::new(FaultState {
+                failed,
+                rebuilt: None,
+            }),
+            intent: Mutex::new(intent),
+        }
+    }
+
+    /// Flushes everything and marks the superblocks clean, consuming
+    /// the store. A reopen after `close` skips crash recovery.
+    ///
+    /// Rebuild progress is not persisted: closing mid-rebuild reverts
+    /// the replacement to "installed but empty" on the next open.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first flush or superblock write that fails.
+    pub fn close(self) -> Result<()> {
+        lock(&self.intent).clear_all()?;
+        for d in &self.disks {
+            d.sync()?;
+        }
+        self.write_superblocks(true)
+    }
+
+    // ------------------------------------------------------------------
+    // Geometry accessors
+    // ------------------------------------------------------------------
+
+    /// The layout construction this store was formatted with.
+    pub fn spec(&self) -> LayoutSpec {
+        self.spec
+    }
+
+    /// The bound layout mapping (stripe math, capacities).
+    pub fn mapping(&self) -> &ArrayMapping {
+        &self.mapping
+    }
+
+    /// Bytes per stripe unit.
+    pub fn unit_bytes(&self) -> usize {
+        self.unit_bytes
+    }
+
+    /// Logical data units addressable.
+    pub fn data_units(&self) -> u64 {
+        self.mapping.data_units()
+    }
+
+    /// Logical blocks addressable ([`BLOCK_BYTES`] each).
+    pub fn block_count(&self) -> u64 {
+        self.data_units() * self.blocks_per_unit
+    }
+
+    /// The directory holding the backing files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The currently failed disk, if any.
+    pub fn failed_disk(&self) -> Option<u16> {
+        lock(&self.state).failed
+    }
+
+    /// Cumulative per-disk unit-I/O counters since open.
+    pub fn io_counters(&self) -> Vec<DiskCounters> {
+        self.disks
+            .iter()
+            .map(|d| DiskCounters {
+                reads: d.reads.load(Ordering::Relaxed),
+                writes: d.writes.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Mapped (non-hole) units on each disk.
+    pub fn mapped_units_per_disk(&self) -> Vec<u64> {
+        (0..self.mapping.disks())
+            .map(|d| {
+                (0..self.mapping.units_per_disk())
+                    .filter(|&o| self.mapping.role_at(d, o) != UnitRole::Unmapped)
+                    .count() as u64
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Block I/O
+    // ------------------------------------------------------------------
+
+    /// Reads `buf.len()` bytes starting at logical block `block`,
+    /// reconstructing degraded units on the fly.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the extent is not whole blocks, overruns capacity, or
+    /// any disk I/O fails.
+    pub fn read_blocks(&self, block: u64, buf: &mut [u8]) -> Result<()> {
+        self.check_extent(block, buf.len())?;
+        let mut scratch = vec![0u8; self.unit_bytes];
+        let mut block = block;
+        let mut filled = 0;
+        while filled < buf.len() {
+            let logical = block / self.blocks_per_unit;
+            let at = (block % self.blocks_per_unit) as usize * BLOCK_BYTES as usize;
+            let take = (self.unit_bytes - at).min(buf.len() - filled);
+            self.read_unit(logical, &mut scratch)?;
+            buf[filled..filled + take].copy_from_slice(&scratch[at..at + take]);
+            filled += take;
+            block += (take / BLOCK_BYTES as usize) as u64;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` starting at logical block `block`, maintaining
+    /// parity under the current fault state. Partial-unit extents
+    /// read-splice-write the unit under its stripe lock.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BlockStore::read_blocks`].
+    pub fn write_blocks(&self, block: u64, data: &[u8]) -> Result<()> {
+        self.check_extent(block, data.len())?;
+        let mut block = block;
+        let mut taken = 0;
+        while taken < data.len() {
+            let logical = block / self.blocks_per_unit;
+            let at = (block % self.blocks_per_unit) as usize * BLOCK_BYTES as usize;
+            let take = (self.unit_bytes - at).min(data.len() - taken);
+            let chunk = &data[taken..taken + take];
+            if at == 0 && take == self.unit_bytes {
+                self.write_unit_inner(logical, NewData::Full(chunk))?;
+            } else {
+                self.write_unit_inner(logical, NewData::Splice { at, bytes: chunk })?;
+            }
+            taken += take;
+            block += (take / BLOCK_BYTES as usize) as u64;
+        }
+        Ok(())
+    }
+
+    /// Reads one whole logical unit into `out` (`unit_bytes` long),
+    /// reconstructing from the stripe's survivors if its disk is down.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad length, out-of-range unit, or disk I/O error.
+    pub fn read_unit(&self, logical: u64, out: &mut [u8]) -> Result<()> {
+        if out.len() != self.unit_bytes {
+            return Err(StoreError::state(format!(
+                "unit read buffer is {} bytes, unit is {}",
+                out.len(),
+                self.unit_bytes
+            )));
+        }
+        if logical >= self.data_units() {
+            return Err(StoreError::state(format!(
+                "logical unit {logical} beyond capacity {}",
+                self.data_units()
+            )));
+        }
+        let (stripe, index) = self.mapping.logical_to_stripe(logical);
+        let _guard = self.lock_stripe(stripe);
+        let units = self.mapping.stripe_units(stripe);
+        let addr = units[index as usize];
+        let lost = lock(&self.state).is_lost(addr);
+        if !lost {
+            return self.disks[addr.disk as usize].read_unit(addr.offset, out);
+        }
+        out.fill(0);
+        let mut tmp = vec![0u8; self.unit_bytes];
+        for u in units.iter().filter(|u| u.disk != addr.disk) {
+            self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
+            xor_into(out, &tmp);
+        }
+        Ok(())
+    }
+
+    /// Writes one whole logical unit.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BlockStore::read_unit`].
+    pub fn write_unit(&self, logical: u64, data: &[u8]) -> Result<()> {
+        if data.len() != self.unit_bytes {
+            return Err(StoreError::state(format!(
+                "unit write is {} bytes, unit is {}",
+                data.len(),
+                self.unit_bytes
+            )));
+        }
+        self.write_unit_inner(logical, NewData::Full(data))
+    }
+
+    fn check_extent(&self, block: u64, len: usize) -> Result<()> {
+        if !len.is_multiple_of(BLOCK_BYTES as usize) {
+            return Err(StoreError::state(format!(
+                "extent of {len} bytes is not whole {BLOCK_BYTES}-byte blocks"
+            )));
+        }
+        let nblocks = (len / BLOCK_BYTES as usize) as u64;
+        let end = block.checked_add(nblocks);
+        if end.is_none_or(|end| end > self.block_count()) {
+            return Err(StoreError::state(format!(
+                "extent [{block}, +{nblocks}) beyond capacity {} blocks",
+                self.block_count()
+            )));
+        }
+        Ok(())
+    }
+
+    fn lock_stripe(&self, stripe: u64) -> MutexGuard<'_, ()> {
+        lock(&self.locks[(stripe % self.locks.len() as u64) as usize])
+    }
+
+    fn lock_all_stripes(&self) -> Vec<MutexGuard<'_, ()>> {
+        self.locks.iter().map(lock).collect()
+    }
+
+    /// The unit-write engine: same decomposition as `DataArray::write`,
+    /// executed over files under the stripe lock with the write-intent
+    /// bit persisted first.
+    fn write_unit_inner(&self, logical: u64, new: NewData<'_>) -> Result<()> {
+        if logical >= self.data_units() {
+            return Err(StoreError::state(format!(
+                "logical unit {logical} beyond capacity {}",
+                self.data_units()
+            )));
+        }
+        let (stripe, index) = self.mapping.logical_to_stripe(logical);
+        let seq = self
+            .mapping
+            .seq_of_stripe(stripe)
+            .ok_or_else(|| StoreError::state(format!("stripe {stripe} is not mapped")))?;
+        let _guard = self.lock_stripe(stripe);
+        let units = self.mapping.stripe_units(stripe);
+        let addr = units[index as usize];
+        let parity = units[units.len() - 1]; // parity is ordered last
+        let (data_lost, parity_lost, has_replacement) = {
+            let st = lock(&self.state);
+            (st.is_lost(addr), st.is_lost(parity), st.rebuilt.is_some())
+        };
+
+        // The old unit image is needed for fault-free parity deltas and
+        // for splicing partial writes into the current contents.
+        let fault_free = !data_lost && !parity_lost;
+        let need_old = fault_free || matches!(new, NewData::Splice { .. });
+        let mut old = vec![0u8; self.unit_bytes];
+        if need_old {
+            if !data_lost {
+                self.disks[addr.disk as usize].read_unit(addr.offset, &mut old)?;
+            } else {
+                let mut tmp = vec![0u8; self.unit_bytes];
+                for u in units.iter().filter(|u| u.disk != addr.disk) {
+                    self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
+                    xor_into(&mut old, &tmp);
+                }
+            }
+        }
+        let mut image = old.clone();
+        match new {
+            NewData::Full(bytes) => image.copy_from_slice(bytes),
+            NewData::Splice { at, bytes } => image[at..at + bytes.len()].copy_from_slice(bytes),
+        }
+
+        lock(&self.intent).mark(seq)?;
+        if fault_free {
+            // Read-modify-write: parity ^= old ^ new.
+            self.disks[addr.disk as usize].write_unit(addr.offset, &image)?;
+            let mut pbuf = vec![0u8; self.unit_bytes];
+            self.disks[parity.disk as usize].read_unit(parity.offset, &mut pbuf)?;
+            for i in 0..self.unit_bytes {
+                pbuf[i] ^= old[i] ^ image[i];
+            }
+            self.disks[parity.disk as usize].write_unit(parity.offset, &pbuf)?;
+        } else if parity_lost {
+            // No value in updating lost parity: write the data alone.
+            self.disks[addr.disk as usize].write_unit(addr.offset, &image)?;
+        } else {
+            // Data lost: fold the new value into parity so the stripe
+            // still reconstructs to it.
+            let mut acc = image.clone();
+            let mut tmp = vec![0u8; self.unit_bytes];
+            for (i, u) in units[..units.len() - 1].iter().enumerate() {
+                if i != index as usize {
+                    self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
+                    xor_into(&mut acc, &tmp);
+                }
+            }
+            self.disks[parity.disk as usize].write_unit(parity.offset, &acc)?;
+            if has_replacement {
+                // The replacement is installed: also write the data
+                // directly and mark the unit valid.
+                self.disks[addr.disk as usize].write_unit(addr.offset, &image)?;
+                let mut st = lock(&self.state);
+                if let Some(rebuilt) = &mut st.rebuilt {
+                    rebuilt[addr.offset as usize] = true;
+                }
+            }
+        }
+        lock(&self.intent).clear(seq)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Fault management
+    // ------------------------------------------------------------------
+
+    /// Fails a disk: its medium (superblock included) is scrambled and
+    /// the surviving superblocks record the degradation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a disk is already down, `disk` is out of range, or a
+    /// file operation fails.
+    pub fn fail_disk(&self, disk: u16) -> Result<()> {
+        if disk >= self.mapping.disks() {
+            return Err(StoreError::state(format!("disk {disk} out of range")));
+        }
+        let _guards = self.lock_all_stripes();
+        {
+            let mut st = lock(&self.state);
+            if st.failed.is_some() {
+                return Err(StoreError::state("array already degraded".to_string()));
+            }
+            st.failed = Some(disk);
+            st.rebuilt = None;
+        }
+        // Losing the medium: scramble the whole file so nothing can
+        // accidentally read stale data through a bug.
+        let d = &self.disks[disk as usize];
+        let size = SUPERBLOCK_BYTES + self.mapping.units_per_disk() * self.unit_bytes as u64;
+        let chunk = vec![0xDBu8; (1 << 20).min(size) as usize];
+        let mut pos = 0;
+        while pos < size {
+            let n = chunk.len().min((size - pos) as usize);
+            d.file
+                .write_all_at(&chunk[..n], pos)
+                .map_err(|e| StoreError::io("scramble failed disk", &d.path, e))?;
+            pos += n as u64;
+        }
+        d.sync()?;
+        self.write_superblocks(false)
+    }
+
+    /// Installs a blank replacement for the failed disk: the backing
+    /// file is zeroed and given a fresh superblock; every mapped unit
+    /// starts un-rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no disk is down, a replacement is already installed, or
+    /// a file operation fails.
+    pub fn replace_disk(&self) -> Result<()> {
+        let _guards = self.lock_all_stripes();
+        let mut st = lock(&self.state);
+        let Some(f) = st.failed else {
+            return Err(StoreError::state("no failed disk to replace".to_string()));
+        };
+        if st.rebuilt.is_some() {
+            return Err(StoreError::state(
+                "replacement already installed".to_string(),
+            ));
+        }
+        let d = &self.disks[f as usize];
+        let size = SUPERBLOCK_BYTES + self.mapping.units_per_disk() * self.unit_bytes as u64;
+        d.file
+            .set_len(0)
+            .and_then(|()| d.file.set_len(size))
+            .map_err(|e| StoreError::io("zero replacement disk", &d.path, e))?;
+        d.write_superblock(&Superblock {
+            spec: self.spec,
+            unit_bytes: self.unit_bytes as u32,
+            units_per_disk: self.mapping.units_per_disk(),
+            disk_index: f,
+            array_id: self.array_id,
+            clean: false,
+            failed_disk: Some(f),
+        })?;
+        st.rebuilt = Some(vec![false; self.mapping.units_per_disk() as usize]);
+        Ok(())
+    }
+
+    /// Reconstructs every unit of the replacement disk online, fanned
+    /// out over `threads` workers (`0` = one per core), while user I/O
+    /// may proceed concurrently. Afterwards the array is fault-free.
+    ///
+    /// The report's per-disk read counters are the paper's claim made
+    /// measurable: under a declustered layout each surviving disk is
+    /// read for only α = (G−1)/(C−1) of its units.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no replacement is installed or any disk I/O fails.
+    pub fn rebuild(&self, threads: usize) -> Result<RebuildReport> {
+        let failed = {
+            let st = lock(&self.state);
+            let Some(f) = st.failed else {
+                return Err(StoreError::state("no failed disk to rebuild".to_string()));
+            };
+            if st.rebuilt.is_none() {
+                return Err(StoreError::state(
+                    "install a replacement before rebuilding".to_string(),
+                ));
+            }
+            f
+        };
+        let start = Instant::now();
+        let before = self.io_counters();
+        let pool = StorePool::new(threads);
+        let units = self.mapping.units_per_disk();
+        let workers = pool.threads().max(1) as u64;
+        let span = units.div_ceil(workers);
+        let jobs: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * span;
+                let hi = units.min(lo + span);
+                move || self.rebuild_range(failed, lo, hi)
+            })
+            .collect();
+        let mut totals = RebuildChunk::default();
+        for chunk in pool.run(jobs) {
+            let chunk = chunk?;
+            totals.rebuilt += chunk.rebuilt;
+            totals.already_valid += chunk.already_valid;
+            totals.unmapped += chunk.unmapped;
+        }
+        {
+            let _guards = self.lock_all_stripes();
+            let mut st = lock(&self.state);
+            st.failed = None;
+            st.rebuilt = None;
+        }
+        self.disks[failed as usize].sync()?;
+        self.write_superblocks(false)?;
+        let after = self.io_counters();
+        Ok(RebuildReport {
+            failed_disk: failed,
+            units_rebuilt: totals.rebuilt,
+            units_already_valid: totals.already_valid,
+            units_unmapped: totals.unmapped,
+            disk_reads: after
+                .iter()
+                .zip(&before)
+                .map(|(a, b)| a.reads - b.reads)
+                .collect(),
+            disk_writes: after
+                .iter()
+                .zip(&before)
+                .map(|(a, b)| a.writes - b.writes)
+                .collect(),
+            mapped_units_per_disk: self.mapped_units_per_disk(),
+            alpha: self.spec.alpha(),
+            wall_secs: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    fn rebuild_range(&self, failed: u16, lo: u64, hi: u64) -> Result<RebuildChunk> {
+        let mut chunk = RebuildChunk::default();
+        let mut acc = vec![0u8; self.unit_bytes];
+        let mut tmp = vec![0u8; self.unit_bytes];
+        for offset in lo..hi {
+            let Some(stripe) = self.mapping.role_at(failed, offset).stripe() else {
+                chunk.unmapped += 1;
+                continue;
+            };
+            let _guard = self.lock_stripe(stripe);
+            {
+                let st = lock(&self.state);
+                // A degraded-mode write may have landed this unit on the
+                // replacement already; a missing map means another path
+                // finished the rebuild.
+                let valid = st.rebuilt.as_ref().is_none_or(|r| r[offset as usize]);
+                if valid {
+                    chunk.already_valid += 1;
+                    continue;
+                }
+            }
+            acc.fill(0);
+            let units = self.mapping.stripe_units(stripe);
+            for u in units.iter().filter(|u| u.disk != failed) {
+                self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
+                xor_into(&mut acc, &tmp);
+            }
+            self.disks[failed as usize].write_unit(offset, &acc)?;
+            let mut st = lock(&self.state);
+            if let Some(rebuilt) = &mut st.rebuilt {
+                rebuilt[offset as usize] = true;
+            }
+            chunk.rebuilt += 1;
+        }
+        Ok(chunk)
+    }
+
+    // ------------------------------------------------------------------
+    // Consistency
+    // ------------------------------------------------------------------
+
+    /// Verifies that every mapped stripe's parity equals the XOR of its
+    /// data units. Only meaningful when fault-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::ParityMismatch`] naming the first
+    /// inconsistent stripe, or an invalid-state error while degraded.
+    pub fn verify_parity(&self) -> Result<()> {
+        if lock(&self.state).failed.is_some() {
+            return Err(StoreError::state(
+                "parity check requires a fault-free store".to_string(),
+            ));
+        }
+        let mut acc = vec![0u8; self.unit_bytes];
+        let mut tmp = vec![0u8; self.unit_bytes];
+        for seq in 0..self.mapping.stripes() {
+            let stripe = self.mapping.stripe_by_seq(seq);
+            let _guard = self.lock_stripe(stripe);
+            acc.fill(0);
+            for u in self.mapping.stripe_units(stripe) {
+                self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
+                xor_into(&mut acc, &tmp);
+            }
+            if acc.iter().any(|&b| b != 0) {
+                return Err(StoreError::ParityMismatch { stripe });
+            }
+        }
+        Ok(())
+    }
+
+    /// Corrupts a stripe's parity unit — the write-hole injection hook
+    /// for crash-recovery tests and demos.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stripe is unmapped, its parity unit is lost, or the
+    /// I/O fails.
+    pub fn scramble_parity(&self, stripe: u64) -> Result<()> {
+        let parity = self.live_parity(stripe)?;
+        let _guard = self.lock_stripe(stripe);
+        let mut buf = vec![0u8; self.unit_bytes];
+        self.disks[parity.disk as usize].read_unit(parity.offset, &mut buf)?;
+        for b in &mut buf {
+            *b = !*b;
+        }
+        self.disks[parity.disk as usize].write_unit(parity.offset, &buf)
+    }
+
+    /// Recomputes a stripe's parity from its data units — the
+    /// per-stripe repair a resync applies to a torn stripe.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BlockStore::scramble_parity`].
+    pub fn recompute_parity(&self, stripe: u64) -> Result<()> {
+        let parity = self.live_parity(stripe)?;
+        let _guard = self.lock_stripe(stripe);
+        let units = self.mapping.stripe_units(stripe);
+        let mut acc = vec![0u8; self.unit_bytes];
+        let mut tmp = vec![0u8; self.unit_bytes];
+        for u in &units[..units.len() - 1] {
+            self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
+            xor_into(&mut acc, &tmp);
+        }
+        self.disks[parity.disk as usize].write_unit(parity.offset, &acc)
+    }
+
+    fn live_parity(&self, stripe: u64) -> Result<UnitAddr> {
+        if !self.mapping.is_mapped(stripe) {
+            return Err(StoreError::state(format!("stripe {stripe} is not mapped")));
+        }
+        let units = self.mapping.stripe_units(stripe);
+        let parity = units[units.len() - 1];
+        if lock(&self.state).is_lost(parity) {
+            return Err(StoreError::state(format!(
+                "stripe {stripe} has no live parity unit"
+            )));
+        }
+        Ok(parity)
+    }
+
+    /// The crash-recovery resync: verify (and repair) the parity of the
+    /// stripes `policy` selects. Runs before the store accepts user
+    /// I/O, so no locks are needed.
+    ///
+    /// Stripes with a unit on the failed disk are counted but left
+    /// alone: with a member missing, parity is the only copy of the
+    /// lost data and must not be "repaired" from the survivors.
+    fn recover(&self, policy: RecoveryPolicy) -> Result<ConsistencyReport> {
+        let start = Instant::now();
+        let seqs: Vec<u64> = match policy {
+            RecoveryPolicy::DirtyRegionLog => lock(&self.intent).dirty_seqs(),
+            RecoveryPolicy::FullResync => (0..self.mapping.stripes()).collect(),
+        };
+        let failed = lock(&self.state).failed;
+        let mut report = ConsistencyReport {
+            policy,
+            stripes_checked: 0,
+            torn_found: 0,
+            torn_repaired: 0,
+            resync_units_read: 0,
+            resync_units_written: 0,
+            recovery_secs: 0.0,
+        };
+        let mut acc = vec![0u8; self.unit_bytes];
+        let mut tmp = vec![0u8; self.unit_bytes];
+        for seq in seqs {
+            let stripe = self.mapping.stripe_by_seq(seq);
+            report.stripes_checked += 1;
+            let units = self.mapping.stripe_units(stripe);
+            if failed.is_some_and(|f| units.iter().any(|u| u.disk == f)) {
+                continue;
+            }
+            let parity = units[units.len() - 1];
+            acc.fill(0);
+            for u in &units[..units.len() - 1] {
+                self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
+                xor_into(&mut acc, &tmp);
+                report.resync_units_read += 1;
+            }
+            self.disks[parity.disk as usize].read_unit(parity.offset, &mut tmp)?;
+            report.resync_units_read += 1;
+            if acc != tmp {
+                report.torn_found += 1;
+                self.disks[parity.disk as usize].write_unit(parity.offset, &acc)?;
+                report.resync_units_written += 1;
+                report.torn_repaired += 1;
+            }
+        }
+        lock(&self.intent).clear_all()?;
+        report.recovery_secs = start.elapsed().as_secs_f64();
+        Ok(report)
+    }
+
+    /// Rewrites every live superblock with the current fault state and
+    /// the given `clean` flag. The failed disk is skipped until a
+    /// replacement is installed (its medium is gone).
+    fn write_superblocks(&self, clean: bool) -> Result<()> {
+        let (failed, skip_failed) = {
+            let st = lock(&self.state);
+            (st.failed, st.failed.is_some() && st.rebuilt.is_none())
+        };
+        for (i, d) in self.disks.iter().enumerate() {
+            if skip_failed && failed == Some(i as u16) {
+                continue;
+            }
+            d.write_superblock(&Superblock {
+                spec: self.spec,
+                unit_bytes: self.unit_bytes as u32,
+                units_per_disk: self.mapping.units_per_disk(),
+                disk_index: i as u16,
+                array_id: self.array_id,
+                clean,
+                failed_disk: failed,
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("decluster-store-unit-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        dir
+    }
+
+    fn small_spec() -> LayoutSpec {
+        LayoutSpec::Complete { disks: 5, group: 4 }
+    }
+
+    #[test]
+    fn create_write_read_round_trip_and_reopen() {
+        let dir = fresh_dir("round-trip");
+        let store = BlockStore::create(&dir, small_spec(), 32, 1024, 42).unwrap();
+        let blocks = store.block_count();
+        assert_eq!(blocks, store.data_units() * 2, "1024-byte units, 2 blocks");
+
+        let pattern: Vec<u8> = (0..store.unit_bytes()).map(|i| (i % 251) as u8).collect();
+        store.write_unit(7, &pattern).unwrap();
+        // A sub-unit block write splices without touching the rest.
+        let half = vec![0xA5u8; BLOCK_BYTES as usize];
+        store.write_blocks(15, &half).unwrap();
+        let mut back = vec![0u8; store.unit_bytes()];
+        store.read_unit(7, &mut back).unwrap();
+        assert_eq!(&back[..512], &pattern[..512]);
+        assert_eq!(&back[512..], &half[..]);
+        store.verify_parity().unwrap();
+        store.close().unwrap();
+
+        // A clean reopen runs no recovery and sees the same bytes.
+        let (store, report) = BlockStore::open(&dir).unwrap();
+        assert!(report.is_none(), "clean close must skip recovery");
+        let mut back = vec![0u8; store.unit_bytes()];
+        store.read_unit(7, &mut back).unwrap();
+        assert_eq!(&back[..512], &pattern[..512]);
+        store.close().unwrap();
+    }
+
+    #[test]
+    fn unclean_open_recovers_torn_parity() {
+        let dir = fresh_dir("torn");
+        let store = BlockStore::create(&dir, small_spec(), 32, 512, 7).unwrap();
+        for l in 0..store.data_units() {
+            store.write_unit(l, &vec![l as u8; 512]).unwrap();
+        }
+        // Tear a stripe and drop the store without close: superblocks
+        // still say not-clean, so the reopen must resync.
+        let (stripe, _) = store.mapping().logical_to_stripe(3);
+        let seq = store.mapping().seq_of_stripe(stripe).unwrap();
+        store.scramble_parity(stripe).unwrap();
+        lock(&store.intent).mark(seq).unwrap();
+        drop(store);
+
+        let (store, report) =
+            BlockStore::open_with_recovery(&dir, RecoveryPolicy::FullResync).unwrap();
+        let report = report.expect("unclean store must recover");
+        assert_eq!(report.torn_found, 1);
+        assert_eq!(report.torn_repaired, 1);
+        assert_eq!(report.stripes_checked, store.mapping().stripes());
+        store.verify_parity().unwrap();
+
+        // The dirty-region log checks only the marked stripe.
+        store.scramble_parity(stripe).unwrap();
+        lock(&store.intent).mark(seq).unwrap();
+        drop(store);
+        let (store, report) =
+            BlockStore::open_with_recovery(&dir, RecoveryPolicy::DirtyRegionLog).unwrap();
+        let report = report.expect("still unclean");
+        assert_eq!(report.stripes_checked, 1, "DRL resyncs only dirty stripes");
+        assert_eq!(report.torn_repaired, 1);
+        store.verify_parity().unwrap();
+        store.close().unwrap();
+    }
+
+    #[test]
+    fn geometry_and_extent_errors_are_typed() {
+        let dir = fresh_dir("errors");
+        assert!(BlockStore::create(&dir, small_spec(), 32, 500, 1).is_err());
+        let store = BlockStore::create(&dir, small_spec(), 32, 512, 1).unwrap();
+        assert!(BlockStore::create(&dir, small_spec(), 32, 512, 1).is_err());
+        assert!(store.read_blocks(0, &mut [0u8; 100]).is_err());
+        let end = store.block_count();
+        assert!(store.write_blocks(end, &[0u8; 512]).is_err());
+        assert!(store.write_unit(store.data_units(), &[0u8; 512]).is_err());
+        assert!(store.replace_disk().is_err(), "nothing failed yet");
+        assert!(store.rebuild(1).is_err(), "nothing failed yet");
+        assert!(store.fail_disk(99).is_err());
+        store.close().unwrap();
+    }
+
+    #[test]
+    fn mixed_array_files_refuse_to_open() {
+        let a = fresh_dir("mix-a");
+        let b = fresh_dir("mix-b");
+        BlockStore::create(&a, small_spec(), 32, 512, 111)
+            .unwrap()
+            .close()
+            .unwrap();
+        BlockStore::create(&b, small_spec(), 32, 512, 222)
+            .unwrap()
+            .close()
+            .unwrap();
+        // Swap one backing file between the arrays.
+        std::fs::copy(b.join("disk-002.dat"), a.join("disk-002.dat")).unwrap();
+        let err = BlockStore::open(&a).unwrap_err();
+        assert!(matches!(err, StoreError::Mismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn fail_degraded_io_rebuild_cycle() {
+        let dir = fresh_dir("cycle");
+        let store = BlockStore::create(&dir, small_spec(), 32, 512, 9).unwrap();
+        let unit = |l: u64| vec![(l as u8) ^ 0x5A; 512];
+        for l in 0..store.data_units() {
+            store.write_unit(l, &unit(l)).unwrap();
+        }
+        store.fail_disk(2).unwrap();
+        assert_eq!(store.failed_disk(), Some(2));
+        assert!(store.fail_disk(3).is_err(), "already degraded");
+        assert!(store.verify_parity().is_err(), "degraded store");
+        // Degraded reads reconstruct, degraded writes fold.
+        let mut back = vec![0u8; 512];
+        for l in 0..store.data_units() {
+            store.read_unit(l, &mut back).unwrap();
+            assert_eq!(back, unit(l), "degraded read of {l}");
+        }
+        for l in 0..store.data_units() {
+            store.write_unit(l, &unit(l + 1)).unwrap();
+        }
+        store.replace_disk().unwrap();
+        let report = store.rebuild(2).unwrap();
+        assert_eq!(report.failed_disk, 2);
+        assert!(report.units_rebuilt > 0);
+        assert_eq!(store.failed_disk(), None);
+        store.verify_parity().unwrap();
+        for l in 0..store.data_units() {
+            store.read_unit(l, &mut back).unwrap();
+            assert_eq!(back, unit(l + 1), "post-rebuild read of {l}");
+        }
+        store.close().unwrap();
+
+        // Reopen: survivors' superblocks say fault-free again.
+        let (store, _) = BlockStore::open(&dir).unwrap();
+        assert_eq!(store.failed_disk(), None);
+        store.verify_parity().unwrap();
+        store.close().unwrap();
+    }
+
+    #[test]
+    fn reopen_while_degraded_tolerates_scrambled_superblock() {
+        let dir = fresh_dir("degraded-reopen");
+        let store = BlockStore::create(&dir, small_spec(), 32, 512, 13).unwrap();
+        for l in 0..store.data_units() {
+            store.write_unit(l, &vec![l as u8; 512]).unwrap();
+        }
+        store.fail_disk(1).unwrap();
+        store.close().unwrap();
+
+        let (store, report) = BlockStore::open(&dir).unwrap();
+        assert!(report.is_none(), "clean degraded close");
+        assert_eq!(store.failed_disk(), Some(1));
+        let mut back = vec![0u8; 512];
+        for l in 0..store.data_units() {
+            store.read_unit(l, &mut back).unwrap();
+            assert_eq!(back, vec![l as u8; 512]);
+        }
+        store.replace_disk().unwrap();
+        store.rebuild(1).unwrap();
+        store.verify_parity().unwrap();
+        store.close().unwrap();
+    }
+}

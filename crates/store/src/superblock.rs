@@ -1,0 +1,344 @@
+//! The per-disk superblock: layout identity written at `mkfs`, validated
+//! on every open.
+//!
+//! Each backing file begins with one [`SUPERBLOCK_BYTES`] header naming
+//! the array (layout construction, `C`, `G`, unit size, capacity), this
+//! disk's index within it, a shared array id, and the store's run state
+//! (cleanly closed? which disk is failed?). A store only opens when every
+//! readable superblock tells the same story — mixing files from two
+//! arrays, or reopening after a geometry change, fails loudly instead of
+//! corrupting data. The checksum (FNV-1a over the encoded fields) catches
+//! torn or scribbled headers.
+
+use crate::error::{Result, StoreError};
+use decluster_core::design::{catalog, BlockDesign};
+use decluster_core::layout::{DeclusteredLayout, Raid5Layout};
+use decluster_core::ParityLayout;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Bytes reserved at the head of each backing file for the superblock.
+pub const SUPERBLOCK_BYTES: u64 = 4096;
+
+/// Fixed granularity of the logical block address space, in bytes.
+pub const BLOCK_BYTES: u32 = 512;
+
+/// Sentinel for "no failed disk" in the encoded form.
+const NO_FAILED_DISK: u16 = u16::MAX;
+
+const MAGIC: &[u8; 8] = b"DCLSTOR1";
+const VERSION: u32 = 1;
+/// Bytes covered by the checksum (everything before it).
+const CHECKED_BYTES: usize = 48;
+
+/// How the array's parity layout is constructed — enough to rebuild the
+/// exact [`ParityLayout`] on open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutSpec {
+    /// Declustered parity over the best catalog design for `(disks, group)`
+    /// ([`catalog::find`]).
+    Declustered {
+        /// Array width `C`.
+        disks: u16,
+        /// Parity group size `G`.
+        group: u16,
+    },
+    /// Declustered parity over the complete block design
+    /// ([`BlockDesign::complete`]).
+    Complete {
+        /// Array width `C`.
+        disks: u16,
+        /// Parity group size `G`.
+        group: u16,
+    },
+    /// Classic rotated-parity RAID 5 (`G = C`).
+    Raid5 {
+        /// Array width `C`.
+        disks: u16,
+    },
+}
+
+impl LayoutSpec {
+    /// Array width `C`.
+    pub fn disks(&self) -> u16 {
+        match *self {
+            LayoutSpec::Declustered { disks, .. }
+            | LayoutSpec::Complete { disks, .. }
+            | LayoutSpec::Raid5 { disks } => disks,
+        }
+    }
+
+    /// Parity group size `G` (the stripe width; equals `C` for RAID 5).
+    pub fn group(&self) -> u16 {
+        match *self {
+            LayoutSpec::Declustered { group, .. } | LayoutSpec::Complete { group, .. } => group,
+            LayoutSpec::Raid5 { disks } => disks,
+        }
+    }
+
+    /// The declustering ratio α = (G−1)/(C−1).
+    pub fn alpha(&self) -> f64 {
+        (self.group() - 1) as f64 / (self.disks() - 1) as f64
+    }
+
+    /// Stable lower-case construction name (CLI flags, JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayoutSpec::Declustered { .. } => "declustered",
+            LayoutSpec::Complete { .. } => "complete",
+            LayoutSpec::Raid5 { .. } => "raid5",
+        }
+    }
+
+    /// Constructs the layout this spec names.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no design exists for the parameters.
+    pub fn build(&self) -> Result<Arc<dyn ParityLayout>> {
+        Ok(match *self {
+            LayoutSpec::Declustered { disks, group } => {
+                Arc::new(DeclusteredLayout::new(catalog::find(disks, group)?)?)
+            }
+            LayoutSpec::Complete { disks, group } => Arc::new(DeclusteredLayout::new(
+                BlockDesign::complete(disks, group)?,
+            )?),
+            LayoutSpec::Raid5 { disks } => Arc::new(Raid5Layout::new(disks)?),
+        })
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            LayoutSpec::Declustered { .. } => 0,
+            LayoutSpec::Complete { .. } => 1,
+            LayoutSpec::Raid5 { .. } => 2,
+        }
+    }
+
+    fn from_tag(tag: u8, disks: u16, group: u16) -> Option<LayoutSpec> {
+        Some(match tag {
+            0 => LayoutSpec::Declustered { disks, group },
+            1 => LayoutSpec::Complete { disks, group },
+            2 => LayoutSpec::Raid5 { disks },
+            _ => return None,
+        })
+    }
+}
+
+/// One backing file's decoded superblock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Superblock {
+    /// Layout construction and parameters.
+    pub spec: LayoutSpec,
+    /// Bytes per stripe unit (a multiple of [`BLOCK_BYTES`]).
+    pub unit_bytes: u32,
+    /// Stripe units per disk.
+    pub units_per_disk: u64,
+    /// This disk's index in `0..spec.disks()`.
+    pub disk_index: u16,
+    /// Shared id stamped at `mkfs` — all files of one array carry the
+    /// same value.
+    pub array_id: u64,
+    /// Whether the store was cleanly closed (false while open; a reopen
+    /// seeing false runs crash recovery).
+    pub clean: bool,
+    /// The failed disk, if the array is degraded.
+    pub failed_disk: Option<u16>,
+}
+
+impl Superblock {
+    /// Encodes into a [`SUPERBLOCK_BYTES`] buffer with trailing checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; SUPERBLOCK_BYTES as usize];
+        buf[0..8].copy_from_slice(MAGIC);
+        buf[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        buf[12..16].copy_from_slice(&BLOCK_BYTES.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.unit_bytes.to_le_bytes());
+        buf[20..28].copy_from_slice(&self.units_per_disk.to_le_bytes());
+        buf[28..30].copy_from_slice(&self.spec.disks().to_le_bytes());
+        buf[30..32].copy_from_slice(&self.spec.group().to_le_bytes());
+        buf[32] = self.spec.tag();
+        buf[34..36].copy_from_slice(&self.disk_index.to_le_bytes());
+        buf[36..44].copy_from_slice(&self.array_id.to_le_bytes());
+        buf[44] = self.clean as u8;
+        let failed = self.failed_disk.unwrap_or(NO_FAILED_DISK);
+        buf[46..48].copy_from_slice(&failed.to_le_bytes());
+        let sum = fnv1a(&buf[..CHECKED_BYTES]);
+        buf[CHECKED_BYTES..CHECKED_BYTES + 8].copy_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Decodes and validates a superblock read from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Corrupt`] on a bad magic, version, checksum,
+    /// or any out-of-range field.
+    pub fn decode(buf: &[u8], path: &Path) -> Result<Superblock> {
+        let bad = |reason: String| StoreError::corrupt(path, reason);
+        if buf.len() < SUPERBLOCK_BYTES as usize {
+            return Err(bad(format!("short superblock: {} bytes", buf.len())));
+        }
+        if &buf[0..8] != MAGIC {
+            return Err(bad("bad magic".into()));
+        }
+        let version = le_u32(buf, 8);
+        if version != VERSION {
+            return Err(bad(format!("unsupported version {version}")));
+        }
+        let stored = le_u64(buf, CHECKED_BYTES);
+        let computed = fnv1a(&buf[..CHECKED_BYTES]);
+        if stored != computed {
+            return Err(bad(format!(
+                "checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+            )));
+        }
+        let block_bytes = le_u32(buf, 12);
+        if block_bytes != BLOCK_BYTES {
+            return Err(bad(format!("unsupported block size {block_bytes}")));
+        }
+        let unit_bytes = le_u32(buf, 16);
+        if unit_bytes == 0 || !unit_bytes.is_multiple_of(BLOCK_BYTES) {
+            return Err(bad(format!("unit size {unit_bytes} not a block multiple")));
+        }
+        let units_per_disk = le_u64(buf, 20);
+        let disks = le_u16(buf, 28);
+        let group = le_u16(buf, 30);
+        let spec = LayoutSpec::from_tag(buf[32], disks, group)
+            .ok_or_else(|| bad(format!("unknown layout tag {}", buf[32])))?;
+        let disk_index = le_u16(buf, 34);
+        if disk_index >= disks {
+            return Err(bad(format!("disk index {disk_index} out of {disks}")));
+        }
+        let array_id = le_u64(buf, 36);
+        let failed = le_u16(buf, 46);
+        Ok(Superblock {
+            spec,
+            unit_bytes,
+            units_per_disk,
+            disk_index,
+            array_id,
+            clean: buf[44] != 0,
+            failed_disk: (failed != NO_FAILED_DISK).then_some(failed),
+        })
+    }
+
+    /// Whether `other` describes the same array (everything but the
+    /// per-disk index and run state).
+    pub fn same_array(&self, other: &Superblock) -> bool {
+        self.spec == other.spec
+            && self.unit_bytes == other.unit_bytes
+            && self.units_per_disk == other.units_per_disk
+            && self.array_id == other.array_id
+    }
+}
+
+fn le_u16(b: &[u8], o: usize) -> u16 {
+    u16::from_le_bytes([b[o], b[o + 1]])
+}
+
+fn le_u32(b: &[u8], o: usize) -> u32 {
+    u32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]])
+}
+
+fn le_u64(b: &[u8], o: usize) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[o..o + 8]);
+    u64::from_le_bytes(a)
+}
+
+/// 64-bit FNV-1a over `data`.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn sb() -> Superblock {
+        Superblock {
+            spec: LayoutSpec::Declustered {
+                disks: 10,
+                group: 4,
+            },
+            unit_bytes: 4096,
+            units_per_disk: 336,
+            disk_index: 3,
+            array_id: 0xfeed_beef,
+            clean: true,
+            failed_disk: None,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = PathBuf::from("disk-003.dat");
+        let original = sb();
+        let decoded = Superblock::decode(&original.encode(), &p).unwrap();
+        assert_eq!(decoded, original);
+
+        let mut degraded = sb();
+        degraded.clean = false;
+        degraded.failed_disk = Some(7);
+        let decoded = Superblock::decode(&degraded.encode(), &p).unwrap();
+        assert_eq!(decoded, degraded);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let p = PathBuf::from("x");
+        let mut buf = sb().encode();
+        buf[20] ^= 1; // flip a bit inside the checked region
+        let err = Superblock::decode(&buf, &p).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        let mut buf = sb().encode();
+        buf[0] = b'X';
+        assert!(Superblock::decode(&buf, &p)
+            .unwrap_err()
+            .to_string()
+            .contains("magic"));
+
+        assert!(Superblock::decode(&[0u8; 10], &p)
+            .unwrap_err()
+            .to_string()
+            .contains("short"));
+    }
+
+    #[test]
+    fn layout_specs_build_and_name() {
+        let d = LayoutSpec::Declustered {
+            disks: 10,
+            group: 4,
+        };
+        assert_eq!(d.group(), 4);
+        assert!((d.alpha() - 3.0 / 9.0).abs() < 1e-12);
+        assert_eq!(d.build().unwrap().stripe_width(), 4);
+        let r = LayoutSpec::Raid5 { disks: 5 };
+        assert_eq!(r.group(), 5);
+        assert_eq!(r.build().unwrap().disks(), 5);
+        let c = LayoutSpec::Complete { disks: 5, group: 4 };
+        assert_eq!(c.build().unwrap().stripe_width(), 4);
+        assert_eq!(
+            [d.name(), c.name(), r.name()],
+            ["declustered", "complete", "raid5"]
+        );
+    }
+
+    #[test]
+    fn nonexistent_design_is_an_error() {
+        // 41 disks, G = 5: the paper's own infeasible example.
+        let spec = LayoutSpec::Declustered {
+            disks: 41,
+            group: 5,
+        };
+        assert!(spec.build().is_err());
+    }
+}

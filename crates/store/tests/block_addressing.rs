@@ -1,0 +1,59 @@
+//! Single-block address math across every catalog design: logical
+//! block → logical unit → physical unit address → back, exactly.
+//!
+//! The store divides each stripe unit into [`BLOCK_BYTES`] blocks, so
+//! the round trip must hold at block granularity for any layout the
+//! catalog can produce, including ones whose tables truncate into
+//! unmapped holes on the chosen disk size.
+
+use decluster_core::design::catalog;
+use decluster_core::layout::{ArrayMapping, DeclusteredLayout, UnitRole};
+use decluster_core::ParityLayout;
+use decluster_store::BLOCK_BYTES;
+use std::sync::Arc;
+
+const UNIT_BYTES: u64 = 2048;
+const BLOCKS_PER_UNIT: u64 = UNIT_BYTES / BLOCK_BYTES as u64;
+
+#[test]
+fn every_catalog_design_round_trips_block_addresses() {
+    // Every (v, k) the catalog satisfies with small tables — dozens of
+    // distinct constructions (appendix, cyclic, planes, complete).
+    let points = catalog::known_points(12, 2_000);
+    assert!(points.len() > 20, "catalog unexpectedly sparse");
+    for p in points {
+        let design = catalog::find(p.v, p.k).unwrap();
+        let layout = Arc::new(DeclusteredLayout::new(design).unwrap());
+        // A non-multiple of the table height, to exercise truncation.
+        let units_per_disk = layout.table_height() + layout.table_height() / 2 + 1;
+        let mapping = ArrayMapping::new(layout, units_per_disk).unwrap();
+        let blocks = mapping.data_units() * BLOCKS_PER_UNIT;
+        for block in 0..blocks {
+            let logical = block / BLOCKS_PER_UNIT;
+            let addr = mapping.logical_to_addr(logical);
+            // The physical location holds exactly this logical unit...
+            assert_eq!(
+                mapping.addr_to_logical(addr),
+                Some(logical),
+                "v={} k={}: unit {logical} (block {block}) did not round-trip",
+                p.v,
+                p.k
+            );
+            // ...and the block's byte position within it is stable.
+            let byte = block % BLOCKS_PER_UNIT * BLOCK_BYTES as u64;
+            assert!(byte + BLOCK_BYTES as u64 <= UNIT_BYTES);
+        }
+        // Parity units and holes never alias a logical block.
+        for disk in 0..mapping.disks() {
+            for offset in 0..units_per_disk {
+                let role = mapping.role_at(disk, offset);
+                let back =
+                    mapping.addr_to_logical(decluster_core::layout::UnitAddr::new(disk, offset));
+                match role {
+                    UnitRole::Data { .. } => assert!(back.is_some()),
+                    _ => assert_eq!(back, None, "v={} k={}", p.v, p.k),
+                }
+            }
+        }
+    }
+}

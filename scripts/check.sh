@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # Full local gate: formatting, release build, test suite, lint-clean
-# clippy, and campaign smoke runs (including the scrub/crash arms).
+# clippy, campaign smoke runs (including the scrub/crash arms, one at
+# default scale), and a file-backed store smoke cycle.
 # Run from the repository root: scripts/check.sh
 set -eu
 
@@ -18,9 +19,9 @@ cargo test -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
-echo "==> campaign smoke (tiny Monte Carlo data-loss campaign + replay)"
+echo "==> campaign smoke (tiny Monte Carlo data-loss campaign + replay, all arms)"
 cargo run --release -q -p decluster-bench --bin campaign -- \
-    --cylinders 30 --trials 4 --scrub-trials 0 --crash-trials 0 \
+    --cylinders 30 --trials 4 \
     --out results/campaign_smoke.json
 cargo run --release -q -p decluster-bench --bin campaign -- \
     --cylinders 30 --trials 4 --replay declustered-g4 0
@@ -37,6 +38,27 @@ cargo run --release -q -p decluster-bench --bin campaign -- \
 cargo run --release -q -p decluster-bench --bin campaign -- \
     --cylinders 30 --trials 2 --scrub-trials 2 --crash-trials 1 \
     --replay-crash declustered-g4 0
+
+echo "==> scrub arm at default scale (regression gate for the dead-disk submit panic)"
+cargo run --release -q -p decluster-bench --bin campaign -- \
+    --trials 1 --scrub-trials 1 --crash-trials 0 \
+    --out "$SCRUB_SMOKE_DIR/campaign_default_scale.json"
+grep -q '"scrub_trials_per_layout":1' "$SCRUB_SMOKE_DIR/campaign_default_scale.json" || {
+    echo "scrub arm did not run at default scale"; exit 1; }
+
+echo "==> store smoke (mkfs / fill / fail / degraded verify / rebuild / verify / bench)"
+STORE_SMOKE_DIR="$SCRUB_SMOKE_DIR/store"
+cargo run --release -q -p decluster-bench --bin store -- \
+    mkfs "$STORE_SMOKE_DIR" --disks 10 --group 4 --units 336 --unit-bytes 4096
+cargo run --release -q -p decluster-bench --bin store -- fill "$STORE_SMOKE_DIR" --seed 5
+cargo run --release -q -p decluster-bench --bin store -- verify "$STORE_SMOKE_DIR" --seed 5
+cargo run --release -q -p decluster-bench --bin store -- fail "$STORE_SMOKE_DIR" 3
+cargo run --release -q -p decluster-bench --bin store -- verify "$STORE_SMOKE_DIR" --seed 5
+cargo run --release -q -p decluster-bench --bin store -- rebuild "$STORE_SMOKE_DIR" --threads 4
+cargo run --release -q -p decluster-bench --bin store -- verify "$STORE_SMOKE_DIR" --seed 5
+cargo run --release -q -p decluster-bench --bin store -- \
+    bench "$STORE_SMOKE_DIR" --requests 800 --threads 4 --seed 5 \
+    --out results/store_bench.json
 
 echo "==> observability smoke (fig6 --trace record + bit-for-bit replay)"
 TRACE_FILE="$SCRUB_SMOKE_DIR/fig6.trace"
