@@ -6,7 +6,8 @@
 //!               [--layout declustered|complete|raid5] [--array-id ID]
 //! store fill DIR [--seed S]
 //! store bench DIR [--requests N] [--threads T] [--read-fraction F]
-//!                [--rate R] [--seed S] [--out PATH]
+//!                [--rate R] [--seed S] [--access-units U]
+//!                [--max-regress F] [--out PATH]
 //! store fail DIR DISK
 //! store rebuild DIR [--threads T]
 //! store verify DIR [--seed S] [--skip-content]
@@ -18,10 +19,14 @@
 //! store is fault-free. `rebuild` installs a blank replacement, rebuilds
 //! it online, and prints each surviving disk's read fraction next to the
 //! layout's α = (G−1)/(C−1). `bench` replays a generated workload over a
-//! worker pool and writes a JSON summary (default
-//! `results/store_bench.json`).
+//! worker pool, reports p50/p95/p99 per-request latency, and **appends**
+//! a run entry (git rev, config, units/s, latency) to a JSON trajectory
+//! (default `results/store_bench.json`); `--max-regress 0.30` exits
+//! nonzero if units/s dropped more than 30% against the last entry with
+//! the same configuration — the CI regression gate.
 
-use decluster_store::{BlockStore, LayoutSpec, StoreError, StorePool};
+use decluster_sim::LatencyHistogram;
+use decluster_store::{BlockStore, LayoutSpec, StoreError, StorePool, BLOCK_BYTES};
 use decluster_workload::{AccessKind, Workload, WorkloadSpec};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -35,7 +40,7 @@ fn usage(problem: &str) -> ! {
          [--layout declustered|complete|raid5] [--array-id ID]\n\
          \x20      store fill DIR [--seed S]\n\
          \x20      store bench DIR [--requests N] [--threads T] [--read-fraction F] \
-         [--rate R] [--seed S] [--out PATH]\n\
+         [--rate R] [--seed S] [--access-units U] [--max-regress F] [--out PATH]\n\
          \x20      store fail DIR DISK\n\
          \x20      store rebuild DIR [--threads T]\n\
          \x20      store verify DIR [--seed S] [--skip-content]"
@@ -143,9 +148,23 @@ fn fill(dir: &Path, mut args: impl Iterator<Item = String>) {
     let store = open(dir);
     describe(&store);
     let start = Instant::now();
-    for logical in 0..store.data_units() {
-        let data = pattern(seed, logical, store.unit_bytes());
-        store.write_unit(logical, &data).unwrap_or_else(|e| fail(e));
+    // Stripe-multiple extents keep the fill on the full-stripe fast
+    // path: parity from the data, no reads.
+    let dpu = (store.mapping().stripe_width() - 1) as u64;
+    let bpu = store.unit_bytes() as u64 / u64::from(BLOCK_BYTES);
+    let chunk_units = (96 / dpu).max(1) * dpu;
+    let mut data = Vec::with_capacity((chunk_units as usize) * store.unit_bytes());
+    let mut logical = 0;
+    while logical < store.data_units() {
+        let n = chunk_units.min(store.data_units() - logical);
+        data.clear();
+        for l in logical..logical + n {
+            data.extend_from_slice(&pattern(seed, l, store.unit_bytes()));
+        }
+        store
+            .write_blocks(logical * bpu, &data)
+            .unwrap_or_else(|e| fail(e));
+        logical += n;
     }
     println!(
         "filled {} units in {:.2}s (seed {seed})",
@@ -238,12 +257,109 @@ fn verify(dir: &Path, mut args: impl Iterator<Item = String>) {
     store.close().unwrap_or_else(|e| fail(e));
 }
 
+/// One worker's share of the benchmark stream.
+struct WorkerTally {
+    reads: u64,
+    writes: u64,
+    latency: LatencyHistogram,
+}
+
+/// Splits the bodies of a JSON array of objects at brace depth zero.
+/// (The workspace's `serde` is a no-op marker crate, so the trajectory
+/// file is parsed by hand; entries we write are one-level objects with
+/// nested maps/arrays, which this handles.)
+fn split_entries(json: &str) -> Vec<String> {
+    let mut entries = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in json.char_indices() {
+        if in_string {
+            match c {
+                '\\' if !escaped => escaped = true,
+                '"' if !escaped => in_string = false,
+                _ => escaped = false,
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(s) = start.take() {
+                        entries.push(json[s..=i].to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    entries
+}
+
+/// Extracts the raw value of a top-level `"key":` in an entry object —
+/// a number, string, or balanced nested value.
+fn field<'a>(entry: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = entry.find(&needle)? + needle.len();
+    let rest = entry[at..].trim_start();
+    let bytes = rest.as_bytes();
+    let end = match bytes.first()? {
+        b'"' => rest[1..].find('"')? + 2,
+        b'{' | b'[' => {
+            let (open, close) = if bytes[0] == b'{' {
+                (b'{', b'}')
+            } else {
+                (b'[', b']')
+            };
+            let mut depth = 0;
+            let mut end = 0;
+            for (i, &b) in bytes.iter().enumerate() {
+                if b == open {
+                    depth += 1;
+                } else if b == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+            }
+            end
+        }
+        _ => rest.find([',', '}', '\n']).unwrap_or(rest.len()),
+    };
+    Some(rest[..end].trim())
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[allow(clippy::too_many_lines)]
 fn bench(dir: &Path, mut args: impl Iterator<Item = String>) {
     let mut requests: usize = 2000;
     let mut threads: usize = 0;
     let mut read_fraction: f64 = 0.5;
     let mut rate: f64 = 500.0;
     let mut seed: u64 = 7;
+    let mut access_units: u64 = 1;
+    let mut max_regress: Option<f64> = None;
     let mut out = "results/store_bench.json".to_string();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -252,6 +368,8 @@ fn bench(dir: &Path, mut args: impl Iterator<Item = String>) {
             "--read-fraction" => read_fraction = parse(&mut args, "--read-fraction"),
             "--rate" => rate = parse(&mut args, "--rate"),
             "--seed" => seed = parse(&mut args, "--seed"),
+            "--access-units" => access_units = parse(&mut args, "--access-units"),
+            "--max-regress" => max_regress = Some(parse(&mut args, "--max-regress")),
             "--out" => out = parse(&mut args, "--out"),
             other => usage(&format!("unknown bench flag {other}")),
         }
@@ -259,13 +377,14 @@ fn bench(dir: &Path, mut args: impl Iterator<Item = String>) {
     let store = open(dir);
     describe(&store);
     let mut workload = Workload::new(
-        WorkloadSpec::new(rate, read_fraction),
+        WorkloadSpec::new(rate, read_fraction).with_access_units(access_units),
         store.data_units(),
         seed,
     );
     let stream: Vec<_> = (0..requests).map(|_| workload.next_request()).collect();
     let pool = StorePool::new(threads);
     let per_worker = requests.div_ceil(pool.threads());
+    let bpu = store.unit_bytes() as u64 / u64::from(BLOCK_BYTES);
     let before = store.io_counters();
     let start = Instant::now();
     let results = pool.run(
@@ -274,46 +393,75 @@ fn bench(dir: &Path, mut args: impl Iterator<Item = String>) {
             .enumerate()
             .map(|(w, chunk)| {
                 let store = &store;
-                move || -> Result<(u64, u64), StoreError> {
-                    let mut buf = vec![0u8; store.unit_bytes()];
-                    let (mut reads, mut writes) = (0u64, 0u64);
+                move || -> Result<WorkerTally, StoreError> {
+                    let mut buf = vec![0u8; access_units as usize * store.unit_bytes()];
+                    let mut data = Vec::with_capacity(buf.len());
+                    let mut tally = WorkerTally {
+                        reads: 0,
+                        writes: 0,
+                        latency: LatencyHistogram::new(),
+                    };
                     for (i, req) in chunk.iter().enumerate() {
-                        for u in 0..req.units {
-                            let logical = (req.logical_unit + u) % store.data_units();
-                            match req.kind {
-                                AccessKind::Read => {
-                                    store.read_unit(logical, &mut buf)?;
-                                    reads += 1;
+                        let span = req.units as usize * store.unit_bytes();
+                        let began = Instant::now();
+                        match req.kind {
+                            AccessKind::Read => {
+                                store.read_blocks(req.logical_unit * bpu, &mut buf[..span])?;
+                                tally.reads += req.units;
+                            }
+                            AccessKind::Write => {
+                                let gen = (w * per_worker + i) as u64;
+                                data.clear();
+                                for u in 0..req.units {
+                                    data.extend_from_slice(&pattern(
+                                        seed ^ gen,
+                                        req.logical_unit + u,
+                                        store.unit_bytes(),
+                                    ));
                                 }
-                                AccessKind::Write => {
-                                    let gen = (w * per_worker + i) as u64;
-                                    let data = pattern(seed ^ gen, logical, store.unit_bytes());
-                                    store.write_unit(logical, &data)?;
-                                    writes += 1;
-                                }
+                                store.write_blocks(req.logical_unit * bpu, &data)?;
+                                tally.writes += req.units;
                             }
                         }
+                        tally
+                            .latency
+                            .record_us(began.elapsed().as_micros().min(u128::from(u64::MAX))
+                                as u64);
                     }
-                    Ok((reads, writes))
+                    Ok(tally)
                 }
             })
             .collect(),
     );
     let wall = start.elapsed().as_secs_f64();
     let (mut reads, mut writes) = (0u64, 0u64);
+    let mut latency = LatencyHistogram::new();
     for r in results {
-        let (r_done, w_done) = r.unwrap_or_else(|e| fail(e));
-        reads += r_done;
-        writes += w_done;
+        let tally = r.unwrap_or_else(|e| fail(e));
+        reads += tally.reads;
+        writes += tally.writes;
+        latency.merge(&tally.latency);
     }
     let after = store.io_counters();
     let user_units = reads + writes;
     let iops = user_units as f64 / wall;
     let mb_s = user_units as f64 * store.unit_bytes() as f64 / (wall * 1024.0 * 1024.0);
+    let (p50, p95, p99) = (
+        latency.quantile_us(0.50),
+        latency.quantile_us(0.95),
+        latency.quantile_us(0.99),
+    );
     println!(
         "{user_units} unit accesses ({reads} reads, {writes} writes) in {wall:.3}s: \
          {iops:.0} units/s, {mb_s:.1} MB/s over {} workers",
         pool.threads()
+    );
+    println!(
+        "per-request latency: p50 {p50}µs  p95 {p95}µs  p99 {p99}µs  \
+         mean {:.3}ms  max {}µs ({} requests)",
+        latency.mean_ms(),
+        latency.max_us(),
+        latency.count()
     );
     if store.failed_disk().is_none() {
         store.verify_parity().unwrap_or_else(|e| fail(e));
@@ -321,41 +469,99 @@ fn bench(dir: &Path, mut args: impl Iterator<Item = String>) {
     }
 
     let spec = store.spec();
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str(&format!("  \"layout\": \"{}\",\n", spec.name()));
-    json.push_str(&format!("  \"disks\": {},\n", spec.disks()));
-    json.push_str(&format!("  \"group\": {},\n", spec.group()));
-    json.push_str(&format!("  \"alpha\": {:.6},\n", spec.alpha()));
-    json.push_str(&format!("  \"unit_bytes\": {},\n", store.unit_bytes()));
-    json.push_str(&format!("  \"data_units\": {},\n", store.data_units()));
-    json.push_str(&format!("  \"requests\": {requests},\n"));
-    json.push_str(&format!("  \"read_fraction\": {read_fraction},\n"));
-    json.push_str(&format!("  \"seed\": {seed},\n"));
-    json.push_str(&format!("  \"threads\": {},\n", pool.threads()));
-    json.push_str(&format!("  \"user_reads\": {reads},\n"));
-    json.push_str(&format!("  \"user_writes\": {writes},\n"));
-    json.push_str(&format!("  \"wall_secs\": {wall:.6},\n"));
-    json.push_str(&format!("  \"units_per_sec\": {iops:.3},\n"));
-    json.push_str(&format!("  \"throughput_mb_s\": {mb_s:.3},\n"));
-    json.push_str("  \"per_disk\": [\n");
+    let mut entry = String::new();
+    entry.push_str("  {\n");
+    entry.push_str(&format!("    \"git_rev\": \"{}\",\n", git_rev()));
+    entry.push_str(&format!(
+        "    \"unix_time\": {},\n",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    ));
+    entry.push_str(&format!("    \"layout\": \"{}\",\n", spec.name()));
+    entry.push_str(&format!("    \"disks\": {},\n", spec.disks()));
+    entry.push_str(&format!("    \"group\": {},\n", spec.group()));
+    entry.push_str(&format!("    \"alpha\": {:.6},\n", spec.alpha()));
+    entry.push_str(&format!("    \"unit_bytes\": {},\n", store.unit_bytes()));
+    entry.push_str(&format!("    \"data_units\": {},\n", store.data_units()));
+    entry.push_str(&format!("    \"requests\": {requests},\n"));
+    entry.push_str(&format!("    \"access_units\": {access_units},\n"));
+    entry.push_str(&format!("    \"read_fraction\": {read_fraction},\n"));
+    entry.push_str(&format!("    \"seed\": {seed},\n"));
+    entry.push_str(&format!("    \"threads\": {},\n", pool.threads()));
+    entry.push_str(&format!("    \"user_reads\": {reads},\n"));
+    entry.push_str(&format!("    \"user_writes\": {writes},\n"));
+    entry.push_str(&format!("    \"wall_secs\": {wall:.6},\n"));
+    entry.push_str(&format!("    \"units_per_sec\": {iops:.3},\n"));
+    entry.push_str(&format!("    \"throughput_mb_s\": {mb_s:.3},\n"));
+    entry.push_str(&format!(
+        "    \"latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \
+         \"mean_ms\": {:.4}, \"max\": {}}},\n",
+        latency.mean_ms(),
+        latency.max_us()
+    ));
+    entry.push_str("    \"per_disk\": [");
     for (i, (a, b)) in after.iter().zip(&before).enumerate() {
-        json.push_str(&format!(
-            "    {{\"disk\": {i}, \"reads\": {}, \"writes\": {}}}{}\n",
+        entry.push_str(&format!(
+            "{}{{\"disk\": {i}, \"reads\": {}, \"writes\": {}}}",
+            if i == 0 { "" } else { ", " },
             a.reads - b.reads,
             a.writes - b.writes,
-            if i + 1 == after.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    entry.push_str("]\n  }");
+
+    // The trajectory: an append-only array of run entries. A legacy
+    // single-object snapshot becomes the first entry.
+    let existing = std::fs::read_to_string(&out).unwrap_or_default();
+    let mut entries = split_entries(&existing);
+    // The last run whose configuration matches this one, for the gate.
+    let matches_config = |e: &String| {
+        field(e, "layout").map(str::to_string) == Some(format!("\"{}\"", spec.name()))
+            && field(e, "disks") == Some(&spec.disks().to_string())
+            && field(e, "group") == Some(&spec.group().to_string())
+            && field(e, "unit_bytes") == Some(&store.unit_bytes().to_string())
+            && field(e, "requests") == Some(&requests.to_string())
+            && field(e, "threads") == Some(&pool.threads().to_string())
+            && field(e, "access_units").unwrap_or("1") == access_units.to_string()
+    };
+    let previous: Option<f64> = entries
+        .iter()
+        .rev()
+        .find(|e| matches_config(e))
+        .and_then(|e| field(e, "units_per_sec"))
+        .and_then(|v| v.trim_end_matches(',').parse().ok());
+    entries.push(entry);
+    let mut json = String::from("[\n");
+    json.push_str(&entries.join(",\n"));
+    json.push_str("\n]\n");
     if let Some(parent) = PathBuf::from(&out).parent() {
         std::fs::create_dir_all(parent).ok();
     }
     match std::fs::write(&out, json) {
-        Ok(()) => println!("wrote {out}"),
-        Err(e) => fail(StoreError::io("write benchmark report", &out, e)),
+        Ok(()) => println!(
+            "appended trajectory entry to {out} ({} runs)",
+            entries.len()
+        ),
+        Err(e) => fail(StoreError::io("write benchmark trajectory", &out, e)),
     }
     store.close().unwrap_or_else(|e| fail(e));
+
+    if let (Some(limit), Some(prev)) = (max_regress, previous) {
+        let floor = prev * (1.0 - limit);
+        if iops < floor {
+            eprintln!(
+                "regression: {iops:.0} units/s is below {floor:.0} \
+                 ({prev:.0} from the previous matching run, −{:.0}%)",
+                limit * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("regression gate ok: {iops:.0} units/s vs {prev:.0} previous (floor {floor:.0})");
+    } else if max_regress.is_some() {
+        println!("regression gate: no previous matching run to compare against");
+    }
 }
 
 fn main() {

@@ -20,12 +20,14 @@
 #![warn(missing_docs)]
 
 mod bitmap;
+mod buffer;
 mod error;
+pub mod parity;
 mod pool;
 mod store;
 mod superblock;
 
-pub use bitmap::IntentBitmap;
+pub use bitmap::{default_region, IntentBitmap};
 pub use error::{Result, StoreError};
 pub use pool::StorePool;
 pub use store::{BlockStore, DiskCounters, RebuildReport};

@@ -1,0 +1,134 @@
+//! Wide XOR kernels: the store's one parity engine.
+//!
+//! Every parity computation in the store — read-modify-write deltas,
+//! degraded reconstruction, rebuild, resync, full-stripe parity — runs
+//! through these two functions, so optimizing (or fixing) the kernel
+//! happens in exactly one place. Both operate on eight-byte lanes,
+//! four lanes per step (32 bytes), which LLVM turns into SIMD on every
+//! target we build for; the scalar tail handles lengths that are not a
+//! multiple of 32. The `parity_xor` bench binary reports the measured
+//! GB/s against a byte-at-a-time reference (`results/xor_bench.json`).
+
+/// Bytes processed per wide step: four u64 lanes.
+const WIDE: usize = 32;
+
+#[inline]
+fn lane(bytes: &[u8]) -> u64 {
+    u64::from_ne_bytes(bytes.try_into().expect("lane is 8 bytes"))
+}
+
+/// `acc[i] ^= src[i]` over the whole slice.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn xor_into(acc: &mut [u8], src: &[u8]) {
+    assert_eq!(acc.len(), src.len(), "xor_into length mismatch");
+    let split = acc.len() - acc.len() % WIDE;
+    let (acc_wide, acc_tail) = acc.split_at_mut(split);
+    let (src_wide, src_tail) = src.split_at(split);
+    for (a, s) in acc_wide
+        .chunks_exact_mut(WIDE)
+        .zip(src_wide.chunks_exact(WIDE))
+    {
+        for k in 0..WIDE / 8 {
+            let v = lane(&a[k * 8..k * 8 + 8]) ^ lane(&s[k * 8..k * 8 + 8]);
+            a[k * 8..k * 8 + 8].copy_from_slice(&v.to_ne_bytes());
+        }
+    }
+    for (a, s) in acc_tail.iter_mut().zip(src_tail) {
+        *a ^= s;
+    }
+}
+
+/// `acc[i] ^= old[i] ^ new[i]` over the whole slice — the
+/// read-modify-write parity delta, fused so the old and new images are
+/// each read once.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn xor_delta(acc: &mut [u8], old: &[u8], new: &[u8]) {
+    assert_eq!(acc.len(), old.len(), "xor_delta length mismatch (old)");
+    assert_eq!(acc.len(), new.len(), "xor_delta length mismatch (new)");
+    let split = acc.len() - acc.len() % WIDE;
+    let (acc_wide, acc_tail) = acc.split_at_mut(split);
+    let (old_wide, old_tail) = old.split_at(split);
+    let (new_wide, new_tail) = new.split_at(split);
+    for ((a, o), n) in acc_wide
+        .chunks_exact_mut(WIDE)
+        .zip(old_wide.chunks_exact(WIDE))
+        .zip(new_wide.chunks_exact(WIDE))
+    {
+        for k in 0..WIDE / 8 {
+            let at = k * 8..k * 8 + 8;
+            let v = lane(&a[at.clone()]) ^ lane(&o[at.clone()]) ^ lane(&n[at.clone()]);
+            a[at].copy_from_slice(&v.to_ne_bytes());
+        }
+    }
+    for ((a, o), n) in acc_tail.iter_mut().zip(old_tail).zip(new_tail) {
+        *a ^= o ^ n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn xor_into_matches_byte_reference_at_every_alignment() {
+        for len in [0, 1, 7, 8, 9, 31, 32, 33, 63, 64, 511, 512, 4096, 4097] {
+            let src = pattern(3 + len as u64, len);
+            let mut wide = pattern(17 + len as u64, len);
+            let mut scalar = wide.clone();
+            xor_into(&mut wide, &src);
+            for (a, s) in scalar.iter_mut().zip(&src) {
+                *a ^= s;
+            }
+            assert_eq!(wide, scalar, "len {len}");
+        }
+    }
+
+    #[test]
+    fn xor_delta_matches_byte_reference_at_every_alignment() {
+        for len in [0, 1, 8, 31, 32, 33, 4096, 4097] {
+            let old = pattern(5 + len as u64, len);
+            let new = pattern(11 + len as u64, len);
+            let mut wide = pattern(23 + len as u64, len);
+            let mut scalar = wide.clone();
+            xor_delta(&mut wide, &old, &new);
+            for i in 0..len {
+                scalar[i] ^= old[i] ^ new[i];
+            }
+            assert_eq!(wide, scalar, "len {len}");
+        }
+    }
+
+    #[test]
+    fn xor_is_self_inverse() {
+        let a = pattern(1, 4096);
+        let mut acc = pattern(2, 4096);
+        let orig = acc.clone();
+        xor_into(&mut acc, &a);
+        xor_into(&mut acc, &a);
+        assert_eq!(acc, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        xor_into(&mut [0u8; 4], &[0u8; 5]);
+    }
+}

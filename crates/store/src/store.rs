@@ -12,18 +12,32 @@
 //! and degraded reads reconstruct on the fly from the XOR of the
 //! stripe's survivors.
 //!
+//! The hot path is built to be syscall- and memory-bandwidth-limited
+//! (see DESIGN.md §11): a write extent covering all `G−1` data units of
+//! a stripe takes the **full-stripe fast path** — parity computed
+//! straight from the new data, exactly `G` positional writes, zero
+//! reads — with the per-disk submissions of one batch sorted and
+//! coalesced so units landing at adjacent offsets of one file go down
+//! in a single `pwrite`. Scratch units come from a per-store
+//! [`BufferPool`] instead of the allocator, every XOR runs through the
+//! wide kernels in [`crate::parity`], and the write-intent log is
+//! staged per *request* and group-committed across threads (one
+//! fdatasync covers every stripe the request dirties, and concurrent
+//! requests share flushes; see [`crate::bitmap`]).
+//!
 //! Concurrency: a fixed table of stripe locks serializes the
 //! read-modify-write cycles of colliding stripes while letting disjoint
-//! stripes proceed in parallel; admin transitions (`fail_disk`,
-//! `replace_disk`, rebuild completion) take every stripe lock, so they
-//! see no in-flight user I/O. The write-intent bitmap
-//! ([`crate::bitmap::IntentBitmap`]) is marked durably before a
-//! stripe's first write lands and cleared lazily after, giving crash
-//! recovery ([`BlockStore::open_with_recovery`]) the dirty-region-log
-//! bound on resync work.
+//! stripes proceed in parallel (batches acquire their buckets in table
+//! order, the same global order `lock_all_stripes` uses); admin
+//! transitions (`fail_disk`, `replace_disk`, rebuild completion) take
+//! every stripe lock, so they see no in-flight user I/O. Fault-free
+//! requests never touch the fault-state mutex — a `degraded` atomic,
+//! flipped only under the full lock table, gates the slow path.
 
-use crate::bitmap::IntentBitmap;
+use crate::bitmap::{default_region, IntentBitmap, SyncGate};
+use crate::buffer::BufferPool;
 use crate::error::{Result, StoreError};
+use crate::parity;
 use crate::pool::{lock, StorePool};
 use crate::superblock::{LayoutSpec, Superblock, BLOCK_BYTES, SUPERBLOCK_BYTES};
 use decluster_array::{ConsistencyReport, RecoveryPolicy};
@@ -31,12 +45,17 @@ use decluster_core::layout::{ArrayMapping, UnitAddr, UnitRole};
 use std::fs::OpenOptions;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Upper bound on the stripe-lock table; stripes hash onto it by id.
 const MAX_STRIPE_LOCKS: u64 = 1024;
+
+/// Stripes handled per full-stripe batch: bounds the lock guards held
+/// and the coalescing buffer (`FULL_STRIPE_BATCH × unit_bytes` per
+/// disk run at most) while still amortizing submission sorting.
+const FULL_STRIPE_BATCH: u64 = 32;
 
 /// One disk's backing file, with cumulative unit-I/O counters — the
 /// observable that makes the paper's α = (G−1)/(C−1) rebuild read
@@ -83,6 +102,20 @@ impl DiskFile {
             .write_all_at(data, pos)
             .map_err(|e| StoreError::io("write unit", &self.path, e))?;
         self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Writes `data.len() / unit_bytes` units contiguous from `offset`
+    /// in one positional submission — the coalesced form the
+    /// full-stripe batch uses for adjacent units on one disk.
+    fn write_units(&self, offset: u64, data: &[u8], unit_bytes: usize) -> Result<()> {
+        debug_assert!(data.len().is_multiple_of(unit_bytes));
+        let pos = SUPERBLOCK_BYTES + offset * unit_bytes as u64;
+        self.file
+            .write_all_at(data, pos)
+            .map_err(|e| StoreError::io("write units", &self.path, e))?;
+        self.writes
+            .fetch_add((data.len() / unit_bytes) as u64, Ordering::Relaxed);
         Ok(())
     }
 
@@ -200,7 +233,12 @@ pub struct BlockStore {
     disks: Vec<DiskFile>,
     locks: Vec<Mutex<()>>,
     state: Mutex<FaultState>,
+    /// Mirrors `state.failed.is_some()`; flipped only with every stripe
+    /// lock held, so I/O paths can skip the state mutex when fault-free.
+    degraded: AtomicBool,
     intent: Mutex<IntentBitmap>,
+    gate: SyncGate,
+    buffers: BufferPool,
 }
 
 fn disk_path(dir: &Path, disk: u16) -> PathBuf {
@@ -209,12 +247,6 @@ fn disk_path(dir: &Path, disk: u16) -> PathBuf {
 
 fn bitmap_path(dir: &Path) -> PathBuf {
     dir.join("intent.bitmap")
-}
-
-fn xor_into(acc: &mut [u8], src: &[u8]) {
-    for (a, s) in acc.iter_mut().zip(src) {
-        *a ^= s;
-    }
 }
 
 impl BlockStore {
@@ -268,10 +300,11 @@ impl BlockStore {
             })?;
             disks.push(d);
         }
-        let intent = IntentBitmap::create(&bitmap_path(dir), mapping.stripes())?;
-        Ok(Self::assemble(
+        let stripes = mapping.stripes();
+        let intent = IntentBitmap::create(&bitmap_path(dir), stripes, default_region(stripes))?;
+        Self::assemble(
             dir, mapping, spec, array_id, unit_bytes, disks, intent, None,
-        ))
+        )
     }
 
     /// Opens an existing store with the default crash-recovery policy
@@ -386,7 +419,7 @@ impl BlockStore {
             disks,
             intent,
             failed,
-        );
+        )?;
         let report = if clean {
             None
         } else {
@@ -407,12 +440,14 @@ impl BlockStore {
         disks: Vec<DiskFile>,
         intent: IntentBitmap,
         failed: Option<u16>,
-    ) -> BlockStore {
+    ) -> Result<BlockStore> {
         let lock_count = mapping.stripes().clamp(1, MAX_STRIPE_LOCKS);
-        BlockStore {
+        let gate = SyncGate::new(intent.try_clone_file()?, bitmap_path(dir));
+        Ok(BlockStore {
             dir: dir.to_path_buf(),
             blocks_per_unit: (unit_bytes / BLOCK_BYTES) as u64,
             unit_bytes: unit_bytes as usize,
+            buffers: BufferPool::new(unit_bytes as usize),
             mapping,
             spec,
             array_id,
@@ -422,8 +457,10 @@ impl BlockStore {
                 failed,
                 rebuilt: None,
             }),
+            degraded: AtomicBool::new(failed.is_some()),
             intent: Mutex::new(intent),
-        }
+            gate,
+        })
     }
 
     /// Flushes everything and marks the superblocks clean, consuming
@@ -504,12 +541,23 @@ impl BlockStore {
             .collect()
     }
 
+    /// Data units per stripe (`G − 1`).
+    fn data_per_stripe(&self) -> u64 {
+        self.mapping.stripe_width() as u64 - 1
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
     // ------------------------------------------------------------------
     // Block I/O
     // ------------------------------------------------------------------
 
     /// Reads `buf.len()` bytes starting at logical block `block`,
-    /// reconstructing degraded units on the fly.
+    /// reconstructing degraded units on the fly. Whole-unit spans are
+    /// read straight into `buf`; only partial units stage through a
+    /// pooled scratch unit.
     ///
     /// # Errors
     ///
@@ -517,15 +565,20 @@ impl BlockStore {
     /// any disk I/O fails.
     pub fn read_blocks(&self, block: u64, buf: &mut [u8]) -> Result<()> {
         self.check_extent(block, buf.len())?;
-        let mut scratch = vec![0u8; self.unit_bytes];
+        let mut scratch = None;
         let mut block = block;
         let mut filled = 0;
         while filled < buf.len() {
             let logical = block / self.blocks_per_unit;
             let at = (block % self.blocks_per_unit) as usize * BLOCK_BYTES as usize;
             let take = (self.unit_bytes - at).min(buf.len() - filled);
-            self.read_unit(logical, &mut scratch)?;
-            buf[filled..filled + take].copy_from_slice(&scratch[at..at + take]);
+            if at == 0 && take == self.unit_bytes {
+                self.read_unit(logical, &mut buf[filled..filled + take])?;
+            } else {
+                let s = scratch.get_or_insert_with(|| self.buffers.get());
+                self.read_unit(logical, &mut s[..])?;
+                buf[filled..filled + take].copy_from_slice(&s[at..at + take]);
+            }
             filled += take;
             block += (take / BLOCK_BYTES as usize) as u64;
         }
@@ -533,30 +586,153 @@ impl BlockStore {
     }
 
     /// Writes `data` starting at logical block `block`, maintaining
-    /// parity under the current fault state. Partial-unit extents
-    /// read-splice-write the unit under its stripe lock.
+    /// parity under the current fault state.
+    ///
+    /// The write-intent bits covering every touched stripe are staged
+    /// and flushed **once** for the whole request (group-committed with
+    /// concurrent requests) before any data or parity write is issued.
+    /// Spans covering all `G−1` data units of a stripe take the
+    /// full-stripe fast path (parity from the new data, `G` writes,
+    /// zero reads); partial-unit extents read-splice-write the unit
+    /// under its stripe lock.
     ///
     /// # Errors
     ///
     /// As for [`BlockStore::read_blocks`].
     pub fn write_blocks(&self, block: u64, data: &[u8]) -> Result<()> {
         self.check_extent(block, data.len())?;
-        let mut block = block;
+        if data.is_empty() {
+            return Ok(());
+        }
+        let first = block / self.blocks_per_unit;
+        let last = (block + (data.len() / BLOCK_BYTES as usize) as u64 - 1) / self.blocks_per_unit;
+        let (seq_lo, seq_hi) = (
+            first / self.data_per_stripe(),
+            last / self.data_per_stripe(),
+        );
+        if lock(&self.intent).stage_range(seq_lo, seq_hi)? {
+            self.gate.sync()?;
+        }
+        let res = self.write_extent(block, data);
+        // The in-memory release is unconditional (refcounts must stay
+        // balanced); after an I/O error the on-disk bit stays set, so a
+        // crash-reopen still resyncs the possibly-torn stripes.
+        lock(&self.intent).release_range(seq_lo, seq_hi)?;
+        res
+    }
+
+    /// The extent engine behind [`BlockStore::write_blocks`]: intent
+    /// bits already staged and synced by the caller.
+    fn write_extent(&self, mut block: u64, data: &[u8]) -> Result<()> {
+        let ub = self.unit_bytes;
+        let bpu = self.blocks_per_unit;
+        let dpu = self.data_per_stripe();
         let mut taken = 0;
         while taken < data.len() {
-            let logical = block / self.blocks_per_unit;
-            let at = (block % self.blocks_per_unit) as usize * BLOCK_BYTES as usize;
-            let take = (self.unit_bytes - at).min(data.len() - taken);
+            let logical = block / bpu;
+            let at = (block % bpu) as usize * BLOCK_BYTES as usize;
+            // Full-stripe fast path: stripe-aligned and at least one
+            // whole stripe of data remaining, on a fault-free array.
+            if at == 0 && logical.is_multiple_of(dpu) && !self.is_degraded() {
+                let stripes = ((data.len() - taken) / ub) as u64 / dpu;
+                let stripes = stripes.min(FULL_STRIPE_BATCH);
+                if stripes > 0 {
+                    let span = (stripes * dpu) as usize * ub;
+                    if self.write_full_stripes(
+                        logical / dpu,
+                        stripes,
+                        &data[taken..taken + span],
+                    )? {
+                        taken += span;
+                        block += stripes * dpu * bpu;
+                        continue;
+                    }
+                }
+            }
+            let take = (ub - at).min(data.len() - taken);
             let chunk = &data[taken..taken + take];
-            if at == 0 && take == self.unit_bytes {
-                self.write_unit_inner(logical, NewData::Full(chunk))?;
+            if at == 0 && take == ub {
+                self.write_unit_premarked(logical, NewData::Full(chunk))?;
             } else {
-                self.write_unit_inner(logical, NewData::Splice { at, bytes: chunk })?;
+                self.write_unit_premarked(logical, NewData::Splice { at, bytes: chunk })?;
             }
             taken += take;
             block += (take / BLOCK_BYTES as usize) as u64;
         }
         Ok(())
+    }
+
+    /// Writes `stripes` consecutive whole stripes starting at stripe
+    /// seq `seq_lo`, parity computed from the new data alone: `G`
+    /// writes and zero reads per stripe. Returns `false` (having
+    /// written nothing) if a concurrent disk failure was detected once
+    /// the locks were held — the caller falls back to the RMW path.
+    fn write_full_stripes(&self, seq_lo: u64, stripes: u64, src: &[u8]) -> Result<bool> {
+        let ub = self.unit_bytes;
+        let dpu = self.data_per_stripe() as usize;
+        let ids: Vec<u64> = (0..stripes)
+            .map(|i| self.mapping.stripe_by_seq(seq_lo + i))
+            .collect();
+        // Lock buckets in table order — the same global order
+        // `lock_all_stripes` uses — deduplicated so a bucket shared by
+        // two stripes of the batch is taken once.
+        let mut buckets: Vec<usize> = ids
+            .iter()
+            .map(|s| (s % self.locks.len() as u64) as usize)
+            .collect();
+        buckets.sort_unstable();
+        buckets.dedup();
+        let _guards: Vec<MutexGuard<'_, ()>> =
+            buckets.iter().map(|&i| lock(&self.locks[i])).collect();
+        if self.is_degraded() {
+            return Ok(false);
+        }
+        // Parity of each stripe, straight from the new data.
+        let mut parity_bufs = Vec::with_capacity(stripes as usize);
+        for i in 0..stripes as usize {
+            let mut p = self.buffers.get_zeroed();
+            let base = i * dpu * ub;
+            for k in 0..dpu {
+                parity::xor_into(&mut p, &src[base + k * ub..base + (k + 1) * ub]);
+            }
+            parity_bufs.push(p);
+        }
+        // Gather every unit write of the batch, then submit per disk in
+        // offset order, adjacent offsets coalesced into one pwrite.
+        let mut units = Vec::new();
+        let mut ops: Vec<(u16, u64, &[u8])> = Vec::with_capacity(stripes as usize * (dpu + 1));
+        for (i, &stripe) in ids.iter().enumerate() {
+            units.clear();
+            self.mapping.stripe_units_into(stripe, &mut units);
+            let base = i * dpu * ub;
+            for (k, u) in units[..dpu].iter().enumerate() {
+                ops.push((u.disk, u.offset, &src[base + k * ub..base + (k + 1) * ub]));
+            }
+            let p = units[units.len() - 1];
+            ops.push((p.disk, p.offset, &parity_bufs[i][..]));
+        }
+        ops.sort_unstable_by_key(|&(d, o, _)| (d, o));
+        let mut run: Vec<u8> = Vec::new();
+        let mut i = 0;
+        while i < ops.len() {
+            let (disk, offset, first) = ops[i];
+            let mut j = i + 1;
+            while j < ops.len() && ops[j].0 == disk && ops[j].1 == offset + (j - i) as u64 {
+                j += 1;
+            }
+            let file = &self.disks[disk as usize];
+            if j == i + 1 {
+                file.write_unit(offset, first)?;
+            } else {
+                run.clear();
+                for &(_, _, payload) in &ops[i..j] {
+                    run.extend_from_slice(payload);
+                }
+                file.write_units(offset, &run, ub)?;
+            }
+            i = j;
+        }
+        Ok(true)
     }
 
     /// Reads one whole logical unit into `out` (`unit_bytes` long),
@@ -581,6 +757,10 @@ impl BlockStore {
         }
         let (stripe, index) = self.mapping.logical_to_stripe(logical);
         let _guard = self.lock_stripe(stripe);
+        if !self.is_degraded() {
+            let addr = self.mapping.logical_to_addr(logical);
+            return self.disks[addr.disk as usize].read_unit(addr.offset, out);
+        }
         let units = self.mapping.stripe_units(stripe);
         let addr = units[index as usize];
         let lost = lock(&self.state).is_lost(addr);
@@ -588,10 +768,10 @@ impl BlockStore {
             return self.disks[addr.disk as usize].read_unit(addr.offset, out);
         }
         out.fill(0);
-        let mut tmp = vec![0u8; self.unit_bytes];
+        let mut tmp = self.buffers.get();
         for u in units.iter().filter(|u| u.disk != addr.disk) {
             self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
-            xor_into(out, &tmp);
+            parity::xor_into(out, &tmp);
         }
         Ok(())
     }
@@ -609,7 +789,19 @@ impl BlockStore {
                 self.unit_bytes
             )));
         }
-        self.write_unit_inner(logical, NewData::Full(data))
+        if logical >= self.data_units() {
+            return Err(StoreError::state(format!(
+                "logical unit {logical} beyond capacity {}",
+                self.data_units()
+            )));
+        }
+        let seq = logical / self.data_per_stripe();
+        if lock(&self.intent).stage_range(seq, seq)? {
+            self.gate.sync()?;
+        }
+        let res = self.write_unit_premarked(logical, NewData::Full(data));
+        lock(&self.intent).release_range(seq, seq)?;
+        res
     }
 
     fn check_extent(&self, block: u64, len: usize) -> Result<()> {
@@ -638,9 +830,9 @@ impl BlockStore {
     }
 
     /// The unit-write engine: same decomposition as `DataArray::write`,
-    /// executed over files under the stripe lock with the write-intent
-    /// bit persisted first.
-    fn write_unit_inner(&self, logical: u64, new: NewData<'_>) -> Result<()> {
+    /// executed over files under the stripe lock. The caller has
+    /// already staged and synced the intent bit covering this stripe.
+    fn write_unit_premarked(&self, logical: u64, new: NewData<'_>) -> Result<()> {
         if logical >= self.data_units() {
             return Err(StoreError::state(format!(
                 "logical unit {logical} beyond capacity {}",
@@ -648,77 +840,88 @@ impl BlockStore {
             )));
         }
         let (stripe, index) = self.mapping.logical_to_stripe(logical);
-        let seq = self
-            .mapping
-            .seq_of_stripe(stripe)
-            .ok_or_else(|| StoreError::state(format!("stripe {stripe} is not mapped")))?;
         let _guard = self.lock_stripe(stripe);
         let units = self.mapping.stripe_units(stripe);
         let addr = units[index as usize];
-        let parity = units[units.len() - 1]; // parity is ordered last
-        let (data_lost, parity_lost, has_replacement) = {
+        let parity_u = units[units.len() - 1]; // parity is ordered last
+        let (data_lost, parity_lost, has_replacement) = if self.is_degraded() {
             let st = lock(&self.state);
-            (st.is_lost(addr), st.is_lost(parity), st.rebuilt.is_some())
+            (st.is_lost(addr), st.is_lost(parity_u), st.rebuilt.is_some())
+        } else {
+            (false, false, false)
         };
 
-        // The old unit image is needed for fault-free parity deltas and
-        // for splicing partial writes into the current contents.
-        let fault_free = !data_lost && !parity_lost;
-        let need_old = fault_free || matches!(new, NewData::Splice { .. });
-        let mut old = vec![0u8; self.unit_bytes];
-        if need_old {
-            if !data_lost {
-                self.disks[addr.disk as usize].read_unit(addr.offset, &mut old)?;
-            } else {
-                let mut tmp = vec![0u8; self.unit_bytes];
-                for u in units.iter().filter(|u| u.disk != addr.disk) {
-                    self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
-                    xor_into(&mut old, &tmp);
+        if !data_lost && !parity_lost {
+            // Read-modify-write: parity ^= old ^ new.
+            let mut old = self.buffers.get();
+            self.disks[addr.disk as usize].read_unit(addr.offset, &mut old)?;
+            let splice_buf;
+            let image: &[u8] = match new {
+                NewData::Full(bytes) => bytes,
+                NewData::Splice { at, bytes } => {
+                    let mut b = self.buffers.get();
+                    b.copy_from_slice(&old);
+                    b[at..at + bytes.len()].copy_from_slice(bytes);
+                    splice_buf = b;
+                    &splice_buf
                 }
-            }
-        }
-        let mut image = old.clone();
-        match new {
-            NewData::Full(bytes) => image.copy_from_slice(bytes),
-            NewData::Splice { at, bytes } => image[at..at + bytes.len()].copy_from_slice(bytes),
+            };
+            self.disks[addr.disk as usize].write_unit(addr.offset, image)?;
+            let mut pbuf = self.buffers.get();
+            self.disks[parity_u.disk as usize].read_unit(parity_u.offset, &mut pbuf)?;
+            parity::xor_delta(&mut pbuf, &old, image);
+            self.disks[parity_u.disk as usize].write_unit(parity_u.offset, &pbuf)?;
+            return Ok(());
         }
 
-        lock(&self.intent).mark(seq)?;
-        if fault_free {
-            // Read-modify-write: parity ^= old ^ new.
-            self.disks[addr.disk as usize].write_unit(addr.offset, &image)?;
-            let mut pbuf = vec![0u8; self.unit_bytes];
-            self.disks[parity.disk as usize].read_unit(parity.offset, &mut pbuf)?;
-            for i in 0..self.unit_bytes {
-                pbuf[i] ^= old[i] ^ image[i];
+        // Degraded: splices first need the old image, reconstructed
+        // from the survivors when the data unit itself is lost.
+        let splice_buf;
+        let image: &[u8] = match new {
+            NewData::Full(bytes) => bytes,
+            NewData::Splice { at, bytes } => {
+                let mut b = self.buffers.get();
+                if !data_lost {
+                    self.disks[addr.disk as usize].read_unit(addr.offset, &mut b)?;
+                } else {
+                    b.fill(0);
+                    let mut tmp = self.buffers.get();
+                    for u in units.iter().filter(|u| u.disk != addr.disk) {
+                        self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
+                        parity::xor_into(&mut b, &tmp);
+                    }
+                }
+                b[at..at + bytes.len()].copy_from_slice(bytes);
+                splice_buf = b;
+                &splice_buf
             }
-            self.disks[parity.disk as usize].write_unit(parity.offset, &pbuf)?;
-        } else if parity_lost {
+        };
+        if parity_lost {
             // No value in updating lost parity: write the data alone.
-            self.disks[addr.disk as usize].write_unit(addr.offset, &image)?;
+            self.disks[addr.disk as usize].write_unit(addr.offset, image)?;
         } else {
             // Data lost: fold the new value into parity so the stripe
             // still reconstructs to it.
-            let mut acc = image.clone();
-            let mut tmp = vec![0u8; self.unit_bytes];
+            let mut acc = self.buffers.get();
+            acc.copy_from_slice(image);
+            let mut tmp = self.buffers.get();
             for (i, u) in units[..units.len() - 1].iter().enumerate() {
                 if i != index as usize {
                     self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
-                    xor_into(&mut acc, &tmp);
+                    parity::xor_into(&mut acc, &tmp);
                 }
             }
-            self.disks[parity.disk as usize].write_unit(parity.offset, &acc)?;
+            self.disks[parity_u.disk as usize].write_unit(parity_u.offset, &acc)?;
             if has_replacement {
                 // The replacement is installed: also write the data
                 // directly and mark the unit valid.
-                self.disks[addr.disk as usize].write_unit(addr.offset, &image)?;
+                self.disks[addr.disk as usize].write_unit(addr.offset, image)?;
                 let mut st = lock(&self.state);
                 if let Some(rebuilt) = &mut st.rebuilt {
                     rebuilt[addr.offset as usize] = true;
                 }
             }
         }
-        lock(&self.intent).clear(seq)?;
         Ok(())
     }
 
@@ -745,6 +948,7 @@ impl BlockStore {
             }
             st.failed = Some(disk);
             st.rebuilt = None;
+            self.degraded.store(true, Ordering::Release);
         }
         // Losing the medium: scramble the whole file so nothing can
         // accidentally read stale data through a bug.
@@ -850,6 +1054,7 @@ impl BlockStore {
             let mut st = lock(&self.state);
             st.failed = None;
             st.rebuilt = None;
+            self.degraded.store(false, Ordering::Release);
         }
         self.disks[failed as usize].sync()?;
         self.write_superblocks(false)?;
@@ -877,8 +1082,8 @@ impl BlockStore {
 
     fn rebuild_range(&self, failed: u16, lo: u64, hi: u64) -> Result<RebuildChunk> {
         let mut chunk = RebuildChunk::default();
-        let mut acc = vec![0u8; self.unit_bytes];
-        let mut tmp = vec![0u8; self.unit_bytes];
+        let mut acc = self.buffers.get();
+        let mut tmp = self.buffers.get();
         for offset in lo..hi {
             let Some(stripe) = self.mapping.role_at(failed, offset).stripe() else {
                 chunk.unmapped += 1;
@@ -900,7 +1105,7 @@ impl BlockStore {
             let units = self.mapping.stripe_units(stripe);
             for u in units.iter().filter(|u| u.disk != failed) {
                 self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
-                xor_into(&mut acc, &tmp);
+                parity::xor_into(&mut acc, &tmp);
             }
             self.disks[failed as usize].write_unit(offset, &acc)?;
             let mut st = lock(&self.state);
@@ -929,15 +1134,15 @@ impl BlockStore {
                 "parity check requires a fault-free store".to_string(),
             ));
         }
-        let mut acc = vec![0u8; self.unit_bytes];
-        let mut tmp = vec![0u8; self.unit_bytes];
+        let mut acc = self.buffers.get();
+        let mut tmp = self.buffers.get();
         for seq in 0..self.mapping.stripes() {
             let stripe = self.mapping.stripe_by_seq(seq);
             let _guard = self.lock_stripe(stripe);
             acc.fill(0);
             for u in self.mapping.stripe_units(stripe) {
                 self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
-                xor_into(&mut acc, &tmp);
+                parity::xor_into(&mut acc, &tmp);
             }
             if acc.iter().any(|&b| b != 0) {
                 return Err(StoreError::ParityMismatch { stripe });
@@ -956,9 +1161,9 @@ impl BlockStore {
     pub fn scramble_parity(&self, stripe: u64) -> Result<()> {
         let parity = self.live_parity(stripe)?;
         let _guard = self.lock_stripe(stripe);
-        let mut buf = vec![0u8; self.unit_bytes];
+        let mut buf = self.buffers.get();
         self.disks[parity.disk as usize].read_unit(parity.offset, &mut buf)?;
-        for b in &mut buf {
+        for b in buf.iter_mut() {
             *b = !*b;
         }
         self.disks[parity.disk as usize].write_unit(parity.offset, &buf)
@@ -974,11 +1179,11 @@ impl BlockStore {
         let parity = self.live_parity(stripe)?;
         let _guard = self.lock_stripe(stripe);
         let units = self.mapping.stripe_units(stripe);
-        let mut acc = vec![0u8; self.unit_bytes];
-        let mut tmp = vec![0u8; self.unit_bytes];
+        let mut acc = self.buffers.get_zeroed();
+        let mut tmp = self.buffers.get();
         for u in &units[..units.len() - 1] {
             self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
-            xor_into(&mut acc, &tmp);
+            parity::xor_into(&mut acc, &tmp);
         }
         self.disks[parity.disk as usize].write_unit(parity.offset, &acc)
     }
@@ -999,7 +1204,10 @@ impl BlockStore {
 
     /// The crash-recovery resync: verify (and repair) the parity of the
     /// stripes `policy` selects. Runs before the store accepts user
-    /// I/O, so no locks are needed.
+    /// I/O, so no locks are needed. Under the dirty-region log the set
+    /// is every stripe of every dirty region — a superset of the torn
+    /// stripes, wider than the in-flight set by at most the region size
+    /// per dirty bit.
     ///
     /// Stripes with a unit on the failed disk are counted but left
     /// alone: with a member missing, parity is the only copy of the
@@ -1020,8 +1228,8 @@ impl BlockStore {
             resync_units_written: 0,
             recovery_secs: 0.0,
         };
-        let mut acc = vec![0u8; self.unit_bytes];
-        let mut tmp = vec![0u8; self.unit_bytes];
+        let mut acc = self.buffers.get();
+        let mut tmp = self.buffers.get();
         for seq in seqs {
             let stripe = self.mapping.stripe_by_seq(seq);
             report.stripes_checked += 1;
@@ -1033,12 +1241,12 @@ impl BlockStore {
             acc.fill(0);
             for u in &units[..units.len() - 1] {
                 self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
-                xor_into(&mut acc, &tmp);
+                parity::xor_into(&mut acc, &tmp);
                 report.resync_units_read += 1;
             }
             self.disks[parity.disk as usize].read_unit(parity.offset, &mut tmp)?;
             report.resync_units_read += 1;
-            if acc != tmp {
+            if *acc != *tmp {
                 report.torn_found += 1;
                 self.disks[parity.disk as usize].write_unit(parity.offset, &acc)?;
                 report.resync_units_written += 1;
@@ -1133,8 +1341,9 @@ mod tests {
         // still say not-clean, so the reopen must resync.
         let (stripe, _) = store.mapping().logical_to_stripe(3);
         let seq = store.mapping().seq_of_stripe(stripe).unwrap();
+        let region = lock(&store.intent).region() as u64;
         store.scramble_parity(stripe).unwrap();
-        lock(&store.intent).mark(seq).unwrap();
+        lock(&store.intent).stage_range(seq, seq).unwrap();
         drop(store);
 
         let (store, report) =
@@ -1145,15 +1354,54 @@ mod tests {
         assert_eq!(report.stripes_checked, store.mapping().stripes());
         store.verify_parity().unwrap();
 
-        // The dirty-region log checks only the marked stripe.
+        // The dirty-region log checks only the marked region — the
+        // stripes sharing the torn stripe's bit, not the whole store.
+        let dirty_span = {
+            let lo = seq / region * region;
+            (lo + region).min(store.mapping().stripes()) - lo
+        };
+        assert!(dirty_span < store.mapping().stripes(), "region too coarse");
         store.scramble_parity(stripe).unwrap();
-        lock(&store.intent).mark(seq).unwrap();
+        lock(&store.intent).stage_range(seq, seq).unwrap();
         drop(store);
         let (store, report) =
             BlockStore::open_with_recovery(&dir, RecoveryPolicy::DirtyRegionLog).unwrap();
         let report = report.expect("still unclean");
-        assert_eq!(report.stripes_checked, 1, "DRL resyncs only dirty stripes");
+        assert_eq!(
+            report.stripes_checked, dirty_span,
+            "DRL resyncs only the dirty region"
+        );
         assert_eq!(report.torn_repaired, 1);
+        store.verify_parity().unwrap();
+        store.close().unwrap();
+    }
+
+    #[test]
+    fn batched_multi_stripe_tear_recovers_every_covered_stripe() {
+        let dir = fresh_dir("batched-torn");
+        let store = BlockStore::create(&dir, small_spec(), 32, 512, 8).unwrap();
+        for l in 0..store.data_units() {
+            store.write_unit(l, &vec![(l as u8) ^ 0x33; 512]).unwrap();
+        }
+        // Flush the lazily-set fill bits (as an idle store would), then
+        // simulate a crash inside one multi-stripe request: the range
+        // was staged once (one persist), then two of its stripes tore.
+        lock(&store.intent).clear_all().unwrap();
+        let (stripe_a, _) = store.mapping().logical_to_stripe(0);
+        let (stripe_b, _) = store.mapping().logical_to_stripe(5);
+        let seq_a = store.mapping().seq_of_stripe(stripe_a).unwrap();
+        let seq_b = store.mapping().seq_of_stripe(stripe_b).unwrap();
+        lock(&store.intent).stage_range(seq_a, seq_b).unwrap();
+        store.scramble_parity(stripe_a).unwrap();
+        store.scramble_parity(stripe_b).unwrap();
+        drop(store);
+
+        let (store, report) =
+            BlockStore::open_with_recovery(&dir, RecoveryPolicy::DirtyRegionLog).unwrap();
+        let report = report.expect("unclean store must recover");
+        assert_eq!(report.torn_found, 2);
+        assert_eq!(report.torn_repaired, 2);
+        assert!(report.stripes_checked < store.mapping().stripes());
         store.verify_parity().unwrap();
         store.close().unwrap();
     }

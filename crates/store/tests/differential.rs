@@ -149,6 +149,75 @@ fn fault_free_replay_is_byte_identical() {
     store.close().unwrap();
 }
 
+/// Multi-unit requests sized to whole stripes: the store takes the
+/// full-stripe fast path (and, mid-request, the batched intent log),
+/// the oracle writes unit by unit — the bytes must not know the
+/// difference. The same requests are replayed again after a
+/// fail/replace/rebuild cycle, where the store must fall back to RMW.
+#[test]
+fn full_stripe_requests_are_byte_identical() {
+    const DATA_PER_STRIPE: u64 = 3; // G − 1 for Complete(5, 4)
+    let store = store("full-stripe");
+    let mut oracle = oracle();
+    let bpu = (UNIT_BYTES / BLOCK_BYTES as usize) as u64;
+    let spec = WorkloadSpec::half_and_half(120.0).with_access_units(2 * DATA_PER_STRIPE);
+    let mut workload = Workload::new(spec, store.data_units(), 21);
+    let trace = Trace::record(&mut workload, SimTime::from_secs(30));
+    assert!(trace.len() > 100, "trace too short to mean anything");
+
+    let mut replay_blocks = |store: &BlockStore, oracle: &mut DataArray, tag: u64| {
+        let mut buf = vec![0u8; 2 * DATA_PER_STRIPE as usize * UNIT_BYTES];
+        for (i, req) in trace.requests().iter().enumerate() {
+            let span = req.units as usize * UNIT_BYTES;
+            match req.kind {
+                AccessKind::Read => {
+                    store
+                        .read_blocks(req.logical_unit * bpu, &mut buf[..span])
+                        .unwrap();
+                    for u in 0..req.units {
+                        let at = u as usize * UNIT_BYTES;
+                        assert_eq!(
+                            &buf[at..at + UNIT_BYTES],
+                            &oracle.read(req.logical_unit + u)[..],
+                            "request {i}: unit {} diverged",
+                            req.logical_unit + u
+                        );
+                    }
+                }
+                AccessKind::Write => {
+                    let data: Vec<u8> = (0..req.units)
+                        .flat_map(|u| content(req.logical_unit + u, tag.wrapping_add(i as u64)))
+                        .collect();
+                    store.write_blocks(req.logical_unit * bpu, &data).unwrap();
+                    for u in 0..req.units {
+                        let at = u as usize * UNIT_BYTES;
+                        oracle.write(req.logical_unit + u, &data[at..at + UNIT_BYTES]);
+                    }
+                }
+            }
+        }
+    };
+
+    replay_blocks(&store, &mut oracle, 6_000_000);
+    assert_identical(&store, &oracle, "full-stripe fault-free");
+    store.verify_parity().unwrap();
+
+    store.fail_disk(1).unwrap();
+    oracle.fail_disk(1).unwrap();
+    replay_blocks(&store, &mut oracle, 7_000_000);
+    assert_identical(&store, &oracle, "full-stripe degraded");
+
+    store.replace_disk().unwrap();
+    oracle.replace_disk().unwrap();
+    store.rebuild(2).unwrap();
+    oracle.reconstruct_all().unwrap();
+    replay_blocks(&store, &mut oracle, 8_000_000);
+    assert_identical(&store, &oracle, "full-stripe post-rebuild");
+    store.verify_parity().unwrap();
+    oracle.verify_parity().unwrap();
+    store.close().unwrap();
+}
+
 #[test]
 fn degraded_replay_is_byte_identical() {
     let store = store("degraded");

@@ -58,7 +58,12 @@ cargo run --release -q -p decluster-bench --bin store -- rebuild "$STORE_SMOKE_D
 cargo run --release -q -p decluster-bench --bin store -- verify "$STORE_SMOKE_DIR" --seed 5
 cargo run --release -q -p decluster-bench --bin store -- \
     bench "$STORE_SMOKE_DIR" --requests 800 --threads 4 --seed 5 \
+    --max-regress 0.30 \
     --out results/store_bench.json
+
+echo "==> parity XOR kernel smoke (self-check + GB/s into results/xor_bench.json)"
+cargo run --release -q -p decluster-bench --bin parity_xor -- \
+    --out results/xor_bench.json
 
 echo "==> observability smoke (fig6 --trace record + bit-for-bit replay)"
 TRACE_FILE="$SCRUB_SMOKE_DIR/fig6.trace"
