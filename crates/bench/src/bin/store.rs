@@ -11,19 +11,25 @@
 //! store fail DIR DISK
 //! store rebuild DIR [--threads T]
 //! store verify DIR [--seed S] [--skip-content]
+//! store scrub DIR
 //! ```
 //!
 //! `fill` writes a deterministic per-unit pattern derived from `--seed`;
-//! `verify` regenerates it and checks every logical unit (through the
+//! `verify` first scrubs every unit's media and per-unit checksum
+//! (report-only, printing the disk and offset of each failure), then
+//! regenerates the pattern and checks every logical unit (through the
 //! degraded read path when a disk is down), then scans parity when the
-//! store is fault-free. `rebuild` installs a blank replacement, rebuilds
+//! store is fault-free. `scrub` runs the repairing pass: every faulty
+//! unit is corrected in place from parity, uncorrectable ones are
+//! listed. `rebuild` installs a blank replacement, rebuilds
 //! it online, and prints each surviving disk's read fraction next to the
 //! layout's α = (G−1)/(C−1). `bench` replays a generated workload over a
 //! worker pool, reports p50/p95/p99 per-request latency, and **appends**
-//! a run entry (git rev, config, units/s, latency) to a JSON trajectory
-//! (default `results/store_bench.json`); `--max-regress 0.30` exits
-//! nonzero if units/s dropped more than 30% against the last entry with
-//! the same configuration — the CI regression gate.
+//! a run entry (git rev, config, units/s, latency, fault counters) to a
+//! JSON trajectory (default `results/store_bench.json`);
+//! `--max-regress 0.30` exits nonzero if units/s dropped more than 30%
+//! against the last entry with the same configuration — the CI
+//! regression gate.
 
 use decluster_sim::LatencyHistogram;
 use decluster_store::{BlockStore, LayoutSpec, StoreError, StorePool, BLOCK_BYTES};
@@ -43,7 +49,8 @@ fn usage(problem: &str) -> ! {
          [--rate R] [--seed S] [--access-units U] [--max-regress F] [--out PATH]\n\
          \x20      store fail DIR DISK\n\
          \x20      store rebuild DIR [--threads T]\n\
-         \x20      store verify DIR [--seed S] [--skip-content]"
+         \x20      store verify DIR [--seed S] [--skip-content]\n\
+         \x20      store scrub DIR"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }
@@ -235,6 +242,26 @@ fn verify(dir: &Path, mut args: impl Iterator<Item = String>) {
     if let Some(disk) = store.failed_disk() {
         println!("store is degraded (disk {disk} down): reads go through reconstruction");
     }
+    // Media/checksum scrub first (report-only): a verify must name
+    // exactly where a sick disk lied before the content pass trips
+    // over it.
+    let report = store.scrub(false).unwrap_or_else(|e| fail(e));
+    if report.faults() == 0 {
+        println!(
+            "checksums ok: {} units scanned, no media or checksum faults",
+            report.units_scanned
+        );
+    } else {
+        eprintln!(
+            "checksum scrub: {} media errors, {} checksum mismatches in {} units:",
+            report.media_errors, report.checksum_errors, report.units_scanned
+        );
+        for (disk, offset) in &report.failures {
+            eprintln!("  disk {disk} unit {offset}");
+        }
+        eprintln!("run `store scrub {}` to repair from parity", dir.display());
+        std::process::exit(1);
+    }
     if check_content {
         let mut buf = vec![0u8; store.unit_bytes()];
         for logical in 0..store.data_units() {
@@ -255,6 +282,32 @@ fn verify(dir: &Path, mut args: impl Iterator<Item = String>) {
         println!("parity ok: every mapped stripe is consistent");
     }
     store.close().unwrap_or_else(|e| fail(e));
+}
+
+/// The repairing scrub: read-repair over the whole array.
+fn scrub(dir: &Path) {
+    let store = open(dir);
+    describe(&store);
+    let report = store.scrub(true).unwrap_or_else(|e| fail(e));
+    println!(
+        "scrubbed {} units: {} media errors, {} checksum mismatches, \
+         {} repaired from parity, {} escalated",
+        report.units_scanned,
+        report.media_errors,
+        report.checksum_errors,
+        report.repaired,
+        report.escalated
+    );
+    if !report.failures.is_empty() {
+        eprintln!("uncorrectable units:");
+        for (disk, offset) in &report.failures {
+            eprintln!("  disk {disk} unit {offset}");
+        }
+    }
+    store.close().unwrap_or_else(|e| fail(e));
+    if report.escalated > 0 {
+        std::process::exit(1);
+    }
 }
 
 /// One worker's share of the benchmark stream.
@@ -501,6 +554,27 @@ fn bench(dir: &Path, mut args: impl Iterator<Item = String>) {
         latency.mean_ms(),
         latency.max_us()
     ));
+    let faults = store.fault_counters();
+    let hedge_win_rate = if faults.hedged_reads == 0 {
+        0.0
+    } else {
+        faults.hedge_wins as f64 / faults.hedged_reads as f64
+    };
+    entry.push_str(&format!(
+        "    \"faults\": {{\"media_errors\": {}, \"checksum_errors\": {}, \
+         \"retry_successes\": {}, \"repaired\": {}, \"escalated\": {}, \
+         \"hedged_reads\": {}, \"hedge_wins\": {}, \"hedge_win_rate\": {:.4}, \
+         \"demotions\": {}}},\n",
+        faults.media_errors,
+        faults.checksum_errors,
+        faults.retry_successes,
+        faults.repaired,
+        faults.escalated,
+        faults.hedged_reads,
+        faults.hedge_wins,
+        hedge_win_rate,
+        faults.demotions
+    ));
     entry.push_str("    \"per_disk\": [");
     for (i, (a, b)) in after.iter().zip(&before).enumerate() {
         entry.push_str(&format!(
@@ -583,6 +657,7 @@ fn main() {
         "fail" => fail_disk(&dir, parse(&mut args, "fail DISK")),
         "rebuild" => rebuild(&dir, args),
         "verify" => verify(&dir, args),
+        "scrub" => scrub(&dir),
         other => usage(&format!("unknown subcommand {other}")),
     }
 }

@@ -10,8 +10,44 @@ use std::path::PathBuf;
 /// Alias for store results.
 pub type Result<T> = std::result::Result<T, StoreError>;
 
+/// What class of media fault a sector-granular error reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MediaKind {
+    /// The device returned an I/O error (`EIO` class).
+    Eio,
+    /// The device returned fewer bytes than requested (short read or
+    /// torn write surfaced as `UnexpectedEof`).
+    ShortIo,
+    /// The bytes read back failed per-unit checksum verification.
+    Checksum,
+}
+
+impl fmt::Display for MediaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MediaKind::Eio => "I/O error",
+            MediaKind::ShortIo => "short I/O",
+            MediaKind::Checksum => "checksum mismatch",
+        })
+    }
+}
+
+impl MediaKind {
+    /// Classifies a raw backend error by its `io::ErrorKind` — the
+    /// backend boundary maps syscall failures onto media kinds so
+    /// callers never string-match messages or paths.
+    pub fn from_io(e: &io::Error) -> MediaKind {
+        match e.kind() {
+            io::ErrorKind::UnexpectedEof | io::ErrorKind::WriteZero => MediaKind::ShortIo,
+            _ => MediaKind::Eio,
+        }
+    }
+}
+
 /// Why a store operation failed.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum StoreError {
     /// A syscall on a backing file failed.
     Io {
@@ -54,6 +90,16 @@ pub enum StoreError {
         /// The first mismatching logical data unit.
         logical: u64,
     },
+    /// A sector-granular media fault that survived retry and could not
+    /// be repaired from parity (double fault, or repair disabled).
+    Media {
+        /// The disk the fault is on.
+        disk: u16,
+        /// The unit offset on that disk.
+        offset: u64,
+        /// What class of fault it was.
+        kind: MediaKind,
+    },
 }
 
 impl StoreError {
@@ -80,6 +126,16 @@ impl StoreError {
             reason: reason.into(),
         }
     }
+
+    /// A sector-granular media error for `disk` at unit `offset`,
+    /// classified from the raw backend error.
+    pub fn media(disk: u16, offset: u64, source: &io::Error) -> StoreError {
+        StoreError::Media {
+            disk,
+            offset,
+            kind: MediaKind::from_io(source),
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -99,6 +155,9 @@ impl fmt::Display for StoreError {
             }
             StoreError::VerifyFailed { logical } => {
                 write!(f, "content mismatch at logical unit {logical}")
+            }
+            StoreError::Media { disk, offset, kind } => {
+                write!(f, "media fault on disk {disk} unit {offset}: {kind}")
             }
         }
     }

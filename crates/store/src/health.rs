@@ -1,0 +1,372 @@
+//! Disk health accounting: fault counters, the per-disk error budget
+//! that drives auto-demotion, and the latency EWMA behind limping-disk
+//! detection.
+//!
+//! Every detection on the I/O path lands here exactly once, and every
+//! detection is resolved exactly once (a retry that succeeds, a
+//! read-repair, or an escalation to a typed error) — the invariant the
+//! torture harness audits against the backend's injection counters.
+//!
+//! Demotion is **deferred**: `record_fault` only flags the sick disk
+//! when its budget is exhausted, because the detecting thread is deep
+//! inside an I/O path holding a stripe lock, and demotion must take
+//! every stripe lock. The store applies the pending demotion at the
+//! next operation entry (no locks held), mirroring how `fail_disk`
+//! serializes against in-flight I/O.
+//!
+//! Limping detection keeps the hot path to one relaxed atomic load: a
+//! per-disk EWMA of read latency is folded on every read, and every
+//! [`LIMP_RECHECK_SAMPLES`] samples the flags are recomputed — a disk
+//! limps when its EWMA exceeds both an absolute floor (so local-FS
+//! jitter never trips it) and a multiple of the median of its peers.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+/// A disk limps when its read-latency EWMA exceeds this multiple of
+/// the median EWMA of all disks…
+const LIMP_FACTOR: f64 = 4.0;
+/// …and this absolute floor in microseconds.
+const LIMP_FLOOR_US: f64 = 500.0;
+/// Latency samples between limp-flag recomputations.
+const LIMP_RECHECK_SAMPLES: u64 = 64;
+/// EWMA smoothing: new = (1 − α)·old + α·sample.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// Sentinel for "no pending demotion" in the packed atomic.
+const NO_PENDING: u32 = u32::MAX;
+
+/// Snapshot of the store's cumulative fault-handling counters.
+///
+/// Detections split into media (`EIO`-class) and checksum errors;
+/// resolutions split into retry successes, repairs, and escalations —
+/// `media_errors + checksum_errors = retry_successes + repaired +
+/// escalated` once the store is quiescent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Unit reads that failed with a media (`EIO`/short-I/O) error.
+    pub media_errors: u64,
+    /// Unit reads whose contents failed checksum verification.
+    pub checksum_errors: u64,
+    /// Retry attempts issued after a media error.
+    pub retries: u64,
+    /// Detections resolved by a retry succeeding (transient fault).
+    pub retry_successes: u64,
+    /// Detections resolved by parity reconstruction + write-back.
+    pub repaired: u64,
+    /// Units read from peers while repairing.
+    pub repair_units_read: u64,
+    /// Corrected units written back by repair.
+    pub repair_units_written: u64,
+    /// Detections that could not be repaired (double fault) and
+    /// surfaced as a typed [`crate::StoreError::Media`].
+    pub escalated: u64,
+    /// Reads issued as a hedge race (limping primary vs reconstruction).
+    pub hedged_reads: u64,
+    /// Hedge races the reconstruction leg won.
+    pub hedge_wins: u64,
+    /// Disks auto-demoted to failed by the error-budget policy.
+    pub demotions: u64,
+}
+
+#[derive(Debug)]
+struct DiskHealth {
+    /// Faults charged against this disk's error budget.
+    faults: AtomicU64,
+    /// Read-latency EWMA in microseconds, stored as `f64` bits.
+    ewma_us: AtomicU64,
+    limping: AtomicBool,
+}
+
+/// Shared health state of one store: counters, budgets, EWMA.
+#[derive(Debug)]
+pub(crate) struct HealthMonitor {
+    disks: Vec<DiskHealth>,
+    /// Faults a disk may accumulate before demotion; `u64::MAX`
+    /// disables the policy.
+    budget: AtomicU64,
+    /// The disk awaiting demotion, or [`NO_PENDING`].
+    pending_demote: AtomicU32,
+    samples: AtomicU64,
+    media_errors: AtomicU64,
+    checksum_errors: AtomicU64,
+    retries: AtomicU64,
+    retry_successes: AtomicU64,
+    repaired: AtomicU64,
+    repair_units_read: AtomicU64,
+    repair_units_written: AtomicU64,
+    escalated: AtomicU64,
+    hedged_reads: AtomicU64,
+    hedge_wins: AtomicU64,
+    demotions: AtomicU64,
+}
+
+impl HealthMonitor {
+    pub fn new(disks: u16) -> HealthMonitor {
+        HealthMonitor {
+            disks: (0..disks)
+                .map(|_| DiskHealth {
+                    faults: AtomicU64::new(0),
+                    ewma_us: AtomicU64::new(0f64.to_bits()),
+                    limping: AtomicBool::new(false),
+                })
+                .collect(),
+            budget: AtomicU64::new(u64::MAX),
+            pending_demote: AtomicU32::new(NO_PENDING),
+            samples: AtomicU64::new(0),
+            media_errors: AtomicU64::new(0),
+            checksum_errors: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            retry_successes: AtomicU64::new(0),
+            repaired: AtomicU64::new(0),
+            repair_units_read: AtomicU64::new(0),
+            repair_units_written: AtomicU64::new(0),
+            escalated: AtomicU64::new(0),
+            hedged_reads: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
+        }
+    }
+
+    pub fn snapshot(&self) -> FaultCounters {
+        FaultCounters {
+            media_errors: self.media_errors.load(Ordering::Relaxed),
+            checksum_errors: self.checksum_errors.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            retry_successes: self.retry_successes.load(Ordering::Relaxed),
+            repaired: self.repaired.load(Ordering::Relaxed),
+            repair_units_read: self.repair_units_read.load(Ordering::Relaxed),
+            repair_units_written: self.repair_units_written.load(Ordering::Relaxed),
+            escalated: self.escalated.load(Ordering::Relaxed),
+            hedged_reads: self.hedged_reads.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+            demotions: self.demotions.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn note_media_error(&self) {
+        self.media_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn note_checksum_error(&self) {
+        self.checksum_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn note_retry_success(&self) {
+        self.retry_successes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn note_repair(&self, units_read: u64, units_written: u64) {
+        self.repaired.fetch_add(1, Ordering::Relaxed);
+        self.repair_units_read
+            .fetch_add(units_read, Ordering::Relaxed);
+        self.repair_units_written
+            .fetch_add(units_written, Ordering::Relaxed);
+    }
+
+    pub fn note_escalated(&self) {
+        self.escalated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn note_hedged_read(&self) {
+        self.hedged_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn note_hedge_win(&self) {
+        self.hedge_wins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn note_demotion(&self) {
+        self.demotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets the per-disk error budget (`u64::MAX` disables demotion).
+    pub fn set_budget(&self, budget: u64) {
+        self.budget.store(budget, Ordering::Relaxed);
+    }
+
+    /// Zeroes every disk's budget consumption (after a rebuild returns
+    /// the array to fault-free).
+    pub fn reset_disk_faults(&self) {
+        for d in &self.disks {
+            d.faults.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Faults charged against `disk` so far.
+    pub fn disk_faults(&self, disk: u16) -> u64 {
+        self.disks[disk as usize].faults.load(Ordering::Relaxed)
+    }
+
+    /// Charges one fault against `disk`; when the budget is newly
+    /// exhausted and no demotion is pending, flags `disk` for it.
+    pub fn record_fault(&self, disk: u16) {
+        let faults = self.disks[disk as usize]
+            .faults
+            .fetch_add(1, Ordering::Relaxed)
+            + 1;
+        if faults > self.budget.load(Ordering::Relaxed) {
+            let _ = self.pending_demote.compare_exchange(
+                NO_PENDING,
+                disk as u32,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// Whether a demotion is pending — a plain load, cheap enough for
+    /// every operation entry.
+    pub fn pending_demotion(&self) -> bool {
+        self.pending_demote.load(Ordering::Relaxed) != NO_PENDING
+    }
+
+    /// Takes the pending demotion, if any (clears the flag).
+    pub fn take_pending_demotion(&self) -> Option<u16> {
+        let disk = self.pending_demote.swap(NO_PENDING, Ordering::Relaxed);
+        (disk != NO_PENDING).then_some(disk as u16)
+    }
+
+    /// Folds one read-latency sample into `disk`'s EWMA and
+    /// periodically recomputes every limp flag.
+    pub fn record_read_latency(&self, disk: u16, micros: f64) {
+        let slot = &self.disks[disk as usize].ewma_us;
+        let old = f64::from_bits(slot.load(Ordering::Relaxed));
+        let new = if old == 0.0 {
+            micros
+        } else {
+            old * (1.0 - EWMA_ALPHA) + micros * EWMA_ALPHA
+        };
+        slot.store(new.to_bits(), Ordering::Relaxed);
+        let n = self.samples.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(LIMP_RECHECK_SAMPLES) {
+            self.recompute_limping();
+        }
+    }
+
+    /// `disk`'s read-latency EWMA in microseconds.
+    pub fn ewma_us(&self, disk: u16) -> f64 {
+        f64::from_bits(self.disks[disk as usize].ewma_us.load(Ordering::Relaxed))
+    }
+
+    /// Whether `disk` is currently flagged as limping.
+    pub fn limping(&self, disk: u16) -> bool {
+        self.disks[disk as usize].limping.load(Ordering::Relaxed)
+    }
+
+    fn recompute_limping(&self) {
+        let mut ewmas: Vec<f64> = self
+            .disks
+            .iter()
+            .map(|d| f64::from_bits(d.ewma_us.load(Ordering::Relaxed)))
+            .collect();
+        ewmas.sort_by(|a, b| a.total_cmp(b));
+        let median = ewmas[ewmas.len() / 2];
+        for d in &self.disks {
+            let ewma = f64::from_bits(d.ewma_us.load(Ordering::Relaxed));
+            let limping = ewma > LIMP_FLOOR_US && ewma > median * LIMP_FACTOR;
+            d.limping.store(limping, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_exhaustion_flags_exactly_one_pending_demotion() {
+        let h = HealthMonitor::new(5);
+        h.set_budget(3);
+        for _ in 0..3 {
+            h.record_fault(2);
+        }
+        assert_eq!(h.take_pending_demotion(), None, "budget not yet exceeded");
+        h.record_fault(2);
+        // A second sick disk cannot displace the first pending flag.
+        for _ in 0..10 {
+            h.record_fault(4);
+        }
+        assert_eq!(h.take_pending_demotion(), Some(2));
+        assert_eq!(h.take_pending_demotion(), None, "take clears the flag");
+        assert_eq!(h.disk_faults(2), 4);
+        h.reset_disk_faults();
+        assert_eq!(h.disk_faults(2), 0);
+    }
+
+    #[test]
+    fn unlimited_budget_never_demotes() {
+        let h = HealthMonitor::new(3);
+        for _ in 0..100_000 {
+            h.record_fault(1);
+        }
+        assert_eq!(h.take_pending_demotion(), None);
+    }
+
+    #[test]
+    fn slow_outlier_limps_fast_peers_do_not() {
+        let h = HealthMonitor::new(4);
+        // 4 × LIMP_RECHECK_SAMPLES samples: three fast disks, one slow.
+        for _ in 0..LIMP_RECHECK_SAMPLES {
+            for d in 0..3 {
+                h.record_read_latency(d, 20.0);
+            }
+            h.record_read_latency(3, 5_000.0);
+        }
+        assert!(h.limping(3), "5 ms vs 20 µs peers must limp");
+        for d in 0..3 {
+            assert!(!h.limping(d), "disk {d} is healthy");
+        }
+        // Uniformly slow disks do not limp: no outlier vs the median.
+        let h = HealthMonitor::new(4);
+        for _ in 0..2 * LIMP_RECHECK_SAMPLES {
+            for d in 0..4 {
+                h.record_read_latency(d, 5_000.0);
+            }
+        }
+        for d in 0..4 {
+            assert!(!h.limping(d), "uniform slowness is not limping");
+        }
+    }
+
+    #[test]
+    fn fast_disks_never_trip_the_floor() {
+        let h = HealthMonitor::new(2);
+        // One disk 20× slower than the other, but both far under the
+        // absolute floor: local-FS jitter, not a limp.
+        for _ in 0..4 * LIMP_RECHECK_SAMPLES {
+            h.record_read_latency(0, 2.0);
+            h.record_read_latency(1, 40.0);
+        }
+        assert!(!h.limping(0) && !h.limping(1));
+    }
+
+    #[test]
+    fn counters_accumulate_into_the_snapshot() {
+        let h = HealthMonitor::new(2);
+        h.note_media_error();
+        h.note_checksum_error();
+        h.note_retry();
+        h.note_retry_success();
+        h.note_repair(3, 1);
+        h.note_escalated();
+        h.note_hedged_read();
+        h.note_hedge_win();
+        h.note_demotion();
+        let c = h.snapshot();
+        assert_eq!(c.media_errors, 1);
+        assert_eq!(c.checksum_errors, 1);
+        assert_eq!(c.retries, 1);
+        assert_eq!(c.retry_successes, 1);
+        assert_eq!(c.repaired, 1);
+        assert_eq!(c.repair_units_read, 3);
+        assert_eq!(c.repair_units_written, 1);
+        assert_eq!(c.escalated, 1);
+        assert_eq!(c.hedged_reads, 1);
+        assert_eq!(c.hedge_wins, 1);
+        assert_eq!(c.demotions, 1);
+    }
+}

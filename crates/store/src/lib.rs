@@ -19,16 +19,25 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 mod bitmap;
 mod buffer;
+pub mod checksum;
 mod error;
+mod health;
 pub mod parity;
 mod pool;
+mod repair;
 mod store;
 mod superblock;
 
+pub use backend::{DiskBackend, FaultPlan, FaultyBackend, FileBackend, InjectedFaults};
 pub use bitmap::{default_region, IntentBitmap};
-pub use error::{Result, StoreError};
+pub use error::{MediaKind, Result, StoreError};
+pub use health::FaultCounters;
 pub use pool::StorePool;
-pub use store::{BlockStore, DiskCounters, RebuildReport};
-pub use superblock::{LayoutSpec, Superblock, BLOCK_BYTES, SUPERBLOCK_BYTES};
+pub use repair::ScrubReport;
+pub use store::{BackendFactory, BlockStore, DiskCounters, RebuildReport};
+pub use superblock::{
+    LayoutSpec, Superblock, BLOCK_BYTES, SUPERBLOCK_BYTES, VERSION, VERSION_NO_CHECKSUMS,
+};

@@ -34,20 +34,34 @@
 //! requests never touch the fault-state mutex — a `degraded` atomic,
 //! flipped only under the full lock table, gates the slow path.
 
+use crate::backend::{DiskBackend, FileBackend};
 use crate::bitmap::{default_region, IntentBitmap, SyncGate};
 use crate::buffer::BufferPool;
+use crate::checksum::{fingerprint64, region_bytes, ChecksumTable};
 use crate::error::{Result, StoreError};
+use crate::health::{FaultCounters, HealthMonitor};
 use crate::parity;
 use crate::pool::{lock, StorePool};
-use crate::superblock::{LayoutSpec, Superblock, BLOCK_BYTES, SUPERBLOCK_BYTES};
+use crate::superblock::{
+    LayoutSpec, Superblock, BLOCK_BYTES, SUPERBLOCK_BYTES, VERSION, VERSION_NO_CHECKSUMS,
+};
 use decluster_array::{ConsistencyReport, RecoveryPolicy};
 use decluster_core::layout::{ArrayMapping, UnitAddr, UnitRole};
 use std::fs::OpenOptions;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Builds the [`DiskBackend`] for disk `index` over its freshly opened
+/// backing file — the seam where a test or torture harness slots a
+/// [`crate::FaultyBackend`] under the store.
+pub type BackendFactory<'a> = dyn Fn(u16, std::fs::File) -> Box<dyn DiskBackend> + Sync + 'a;
+
+fn file_backend(_index: u16, file: std::fs::File) -> Box<dyn DiskBackend> {
+    Box::new(FileBackend::new(file))
+}
 
 /// Upper bound on the stripe-lock table; stripes hash onto it by id.
 const MAX_STRIPE_LOCKS: u64 = 1024;
@@ -57,50 +71,71 @@ const MAX_STRIPE_LOCKS: u64 = 1024;
 /// disk run at most) while still amortizing submission sorting.
 const FULL_STRIPE_BATCH: u64 = 32;
 
-/// One disk's backing file, with cumulative unit-I/O counters — the
-/// observable that makes the paper's α = (G−1)/(C−1) rebuild read
-/// fraction measurable on real files.
+/// One disk's backing store (behind its [`DiskBackend`]), with
+/// cumulative unit-I/O counters — the observable that makes the
+/// paper's α = (G−1)/(C−1) rebuild read fraction measurable on real
+/// files — and the in-memory checksum table of its units.
 #[derive(Debug)]
-struct DiskFile {
+pub(crate) struct DiskFile {
+    pub(crate) index: u16,
     path: PathBuf,
-    file: std::fs::File,
+    backend: Box<dyn DiskBackend>,
+    /// Byte offset of the data area: superblock, then (v2) the
+    /// checksum region.
+    data_start: u64,
+    /// In-memory checksum table; `None` on v1 (pre-checksum) stores.
+    sums: Option<ChecksumTable>,
     reads: AtomicU64,
     writes: AtomicU64,
 }
 
 impl DiskFile {
-    fn open(path: PathBuf, create: bool) -> Result<DiskFile> {
-        let file = OpenOptions::new()
+    fn open_file(path: &Path, create: bool) -> Result<std::fs::File> {
+        OpenOptions::new()
             .read(true)
             .write(true)
             .create(create)
             .truncate(create)
-            .open(&path)
-            .map_err(|e| StoreError::io("open backing file", &path, e))?;
-        Ok(DiskFile {
-            path,
-            file,
-            reads: AtomicU64::new(0),
-            writes: AtomicU64::new(0),
-        })
+            .open(path)
+            .map_err(|e| StoreError::io("open backing file", path, e))
     }
 
-    /// Reads the stripe unit at `offset` (units, not bytes) into `buf`.
-    fn read_unit(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
-        let pos = SUPERBLOCK_BYTES + offset * buf.len() as u64;
-        self.file
-            .read_exact_at(buf, pos)
-            .map_err(|e| StoreError::io("read unit", &self.path, e))?;
+    /// Reads the stripe unit at `offset` (units, not bytes) into `buf`,
+    /// **without** checksum verification. A backend failure surfaces as
+    /// a sector-granular [`StoreError::Media`].
+    pub(crate) fn read_unit(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let pos = self.data_start + offset * buf.len() as u64;
+        self.backend
+            .read_at(buf, pos)
+            .map_err(|e| StoreError::media(self.index, offset, &e))?;
         self.reads.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Writes the stripe unit at `offset`.
-    fn write_unit(&self, offset: u64, data: &[u8]) -> Result<()> {
-        let pos = SUPERBLOCK_BYTES + offset * data.len() as u64;
-        self.file
-            .write_all_at(data, pos)
-            .map_err(|e| StoreError::io("write unit", &self.path, e))?;
+    /// Verifies `data` (the unit at `offset`, as just read) against the
+    /// checksum table. v1 stores have no table and always pass.
+    pub(crate) fn check_sum(&self, offset: u64, data: &[u8]) -> Result<()> {
+        if let Some(sums) = &self.sums {
+            if sums.get(offset) != fingerprint64(data) {
+                return Err(StoreError::Media {
+                    disk: self.index,
+                    offset,
+                    kind: crate::error::MediaKind::Checksum,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the stripe unit at `offset` and records its checksum.
+    pub(crate) fn write_unit(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let pos = self.data_start + offset * data.len() as u64;
+        self.backend
+            .write_at(data, pos)
+            .map_err(|e| StoreError::media(self.index, offset, &e))?;
+        if let Some(sums) = &self.sums {
+            sums.set(offset, fingerprint64(data));
+        }
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -110,25 +145,48 @@ impl DiskFile {
     /// full-stripe batch uses for adjacent units on one disk.
     fn write_units(&self, offset: u64, data: &[u8], unit_bytes: usize) -> Result<()> {
         debug_assert!(data.len().is_multiple_of(unit_bytes));
-        let pos = SUPERBLOCK_BYTES + offset * unit_bytes as u64;
-        self.file
-            .write_all_at(data, pos)
-            .map_err(|e| StoreError::io("write units", &self.path, e))?;
+        let pos = self.data_start + offset * unit_bytes as u64;
+        self.backend
+            .write_at(data, pos)
+            .map_err(|e| StoreError::media(self.index, offset, &e))?;
+        if let Some(sums) = &self.sums {
+            for (i, unit) in data.chunks_exact(unit_bytes).enumerate() {
+                sums.set(offset + i as u64, fingerprint64(unit));
+            }
+        }
         self.writes
             .fetch_add((data.len() / unit_bytes) as u64, Ordering::Relaxed);
         Ok(())
     }
 
+    /// Refreshes the checksum slot for `offset` from bytes known to be
+    /// on disk — crash recovery healing possibly-stale slots.
+    fn note_contents(&self, offset: u64, data: &[u8]) {
+        if let Some(sums) = &self.sums {
+            sums.set(offset, fingerprint64(data));
+        }
+    }
+
+    /// Persists the in-memory checksum table into the on-disk region.
+    fn persist_sums(&self) -> Result<()> {
+        if let Some(sums) = &self.sums {
+            self.backend
+                .write_at(&sums.encode(), SUPERBLOCK_BYTES)
+                .map_err(|e| StoreError::io("write checksum region", &self.path, e))?;
+        }
+        Ok(())
+    }
+
     fn write_superblock(&self, sb: &Superblock) -> Result<()> {
-        self.file
-            .write_all_at(&sb.encode(), 0)
-            .and_then(|()| self.file.sync_data())
+        self.backend
+            .write_at(&sb.encode(), 0)
+            .and_then(|()| self.backend.sync())
             .map_err(|e| StoreError::io("write superblock", &self.path, e))
     }
 
     fn sync(&self) -> Result<()> {
-        self.file
-            .sync_data()
+        self.backend
+            .sync()
             .map_err(|e| StoreError::io("sync backing file", &self.path, e))
     }
 }
@@ -136,7 +194,7 @@ impl DiskFile {
 /// The fault state, mirroring `DataArray`: a failed disk, and once a
 /// replacement is installed, the per-offset rebuilt map.
 #[derive(Debug, Default)]
-struct FaultState {
+pub(crate) struct FaultState {
     failed: Option<u16>,
     rebuilt: Option<Vec<bool>>,
 }
@@ -144,7 +202,7 @@ struct FaultState {
 impl FaultState {
     /// Whether `addr` is currently unreadable (failed and not yet
     /// rebuilt).
-    fn is_lost(&self, addr: UnitAddr) -> bool {
+    pub(crate) fn is_lost(&self, addr: UnitAddr) -> bool {
         match (self.failed, &self.rebuilt) {
             (Some(f), None) => addr.disk == f,
             (Some(f), Some(rebuilt)) => addr.disk == f && !rebuilt[addr.offset as usize],
@@ -225,20 +283,24 @@ struct RebuildChunk {
 #[derive(Debug)]
 pub struct BlockStore {
     dir: PathBuf,
-    mapping: ArrayMapping,
+    pub(crate) mapping: ArrayMapping,
     spec: LayoutSpec,
     array_id: u64,
-    unit_bytes: usize,
+    /// On-disk format version of the opened array; v1 stores (no
+    /// checksum region) are read-only.
+    version: u32,
+    pub(crate) unit_bytes: usize,
     blocks_per_unit: u64,
-    disks: Vec<DiskFile>,
+    pub(crate) disks: Vec<Arc<DiskFile>>,
     locks: Vec<Mutex<()>>,
-    state: Mutex<FaultState>,
+    pub(crate) state: Mutex<FaultState>,
     /// Mirrors `state.failed.is_some()`; flipped only with every stripe
     /// lock held, so I/O paths can skip the state mutex when fault-free.
     degraded: AtomicBool,
     intent: Mutex<IntentBitmap>,
     gate: SyncGate,
-    buffers: BufferPool,
+    pub(crate) buffers: BufferPool,
+    pub(crate) health: HealthMonitor,
 }
 
 fn disk_path(dir: &Path, disk: u16) -> PathBuf {
@@ -269,6 +331,30 @@ impl BlockStore {
         unit_bytes: u32,
         array_id: u64,
     ) -> Result<BlockStore> {
+        Self::create_with_backend(
+            dir,
+            spec,
+            units_per_disk,
+            unit_bytes,
+            array_id,
+            &file_backend,
+        )
+    }
+
+    /// As [`BlockStore::create`], but each disk's I/O goes through the
+    /// backend `factory` builds for it — the fault-injection seam.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BlockStore::create`].
+    pub fn create_with_backend(
+        dir: &Path,
+        spec: LayoutSpec,
+        units_per_disk: u64,
+        unit_bytes: u32,
+        array_id: u64,
+        factory: &BackendFactory<'_>,
+    ) -> Result<BlockStore> {
         if unit_bytes == 0 || !unit_bytes.is_multiple_of(BLOCK_BYTES) {
             return Err(StoreError::state(format!(
                 "unit size {unit_bytes} is not a multiple of {BLOCK_BYTES}"
@@ -282,14 +368,27 @@ impl BlockStore {
                 dir.display()
             )));
         }
-        let size = SUPERBLOCK_BYTES + units_per_disk * unit_bytes as u64;
+        let data_start = SUPERBLOCK_BYTES + region_bytes(units_per_disk);
+        let size = data_start + units_per_disk * unit_bytes as u64;
         let mut disks = Vec::with_capacity(spec.disks() as usize);
         for i in 0..spec.disks() {
-            let d = DiskFile::open(disk_path(dir, i), true)?;
-            d.file
+            let path = disk_path(dir, i);
+            let file = DiskFile::open_file(&path, true)?;
+            let backend = factory(i, file);
+            backend
                 .set_len(size)
-                .map_err(|e| StoreError::io("size backing file", &d.path, e))?;
+                .map_err(|e| StoreError::io("size backing file", &path, e))?;
+            let d = DiskFile {
+                index: i,
+                path,
+                backend,
+                data_start,
+                sums: Some(ChecksumTable::zeroed(units_per_disk, unit_bytes as usize)),
+                reads: AtomicU64::new(0),
+                writes: AtomicU64::new(0),
+            };
             d.write_superblock(&Superblock {
+                version: VERSION,
                 spec,
                 unit_bytes,
                 units_per_disk,
@@ -298,12 +397,13 @@ impl BlockStore {
                 clean: false,
                 failed_disk: None,
             })?;
-            disks.push(d);
+            d.persist_sums()?;
+            disks.push(Arc::new(d));
         }
         let stripes = mapping.stripes();
         let intent = IntentBitmap::create(&bitmap_path(dir), stripes, default_region(stripes))?;
         Self::assemble(
-            dir, mapping, spec, array_id, unit_bytes, disks, intent, None,
+            dir, mapping, spec, array_id, VERSION, unit_bytes, disks, intent, None,
         )
     }
 
@@ -333,7 +433,29 @@ impl BlockStore {
         dir: &Path,
         policy: RecoveryPolicy,
     ) -> Result<(BlockStore, Option<ConsistencyReport>)> {
+        Self::open_with_backend(dir, policy, &file_backend)
+    }
+
+    /// As [`BlockStore::open_with_recovery`], but each disk's I/O goes
+    /// through the backend `factory` builds for it.
+    ///
+    /// A pre-checksum (v1) store opens **read-only**: reads work, every
+    /// mutating operation returns [`StoreError::Mismatch`] naming the
+    /// format gap, and crash recovery is skipped (it would have to
+    /// write).
+    ///
+    /// # Errors
+    ///
+    /// As for [`BlockStore::open_with_recovery`].
+    pub fn open_with_backend(
+        dir: &Path,
+        policy: RecoveryPolicy,
+        factory: &BackendFactory<'_>,
+    ) -> Result<(BlockStore, Option<ConsistencyReport>)> {
         // Collect every consecutive backing file and its decode result.
+        // The superblock scan uses plain file I/O: backends (and their
+        // injected faults) only come into play once the array's
+        // identity is known.
         let mut decoded: Vec<(PathBuf, Result<Superblock>)> = Vec::new();
         loop {
             let path = disk_path(dir, decoded.len() as u16);
@@ -341,10 +463,9 @@ impl BlockStore {
                 break;
             }
             let mut buf = vec![0u8; SUPERBLOCK_BYTES as usize];
-            let res = DiskFile::open(path.clone(), false).and_then(|d| {
-                d.file
-                    .read_exact_at(&mut buf, 0)
-                    .map_err(|e| StoreError::io("read superblock", &d.path, e))?;
+            let res = DiskFile::open_file(&path, false).and_then(|f| {
+                f.read_exact_at(&mut buf, 0)
+                    .map_err(|e| StoreError::io("read superblock", &path, e))?;
                 Superblock::decode(&buf, &path)
             });
             decoded.push((path, res));
@@ -405,9 +526,39 @@ impl BlockStore {
             }
         }
         let mapping = ArrayMapping::new(reference.spec.build()?, reference.units_per_disk)?;
+        let data_start = reference.data_start();
+        let with_sums = reference.version >= VERSION;
+        let units = reference.units_per_disk;
         let disks = decoded
             .into_iter()
-            .map(|(path, _)| DiskFile::open(path, false))
+            .enumerate()
+            .map(|(i, (path, _))| -> Result<Arc<DiskFile>> {
+                let file = DiskFile::open_file(&path, false)?;
+                let backend = factory(i as u16, file);
+                let sums = if !with_sums {
+                    None
+                } else if failed == Some(i as u16) {
+                    // The failed disk's region is gone with its medium;
+                    // nothing reads it until a replacement is installed
+                    // (which resets the table to the zeroed state).
+                    Some(ChecksumTable::zeroed(units, reference.unit_bytes as usize))
+                } else {
+                    let mut region = vec![0u8; region_bytes(units) as usize];
+                    backend
+                        .read_at(&mut region, SUPERBLOCK_BYTES)
+                        .map_err(|e| StoreError::io("read checksum region", &path, e))?;
+                    Some(ChecksumTable::decode(&region, units))
+                };
+                Ok(Arc::new(DiskFile {
+                    index: i as u16,
+                    path,
+                    backend,
+                    data_start,
+                    sums,
+                    reads: AtomicU64::new(0),
+                    writes: AtomicU64::new(0),
+                }))
+            })
             .collect::<Result<Vec<_>>>()?;
         let intent = IntentBitmap::open(&bitmap_path(dir), mapping.stripes())?;
         let store = Self::assemble(
@@ -415,18 +566,21 @@ impl BlockStore {
             mapping,
             reference.spec,
             reference.array_id,
+            reference.version,
             reference.unit_bytes,
             disks,
             intent,
             failed,
         )?;
-        let report = if clean {
+        let report = if clean || store.read_only() {
             None
         } else {
             Some(store.recover(policy)?)
         };
-        // Mark open: a crash from here on must trigger recovery again.
-        store.write_superblocks(false)?;
+        if !store.read_only() {
+            // Mark open: a crash from here on must trigger recovery again.
+            store.write_superblocks(false)?;
+        }
         Ok((store, report))
     }
 
@@ -436,13 +590,15 @@ impl BlockStore {
         mapping: ArrayMapping,
         spec: LayoutSpec,
         array_id: u64,
+        version: u32,
         unit_bytes: u32,
-        disks: Vec<DiskFile>,
+        disks: Vec<Arc<DiskFile>>,
         intent: IntentBitmap,
         failed: Option<u16>,
     ) -> Result<BlockStore> {
         let lock_count = mapping.stripes().clamp(1, MAX_STRIPE_LOCKS);
         let gate = SyncGate::new(intent.try_clone_file()?, bitmap_path(dir));
+        let disk_count = disks.len() as u16;
         Ok(BlockStore {
             dir: dir.to_path_buf(),
             blocks_per_unit: (unit_bytes / BLOCK_BYTES) as u64,
@@ -451,6 +607,7 @@ impl BlockStore {
             mapping,
             spec,
             array_id,
+            version,
             disks,
             locks: (0..lock_count).map(|_| Mutex::new(())).collect(),
             state: Mutex::new(FaultState {
@@ -460,6 +617,7 @@ impl BlockStore {
             degraded: AtomicBool::new(failed.is_some()),
             intent: Mutex::new(intent),
             gate,
+            health: HealthMonitor::new(disk_count),
         })
     }
 
@@ -473,11 +631,32 @@ impl BlockStore {
     ///
     /// Returns the first flush or superblock write that fails.
     pub fn close(self) -> Result<()> {
+        if self.read_only() {
+            return Ok(());
+        }
+        self.persist_all_sums()?;
         lock(&self.intent).clear_all()?;
         for d in &self.disks {
             d.sync()?;
         }
         self.write_superblocks(true)
+    }
+
+    /// Writes every live disk's in-memory checksum table back into its
+    /// on-disk region. The failed disk is skipped until a replacement
+    /// is installed.
+    pub(crate) fn persist_all_sums(&self) -> Result<()> {
+        let (failed, skip_failed) = {
+            let st = lock(&self.state);
+            (st.failed, st.failed.is_some() && st.rebuilt.is_none())
+        };
+        for d in &self.disks {
+            if skip_failed && failed == Some(d.index) {
+                continue;
+            }
+            d.persist_sums()?;
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -519,6 +698,84 @@ impl BlockStore {
         lock(&self.state).failed
     }
 
+    /// Whether the store is read-only (opened from the pre-checksum v1
+    /// format).
+    pub fn read_only(&self) -> bool {
+        self.version == VERSION_NO_CHECKSUMS
+    }
+
+    /// Cumulative fault-handling counters: detections, retries,
+    /// repairs, escalations, hedged reads, demotions.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.health.snapshot()
+    }
+
+    /// Faults (media errors and checksum mismatches) charged against
+    /// `disk`'s error budget since the last rebuild reset.
+    pub fn disk_faults(&self, disk: u16) -> u64 {
+        self.health.disk_faults(disk)
+    }
+
+    /// The EWMA read-latency estimate for `disk`, in microseconds
+    /// (zero until the disk has served a read).
+    pub fn disk_read_ewma_us(&self, disk: u16) -> f64 {
+        self.health.ewma_us(disk)
+    }
+
+    /// Sets the per-disk error budget: once more than `budget` faults
+    /// are charged to one disk, it is auto-demoted to failed at the
+    /// next operation boundary (and an online rebuild can bring the
+    /// array back). `u64::MAX` — the default — disables the policy.
+    pub fn set_error_budget(&self, budget: u64) {
+        self.health.set_budget(budget);
+    }
+
+    pub(crate) fn check_writable(&self) -> Result<()> {
+        if self.read_only() {
+            return Err(StoreError::Mismatch {
+                reason: format!(
+                    "store format v{VERSION_NO_CHECKSUMS} predates per-unit checksums \
+                     (current is v{VERSION}); opened read-only — migrate by copying \
+                     into a freshly created store"
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies a pending error-budget demotion, if one is flagged: the
+    /// sick disk becomes the failed disk — its data is left in place
+    /// but no longer trusted — and the surviving superblocks record the
+    /// degradation. Called automatically at operation boundaries; safe
+    /// to call directly. Returns the demoted disk.
+    ///
+    /// # Errors
+    ///
+    /// Fails if recording the degradation in the superblocks fails.
+    pub fn apply_pending_demotion(&self) -> Result<Option<u16>> {
+        if !self.health.pending_demotion() || self.read_only() {
+            return Ok(None);
+        }
+        let Some(disk) = self.health.take_pending_demotion() else {
+            return Ok(None);
+        };
+        let _guards = self.lock_all_stripes();
+        {
+            let mut st = lock(&self.state);
+            if st.failed.is_some() {
+                // Already degraded (maybe by an operator fail_disk that
+                // raced us): drop the flag rather than double-fault.
+                return Ok(None);
+            }
+            st.failed = Some(disk);
+            st.rebuilt = None;
+            self.degraded.store(true, Ordering::Release);
+        }
+        self.health.note_demotion();
+        self.write_superblocks(false)?;
+        Ok(Some(disk))
+    }
+
     /// Cumulative per-disk unit-I/O counters since open.
     pub fn io_counters(&self) -> Vec<DiskCounters> {
         self.disks
@@ -546,7 +803,7 @@ impl BlockStore {
         self.mapping.stripe_width() as u64 - 1
     }
 
-    fn is_degraded(&self) -> bool {
+    pub(crate) fn is_degraded(&self) -> bool {
         self.degraded.load(Ordering::Acquire)
     }
 
@@ -600,6 +857,8 @@ impl BlockStore {
     ///
     /// As for [`BlockStore::read_blocks`].
     pub fn write_blocks(&self, block: u64, data: &[u8]) -> Result<()> {
+        self.check_writable()?;
+        self.apply_pending_demotion()?;
         self.check_extent(block, data.len())?;
         if data.is_empty() {
             return Ok(());
@@ -755,22 +1014,26 @@ impl BlockStore {
                 self.data_units()
             )));
         }
+        self.apply_pending_demotion()?;
         let (stripe, index) = self.mapping.logical_to_stripe(logical);
         let _guard = self.lock_stripe(stripe);
         if !self.is_degraded() {
             let addr = self.mapping.logical_to_addr(logical);
-            return self.disks[addr.disk as usize].read_unit(addr.offset, out);
+            if self.health.limping(addr.disk) {
+                return self.read_unit_hedged(stripe, addr, out);
+            }
+            return self.read_unit_verified(addr, out);
         }
         let units = self.mapping.stripe_units(stripe);
         let addr = units[index as usize];
         let lost = lock(&self.state).is_lost(addr);
         if !lost {
-            return self.disks[addr.disk as usize].read_unit(addr.offset, out);
+            return self.read_unit_verified(addr, out);
         }
         out.fill(0);
         let mut tmp = self.buffers.get();
         for u in units.iter().filter(|u| u.disk != addr.disk) {
-            self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
+            self.read_unit_verified(*u, &mut tmp)?;
             parity::xor_into(out, &tmp);
         }
         Ok(())
@@ -782,6 +1045,8 @@ impl BlockStore {
     ///
     /// As for [`BlockStore::read_unit`].
     pub fn write_unit(&self, logical: u64, data: &[u8]) -> Result<()> {
+        self.check_writable()?;
+        self.apply_pending_demotion()?;
         if data.len() != self.unit_bytes {
             return Err(StoreError::state(format!(
                 "unit write is {} bytes, unit is {}",
@@ -821,7 +1086,7 @@ impl BlockStore {
         Ok(())
     }
 
-    fn lock_stripe(&self, stripe: u64) -> MutexGuard<'_, ()> {
+    pub(crate) fn lock_stripe(&self, stripe: u64) -> MutexGuard<'_, ()> {
         lock(&self.locks[(stripe % self.locks.len() as u64) as usize])
     }
 
@@ -852,9 +1117,12 @@ impl BlockStore {
         };
 
         if !data_lost && !parity_lost {
-            // Read-modify-write: parity ^= old ^ new.
+            // Read-modify-write: parity ^= old ^ new. Old-image and
+            // parity reads are verified — a media error or checksum
+            // mismatch is retried, then repaired from parity, before
+            // the cycle proceeds on trusted bytes.
             let mut old = self.buffers.get();
-            self.disks[addr.disk as usize].read_unit(addr.offset, &mut old)?;
+            self.read_unit_verified(addr, &mut old)?;
             let splice_buf;
             let image: &[u8] = match new {
                 NewData::Full(bytes) => bytes,
@@ -868,26 +1136,29 @@ impl BlockStore {
             };
             self.disks[addr.disk as usize].write_unit(addr.offset, image)?;
             let mut pbuf = self.buffers.get();
-            self.disks[parity_u.disk as usize].read_unit(parity_u.offset, &mut pbuf)?;
+            self.read_unit_verified(parity_u, &mut pbuf)?;
             parity::xor_delta(&mut pbuf, &old, image);
             self.disks[parity_u.disk as usize].write_unit(parity_u.offset, &pbuf)?;
             return Ok(());
         }
 
         // Degraded: splices first need the old image, reconstructed
-        // from the survivors when the data unit itself is lost.
+        // from the survivors when the data unit itself is lost. A
+        // media fault on a survivor here is a double fault: the
+        // verified read escalates it as a typed error rather than
+        // letting wrong bytes into the stripe.
         let splice_buf;
         let image: &[u8] = match new {
             NewData::Full(bytes) => bytes,
             NewData::Splice { at, bytes } => {
                 let mut b = self.buffers.get();
                 if !data_lost {
-                    self.disks[addr.disk as usize].read_unit(addr.offset, &mut b)?;
+                    self.read_unit_verified(addr, &mut b)?;
                 } else {
                     b.fill(0);
                     let mut tmp = self.buffers.get();
                     for u in units.iter().filter(|u| u.disk != addr.disk) {
-                        self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
+                        self.read_unit_verified(*u, &mut tmp)?;
                         parity::xor_into(&mut b, &tmp);
                     }
                 }
@@ -907,7 +1178,7 @@ impl BlockStore {
             let mut tmp = self.buffers.get();
             for (i, u) in units[..units.len() - 1].iter().enumerate() {
                 if i != index as usize {
-                    self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
+                    self.read_unit_verified(*u, &mut tmp)?;
                     parity::xor_into(&mut acc, &tmp);
                 }
             }
@@ -937,6 +1208,7 @@ impl BlockStore {
     /// Fails if a disk is already down, `disk` is out of range, or a
     /// file operation fails.
     pub fn fail_disk(&self, disk: u16) -> Result<()> {
+        self.check_writable()?;
         if disk >= self.mapping.disks() {
             return Err(StoreError::state(format!("disk {disk} out of range")));
         }
@@ -953,18 +1225,24 @@ impl BlockStore {
         // Losing the medium: scramble the whole file so nothing can
         // accidentally read stale data through a bug.
         let d = &self.disks[disk as usize];
-        let size = SUPERBLOCK_BYTES + self.mapping.units_per_disk() * self.unit_bytes as u64;
+        let size = self.disk_size();
         let chunk = vec![0xDBu8; (1 << 20).min(size) as usize];
         let mut pos = 0;
         while pos < size {
             let n = chunk.len().min((size - pos) as usize);
-            d.file
-                .write_all_at(&chunk[..n], pos)
+            d.backend
+                .write_at(&chunk[..n], pos)
                 .map_err(|e| StoreError::io("scramble failed disk", &d.path, e))?;
             pos += n as u64;
         }
         d.sync()?;
         self.write_superblocks(false)
+    }
+
+    /// Total bytes of one backing file: superblock, checksum region,
+    /// data area.
+    fn disk_size(&self) -> u64 {
+        self.disks[0].data_start + self.mapping.units_per_disk() * self.unit_bytes as u64
     }
 
     /// Installs a blank replacement for the failed disk: the backing
@@ -976,6 +1254,7 @@ impl BlockStore {
     /// Fails if no disk is down, a replacement is already installed, or
     /// a file operation fails.
     pub fn replace_disk(&self) -> Result<()> {
+        self.check_writable()?;
         let _guards = self.lock_all_stripes();
         let mut st = lock(&self.state);
         let Some(f) = st.failed else {
@@ -987,12 +1266,16 @@ impl BlockStore {
             ));
         }
         let d = &self.disks[f as usize];
-        let size = SUPERBLOCK_BYTES + self.mapping.units_per_disk() * self.unit_bytes as u64;
-        d.file
+        let size = self.disk_size();
+        d.backend
             .set_len(0)
-            .and_then(|()| d.file.set_len(size))
+            .and_then(|()| d.backend.set_len(size))
             .map_err(|e| StoreError::io("zero replacement disk", &d.path, e))?;
+        if let Some(sums) = &d.sums {
+            sums.reset_zeroed(self.unit_bytes);
+        }
         d.write_superblock(&Superblock {
+            version: self.version,
             spec: self.spec,
             unit_bytes: self.unit_bytes as u32,
             units_per_disk: self.mapping.units_per_disk(),
@@ -1001,6 +1284,7 @@ impl BlockStore {
             clean: false,
             failed_disk: Some(f),
         })?;
+        d.persist_sums()?;
         st.rebuilt = Some(vec![false; self.mapping.units_per_disk() as usize]);
         Ok(())
     }
@@ -1017,6 +1301,7 @@ impl BlockStore {
     ///
     /// Fails if no replacement is installed or any disk I/O fails.
     pub fn rebuild(&self, threads: usize) -> Result<RebuildReport> {
+        self.check_writable()?;
         let failed = {
             let st = lock(&self.state);
             let Some(f) = st.failed else {
@@ -1056,8 +1341,16 @@ impl BlockStore {
             st.rebuilt = None;
             self.degraded.store(false, Ordering::Release);
         }
+        // Persist the rebuilt disk's checksum region before declaring
+        // the array fault-free: a crash between the two must not leave
+        // the replacement's on-disk slots at their formatted state.
+        self.disks[failed as usize].persist_sums()?;
         self.disks[failed as usize].sync()?;
         self.write_superblocks(false)?;
+        // The rebuild returned the array to fault-free: the sick disk's
+        // budget (and any stale demotion flag) resets with it.
+        self.health.reset_disk_faults();
+        let _ = self.health.take_pending_demotion();
         let after = self.io_counters();
         Ok(RebuildReport {
             failed_disk: failed,
@@ -1104,7 +1397,10 @@ impl BlockStore {
             acc.fill(0);
             let units = self.mapping.stripe_units(stripe);
             for u in units.iter().filter(|u| u.disk != failed) {
-                self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
+                // Verified: a sick survivor would silently corrupt the
+                // reconstruction; with the stripe's redundancy already
+                // spent, a survivor fault escalates as a typed error.
+                self.read_unit_verified(*u, &mut tmp)?;
                 parity::xor_into(&mut acc, &tmp);
             }
             self.disks[failed as usize].write_unit(offset, &acc)?;
@@ -1159,6 +1455,7 @@ impl BlockStore {
     /// Fails if the stripe is unmapped, its parity unit is lost, or the
     /// I/O fails.
     pub fn scramble_parity(&self, stripe: u64) -> Result<()> {
+        self.check_writable()?;
         let parity = self.live_parity(stripe)?;
         let _guard = self.lock_stripe(stripe);
         let mut buf = self.buffers.get();
@@ -1176,6 +1473,7 @@ impl BlockStore {
     ///
     /// As for [`BlockStore::scramble_parity`].
     pub fn recompute_parity(&self, stripe: u64) -> Result<()> {
+        self.check_writable()?;
         let parity = self.live_parity(stripe)?;
         let _guard = self.lock_stripe(stripe);
         let units = self.mapping.stripe_units(stripe);
@@ -1235,16 +1533,31 @@ impl BlockStore {
             report.stripes_checked += 1;
             let units = self.mapping.stripe_units(stripe);
             if failed.is_some_and(|f| units.iter().any(|u| u.disk == f)) {
+                // With a member missing, parity is the only copy of the
+                // lost data and must not be "repaired" — but the
+                // survivors' checksum slots may be stale (the crash
+                // interrupted writes here), so heal those from the
+                // bytes actually on disk.
+                for u in units.iter().filter(|u| Some(u.disk) != failed) {
+                    self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
+                    self.disks[u.disk as usize].note_contents(u.offset, &tmp);
+                    report.resync_units_read += 1;
+                }
                 continue;
             }
             let parity = units[units.len() - 1];
             acc.fill(0);
             for u in &units[..units.len() - 1] {
                 self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
+                // The slots of every unit in a dirty region may be
+                // stale (in-memory tables died with the crash):
+                // recompute them from the on-disk bytes.
+                self.disks[u.disk as usize].note_contents(u.offset, &tmp);
                 parity::xor_into(&mut acc, &tmp);
                 report.resync_units_read += 1;
             }
             self.disks[parity.disk as usize].read_unit(parity.offset, &mut tmp)?;
+            self.disks[parity.disk as usize].note_contents(parity.offset, &tmp);
             report.resync_units_read += 1;
             if *acc != *tmp {
                 report.torn_found += 1;
@@ -1253,6 +1566,9 @@ impl BlockStore {
                 report.torn_repaired += 1;
             }
         }
+        // Persist the healed tables before dropping the dirty bits: a
+        // crash in between must re-run this heal, not trust stale slots.
+        self.persist_all_sums()?;
         lock(&self.intent).clear_all()?;
         report.recovery_secs = start.elapsed().as_secs_f64();
         Ok(report)
@@ -1271,6 +1587,7 @@ impl BlockStore {
                 continue;
             }
             d.write_superblock(&Superblock {
+                version: self.version,
                 spec: self.spec,
                 unit_bytes: self.unit_bytes as u32,
                 units_per_disk: self.mapping.units_per_disk(),
@@ -1383,9 +1700,12 @@ mod tests {
         for l in 0..store.data_units() {
             store.write_unit(l, &vec![(l as u8) ^ 0x33; 512]).unwrap();
         }
-        // Flush the lazily-set fill bits (as an idle store would), then
-        // simulate a crash inside one multi-stripe request: the range
-        // was staged once (one persist), then two of its stripes tore.
+        // Flush the lazily-set fill bits (as an idle store would —
+        // clearing intent bits implies the checksum region is persisted
+        // first, as close and recover both do), then simulate a crash
+        // inside one multi-stripe request: the range was staged once
+        // (one persist), then two of its stripes tore.
+        store.persist_all_sums().unwrap();
         lock(&store.intent).clear_all().unwrap();
         let (stripe_a, _) = store.mapping().logical_to_stripe(0);
         let (stripe_b, _) = store.mapping().logical_to_stripe(5);

@@ -27,7 +27,12 @@ pub const BLOCK_BYTES: u32 = 512;
 const NO_FAILED_DISK: u16 = u16::MAX;
 
 const MAGIC: &[u8; 8] = b"DCLSTOR1";
-const VERSION: u32 = 1;
+/// Current format: version 2 adds the per-disk checksum region between
+/// the superblock and the data area.
+pub const VERSION: u32 = 2;
+/// The pre-checksum-region format. Still decodes — the store opens such
+/// arrays read-only instead of rejecting them as corrupt.
+pub const VERSION_NO_CHECKSUMS: u32 = 1;
 /// Bytes covered by the checksum (everything before it).
 const CHECKED_BYTES: usize = 48;
 
@@ -128,6 +133,9 @@ impl LayoutSpec {
 /// One backing file's decoded superblock.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Superblock {
+    /// Format version this disk was written with ([`VERSION`] for new
+    /// stores; [`VERSION_NO_CHECKSUMS`] for pre-checksum arrays).
+    pub version: u32,
     /// Layout construction and parameters.
     pub spec: LayoutSpec,
     /// Bytes per stripe unit (a multiple of [`BLOCK_BYTES`]).
@@ -151,7 +159,7 @@ impl Superblock {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = vec![0u8; SUPERBLOCK_BYTES as usize];
         buf[0..8].copy_from_slice(MAGIC);
-        buf[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.version.to_le_bytes());
         buf[12..16].copy_from_slice(&BLOCK_BYTES.to_le_bytes());
         buf[16..20].copy_from_slice(&self.unit_bytes.to_le_bytes());
         buf[20..28].copy_from_slice(&self.units_per_disk.to_le_bytes());
@@ -183,7 +191,7 @@ impl Superblock {
             return Err(bad("bad magic".into()));
         }
         let version = le_u32(buf, 8);
-        if version != VERSION {
+        if version != VERSION && version != VERSION_NO_CHECKSUMS {
             return Err(bad(format!("unsupported version {version}")));
         }
         let stored = le_u64(buf, CHECKED_BYTES);
@@ -213,6 +221,7 @@ impl Superblock {
         let array_id = le_u64(buf, 36);
         let failed = le_u16(buf, 46);
         Ok(Superblock {
+            version,
             spec,
             unit_bytes,
             units_per_disk,
@@ -224,12 +233,25 @@ impl Superblock {
     }
 
     /// Whether `other` describes the same array (everything but the
-    /// per-disk index and run state).
+    /// per-disk index and run state). Format version is part of the
+    /// identity: a v1 disk cannot join a v2 array, because their data
+    /// areas start at different offsets.
     pub fn same_array(&self, other: &Superblock) -> bool {
-        self.spec == other.spec
+        self.version == other.version
+            && self.spec == other.spec
             && self.unit_bytes == other.unit_bytes
             && self.units_per_disk == other.units_per_disk
             && self.array_id == other.array_id
+    }
+
+    /// Byte offset where this disk's data area starts: the superblock,
+    /// then (v2 onward) the checksum region.
+    pub fn data_start(&self) -> u64 {
+        if self.version >= VERSION {
+            SUPERBLOCK_BYTES + crate::checksum::region_bytes(self.units_per_disk)
+        } else {
+            SUPERBLOCK_BYTES
+        }
     }
 }
 
@@ -264,6 +286,7 @@ mod tests {
 
     fn sb() -> Superblock {
         Superblock {
+            version: VERSION,
             spec: LayoutSpec::Declustered {
                 disks: 10,
                 group: 4,
@@ -310,6 +333,30 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("short"));
+    }
+
+    #[test]
+    fn v1_superblocks_still_decode_and_place_data_after_the_header() {
+        let mut old = sb();
+        old.version = VERSION_NO_CHECKSUMS;
+        let decoded = Superblock::decode(&old.encode(), &PathBuf::from("d")).unwrap();
+        assert_eq!(decoded.version, VERSION_NO_CHECKSUMS);
+        assert_eq!(decoded.data_start(), SUPERBLOCK_BYTES);
+        // v2 reserves the checksum region.
+        let new = sb();
+        assert_eq!(
+            new.data_start(),
+            SUPERBLOCK_BYTES + crate::checksum::region_bytes(new.units_per_disk)
+        );
+        // Versions do not mix within one array.
+        assert!(!new.same_array(&old));
+        // An unknown future version is rejected loudly.
+        let mut future = sb();
+        future.version = 99;
+        assert!(Superblock::decode(&future.encode(), &PathBuf::from("d"))
+            .unwrap_err()
+            .to_string()
+            .contains("unsupported version"));
     }
 
     #[test]

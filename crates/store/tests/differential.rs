@@ -165,7 +165,7 @@ fn full_stripe_requests_are_byte_identical() {
     let trace = Trace::record(&mut workload, SimTime::from_secs(30));
     assert!(trace.len() > 100, "trace too short to mean anything");
 
-    let mut replay_blocks = |store: &BlockStore, oracle: &mut DataArray, tag: u64| {
+    let replay_blocks = |store: &BlockStore, oracle: &mut DataArray, tag: u64| {
         let mut buf = vec![0u8; 2 * DATA_PER_STRIPE as usize * UNIT_BYTES];
         for (i, req) in trace.requests().iter().enumerate() {
             let span = req.units as usize * UNIT_BYTES;

@@ -1,0 +1,437 @@
+//! Hostile-disk survival: the store under a [`FaultyBackend`] must
+//! detect every injected fault (checksum or `EIO`), resolve each one
+//! as exactly one retry-success, read-repair, or typed escalation —
+//! never wrong bytes — and auto-demote a disk whose error budget runs
+//! out. Also covers the v1 (pre-checksum) forward-compat path and the
+//! torn-checksum-region crash hazard.
+
+use decluster_core::layout::ArrayMapping;
+use decluster_store::checksum::region_bytes;
+use decluster_store::{
+    default_region, BlockStore, DiskBackend, FaultPlan, FaultyBackend, FileBackend, IntentBitmap,
+    LayoutSpec, MediaKind, StoreError, Superblock, SUPERBLOCK_BYTES, VERSION_NO_CHECKSUMS,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const DISKS: u16 = 5;
+const SPEC: LayoutSpec = LayoutSpec::Complete { disks: 5, group: 4 };
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("decluster-store-hostile")
+        .join(format!("{name}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    dir
+}
+
+/// Deterministic unit contents keyed by address and generation.
+fn content(logical: u64, tag: u64, unit_bytes: usize) -> Vec<u8> {
+    (0..unit_bytes)
+        .map(|i| {
+            (logical
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(tag.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                .wrapping_add(i as u64)
+                >> 7) as u8
+        })
+        .collect()
+}
+
+/// Byte position of the unit at `offset` within its backing file.
+fn unit_pos(units_per_disk: u64, offset: u64, unit_bytes: usize) -> u64 {
+    SUPERBLOCK_BYTES + region_bytes(units_per_disk) + offset * unit_bytes as u64
+}
+
+/// A store whose every disk runs through a [`FaultyBackend`], plus the
+/// per-disk plans steering them. Injection is scoped to the data area.
+fn faulty_store(
+    name: &str,
+    units_per_disk: u64,
+    unit_bytes: usize,
+    seed: u64,
+) -> (BlockStore, Vec<Arc<FaultPlan>>) {
+    let dir = fresh_dir(name);
+    let plans: Vec<Arc<FaultPlan>> = (0..DISKS)
+        .map(|i| FaultPlan::new(seed.wrapping_add(i as u64).wrapping_mul(0x0101)))
+        .collect();
+    let data_start = SUPERBLOCK_BYTES + region_bytes(units_per_disk);
+    for p in &plans {
+        p.set_protect_below(data_start);
+    }
+    let factory = |i: u16, file: std::fs::File| -> Box<dyn DiskBackend> {
+        Box::new(FaultyBackend::new(
+            Box::new(FileBackend::new(file)),
+            Arc::clone(&plans[i as usize]),
+        ))
+    };
+    let store = BlockStore::create_with_backend(
+        &dir,
+        SPEC,
+        units_per_disk,
+        unit_bytes as u32,
+        0xBAD,
+        &factory,
+    )
+    .unwrap();
+    (store, plans)
+}
+
+fn fill(store: &BlockStore, unit_bytes: usize, tag: u64) {
+    for logical in 0..store.data_units() {
+        store
+            .write_unit(logical, &content(logical, tag, unit_bytes))
+            .unwrap();
+    }
+}
+
+fn assert_contents(store: &BlockStore, unit_bytes: usize, tag: u64, label: &str) {
+    let mut buf = vec![0u8; unit_bytes];
+    for logical in 0..store.data_units() {
+        store.read_unit(logical, &mut buf).unwrap();
+        assert_eq!(
+            buf,
+            content(logical, tag, unit_bytes),
+            "{label}: unit {logical} diverged"
+        );
+    }
+}
+
+#[test]
+fn silent_corruption_is_detected_and_read_repaired() {
+    const UNITS: u64 = 32;
+    const UB: usize = 1024;
+    let (store, plans) = faulty_store("read-repair", UNITS, UB, 0xC0);
+    fill(&store, UB, 0);
+
+    // Arm a one-shot bit flip under the next write of logical unit 7,
+    // then write it: the payload is mangled in flight, the checksum
+    // table remembers the intended bytes.
+    let addr = store.mapping().logical_to_addr(7);
+    plans[addr.disk as usize].arm_corruption(unit_pos(UNITS, addr.offset, UB));
+    let intended = content(7, 99, UB);
+    store.write_unit(7, &intended).unwrap();
+    assert_eq!(plans[addr.disk as usize].injected().corruptions, 1);
+
+    // The read detects the mismatch, reconstructs from parity, writes
+    // the corrected unit back, and returns the intended bytes.
+    let mut buf = vec![0u8; UB];
+    store.read_unit(7, &mut buf).unwrap();
+    assert_eq!(buf, intended, "read-repair returned wrong bytes");
+    let c = store.fault_counters();
+    assert_eq!(c.checksum_errors, 1);
+    assert_eq!(c.repaired, 1);
+    assert_eq!(c.escalated, 0);
+    assert!(
+        c.repair_units_read >= 3,
+        "repair should read the stripe peers"
+    );
+
+    // The repair wrote the fix back: a second read is clean.
+    store.read_unit(7, &mut buf).unwrap();
+    assert_eq!(buf, intended);
+    assert_eq!(store.fault_counters().checksum_errors, 1);
+    store.verify_parity().unwrap();
+    store.close().unwrap();
+}
+
+#[test]
+fn transient_eio_accounting_balances_retries_against_injections() {
+    const UNITS: u64 = 32;
+    const UB: usize = 1024;
+    let (store, plans) = faulty_store("transient", UNITS, UB, 0x7E57);
+    fill(&store, UB, 1);
+    for p in &plans {
+        p.set_transient_read_eio(0.05);
+    }
+    let mut buf = vec![0u8; UB];
+    for pass in 0..3 {
+        for logical in 0..store.data_units() {
+            store.read_unit(logical, &mut buf).unwrap();
+            assert_eq!(buf, content(logical, 1, UB), "pass {pass} unit {logical}");
+        }
+    }
+    for p in &plans {
+        p.quiesce();
+    }
+    let injected: u64 = plans.iter().map(|p| p.injected().transient_eio).sum();
+    assert!(injected > 0, "campaign injected nothing; seed is useless");
+    let c = store.fault_counters();
+    // Every minted transient episode was detected exactly once and
+    // resolved by the bounded retry — nothing leaked to repair.
+    assert_eq!(c.media_errors, injected);
+    assert_eq!(c.retry_successes, injected);
+    assert_eq!(c.checksum_errors, 0);
+    assert_eq!(c.repaired, 0);
+    assert_eq!(c.escalated, 0);
+    store.close().unwrap();
+}
+
+#[test]
+fn degraded_survivor_media_error_escalates_typed_never_wrong_bytes() {
+    const UNITS: u64 = 32;
+    const UB: usize = 1024;
+    let (store, plans) = faulty_store("double-fault", UNITS, UB, 0xDF);
+    fill(&store, UB, 2);
+
+    // Stripe anatomy: lose the disk under one data unit, poison a
+    // surviving data unit of the same stripe with a persistent bad
+    // sector. The stripe is now past its redundancy.
+    let stripe = store.mapping().stripe_by_seq(0);
+    let data_units: Vec<_> = store
+        .mapping()
+        .stripe_units(stripe)
+        .into_iter()
+        .filter(|u| !store.mapping().role_at(u.disk, u.offset).is_parity())
+        .collect();
+    let lost = data_units[0];
+    let poisoned = data_units[1];
+    let lost_logical = store.mapping().addr_to_logical(lost).unwrap();
+    let poisoned_logical = store.mapping().addr_to_logical(poisoned).unwrap();
+    store.fail_disk(lost.disk).unwrap();
+    plans[poisoned.disk as usize].add_bad_sector(unit_pos(UNITS, poisoned.offset, UB));
+
+    // Writing the lost unit needs every survivor to fold the new
+    // parity; the poisoned read must surface as a typed media error,
+    // not as silently wrong parity.
+    let err = store
+        .write_unit(lost_logical, &content(lost_logical, 77, UB))
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            StoreError::Media {
+                kind: MediaKind::Eio,
+                ..
+            }
+        ),
+        "expected a typed media escalation, got: {err}"
+    );
+
+    // Reading the poisoned unit itself: retries fail, and repair is
+    // impossible with a stripe member already lost — typed error.
+    let mut buf = vec![0u8; UB];
+    let err = store.read_unit(poisoned_logical, &mut buf).unwrap_err();
+    assert!(matches!(err, StoreError::Media { .. }), "got: {err}");
+    let c = store.fault_counters();
+    assert!(c.escalated >= 2, "both double faults must escalate");
+    assert_eq!(c.repaired, 0);
+
+    // Units outside the damaged stripe still read clean, including
+    // degraded reconstructions of the failed disk.
+    for logical in 0..store.data_units() {
+        if logical == lost_logical || logical == poisoned_logical {
+            continue;
+        }
+        store.read_unit(logical, &mut buf).unwrap();
+        assert_eq!(buf, content(logical, 2, UB), "unit {logical} diverged");
+    }
+}
+
+#[test]
+fn error_budget_demotes_the_sick_disk_and_rebuild_recovers() {
+    const UNITS: u64 = 32;
+    const UB: usize = 1024;
+    let (store, plans) = faulty_store("demotion", UNITS, UB, 0xB0D);
+    fill(&store, UB, 3);
+    store.set_error_budget(3);
+
+    // Four persistent bad sectors on one disk: each read detects,
+    // repairs in place, and charges the budget; the fourth crosses it.
+    let sick: u16 = 2;
+    let mapping = store.mapping();
+    let victims: Vec<_> = (0..UNITS)
+        .filter_map(|off| mapping.addr_to_logical(decluster_core::layout::UnitAddr::new(sick, off)))
+        .take(4)
+        .collect();
+    assert_eq!(victims.len(), 4, "disk {sick} holds too few data units");
+    for &logical in &victims {
+        let addr = mapping.logical_to_addr(logical);
+        plans[sick as usize].add_bad_sector(unit_pos(UNITS, addr.offset, UB));
+    }
+    let mut buf = vec![0u8; UB];
+    for &logical in &victims {
+        store.read_unit(logical, &mut buf).unwrap();
+        assert_eq!(buf, content(logical, 3, UB), "repair of unit {logical}");
+    }
+    let c = store.fault_counters();
+    assert_eq!(c.repaired, 4);
+    assert_eq!(store.disk_faults(sick), 4);
+    assert_eq!(store.failed_disk(), None, "demotion applies at the next op");
+
+    // The next operation demotes the sick disk; the array runs
+    // degraded and still serves the right bytes.
+    store.read_unit(victims[0], &mut buf).unwrap();
+    assert_eq!(store.failed_disk(), Some(sick), "budget breach must demote");
+    assert_eq!(store.fault_counters().demotions, 1);
+    assert_contents(&store, UB, 3, "degraded after demotion");
+
+    // Replace and rebuild online; the array heals completely and the
+    // budget ledger resets for the new medium.
+    plans[sick as usize].quiesce();
+    store.replace_disk().unwrap();
+    let report = store.rebuild(2).unwrap();
+    assert!(report.units_rebuilt > 0);
+    assert_eq!(store.failed_disk(), None);
+    assert_eq!(store.disk_faults(sick), 0);
+    assert_contents(&store, UB, 3, "after rebuild");
+    store.verify_parity().unwrap();
+    store.close().unwrap();
+}
+
+#[test]
+fn torn_checksum_region_write_does_not_brick_the_store() {
+    const UNITS: u64 = 512; // big enough that the region's torn half holds live slots
+    const UB: usize = 512;
+    let name = "torn-region";
+    let (store, plans) = faulty_store(name, UNITS, UB, 0x70);
+    let dir = store.dir().to_path_buf();
+    fill(&store, UB, 4);
+
+    // Let the fault plan at the checksum region itself: the close-time
+    // persist of disk 1 tears in half, reporting success.
+    let torn_disk = 1usize;
+    plans[torn_disk].set_protect_below(SUPERBLOCK_BYTES);
+    plans[torn_disk].arm_torn_write(SUPERBLOCK_BYTES);
+    store.close().unwrap();
+    assert_eq!(plans[torn_disk].injected().torn_writes, 1);
+
+    // Reopen on clean file backends: the torn region means half of
+    // disk 1's slots are stale, but the open must succeed and every
+    // read must still produce the written bytes (read-repair heals the
+    // stale slots from parity as they are touched).
+    let (store, report) = BlockStore::open(&dir).unwrap();
+    assert!(report.is_none(), "clean shutdown: no recovery expected");
+    assert!(!store.read_only());
+    assert_contents(&store, UB, 4, "after torn checksum region");
+    let c = store.fault_counters();
+    assert!(
+        c.checksum_errors > 0,
+        "the tear should have staled live slots"
+    );
+    assert_eq!(c.repaired, c.checksum_errors);
+    assert_eq!(c.escalated, 0);
+
+    // A repairing scrub sweeps the slots reads never touched (parity
+    // units), after which the array verifies clean end to end.
+    let scrub = store.scrub(true).unwrap();
+    assert_eq!(scrub.escalated, 0);
+    store.verify_parity().unwrap();
+    store.close().unwrap();
+
+    // Third generation: everything was persisted healed.
+    let (store, _) = BlockStore::open(&dir).unwrap();
+    assert_contents(&store, UB, 4, "after healed reopen");
+    assert_eq!(store.fault_counters().checksum_errors, 0);
+    store.close().unwrap();
+}
+
+/// Builds a v1-format store by hand: superblocks stamped with the
+/// pre-checksum version, data directly after the header, zero-filled.
+fn build_v1_store(dir: &Path, units_per_disk: u64, unit_bytes: u32) {
+    use std::io::Write;
+    std::fs::create_dir_all(dir).unwrap();
+    let mapping = ArrayMapping::new(SPEC.build().unwrap(), units_per_disk).unwrap();
+    for i in 0..DISKS {
+        let sb = Superblock {
+            version: VERSION_NO_CHECKSUMS,
+            spec: SPEC,
+            unit_bytes,
+            units_per_disk,
+            disk_index: i,
+            array_id: 0x01D,
+            clean: true,
+            failed_disk: None,
+        };
+        let path = dir.join(format!("disk-{i:03}.dat"));
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(&sb.encode()).unwrap();
+        f.set_len(SUPERBLOCK_BYTES + units_per_disk * unit_bytes as u64)
+            .unwrap();
+    }
+    let stripes = mapping.stripes();
+    IntentBitmap::create(&dir.join("intent.bitmap"), stripes, default_region(stripes)).unwrap();
+}
+
+#[test]
+fn v1_store_opens_read_only_with_a_clear_migration_error() {
+    const UNITS: u64 = 32;
+    const UB: u32 = 1024;
+    let dir = fresh_dir("v1-forward-compat");
+    build_v1_store(&dir, UNITS, UB);
+
+    let (store, report) = BlockStore::open(&dir).unwrap();
+    assert!(report.is_none(), "v1 recovery would have to write");
+    assert!(store.read_only());
+
+    // Reads work (the store is a valid, zero-filled v1 array)...
+    let mut buf = vec![0u8; UB as usize];
+    store.read_unit(0, &mut buf).unwrap();
+    assert!(buf.iter().all(|&b| b == 0));
+
+    // ...every mutation is refused with a message naming the gap...
+    let err = store.write_unit(0, &vec![1u8; UB as usize]).unwrap_err();
+    let msg = format!("{err}");
+    assert!(
+        matches!(err, StoreError::Mismatch { .. }),
+        "expected Mismatch, got: {msg}"
+    );
+    assert!(
+        msg.contains("v1") && msg.contains("read-only"),
+        "unhelpful migration message: {msg}"
+    );
+    assert!(matches!(
+        store.scrub(true),
+        Err(StoreError::Mismatch { .. })
+    ));
+
+    // ...but a report-only scrub and a close are fine.
+    let scrub = store.scrub(false).unwrap();
+    assert_eq!(scrub.faults(), 0);
+    store.close().unwrap();
+}
+
+#[test]
+fn limping_disk_trips_hedged_reads_that_still_return_right_bytes() {
+    const UNITS: u64 = 32;
+    const UB: usize = 1024;
+    let (store, plans) = faulty_store("limping", UNITS, UB, 0x11);
+    fill(&store, UB, 5);
+
+    // One disk starts answering reads 3 ms late. After enough samples
+    // the EWMA flags it and reads of its units hedge: parity
+    // reconstruction races the slow disk and wins.
+    let limper: u16 = 3;
+    let on_limper: Vec<u64> = (0..store.data_units())
+        .filter(|&l| store.mapping().logical_to_addr(l).disk == limper)
+        .collect();
+    assert!(!on_limper.is_empty());
+    plans[limper as usize].set_read_latency_us(3000);
+    let mut buf = vec![0u8; UB];
+    // Feed the monitor past its recheck interval.
+    for _ in 0..10 {
+        for &l in on_limper.iter().take(8) {
+            store.read_unit(l, &mut buf).unwrap();
+        }
+    }
+    assert!(
+        store.disk_read_ewma_us(limper) > 1000.0,
+        "EWMA should reflect the injected latency"
+    );
+    let before = store.fault_counters();
+    assert!(before.hedged_reads > 0, "the limping disk never hedged");
+    for &l in &on_limper {
+        store.read_unit(l, &mut buf).unwrap();
+        assert_eq!(buf, content(l, 5, UB), "hedged read of unit {l}");
+    }
+    let after = store.fault_counters();
+    assert!(
+        after.hedge_wins > before.hedge_wins,
+        "reconstruction never won the race"
+    );
+    assert_eq!(after.escalated, 0);
+    assert_eq!(after.media_errors, 0);
+    store.close().unwrap();
+}

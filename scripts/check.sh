@@ -60,6 +60,11 @@ cargo run --release -q -p decluster-bench --bin store -- \
     bench "$STORE_SMOKE_DIR" --requests 800 --threads 4 --seed 5 \
     --max-regress 0.30 \
     --out results/store_bench.json
+cargo run --release -q -p decluster-bench --bin store -- scrub "$STORE_SMOKE_DIR"
+
+echo "==> hostile-disk torture smoke (fixed seed, ledger + oracle gate)"
+cargo run --release -q -p decluster-bench --bin torture -- \
+    --smoke --seed 3512496146 --out results/torture.json
 
 echo "==> parity XOR kernel smoke (self-check + GB/s into results/xor_bench.json)"
 cargo run --release -q -p decluster-bench --bin parity_xor -- \
