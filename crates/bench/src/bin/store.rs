@@ -12,6 +12,7 @@
 //! store rebuild DIR [--threads T]
 //! store verify DIR [--seed S] [--skip-content]
 //! store scrub DIR
+//! store stats DIR
 //! ```
 //!
 //! `fill` writes a deterministic per-unit pattern derived from `--seed`;
@@ -31,6 +32,7 @@
 //! against the last entry with the same configuration — the CI
 //! regression gate.
 
+use decluster_bench::trajectory::{field, git_rev, split_entries, unix_time};
 use decluster_sim::LatencyHistogram;
 use decluster_store::{BlockStore, LayoutSpec, StoreError, StorePool, BLOCK_BYTES};
 use decluster_workload::{AccessKind, Workload, WorkloadSpec};
@@ -50,7 +52,8 @@ fn usage(problem: &str) -> ! {
          \x20      store fail DIR DISK\n\
          \x20      store rebuild DIR [--threads T]\n\
          \x20      store verify DIR [--seed S] [--skip-content]\n\
-         \x20      store scrub DIR"
+         \x20      store scrub DIR\n\
+         \x20      store stats DIR"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }
@@ -310,98 +313,33 @@ fn scrub(dir: &Path) {
     }
 }
 
+/// Health snapshot as JSON on stdout (recovery notes go to stderr so
+/// the output stays pipeable into a JSON consumer).
+fn stats(dir: &Path) {
+    let store = match BlockStore::open(dir) {
+        Ok((store, report)) => {
+            if let Some(r) = report {
+                eprintln!(
+                    "recovery ({}): {} stripes checked, {} torn, {} repaired",
+                    r.policy.name(),
+                    r.stripes_checked,
+                    r.torn_found,
+                    r.torn_repaired
+                );
+            }
+            store
+        }
+        Err(e) => fail(e),
+    };
+    println!("{}", store.stats_snapshot().to_json());
+    store.close().unwrap_or_else(|e| fail(e));
+}
+
 /// One worker's share of the benchmark stream.
 struct WorkerTally {
     reads: u64,
     writes: u64,
     latency: LatencyHistogram,
-}
-
-/// Splits the bodies of a JSON array of objects at brace depth zero.
-/// (The workspace's `serde` is a no-op marker crate, so the trajectory
-/// file is parsed by hand; entries we write are one-level objects with
-/// nested maps/arrays, which this handles.)
-fn split_entries(json: &str) -> Vec<String> {
-    let mut entries = Vec::new();
-    let mut depth = 0usize;
-    let mut start = None;
-    let mut in_string = false;
-    let mut escaped = false;
-    for (i, c) in json.char_indices() {
-        if in_string {
-            match c {
-                '\\' if !escaped => escaped = true,
-                '"' if !escaped => in_string = false,
-                _ => escaped = false,
-            }
-            continue;
-        }
-        match c {
-            '"' => in_string = true,
-            '{' => {
-                if depth == 0 {
-                    start = Some(i);
-                }
-                depth += 1;
-            }
-            '}' => {
-                depth = depth.saturating_sub(1);
-                if depth == 0 {
-                    if let Some(s) = start.take() {
-                        entries.push(json[s..=i].to_string());
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-    entries
-}
-
-/// Extracts the raw value of a top-level `"key":` in an entry object —
-/// a number, string, or balanced nested value.
-fn field<'a>(entry: &'a str, key: &str) -> Option<&'a str> {
-    let needle = format!("\"{key}\":");
-    let at = entry.find(&needle)? + needle.len();
-    let rest = entry[at..].trim_start();
-    let bytes = rest.as_bytes();
-    let end = match bytes.first()? {
-        b'"' => rest[1..].find('"')? + 2,
-        b'{' | b'[' => {
-            let (open, close) = if bytes[0] == b'{' {
-                (b'{', b'}')
-            } else {
-                (b'[', b']')
-            };
-            let mut depth = 0;
-            let mut end = 0;
-            for (i, &b) in bytes.iter().enumerate() {
-                if b == open {
-                    depth += 1;
-                } else if b == close {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = i + 1;
-                        break;
-                    }
-                }
-            }
-            end
-        }
-        _ => rest.find([',', '}', '\n']).unwrap_or(rest.len()),
-    };
-    Some(rest[..end].trim())
-}
-
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .unwrap_or_else(|| "unknown".to_string())
 }
 
 #[allow(clippy::too_many_lines)]
@@ -525,13 +463,7 @@ fn bench(dir: &Path, mut args: impl Iterator<Item = String>) {
     let mut entry = String::new();
     entry.push_str("  {\n");
     entry.push_str(&format!("    \"git_rev\": \"{}\",\n", git_rev()));
-    entry.push_str(&format!(
-        "    \"unix_time\": {},\n",
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_secs())
-            .unwrap_or(0)
-    ));
+    entry.push_str(&format!("    \"unix_time\": {},\n", unix_time()));
     entry.push_str(&format!("    \"layout\": \"{}\",\n", spec.name()));
     entry.push_str(&format!("    \"disks\": {},\n", spec.disks()));
     entry.push_str(&format!("    \"group\": {},\n", spec.group()));
@@ -658,6 +590,7 @@ fn main() {
         "rebuild" => rebuild(&dir, args),
         "verify" => verify(&dir, args),
         "scrub" => scrub(&dir),
+        "stats" => stats(&dir),
         other => usage(&format!("unknown subcommand {other}")),
     }
 }

@@ -23,7 +23,7 @@ use decluster_array::data::DataArray;
 use decluster_store::checksum::region_bytes;
 use decluster_store::{
     BlockStore, DiskBackend, FaultCounters, FaultPlan, FaultyBackend, FileBackend, InjectedFaults,
-    LayoutSpec, SUPERBLOCK_BYTES,
+    LatencyProfile, LayoutSpec, SUPERBLOCK_BYTES,
 };
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -402,7 +402,9 @@ fn run(cfg: &Config, dir: &Path, out: &str) {
     // EWMA flags it and hedged reads race parity reconstruction.
     let limper: u16 = 7;
     println!("phase 4: disk {limper} limps at +{}µs", cfg.limp_us);
-    plans[limper as usize].set_read_latency_us(cfg.limp_us);
+    plans[limper as usize].set_read_latency(
+        LatencyProfile::limping(cfg.limp_us, cfg.limp_us / 4).with_bursts(cfg.limp_us * 2, 0.05),
+    );
     let on_limper: Vec<u64> = (0..data_units)
         .filter(|&l| store.mapping().logical_to_addr(l).disk == limper)
         .collect();
@@ -421,7 +423,7 @@ fn run(cfg: &Config, dir: &Path, out: &str) {
             die("the limping disk never triggered a winning hedge");
         }
     }
-    plans[limper as usize].set_read_latency_us(0);
+    plans[limper as usize].set_read_latency(LatencyProfile::healthy());
     let hedged = store.fault_counters();
     println!(
         "  {} hedged reads, {} reconstruction wins",

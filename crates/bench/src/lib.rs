@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod trace;
+pub mod trajectory;
 
 use decluster_experiments::{ExperimentScale, Runner, SweepReport, SweepRun};
 use std::hint::black_box;

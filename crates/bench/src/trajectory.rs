@@ -1,0 +1,153 @@
+//! Append-only JSON result trajectories.
+//!
+//! Several binaries (`store bench`, `load_gen`) track performance over
+//! time by appending one hand-rolled JSON object per run to a
+//! `results/*.json` array, then gating on the previous matching run.
+//! The environment has no JSON crate (the workspace `serde` is a local
+//! no-op stub), so entries are parsed structurally: [`split_entries`]
+//! cuts the array into balanced-brace objects and [`field`] extracts a
+//! raw top-level value from one of them.
+
+/// Splits a JSON array (or a legacy single object) into its top-level
+/// `{...}` entries, string-escape aware.
+pub fn split_entries(json: &str) -> Vec<String> {
+    let mut entries = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in json.char_indices() {
+        if in_string {
+            match c {
+                '\\' if !escaped => escaped = true,
+                '"' if !escaped => in_string = false,
+                _ => escaped = false,
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(s) = start.take() {
+                        entries.push(json[s..=i].to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    entries
+}
+
+/// Extracts the raw value of a top-level `"key":` in an entry object —
+/// a number, string, or balanced nested value.
+pub fn field<'a>(entry: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = entry.find(&needle)? + needle.len();
+    let rest = entry[at..].trim_start();
+    let bytes = rest.as_bytes();
+    let end = match bytes.first()? {
+        b'"' => rest[1..].find('"')? + 2,
+        b'{' | b'[' => {
+            let (open, close) = if bytes[0] == b'{' {
+                (b'{', b'}')
+            } else {
+                (b'[', b']')
+            };
+            let mut depth = 0;
+            let mut end = 0;
+            for (i, &b) in bytes.iter().enumerate() {
+                if b == open {
+                    depth += 1;
+                } else if b == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+            }
+            end
+        }
+        _ => rest.find([',', '}', '\n']).unwrap_or(rest.len()),
+    };
+    Some(rest[..end].trim())
+}
+
+/// Short git revision of the working tree, or `"unknown"`.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Seconds since the Unix epoch (0 if the clock is broken).
+pub fn unix_time() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Appends `entry` to the trajectory array at `out` (creating parent
+/// directories and converting a legacy single-object file into the
+/// first entry) and returns the new run count.
+///
+/// # Errors
+///
+/// Propagates the filesystem write error.
+pub fn append_entry(out: &str, entry: String) -> std::io::Result<usize> {
+    let existing = std::fs::read_to_string(out).unwrap_or_default();
+    let mut entries = split_entries(&existing);
+    entries.push(entry);
+    let mut json = String::from("[\n");
+    json.push_str(&entries.join(",\n"));
+    json.push_str("\n]\n");
+    if let Some(parent) = std::path::PathBuf::from(out).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    std::fs::write(out, json)?;
+    Ok(entries.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_handles_arrays_legacy_objects_and_strings() {
+        assert!(split_entries("").is_empty());
+        let legacy = "{\"a\": 1}\n";
+        assert_eq!(split_entries(legacy).len(), 1);
+        let tricky = r#"[
+  {"s": "br{ace \" quote", "n": {"x": [1, 2]}},
+  {"t": 2}
+]"#;
+        let entries = split_entries(tricky);
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].contains("br{ace"));
+    }
+
+    #[test]
+    fn field_extracts_numbers_strings_and_nested() {
+        let e = r#"{"layout": "complete_5_4", "n": 12, "obj": {"p50": 3, "arr": [1]}, "last": 9}"#;
+        assert_eq!(field(e, "layout"), Some("\"complete_5_4\""));
+        assert_eq!(field(e, "n"), Some("12"));
+        assert_eq!(field(e, "obj"), Some(r#"{"p50": 3, "arr": [1]}"#));
+        assert_eq!(field(e, "last"), Some("9"));
+        assert_eq!(field(e, "missing"), None);
+    }
+}

@@ -1,0 +1,466 @@
+//! End-to-end server robustness: round trips, deadlines, admission
+//! control, graceful degradation under admin faults, reconnect with
+//! session resumption, replayed non-idempotent retries, malformed
+//! input, and drain-on-shutdown.
+
+use decluster_server::protocol::{
+    encode_request, read_frame, Opcode, RequestHeader, ResponseHeader, Status,
+};
+use decluster_server::{Client, ClientConfig, ClientError, Server, ServerConfig};
+use decluster_store::checksum::region_bytes;
+use decluster_store::{
+    BlockStore, DiskBackend, FaultPlan, FaultyBackend, FileBackend, LatencyProfile, LayoutSpec,
+    BLOCK_BYTES, SUPERBLOCK_BYTES,
+};
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DISKS: u16 = 5;
+const SPEC: LayoutSpec = LayoutSpec::Complete { disks: 5, group: 4 };
+const UNITS_PER_DISK: u64 = 36;
+const UNIT_BYTES: usize = 1024;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("decluster-server-tests")
+        .join(format!("{name}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    dir
+}
+
+fn make_store(name: &str) -> (PathBuf, Arc<BlockStore>) {
+    let dir = fresh_dir(name);
+    let store = BlockStore::create(&dir, SPEC, UNITS_PER_DISK, UNIT_BYTES as u32, 0x5EA1).unwrap();
+    (dir, Arc::new(store))
+}
+
+/// A store whose disks all answer reads through the given latency
+/// profile — the deterministic way to make requests slow.
+fn slow_store(name: &str, profile: LatencyProfile) -> (PathBuf, Arc<BlockStore>) {
+    let dir = fresh_dir(name);
+    let plans: Vec<Arc<FaultPlan>> = (0..DISKS)
+        .map(|i| FaultPlan::new(0x51_0000 + i as u64 * 2))
+        .collect();
+    let data_start = SUPERBLOCK_BYTES + region_bytes(UNITS_PER_DISK);
+    for p in &plans {
+        p.set_protect_below(data_start);
+        p.set_read_latency(profile);
+    }
+    let factory = |i: u16, file: std::fs::File| -> Box<dyn DiskBackend> {
+        Box::new(FaultyBackend::new(
+            Box::new(FileBackend::new(file)),
+            Arc::clone(&plans[i as usize]),
+        ))
+    };
+    let store = BlockStore::create_with_backend(
+        &dir,
+        SPEC,
+        UNITS_PER_DISK,
+        UNIT_BYTES as u32,
+        0x5EA2,
+        &factory,
+    )
+    .unwrap();
+    (dir, Arc::new(store))
+}
+
+fn block_content(block: u64, tag: u64) -> Vec<u8> {
+    (0..BLOCK_BYTES as usize)
+        .map(|i| {
+            (block
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(tag.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                .wrapping_add(i as u64)
+                >> 7) as u8
+        })
+        .collect()
+}
+
+fn client(server: &Server, session_id: u64) -> Client {
+    Client::connect(
+        &server.addr().to_string(),
+        ClientConfig {
+            session_id,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Raw-socket helper: HELLO then return the stream, for tests that
+/// need to pipeline or misbehave below the `Client` abstraction.
+fn raw_hello(server: &Server, session_id: u64) -> TcpStream {
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let hello = encode_request(
+        &RequestHeader {
+            req_id: 0,
+            opcode: Opcode::Hello,
+            flags: 0,
+            deadline_us: 0,
+            a: session_id,
+            b: 0,
+        },
+        &[],
+    );
+    stream.write_all(&hello).unwrap();
+    let frame = read_frame(&mut stream).unwrap().unwrap();
+    let (header, _) = ResponseHeader::decode(&frame).unwrap();
+    assert_eq!(header.status, Status::Ok);
+    stream
+}
+
+fn raw_request(
+    stream: &mut TcpStream,
+    req_id: u64,
+    opcode: Opcode,
+    deadline_us: u32,
+    a: u64,
+    b: u32,
+    body: &[u8],
+) {
+    let frame = encode_request(
+        &RequestHeader {
+            req_id,
+            opcode,
+            flags: 0,
+            deadline_us,
+            a,
+            b,
+        },
+        body,
+    );
+    stream.write_all(&frame).unwrap();
+}
+
+fn raw_response(stream: &mut TcpStream) -> (ResponseHeader, Vec<u8>) {
+    let frame = read_frame(stream).unwrap().unwrap();
+    let (header, body) = ResponseHeader::decode(&frame).unwrap();
+    (header, body.to_vec())
+}
+
+#[test]
+fn round_trip_flush_stats_and_clean_shutdown() {
+    let (dir, store) = make_store("round-trip");
+    let server = Server::spawn(Arc::clone(&store), ServerConfig::default()).unwrap();
+    drop(store); // the server owns the last reference → clean close on stop
+    let mut c = client(&server, 11);
+    assert_eq!(c.epoch(), 1);
+
+    let blocks = 64u64;
+    for b in 0..blocks {
+        c.write_blocks(b, &block_content(b, 1)).unwrap();
+    }
+    // Multi-block extent write + read.
+    let extent: Vec<u8> = (8..16).flat_map(|b| block_content(b, 2)).collect();
+    c.write_blocks(8, &extent).unwrap();
+    for b in 0..blocks {
+        let tag = if (8..16).contains(&b) { 2 } else { 1 };
+        assert_eq!(
+            c.read_blocks(b, BLOCK_BYTES).unwrap(),
+            block_content(b, tag)
+        );
+    }
+    let got = c.read_blocks(8, 8 * BLOCK_BYTES).unwrap();
+    assert_eq!(got, extent);
+    c.flush().unwrap();
+
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("\"disks\":5"), "{stats}");
+    assert!(stats.contains("\"degraded\":false"), "{stats}");
+    assert!(stats.contains("\"per_disk\":["), "{stats}");
+
+    // Out-of-range and misaligned requests are typed, not fatal.
+    let err = c.read_blocks(u64::MAX - 1, BLOCK_BYTES).unwrap_err();
+    assert_eq!(err.status(), Some(Status::Invalid));
+    let err = c.write_blocks(0, &[1u8; 100]).unwrap_err();
+    assert_eq!(err.status(), Some(Status::Invalid));
+    // The connection survived both.
+    assert_eq!(c.read_blocks(0, BLOCK_BYTES).unwrap(), block_content(0, 1));
+
+    // Graceful shutdown: the RPC is acknowledged, later requests are
+    // refused typed, and the store lands clean on disk.
+    c.shutdown_server().unwrap();
+    let err = c.read_blocks(0, BLOCK_BYTES).unwrap_err();
+    assert_eq!(err.status(), Some(Status::ShuttingDown));
+    server.stop().unwrap();
+    let (reopened, recovery) = BlockStore::open(&dir).unwrap();
+    assert!(recovery.is_none(), "clean close must skip crash recovery");
+    let mut buf = vec![0u8; BLOCK_BYTES as usize];
+    reopened.read_blocks(0, &mut buf).unwrap();
+    assert_eq!(buf, block_content(0, 1));
+    reopened.close().unwrap();
+}
+
+#[test]
+fn expired_deadline_yields_typed_error_never_a_hang() {
+    // Every disk answers reads ~25ms late; a 2ms budget cannot be met.
+    let (_dir, store) = slow_store("deadline", LatencyProfile::limping(25_000, 5_000));
+    let server = Server::spawn(Arc::clone(&store), ServerConfig::default()).unwrap();
+    let mut c = client(&server, 21);
+    c.write_blocks(0, &block_content(0, 1)).unwrap();
+
+    c.set_deadline_us(2_000);
+    let started = Instant::now();
+    let err = c.read_blocks(0, BLOCK_BYTES).unwrap_err();
+    assert_eq!(err.status(), Some(Status::Deadline), "{err}");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "a missed deadline must answer promptly, not hang"
+    );
+
+    // Without a deadline the same read succeeds — slow is not broken.
+    c.set_deadline_us(0);
+    assert_eq!(c.read_blocks(0, BLOCK_BYTES).unwrap(), block_content(0, 1));
+    server.stop().unwrap();
+}
+
+#[test]
+fn overload_sheds_excess_and_completes_admitted() {
+    let (_dir, store) = slow_store("overload", LatencyProfile::limping(30_000, 0));
+    let server = Server::spawn(
+        Arc::clone(&store),
+        ServerConfig {
+            workers: 1,
+            global_inflight: 2,
+            session_inflight: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    // Seed one block through a patient client.
+    let mut seed_client = client(&server, 31);
+    seed_client.write_blocks(0, &block_content(0, 1)).unwrap();
+
+    // Pipeline 8 reads in one burst: the two in-flight slots admit two
+    // of them, the rest must be shed immediately with Overloaded.
+    let mut stream = raw_hello(&server, 32);
+    for req_id in 1..=8u64 {
+        raw_request(&mut stream, req_id, Opcode::Read, 0, 0, BLOCK_BYTES, &[]);
+    }
+    let mut ok = 0;
+    let mut overloaded = 0;
+    for _ in 0..8 {
+        let (header, body) = raw_response(&mut stream);
+        match header.status {
+            Status::Ok => {
+                ok += 1;
+                assert_eq!(body, block_content(0, 1), "admitted reads return real data");
+            }
+            Status::Overloaded => overloaded += 1,
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+    assert_eq!(ok, 2, "exactly the admitted requests complete");
+    assert_eq!(overloaded, 6, "everything past the cap is shed");
+
+    // Capacity is released: a fresh request succeeds.
+    assert_eq!(
+        seed_client.read_blocks(0, BLOCK_BYTES).unwrap(),
+        block_content(0, 1)
+    );
+    server.stop().unwrap();
+}
+
+#[test]
+fn fail_disk_mid_traffic_drops_no_sessions() {
+    let (_dir, store) = make_store("fail-mid-traffic");
+    let block_count = store.block_count();
+    let server = Server::spawn(Arc::clone(&store), ServerConfig::default()).unwrap();
+    drop(store);
+    let addr = server.addr().to_string();
+
+    const CLIENTS: u64 = 4;
+    let span = block_count / CLIENTS;
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|w| {
+                let addr = addr.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut c = Client::connect(
+                        &addr,
+                        ClientConfig {
+                            session_id: 100 + w,
+                            ..ClientConfig::default()
+                        },
+                    )
+                    .unwrap();
+                    let lo = w * span;
+                    let mut rounds = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) || rounds < 2 {
+                        rounds += 1;
+                        for b in lo..lo + span {
+                            c.write_blocks(b, &block_content(b, rounds)).unwrap();
+                            let got = c.read_blocks(b, BLOCK_BYTES).unwrap();
+                            assert_eq!(got, block_content(b, rounds));
+                        }
+                        if rounds > 256 {
+                            break;
+                        }
+                    }
+                    assert_eq!(c.reconnects(), 0, "no session drop during degradation");
+                    rounds
+                })
+            })
+            .collect();
+
+        // The operator fails a disk under live traffic, then brings the
+        // array back — all over the same protocol.
+        let mut admin = Client::connect(
+            &addr,
+            ClientConfig {
+                session_id: 999,
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        admin.fail_disk(2).unwrap();
+        let stats = admin.stats().unwrap();
+        assert!(stats.contains("\"degraded\":true"), "{stats}");
+        assert!(stats.contains("\"failed_disk\":2"), "{stats}");
+        std::thread::sleep(Duration::from_millis(30));
+        admin.replace_disk().unwrap();
+        let report = admin.rebuild(2).unwrap();
+        assert!(report.contains("\"failed_disk\":2"), "{report}");
+        let stats = admin.stats().unwrap();
+        assert!(stats.contains("\"degraded\":false"), "{stats}");
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        for w in workers {
+            assert!(w.join().unwrap() >= 2);
+        }
+    });
+    server.stop().unwrap();
+}
+
+#[test]
+fn reconnect_resumes_the_session_and_replays_admin_outcomes() {
+    let (_dir, store) = make_store("reconnect");
+    let server = Server::spawn(Arc::clone(&store), ServerConfig::default()).unwrap();
+    let mut c = client(&server, 41);
+    c.write_blocks(0, &block_content(0, 1)).unwrap();
+    assert_eq!(c.epoch(), 1);
+
+    // Sever every socket server-side; the client's next call must
+    // transparently reconnect and resume.
+    server.disconnect_all();
+    c.write_blocks(1, &block_content(1, 1)).unwrap();
+    assert!(c.reconnects() >= 1, "the drop was observed and healed");
+    assert_eq!(c.epoch(), 2, "same session, next epoch");
+    assert_eq!(c.read_blocks(0, BLOCK_BYTES).unwrap(), block_content(0, 1));
+
+    // Replay protection for non-idempotent retries: FAIL_DISK executed
+    // once, then the same req_id re-issued over a fresh connection gets
+    // the recorded Ok — not "already degraded".
+    let mut raw = raw_hello(&server, 55);
+    raw_request(&mut raw, 7, Opcode::FailDisk, 0, 3, 0, &[]);
+    let (header, _) = raw_response(&mut raw);
+    assert_eq!(header.status, Status::Ok);
+    drop(raw);
+    let mut raw = raw_hello(&server, 55);
+    raw_request(&mut raw, 7, Opcode::FailDisk, 0, 3, 0, &[]);
+    let (header, _) = raw_response(&mut raw);
+    assert_eq!(header.status, Status::Ok, "recorded outcome is replayed");
+    // A *new* req_id really executes and hits the precondition.
+    raw_request(&mut raw, 8, Opcode::FailDisk, 0, 3, 0, &[]);
+    let (header, body) = raw_response(&mut raw);
+    assert_eq!(header.status, Status::Invalid);
+    assert!(
+        String::from_utf8_lossy(&body).contains("degraded"),
+        "the second execution sees the degraded array"
+    );
+    server.stop().unwrap();
+}
+
+#[test]
+fn malformed_frames_are_answered_and_survivable() {
+    let (_dir, store) = make_store("malformed");
+    let server = Server::spawn(Arc::clone(&store), ServerConfig::default()).unwrap();
+
+    // A connection whose first frame is not HELLO is refused.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    raw_request(&mut stream, 1, Opcode::Stats, 0, 0, 0, &[]);
+    let (header, _) = raw_response(&mut stream);
+    assert_eq!(header.status, Status::Malformed);
+
+    // After a good HELLO, an unknown opcode is answered Malformed and
+    // the connection keeps working.
+    let mut stream = raw_hello(&server, 61);
+    let mut bogus = encode_request(
+        &RequestHeader {
+            req_id: 9,
+            opcode: Opcode::Stats,
+            flags: 0,
+            deadline_us: 0,
+            a: 0,
+            b: 0,
+        },
+        &[],
+    );
+    bogus[4 + 8] = 250; // overwrite the opcode byte with garbage
+    stream.write_all(&bogus).unwrap();
+    let (header, _) = raw_response(&mut stream);
+    assert_eq!(header.req_id, 9);
+    assert_eq!(header.status, Status::Malformed);
+    raw_request(&mut stream, 10, Opcode::Stats, 0, 0, 0, &[]);
+    let (header, body) = raw_response(&mut stream);
+    assert_eq!(header.status, Status::Ok);
+    assert!(String::from_utf8_lossy(&body).contains("\"disks\":5"));
+    server.stop().unwrap();
+}
+
+#[test]
+fn draining_server_completes_admitted_work() {
+    // Slow reads so a request is still in flight when the drain begins.
+    let (_dir, store) = slow_store("drain", LatencyProfile::limping(40_000, 0));
+    let server = Server::spawn(Arc::clone(&store), ServerConfig::default()).unwrap();
+    let mut c = client(&server, 71);
+    c.write_blocks(0, &block_content(0, 1)).unwrap();
+
+    // Pipeline: one slow read, then SHUTDOWN right behind it.
+    let mut stream = raw_hello(&server, 72);
+    raw_request(&mut stream, 1, Opcode::Read, 0, 0, BLOCK_BYTES, &[]);
+    raw_request(&mut stream, 2, Opcode::Shutdown, 0, 0, 0, &[]);
+    let mut saw_read = false;
+    let mut saw_shutdown = false;
+    for _ in 0..2 {
+        let (header, body) = raw_response(&mut stream);
+        match header.req_id {
+            1 => {
+                assert_eq!(header.status, Status::Ok, "admitted work completes");
+                assert_eq!(body, block_content(0, 1));
+                saw_read = true;
+            }
+            2 => {
+                assert_eq!(header.status, Status::Ok);
+                saw_shutdown = true;
+            }
+            other => panic!("unexpected req_id {other}"),
+        }
+    }
+    assert!(saw_read && saw_shutdown);
+    // New work is refused typed while the drain runs.
+    let err = c.read_blocks(0, BLOCK_BYTES).unwrap_err();
+    assert_eq!(err.status(), Some(Status::ShuttingDown));
+    assert!(server.draining());
+    server.stop().unwrap();
+}
+
+#[test]
+fn client_surfaces_exhausted_reconnects_typed() {
+    let cfg = ClientConfig {
+        max_reconnects: 1,
+        backoff_base: Duration::from_micros(200),
+        backoff_cap: Duration::from_millis(1),
+        ..ClientConfig::default()
+    };
+    let err = Client::connect("127.0.0.1:1", cfg).unwrap_err();
+    assert!(matches!(err, ClientError::Disconnected(_)));
+}

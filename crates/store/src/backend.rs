@@ -16,8 +16,12 @@
 //!   way to the platter, detected later by the per-unit checksum;
 //! * **torn writes** — only a prefix of the payload lands, reported as
 //!   success (the crash-consistency hazard);
-//! * **limping** — a fixed latency is added to every read, the
-//!   tail-latency hazard hedged reads race against.
+//! * **limping** — a seeded, jittered latency distribution
+//!   ([`LatencyProfile`]: base + uniform jitter + occasional bursts) is
+//!   added to every read, the tail-latency hazard hedged reads race
+//!   against. A distribution rather than one constant, so limping-disk
+//!   tests exercise the EWMA against realistic spread and burstiness
+//!   instead of a magic number.
 //!
 //! Injections never touch bytes below [`FaultPlan::set_protect_below`]
 //! (the superblock and checksum region), and the plan counts every
@@ -78,13 +82,68 @@ impl FileBackend {
     }
 }
 
+/// Drives a positional read primitive until `buf` is full: short reads
+/// continue from where they stopped, `EINTR` is retried in place, and
+/// only end-of-file (a zero-byte return) becomes `UnexpectedEof`.
+///
+/// Under socket-driven concurrency the process takes signals and the
+/// kernel is free to return partial counts — neither is a media error,
+/// and treating them as one would send a healthy disk into read-repair.
+pub(crate) fn read_full_at<F>(mut read_at: F, mut buf: &mut [u8], mut pos: u64) -> io::Result<()>
+where
+    F: FnMut(&mut [u8], u64) -> io::Result<usize>,
+{
+    while !buf.is_empty() {
+        match read_at(buf, pos) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "read past end of backing file",
+                ))
+            }
+            Ok(n) => {
+                buf = &mut buf[n..];
+                pos += n as u64;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// The write-side twin of [`read_full_at`]: loops on short writes,
+/// retries `EINTR`, and maps a zero-byte return to `WriteZero`.
+pub(crate) fn write_full_at<F>(mut write_at: F, mut data: &[u8], mut pos: u64) -> io::Result<()>
+where
+    F: FnMut(&[u8], u64) -> io::Result<usize>,
+{
+    while !data.is_empty() {
+        match write_at(data, pos) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "backing file accepted zero bytes",
+                ))
+            }
+            Ok(n) => {
+                data = &data[n..];
+                pos += n as u64;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 impl DiskBackend for FileBackend {
     fn read_at(&self, buf: &mut [u8], pos: u64) -> io::Result<()> {
-        self.file.read_exact_at(buf, pos)
+        read_full_at(|b, p| FileExt::read_at(&self.file, b, p), buf, pos)
     }
 
     fn write_at(&self, data: &[u8], pos: u64) -> io::Result<()> {
-        self.file.write_all_at(data, pos)
+        write_full_at(|d, p| FileExt::write_at(&self.file, d, p), data, pos)
     }
 
     fn set_len(&self, len: u64) -> io::Result<()> {
@@ -118,9 +177,69 @@ impl InjectedFaults {
     }
 }
 
+/// The injected read-latency distribution of a limping disk.
+///
+/// Every read sleeps `base_us` plus a uniform sample from
+/// `[0, jitter_us]`; with probability `burst_prob` the read additionally
+/// suffers a `burst_us` stall — the bursty-slowness mode real sick disks
+/// show (relocations, internal retries). Samples come from the plan's
+/// seeded RNG, so a fixed seed reproduces the exact latency sequence.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyProfile {
+    /// Minimum added latency per read, microseconds.
+    pub base_us: u64,
+    /// Width of the uniform jitter added on top, microseconds.
+    pub jitter_us: u64,
+    /// Extra stall length of a burst, microseconds.
+    pub burst_us: u64,
+    /// Per-read probability of a burst.
+    pub burst_prob: f64,
+}
+
+impl LatencyProfile {
+    /// A quiet profile: no latency injected.
+    pub fn healthy() -> LatencyProfile {
+        LatencyProfile::default()
+    }
+
+    /// A jittered limp: `base_us` plus up to `jitter_us` of uniform
+    /// spread per read, no bursts.
+    pub fn limping(base_us: u64, jitter_us: u64) -> LatencyProfile {
+        LatencyProfile {
+            base_us,
+            jitter_us,
+            ..LatencyProfile::default()
+        }
+    }
+
+    /// Adds bursty stalls to a profile: probability `prob` of an extra
+    /// `burst_us` stall per read.
+    pub fn with_bursts(mut self, burst_us: u64, prob: f64) -> LatencyProfile {
+        self.burst_us = burst_us;
+        self.burst_prob = prob;
+        self
+    }
+
+    /// Whether this profile injects anything at all.
+    pub fn is_quiet(&self) -> bool {
+        self.base_us == 0 && self.jitter_us == 0 && (self.burst_prob <= 0.0 || self.burst_us == 0)
+    }
+
+    /// Mean injected latency, microseconds — what the EWMA converges
+    /// toward, so tests can assert against the distribution instead of
+    /// one constant.
+    pub fn mean_us(&self) -> f64 {
+        self.base_us as f64
+            + self.jitter_us as f64 / 2.0
+            + self.burst_us as f64 * self.burst_prob.clamp(0.0, 1.0)
+    }
+}
+
 #[derive(Debug, Default)]
 struct PlanState {
     rng: u64,
+    /// Injected read-latency distribution (the limping disk).
+    latency: LatencyProfile,
     /// Probability a data-region read mints a transient EIO episode.
     transient_read_eio: f64,
     /// Probability a data-region read mints a persistent bad sector.
@@ -143,14 +262,34 @@ struct PlanState {
 const TRANSIENT_GRACE_READS: u32 = 8;
 
 impl PlanState {
+    fn next_u64(&mut self) -> u64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        self.rng
+    }
+
     fn chance(&mut self, p: f64) -> bool {
         if p <= 0.0 {
             return false;
         }
-        self.rng ^= self.rng << 13;
-        self.rng ^= self.rng >> 7;
-        self.rng ^= self.rng << 17;
-        ((self.rng >> 11) as f64 / (1u64 << 53) as f64) < p
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// Draws one read's injected latency from the profile.
+    fn sample_latency_us(&mut self) -> u64 {
+        let p = self.latency;
+        if p.is_quiet() {
+            return 0;
+        }
+        let mut us = p.base_us;
+        if p.jitter_us > 0 {
+            us += self.next_u64() % (p.jitter_us + 1);
+        }
+        if p.burst_us > 0 && self.chance(p.burst_prob) {
+            us += p.burst_us;
+        }
+        us
     }
 }
 
@@ -174,8 +313,6 @@ pub struct FaultPlan {
     /// Injections only apply at byte positions `>= protect_below`,
     /// keeping superblocks and the checksum region out of scope.
     protect_below: AtomicU64,
-    /// Added to every read, in microseconds (the limping disk).
-    read_latency_us: AtomicU64,
     transient_eio: AtomicU64,
     persistent_eio: AtomicU64,
     corruptions: AtomicU64,
@@ -191,7 +328,6 @@ impl FaultPlan {
                 ..PlanState::default()
             }),
             protect_below: AtomicU64::new(0),
-            read_latency_us: AtomicU64::new(0),
             transient_eio: AtomicU64::new(0),
             persistent_eio: AtomicU64::new(0),
             corruptions: AtomicU64::new(0),
@@ -214,9 +350,10 @@ impl FaultPlan {
         lock(&self.state).persistent_read_eio = p;
     }
 
-    /// Sets the injected read latency in microseconds (0 = healthy).
-    pub fn set_read_latency_us(&self, us: u64) {
-        self.read_latency_us.store(us, Ordering::Relaxed);
+    /// Sets the injected read-latency distribution
+    /// ([`LatencyProfile::healthy`] stops injecting).
+    pub fn set_read_latency(&self, profile: LatencyProfile) {
+        lock(&self.state).latency = profile;
     }
 
     /// Marks the sector at byte position `pos` bad now: every read
@@ -248,8 +385,7 @@ impl FaultPlan {
         st.persistent_read_eio = 0.0;
         st.armed_corruptions.clear();
         st.armed_torn.clear();
-        drop(st);
-        self.read_latency_us.store(0, Ordering::Relaxed);
+        st.latency = LatencyProfile::healthy();
     }
 
     /// Everything injected so far.
@@ -267,12 +403,14 @@ impl FaultPlan {
         lock(&self.state).bad_sectors.len()
     }
 
-    /// Consulted before a read of `[pos, pos+len)`: applies latency,
-    /// then returns the error to inject, if any.
+    /// Consulted before a read of `[pos, pos+len)`: applies the sampled
+    /// latency, then returns the error to inject, if any.
     fn before_read(&self, pos: u64, len: usize) -> Option<io::Error> {
-        let latency = self.read_latency_us.load(Ordering::Relaxed);
-        if latency > 0 {
-            std::thread::sleep(std::time::Duration::from_micros(latency));
+        // Sample under the lock, sleep outside it: a limping read must
+        // not stall the plan for the hedge leg racing it.
+        let latency_us = lock(&self.state).sample_latency_us();
+        if latency_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(latency_us));
         }
         if pos < self.protect_below.load(Ordering::Relaxed) {
             return None;
@@ -523,6 +661,118 @@ mod tests {
             disk.read_at(&mut buf, 0).unwrap();
         }
         assert_eq!(plan.injected(), InjectedFaults::default());
+    }
+
+    #[test]
+    fn read_full_at_assembles_short_reads_and_retries_eintr() {
+        let src: Vec<u8> = (0..64u8).collect();
+        let mut calls = 0usize;
+        let mut buf = [0u8; 64];
+        read_full_at(
+            |b, p| {
+                calls += 1;
+                match calls {
+                    2 => Err(io::Error::new(io::ErrorKind::Interrupted, "signal")),
+                    _ => {
+                        // Hand back at most 7 bytes per call.
+                        let n = b.len().min(7);
+                        b[..n].copy_from_slice(&src[p as usize..p as usize + n]);
+                        Ok(n)
+                    }
+                }
+            },
+            &mut buf,
+            0,
+        )
+        .unwrap();
+        assert_eq!(buf[..], src[..]);
+        assert!(calls > 64 / 7, "progress was made in short hops");
+    }
+
+    #[test]
+    fn read_full_at_maps_eof_to_unexpected_eof() {
+        let mut buf = [0u8; 8];
+        let err = read_full_at(
+            |b, _| {
+                b[0] = 1;
+                Ok(1)
+            },
+            &mut buf[..1],
+            0,
+        );
+        assert!(err.is_ok());
+        let err = read_full_at(|_, _| Ok(0), &mut buf, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn write_full_at_assembles_short_writes_and_retries_eintr() {
+        let mut sink = vec![0u8; 64];
+        let data: Vec<u8> = (0..64u8).map(|b| b ^ 0x5A).collect();
+        let mut calls = 0usize;
+        {
+            let sink = &mut sink;
+            write_full_at(
+                |d, p| {
+                    calls += 1;
+                    match calls {
+                        3 => Err(io::Error::new(io::ErrorKind::Interrupted, "signal")),
+                        _ => {
+                            let n = d.len().min(5);
+                            sink[p as usize..p as usize + n].copy_from_slice(&d[..n]);
+                            Ok(n)
+                        }
+                    }
+                },
+                &data,
+                0,
+            )
+            .unwrap();
+        }
+        assert_eq!(sink, data);
+        let err = write_full_at(|_, _| Ok(0), &data, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+    }
+
+    #[test]
+    fn write_full_at_propagates_hard_errors() {
+        let err = write_full_at(
+            |_, _| Err(io::Error::new(io::ErrorKind::Other, "media")),
+            &[1, 2, 3],
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+    }
+
+    #[test]
+    fn latency_profile_samples_are_seeded_and_bounded() {
+        let profile = LatencyProfile::limping(2000, 800).with_bursts(10_000, 0.25);
+        let sample = |seed: u64| -> Vec<u64> {
+            let plan = FaultPlan::new(seed);
+            plan.set_read_latency(profile);
+            let mut st = lock(&plan.state);
+            (0..256).map(|_| st.sample_latency_us()).collect()
+        };
+        let a = sample(42);
+        let b = sample(42);
+        assert_eq!(a, b, "same seed, same jitter sequence");
+        // Note: the plan keeps `seed | 1`, so pick seeds two apart.
+        let c = sample(44);
+        assert_ne!(a, c, "different seed, different sequence");
+        let bursts = a.iter().filter(|&&us| us >= 12_000).count();
+        for &us in &a {
+            assert!((2000..=12_800).contains(&us), "sample {us} out of range");
+        }
+        assert!(bursts > 0, "burst arm fired at p=0.25 over 256 samples");
+        assert!(bursts < 256, "bursts are occasional, not constant");
+        assert!(
+            a.iter().any(|&us| us != a[0]),
+            "jitter actually varies the base"
+        );
+        // Healthy profile is silent.
+        assert!(LatencyProfile::healthy().is_quiet());
+        assert_eq!(LatencyProfile::default().mean_us(), 0.0);
     }
 
     #[test]

@@ -28,15 +28,19 @@ mod health;
 pub mod parity;
 mod pool;
 mod repair;
+mod stats;
 mod store;
 mod superblock;
 
-pub use backend::{DiskBackend, FaultPlan, FaultyBackend, FileBackend, InjectedFaults};
+pub use backend::{
+    DiskBackend, FaultPlan, FaultyBackend, FileBackend, InjectedFaults, LatencyProfile,
+};
 pub use bitmap::{default_region, IntentBitmap};
 pub use error::{MediaKind, Result, StoreError};
 pub use health::FaultCounters;
 pub use pool::StorePool;
 pub use repair::ScrubReport;
+pub use stats::{DiskStats, StoreStats};
 pub use store::{BackendFactory, BlockStore, DiskCounters, RebuildReport};
 pub use superblock::{
     LayoutSpec, Superblock, BLOCK_BYTES, SUPERBLOCK_BYTES, VERSION, VERSION_NO_CHECKSUMS,

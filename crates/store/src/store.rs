@@ -42,6 +42,7 @@ use crate::error::{Result, StoreError};
 use crate::health::{FaultCounters, HealthMonitor};
 use crate::parity;
 use crate::pool::{lock, StorePool};
+use crate::stats::StoreStats;
 use crate::superblock::{
     LayoutSpec, Superblock, BLOCK_BYTES, SUPERBLOCK_BYTES, VERSION, VERSION_NO_CHECKSUMS,
 };
@@ -720,6 +721,40 @@ impl BlockStore {
     /// (zero until the disk has served a read).
     pub fn disk_read_ewma_us(&self, disk: u16) -> f64 {
         self.health.ewma_us(disk)
+    }
+
+    /// Whether the limping detector currently flags `disk` (its read
+    /// EWMA sits above both the absolute floor and the peer-median
+    /// multiple).
+    pub fn disk_limping(&self, disk: u16) -> bool {
+        self.health.limping(disk)
+    }
+
+    /// Collects a point-in-time [`StoreStats`] snapshot — geometry,
+    /// degradation state, fault counters, and per-disk I/O/latency —
+    /// without blocking in-flight I/O.
+    pub fn stats_snapshot(&self) -> StoreStats {
+        StoreStats::collect(self)
+    }
+
+    /// Flushes dirty state — checksum tables and backing files — while
+    /// keeping the store open, unlike [`BlockStore::close`]. The
+    /// superblocks stay marked not-clean, so a crash after `flush`
+    /// still runs recovery, but every acknowledged write is durable
+    /// once this returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first checksum persist or file sync that fails.
+    pub fn flush(&self) -> Result<()> {
+        if self.read_only() {
+            return Ok(());
+        }
+        self.persist_all_sums()?;
+        for d in &self.disks {
+            d.sync()?;
+        }
+        Ok(())
     }
 
     /// Sets the per-disk error budget: once more than `budget` faults

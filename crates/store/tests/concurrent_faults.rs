@@ -1,0 +1,222 @@
+//! Fault operations racing live traffic: `fail_disk`, `replace_disk`,
+//! and online `rebuild` fired by an admin thread while ≥8 I/O threads
+//! keep reading and writing. Every read is verified in flight against
+//! the writer's own generation ledger, and the final contents must be
+//! byte-identical to the `DataArray` oracle.
+//!
+//! The healthy-array racing-writer test lives in `tests/hot_path.rs`;
+//! this file is the degraded half the network server leans on: an
+//! operator failing a disk mid-traffic must flip I/O onto the
+//! degraded/rebuild paths without corrupting a single unit.
+
+use decluster_array::data::DataArray;
+use decluster_core::design::BlockDesign;
+use decluster_core::layout::DeclusteredLayout;
+use decluster_store::{BlockStore, LayoutSpec, BLOCK_BYTES};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const UNITS_PER_DISK: u64 = 36;
+const UNIT_BYTES: usize = 1024;
+const DISKS: u16 = 5;
+const GROUP: u16 = 4;
+const DATA_PER_STRIPE: u64 = (GROUP - 1) as u64;
+const IO_THREADS: u64 = 8;
+const FAULT_CYCLES: u16 = 3;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("decluster-store-concurrent-faults")
+        .join(format!("{name}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    dir
+}
+
+fn store(name: &str) -> BlockStore {
+    BlockStore::create(
+        &fresh_dir(name),
+        LayoutSpec::Complete {
+            disks: DISKS,
+            group: GROUP,
+        },
+        UNITS_PER_DISK,
+        UNIT_BYTES as u32,
+        0xFA11,
+    )
+    .unwrap()
+}
+
+fn oracle() -> DataArray {
+    let layout =
+        Arc::new(DeclusteredLayout::new(BlockDesign::complete(DISKS, GROUP).unwrap()).unwrap());
+    DataArray::new(layout, UNITS_PER_DISK, UNIT_BYTES).unwrap()
+}
+
+fn content(logical: u64, generation: u64) -> Vec<u8> {
+    (0..UNIT_BYTES)
+        .map(|i| {
+            (logical
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(generation.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                .wrapping_add(i as u64)
+                >> 7) as u8
+        })
+        .collect()
+}
+
+/// Runs `FAULT_CYCLES` fail → replace → rebuild cycles on rotating
+/// disks while the I/O threads are live, then signals them to wind
+/// down. Panics (failing the test) on any admin-path error.
+fn admin_cycles(store: &BlockStore, stop: &AtomicBool) {
+    for cycle in 0..FAULT_CYCLES {
+        let disk = (cycle * 2 + 1) % DISKS;
+        std::thread::sleep(Duration::from_millis(20));
+        store.fail_disk(disk).unwrap();
+        // Let traffic hit the degraded read/write paths for a while.
+        std::thread::sleep(Duration::from_millis(20));
+        store.replace_disk().unwrap();
+        let report = store.rebuild(2).unwrap();
+        assert_eq!(report.failed_disk, disk);
+    }
+    stop.store(true, Ordering::Release);
+}
+
+/// 8 unit-granular writer/reader threads race three full
+/// fail→replace→rebuild cycles. Each thread owns units `u % 8 == w`,
+/// so it knows exactly what every read must return.
+#[test]
+fn fail_replace_rebuild_races_unit_io() {
+    let store = store("unit-io");
+    let mut oracle = oracle();
+    let data_units = store.data_units();
+    for u in 0..data_units {
+        store.write_unit(u, &content(u, 0)).unwrap();
+    }
+    let stop = AtomicBool::new(false);
+    let final_gens: Vec<HashMap<u64, u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..IO_THREADS)
+            .map(|w| {
+                let store = &store;
+                let stop = &stop;
+                s.spawn(move || {
+                    let owned: Vec<u64> = (0..data_units).filter(|u| u % IO_THREADS == w).collect();
+                    let mut gens: HashMap<u64, u64> = owned.iter().map(|&u| (u, 0)).collect();
+                    let mut buf = vec![0u8; UNIT_BYTES];
+                    let mut round = 0u64;
+                    // Keep traffic flowing until the admin finishes its
+                    // cycles, with a floor so every thread exercises
+                    // both paths even on a slow machine, and a ceiling
+                    // so a wedged admin thread cannot hang the test.
+                    while (!stop.load(Ordering::Acquire) || round < 2) && round < 4096 {
+                        round += 1;
+                        for &u in &owned {
+                            store.read_unit(u, &mut buf).unwrap();
+                            assert_eq!(
+                                buf,
+                                content(u, gens[&u]),
+                                "unit {u} read back a stale or torn generation"
+                            );
+                            store.write_unit(u, &content(u, round)).unwrap();
+                            gens.insert(u, round);
+                        }
+                    }
+                    gens
+                })
+            })
+            .collect();
+        admin_cycles(&store, &stop);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for gens in final_gens {
+        for (u, g) in gens {
+            oracle.write(u, &content(u, g));
+        }
+    }
+    store.verify_parity().unwrap();
+    oracle.verify_parity().unwrap();
+    assert_eq!(store.failed_disk(), None, "all cycles fully rebuilt");
+    let mut buf = vec![0u8; UNIT_BYTES];
+    for u in 0..data_units {
+        store.read_unit(u, &mut buf).unwrap();
+        assert_eq!(buf, oracle.read(u), "unit {u} diverged from the oracle");
+    }
+    let stats = store.stats_snapshot();
+    assert!(!stats.degraded);
+    assert_eq!(stats.failed_disk, None);
+    store.close().unwrap();
+}
+
+/// Same race through the batched full-stripe write path: threads own
+/// stripe-aligned extents, so mid-fail batches must either land whole
+/// on the degraded path or RMW correctly around the dead disk.
+#[test]
+fn fail_replace_rebuild_races_full_stripe_writes() {
+    let store = store("stripe-io");
+    let mut oracle = oracle();
+    let data_units = store.data_units();
+    let stripes = data_units / DATA_PER_STRIPE;
+    let bpu = (UNIT_BYTES / BLOCK_BYTES as usize) as u64;
+    for u in 0..data_units {
+        store.write_unit(u, &content(u, 0)).unwrap();
+    }
+    let stop = AtomicBool::new(false);
+    let final_gens: Vec<HashMap<u64, u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..IO_THREADS)
+            .map(|w| {
+                let store = &store;
+                let stop = &stop;
+                s.spawn(move || {
+                    let owned: Vec<u64> = (0..stripes).filter(|s| s % IO_THREADS == w).collect();
+                    let mut gens: HashMap<u64, u64> = owned.iter().map(|&s| (s, 0)).collect();
+                    let mut buf = vec![0u8; UNIT_BYTES];
+                    let mut round = 0u64;
+                    while (!stop.load(Ordering::Acquire) || round < 2) && round < 4096 {
+                        round += 1;
+                        for &stripe in &owned {
+                            let lo = stripe * DATA_PER_STRIPE;
+                            store.read_unit(lo, &mut buf).unwrap();
+                            assert_eq!(
+                                buf,
+                                content(lo, gens[&stripe]),
+                                "stripe {stripe} read back a stale generation"
+                            );
+                            let data: Vec<u8> = (0..DATA_PER_STRIPE)
+                                .flat_map(|k| content(lo + k, round))
+                                .collect();
+                            store.write_blocks(lo * bpu, &data).unwrap();
+                            gens.insert(stripe, round);
+                        }
+                    }
+                    gens
+                })
+            })
+            .collect();
+        admin_cycles(&store, &stop);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for gens in final_gens {
+        for (stripe, g) in gens {
+            let lo = stripe * DATA_PER_STRIPE;
+            for k in 0..DATA_PER_STRIPE {
+                oracle.write(lo + k, &content(lo + k, g));
+            }
+        }
+    }
+    // Units past the last full stripe kept generation 0.
+    for u in stripes * DATA_PER_STRIPE..data_units {
+        oracle.write(u, &content(u, 0));
+    }
+    store.verify_parity().unwrap();
+    oracle.verify_parity().unwrap();
+    let mut buf = vec![0u8; UNIT_BYTES];
+    for u in 0..data_units {
+        store.read_unit(u, &mut buf).unwrap();
+        assert_eq!(buf, oracle.read(u), "unit {u} diverged from the oracle");
+    }
+    store.close().unwrap();
+}

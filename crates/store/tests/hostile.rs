@@ -9,7 +9,8 @@ use decluster_core::layout::ArrayMapping;
 use decluster_store::checksum::region_bytes;
 use decluster_store::{
     default_region, BlockStore, DiskBackend, FaultPlan, FaultyBackend, FileBackend, IntentBitmap,
-    LayoutSpec, MediaKind, StoreError, Superblock, SUPERBLOCK_BYTES, VERSION_NO_CHECKSUMS,
+    LatencyProfile, LayoutSpec, MediaKind, StoreError, Superblock, SUPERBLOCK_BYTES,
+    VERSION_NO_CHECKSUMS,
 };
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -408,7 +409,7 @@ fn limping_disk_trips_hedged_reads_that_still_return_right_bytes() {
         .filter(|&l| store.mapping().logical_to_addr(l).disk == limper)
         .collect();
     assert!(!on_limper.is_empty());
-    plans[limper as usize].set_read_latency_us(3000);
+    plans[limper as usize].set_read_latency(LatencyProfile::limping(3000, 500));
     let mut buf = vec![0u8; UB];
     // Feed the monitor past its recheck interval.
     for _ in 0..10 {

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Full local gate: formatting, release build, test suite, lint-clean
 # clippy, campaign smoke runs (including the scrub/crash arms, one at
-# default scale), and a file-backed store smoke cycle.
+# default scale), a file-backed store smoke cycle, and a network block
+# service smoke (sessioned clients through fail + rebuild).
 # Run from the repository root: scripts/check.sh
 set -eu
 
@@ -61,6 +62,10 @@ cargo run --release -q -p decluster-bench --bin store -- \
     --max-regress 0.30 \
     --out results/store_bench.json
 cargo run --release -q -p decluster-bench --bin store -- scrub "$STORE_SMOKE_DIR"
+
+echo "==> network block service smoke (4 clients through fill/fail/rebuild/verify)"
+cargo run --release -q -p decluster-bench --bin load_gen -- \
+    --smoke --out results/server_bench.json
 
 echo "==> hostile-disk torture smoke (fixed seed, ledger + oracle gate)"
 cargo run --release -q -p decluster-bench --bin torture -- \

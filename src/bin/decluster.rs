@@ -7,6 +7,7 @@
 //! decluster layout <disks> <group> [--export] [--check]
 //! decluster check <layout-file>              # verify a decluster-layout v1 file
 //! decluster simulate [options]               # run a scenario
+//! decluster serve <store-dir> [options]      # run the TCP block service
 //! ```
 //!
 //! Run `decluster help` (or any subcommand with `--help`) for details.
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
         Some("layout") => cmd_layout(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -66,7 +68,13 @@ USAGE:
                      [--cylinders N] [--seconds S] [--seed S]
                      [--fail D [--rebuild ALG [--processes P]]]
       Run a scenario and print response-time / reconstruction results.
-      ALG is one of: baseline, user-writes, redirect, piggyback."
+      ALG is one of: baseline, user-writes, redirect, piggyback.
+
+  decluster serve <store-dir> [--addr HOST:PORT] [--workers N]
+                  [--global-inflight N] [--session-inflight N]
+      Serve an existing block store (see the `store` tool to mkfs one)
+      over the sessioned TCP protocol until a client sends the
+      SHUTDOWN RPC, then drain in-flight requests and close cleanly."
     );
 }
 
@@ -196,6 +204,63 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         layout.stripes_per_table()
     );
     report_criteria(&layout);
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use decluster::server::{Server, ServerConfig};
+    use decluster::store::BlockStore;
+
+    let dir = args.first().ok_or("missing <store-dir>")?;
+    let mut cfg = ServerConfig::default();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--workers" => cfg.workers = value("--workers")?.parse().map_err(|e| format!("{e}"))?,
+            "--global-inflight" => {
+                cfg.global_inflight = value("--global-inflight")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--session-inflight" => {
+                cfg.session_inflight = value("--session-inflight")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let (store, recovery) = BlockStore::open(std::path::Path::new(dir))
+        .map_err(|e| format!("opening store {dir}: {e}"))?;
+    if let Some(r) = recovery {
+        eprintln!(
+            "recovery ({}): {} stripes checked, {} torn, {} repaired",
+            r.policy.name(),
+            r.stripes_checked,
+            r.torn_found,
+            r.torn_repaired
+        );
+    }
+    let spec = store.spec();
+    let server = Server::spawn(Arc::new(store), cfg).map_err(|e| format!("binding: {e}"))?;
+    println!(
+        "serving {} C={} G={} α={:.4} at {}  (send the SHUTDOWN RPC to stop)",
+        spec.name(),
+        spec.disks(),
+        spec.group(),
+        spec.alpha(),
+        server.addr()
+    );
+    server.wait_for_shutdown();
+    println!("shutdown requested; draining");
+    server.stop().map_err(|e| format!("stopping: {e}"))?;
+    println!("stopped cleanly");
     Ok(())
 }
 

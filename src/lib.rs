@@ -23,7 +23,12 @@
 //!   data plane;
 //! * [`analytic`] (`decluster-analytic`) — the Muntz & Lui fluid model;
 //! * [`experiments`] (`decluster-experiments`) — runners for Figures 4-3,
-//!   6-1, 6-2, 8-1 … 8-4, 8-6 and Table 8-1.
+//!   6-1, 6-2, 8-1 … 8-4, 8-6 and Table 8-1;
+//! * [`store`] (`decluster-store`) — the file-backed declustered block
+//!   store with degraded reads, online rebuild, and crash recovery;
+//! * [`server`] (`decluster-server`) — the sessioned TCP block service
+//!   over the store, with deadlines, admission control, and a
+//!   fault-tolerant client.
 //!
 //! # Examples
 //!
@@ -60,5 +65,7 @@ pub use decluster_array as array;
 pub use decluster_core as core;
 pub use decluster_disk as disk;
 pub use decluster_experiments as experiments;
+pub use decluster_server as server;
 pub use decluster_sim as sim;
+pub use decluster_store as store;
 pub use decluster_workload as workload;
