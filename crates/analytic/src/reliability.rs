@@ -53,6 +53,50 @@ pub fn mttdl_hours(disks: u16, mtbf_hours: f64, repair_hours: f64) -> f64 {
     mtbf_hours * mtbf_hours / (disks as f64 * (disks as f64 - 1.0) * repair_hours)
 }
 
+/// Mean time to data loss, in hours, for a `disks`-wide
+/// double-failure-correcting (P+Q) array.
+///
+/// With two redundant units per stripe, data loss needs **three**
+/// overlapping failures: a third disk must die while the first two are
+/// still under repair. Extending the Markov estimate one state deeper
+/// (for `r ≪ m`):
+///
+/// ```text
+/// MTTDL ≈ m³ / (C · (C−1) · (C−2) · r²)
+/// ```
+///
+/// — one more factor of `m/r` than the single-fault figure, which is why
+/// the paper's MTTDL-versus-overhead trade-off changes shape entirely
+/// when a stripe carries a second parity unit.
+///
+/// # Panics
+///
+/// Panics unless `disks >= 3` and both times are positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use decluster_analytic::reliability::{mttdl_hours, mttdl_two_fault_hours};
+///
+/// // The second parity buys a factor of m/((C−2)·r) ≈ 7900 here.
+/// let single = mttdl_hours(21, 150_000.0, 1.0);
+/// let double = mttdl_two_fault_hours(21, 150_000.0, 1.0);
+/// assert!(double / single > 1000.0);
+/// ```
+pub fn mttdl_two_fault_hours(disks: u16, mtbf_hours: f64, repair_hours: f64) -> f64 {
+    assert!(disks >= 3, "a P+Q array needs at least 3 disks");
+    assert!(
+        mtbf_hours.is_finite() && mtbf_hours > 0.0,
+        "MTBF must be positive and finite"
+    );
+    assert!(
+        repair_hours.is_finite() && repair_hours > 0.0,
+        "repair time must be positive and finite"
+    );
+    let c = disks as f64;
+    mtbf_hours * mtbf_hours * mtbf_hours / (c * (c - 1.0) * (c - 2.0) * repair_hours * repair_hours)
+}
+
 /// Mean time to data loss when only some disk pairs are fatal.
 ///
 /// The standard `C·(C−1)` factor in [`mttdl_hours`] counts every ordered
@@ -174,6 +218,18 @@ mod tests {
         assert!(small > big);
         // C(C−1) scaling exactly.
         assert!((small / big - (41.0 * 40.0) / (11.0 * 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_fault_mttdl_scales_as_the_markov_chain_predicts() {
+        // Cubic in MTBF, inverse-quadratic in repair time.
+        let a = mttdl_two_fault_hours(21, 100_000.0, 1.0);
+        let b = mttdl_two_fault_hours(21, 200_000.0, 1.0);
+        assert!((b / a - 8.0).abs() < 1e-9);
+        let fast = mttdl_two_fault_hours(21, 100_000.0, 0.5);
+        assert!((fast / a - 4.0).abs() < 1e-9);
+        // And always beats the single-fault figure in the r ≪ m regime.
+        assert!(a > mttdl_hours(21, 100_000.0, 1.0));
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! GF(256) arithmetic for the oracle's Reed–Solomon Q parity.
+//!
+//! The data plane proves the *algebra* of P+Q stripes independently of
+//! the store's performance-oriented implementation, so this module is a
+//! deliberate second implementation: log/exp tables built at first use
+//! (the store multiplies bit-serially). Both use the conventional
+//! RAID-6 field, GF(2⁸) modulo x⁸+x⁴+x³+x²+1 (0x11D) with generator 2,
+//! so Q units computed here and there are byte-identical.
+
+use std::sync::OnceLock;
+
+/// The field polynomial, x⁸+x⁴+x³+x²+1.
+const POLY: u16 = 0x11D;
+
+/// `(exp, log)`: `exp[i] = 2^i` (doubled to 510 entries so products of
+/// logs never need a modular reduction), `log[a]` its inverse for
+/// `a != 0`.
+fn tables() -> &'static ([u8; 510], [u8; 256]) {
+    static TABLES: OnceLock<([u8; 510], [u8; 256])> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 510];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            exp[i + 255] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        (exp, log)
+    })
+}
+
+/// `2^i` — the Q coefficient of data unit `i`.
+pub fn pow2(i: usize) -> u8 {
+    tables().0[i % 255]
+}
+
+/// Field product.
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let (exp, log) = tables();
+    exp[log[a as usize] as usize + log[b as usize] as usize]
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics on 0, which has no inverse.
+pub fn inv(a: u8) -> u8 {
+    assert_ne!(a, 0, "0 has no inverse in GF(256)");
+    let (exp, log) = tables();
+    exp[255 - log[a as usize] as usize]
+}
+
+/// `acc[k] ^= coeff · src[k]` — folds one coefficient-weighted unit
+/// into a Q accumulator.
+pub fn mul_into(acc: &mut [u8], src: &[u8], coeff: u8) {
+    for (a, s) in acc.iter_mut().zip(src) {
+        *a ^= mul(coeff, *s);
+    }
+}
+
+/// `buf[k] = coeff · buf[k]` in place.
+pub fn scale(buf: &mut [u8], coeff: u8) {
+    for b in buf.iter_mut() {
+        *b = mul(coeff, *b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_hold() {
+        // Exhaustive: associativity on a sample grid, inverses exactly.
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+        }
+        for a in (1..=255u8).step_by(7) {
+            for b in (1..=255u8).step_by(11) {
+                for c in (1..=255u8).step_by(13) {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            let v = pow2(i);
+            assert!(!seen[v as usize], "2^{i} repeats");
+            seen[v as usize] = true;
+        }
+        assert_eq!(pow2(0), 1);
+        assert_eq!(pow2(255), pow2(0), "order divides 255");
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_has_no_inverse() {
+        inv(0);
+    }
+}

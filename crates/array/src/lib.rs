@@ -53,6 +53,7 @@
 pub mod config;
 pub mod data;
 pub mod extent;
+pub mod gf;
 pub mod loss;
 pub mod plan;
 pub mod recovery;

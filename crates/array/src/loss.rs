@@ -1,11 +1,12 @@
 //! Data-loss assessment: which stripes become unrecoverable when a fault
-//! lands beyond the array's single-failure tolerance.
+//! lands beyond the array's fault tolerance.
 //!
-//! A single-failure-correcting stripe survives any one unavailable unit;
-//! it loses data exactly when **two or more** of its units are
-//! unavailable at once. [`assess_second_failure`] evaluates that
-//! criterion for every stripe of the array at the instant a second
-//! whole-disk failure lands, taking reconstruction progress into account:
+//! A stripe with `m` parity units survives any `m` unavailable units;
+//! it loses data exactly when **more than `m`** of its units are
+//! unavailable at once — two for the paper's single-parity layouts, three
+//! for P+Q. [`assess_second_failure`] evaluates that criterion for every
+//! stripe of the array at the instant a further whole-disk failure lands,
+//! taking reconstruction progress into account:
 //!
 //! * a unit on the newly-failed disk is unavailable;
 //! * a unit of the first failed disk is unavailable until rebuilt — and,
@@ -31,7 +32,10 @@ use decluster_core::layout::{ArrayMapping, UnitAddr};
 /// first failure's own index on the swapped-in drive).
 ///
 /// Lost stripes come back in stripe-id order, each with its unavailable
-/// units split into data and parity (a stripe's parity unit is its last).
+/// units split into data and parity (a stripe's parity units are ordered
+/// last). A stripe is lost only when its unavailable units exceed the
+/// layout's parity count, so a P+Q array reports nothing here for a
+/// second concurrent failure.
 pub fn assess_second_failure(
     mapping: &ArrayMapping,
     first: Option<u16>,
@@ -58,6 +62,7 @@ pub fn assess_second_failure(
         }
     };
 
+    let tolerated = mapping.parity_units_per_stripe();
     let mut lost = Vec::new();
     let mut units = Vec::new();
     for stripe in 0..mapping.stripes() {
@@ -66,19 +71,19 @@ pub fn assess_second_failure(
         }
         units.clear();
         mapping.stripe_units_into(stripe, &mut units);
-        let parity_index = units.len() - 1; // stripe_units orders parity last
+        let first_parity = units.len() - tolerated as usize; // parity ordered last
         let mut data = 0u16;
         let mut parity = 0u16;
         for (i, &u) in units.iter().enumerate() {
             if unavailable(u) {
-                if i == parity_index {
+                if i >= first_parity {
                     parity += 1;
                 } else {
                     data += 1;
                 }
             }
         }
-        if data + parity >= 2 {
+        if data + parity > tolerated {
             lost.push(LostStripe {
                 stripe,
                 data_units: data,
@@ -149,6 +154,20 @@ mod tests {
         let l_none = assess_second_failure(&m, Some(0), 1, Some(&none), None);
         let l_half = assess_second_failure(&m, Some(0), 1, Some(&half), None);
         assert!(l_half.len() < l_none.len());
+    }
+
+    #[test]
+    fn pq_absorbs_a_second_failure_entirely() {
+        let layout: Arc<dyn ParityLayout> = Arc::new(
+            decluster_core::layout::PqLayout::new(BlockDesign::complete(6, 4).unwrap()).unwrap(),
+        );
+        let m = ArrayMapping::new(layout, 120).unwrap();
+        for second in 1..m.disks() {
+            assert!(
+                assess_second_failure(&m, Some(0), second, None, None).is_empty(),
+                "P+Q tolerates two concurrent failures (second = {second})"
+            );
+        }
     }
 
     #[test]

@@ -183,18 +183,18 @@ pub fn plan_user_access_with(
     units.clear();
     mapping.stripe_units_into(stripe, units);
     let g = mapping.stripe_width() as usize;
+    let m = mapping.parity_units_per_stripe() as usize;
     debug_assert_eq!(units.len(), g);
     let data = units[index as usize];
-    let parity = units[g - 1];
 
     match kind {
-        AccessKind::Read => plan_read(units, data, fault),
-        AccessKind::Write => plan_write(units, data, parity, index, fault),
+        AccessKind::Read => plan_read(units, data, m, fault),
+        AccessKind::Write => plan_write(units, data, index, m, fault),
     }
     .normalized()
 }
 
-fn plan_read(units: &[UnitAddr], data: UnitAddr, fault: FaultView<'_>) -> OpPlan {
+fn plan_read(units: &[UnitAddr], data: UnitAddr, m: usize, fault: FaultView<'_>) -> OpPlan {
     let failed = fault.failed();
     if Some(data.disk) != failed {
         // The common case: one read from a healthy disk.
@@ -212,12 +212,18 @@ fn plan_read(units: &[UnitAddr], data: UnitAddr, fault: FaultView<'_>) -> OpPlan
             ..OpPlan::default()
         };
     }
-    // On-the-fly reconstruction: read every surviving unit of the stripe.
-    let phase1 = units
+    // On-the-fly reconstruction: the stripe's other data units plus one
+    // surviving parity. With single parity that is every survivor; a P+Q
+    // stripe needs only one of its two parities for a single erasure.
+    let d = units.len() - m;
+    let mut phase1: Vec<PlannedIo> = units[..d]
         .iter()
         .filter(|u| u.disk != data.disk)
         .map(|&u| PlannedIo::read(u))
         .collect();
+    if let Some(p) = units[d..].iter().find(|u| u.disk != data.disk) {
+        phase1.push(PlannedIo::read(*p));
+    }
     let piggyback = match fault.algorithm() {
         Some(a) if a.piggybacks_writes() && !fault.is_rebuilt(data.offset) => Some(data.offset),
         _ => None,
@@ -232,64 +238,92 @@ fn plan_read(units: &[UnitAddr], data: UnitAddr, fault: FaultView<'_>) -> OpPlan
 fn plan_write(
     units: &[UnitAddr],
     data: UnitAddr,
-    parity: UnitAddr,
     index: u16,
+    m: usize,
     fault: FaultView<'_>,
 ) -> OpPlan {
     let g = units.len();
+    let d = g - m;
     let failed = fault.failed();
-    let data_lost = Some(data.disk) == failed && !fault.is_rebuilt(data.offset);
-    let parity_lost = Some(parity.disk) == failed && !fault.is_rebuilt(parity.offset);
+    let lost = |u: UnitAddr| Some(u.disk) == failed && !fault.is_rebuilt(u.offset);
+    let data_lost = lost(data);
+    // Every reachable parity (possibly via a rebuilt copy) takes part in
+    // the write: P absorbs the XOR delta, Q the coefficient-weighted one.
+    let live_parities: Vec<UnitAddr> = units[d..]
+        .iter()
+        .filter(|&&p| !lost(p))
+        .map(|&p| fault.live_location(p))
+        .collect();
 
-    if !data_lost && !parity_lost {
-        // Both halves of the RMW are reachable (possibly via a rebuilt
-        // copy). The G = 3 optimization additionally pre-reads the
-        // *sibling* data unit, which may itself be lost — fall back to the
-        // generic RMW in that case.
+    if !data_lost {
         let data_live = fault.live_location(data);
-        let parity_live = fault.live_location(parity);
-        if g == 3 {
+        if live_parities.is_empty() {
+            // There is no value in updating lost parity (Section 7): the
+            // write becomes a single data access. Reconstruction will
+            // regenerate the parity from the data units, including this
+            // new value.
+            return OpPlan {
+                phase2: vec![PlannedIo::write(data_live)],
+                ..OpPlan::default()
+            };
+        }
+        if g == 2 && m == 1 {
+            // Mirrored pair: parity is a copy of the single data unit —
+            // write both, no pre-reads.
+            return OpPlan {
+                phase2: vec![
+                    PlannedIo::write(data_live),
+                    PlannedIo::write(live_parities[0]),
+                ],
+                ..OpPlan::default()
+            };
+        }
+        if g == 3 && m == 1 && live_parities.len() == 1 {
+            // The G = 3 optimization pre-reads the *sibling* data unit,
+            // which may itself be lost — fall back to the generic RMW in
+            // that case.
             let sibling = units[..2]
                 .iter()
                 .enumerate()
                 .find(|&(i, _)| i != index as usize)
                 .map(|(_, &u)| u)
                 .expect("a G=3 stripe has two data units");
-            let sibling_lost = Some(sibling.disk) == failed && !fault.is_rebuilt(sibling.offset);
-            if sibling_lost {
+            if !lost(sibling) {
                 return OpPlan {
-                    phase1: vec![PlannedIo::read(data_live), PlannedIo::read(parity_live)],
-                    phase2: vec![PlannedIo::write(data_live), PlannedIo::write(parity_live)],
+                    phase1: vec![PlannedIo::read(fault.live_location(sibling))],
+                    phase2: vec![
+                        PlannedIo::write(data_live),
+                        PlannedIo::write(live_parities[0]),
+                    ],
                     ..OpPlan::default()
                 };
             }
-            return OpPlan {
-                phase1: vec![PlannedIo::read(fault.live_location(sibling))],
-                phase2: vec![PlannedIo::write(data_live), PlannedIo::write(parity_live)],
-                ..OpPlan::default()
-            };
         }
-        return normal_write(units, data_live, parity_live, index, g);
-    }
-    if parity_lost {
-        // There is no value in updating lost parity (Section 7): the write
-        // becomes a single data access. Reconstruction will regenerate the
-        // parity from the data units, including this new value.
+        // The general read-modify-write: pre-read the data unit and every
+        // reachable parity, then overwrite them — 4 accesses for single
+        // parity, 6 for P+Q.
+        let mut phase1 = vec![PlannedIo::read(data_live)];
+        let mut phase2 = vec![PlannedIo::write(data_live)];
+        for &p in &live_parities {
+            phase1.push(PlannedIo::read(p));
+            phase2.push(PlannedIo::write(p));
+        }
         return OpPlan {
-            phase2: vec![PlannedIo::write(data)],
+            phase1,
+            phase2,
             ..OpPlan::default()
         };
     }
-    // Data is lost. Either way the new parity is rebuilt from the stripe's
-    // other data units (the old data cannot be pre-read).
-    let sibling_reads: Vec<PlannedIo> = units[..g - 1]
+    // Data is lost. Every live parity is rebuilt from the stripe's other
+    // data units (the old data cannot be pre-read).
+    let sibling_reads: Vec<PlannedIo> = units[..d]
         .iter()
         .enumerate()
         .filter(|&(i, _)| i != index as usize)
         .map(|(_, &u)| PlannedIo::read(u))
         .collect();
     let direct = fault.algorithm().is_some_and(|a| a.writes_to_replacement());
-    let mut phase2 = vec![PlannedIo::write(fault.live_location(parity))];
+    let mut phase2: Vec<PlannedIo> = live_parities.iter().map(|&p| PlannedIo::write(p)).collect();
     let mut mark_rebuilt = None;
     if direct {
         // Send the new data straight to its repair location (replacement
@@ -304,32 +338,6 @@ fn plan_write(
         phase2,
         mark_rebuilt,
         ..OpPlan::default()
-    }
-}
-
-/// The fault-free write patterns for `g != 3` (the `G = 3` three-access
-/// optimization, which needs sibling-liveness information, is handled by
-/// the caller).
-fn normal_write(
-    _units: &[UnitAddr],
-    data: UnitAddr,
-    parity: UnitAddr,
-    _index: u16,
-    g: usize,
-) -> OpPlan {
-    match g {
-        // Mirrored pair: parity is a copy of the single data unit — write
-        // both, no pre-reads.
-        2 => OpPlan {
-            phase2: vec![PlannedIo::write(data), PlannedIo::write(parity)],
-            ..OpPlan::default()
-        },
-        // The general four-access read-modify-write.
-        _ => OpPlan {
-            phase1: vec![PlannedIo::read(data), PlannedIo::read(parity)],
-            phase2: vec![PlannedIo::write(data), PlannedIo::write(parity)],
-            ..OpPlan::default()
-        },
     }
 }
 

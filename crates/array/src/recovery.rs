@@ -128,9 +128,10 @@ pub fn recover(
         }
         if crash.torn_stripes.binary_search(&stripe).is_ok() {
             report.torn_found += 1;
-            // stripe_units orders parity last.
-            let parity = units.last().expect("stripes are never empty");
-            if alive(parity) {
+            // stripe_units orders parity last; every live parity unit is
+            // recomputed and rewritten (one write for XOR, two for P+Q).
+            let first_parity = units.len() - mapping.parity_units_per_stripe() as usize;
+            for parity in units[first_parity..].iter().filter(|u| alive(u)) {
                 disks[parity.disk as usize].access(cfg, parity.offset, IoKind::Write);
                 report.resync_units_written += 1;
             }

@@ -1297,7 +1297,7 @@ impl<P: Probe> ArraySim<P> {
             }
         }
         if let Some((stripe, data, parity)) = loss_info {
-            if data + parity >= 2 {
+            if data + parity > self.mapping.parity_units_per_stripe() {
                 self.loss.record(LostStripe {
                     stripe,
                     data_units: data,
@@ -1323,7 +1323,9 @@ impl<P: Probe> ArraySim<P> {
         let mut units = std::mem::take(&mut self.scratch_units);
         units.clear();
         self.mapping.stripe_units_into(stripe, &mut units);
-        let parity_index = units.len() - 1; // stripe_units orders parity last
+        // Parity units are ordered last; a stripe survives as long as
+        // its unavailable units stay within that parity count.
+        let first_parity = units.len() - self.mapping.parity_units_per_stripe() as usize;
         let mut data = 0u16;
         let mut parity = 0u16;
         for (i, &u) in units.iter().enumerate() {
@@ -1334,7 +1336,7 @@ impl<P: Probe> ArraySim<P> {
                         None => true,
                     });
             if gone {
-                if i == parity_index {
+                if i >= first_parity {
                     parity += 1;
                 } else {
                     data += 1;

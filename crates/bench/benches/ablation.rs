@@ -4,15 +4,14 @@
 
 use decluster_array::{ArrayConfig, ArraySim, ReconAlgorithm, ReconOptions};
 use decluster_bench::Micro;
-use decluster_core::design::appendix;
-use decluster_core::layout::{DeclusteredLayout, ParityLayout};
+use decluster_core::layout::{LayoutSpec, ParityLayout};
 use decluster_disk::SchedPolicy;
 use decluster_sim::SimTime;
 use decluster_workload::WorkloadSpec;
 use std::sync::Arc;
 
 fn layout() -> Arc<dyn ParityLayout> {
-    Arc::new(DeclusteredLayout::new(appendix::design_for_group_size(4).unwrap()).unwrap())
+    "bibd:c21g4".parse::<LayoutSpec>().unwrap().build().unwrap()
 }
 
 fn rebuild(cfg: ArrayConfig) -> (f64, f64) {

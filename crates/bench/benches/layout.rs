@@ -4,7 +4,9 @@
 
 use decluster_bench::Micro;
 use decluster_core::design::{appendix, BlockDesign};
-use decluster_core::layout::{criteria, ArrayMapping, DeclusteredLayout, ParityLayout, UnitAddr};
+use decluster_core::layout::{
+    criteria, ArrayMapping, DeclusteredLayout, LayoutSpec, ParityLayout, UnitAddr,
+};
 use std::sync::Arc;
 
 fn main() {
@@ -27,8 +29,14 @@ fn main() {
         });
     }
 
+    // Registry resolution end to end: parse the spec string, look the
+    // design up, and build the layout (what `store mkfs --layout` pays).
+    m.case("layout_build/spec_bibd_c21g4", || {
+        "bibd:c21g4".parse::<LayoutSpec>().unwrap().build().unwrap()
+    });
+
     let layout: Arc<dyn ParityLayout> =
-        Arc::new(DeclusteredLayout::new(appendix::design_for_group_size(4).unwrap()).unwrap());
+        "bibd:c21g4".parse::<LayoutSpec>().unwrap().build().unwrap();
     let mapping = ArrayMapping::new(layout, 79_716).unwrap();
     let mut l = 0u64;
     m.case("mapping/logical_to_addr", || {
@@ -54,6 +62,6 @@ fn main() {
         scratch.len()
     });
 
-    let layout = DeclusteredLayout::new(appendix::design_for_group_size(4).unwrap()).unwrap();
-    m.case("criteria/check_g4", || criteria::check(&layout));
+    let layout = "bibd:c21g4".parse::<LayoutSpec>().unwrap().build().unwrap();
+    m.case("criteria/check_g4", || criteria::check(layout.as_ref()));
 }

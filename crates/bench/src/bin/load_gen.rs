@@ -386,13 +386,7 @@ fn main() {
     println!(
         "serving {} C={} G={} α={:.4} ({data_units} units × {} B) at {addr}; \
          {} clients × {} ops/phase",
-        spec.name(),
-        cfg.disks,
-        cfg.group,
-        alpha,
-        cfg.unit_bytes,
-        cfg.clients,
-        cfg.ops
+        spec, cfg.disks, cfg.group, alpha, cfg.unit_bytes, cfg.clients, cfg.ops
     );
 
     // Disjoint ownership: client c owns every unit ≡ c (mod clients).
@@ -561,7 +555,7 @@ fn main() {
     entry.push_str(&format!("    \"git_rev\": \"{}\",\n", git_rev()));
     entry.push_str(&format!("    \"unix_time\": {},\n", unix_time()));
     entry.push_str(&format!("    \"smoke\": {},\n", cfg.smoke));
-    entry.push_str(&format!("    \"layout\": \"{}\",\n", spec.name()));
+    entry.push_str(&format!("    \"layout\": \"{}\",\n", spec));
     entry.push_str(&format!("    \"disks\": {},\n", cfg.disks));
     entry.push_str(&format!("    \"group\": {},\n", cfg.group));
     entry.push_str(&format!("    \"alpha\": {alpha:.6},\n"));

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! store mkfs DIR [--disks C] [--group G] [--units N] [--unit-bytes B]
-//!               [--layout declustered|complete|raid5] [--array-id ID]
+//!               [--layout SPEC] [--array-id ID]
 //! store fill DIR [--seed S]
 //! store bench DIR [--requests N] [--threads T] [--read-fraction F]
 //!                [--rate R] [--seed S] [--access-units U]
@@ -14,6 +14,11 @@
 //! store scrub DIR
 //! store stats DIR
 //! ```
+//!
+//! `mkfs --layout` takes a full layout spec (`bibd:c10g4`, `prime:c11g4`,
+//! `raid5:c10`, `pq:c12g6`, …) or a bare family name (`bibd`, `prime`,
+//! `pq`, plus the legacy alias `declustered`) combined with
+//! `--disks`/`--group`. `store mkfs --layout help` lists every family.
 //!
 //! `fill` writes a deterministic per-unit pattern derived from `--seed`;
 //! `verify` first scrubs every unit's media and per-unit checksum
@@ -45,7 +50,8 @@ fn usage(problem: &str) -> ! {
     }
     eprintln!(
         "usage: store mkfs DIR [--disks C] [--group G] [--units N] [--unit-bytes B] \
-         [--layout declustered|complete|raid5] [--array-id ID]\n\
+         [--layout SPEC] [--array-id ID]   (SPEC like bibd:c10g4, prime:c11g4, \
+         raid5:c10, pq:c12g6; `--layout help` lists families)\n\
          \x20      store fill DIR [--seed S]\n\
          \x20      store bench DIR [--requests N] [--threads T] [--read-fraction F] \
          [--rate R] [--seed S] [--access-units U] [--max-regress F] [--out PATH]\n\
@@ -91,7 +97,7 @@ fn describe(store: &BlockStore) {
     let spec = store.spec();
     println!(
         "{} C={} G={} α={:.4}  {} units/disk × {} B  {} data units ({} blocks)",
-        spec.name(),
+        spec,
         spec.disks(),
         spec.group(),
         spec.alpha(),
@@ -116,6 +122,45 @@ fn pattern(seed: u64, logical: u64, unit_bytes: usize) -> Vec<u8> {
         .collect()
 }
 
+/// Resolves `--layout` into a [`LayoutSpec`]: a full spec string
+/// (`bibd:c10g4`) stands alone, a bare family name (`bibd`, `prime`,
+/// `pq`, legacy alias `declustered`) combines with `--disks`/`--group`,
+/// and `help` prints the registry and exits.
+fn resolve_layout(layout: &str, disks: u16, group: u16) -> LayoutSpec {
+    if layout == "help" || layout == "list" {
+        eprintln!("layout families (spec grammar `family:cN[gM]`):");
+        for fam in decluster_core::layout::spec::registry() {
+            eprintln!(
+                "  {:<10} {}  (e.g. {})",
+                fam.name,
+                fam.summary,
+                fam.examples.join(", ")
+            );
+        }
+        std::process::exit(0);
+    }
+    let text = if layout.contains(':') {
+        layout.to_string()
+    } else {
+        let family = if layout == "declustered" {
+            "bibd"
+        } else {
+            layout
+        };
+        let takes_group = decluster_core::layout::spec::registry()
+            .iter()
+            .find(|f| f.name == family)
+            .is_none_or(|f| f.takes_group);
+        if takes_group {
+            format!("{family}:c{disks}g{group}")
+        } else {
+            format!("{family}:c{disks}")
+        }
+    };
+    text.parse()
+        .unwrap_or_else(|e| usage(&format!("bad --layout {layout}: {e}")))
+}
+
 fn mkfs(dir: &Path, mut args: impl Iterator<Item = String>) {
     let mut disks: u16 = 10;
     let mut group: u16 = 4;
@@ -134,12 +179,7 @@ fn mkfs(dir: &Path, mut args: impl Iterator<Item = String>) {
             other => usage(&format!("unknown mkfs flag {other}")),
         }
     }
-    let spec = match layout.as_str() {
-        "declustered" => LayoutSpec::Declustered { disks, group },
-        "complete" => LayoutSpec::Complete { disks, group },
-        "raid5" => LayoutSpec::Raid5 { disks },
-        other => usage(&format!("unknown layout {other}")),
-    };
+    let spec = resolve_layout(&layout, disks, group);
     let store =
         BlockStore::create(dir, spec, units, unit_bytes, array_id).unwrap_or_else(|e| fail(e));
     describe(&store);
@@ -203,9 +243,15 @@ fn rebuild(dir: &Path, mut args: impl Iterator<Item = String>) {
     describe(&store);
     store.replace_disk().unwrap_or_else(|e| fail(e));
     let report = store.rebuild(threads).unwrap_or_else(|e| fail(e));
+    let failed = report
+        .failed_disks
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
     println!(
-        "rebuilt disk {} in {:.2}s: {} units reconstructed, {} already valid, {} holes",
-        report.failed_disk,
+        "rebuilt disk(s) {} in {:.2}s: {} units reconstructed, {} already valid, {} holes",
+        failed,
         report.wall_secs,
         report.units_rebuilt,
         report.units_already_valid,
@@ -213,7 +259,7 @@ fn rebuild(dir: &Path, mut args: impl Iterator<Item = String>) {
     );
     println!("per-disk rebuild reads (α = {:.4}):", report.alpha);
     for disk in 0..report.disk_reads.len() as u16 {
-        if disk == report.failed_disk {
+        if report.failed_disks.contains(&disk) {
             println!(
                 "  disk {disk:3}: replacement, {} writes",
                 report.disk_writes[disk as usize]
@@ -242,8 +288,9 @@ fn verify(dir: &Path, mut args: impl Iterator<Item = String>) {
     }
     let store = open(dir);
     describe(&store);
-    if let Some(disk) = store.failed_disk() {
-        println!("store is degraded (disk {disk} down): reads go through reconstruction");
+    let down = store.failed_disks();
+    if !down.is_empty() {
+        println!("store is degraded (disk(s) {down:?} down): reads go through reconstruction");
     }
     // Media/checksum scrub first (report-only): a verify must name
     // exactly where a sick disk lied before the content pass trips
@@ -280,7 +327,7 @@ fn verify(dir: &Path, mut args: impl Iterator<Item = String>) {
             store.data_units()
         );
     }
-    if store.failed_disk().is_none() {
+    if store.failed_disks().is_empty() {
         store.verify_parity().unwrap_or_else(|e| fail(e));
         println!("parity ok: every mapped stripe is consistent");
     }
@@ -454,7 +501,7 @@ fn bench(dir: &Path, mut args: impl Iterator<Item = String>) {
         latency.max_us(),
         latency.count()
     );
-    if store.failed_disk().is_none() {
+    if store.failed_disks().is_empty() {
         store.verify_parity().unwrap_or_else(|e| fail(e));
         println!("parity ok after benchmark");
     }
@@ -464,7 +511,7 @@ fn bench(dir: &Path, mut args: impl Iterator<Item = String>) {
     entry.push_str("  {\n");
     entry.push_str(&format!("    \"git_rev\": \"{}\",\n", git_rev()));
     entry.push_str(&format!("    \"unix_time\": {},\n", unix_time()));
-    entry.push_str(&format!("    \"layout\": \"{}\",\n", spec.name()));
+    entry.push_str(&format!("    \"layout\": \"{}\",\n", spec));
     entry.push_str(&format!("    \"disks\": {},\n", spec.disks()));
     entry.push_str(&format!("    \"group\": {},\n", spec.group()));
     entry.push_str(&format!("    \"alpha\": {:.6},\n", spec.alpha()));
@@ -524,7 +571,7 @@ fn bench(dir: &Path, mut args: impl Iterator<Item = String>) {
     let mut entries = split_entries(&existing);
     // The last run whose configuration matches this one, for the gate.
     let matches_config = |e: &String| {
-        field(e, "layout").map(str::to_string) == Some(format!("\"{}\"", spec.name()))
+        field(e, "layout").map(str::to_string) == Some(format!("\"{}\"", spec))
             && field(e, "disks") == Some(&spec.disks().to_string())
             && field(e, "group") == Some(&spec.group().to_string())
             && field(e, "unit_bytes") == Some(&store.unit_bytes().to_string())

@@ -188,7 +188,7 @@ fn main() {
 fn run(cfg: &Config, dir: &Path, out: &str) {
     let started = Instant::now();
     let ub = cfg.unit_bytes;
-    let spec = LayoutSpec::Declustered {
+    let spec = LayoutSpec::Bibd {
         disks: DISKS,
         group: GROUP,
     };
@@ -542,7 +542,7 @@ fn run(cfg: &Config, dir: &Path, out: &str) {
          \"wall_secs\": {wall:.3}\n}}\n",
         seed = cfg.seed,
         smoke = cfg.smoke,
-        layout = spec.name(),
+        layout = spec,
         disks = DISKS,
         group = GROUP,
         upd = UNITS_PER_DISK,

@@ -4,7 +4,9 @@
 //! checked here over one full table (the layout is periodic, so the table
 //! is the whole story):
 //!
-//! 1. **Single failure correcting** — no stripe has two units on one disk.
+//! 1. **Single failure correcting** — no stripe has two units on one disk
+//!    (for an `m`-parity stripe this is exactly what makes it survive any
+//!    `m` whole-disk failures).
 //! 2. **Distributed reconstruction** — every pair of disks co-occurs in
 //!    the same number of stripes.
 //! 3. **Distributed parity** — every disk holds the same number of parity
@@ -44,6 +46,9 @@ pub enum Violation {
     UnevenParity {
         /// A disk with a minority parity count.
         disk: u16,
+        /// Which of the stripe's `m` parity units is unbalanced (`0` = P,
+        /// `1` = Q).
+        index: u16,
         /// Its parity-unit count.
         count: u64,
         /// The count observed for disk 0.
@@ -68,11 +73,12 @@ impl fmt::Display for Violation {
             ),
             Violation::UnevenParity {
                 disk,
+                index,
                 count,
                 expected,
             } => write!(
                 f,
-                "disk {disk} holds {count} parity units, others hold {expected}"
+                "disk {disk} holds {count} parity-{index} units, others hold {expected}"
             ),
         }
     }
@@ -80,7 +86,9 @@ impl fmt::Display for Violation {
 
 impl std::error::Error for Violation {}
 
-/// Criterion 1: no stripe places two units on the same disk.
+/// Criterion 1: no stripe places two units on the same disk, so a stripe
+/// with `m` parity units loses at most `m` units to any `m` simultaneous
+/// whole-disk failures and stays correcting.
 ///
 /// # Errors
 ///
@@ -142,27 +150,40 @@ pub fn check_distributed_reconstruction(layout: &dyn ParityLayout) -> Result<u64
 }
 
 /// Criterion 3: every disk holds the same number of parity units per full
-/// table. Returns that constant (r for a declustered layout).
+/// table — checked separately for each of the stripe's `m` parity ranks,
+/// so a P+Q layout must balance its P units *and* its Q units (small-write
+/// load lands on both). Returns the total parity units per disk (`r` for a
+/// single-parity declustered layout, `2r` for its P+Q extension).
 ///
 /// # Errors
 ///
-/// Returns [`Violation::UnevenParity`] with the first deviating disk.
+/// Returns [`Violation::UnevenParity`] with the first deviating
+/// (disk, parity-rank) pair.
 pub fn check_distributed_parity(layout: &dyn ParityLayout) -> Result<u64, Violation> {
-    let mut counts = vec![0u64; layout.disks() as usize];
+    let c = layout.disks() as usize;
+    let m = layout.parity_units_per_stripe();
+    let mut counts = vec![0u64; c * m as usize];
     for stripe in 0..layout.stripes_per_table() {
-        counts[layout.parity_unit_in_table(stripe).disk as usize] += 1;
-    }
-    let expected = counts[0];
-    for (disk, &count) in counts.iter().enumerate() {
-        if count != expected {
-            return Err(Violation::UnevenParity {
-                disk: disk as u16,
-                count,
-                expected,
-            });
+        for index in 0..m {
+            let disk = layout.parity_unit_in_table(stripe, index).disk;
+            counts[index as usize * c + disk as usize] += 1;
         }
     }
-    Ok(expected)
+    for index in 0..m {
+        let ranks = &counts[index as usize * c..(index as usize + 1) * c];
+        let expected = ranks[0];
+        for (disk, &count) in ranks.iter().enumerate() {
+            if count != expected {
+                return Err(Violation::UnevenParity {
+                    disk: disk as u16,
+                    index,
+                    count,
+                    expected,
+                });
+            }
+        }
+    }
+    Ok((0..m as usize).map(|i| counts[i * c]).sum())
 }
 
 /// The number of units each surviving disk must read, per full table, to
@@ -322,6 +343,7 @@ mod tests {
         assert!(v.to_string().contains("stripe 3"));
         let v = Violation::UnevenParity {
             disk: 2,
+            index: 0,
             count: 4,
             expected: 5,
         };

@@ -41,8 +41,8 @@ enum LocalRole {
 /// assert_eq!(layout.table_height(), 16);   // G·r = 4·4
 /// assert_eq!(layout.stripes_per_table(), 20); // G·b = 4·5
 /// // Figure 2-3, first row: D0.0 D0.1 D0.2 P0 P1.
-/// assert_eq!(layout.role_at(3, 0), UnitRole::Parity { stripe: 0 });
-/// assert_eq!(layout.role_at(4, 0), UnitRole::Parity { stripe: 1 });
+/// assert_eq!(layout.role_at(3, 0), UnitRole::Parity { stripe: 0, index: 0 });
+/// assert_eq!(layout.role_at(4, 0), UnitRole::Parity { stripe: 1, index: 0 });
 /// # Ok::<(), decluster_core::Error>(())
 /// ```
 #[derive(Debug, Clone)]
@@ -174,6 +174,7 @@ impl ParityLayout for DeclusteredLayout {
             },
             LocalRole::Parity { stripe } => UnitRole::Parity {
                 stripe: stripe as u64,
+                index: 0,
             },
         }
     }
@@ -185,8 +186,12 @@ impl ParityLayout for DeclusteredLayout {
         UnitAddr::new(disk, offset as u64)
     }
 
-    fn parity_unit_in_table(&self, stripe: u64) -> UnitAddr {
+    fn parity_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr {
         assert!(stripe < self.stripes, "stripe {stripe} outside table");
+        assert!(
+            index == 0,
+            "single-parity layout has no parity unit {index}"
+        );
         let (disk, offset) =
             self.units[stripe as usize * self.width as usize + self.width as usize - 1];
         UnitAddr::new(disk, offset as u64)
@@ -236,8 +241,14 @@ mod tests {
                     stripe: 0,
                     index: 2,
                 },
-                Parity { stripe: 0 },
-                Parity { stripe: 1 },
+                Parity {
+                    stripe: 0,
+                    index: 0,
+                },
+                Parity {
+                    stripe: 1,
+                    index: 0,
+                },
             ],
             // offset 1: D1.0 D1.1 D1.2 D2.2 P2
             [
@@ -257,7 +268,10 @@ mod tests {
                     stripe: 2,
                     index: 2,
                 },
-                Parity { stripe: 2 },
+                Parity {
+                    stripe: 2,
+                    index: 0,
+                },
             ],
             // offset 2: D2.0 D2.1 D3.1 D3.2 P3
             [
@@ -277,7 +291,10 @@ mod tests {
                     stripe: 3,
                     index: 2,
                 },
-                Parity { stripe: 3 },
+                Parity {
+                    stripe: 3,
+                    index: 0,
+                },
             ],
             // offset 3: D3.0 D4.0 D4.1 D4.2 P4
             [
@@ -297,7 +314,10 @@ mod tests {
                     stripe: 4,
                     index: 2,
                 },
-                Parity { stripe: 4 },
+                Parity {
+                    stripe: 4,
+                    index: 0,
+                },
             ],
         ];
         for (offset, row) in expected.iter().enumerate() {
@@ -330,8 +350,11 @@ mod tests {
                         l.data_unit_in_table(stripe, index),
                         UnitAddr::new(disk, offset)
                     ),
-                    UnitRole::Parity { stripe } => {
-                        assert_eq!(l.parity_unit_in_table(stripe), UnitAddr::new(disk, offset))
+                    UnitRole::Parity { stripe, index } => {
+                        assert_eq!(
+                            l.parity_unit_in_table(stripe, index),
+                            UnitAddr::new(disk, offset)
+                        )
                     }
                     UnitRole::Unmapped => panic!("full table has no holes"),
                 }
@@ -356,8 +379,14 @@ mod tests {
     #[test]
     fn period_extends_globally() {
         let l = figure_layout();
-        assert_eq!(l.role_at(3, 16), UnitRole::Parity { stripe: 20 });
-        assert_eq!(l.parity_location(20), UnitAddr::new(3, 16));
+        assert_eq!(
+            l.role_at(3, 16),
+            UnitRole::Parity {
+                stripe: 20,
+                index: 0
+            }
+        );
+        assert_eq!(l.parity_location(20, 0), UnitAddr::new(3, 16));
         let units = l.stripe_units(21);
         assert_eq!(units.len(), 4);
         assert!(units.iter().all(|u| u.offset >= 16 && u.offset < 32));
@@ -375,7 +404,7 @@ mod tests {
             for index in 0..l.data_units_per_stripe() {
                 expected.push(l.data_location(stripe, index));
             }
-            expected.push(l.parity_location(stripe));
+            expected.push(l.parity_location(stripe, 0));
             assert_eq!(scratch, expected, "stripe {stripe}");
         }
     }

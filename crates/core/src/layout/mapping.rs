@@ -110,6 +110,16 @@ impl ArrayMapping {
         self.layout.stripe_width()
     }
 
+    /// Parity units per stripe, `m` (1 for single parity, 2 for P+Q).
+    pub fn parity_units_per_stripe(&self) -> u16 {
+        self.layout.parity_units_per_stripe()
+    }
+
+    /// Data units per stripe, `G − m`.
+    pub fn data_units_per_stripe(&self) -> u16 {
+        self.layout.data_units_per_stripe()
+    }
+
     /// Total mapped parity stripes.
     pub fn stripes(&self) -> u64 {
         self.full_tables * self.layout.stripes_per_table() + self.partial_accepted.len() as u64

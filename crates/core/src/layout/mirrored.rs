@@ -107,6 +107,7 @@ impl ParityLayout for InterleavedMirrorLayout {
             let primary = ((disk as u64 + c - shift) % c) as u16;
             UnitRole::Parity {
                 stripe: stripe_base + primary as u64,
+                index: 0,
             }
         }
     }
@@ -122,11 +123,12 @@ impl ParityLayout for InterleavedMirrorLayout {
         UnitAddr::new(disk, row * 2)
     }
 
-    fn parity_unit_in_table(&self, stripe: u64) -> UnitAddr {
+    fn parity_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr {
         assert!(
             stripe < self.stripes_per_table(),
             "stripe {stripe} outside table"
         );
+        assert!(index == 0, "mirrored stripes have one copy unit");
         let row = stripe / self.disks as u64;
         let primary = (stripe % self.disks as u64) as u16;
         UnitAddr::new(self.secondary_of(row, primary), row * 2 + 1)
@@ -148,7 +150,7 @@ impl ParityLayout for InterleavedMirrorLayout {
 ///
 /// let l = ChainedMirrorLayout::new(8)?;
 /// // Disk 3's copy chain partner is disk 4.
-/// assert_eq!(l.parity_location(3).disk, 4);
+/// assert_eq!(l.parity_location(3, 0).disk, 4);
 /// # Ok::<(), decluster_core::Error>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -209,6 +211,7 @@ impl ParityLayout for ChainedMirrorLayout {
             let primary = (disk + self.disks - 1) % self.disks;
             UnitRole::Parity {
                 stripe: primary as u64,
+                index: 0,
             }
         }
     }
@@ -219,8 +222,9 @@ impl ParityLayout for ChainedMirrorLayout {
         UnitAddr::new(stripe as u16, 0)
     }
 
-    fn parity_unit_in_table(&self, stripe: u64) -> UnitAddr {
+    fn parity_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr {
         assert!(stripe < self.disks as u64, "stripe {stripe} outside table");
+        assert!(index == 0, "mirrored stripes have one copy unit");
         UnitAddr::new(((stripe + 1) % self.disks as u64) as u16, 1)
     }
 }
@@ -252,8 +256,11 @@ mod tests {
                         l.data_unit_in_table(stripe, index),
                         UnitAddr::new(disk, offset)
                     ),
-                    UnitRole::Parity { stripe } => {
-                        assert_eq!(l.parity_unit_in_table(stripe), UnitAddr::new(disk, offset))
+                    UnitRole::Parity { stripe, index } => {
+                        assert_eq!(
+                            l.parity_unit_in_table(stripe, index),
+                            UnitAddr::new(disk, offset)
+                        )
                     }
                     UnitRole::Unmapped => panic!("no holes"),
                 }
@@ -306,8 +313,11 @@ mod tests {
                         l.data_unit_in_table(stripe, index),
                         UnitAddr::new(disk, offset)
                     ),
-                    UnitRole::Parity { stripe } => {
-                        assert_eq!(l.parity_unit_in_table(stripe), UnitAddr::new(disk, offset))
+                    UnitRole::Parity { stripe, index } => {
+                        assert_eq!(
+                            l.parity_unit_in_table(stripe, index),
+                            UnitAddr::new(disk, offset)
+                        )
                     }
                     UnitRole::Unmapped => panic!("no holes"),
                 }

@@ -26,16 +26,20 @@ pub mod criteria;
 pub mod declustered;
 pub mod mapping;
 pub mod mirrored;
+pub mod pq;
 pub mod raid5;
 pub mod reddy;
+pub mod spec;
 pub mod tabular;
 pub mod vulnerability;
 
 pub use declustered::DeclusteredLayout;
 pub use mapping::ArrayMapping;
 pub use mirrored::{ChainedMirrorLayout, InterleavedMirrorLayout};
+pub use pq::PqLayout;
 pub use raid5::Raid5Layout;
 pub use reddy::ReddyLayout;
+pub use spec::LayoutSpec;
 pub use tabular::TabularLayout;
 
 use serde::{Deserialize, Serialize};
@@ -74,10 +78,13 @@ pub enum UnitRole {
         /// Position among the stripe's `G−1` data units.
         index: u16,
     },
-    /// The parity unit of parity stripe `stripe`.
+    /// The `index`-th parity unit of parity stripe `stripe` (`0` = P;
+    /// `1` = the Reed–Solomon Q unit of a double-fault-tolerant stripe).
     Parity {
         /// Parity stripe id.
         stripe: u64,
+        /// Position among the stripe's `m` parity units.
+        index: u16,
     },
     /// Not mapped to any stripe (only occurs in a truncated final table;
     /// see [`mapping::ArrayMapping`]).
@@ -88,7 +95,7 @@ impl UnitRole {
     /// The stripe this unit belongs to, if mapped.
     pub fn stripe(&self) -> Option<u64> {
         match *self {
-            UnitRole::Data { stripe, .. } | UnitRole::Parity { stripe } => Some(stripe),
+            UnitRole::Data { stripe, .. } | UnitRole::Parity { stripe, .. } => Some(stripe),
             UnitRole::Unmapped => None,
         }
     }
@@ -112,17 +119,24 @@ impl UnitRole {
 ///
 /// let l = Raid5Layout::new(5)?;
 /// // Figure 2-1: P0 lives on disk 4 at offset 0.
-/// assert_eq!(l.role_at(4, 0), UnitRole::Parity { stripe: 0 });
+/// assert_eq!(l.role_at(4, 0), UnitRole::Parity { stripe: 0, index: 0 });
 /// // The second table repeats the pattern five stripes later.
-/// assert_eq!(l.role_at(4, 5), UnitRole::Parity { stripe: 5 });
+/// assert_eq!(l.role_at(4, 5), UnitRole::Parity { stripe: 5, index: 0 });
 /// # Ok::<(), decluster_core::Error>(())
 /// ```
 pub trait ParityLayout: fmt::Debug + Send + Sync {
     /// Number of disks, `C`.
     fn disks(&self) -> u16;
 
-    /// Parity stripe width `G`: data units plus one parity unit.
+    /// Parity stripe width `G`: data units plus parity units.
     fn stripe_width(&self) -> u16;
+
+    /// Parity units per stripe, `m`: `1` for single-parity layouts, `2`
+    /// for P+Q double-fault-tolerant stripes. A stripe survives any `m`
+    /// simultaneous unit losses.
+    fn parity_units_per_stripe(&self) -> u16 {
+        1
+    }
 
     /// Unit offsets per disk covered by one table.
     fn table_height(&self) -> u64;
@@ -137,12 +151,13 @@ pub trait ParityLayout: fmt::Debug + Send + Sync {
     /// Location of data unit `index` of table-local stripe `stripe`.
     fn data_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr;
 
-    /// Location of the parity unit of table-local stripe `stripe`.
-    fn parity_unit_in_table(&self, stripe: u64) -> UnitAddr;
+    /// Location of parity unit `index` (`0` = P, `1` = Q, …) of
+    /// table-local stripe `stripe`.
+    fn parity_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr;
 
-    /// Data units per stripe, `G − 1`.
+    /// Data units per stripe, `G − m`.
     fn data_units_per_stripe(&self) -> u16 {
-        self.stripe_width() - 1
+        self.stripe_width() - self.parity_units_per_stripe()
     }
 
     /// The declustering ratio `α = (G−1)/(C−1)`: the fraction of each
@@ -151,9 +166,9 @@ pub trait ParityLayout: fmt::Debug + Send + Sync {
         (self.stripe_width() - 1) as f64 / (self.disks() - 1) as f64
     }
 
-    /// Fraction of array capacity consumed by parity, `1/G`.
+    /// Fraction of array capacity consumed by parity, `m/G`.
     fn parity_overhead(&self) -> f64 {
-        1.0 / self.stripe_width() as f64
+        self.parity_units_per_stripe() as f64 / self.stripe_width() as f64
     }
 
     /// The role of any unit on the disk, extending the table periodically.
@@ -165,8 +180,9 @@ pub trait ParityLayout: fmt::Debug + Send + Sync {
                 stripe: table * self.stripes_per_table() + stripe,
                 index,
             },
-            UnitRole::Parity { stripe } => UnitRole::Parity {
+            UnitRole::Parity { stripe, index } => UnitRole::Parity {
                 stripe: table * self.stripes_per_table() + stripe,
+                index,
             },
             UnitRole::Unmapped => UnitRole::Unmapped,
         }
@@ -181,17 +197,18 @@ pub trait ParityLayout: fmt::Debug + Send + Sync {
         addr
     }
 
-    /// Location of the parity unit of global stripe `stripe`.
-    fn parity_location(&self, stripe: u64) -> UnitAddr {
+    /// Location of parity unit `index` of global stripe `stripe`.
+    fn parity_location(&self, stripe: u64, index: u16) -> UnitAddr {
         let table = stripe / self.stripes_per_table();
         let local = stripe % self.stripes_per_table();
-        let mut addr = self.parity_unit_in_table(local);
+        let mut addr = self.parity_unit_in_table(local, index);
         addr.offset += table * self.table_height();
         addr
     }
 
-    /// All unit locations of global stripe `stripe`: the `G−1` data units
-    /// in index order, then the parity unit.
+    /// All unit locations of global stripe `stripe`: the `G−m` data units
+    /// in index order, then the `m` parity units in index order (P before
+    /// Q), so parity always sits at the tail of the slice.
     fn stripe_units(&self, stripe: u64) -> Vec<UnitAddr> {
         let mut units = Vec::with_capacity(self.stripe_width() as usize);
         self.stripe_units_into(stripe, &mut units);
@@ -199,8 +216,8 @@ pub trait ParityLayout: fmt::Debug + Send + Sync {
     }
 
     /// Appends the unit locations of global stripe `stripe` to `out` in the
-    /// same order as [`ParityLayout::stripe_units`]: the `G−1` data units in
-    /// index order, then the parity unit.
+    /// same order as [`ParityLayout::stripe_units`]: the `G−m` data units in
+    /// index order, then the `m` parity units in index order.
     ///
     /// This is the allocation-free form for hot paths that map stripes per
     /// simulated event: callers keep a scratch buffer, clear it, and refill
@@ -211,7 +228,9 @@ pub trait ParityLayout: fmt::Debug + Send + Sync {
         for index in 0..self.data_units_per_stripe() {
             out.push(self.data_location(stripe, index));
         }
-        out.push(self.parity_location(stripe));
+        for index in 0..self.parity_units_per_stripe() {
+            out.push(self.parity_location(stripe, index));
+        }
     }
 }
 
@@ -225,7 +244,10 @@ mod tests {
             stripe: 3,
             index: 1,
         };
-        let p = UnitRole::Parity { stripe: 3 };
+        let p = UnitRole::Parity {
+            stripe: 3,
+            index: 0,
+        };
         assert_eq!(d.stripe(), Some(3));
         assert_eq!(p.stripe(), Some(3));
         assert_eq!(UnitRole::Unmapped.stripe(), None);

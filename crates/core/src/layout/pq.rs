@@ -1,0 +1,332 @@
+//! The P+Q declustered layout: double-fault tolerance on top of the
+//! paper's block-design placement.
+//!
+//! Where [`super::DeclusteredLayout`] rotates one parity unit through the
+//! tuple positions across its `G` table copies, this layout rotates *two*
+//! — an XOR P unit and a Reed–Solomon Q unit — so any two simultaneous
+//! unit losses per stripe are recoverable. Placement balance carries
+//! over: each disk holds exactly `r` P units and `r` Q units per full
+//! table, and reconstruction load stays spread per the base design's `λ`.
+
+use super::{ParityLayout, UnitAddr, UnitRole};
+use crate::design::BlockDesign;
+use crate::error::Error;
+
+/// A compact per-unit role for the precomputed table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LocalRole {
+    Data { stripe: u32, index: u16 },
+    Parity { stripe: u32, index: u16 },
+}
+
+/// A block-design-based declustered layout with two parity units (P and
+/// Q) per stripe.
+///
+/// Construction mirrors [`super::DeclusteredLayout`]: the block design
+/// table is duplicated `G` times, and copy `t` assigns P to tuple
+/// position `G−1−t` and Q to position `(G−t) mod G`. Sweeping both
+/// through all positions puts each position under P exactly once and
+/// under Q exactly once across the full table, so every disk carries `r`
+/// P units and `r` Q units — parity load stays distributed per parity
+/// rank, which the generalized criterion 2 checker verifies.
+///
+/// # Examples
+///
+/// ```
+/// use decluster_core::design::BlockDesign;
+/// use decluster_core::layout::{ParityLayout, PqLayout};
+///
+/// let layout = PqLayout::new(BlockDesign::complete(5, 4)?)?;
+/// assert_eq!(layout.parity_units_per_stripe(), 2);
+/// assert_eq!(layout.data_units_per_stripe(), 2);
+/// assert_eq!(layout.parity_overhead(), 0.5); // m/G = 2/4
+/// # Ok::<(), decluster_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PqLayout {
+    disks: u16,
+    width: u16,
+    height: u64,
+    stripes: u64,
+    /// Role of each unit, indexed `disk * height + offset`.
+    roles: Vec<LocalRole>,
+    /// Unit addresses per stripe: `G` entries per stripe — data units
+    /// `0..G−2`, then P, then Q — as `(disk, offset)`.
+    units: Vec<(u16, u32)>,
+    design: BlockDesign,
+}
+
+impl PqLayout {
+    /// Builds the full P+Q block design table for `design`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadParameters`] if the design's tuple size is
+    /// below 3 (a stripe must hold at least one data unit plus P and Q)
+    /// or the full table would exceed 2³² units per disk.
+    pub fn new(design: BlockDesign) -> Result<PqLayout, Error> {
+        let p = design.params();
+        let (c, g, b, r) = (p.v, p.k, p.b, p.r);
+        if g < 3 {
+            return Err(Error::BadParameters {
+                reason: "P+Q stripes need width >= 3 (one data unit plus P and Q)".into(),
+            });
+        }
+        let height = (g as u64) * r;
+        if height > u32::MAX as u64 {
+            return Err(Error::BadParameters {
+                reason: format!("full table height {height} exceeds u32 range"),
+            });
+        }
+        let stripes = (g as u64) * b;
+
+        let mut roles = vec![None::<LocalRole>; c as usize * height as usize];
+        let mut units = vec![(0u16, 0u32); stripes as usize * g as usize];
+        let mut next_free = vec![0u32; c as usize];
+
+        for copy in 0..g {
+            let p_elem = (g - 1 - copy) as usize;
+            let q_elem = ((g - copy) % g) as usize;
+            for (ti, tuple) in design.tuples().enumerate() {
+                let stripe = copy as u64 * b + ti as u64;
+                let mut data_index = 0u16;
+                for (j, &disk) in tuple.iter().enumerate() {
+                    let offset = next_free[disk as usize];
+                    next_free[disk as usize] += 1;
+                    let slot = disk as usize * height as usize + offset as usize;
+                    debug_assert!(roles[slot].is_none());
+                    let unit_slot = if j == p_elem {
+                        roles[slot] = Some(LocalRole::Parity {
+                            stripe: stripe as u32,
+                            index: 0,
+                        });
+                        g as usize - 2
+                    } else if j == q_elem {
+                        roles[slot] = Some(LocalRole::Parity {
+                            stripe: stripe as u32,
+                            index: 1,
+                        });
+                        g as usize - 1
+                    } else {
+                        roles[slot] = Some(LocalRole::Data {
+                            stripe: stripe as u32,
+                            index: data_index,
+                        });
+                        data_index += 1;
+                        data_index as usize - 1
+                    };
+                    units[stripe as usize * g as usize + unit_slot] = (disk, offset);
+                }
+            }
+        }
+        debug_assert!(next_free.iter().all(|&n| n as u64 == height));
+        let roles = roles
+            .into_iter()
+            .map(|r| r.expect("every table cell is filled: each disk appears in r tuples per copy"))
+            .collect();
+
+        Ok(PqLayout {
+            disks: c,
+            width: g,
+            height,
+            stripes,
+            roles,
+            units,
+            design,
+        })
+    }
+
+    /// The block design this layout was built from.
+    pub fn design(&self) -> &BlockDesign {
+        &self.design
+    }
+}
+
+impl ParityLayout for PqLayout {
+    fn disks(&self) -> u16 {
+        self.disks
+    }
+
+    fn stripe_width(&self) -> u16 {
+        self.width
+    }
+
+    fn parity_units_per_stripe(&self) -> u16 {
+        2
+    }
+
+    fn table_height(&self) -> u64 {
+        self.height
+    }
+
+    fn stripes_per_table(&self) -> u64 {
+        self.stripes
+    }
+
+    fn role_in_table(&self, disk: u16, offset: u64) -> UnitRole {
+        assert!(
+            disk < self.disks,
+            "disk {disk} out of range 0..{}",
+            self.disks
+        );
+        assert!(
+            offset < self.height,
+            "offset {offset} outside table 0..{}",
+            self.height
+        );
+        match self.roles[disk as usize * self.height as usize + offset as usize] {
+            LocalRole::Data { stripe, index } => UnitRole::Data {
+                stripe: stripe as u64,
+                index,
+            },
+            LocalRole::Parity { stripe, index } => UnitRole::Parity {
+                stripe: stripe as u64,
+                index,
+            },
+        }
+    }
+
+    fn data_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr {
+        assert!(stripe < self.stripes, "stripe {stripe} outside table");
+        assert!(index < self.width - 2, "data index {index} outside stripe");
+        let (disk, offset) = self.units[stripe as usize * self.width as usize + index as usize];
+        UnitAddr::new(disk, offset as u64)
+    }
+
+    fn parity_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr {
+        assert!(stripe < self.stripes, "stripe {stripe} outside table");
+        assert!(index < 2, "P+Q stripe has no parity unit {index}");
+        let slot = self.width as usize - 2 + index as usize;
+        let (disk, offset) = self.units[stripe as usize * self.width as usize + slot];
+        UnitAddr::new(disk, offset as u64)
+    }
+
+    // One contiguous copy out of the precomputed table, instead of G
+    // separate stripe/index decodes through the default method.
+    fn stripe_units_into(&self, stripe: u64, out: &mut Vec<UnitAddr>) {
+        let table = stripe / self.stripes;
+        let local = (stripe % self.stripes) as usize;
+        let base = table * self.height;
+        let g = self.width as usize;
+        out.extend(
+            self.units[local * g..(local + 1) * g]
+                .iter()
+                .map(|&(disk, offset)| UnitAddr::new(disk, offset as u64 + base)),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure_layout() -> PqLayout {
+        PqLayout::new(BlockDesign::complete(5, 4).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn dimensions_match_base_design() {
+        let l = figure_layout();
+        assert_eq!(l.disks(), 5);
+        assert_eq!(l.stripe_width(), 4);
+        assert_eq!(l.parity_units_per_stripe(), 2);
+        assert_eq!(l.data_units_per_stripe(), 2);
+        assert_eq!(l.table_height(), 16);
+        assert_eq!(l.stripes_per_table(), 20);
+    }
+
+    #[test]
+    fn role_and_location_are_inverse_over_full_table() {
+        let l = figure_layout();
+        for disk in 0..5u16 {
+            for offset in 0..16u64 {
+                match l.role_in_table(disk, offset) {
+                    UnitRole::Data { stripe, index } => assert_eq!(
+                        l.data_unit_in_table(stripe, index),
+                        UnitAddr::new(disk, offset)
+                    ),
+                    UnitRole::Parity { stripe, index } => assert_eq!(
+                        l.parity_unit_in_table(stripe, index),
+                        UnitAddr::new(disk, offset)
+                    ),
+                    UnitRole::Unmapped => panic!("full table has no holes"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn each_disk_holds_r_p_units_and_r_q_units() {
+        let l = figure_layout();
+        let r = l.design().params().r;
+        for disk in 0..5u16 {
+            let mut p_count = 0u64;
+            let mut q_count = 0u64;
+            for offset in 0..l.table_height() {
+                match l.role_in_table(disk, offset) {
+                    UnitRole::Parity { index: 0, .. } => p_count += 1,
+                    UnitRole::Parity { index: 1, .. } => q_count += 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(p_count, r, "disk {disk} P units");
+            assert_eq!(q_count, r, "disk {disk} Q units");
+        }
+    }
+
+    #[test]
+    fn stripes_occupy_distinct_disks() {
+        let l = figure_layout();
+        for stripe in 0..l.stripes_per_table() {
+            let units = l.stripe_units(stripe);
+            assert_eq!(units.len(), 4);
+            let mut disks: Vec<u16> = units.iter().map(|u| u.disk).collect();
+            disks.sort_unstable();
+            disks.dedup();
+            assert_eq!(disks.len(), 4, "stripe {stripe} reuses a disk");
+        }
+    }
+
+    #[test]
+    fn p_and_q_are_distinct_units() {
+        let l = figure_layout();
+        for stripe in 0..l.stripes_per_table() {
+            assert_ne!(
+                l.parity_unit_in_table(stripe, 0),
+                l.parity_unit_in_table(stripe, 1),
+                "stripe {stripe}"
+            );
+        }
+    }
+
+    #[test]
+    fn stripe_units_into_matches_default_path() {
+        let l = figure_layout();
+        let mut scratch = Vec::new();
+        for stripe in 0..l.stripes_per_table() * 3 {
+            scratch.clear();
+            l.stripe_units_into(stripe, &mut scratch);
+            let mut expected = Vec::new();
+            for index in 0..l.data_units_per_stripe() {
+                expected.push(l.data_location(stripe, index));
+            }
+            expected.push(l.parity_location(stripe, 0));
+            expected.push(l.parity_location(stripe, 1));
+            assert_eq!(scratch, expected, "stripe {stripe}");
+        }
+    }
+
+    #[test]
+    fn period_extends_globally() {
+        let l = figure_layout();
+        let units = l.stripe_units(21);
+        assert_eq!(units.len(), 4);
+        assert!(units.iter().all(|u| u.offset >= 16 && u.offset < 32));
+    }
+
+    #[test]
+    fn rejects_narrow_design() {
+        let d = BlockDesign::complete(4, 2).unwrap();
+        assert!(matches!(PqLayout::new(d), Err(Error::BadParameters { .. })));
+    }
+}

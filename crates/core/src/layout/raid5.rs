@@ -20,7 +20,7 @@ use crate::error::Error;
 /// let l = Raid5Layout::new(5)?;
 /// assert_eq!(l.role_at(0, 0), UnitRole::Data { stripe: 0, index: 0 });
 /// assert_eq!(l.role_at(4, 1), UnitRole::Data { stripe: 1, index: 0 });
-/// assert_eq!(l.role_at(3, 1), UnitRole::Parity { stripe: 1 });
+/// assert_eq!(l.role_at(3, 1), UnitRole::Parity { stripe: 1, index: 0 });
 /// # Ok::<(), decluster_core::Error>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +73,7 @@ impl ParityLayout for Raid5Layout {
         let stripe = offset;
         let index = (disk as u64 + stripe) % c;
         if index == c - 1 {
-            UnitRole::Parity { stripe }
+            UnitRole::Parity { stripe, index: 0 }
         } else {
             UnitRole::Data {
                 stripe,
@@ -94,9 +94,13 @@ impl ParityLayout for Raid5Layout {
         UnitAddr::new(disk as u16, stripe)
     }
 
-    fn parity_unit_in_table(&self, stripe: u64) -> UnitAddr {
+    fn parity_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr {
         let c = self.disks as u64;
         assert!(stripe < c, "stripe {stripe} outside table 0..{c}");
+        assert!(
+            index == 0,
+            "single-parity layout has no parity unit {index}"
+        );
         UnitAddr::new(((c - 1 - stripe % c) % c) as u16, stripe)
     }
 }
@@ -136,7 +140,8 @@ mod tests {
                     None => assert_eq!(
                         role,
                         UnitRole::Parity {
-                            stripe: offset as u64
+                            stripe: offset as u64,
+                            index: 0
                         },
                         "disk {disk} offset {offset}"
                     ),
@@ -157,8 +162,11 @@ mod tests {
                             UnitAddr::new(disk, offset)
                         );
                     }
-                    UnitRole::Parity { stripe } => {
-                        assert_eq!(l.parity_unit_in_table(stripe), UnitAddr::new(disk, offset));
+                    UnitRole::Parity { stripe, index } => {
+                        assert_eq!(
+                            l.parity_unit_in_table(stripe, index),
+                            UnitAddr::new(disk, offset)
+                        );
                     }
                     UnitRole::Unmapped => panic!("RAID 5 has no holes"),
                 }
@@ -176,7 +184,7 @@ mod tests {
                 index: 0
             }
         );
-        assert_eq!(l.parity_location(7), UnitAddr::new(2, 7));
+        assert_eq!(l.parity_location(7, 0), UnitAddr::new(2, 7));
     }
 
     #[test]

@@ -126,7 +126,7 @@ impl ParityLayout for ReddyLayout {
             if let Some(rank) = disks.iter().position(|&d| d == disk) {
                 let stripe = 2 * offset + group as u64;
                 return if rank as u16 == parity_pos {
-                    UnitRole::Parity { stripe }
+                    UnitRole::Parity { stripe, index: 0 }
                 } else {
                     let index = if (rank as u16) < parity_pos {
                         rank as u16
@@ -154,10 +154,14 @@ impl ParityLayout for ReddyLayout {
         UnitAddr::new(self.group_disks(base, group)[rank as usize], offset)
     }
 
-    fn parity_unit_in_table(&self, stripe: u64) -> UnitAddr {
+    fn parity_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr {
         assert!(
             stripe < self.stripes_per_table(),
             "stripe {stripe} outside table"
+        );
+        assert!(
+            index == 0,
+            "single-parity layout has no parity unit {index}"
         );
         let offset = stripe / 2;
         let group = (stripe % 2) as u16;
@@ -203,8 +207,11 @@ mod tests {
                         l.data_unit_in_table(stripe, index),
                         UnitAddr::new(disk, offset)
                     ),
-                    UnitRole::Parity { stripe } => {
-                        assert_eq!(l.parity_unit_in_table(stripe), UnitAddr::new(disk, offset))
+                    UnitRole::Parity { stripe, index } => {
+                        assert_eq!(
+                            l.parity_unit_in_table(stripe, index),
+                            UnitAddr::new(disk, offset)
+                        )
                     }
                     UnitRole::Unmapped => panic!("no holes"),
                 }
@@ -222,7 +229,7 @@ mod tests {
                     assert_eq!(u.offset, offset);
                     seen[u.disk as usize] = true;
                 }
-                let p = l.parity_unit_in_table(stripe);
+                let p = l.parity_unit_in_table(stripe, 0);
                 assert_eq!(p.offset, offset);
                 seen[p.disk as usize] = true;
             }

@@ -39,6 +39,9 @@ pub fn export(layout: &dyn ParityLayout) -> String {
     let _ = writeln!(out, "width {}", layout.stripe_width());
     let _ = writeln!(out, "height {}", layout.table_height());
     let _ = writeln!(out, "stripes {}", layout.stripes_per_table());
+    if layout.parity_units_per_stripe() != 1 {
+        let _ = writeln!(out, "parity {}", layout.parity_units_per_stripe());
+    }
     let _ = writeln!(
         out,
         "# stripe <id>: data units in index order, then parity, as disk:offset"
@@ -76,6 +79,8 @@ pub struct TabularLayout {
     disks: u16,
     width: u16,
     height: u64,
+    /// Parity units per stripe (`1` unless the table declares `parity m`).
+    parity: u16,
     /// Unit addresses, `G` per stripe (data in index order, then parity).
     units: Vec<UnitAddr>,
     /// Role of each table cell, indexed `disk * height + offset`.
@@ -97,6 +102,28 @@ impl TabularLayout {
         height: u64,
         stripes: Vec<Vec<UnitAddr>>,
     ) -> Result<TabularLayout, Error> {
+        TabularLayout::with_parity(disks, width, height, 1, stripes)
+    }
+
+    /// Builds a tabular layout whose stripes carry `parity` parity units
+    /// at the tail of each unit list (`G − m` data units, then P, then Q).
+    ///
+    /// # Errors
+    ///
+    /// As [`TabularLayout::new`], plus [`Error::BadParameters`] when
+    /// `parity` is zero or leaves no data units.
+    pub fn with_parity(
+        disks: u16,
+        width: u16,
+        height: u64,
+        parity: u16,
+        stripes: Vec<Vec<UnitAddr>>,
+    ) -> Result<TabularLayout, Error> {
+        if parity == 0 || parity >= width {
+            return Err(Error::BadParameters {
+                reason: format!("bad parity count {parity} for width {width}"),
+            });
+        }
         if disks == 0 || width < 2 || width > disks {
             return Err(Error::BadParameters {
                 reason: format!("bad dimensions: disks={disks}, width={width}"),
@@ -138,8 +165,11 @@ impl TabularLayout {
                         reason: format!("cell {addr} assigned twice"),
                     });
                 }
-                roles[cell] = Some(if j == width as usize - 1 {
-                    UnitRole::Parity { stripe: sid as u64 }
+                roles[cell] = Some(if j >= (width - parity) as usize {
+                    UnitRole::Parity {
+                        stripe: sid as u64,
+                        index: (j - (width - parity) as usize) as u16,
+                    }
                 } else {
                     UnitRole::Data {
                         stripe: sid as u64,
@@ -157,6 +187,7 @@ impl TabularLayout {
             disks,
             width,
             height,
+            parity,
             units,
             roles,
         })
@@ -170,6 +201,10 @@ impl ParityLayout for TabularLayout {
 
     fn stripe_width(&self) -> u16 {
         self.width
+    }
+
+    fn parity_units_per_stripe(&self) -> u16 {
+        self.parity
     }
 
     fn table_height(&self) -> u64 {
@@ -191,16 +226,21 @@ impl ParityLayout for TabularLayout {
             stripe < self.stripes_per_table(),
             "stripe {stripe} outside table"
         );
-        assert!(index < self.width - 1, "data index {index} outside stripe");
+        assert!(
+            index < self.width - self.parity,
+            "data index {index} outside stripe"
+        );
         self.units[stripe as usize * self.width as usize + index as usize]
     }
 
-    fn parity_unit_in_table(&self, stripe: u64) -> UnitAddr {
+    fn parity_unit_in_table(&self, stripe: u64, index: u16) -> UnitAddr {
         assert!(
             stripe < self.stripes_per_table(),
             "stripe {stripe} outside table"
         );
-        self.units[stripe as usize * self.width as usize + self.width as usize - 1]
+        assert!(index < self.parity, "parity index {index} outside stripe");
+        let data = (self.width - self.parity) as usize;
+        self.units[stripe as usize * self.width as usize + data + index as usize]
     }
 
     // One contiguous copy out of the parsed table, instead of G separate
@@ -234,6 +274,7 @@ impl FromStr for TabularLayout {
         let mut disks = None;
         let mut width = None;
         let mut height = None;
+        let mut parity = None;
         let mut stripe_count = None;
         let mut stripes: Vec<Vec<UnitAddr>> = Vec::new();
         for (i, raw) in lines {
@@ -244,7 +285,7 @@ impl FromStr for TabularLayout {
             let mut fields = line.split_whitespace();
             let key = fields.next().expect("nonempty line has a first token");
             match key {
-                "disks" | "width" | "height" | "stripes" => {
+                "disks" | "width" | "height" | "parity" | "stripes" => {
                     let value: u64 = fields
                         .next()
                         .and_then(|v| v.parse().ok())
@@ -253,6 +294,7 @@ impl FromStr for TabularLayout {
                         "disks" => disks = Some(value as u16),
                         "width" => width = Some(value as u16),
                         "height" => height = Some(value),
+                        "parity" => parity = Some(value as u16),
                         _ => stripe_count = Some(value),
                     }
                 }
@@ -295,7 +337,7 @@ impl FromStr for TabularLayout {
                 });
             }
         }
-        TabularLayout::new(disks, width, height, stripes)
+        TabularLayout::with_parity(disks, width, height, parity.unwrap_or(1), stripes)
     }
 }
 
@@ -356,7 +398,13 @@ mod tests {
         let layout: TabularLayout = text.parse().unwrap();
         assert_eq!(layout.stripes_per_table(), 3);
         criteria::check_single_failure_correcting(&layout).unwrap();
-        assert_eq!(layout.role_in_table(2, 0), UnitRole::Parity { stripe: 1 });
+        assert_eq!(
+            layout.role_in_table(2, 0),
+            UnitRole::Parity {
+                stripe: 1,
+                index: 0
+            }
+        );
     }
 
     #[test]
@@ -399,7 +447,10 @@ mod tests {
         // Periodicity and stripe arithmetic work through the trait.
         let original = DeclusteredLayout::new(BlockDesign::complete(5, 4).unwrap()).unwrap();
         let parsed = round_trip(&original);
-        assert_eq!(parsed.parity_location(25), original.parity_location(25));
+        assert_eq!(
+            parsed.parity_location(25, 0),
+            original.parity_location(25, 0)
+        );
         assert_eq!(parsed.stripe_units(21), original.stripe_units(21));
         assert_eq!(parsed.alpha(), original.alpha());
     }

@@ -63,10 +63,12 @@ use decluster_array::{
     ReconAlgorithm, ReconOptions, ReconReport, RecoveryPolicy, ScrubConfig,
 };
 use decluster_core::error::Error;
+use decluster_core::layout::{LayoutSpec, ParityLayout};
 use decluster_disk::MediaFaultConfig;
 use decluster_sim::{DiskTimeline, NoProbe, Probe, Recorder, SimRng, SimTime};
 use decluster_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A repair organization under campaign test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -86,6 +88,16 @@ pub enum CampaignLayout {
         /// Parity stripe width (units per stripe, parity included).
         g: u16,
     },
+    /// P+Q double-fault-tolerant declustering with stripe width `g`
+    /// (two parity units per stripe), rebuilt onto a dedicated
+    /// replacement. At `g = 8` the overhead (2/8) matches the
+    /// single-parity `g = 4` arm (1/4), isolating what the second
+    /// parity unit buys at equal capacity cost.
+    Pq {
+        /// Parity stripe width (units per stripe, both parities
+        /// included).
+        g: u16,
+    },
 }
 
 impl CampaignLayout {
@@ -95,14 +107,25 @@ impl CampaignLayout {
             CampaignLayout::Declustered { g } => format!("declustered-g{g}"),
             CampaignLayout::Raid5 => "raid5".to_string(),
             CampaignLayout::DistributedSparing { g } => format!("distributed-sparing-g{g}"),
+            CampaignLayout::Pq { g } => format!("pq-g{g}"),
         }
     }
 
     /// Parity stripe width.
     pub fn group(&self) -> u16 {
         match self {
-            CampaignLayout::Declustered { g } | CampaignLayout::DistributedSparing { g } => *g,
+            CampaignLayout::Declustered { g }
+            | CampaignLayout::DistributedSparing { g }
+            | CampaignLayout::Pq { g } => *g,
             CampaignLayout::Raid5 => PAPER_DISKS,
+        }
+    }
+
+    /// Parity units per stripe: 2 for the P+Q arm, 1 elsewhere.
+    pub fn parity_units(&self) -> u16 {
+        match self {
+            CampaignLayout::Pq { .. } => 2,
+            _ => 1,
         }
     }
 
@@ -129,7 +152,24 @@ impl CampaignLayout {
                 .ok()
                 .map(|g| CampaignLayout::DistributedSparing { g });
         }
+        if let Some(g) = name.strip_prefix("pq-g") {
+            return g.parse().ok().map(|g| CampaignLayout::Pq { g });
+        }
         None
+    }
+
+    /// Builds the layout this arm simulates on the paper's 21 disks: the
+    /// appendix designs (or left-symmetric RAID 5) for the single-parity
+    /// arms, the registry's `pq:c21gN` construction for P+Q.
+    pub fn build(&self) -> Result<Arc<dyn ParityLayout>, Error> {
+        match *self {
+            CampaignLayout::Pq { g } => LayoutSpec::Pq {
+                disks: PAPER_DISKS,
+                group: g,
+            }
+            .build(),
+            _ => paper_layout(self.group()),
+        }
     }
 }
 
@@ -168,13 +208,15 @@ pub struct CampaignSpec {
 
 impl CampaignSpec {
     /// The default layout set: two declustered widths, the RAID 5
-    /// baseline, and distributed sparing at the narrow width.
+    /// baseline, distributed sparing at the narrow width, and the P+Q
+    /// arm at the same 25 % parity overhead as `g = 4`.
     pub fn default_layouts() -> Vec<CampaignLayout> {
         vec![
             CampaignLayout::Declustered { g: 4 },
             CampaignLayout::Declustered { g: 10 },
             CampaignLayout::Raid5,
             CampaignLayout::DistributedSparing { g: 4 },
+            CampaignLayout::Pq { g: 8 },
         ]
     }
 
@@ -499,8 +541,12 @@ pub struct LayoutSummary {
     /// data, `p_loss · horizon` seconds.
     pub window_secs: f64,
     /// Analytic MTTDL corrected by the measured loss probability:
-    /// `m² / (C·(C−1)·r) / p_loss_during_rebuild`. `None` when no trial
-    /// lost data (the campaign measured the MTTDL as unbounded).
+    /// `m² / (C·(C−1)·r) / p_loss_during_rebuild`. A loss-free P+Q arm
+    /// instead reports the two-fault Markov figure
+    /// `m³ / (C·(C−1)·(C−2)·r²)` — its exposure is the three-failure
+    /// chain the campaign cannot reach. `None` when a single-parity
+    /// layout lost nothing (the campaign measured the MTTDL as
+    /// unbounded).
     pub mttdl_hours: Option<f64>,
     /// Per-disk utilization/queue-depth timelines recorded during the
     /// calibration rebuild (bounded samples; disk 0 is the replacement).
@@ -658,13 +704,7 @@ fn build_sim_probed<P: Probe>(
     probe: P,
 ) -> Result<ArraySim<P>, Error> {
     let workload = WorkloadSpec::half_and_half(spec.rate);
-    let mut sim = ArraySim::new_probed(
-        paper_layout(layout.group())?,
-        cfg,
-        workload,
-        seed_stream,
-        probe,
-    )?;
+    let mut sim = ArraySim::new_probed(layout.build()?, cfg, workload, seed_stream, probe)?;
     sim.fail_disk(0)?;
     let mut opts = ReconOptions::new(ReconAlgorithm::Baseline).processes(spec.processes);
     if layout.is_distributed() {
@@ -834,7 +874,7 @@ fn run_scrub_trial(
         .build();
 
     let workload = WorkloadSpec::half_and_half(spec.rate);
-    let mut sim = ArraySim::new(paper_layout(layout.group())?, cfg, workload, seed_stream)?;
+    let mut sim = ArraySim::new(layout.build()?, cfg, workload, seed_stream)?;
     sim.inject_faults(
         &FaultPlan::new()
             .fail_at(0, SimTime::from_secs_f64(first_at_secs))
@@ -883,18 +923,8 @@ fn run_crash_trial(
         reason: format!("crash planned at {at_secs} s never fired"),
     })?;
 
-    let full = recover(
-        paper_layout(layout.group())?,
-        &cfg,
-        crash,
-        RecoveryPolicy::FullResync,
-    )?;
-    let drl = recover(
-        paper_layout(layout.group())?,
-        &cfg,
-        crash,
-        RecoveryPolicy::DirtyRegionLog,
-    )?;
+    let full = recover(layout.build()?, &cfg, crash, RecoveryPolicy::FullResync)?;
+    let drl = recover(layout.build()?, &cfg, crash, RecoveryPolicy::DirtyRegionLog)?;
     let outcome = CrashTrialOutcome {
         trial,
         seed_stream,
@@ -939,9 +969,19 @@ fn summarize(
     let p_loss_during_rebuild = if during > 0.0 { losses / during } else { 0.0 };
     let mean_lost_stripes = trials.iter().map(|t| t.lost_stripes as f64).sum::<f64>() / n;
     let horizon = spec.horizon_factor * baseline_secs;
-    let mttdl_hours = if p_loss_during_rebuild > 0.0 {
-        let analytic =
-            reliability::mttdl_hours(PAPER_DISKS, spec.mtbf_hours, baseline_secs / 3600.0);
+    let repair_hours = baseline_secs / 3600.0;
+    let mttdl_hours = if layout.parity_units() >= 2 && p_loss_during_rebuild == 0.0 {
+        // A P+Q arm absorbs the second fault entirely, so its exposure is
+        // the three-failure chain: the two-fault Markov figure applies.
+        // (Were any trial to lose data, the single-fault correction below
+        // would report what the measurements actually say.)
+        Some(reliability::mttdl_two_fault_hours(
+            PAPER_DISKS,
+            spec.mtbf_hours,
+            repair_hours,
+        ))
+    } else if p_loss_during_rebuild > 0.0 {
+        let analytic = reliability::mttdl_hours(PAPER_DISKS, spec.mtbf_hours, repair_hours);
         Some(analytic / p_loss_during_rebuild)
     } else {
         None
@@ -1300,6 +1340,31 @@ mod tests {
             assert_eq!(a.second_disk, b.second_disk);
             assert_eq!(a.second_at_secs, b.second_at_secs);
         }
+    }
+
+    #[test]
+    fn pq_arm_survives_every_second_fault() {
+        let mut spec = CampaignSpec::tiny();
+        spec.layouts = vec![CampaignLayout::Pq { g: 8 }];
+        spec.trials = 4;
+        spec.scrub_trials = 0;
+        spec.crash_trials = 0;
+        let report = run_campaign(&spec, &Runner::new(0)).unwrap();
+        let layout = &report.layouts[0];
+        assert_eq!(layout.p_loss, 0.0, "P+Q must absorb any second fault");
+        assert_eq!(layout.mean_lost_stripes, 0.0);
+        for t in &layout.trials {
+            assert_eq!(t.lost_stripes, 0, "trial {}: P+Q lost data", t.trial);
+        }
+        // The reported MTTDL is the two-fault Markov figure, which dwarfs
+        // any single-parity correction at the same repair time.
+        let mttdl = layout.mttdl_hours.expect("P+Q reports the two-fault MTTDL");
+        let single = reliability::mttdl_hours(
+            PAPER_DISKS,
+            spec.mtbf_hours,
+            layout.baseline_recon_secs / 3600.0,
+        );
+        assert!(mttdl > 1000.0 * single, "{mttdl} vs single-fault {single}");
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use runner::{Runner, SweepReport, SweepRun};
 
 use decluster_core::design::appendix;
 use decluster_core::error::Error;
-use decluster_core::layout::{DeclusteredLayout, ParityLayout, Raid5Layout};
+use decluster_core::layout::{LayoutSpec, ParityLayout};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -62,19 +62,27 @@ pub fn alpha_sweep() -> Vec<(u16, f64)> {
         .collect()
 }
 
-/// Builds the paper's layout for stripe width `g` on 21 disks:
-/// left-symmetric RAID 5 for `g = 21`, the appendix block design otherwise.
+/// Builds the paper's layout for stripe width `g` on 21 disks through the
+/// layout registry: `raid5:c21` for `g = 21`, `bibd:c21gN` otherwise (the
+/// catalog resolves `v = 21` from the paper's appendix tables, so these
+/// are the exact designs the paper simulated).
 ///
 /// # Errors
 ///
 /// Returns an error if `g` is not one of the paper's group sizes.
 pub fn paper_layout(g: u16) -> Result<Arc<dyn ParityLayout>, Error> {
-    if g == PAPER_DISKS {
-        Ok(Arc::new(Raid5Layout::new(PAPER_DISKS)?))
+    let spec = if g == PAPER_DISKS {
+        LayoutSpec::Raid5 { disks: PAPER_DISKS }
     } else {
-        let design = appendix::design_for_group_size(g)?;
-        Ok(Arc::new(DeclusteredLayout::new(design)?))
-    }
+        // Keep paper fidelity: only the appendix widths are valid here,
+        // even though the catalog could satisfy other (21, g) pairs.
+        appendix::design_for_group_size(g)?;
+        LayoutSpec::Bibd {
+            disks: PAPER_DISKS,
+            group: g,
+        }
+    };
+    spec.build()
 }
 
 /// How big to run an experiment.

@@ -14,7 +14,7 @@ use crate::runner::{Runner, SweepRun};
 use crate::{paper_layout, ExperimentScale};
 use decluster_array::{ArraySim, ReconAlgorithm, ReconOptions};
 use decluster_core::error::Error;
-use decluster_core::layout::{ChainedMirrorLayout, InterleavedMirrorLayout, ParityLayout};
+use decluster_core::layout::{LayoutSpec, ParityLayout};
 use decluster_sim::SimTime;
 use decluster_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
@@ -52,8 +52,8 @@ impl Organization {
     pub fn layout(&self) -> Result<Arc<dyn ParityLayout>, Error> {
         match self {
             Organization::ParityDeclustered { g } => paper_layout(*g),
-            Organization::InterleavedMirror => Ok(Arc::new(InterleavedMirrorLayout::new(21)?)),
-            Organization::ChainedMirror => Ok(Arc::new(ChainedMirrorLayout::new(21)?)),
+            Organization::InterleavedMirror => LayoutSpec::Mirror { disks: 21 }.build(),
+            Organization::ChainedMirror => LayoutSpec::Chained { disks: 21 }.build(),
         }
     }
 }

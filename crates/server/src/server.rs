@@ -596,11 +596,24 @@ fn rebuild_json(report: &RebuildReport) -> String {
         out.push(']');
         out
     };
+    let failed = |disks: &[u16]| {
+        let mut out = String::from("[");
+        for (i, v) in disks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push(']');
+        out
+    };
     format!(
-        "{{\"failed_disk\":{},\"units_rebuilt\":{},\"units_already_valid\":{},\
+        "{{\"failed_disk\":{},\"failed_disks\":{},\"units_rebuilt\":{},\
+         \"units_already_valid\":{},\
          \"units_unmapped\":{},\"alpha\":{:.6},\"wall_secs\":{:.6},\
          \"disk_reads\":{},\"disk_writes\":{},\"mapped_units_per_disk\":{}}}",
-        report.failed_disk,
+        report.failed_disks.first().map_or(-1, |d| i64::from(*d)),
+        failed(&report.failed_disks),
         report.units_rebuilt,
         report.units_already_valid,
         report.units_unmapped,

@@ -373,8 +373,8 @@ fn reconnect_resumes_the_session_and_replays_admin_outcomes() {
     let (header, body) = raw_response(&mut raw);
     assert_eq!(header.status, Status::Invalid);
     assert!(
-        String::from_utf8_lossy(&body).contains("degraded"),
-        "the second execution sees the degraded array"
+        String::from_utf8_lossy(&body).contains("already failed"),
+        "the second execution sees the already-failed disk"
     );
     server.stop().unwrap();
 }

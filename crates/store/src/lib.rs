@@ -44,4 +44,5 @@ pub use stats::{DiskStats, StoreStats};
 pub use store::{BackendFactory, BlockStore, DiskCounters, RebuildReport};
 pub use superblock::{
     LayoutSpec, Superblock, BLOCK_BYTES, SUPERBLOCK_BYTES, VERSION, VERSION_NO_CHECKSUMS,
+    VERSION_TAGGED,
 };

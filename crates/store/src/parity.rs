@@ -1,13 +1,19 @@
-//! Wide XOR kernels: the store's one parity engine.
+//! Parity kernels: wide XOR for P and GF(256) Reed–Solomon for Q.
 //!
 //! Every parity computation in the store — read-modify-write deltas,
 //! degraded reconstruction, rebuild, resync, full-stripe parity — runs
-//! through these two functions, so optimizing (or fixing) the kernel
-//! happens in exactly one place. Both operate on eight-byte lanes,
-//! four lanes per step (32 bytes), which LLVM turns into SIMD on every
+//! through this module, so optimizing (or fixing) a kernel happens in
+//! exactly one place. The XOR paths operate on eight-byte lanes, four
+//! lanes per step (32 bytes), which LLVM turns into SIMD on every
 //! target we build for; the scalar tail handles lengths that are not a
 //! multiple of 32. The `parity_xor` bench binary reports the measured
 //! GB/s against a byte-at-a-time reference (`results/xor_bench.json`).
+//!
+//! The GF(256) half implements the RAID-6 field (polynomial `0x11D`,
+//! generator 2): `Q = Σ gᶦ·dᵢ` over the data units, with delta updates
+//! (`Q ^= gᵃ·Δ`) and the closed-form two-erasure solve. Multiplication
+//! by a fixed coefficient goes through a per-call 256-entry product
+//! table, amortized across unit-sized buffers.
 
 /// Bytes processed per wide step: four u64 lanes.
 const WIDE: usize = 32;
@@ -71,6 +77,124 @@ pub fn xor_delta(acc: &mut [u8], old: &[u8], new: &[u8]) {
     }
 }
 
+/// The RAID-6 field polynomial: x⁸ + x⁴ + x³ + x² + 1.
+const GF_POLY: u16 = 0x11D;
+
+/// Log/antilog tables for GF(256) under generator 2, built at compile
+/// time. `EXP` is doubled so products of logs index without a mod.
+const GF_TABLES: ([u8; 512], [u8; 256]) = {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        exp[i + 255] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= GF_POLY;
+        }
+        i += 1;
+    }
+    (exp, log)
+};
+
+/// `gᶦ` for generator 2 — the Q coefficient of data index `i`.
+#[inline]
+pub fn gf_pow2(i: u16) -> u8 {
+    GF_TABLES.0[(i % 255) as usize]
+}
+
+/// GF(256) product.
+#[inline]
+pub fn gf_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    GF_TABLES.0[GF_TABLES.1[a as usize] as usize + GF_TABLES.1[b as usize] as usize]
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics on zero, which has no inverse.
+#[inline]
+pub fn gf_inv(a: u8) -> u8 {
+    assert_ne!(a, 0, "zero has no inverse in GF(256)");
+    GF_TABLES.0[255 - GF_TABLES.1[a as usize] as usize]
+}
+
+/// A 256-entry product table for one coefficient, hoisting the log
+/// lookups out of per-byte loops.
+fn mul_table(coeff: u8) -> [u8; 256] {
+    let mut t = [0u8; 256];
+    if coeff == 0 {
+        return t;
+    }
+    let lc = GF_TABLES.1[coeff as usize] as usize;
+    let mut b = 1usize;
+    while b < 256 {
+        t[b] = GF_TABLES.0[lc + GF_TABLES.1[b] as usize];
+        b += 1;
+    }
+    t
+}
+
+/// `acc[i] ^= coeff·src[i]` in GF(256) — the Q accumulation and delta
+/// kernel (`coeff = gᵃ` folds data unit `a` into Q).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn gf_mul_into(acc: &mut [u8], src: &[u8], coeff: u8) {
+    assert_eq!(acc.len(), src.len(), "gf_mul_into length mismatch");
+    if coeff == 1 {
+        return xor_into(acc, src);
+    }
+    let table = mul_table(coeff);
+    for (a, &s) in acc.iter_mut().zip(src) {
+        *a ^= table[s as usize];
+    }
+}
+
+/// `buf[i] = coeff·buf[i]` in GF(256).
+pub fn gf_scale(buf: &mut [u8], coeff: u8) {
+    if coeff == 1 {
+        return;
+    }
+    let table = mul_table(coeff);
+    for b in buf.iter_mut() {
+        *b = table[*b as usize];
+    }
+}
+
+/// Solves the RAID-6 two-data-erasure case for data indices `a < b`.
+///
+/// On entry `p` must hold `P ^ Σ dᵢ` and `q` must hold `Q ^ Σ gᶦ·dᵢ`,
+/// both sums over the *surviving* data units only. On return `q` holds
+/// the recovered unit `a` and `p` holds the recovered unit `b`.
+///
+/// # Panics
+///
+/// Panics if `a >= b` or the slices differ in length.
+pub fn gf_solve_two_data(a: u16, b: u16, p: &mut [u8], q: &mut [u8]) {
+    assert!(a < b, "erased data indices must be ordered: {a} >= {b}");
+    assert_eq!(p.len(), q.len(), "gf_solve_two_data length mismatch");
+    // d_a = (g^{b−a}·Pxor ^ g^{−a}·Qxor) / (g^{b−a} ^ 1); d_b = Pxor ^ d_a.
+    let g_ba = gf_pow2(b - a);
+    let g_na = gf_inv(gf_pow2(a));
+    let denom = gf_inv(g_ba ^ 1);
+    let ta = mul_table(gf_mul(g_ba, denom));
+    let tb = mul_table(gf_mul(g_na, denom));
+    for (pb, qb) in p.iter_mut().zip(q.iter_mut()) {
+        let da = ta[*pb as usize] ^ tb[*qb as usize];
+        *qb = da;
+        *pb ^= da;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +254,114 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         xor_into(&mut [0u8; 4], &[0u8; 5]);
+    }
+
+    /// Bit-serial reference multiplication (Russian peasant).
+    fn gf_mul_ref(mut a: u8, mut b: u8) -> u8 {
+        let mut acc = 0u8;
+        while b != 0 {
+            if b & 1 != 0 {
+                acc ^= a;
+            }
+            let high = a & 0x80 != 0;
+            a <<= 1;
+            if high {
+                a ^= (GF_POLY & 0xFF) as u8;
+            }
+            b >>= 1;
+        }
+        acc
+    }
+
+    #[test]
+    fn gf_mul_matches_bit_serial_reference() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(gf_mul(a, b), gf_mul_ref(a, b), "{a}·{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gf_inverse_is_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn gf_pow2_is_generator_powers() {
+        assert_eq!(gf_pow2(0), 1);
+        assert_eq!(gf_pow2(1), 2);
+        let mut x = 1u8;
+        for i in 0..255u16 {
+            assert_eq!(gf_pow2(i), x, "i={i}");
+            x = gf_mul_ref(x, 2);
+        }
+        // Exponents wrap at the group order.
+        assert_eq!(gf_pow2(255), 1);
+    }
+
+    #[test]
+    fn gf_mul_into_accumulates_scaled_source() {
+        let src = pattern(7, 1000);
+        for coeff in [0u8, 1, 2, 3, 0x80, 0xFF] {
+            let mut acc = pattern(13, 1000);
+            let expect: Vec<u8> = acc
+                .iter()
+                .zip(&src)
+                .map(|(&a, &s)| a ^ gf_mul_ref(coeff, s))
+                .collect();
+            gf_mul_into(&mut acc, &src, coeff);
+            assert_eq!(acc, expect, "coeff={coeff}");
+        }
+    }
+
+    #[test]
+    fn two_erasure_solve_recovers_any_data_pair() {
+        // A 6-data-unit stripe: P and Q computed, every (a, b) pair of
+        // data units erased and recovered exactly.
+        let units: Vec<Vec<u8>> = (0..6).map(|i| pattern(100 + i, 512)).collect();
+        let mut p = vec![0u8; 512];
+        let mut q = vec![0u8; 512];
+        for (i, u) in units.iter().enumerate() {
+            xor_into(&mut p, u);
+            gf_mul_into(&mut q, u, gf_pow2(i as u16));
+        }
+        for a in 0..6u16 {
+            for b in a + 1..6 {
+                let mut pxor = p.clone();
+                let mut qxor = q.clone();
+                for (i, u) in units.iter().enumerate() {
+                    if i as u16 != a && i as u16 != b {
+                        xor_into(&mut pxor, u);
+                        gf_mul_into(&mut qxor, u, gf_pow2(i as u16));
+                    }
+                }
+                gf_solve_two_data(a, b, &mut pxor, &mut qxor);
+                assert_eq!(qxor, units[a as usize], "d{a} from erasure ({a},{b})");
+                assert_eq!(pxor, units[b as usize], "d{b} from erasure ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn q_delta_update_equals_recompute() {
+        // RMW on unit 3: Q ^= g³·(old ^ new) must equal recomputing Q.
+        let mut units: Vec<Vec<u8>> = (0..5).map(|i| pattern(200 + i, 256)).collect();
+        let mut q = vec![0u8; 256];
+        for (i, u) in units.iter().enumerate() {
+            gf_mul_into(&mut q, u, gf_pow2(i as u16));
+        }
+        let newdata = pattern(999, 256);
+        let mut delta = units[3].clone();
+        xor_into(&mut delta, &newdata);
+        gf_mul_into(&mut q, &delta, gf_pow2(3));
+        units[3] = newdata;
+        let mut fresh = vec![0u8; 256];
+        for (i, u) in units.iter().enumerate() {
+            gf_mul_into(&mut fresh, u, gf_pow2(i as u16));
+        }
+        assert_eq!(q, fresh);
     }
 }

@@ -22,7 +22,6 @@
 //! fault plan's injection counters.
 
 use crate::error::{MediaKind, Result, StoreError};
-use crate::parity;
 use crate::pool::lock;
 use crate::store::BlockStore;
 use decluster_core::layout::UnitAddr;
@@ -136,34 +135,30 @@ impl BlockStore {
             return Err(cause);
         };
         let units = self.mapping.stripe_units(stripe);
-        if self.is_degraded() {
-            let lost = {
-                let st = lock(&self.state);
-                units.iter().any(|u| st.is_lost(*u))
-            };
-            if lost {
-                // Double fault: a member of this stripe is already
-                // gone, so its redundancy is spent.
+        let Some(pos) = units.iter().position(|u| u.disk == addr.disk) else {
+            self.health.note_escalated();
+            return Err(cause);
+        };
+        let lost = self.lost_flags(&units);
+        let erased = lost
+            .iter()
+            .enumerate()
+            .filter(|&(i, &l)| l && i != pos)
+            .count();
+        if erased + 1 > self.parity_units() as usize {
+            // Beyond the stripe's fault budget: counting the bad unit,
+            // more members are gone than the parity can recover.
+            self.health.note_escalated();
+            return Err(cause);
+        }
+        let peers_read = match self.reconstruct_unit(&units, &lost, pos, out, false) {
+            Ok(reads) => reads,
+            // A faulty peer while repairing: double fault.
+            Err(_) => {
                 self.health.note_escalated();
                 return Err(cause);
             }
-        }
-        out.fill(0);
-        let mut tmp = self.buffers.get();
-        let mut peers_read = 0u64;
-        for u in units.iter().filter(|u| u.disk != addr.disk) {
-            let d = &self.disks[u.disk as usize];
-            if d.read_unit(u.offset, &mut tmp)
-                .and_then(|()| d.check_sum(u.offset, &tmp))
-                .is_err()
-            {
-                // A faulty peer while repairing: double fault.
-                self.health.note_escalated();
-                return Err(cause);
-            }
-            parity::xor_into(out, &tmp);
-            peers_read += 1;
-        }
+        };
         if let Err(e) = self.disks[addr.disk as usize].write_unit(addr.offset, out) {
             self.health.note_escalated();
             return Err(e);
@@ -198,19 +193,13 @@ impl BlockStore {
             let _ = tx.send((res, started.elapsed()));
         });
         let reconstructed = (|| -> Result<()> {
-            out.fill(0);
-            let mut tmp = self.buffers.get();
-            for u in self
-                .mapping
-                .stripe_units(stripe)
+            let units = self.mapping.stripe_units(stripe);
+            let pos = units
                 .iter()
-                .filter(|u| u.disk != addr.disk)
-            {
-                let d = &self.disks[u.disk as usize];
-                d.read_unit(u.offset, &mut tmp)?;
-                d.check_sum(u.offset, &tmp)?;
-                parity::xor_into(out, &tmp);
-            }
+                .position(|u| u.disk == addr.disk)
+                .ok_or_else(|| StoreError::state("hedged unit not in its stripe".to_string()))?;
+            let lost = vec![false; units.len()];
+            self.reconstruct_unit(&units, &lost, pos, out, false)?;
             Ok(())
         })();
         match reconstructed {

@@ -83,7 +83,7 @@ impl StoreStats {
             })
             .collect();
         StoreStats {
-            layout: store.spec().name().to_string(),
+            layout: store.spec().to_string(),
             disks: store.spec().disks(),
             group: store.spec().group(),
             alpha: store.spec().alpha(),

@@ -36,7 +36,7 @@
 
 use crate::backend::{DiskBackend, FileBackend};
 use crate::bitmap::{default_region, IntentBitmap, SyncGate};
-use crate::buffer::BufferPool;
+use crate::buffer::{BufferPool, PooledBuf};
 use crate::checksum::{fingerprint64, region_bytes, ChecksumTable};
 use crate::error::{Result, StoreError};
 use crate::health::{FaultCounters, HealthMonitor};
@@ -45,6 +45,7 @@ use crate::pool::{lock, StorePool};
 use crate::stats::StoreStats;
 use crate::superblock::{
     LayoutSpec, Superblock, BLOCK_BYTES, SUPERBLOCK_BYTES, VERSION, VERSION_NO_CHECKSUMS,
+    VERSION_TAGGED,
 };
 use decluster_array::{ConsistencyReport, RecoveryPolicy};
 use decluster_core::layout::{ArrayMapping, UnitAddr, UnitRole};
@@ -192,23 +193,59 @@ impl DiskFile {
     }
 }
 
-/// The fault state, mirroring `DataArray`: a failed disk, and once a
-/// replacement is installed, the per-offset rebuilt map.
+/// One failed disk: its index, and once a replacement is installed,
+/// the per-offset rebuilt map.
+#[derive(Debug)]
+struct FailedDisk {
+    disk: u16,
+    rebuilt: Option<Vec<bool>>,
+}
+
+/// The fault state, mirroring `DataArray`: the failed disks in failure
+/// order — at most one for single-parity layouts, up to two for P+Q.
 #[derive(Debug, Default)]
 pub(crate) struct FaultState {
-    failed: Option<u16>,
-    rebuilt: Option<Vec<bool>>,
+    failed: Vec<FailedDisk>,
 }
 
 impl FaultState {
     /// Whether `addr` is currently unreadable (failed and not yet
     /// rebuilt).
     pub(crate) fn is_lost(&self, addr: UnitAddr) -> bool {
-        match (self.failed, &self.rebuilt) {
-            (Some(f), None) => addr.disk == f,
-            (Some(f), Some(rebuilt)) => addr.disk == f && !rebuilt[addr.offset as usize],
-            _ => false,
+        self.failed.iter().any(|f| {
+            f.disk == addr.disk && f.rebuilt.as_ref().is_none_or(|r| !r[addr.offset as usize])
+        })
+    }
+
+    fn is_failed(&self, disk: u16) -> bool {
+        self.failed.iter().any(|f| f.disk == disk)
+    }
+
+    fn slot(&self, disk: u16) -> Option<&FailedDisk> {
+        self.failed.iter().find(|f| f.disk == disk)
+    }
+
+    fn slot_mut(&mut self, disk: u16) -> Option<&mut FailedDisk> {
+        self.failed.iter_mut().find(|f| f.disk == disk)
+    }
+
+    /// The failed disks in the superblock's two-slot wire form.
+    fn encoded(&self) -> [Option<u16>; 2] {
+        let mut out = [None; 2];
+        for (slot, f) in out.iter_mut().zip(&self.failed) {
+            *slot = Some(f.disk);
         }
+        out
+    }
+
+    /// Failed disks with no replacement installed yet — their media are
+    /// gone, so superblock and checksum-region writes skip them.
+    fn unreplaced(&self) -> Vec<u16> {
+        self.failed
+            .iter()
+            .filter(|f| f.rebuilt.is_none())
+            .map(|f| f.disk)
+            .collect()
     }
 }
 
@@ -225,8 +262,8 @@ pub struct DiskCounters {
 /// declustering ratio.
 #[derive(Debug, Clone)]
 pub struct RebuildReport {
-    /// The disk that was rebuilt.
-    pub failed_disk: u16,
+    /// The disks that were rebuilt, in failure order.
+    pub failed_disks: Vec<u16>,
     /// Units reconstructed from surviving stripes.
     pub units_rebuilt: u64,
     /// Units skipped because degraded-mode writes had already placed
@@ -396,7 +433,7 @@ impl BlockStore {
                 disk_index: i,
                 array_id,
                 clean: false,
-                failed_disk: None,
+                failed: [None; 2],
             })?;
             d.persist_sums()?;
             disks.push(Arc::new(d));
@@ -404,7 +441,15 @@ impl BlockStore {
         let stripes = mapping.stripes();
         let intent = IntentBitmap::create(&bitmap_path(dir), stripes, default_region(stripes))?;
         Self::assemble(
-            dir, mapping, spec, array_id, VERSION, unit_bytes, disks, intent, None,
+            dir,
+            mapping,
+            spec,
+            array_id,
+            VERSION,
+            unit_bytes,
+            disks,
+            intent,
+            Vec::new(),
         )
     }
 
@@ -487,7 +532,7 @@ impl BlockStore {
             });
         }
         // Identity and failed-disk consensus across the valid superblocks.
-        let mut failed: Option<u16> = None;
+        let mut failed: Vec<u16> = Vec::new();
         let mut clean = true;
         for (i, (path, res)) in decoded.iter().enumerate() {
             // Unreadable superblocks are judged below, once consensus is known.
@@ -507,18 +552,19 @@ impl BlockStore {
                 });
             }
             clean &= sb.clean;
-            if let Some(f) = sb.failed_disk {
-                if failed.is_some_and(|prev| prev != f) {
+            let sb_failed = sb.failed_disks();
+            if !sb_failed.is_empty() {
+                if !failed.is_empty() && failed != sb_failed {
                     return Err(StoreError::Mismatch {
-                        reason: "superblocks disagree about which disk failed".into(),
+                        reason: "superblocks disagree about which disks failed".into(),
                     });
                 }
-                failed = Some(f);
+                failed = sb_failed;
             }
         }
         for (i, (_, res)) in decoded.iter().enumerate() {
             if let Err(e) = res {
-                if failed != Some(i as u16) {
+                if !failed.contains(&(i as u16)) {
                     return Err(StoreError::corrupt(
                         &decoded[i].0,
                         format!("unreadable superblock on a disk not marked failed: {e}"),
@@ -527,8 +573,17 @@ impl BlockStore {
             }
         }
         let mapping = ArrayMapping::new(reference.spec.build()?, reference.units_per_disk)?;
+        if failed.len() > mapping.parity_units_per_stripe() as usize {
+            return Err(StoreError::Mismatch {
+                reason: format!(
+                    "superblocks record {} failed disks but the layout tolerates {}",
+                    failed.len(),
+                    mapping.parity_units_per_stripe()
+                ),
+            });
+        }
         let data_start = reference.data_start();
-        let with_sums = reference.version >= VERSION;
+        let with_sums = reference.version >= VERSION_TAGGED;
         let units = reference.units_per_disk;
         let disks = decoded
             .into_iter()
@@ -538,7 +593,7 @@ impl BlockStore {
                 let backend = factory(i as u16, file);
                 let sums = if !with_sums {
                     None
-                } else if failed == Some(i as u16) {
+                } else if failed.contains(&(i as u16)) {
                     // The failed disk's region is gone with its medium;
                     // nothing reads it until a replacement is installed
                     // (which resets the table to the zeroed state).
@@ -595,11 +650,12 @@ impl BlockStore {
         unit_bytes: u32,
         disks: Vec<Arc<DiskFile>>,
         intent: IntentBitmap,
-        failed: Option<u16>,
+        failed: Vec<u16>,
     ) -> Result<BlockStore> {
         let lock_count = mapping.stripes().clamp(1, MAX_STRIPE_LOCKS);
         let gate = SyncGate::new(intent.try_clone_file()?, bitmap_path(dir));
         let disk_count = disks.len() as u16;
+        let degraded = !failed.is_empty();
         Ok(BlockStore {
             dir: dir.to_path_buf(),
             blocks_per_unit: (unit_bytes / BLOCK_BYTES) as u64,
@@ -612,10 +668,15 @@ impl BlockStore {
             disks,
             locks: (0..lock_count).map(|_| Mutex::new(())).collect(),
             state: Mutex::new(FaultState {
-                failed,
-                rebuilt: None,
+                failed: failed
+                    .into_iter()
+                    .map(|disk| FailedDisk {
+                        disk,
+                        rebuilt: None,
+                    })
+                    .collect(),
             }),
-            degraded: AtomicBool::new(failed.is_some()),
+            degraded: AtomicBool::new(degraded),
             intent: Mutex::new(intent),
             gate,
             health: HealthMonitor::new(disk_count),
@@ -644,15 +705,12 @@ impl BlockStore {
     }
 
     /// Writes every live disk's in-memory checksum table back into its
-    /// on-disk region. The failed disk is skipped until a replacement
-    /// is installed.
+    /// on-disk region. Failed disks are skipped until a replacement is
+    /// installed.
     pub(crate) fn persist_all_sums(&self) -> Result<()> {
-        let (failed, skip_failed) = {
-            let st = lock(&self.state);
-            (st.failed, st.failed.is_some() && st.rebuilt.is_none())
-        };
+        let skip = lock(&self.state).unreplaced();
         for d in &self.disks {
-            if skip_failed && failed == Some(d.index) {
+            if skip.contains(&d.index) {
                 continue;
             }
             d.persist_sums()?;
@@ -694,9 +752,15 @@ impl BlockStore {
         &self.dir
     }
 
-    /// The currently failed disk, if any.
+    /// The first currently failed disk, if any.
     pub fn failed_disk(&self) -> Option<u16> {
-        lock(&self.state).failed
+        lock(&self.state).failed.first().map(|f| f.disk)
+    }
+
+    /// Every currently failed disk, in failure order (at most one for
+    /// single-parity layouts, up to two for P+Q).
+    pub fn failed_disks(&self) -> Vec<u16> {
+        lock(&self.state).failed.iter().map(|f| f.disk).collect()
     }
 
     /// Whether the store is read-only (opened from the pre-checksum v1
@@ -797,13 +861,16 @@ impl BlockStore {
         let _guards = self.lock_all_stripes();
         {
             let mut st = lock(&self.state);
-            if st.failed.is_some() {
+            if !st.failed.is_empty() {
                 // Already degraded (maybe by an operator fail_disk that
-                // raced us): drop the flag rather than double-fault.
+                // raced us): drop the flag rather than compound faults
+                // automatically — a second failure is an operator call.
                 return Ok(None);
             }
-            st.failed = Some(disk);
-            st.rebuilt = None;
+            st.failed.push(FailedDisk {
+                disk,
+                rebuilt: None,
+            });
             self.degraded.store(true, Ordering::Release);
         }
         self.health.note_demotion();
@@ -833,13 +900,170 @@ impl BlockStore {
             .collect()
     }
 
-    /// Data units per stripe (`G − 1`).
+    /// Parity units per stripe, `m` (1 for single parity, 2 for P+Q).
+    pub(crate) fn parity_units(&self) -> u16 {
+        self.mapping.parity_units_per_stripe()
+    }
+
+    /// Data units per stripe (`G − m`).
     fn data_per_stripe(&self) -> u64 {
-        self.mapping.stripe_width() as u64 - 1
+        (self.mapping.stripe_width() - self.parity_units()) as u64
     }
 
     pub(crate) fn is_degraded(&self) -> bool {
         self.degraded.load(Ordering::Acquire)
+    }
+
+    // ------------------------------------------------------------------
+    // Stripe decode engine
+    // ------------------------------------------------------------------
+
+    /// The current lost-unit flags for `units`, position-aligned.
+    pub(crate) fn lost_flags(&self, units: &[UnitAddr]) -> Vec<bool> {
+        if !self.is_degraded() {
+            return vec![false; units.len()];
+        }
+        let st = lock(&self.state);
+        units.iter().map(|u| st.is_lost(*u)).collect()
+    }
+
+    /// Reads one surviving unit. `verified` routes through the full
+    /// retry/read-repair path; raw mode reads and checks the checksum
+    /// only (the repair machinery itself uses raw to avoid recursion).
+    pub(crate) fn read_survivor(&self, u: UnitAddr, out: &mut [u8], verified: bool) -> Result<()> {
+        if verified {
+            self.read_unit_verified(u, out)
+        } else {
+            let d = &self.disks[u.disk as usize];
+            d.read_unit(u.offset, out)?;
+            d.check_sum(u.offset, out)
+        }
+    }
+
+    /// Reads the stripe's `G − m` data images in index order, decoding
+    /// the positions flagged in `lost` from the surviving redundancy:
+    /// one data erasure resolves through P (plain XOR) or, with P also
+    /// gone on a P+Q stripe, through Q; two data erasures solve the
+    /// 2×2 Vandermonde system over GF(256). Returns the images and the
+    /// number of survivor units read.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidState`] when `lost` marks more units than
+    /// the stripe's parity can recover; otherwise any survivor read
+    /// error.
+    fn read_stripe_data(
+        &self,
+        units: &[UnitAddr],
+        lost: &[bool],
+        verified: bool,
+    ) -> Result<(Vec<PooledBuf<'_>>, u64)> {
+        let m = self.parity_units() as usize;
+        let d = units.len() - m;
+        let unrecoverable = || {
+            StoreError::state("stripe has more lost units than its parity can recover".to_string())
+        };
+        let mut reads = 0u64;
+        let mut bufs = Vec::with_capacity(d);
+        for i in 0..d {
+            let mut b = self.buffers.get();
+            if !lost[i] {
+                self.read_survivor(units[i], &mut b, verified)?;
+                reads += 1;
+            }
+            bufs.push(b);
+        }
+        let missing: Vec<usize> = (0..d).filter(|&i| lost[i]).collect();
+        match missing.as_slice() {
+            [] => {}
+            &[a] if !lost[d] => {
+                // P survives: the erased unit is the XOR of P and the
+                // other data units.
+                let mut acc = self.buffers.get();
+                self.read_survivor(units[d], &mut acc, verified)?;
+                reads += 1;
+                for (i, b) in bufs.iter().enumerate() {
+                    if i != a {
+                        parity::xor_into(&mut acc, b);
+                    }
+                }
+                bufs[a].copy_from_slice(&acc);
+            }
+            &[a] if m == 2 && !lost[d + 1] => {
+                // P is gone but Q survives: d_a = g^{-a}·(Q ⊕ Σ g^i·d_i).
+                let mut acc = self.buffers.get();
+                self.read_survivor(units[d + 1], &mut acc, verified)?;
+                reads += 1;
+                for (i, b) in bufs.iter().enumerate() {
+                    if i != a {
+                        parity::gf_mul_into(&mut acc, b, parity::gf_pow2(i as u16));
+                    }
+                }
+                parity::gf_scale(&mut acc, parity::gf_inv(parity::gf_pow2(a as u16)));
+                bufs[a].copy_from_slice(&acc);
+            }
+            &[a, b_pos] if m == 2 && !lost[d] && !lost[d + 1] => {
+                // Two data erasures: fold the survivors into both parity
+                // images, then solve the 2×2 system.
+                let mut p = self.buffers.get();
+                let mut q = self.buffers.get();
+                self.read_survivor(units[d], &mut p, verified)?;
+                self.read_survivor(units[d + 1], &mut q, verified)?;
+                reads += 2;
+                for (i, b) in bufs.iter().enumerate() {
+                    if i != a && i != b_pos {
+                        parity::xor_into(&mut p, b);
+                        parity::gf_mul_into(&mut q, b, parity::gf_pow2(i as u16));
+                    }
+                }
+                parity::gf_solve_two_data(a as u16, b_pos as u16, &mut p, &mut q);
+                bufs[a].copy_from_slice(&q);
+                bufs[b_pos].copy_from_slice(&p);
+            }
+            _ => return Err(unrecoverable()),
+        }
+        Ok((bufs, reads))
+    }
+
+    /// Computes the `j`-th parity unit (0 = P, 1 = Q) of a stripe from
+    /// its data images into `out`.
+    fn compute_parity_into(&self, j: u16, data: &[PooledBuf<'_>], out: &mut [u8]) {
+        out.fill(0);
+        for (i, b) in data.iter().enumerate() {
+            if j == 0 {
+                parity::xor_into(out, b);
+            } else {
+                parity::gf_mul_into(out, b, parity::gf_pow2(i as u16));
+            }
+        }
+    }
+
+    /// Reconstructs the single stripe unit at position `pos` (layout
+    /// order: data units, then parity) from the rest of the stripe,
+    /// under the erasures in `lost`. Returns the survivor units read.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BlockStore::read_stripe_data`].
+    pub(crate) fn reconstruct_unit(
+        &self,
+        units: &[UnitAddr],
+        lost: &[bool],
+        pos: usize,
+        out: &mut [u8],
+        verified: bool,
+    ) -> Result<u64> {
+        let m = self.parity_units() as usize;
+        let d = units.len() - m;
+        let mut lost = lost.to_vec();
+        lost[pos] = true;
+        let (data, reads) = self.read_stripe_data(units, &lost, verified)?;
+        if pos < d {
+            out.copy_from_slice(&data[pos]);
+        } else {
+            self.compute_parity_into((pos - d) as u16, &data, out);
+        }
+        Ok(reads)
     }
 
     // ------------------------------------------------------------------
@@ -981,20 +1205,29 @@ impl BlockStore {
         if self.is_degraded() {
             return Ok(false);
         }
-        // Parity of each stripe, straight from the new data.
-        let mut parity_bufs = Vec::with_capacity(stripes as usize);
+        // Parity of each stripe, straight from the new data: m buffers
+        // per stripe (P is the plain XOR, Q the GF(256) weighted sum).
+        let m = self.parity_units() as usize;
+        let mut parity_bufs = Vec::with_capacity(stripes as usize * m);
         for i in 0..stripes as usize {
-            let mut p = self.buffers.get_zeroed();
             let base = i * dpu * ub;
-            for k in 0..dpu {
-                parity::xor_into(&mut p, &src[base + k * ub..base + (k + 1) * ub]);
+            for j in 0..m {
+                let mut p = self.buffers.get_zeroed();
+                for k in 0..dpu {
+                    let unit = &src[base + k * ub..base + (k + 1) * ub];
+                    if j == 0 {
+                        parity::xor_into(&mut p, unit);
+                    } else {
+                        parity::gf_mul_into(&mut p, unit, parity::gf_pow2(k as u16));
+                    }
+                }
+                parity_bufs.push(p);
             }
-            parity_bufs.push(p);
         }
         // Gather every unit write of the batch, then submit per disk in
         // offset order, adjacent offsets coalesced into one pwrite.
         let mut units = Vec::new();
-        let mut ops: Vec<(u16, u64, &[u8])> = Vec::with_capacity(stripes as usize * (dpu + 1));
+        let mut ops: Vec<(u16, u64, &[u8])> = Vec::with_capacity(stripes as usize * (dpu + m));
         for (i, &stripe) in ids.iter().enumerate() {
             units.clear();
             self.mapping.stripe_units_into(stripe, &mut units);
@@ -1002,8 +1235,9 @@ impl BlockStore {
             for (k, u) in units[..dpu].iter().enumerate() {
                 ops.push((u.disk, u.offset, &src[base + k * ub..base + (k + 1) * ub]));
             }
-            let p = units[units.len() - 1];
-            ops.push((p.disk, p.offset, &parity_bufs[i][..]));
+            for (j, u) in units[dpu..].iter().enumerate() {
+                ops.push((u.disk, u.offset, &parity_bufs[i * m + j][..]));
+            }
         }
         ops.sort_unstable_by_key(|&(d, o, _)| (d, o));
         let mut run: Vec<u8> = Vec::new();
@@ -1061,16 +1295,11 @@ impl BlockStore {
         }
         let units = self.mapping.stripe_units(stripe);
         let addr = units[index as usize];
-        let lost = lock(&self.state).is_lost(addr);
-        if !lost {
+        let lost = self.lost_flags(&units);
+        if !lost[index as usize] {
             return self.read_unit_verified(addr, out);
         }
-        out.fill(0);
-        let mut tmp = self.buffers.get();
-        for u in units.iter().filter(|u| u.disk != addr.disk) {
-            self.read_unit_verified(*u, &mut tmp)?;
-            parity::xor_into(out, &tmp);
-        }
+        self.reconstruct_unit(&units, &lost, index as usize, out, true)?;
         Ok(())
     }
 
@@ -1132,6 +1361,15 @@ impl BlockStore {
     /// The unit-write engine: same decomposition as `DataArray::write`,
     /// executed over files under the stripe lock. The caller has
     /// already staged and synced the intent bit covering this stripe.
+    ///
+    /// With the target unit live, the write is a read-modify-write that
+    /// delta-folds `old ⊕ new` into every *live* parity unit (`P ⊕=
+    /// delta`, `Q ⊕= g^index·delta`); lost parities are simply skipped.
+    /// With the target unit lost, the stripe's surviving data is decoded
+    /// (through P, Q, or both), the new image overlaid, every live
+    /// parity recomputed from the full data images, and — once a
+    /// replacement is installed — the image also lands on the
+    /// replacement directly.
     fn write_unit_premarked(&self, logical: u64, new: NewData<'_>) -> Result<()> {
         if logical >= self.data_units() {
             return Err(StoreError::state(format!(
@@ -1143,18 +1381,13 @@ impl BlockStore {
         let _guard = self.lock_stripe(stripe);
         let units = self.mapping.stripe_units(stripe);
         let addr = units[index as usize];
-        let parity_u = units[units.len() - 1]; // parity is ordered last
-        let (data_lost, parity_lost, has_replacement) = if self.is_degraded() {
-            let st = lock(&self.state);
-            (st.is_lost(addr), st.is_lost(parity_u), st.rebuilt.is_some())
-        } else {
-            (false, false, false)
-        };
+        let d = units.len() - self.parity_units() as usize;
+        let lost = self.lost_flags(&units);
 
-        if !data_lost && !parity_lost {
-            // Read-modify-write: parity ^= old ^ new. Old-image and
-            // parity reads are verified — a media error or checksum
-            // mismatch is retried, then repaired from parity, before
+        if !lost[index as usize] {
+            // Read-modify-write: every live parity gets the delta.
+            // Old-image and parity reads are verified — a media error
+            // or checksum mismatch is retried, then repaired, before
             // the cycle proceeds on trusted bytes.
             let mut old = self.buffers.get();
             self.read_unit_verified(addr, &mut old)?;
@@ -1171,59 +1404,56 @@ impl BlockStore {
             };
             self.disks[addr.disk as usize].write_unit(addr.offset, image)?;
             let mut pbuf = self.buffers.get();
-            self.read_unit_verified(parity_u, &mut pbuf)?;
-            parity::xor_delta(&mut pbuf, &old, image);
-            self.disks[parity_u.disk as usize].write_unit(parity_u.offset, &pbuf)?;
+            for (j, pu) in units[d..].iter().enumerate() {
+                if lost[d + j] {
+                    // No value in updating lost parity.
+                    continue;
+                }
+                self.read_unit_verified(*pu, &mut pbuf)?;
+                if j == 0 {
+                    parity::xor_delta(&mut pbuf, &old, image);
+                } else {
+                    let mut delta = self.buffers.get();
+                    delta.copy_from_slice(&old);
+                    parity::xor_into(&mut delta, image);
+                    parity::gf_mul_into(&mut pbuf, &delta, parity::gf_pow2(index));
+                }
+                self.disks[pu.disk as usize].write_unit(pu.offset, &pbuf)?;
+            }
             return Ok(());
         }
 
-        // Degraded: splices first need the old image, reconstructed
-        // from the survivors when the data unit itself is lost. A
-        // media fault on a survivor here is a double fault: the
-        // verified read escalates it as a typed error rather than
-        // letting wrong bytes into the stripe.
-        let splice_buf;
-        let image: &[u8] = match new {
-            NewData::Full(bytes) => bytes,
+        // Target lost: decode the stripe's data (the old image of the
+        // target included — a splice needs it), overlay the new bytes,
+        // and recompute every live parity from the data images. A media
+        // fault on a survivor here is one fault too many: the verified
+        // read escalates it as a typed error rather than letting wrong
+        // bytes into the stripe.
+        let (mut data, _) = self.read_stripe_data(&units, &lost, true)?;
+        match new {
+            NewData::Full(bytes) => data[index as usize].copy_from_slice(bytes),
             NewData::Splice { at, bytes } => {
-                let mut b = self.buffers.get();
-                if !data_lost {
-                    self.read_unit_verified(addr, &mut b)?;
-                } else {
-                    b.fill(0);
-                    let mut tmp = self.buffers.get();
-                    for u in units.iter().filter(|u| u.disk != addr.disk) {
-                        self.read_unit_verified(*u, &mut tmp)?;
-                        parity::xor_into(&mut b, &tmp);
-                    }
-                }
-                b[at..at + bytes.len()].copy_from_slice(bytes);
-                splice_buf = b;
-                &splice_buf
+                data[index as usize][at..at + bytes.len()].copy_from_slice(bytes)
             }
-        };
-        if parity_lost {
-            // No value in updating lost parity: write the data alone.
-            self.disks[addr.disk as usize].write_unit(addr.offset, image)?;
-        } else {
-            // Data lost: fold the new value into parity so the stripe
-            // still reconstructs to it.
-            let mut acc = self.buffers.get();
-            acc.copy_from_slice(image);
-            let mut tmp = self.buffers.get();
-            for (i, u) in units[..units.len() - 1].iter().enumerate() {
-                if i != index as usize {
-                    self.read_unit_verified(*u, &mut tmp)?;
-                    parity::xor_into(&mut acc, &tmp);
-                }
+        }
+        let mut pbuf = self.buffers.get();
+        for (j, pu) in units[d..].iter().enumerate() {
+            if lost[d + j] {
+                continue;
             }
-            self.disks[parity_u.disk as usize].write_unit(parity_u.offset, &acc)?;
-            if has_replacement {
-                // The replacement is installed: also write the data
-                // directly and mark the unit valid.
-                self.disks[addr.disk as usize].write_unit(addr.offset, image)?;
-                let mut st = lock(&self.state);
-                if let Some(rebuilt) = &mut st.rebuilt {
+            self.compute_parity_into(j as u16, &data, &mut pbuf);
+            self.disks[pu.disk as usize].write_unit(pu.offset, &pbuf)?;
+        }
+        let has_replacement = lock(&self.state)
+            .slot(addr.disk)
+            .is_some_and(|f| f.rebuilt.is_some());
+        if has_replacement {
+            // The replacement is installed: also write the data
+            // directly and mark the unit valid.
+            self.disks[addr.disk as usize].write_unit(addr.offset, &data[index as usize])?;
+            let mut st = lock(&self.state);
+            if let Some(f) = st.slot_mut(addr.disk) {
+                if let Some(rebuilt) = &mut f.rebuilt {
                     rebuilt[addr.offset as usize] = true;
                 }
             }
@@ -1236,11 +1466,13 @@ impl BlockStore {
     // ------------------------------------------------------------------
 
     /// Fails a disk: its medium (superblock included) is scrambled and
-    /// the surviving superblocks record the degradation.
+    /// the surviving superblocks record the degradation. A P+Q array
+    /// (`m = 2`) accepts a second failure while already degraded.
     ///
     /// # Errors
     ///
-    /// Fails if a disk is already down, `disk` is out of range, or a
+    /// Fails if `disk` is already failed, the array has already lost as
+    /// many disks as its parity tolerates, `disk` is out of range, or a
     /// file operation fails.
     pub fn fail_disk(&self, disk: u16) -> Result<()> {
         self.check_writable()?;
@@ -1250,11 +1482,20 @@ impl BlockStore {
         let _guards = self.lock_all_stripes();
         {
             let mut st = lock(&self.state);
-            if st.failed.is_some() {
-                return Err(StoreError::state("array already degraded".to_string()));
+            if st.is_failed(disk) {
+                return Err(StoreError::state(format!("disk {disk} is already failed")));
             }
-            st.failed = Some(disk);
-            st.rebuilt = None;
+            let tolerated = self.parity_units() as usize;
+            if st.failed.len() >= tolerated {
+                return Err(StoreError::state(format!(
+                    "array already degraded: {} of {tolerated} tolerated failures used",
+                    st.failed.len()
+                )));
+            }
+            st.failed.push(FailedDisk {
+                disk,
+                rebuilt: None,
+            });
             self.degraded.store(true, Ordering::Release);
         }
         // Losing the medium: scramble the whole file so nothing can
@@ -1280,47 +1521,51 @@ impl BlockStore {
         self.disks[0].data_start + self.mapping.units_per_disk() * self.unit_bytes as u64
     }
 
-    /// Installs a blank replacement for the failed disk: the backing
-    /// file is zeroed and given a fresh superblock; every mapped unit
-    /// starts un-rebuilt.
+    /// Installs blank replacements for every failed disk that has none
+    /// yet: each backing file is zeroed and given a fresh superblock;
+    /// every mapped unit starts un-rebuilt.
     ///
     /// # Errors
     ///
-    /// Fails if no disk is down, a replacement is already installed, or
-    /// a file operation fails.
+    /// Fails if no disk is down, every failed disk already has a
+    /// replacement, or a file operation fails.
     pub fn replace_disk(&self) -> Result<()> {
         self.check_writable()?;
         let _guards = self.lock_all_stripes();
         let mut st = lock(&self.state);
-        let Some(f) = st.failed else {
+        if st.failed.is_empty() {
             return Err(StoreError::state("no failed disk to replace".to_string()));
-        };
-        if st.rebuilt.is_some() {
+        }
+        if st.failed.iter().all(|f| f.rebuilt.is_some()) {
             return Err(StoreError::state(
                 "replacement already installed".to_string(),
             ));
         }
-        let d = &self.disks[f as usize];
+        let encoded = st.encoded();
         let size = self.disk_size();
-        d.backend
-            .set_len(0)
-            .and_then(|()| d.backend.set_len(size))
-            .map_err(|e| StoreError::io("zero replacement disk", &d.path, e))?;
-        if let Some(sums) = &d.sums {
-            sums.reset_zeroed(self.unit_bytes);
+        let units_per_disk = self.mapping.units_per_disk();
+        for f in st.failed.iter_mut().filter(|f| f.rebuilt.is_none()) {
+            let d = &self.disks[f.disk as usize];
+            d.backend
+                .set_len(0)
+                .and_then(|()| d.backend.set_len(size))
+                .map_err(|e| StoreError::io("zero replacement disk", &d.path, e))?;
+            if let Some(sums) = &d.sums {
+                sums.reset_zeroed(self.unit_bytes);
+            }
+            d.write_superblock(&Superblock {
+                version: self.version,
+                spec: self.spec,
+                unit_bytes: self.unit_bytes as u32,
+                units_per_disk,
+                disk_index: f.disk,
+                array_id: self.array_id,
+                clean: false,
+                failed: encoded,
+            })?;
+            d.persist_sums()?;
+            f.rebuilt = Some(vec![false; units_per_disk as usize]);
         }
-        d.write_superblock(&Superblock {
-            version: self.version,
-            spec: self.spec,
-            unit_bytes: self.unit_bytes as u32,
-            units_per_disk: self.mapping.units_per_disk(),
-            disk_index: f,
-            array_id: self.array_id,
-            clean: false,
-            failed_disk: Some(f),
-        })?;
-        d.persist_sums()?;
-        st.rebuilt = Some(vec![false; self.mapping.units_per_disk() as usize]);
         Ok(())
     }
 
@@ -1337,17 +1582,17 @@ impl BlockStore {
     /// Fails if no replacement is installed or any disk I/O fails.
     pub fn rebuild(&self, threads: usize) -> Result<RebuildReport> {
         self.check_writable()?;
-        let failed = {
+        let failed: Vec<u16> = {
             let st = lock(&self.state);
-            let Some(f) = st.failed else {
+            if st.failed.is_empty() {
                 return Err(StoreError::state("no failed disk to rebuild".to_string()));
-            };
-            if st.rebuilt.is_none() {
+            }
+            if st.failed.iter().any(|f| f.rebuilt.is_none()) {
                 return Err(StoreError::state(
                     "install a replacement before rebuilding".to_string(),
                 ));
             }
-            f
+            st.failed.iter().map(|f| f.disk).collect()
         };
         let start = Instant::now();
         let before = self.io_counters();
@@ -1359,7 +1604,8 @@ impl BlockStore {
             .map(|w| {
                 let lo = w * span;
                 let hi = units.min(lo + span);
-                move || self.rebuild_range(failed, lo, hi)
+                let failed = failed.clone();
+                move || self.rebuild_range(&failed, lo, hi)
             })
             .collect();
         let mut totals = RebuildChunk::default();
@@ -1372,23 +1618,24 @@ impl BlockStore {
         {
             let _guards = self.lock_all_stripes();
             let mut st = lock(&self.state);
-            st.failed = None;
-            st.rebuilt = None;
+            st.failed.clear();
             self.degraded.store(false, Ordering::Release);
         }
-        // Persist the rebuilt disk's checksum region before declaring
+        // Persist the rebuilt disks' checksum regions before declaring
         // the array fault-free: a crash between the two must not leave
-        // the replacement's on-disk slots at their formatted state.
-        self.disks[failed as usize].persist_sums()?;
-        self.disks[failed as usize].sync()?;
+        // a replacement's on-disk slots at their formatted state.
+        for &f in &failed {
+            self.disks[f as usize].persist_sums()?;
+            self.disks[f as usize].sync()?;
+        }
         self.write_superblocks(false)?;
-        // The rebuild returned the array to fault-free: the sick disk's
-        // budget (and any stale demotion flag) resets with it.
+        // The rebuild returned the array to fault-free: the sick disks'
+        // budgets (and any stale demotion flag) reset with it.
         self.health.reset_disk_faults();
         let _ = self.health.take_pending_demotion();
         let after = self.io_counters();
         Ok(RebuildReport {
-            failed_disk: failed,
+            failed_disks: failed,
             units_rebuilt: totals.rebuilt,
             units_already_valid: totals.already_valid,
             units_unmapped: totals.unmapped,
@@ -1408,42 +1655,64 @@ impl BlockStore {
         })
     }
 
-    fn rebuild_range(&self, failed: u16, lo: u64, hi: u64) -> Result<RebuildChunk> {
+    fn rebuild_range(&self, failed: &[u16], lo: u64, hi: u64) -> Result<RebuildChunk> {
         let mut chunk = RebuildChunk::default();
-        let mut acc = self.buffers.get();
-        let mut tmp = self.buffers.get();
+        let mut out = self.buffers.get();
+        let m = self.parity_units() as usize;
         for offset in lo..hi {
-            let Some(stripe) = self.mapping.role_at(failed, offset).stripe() else {
-                chunk.unmapped += 1;
-                continue;
-            };
-            let _guard = self.lock_stripe(stripe);
-            {
-                let st = lock(&self.state);
-                // A degraded-mode write may have landed this unit on the
-                // replacement already; a missing map means another path
-                // finished the rebuild.
-                let valid = st.rebuilt.as_ref().is_none_or(|r| r[offset as usize]);
-                if valid {
-                    chunk.already_valid += 1;
+            for &fd in failed {
+                let Some(stripe) = self.mapping.role_at(fd, offset).stripe() else {
+                    chunk.unmapped += 1;
                     continue;
+                };
+                let _guard = self.lock_stripe(stripe);
+                {
+                    let st = lock(&self.state);
+                    // A degraded-mode write (or this stripe's earlier
+                    // visit through its other failed member) may have
+                    // landed this unit on the replacement already; a
+                    // missing map means another path finished the
+                    // rebuild.
+                    let valid = st
+                        .slot(fd)
+                        .is_none_or(|f| f.rebuilt.as_ref().is_none_or(|r| r[offset as usize]));
+                    if valid {
+                        chunk.already_valid += 1;
+                        continue;
+                    }
+                }
+                // Decode the stripe once and install every still-lost
+                // unit — on a P+Q stripe that lost two members, both are
+                // recovered from one pass over the survivors. Survivor
+                // reads are verified: a sick survivor would silently
+                // corrupt the reconstruction, and with the stripe's
+                // redundancy already spent a survivor fault escalates
+                // as a typed error.
+                let units = self.mapping.stripe_units(stripe);
+                let lost = self.lost_flags(&units);
+                let (data, _) = self.read_stripe_data(&units, &lost, true)?;
+                let d = units.len() - m;
+                for (pos, u) in units.iter().enumerate() {
+                    if !lost[pos] {
+                        continue;
+                    }
+                    if pos < d {
+                        self.disks[u.disk as usize].write_unit(u.offset, &data[pos])?;
+                    } else {
+                        self.compute_parity_into((pos - d) as u16, &data, &mut out);
+                        self.disks[u.disk as usize].write_unit(u.offset, &out)?;
+                    }
+                    if u.disk == fd {
+                        chunk.rebuilt += 1;
+                    }
+                    let mut st = lock(&self.state);
+                    if let Some(f) = st.slot_mut(u.disk) {
+                        if let Some(rebuilt) = &mut f.rebuilt {
+                            rebuilt[u.offset as usize] = true;
+                        }
+                    }
                 }
             }
-            acc.fill(0);
-            let units = self.mapping.stripe_units(stripe);
-            for u in units.iter().filter(|u| u.disk != failed) {
-                // Verified: a sick survivor would silently corrupt the
-                // reconstruction; with the stripe's redundancy already
-                // spent, a survivor fault escalates as a typed error.
-                self.read_unit_verified(*u, &mut tmp)?;
-                parity::xor_into(&mut acc, &tmp);
-            }
-            self.disks[failed as usize].write_unit(offset, &acc)?;
-            let mut st = lock(&self.state);
-            if let Some(rebuilt) = &mut st.rebuilt {
-                rebuilt[offset as usize] = true;
-            }
-            chunk.rebuilt += 1;
         }
         Ok(chunk)
     }
@@ -1452,31 +1721,44 @@ impl BlockStore {
     // Consistency
     // ------------------------------------------------------------------
 
-    /// Verifies that every mapped stripe's parity equals the XOR of its
-    /// data units. Only meaningful when fault-free.
+    /// Verifies that every mapped stripe's parity matches its data: the
+    /// P unit must equal the XOR of the data units, and on a P+Q layout
+    /// the Q unit must equal the GF(256) weighted sum. Only meaningful
+    /// when fault-free.
     ///
     /// # Errors
     ///
     /// Returns [`StoreError::ParityMismatch`] naming the first
     /// inconsistent stripe, or an invalid-state error while degraded.
     pub fn verify_parity(&self) -> Result<()> {
-        if lock(&self.state).failed.is_some() {
+        if !lock(&self.state).failed.is_empty() {
             return Err(StoreError::state(
                 "parity check requires a fault-free store".to_string(),
             ));
         }
-        let mut acc = self.buffers.get();
+        let m = self.parity_units() as usize;
+        let mut accs: Vec<PooledBuf<'_>> = (0..m).map(|_| self.buffers.get()).collect();
         let mut tmp = self.buffers.get();
         for seq in 0..self.mapping.stripes() {
             let stripe = self.mapping.stripe_by_seq(seq);
             let _guard = self.lock_stripe(stripe);
-            acc.fill(0);
-            for u in self.mapping.stripe_units(stripe) {
-                self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
-                parity::xor_into(&mut acc, &tmp);
+            let units = self.mapping.stripe_units(stripe);
+            let d = units.len() - m;
+            for acc in accs.iter_mut() {
+                acc.fill(0);
             }
-            if acc.iter().any(|&b| b != 0) {
-                return Err(StoreError::ParityMismatch { stripe });
+            for (i, u) in units[..d].iter().enumerate() {
+                self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
+                parity::xor_into(&mut accs[0], &tmp);
+                if m == 2 {
+                    parity::gf_mul_into(&mut accs[1], &tmp, parity::gf_pow2(i as u16));
+                }
+            }
+            for (j, u) in units[d..].iter().enumerate() {
+                self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
+                if *accs[j] != *tmp {
+                    return Err(StoreError::ParityMismatch { stripe });
+                }
             }
         }
         Ok(())
@@ -1501,38 +1783,64 @@ impl BlockStore {
         self.disks[parity.disk as usize].write_unit(parity.offset, &buf)
     }
 
-    /// Recomputes a stripe's parity from its data units — the
+    /// Recomputes a stripe's live parity units from its data — the
     /// per-stripe repair a resync applies to a torn stripe.
     ///
     /// # Errors
     ///
-    /// As for [`BlockStore::scramble_parity`].
+    /// As for [`BlockStore::scramble_parity`], plus an invalid-state
+    /// error if one of the stripe's data units is lost (parity is then
+    /// the only copy and must not be overwritten).
     pub fn recompute_parity(&self, stripe: u64) -> Result<()> {
         self.check_writable()?;
-        let parity = self.live_parity(stripe)?;
+        if !self.mapping.is_mapped(stripe) {
+            return Err(StoreError::state(format!("stripe {stripe} is not mapped")));
+        }
         let _guard = self.lock_stripe(stripe);
         let units = self.mapping.stripe_units(stripe);
-        let mut acc = self.buffers.get_zeroed();
-        let mut tmp = self.buffers.get();
-        for u in &units[..units.len() - 1] {
-            self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
-            parity::xor_into(&mut acc, &tmp);
+        let m = self.parity_units() as usize;
+        let d = units.len() - m;
+        let lost = self.lost_flags(&units);
+        if lost[..d].iter().any(|&l| l) {
+            return Err(StoreError::state(format!(
+                "stripe {stripe} has a lost data unit — parity is its only copy"
+            )));
         }
-        self.disks[parity.disk as usize].write_unit(parity.offset, &acc)
+        if lost[d..].iter().all(|&l| l) {
+            return Err(StoreError::state(format!(
+                "stripe {stripe} has no live parity unit"
+            )));
+        }
+        let mut data = Vec::with_capacity(d);
+        for u in &units[..d] {
+            let mut b = self.buffers.get();
+            self.disks[u.disk as usize].read_unit(u.offset, &mut b)?;
+            data.push(b);
+        }
+        let mut out = self.buffers.get();
+        for (j, u) in units[d..].iter().enumerate() {
+            if lost[d + j] {
+                continue;
+            }
+            self.compute_parity_into(j as u16, &data, &mut out);
+            self.disks[u.disk as usize].write_unit(u.offset, &out)?;
+        }
+        Ok(())
     }
 
+    /// The first live parity unit of `stripe`.
     fn live_parity(&self, stripe: u64) -> Result<UnitAddr> {
         if !self.mapping.is_mapped(stripe) {
             return Err(StoreError::state(format!("stripe {stripe} is not mapped")));
         }
         let units = self.mapping.stripe_units(stripe);
-        let parity = units[units.len() - 1];
-        if lock(&self.state).is_lost(parity) {
-            return Err(StoreError::state(format!(
-                "stripe {stripe} has no live parity unit"
-            )));
-        }
-        Ok(parity)
+        let d = units.len() - self.parity_units() as usize;
+        let st = lock(&self.state);
+        units[d..]
+            .iter()
+            .find(|u| !st.is_lost(**u))
+            .copied()
+            .ok_or_else(|| StoreError::state(format!("stripe {stripe} has no live parity unit")))
     }
 
     /// The crash-recovery resync: verify (and repair) the parity of the
@@ -1551,7 +1859,7 @@ impl BlockStore {
             RecoveryPolicy::DirtyRegionLog => lock(&self.intent).dirty_seqs(),
             RecoveryPolicy::FullResync => (0..self.mapping.stripes()).collect(),
         };
-        let failed = lock(&self.state).failed;
+        let failed = self.failed_disks();
         let mut report = ConsistencyReport {
             policy,
             stripes_checked: 0,
@@ -1561,43 +1869,55 @@ impl BlockStore {
             resync_units_written: 0,
             recovery_secs: 0.0,
         };
-        let mut acc = self.buffers.get();
+        let m = self.parity_units() as usize;
+        let mut accs: Vec<PooledBuf<'_>> = (0..m).map(|_| self.buffers.get()).collect();
         let mut tmp = self.buffers.get();
         for seq in seqs {
             let stripe = self.mapping.stripe_by_seq(seq);
             report.stripes_checked += 1;
             let units = self.mapping.stripe_units(stripe);
-            if failed.is_some_and(|f| units.iter().any(|u| u.disk == f)) {
+            if units.iter().any(|u| failed.contains(&u.disk)) {
                 // With a member missing, parity is the only copy of the
                 // lost data and must not be "repaired" — but the
                 // survivors' checksum slots may be stale (the crash
                 // interrupted writes here), so heal those from the
                 // bytes actually on disk.
-                for u in units.iter().filter(|u| Some(u.disk) != failed) {
+                for u in units.iter().filter(|u| !failed.contains(&u.disk)) {
                     self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
                     self.disks[u.disk as usize].note_contents(u.offset, &tmp);
                     report.resync_units_read += 1;
                 }
                 continue;
             }
-            let parity = units[units.len() - 1];
-            acc.fill(0);
-            for u in &units[..units.len() - 1] {
+            let d = units.len() - m;
+            for acc in accs.iter_mut() {
+                acc.fill(0);
+            }
+            for (i, u) in units[..d].iter().enumerate() {
                 self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
                 // The slots of every unit in a dirty region may be
                 // stale (in-memory tables died with the crash):
                 // recompute them from the on-disk bytes.
                 self.disks[u.disk as usize].note_contents(u.offset, &tmp);
-                parity::xor_into(&mut acc, &tmp);
+                parity::xor_into(&mut accs[0], &tmp);
+                if m == 2 {
+                    parity::gf_mul_into(&mut accs[1], &tmp, parity::gf_pow2(i as u16));
+                }
                 report.resync_units_read += 1;
             }
-            self.disks[parity.disk as usize].read_unit(parity.offset, &mut tmp)?;
-            self.disks[parity.disk as usize].note_contents(parity.offset, &tmp);
-            report.resync_units_read += 1;
-            if *acc != *tmp {
+            let mut stripe_torn = false;
+            for (j, u) in units[d..].iter().enumerate() {
+                self.disks[u.disk as usize].read_unit(u.offset, &mut tmp)?;
+                self.disks[u.disk as usize].note_contents(u.offset, &tmp);
+                report.resync_units_read += 1;
+                if *accs[j] != *tmp {
+                    stripe_torn = true;
+                    self.disks[u.disk as usize].write_unit(u.offset, &accs[j])?;
+                    report.resync_units_written += 1;
+                }
+            }
+            if stripe_torn {
                 report.torn_found += 1;
-                self.disks[parity.disk as usize].write_unit(parity.offset, &acc)?;
-                report.resync_units_written += 1;
                 report.torn_repaired += 1;
             }
         }
@@ -1613,12 +1933,12 @@ impl BlockStore {
     /// the given `clean` flag. The failed disk is skipped until a
     /// replacement is installed (its medium is gone).
     fn write_superblocks(&self, clean: bool) -> Result<()> {
-        let (failed, skip_failed) = {
+        let (encoded, skip) = {
             let st = lock(&self.state);
-            (st.failed, st.failed.is_some() && st.rebuilt.is_none())
+            (st.encoded(), st.unreplaced())
         };
         for (i, d) in self.disks.iter().enumerate() {
-            if skip_failed && failed == Some(i as u16) {
+            if skip.contains(&(i as u16)) {
                 continue;
             }
             d.write_superblock(&Superblock {
@@ -1629,7 +1949,7 @@ impl BlockStore {
                 disk_index: i as u16,
                 array_id: self.array_id,
                 clean,
-                failed_disk: failed,
+                failed: encoded,
             })?;
         }
         Ok(())
@@ -1818,7 +2138,7 @@ mod tests {
         }
         store.replace_disk().unwrap();
         let report = store.rebuild(2).unwrap();
-        assert_eq!(report.failed_disk, 2);
+        assert_eq!(report.failed_disks, vec![2]);
         assert!(report.units_rebuilt > 0);
         assert_eq!(store.failed_disk(), None);
         store.verify_parity().unwrap();

@@ -2,20 +2,28 @@
 //! on every open.
 //!
 //! Each backing file begins with one [`SUPERBLOCK_BYTES`] header naming
-//! the array (layout construction, `C`, `G`, unit size, capacity), this
-//! disk's index within it, a shared array id, and the store's run state
-//! (cleanly closed? which disk is failed?). A store only opens when every
+//! the array (the [`LayoutSpec`] string, unit size, capacity), this disk's
+//! index within it, a shared array id, and the store's run state (cleanly
+//! closed? which disks are failed?). A store only opens when every
 //! readable superblock tells the same story — mixing files from two
 //! arrays, or reopening after a geometry change, fails loudly instead of
 //! corrupting data. The checksum (FNV-1a over the encoded fields) catches
 //! torn or scribbled headers.
+//!
+//! # Format history
+//!
+//! * **v3** (current) — persists the layout as its spec string
+//!   (`prime:c11g4`, `pq:c12g6`, …) so any registry family round-trips,
+//!   and carries **two** failed-disk slots for P+Q arrays.
+//! * **v2** — a 1-byte layout tag (declustered / complete / raid5) and a
+//!   single failed-disk slot. Such arrays stay fully usable and keep
+//!   their wire form when superblocks are rewritten.
+//! * **v1** — v2 without the per-unit checksum region. Opens read-only.
 
 use crate::error::{Result, StoreError};
-use decluster_core::design::{catalog, BlockDesign};
-use decluster_core::layout::{DeclusteredLayout, Raid5Layout};
-use decluster_core::ParityLayout;
 use std::path::Path;
-use std::sync::Arc;
+
+pub use decluster_core::layout::LayoutSpec;
 
 /// Bytes reserved at the head of each backing file for the superblock.
 pub const SUPERBLOCK_BYTES: u64 = 4096;
@@ -27,114 +35,49 @@ pub const BLOCK_BYTES: u32 = 512;
 const NO_FAILED_DISK: u16 = u16::MAX;
 
 const MAGIC: &[u8; 8] = b"DCLSTOR1";
-/// Current format: version 2 adds the per-disk checksum region between
-/// the superblock and the data area.
-pub const VERSION: u32 = 2;
+/// Current format: version 3 persists the layout spec string and two
+/// failed-disk slots (P+Q arrays tolerate two simultaneous failures).
+pub const VERSION: u32 = 3;
+/// The tag-based single-failure format, first to carry the per-disk
+/// checksum region. Still fully read-write.
+pub const VERSION_TAGGED: u32 = 2;
 /// The pre-checksum-region format. Still decodes — the store opens such
 /// arrays read-only instead of rejecting them as corrupt.
 pub const VERSION_NO_CHECKSUMS: u32 = 1;
-/// Bytes covered by the checksum (everything before it).
-const CHECKED_BYTES: usize = 48;
+/// Bytes covered by the checksum in the v1/v2 wire form.
+const CHECKED_BYTES_V2: usize = 48;
+/// Bytes reserved for the spec string in the v3 wire form.
+const SPEC_BYTES: usize = 64;
+/// Bytes covered by the checksum in the v3 wire form.
+const CHECKED_BYTES_V3: usize = 44 + SPEC_BYTES;
 
-/// How the array's parity layout is constructed — enough to rebuild the
-/// exact [`ParityLayout`] on open.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LayoutSpec {
-    /// Declustered parity over the best catalog design for `(disks, group)`
-    /// ([`catalog::find`]).
-    Declustered {
-        /// Array width `C`.
-        disks: u16,
-        /// Parity group size `G`.
-        group: u16,
-    },
-    /// Declustered parity over the complete block design
-    /// ([`BlockDesign::complete`]).
-    Complete {
-        /// Array width `C`.
-        disks: u16,
-        /// Parity group size `G`.
-        group: u16,
-    },
-    /// Classic rotated-parity RAID 5 (`G = C`).
-    Raid5 {
-        /// Array width `C`.
-        disks: u16,
-    },
+/// The v1/v2 1-byte layout tag for a spec, for superblocks rewritten in
+/// the legacy wire form. Only the three families that format could name
+/// are representable.
+fn legacy_tag(spec: &LayoutSpec) -> u8 {
+    match spec {
+        LayoutSpec::Bibd { .. } => 0,
+        LayoutSpec::Complete { .. } => 1,
+        LayoutSpec::Raid5 { .. } => 2,
+        other => panic!("layout `{other}` is not representable in a v1/v2 superblock"),
+    }
 }
 
-impl LayoutSpec {
-    /// Array width `C`.
-    pub fn disks(&self) -> u16 {
-        match *self {
-            LayoutSpec::Declustered { disks, .. }
-            | LayoutSpec::Complete { disks, .. }
-            | LayoutSpec::Raid5 { disks } => disks,
-        }
-    }
-
-    /// Parity group size `G` (the stripe width; equals `C` for RAID 5).
-    pub fn group(&self) -> u16 {
-        match *self {
-            LayoutSpec::Declustered { group, .. } | LayoutSpec::Complete { group, .. } => group,
-            LayoutSpec::Raid5 { disks } => disks,
-        }
-    }
-
-    /// The declustering ratio α = (G−1)/(C−1).
-    pub fn alpha(&self) -> f64 {
-        (self.group() - 1) as f64 / (self.disks() - 1) as f64
-    }
-
-    /// Stable lower-case construction name (CLI flags, JSON).
-    pub fn name(&self) -> &'static str {
-        match self {
-            LayoutSpec::Declustered { .. } => "declustered",
-            LayoutSpec::Complete { .. } => "complete",
-            LayoutSpec::Raid5 { .. } => "raid5",
-        }
-    }
-
-    /// Constructs the layout this spec names.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if no design exists for the parameters.
-    pub fn build(&self) -> Result<Arc<dyn ParityLayout>> {
-        Ok(match *self {
-            LayoutSpec::Declustered { disks, group } => {
-                Arc::new(DeclusteredLayout::new(catalog::find(disks, group)?)?)
-            }
-            LayoutSpec::Complete { disks, group } => Arc::new(DeclusteredLayout::new(
-                BlockDesign::complete(disks, group)?,
-            )?),
-            LayoutSpec::Raid5 { disks } => Arc::new(Raid5Layout::new(disks)?),
-        })
-    }
-
-    fn tag(&self) -> u8 {
-        match self {
-            LayoutSpec::Declustered { .. } => 0,
-            LayoutSpec::Complete { .. } => 1,
-            LayoutSpec::Raid5 { .. } => 2,
-        }
-    }
-
-    fn from_tag(tag: u8, disks: u16, group: u16) -> Option<LayoutSpec> {
-        Some(match tag {
-            0 => LayoutSpec::Declustered { disks, group },
-            1 => LayoutSpec::Complete { disks, group },
-            2 => LayoutSpec::Raid5 { disks },
-            _ => return None,
-        })
-    }
+fn from_legacy_tag(tag: u8, disks: u16, group: u16) -> Option<LayoutSpec> {
+    Some(match tag {
+        0 => LayoutSpec::Bibd { disks, group },
+        1 => LayoutSpec::Complete { disks, group },
+        2 => LayoutSpec::Raid5 { disks },
+        _ => return None,
+    })
 }
 
 /// One backing file's decoded superblock.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Superblock {
     /// Format version this disk was written with ([`VERSION`] for new
-    /// stores; [`VERSION_NO_CHECKSUMS`] for pre-checksum arrays).
+    /// stores; [`VERSION_TAGGED`] / [`VERSION_NO_CHECKSUMS`] for older
+    /// arrays).
     pub version: u32,
     /// Layout construction and parameters.
     pub spec: LayoutSpec,
@@ -150,12 +93,28 @@ pub struct Superblock {
     /// Whether the store was cleanly closed (false while open; a reopen
     /// seeing false runs crash recovery).
     pub clean: bool,
-    /// The failed disk, if the array is degraded.
-    pub failed_disk: Option<u16>,
+    /// The failed disks, if the array is degraded: slot 0 fills first,
+    /// slot 1 only when a P+Q array loses a second disk.
+    pub failed: [Option<u16>; 2],
 }
 
 impl Superblock {
-    /// Encodes into a [`SUPERBLOCK_BYTES`] buffer with trailing checksum.
+    /// The failed disks as a sorted list.
+    pub fn failed_disks(&self) -> Vec<u16> {
+        let mut v: Vec<u16> = self.failed.iter().flatten().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Encodes into a [`SUPERBLOCK_BYTES`] buffer with trailing checksum,
+    /// in the wire form of `self.version` (older arrays keep their
+    /// format; see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a legacy version is asked to encode a layout family or a
+    /// second failed disk the legacy format cannot represent — states a
+    /// genuine legacy array can never reach.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = vec![0u8; SUPERBLOCK_BYTES as usize];
         buf[0..8].copy_from_slice(MAGIC);
@@ -163,16 +122,36 @@ impl Superblock {
         buf[12..16].copy_from_slice(&BLOCK_BYTES.to_le_bytes());
         buf[16..20].copy_from_slice(&self.unit_bytes.to_le_bytes());
         buf[20..28].copy_from_slice(&self.units_per_disk.to_le_bytes());
-        buf[28..30].copy_from_slice(&self.spec.disks().to_le_bytes());
-        buf[30..32].copy_from_slice(&self.spec.group().to_le_bytes());
-        buf[32] = self.spec.tag();
-        buf[34..36].copy_from_slice(&self.disk_index.to_le_bytes());
-        buf[36..44].copy_from_slice(&self.array_id.to_le_bytes());
-        buf[44] = self.clean as u8;
-        let failed = self.failed_disk.unwrap_or(NO_FAILED_DISK);
-        buf[46..48].copy_from_slice(&failed.to_le_bytes());
-        let sum = fnv1a(&buf[..CHECKED_BYTES]);
-        buf[CHECKED_BYTES..CHECKED_BYTES + 8].copy_from_slice(&sum.to_le_bytes());
+        if self.version < VERSION {
+            assert!(
+                self.failed[1].is_none(),
+                "a v1/v2 superblock cannot record a second failed disk"
+            );
+            buf[28..30].copy_from_slice(&self.spec.disks().to_le_bytes());
+            buf[30..32].copy_from_slice(&self.spec.group().to_le_bytes());
+            buf[32] = legacy_tag(&self.spec);
+            buf[34..36].copy_from_slice(&self.disk_index.to_le_bytes());
+            buf[36..44].copy_from_slice(&self.array_id.to_le_bytes());
+            buf[44] = self.clean as u8;
+            let failed = self.failed[0].unwrap_or(NO_FAILED_DISK);
+            buf[46..48].copy_from_slice(&failed.to_le_bytes());
+            let sum = fnv1a(&buf[..CHECKED_BYTES_V2]);
+            buf[CHECKED_BYTES_V2..CHECKED_BYTES_V2 + 8].copy_from_slice(&sum.to_le_bytes());
+        } else {
+            buf[28..30].copy_from_slice(&self.disk_index.to_le_bytes());
+            buf[30..38].copy_from_slice(&self.array_id.to_le_bytes());
+            buf[38] = self.clean as u8;
+            let spec = self.spec.to_string();
+            assert!(spec.len() <= SPEC_BYTES, "layout spec `{spec}` too long");
+            buf[39] = spec.len() as u8;
+            let f0 = self.failed[0].unwrap_or(NO_FAILED_DISK);
+            let f1 = self.failed[1].unwrap_or(NO_FAILED_DISK);
+            buf[40..42].copy_from_slice(&f0.to_le_bytes());
+            buf[42..44].copy_from_slice(&f1.to_le_bytes());
+            buf[44..44 + spec.len()].copy_from_slice(spec.as_bytes());
+            let sum = fnv1a(&buf[..CHECKED_BYTES_V3]);
+            buf[CHECKED_BYTES_V3..CHECKED_BYTES_V3 + 8].copy_from_slice(&sum.to_le_bytes());
+        }
         buf
     }
 
@@ -191,11 +170,16 @@ impl Superblock {
             return Err(bad("bad magic".into()));
         }
         let version = le_u32(buf, 8);
-        if version != VERSION && version != VERSION_NO_CHECKSUMS {
+        if !(VERSION_NO_CHECKSUMS..=VERSION).contains(&version) {
             return Err(bad(format!("unsupported version {version}")));
         }
-        let stored = le_u64(buf, CHECKED_BYTES);
-        let computed = fnv1a(&buf[..CHECKED_BYTES]);
+        let checked = if version < VERSION {
+            CHECKED_BYTES_V2
+        } else {
+            CHECKED_BYTES_V3
+        };
+        let stored = le_u64(buf, checked);
+        let computed = fnv1a(&buf[..checked]);
         if stored != computed {
             return Err(bad(format!(
                 "checksum mismatch: stored {stored:#x}, computed {computed:#x}"
@@ -210,16 +194,46 @@ impl Superblock {
             return Err(bad(format!("unit size {unit_bytes} not a block multiple")));
         }
         let units_per_disk = le_u64(buf, 20);
-        let disks = le_u16(buf, 28);
-        let group = le_u16(buf, 30);
-        let spec = LayoutSpec::from_tag(buf[32], disks, group)
-            .ok_or_else(|| bad(format!("unknown layout tag {}", buf[32])))?;
-        let disk_index = le_u16(buf, 34);
+        let (spec, disk_index, array_id, clean, failed) = if version < VERSION {
+            let disks = le_u16(buf, 28);
+            let group = le_u16(buf, 30);
+            let spec = from_legacy_tag(buf[32], disks, group)
+                .ok_or_else(|| bad(format!("unknown layout tag {}", buf[32])))?;
+            let f = le_u16(buf, 46);
+            (
+                spec,
+                le_u16(buf, 34),
+                le_u64(buf, 36),
+                buf[44] != 0,
+                [(f != NO_FAILED_DISK).then_some(f), None],
+            )
+        } else {
+            let spec_len = buf[39] as usize;
+            if spec_len > SPEC_BYTES {
+                return Err(bad(format!("layout spec length {spec_len} out of range")));
+            }
+            let text = std::str::from_utf8(&buf[44..44 + spec_len])
+                .map_err(|_| bad("layout spec is not UTF-8".into()))?;
+            let spec: LayoutSpec = text
+                .parse()
+                .map_err(|e| bad(format!("bad layout spec `{text}`: {e}")))?;
+            let f0 = le_u16(buf, 40);
+            let f1 = le_u16(buf, 42);
+            (
+                spec,
+                le_u16(buf, 28),
+                le_u64(buf, 30),
+                buf[38] != 0,
+                [
+                    (f0 != NO_FAILED_DISK).then_some(f0),
+                    (f1 != NO_FAILED_DISK).then_some(f1),
+                ],
+            )
+        };
+        let disks = spec.disks();
         if disk_index >= disks {
             return Err(bad(format!("disk index {disk_index} out of {disks}")));
         }
-        let array_id = le_u64(buf, 36);
-        let failed = le_u16(buf, 46);
         Ok(Superblock {
             version,
             spec,
@@ -227,14 +241,14 @@ impl Superblock {
             units_per_disk,
             disk_index,
             array_id,
-            clean: buf[44] != 0,
-            failed_disk: (failed != NO_FAILED_DISK).then_some(failed),
+            clean,
+            failed,
         })
     }
 
     /// Whether `other` describes the same array (everything but the
     /// per-disk index and run state). Format version is part of the
-    /// identity: a v1 disk cannot join a v2 array, because their data
+    /// identity: a v1 disk cannot join a v2+ array, because their data
     /// areas start at different offsets.
     pub fn same_array(&self, other: &Superblock) -> bool {
         self.version == other.version
@@ -247,7 +261,7 @@ impl Superblock {
     /// Byte offset where this disk's data area starts: the superblock,
     /// then (v2 onward) the checksum region.
     pub fn data_start(&self) -> u64 {
-        if self.version >= VERSION {
+        if self.version >= VERSION_TAGGED {
             SUPERBLOCK_BYTES + crate::checksum::region_bytes(self.units_per_disk)
         } else {
             SUPERBLOCK_BYTES
@@ -287,7 +301,7 @@ mod tests {
     fn sb() -> Superblock {
         Superblock {
             version: VERSION,
-            spec: LayoutSpec::Declustered {
+            spec: LayoutSpec::Bibd {
                 disks: 10,
                 group: 4,
             },
@@ -296,7 +310,7 @@ mod tests {
             disk_index: 3,
             array_id: 0xfeed_beef,
             clean: true,
-            failed_disk: None,
+            failed: [None; 2],
         }
     }
 
@@ -309,9 +323,27 @@ mod tests {
 
         let mut degraded = sb();
         degraded.clean = false;
-        degraded.failed_disk = Some(7);
+        degraded.failed = [Some(7), None];
         let decoded = Superblock::decode(&degraded.encode(), &p).unwrap();
         assert_eq!(decoded, degraded);
+    }
+
+    #[test]
+    fn v3_round_trips_every_registry_family_and_two_failures() {
+        let p = PathBuf::from("disk-000.dat");
+        for family in decluster_core::layout::spec::registry() {
+            for &example in family.examples {
+                let mut s = sb();
+                s.spec = example.parse().unwrap();
+                s.disk_index = 0;
+                if s.spec.parity_units() == 2 {
+                    s.failed = [Some(1), Some(3)];
+                }
+                let decoded = Superblock::decode(&s.encode(), &p).unwrap();
+                assert_eq!(decoded, s, "{example}");
+                assert_eq!(decoded.spec.to_string(), example);
+            }
+        }
     }
 
     #[test]
@@ -336,20 +368,32 @@ mod tests {
     }
 
     #[test]
-    fn v1_superblocks_still_decode_and_place_data_after_the_header() {
-        let mut old = sb();
-        old.version = VERSION_NO_CHECKSUMS;
-        let decoded = Superblock::decode(&old.encode(), &PathBuf::from("d")).unwrap();
+    fn legacy_superblocks_still_decode_and_place_data_correctly() {
+        // v1: no checksum region, data right after the header.
+        let mut v1 = sb();
+        v1.version = VERSION_NO_CHECKSUMS;
+        let decoded = Superblock::decode(&v1.encode(), &PathBuf::from("d")).unwrap();
         assert_eq!(decoded.version, VERSION_NO_CHECKSUMS);
         assert_eq!(decoded.data_start(), SUPERBLOCK_BYTES);
-        // v2 reserves the checksum region.
+        // v2: tag-encoded spec, checksum region reserved.
+        let mut v2 = sb();
+        v2.version = VERSION_TAGGED;
+        v2.failed = [Some(2), None];
+        let decoded = Superblock::decode(&v2.encode(), &PathBuf::from("d")).unwrap();
+        assert_eq!(decoded, v2);
+        assert_eq!(
+            decoded.data_start(),
+            SUPERBLOCK_BYTES + crate::checksum::region_bytes(v2.units_per_disk)
+        );
+        // v3 reserves the checksum region too.
         let new = sb();
         assert_eq!(
             new.data_start(),
             SUPERBLOCK_BYTES + crate::checksum::region_bytes(new.units_per_disk)
         );
         // Versions do not mix within one array.
-        assert!(!new.same_array(&old));
+        assert!(!new.same_array(&v1));
+        assert!(!new.same_array(&v2));
         // An unknown future version is rejected loudly.
         let mut future = sb();
         future.version = 99;
@@ -360,8 +404,20 @@ mod tests {
     }
 
     #[test]
-    fn layout_specs_build_and_name() {
-        let d = LayoutSpec::Declustered {
+    #[should_panic(expected = "not representable")]
+    fn legacy_encode_rejects_unrepresentable_families() {
+        let mut s = sb();
+        s.version = VERSION_TAGGED;
+        s.spec = LayoutSpec::Pq {
+            disks: 12,
+            group: 6,
+        };
+        let _ = s.encode();
+    }
+
+    #[test]
+    fn layout_specs_build_and_alpha() {
+        let d = LayoutSpec::Bibd {
             disks: 10,
             group: 4,
         };
@@ -374,15 +430,15 @@ mod tests {
         let c = LayoutSpec::Complete { disks: 5, group: 4 };
         assert_eq!(c.build().unwrap().stripe_width(), 4);
         assert_eq!(
-            [d.name(), c.name(), r.name()],
-            ["declustered", "complete", "raid5"]
+            [d.family(), c.family(), r.family()],
+            ["bibd", "complete", "raid5"]
         );
     }
 
     #[test]
     fn nonexistent_design_is_an_error() {
         // 41 disks, G = 5: the paper's own infeasible example.
-        let spec = LayoutSpec::Declustered {
+        let spec = LayoutSpec::Bibd {
             disks: 41,
             group: 5,
         };

@@ -81,7 +81,7 @@ fn admin_cycles(store: &BlockStore, stop: &AtomicBool) {
         std::thread::sleep(Duration::from_millis(20));
         store.replace_disk().unwrap();
         let report = store.rebuild(2).unwrap();
-        assert_eq!(report.failed_disk, disk);
+        assert_eq!(report.failed_disks, vec![disk]);
     }
     stop.store(true, Ordering::Release);
 }

@@ -344,7 +344,7 @@ fn build_v1_store(dir: &Path, units_per_disk: u64, unit_bytes: u32) {
             disk_index: i,
             array_id: 0x01D,
             clean: true,
-            failed_disk: None,
+            failed: [None; 2],
         };
         let path = dir.join(format!("disk-{i:03}.dat"));
         let mut f = std::fs::File::create(&path).unwrap();

@@ -22,7 +22,7 @@ fn fresh_dir(name: &str) -> PathBuf {
 
 #[test]
 fn rebuild_reads_alpha_of_each_surviving_disk() {
-    let spec = LayoutSpec::Declustered {
+    let spec = LayoutSpec::Bibd {
         disks: 10,
         group: 4,
     };

@@ -13,7 +13,7 @@
 
 use decluster::core::design::BlockDesign;
 use decluster::core::layout::{
-    criteria, tabular, DeclusteredLayout, ParityLayout, Raid5Layout, TabularLayout, UnitRole,
+    criteria, spec, tabular, LayoutSpec, ParityLayout, TabularLayout, UnitRole,
 };
 use decluster::experiments::{alpha_sweep, paper_layout};
 
@@ -31,7 +31,8 @@ fn render_table(layout: &dyn ParityLayout, rows: u64) -> String {
         for disk in 0..layout.disks() {
             let cell = match layout.role_at(disk, offset) {
                 UnitRole::Data { stripe, index } => format!("D{stripe}.{index}"),
-                UnitRole::Parity { stripe } => format!("P{stripe}"),
+                UnitRole::Parity { stripe, index: 0 } => format!("P{stripe}"),
+                UnitRole::Parity { stripe, .. } => format!("Q{stripe}"),
                 UnitRole::Unmapped => "-".to_string(),
             };
             out.push_str(&format!(" {cell:>6}"));
@@ -43,8 +44,8 @@ fn render_table(layout: &dyn ParityLayout, rows: u64) -> String {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Figure 2-1: left-symmetric RAID 5, C = G = 5 ==");
-    let raid5 = Raid5Layout::new(5)?;
-    println!("{}", render_table(&raid5, 5));
+    let raid5 = "raid5:c5".parse::<LayoutSpec>()?.build()?;
+    println!("{}", render_table(raid5.as_ref(), 5));
 
     println!("== Figure 4-1: complete block design, b=5, v=5, k=4 ==");
     let design = BlockDesign::complete(5, 4)?;
@@ -52,11 +53,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     println!("== Figure 2-3: declustered layout, C = 5, G = 4 (first table) ==");
-    let decl = DeclusteredLayout::new(design)?;
-    println!("{}", render_table(&decl, 4));
+    let decl = "complete:c5g4".parse::<LayoutSpec>()?.build()?;
+    println!("{}", render_table(decl.as_ref(), 4));
 
     println!("== Figure 4-2: the full block design table (parity rotates) ==");
-    println!("{}", render_table(&decl, decl.table_height()));
+    println!("{}", render_table(decl.as_ref(), decl.table_height()));
+
+    println!("== P+Q double-fault tolerance: pq:c5g4 (Q rotates with P) ==");
+    let pq = "pq:c5g4".parse::<LayoutSpec>()?.build()?;
+    println!("{}", render_table(pq.as_ref(), 4));
+
+    println!("== The layout registry ==");
+    for family in spec::registry() {
+        println!(
+            "{:>9}  {}  (e.g. {})",
+            family.name,
+            family.summary,
+            family.examples.join(", ")
+        );
+    }
+    println!();
 
     println!("== Layout criteria for the paper's 21-disk sweep ==");
     println!(
@@ -96,7 +112,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("== Portable layout table (decluster-layout v1, first lines) ==");
-    let text = tabular::export(&decl);
+    let text = tabular::export(decl.as_ref());
     for line in text.lines().take(10) {
         println!("{line}");
     }

@@ -63,6 +63,22 @@ cargo run --release -q -p decluster-bench --bin store -- \
     --out results/store_bench.json
 cargo run --release -q -p decluster-bench --bin store -- scrub "$STORE_SMOKE_DIR"
 
+echo "==> layout registry smoke (algorithmic generators meet criteria 1-3)"
+cargo run --release -q --bin decluster -- layout prime:c11g4 --check
+cargo run --release -q --bin decluster -- layout rot:c13g4 --check
+
+echo "==> P+Q store smoke (mkfs pq / fill / fail TWO disks / degraded verify / rebuild / verify)"
+PQ_SMOKE_DIR="$SCRUB_SMOKE_DIR/pq-store"
+cargo run --release -q -p decluster-bench --bin store -- \
+    mkfs "$PQ_SMOKE_DIR" --layout pq:c10g5 --units 200 --unit-bytes 4096
+cargo run --release -q -p decluster-bench --bin store -- fill "$PQ_SMOKE_DIR" --seed 9
+cargo run --release -q -p decluster-bench --bin store -- fail "$PQ_SMOKE_DIR" 2
+cargo run --release -q -p decluster-bench --bin store -- fail "$PQ_SMOKE_DIR" 7
+cargo run --release -q -p decluster-bench --bin store -- verify "$PQ_SMOKE_DIR" --seed 9
+cargo run --release -q -p decluster-bench --bin store -- rebuild "$PQ_SMOKE_DIR" --threads 4
+cargo run --release -q -p decluster-bench --bin store -- verify "$PQ_SMOKE_DIR" --seed 9
+cargo run --release -q -p decluster-bench --bin store -- scrub "$PQ_SMOKE_DIR"
+
 echo "==> network block service smoke (4 clients through fill/fail/rebuild/verify)"
 cargo run --release -q -p decluster-bench --bin load_gen -- \
     --smoke --out results/server_bench.json

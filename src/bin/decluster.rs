@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! decluster designs <disks> <group>          # find a block design
-//! decluster layout <disks> <group> [--export] [--check]
+//! decluster layout <spec | disks group> [--export] [--check]
 //! decluster check <layout-file>              # verify a decluster-layout v1 file
 //! decluster simulate [options]               # run a scenario
 //! decluster serve <store-dir> [options]      # run the TCP block service
@@ -16,7 +16,7 @@ use decluster::analytic::reliability;
 use decluster::array::{ArrayConfig, ArraySim, ReconAlgorithm, ReconOptions};
 use decluster::core::design::catalog;
 use decluster::core::layout::{
-    criteria, tabular, vulnerability, DeclusteredLayout, ParityLayout, Raid5Layout, TabularLayout,
+    criteria, tabular, vulnerability, LayoutSpec, ParityLayout, TabularLayout,
 };
 use decluster::sim::SimTime;
 use decluster::workload::WorkloadSpec;
@@ -55,11 +55,14 @@ USAGE:
       Find a block design for <disks> objects with tuples of <group>;
       falls back to the closest feasible stripe width, as the paper does.
 
-  decluster layout <disks> <group> [--export] [--check] [--vulnerability]
-      Build the declustered layout (left-symmetric RAID 5 when
-      <group> == <disks>). --export prints the portable decluster-layout
-      v1 table; --check validates the paper's layout criteria 1-3;
-      --vulnerability reports double-failure exposure.
+  decluster layout <spec | disks group> [--export] [--check] [--vulnerability]
+      Build a layout through the registry: either a full spec string
+      (bibd:c21g5, prime:c11g4, rot:c12g5, raid5:c10, mirror:c10,
+      chained:c10, reddy:c10, pq:c12g6) or the bare <disks> <group> pair
+      (left-symmetric RAID 5 when <group> == <disks>, the design catalog
+      otherwise). --export prints the portable decluster-layout v1 table;
+      --check validates the paper's layout criteria 1-3 (nonzero exit
+      on violation); --vulnerability reports double-failure exposure.
 
   decluster check <layout-file>
       Parse a decluster-layout v1 file and validate criteria 1-3.
@@ -107,20 +110,25 @@ fn cmd_designs(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn build_layout(disks: u16, group: u16) -> Result<Arc<dyn ParityLayout>, String> {
+/// Maps the CLI's numeric `<disks> <group>` pair onto a registry spec:
+/// `raid5:cN` when the stripe spans the whole array, `bibd:cNgM` below
+/// it (the catalog behind `bibd` resolves appendix tables, the cyclic
+/// library, finite geometries, and complete designs).
+fn numeric_spec(disks: u16, group: u16) -> LayoutSpec {
     if group == disks {
-        Ok(Arc::new(
-            Raid5Layout::new(disks).map_err(|e| e.to_string())?,
-        ))
+        LayoutSpec::Raid5 { disks }
     } else {
-        let design = catalog::find(disks, group).map_err(|e| e.to_string())?;
-        Ok(Arc::new(
-            DeclusteredLayout::new(design).map_err(|e| e.to_string())?,
-        ))
+        LayoutSpec::Bibd { disks, group }
     }
 }
 
-fn report_criteria(layout: &dyn ParityLayout) {
+fn build_layout(disks: u16, group: u16) -> Result<Arc<dyn ParityLayout>, String> {
+    numeric_spec(disks, group)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+fn report_criteria(layout: &dyn ParityLayout) -> Result<(), String> {
     let report = criteria::check(layout);
     println!(
         "criteria 1-3: {}",
@@ -142,22 +150,46 @@ fn report_criteria(layout: &dyn ParityLayout) {
         "  table height (criterion 4 metric): {}",
         report.table_height
     );
+    // A violated criterion fails the command so scripts can gate on it
+    // (chained mirroring violates criterion 2 by design; checking it
+    // is expected to fail).
+    if report.all_hold() {
+        Ok(())
+    } else {
+        Err("layout criteria violated".to_string())
+    }
 }
 
 fn cmd_layout(args: &[String]) -> Result<(), String> {
-    let disks: u16 = parse(args.first(), "<disks>")?;
-    let group: u16 = parse(args.get(1), "<group>")?;
-    let flags: Vec<&str> = args[2..].iter().map(String::as_str).collect();
+    // A first argument containing `:` is a full registry spec
+    // (`prime:c11g4`, `pq:c12g6`, …); the bare `<disks> <group>` form
+    // keeps the original CLI and resolves through the same registry.
+    let (spec, rest) = match args.first() {
+        Some(first) if first.contains(':') => {
+            let spec: LayoutSpec = first
+                .parse()
+                .map_err(|e| format!("bad spec {first:?}: {e}"))?;
+            (spec, &args[1..])
+        }
+        _ => {
+            let disks: u16 = parse(args.first(), "<disks>")?;
+            let group: u16 = parse(args.get(1), "<group>")?;
+            (numeric_spec(disks, group), &args[2..])
+        }
+    };
+    let flags: Vec<&str> = rest.iter().map(String::as_str).collect();
     for flag in &flags {
         if !["--export", "--check", "--vulnerability"].contains(flag) {
             return Err(format!("unknown flag {flag:?}"));
         }
     }
-    let layout = build_layout(disks, group)?;
+    let layout = spec.build().map_err(|e| e.to_string())?;
     let exporting = flags.contains(&"--export");
     let summary = format!(
-        "layout: C = {disks}, G = {group}, alpha = {:.3}, parity overhead {:.1}%, \
+        "layout {spec}: C = {}, G = {}, alpha = {:.3}, parity overhead {:.1}%, \
          table {} offsets x {} stripes",
+        spec.disks(),
+        spec.group(),
         layout.alpha(),
         layout.parity_overhead() * 100.0,
         layout.table_height(),
@@ -170,7 +202,7 @@ fn cmd_layout(args: &[String]) -> Result<(), String> {
         println!("{summary}");
     }
     if flags.contains(&"--check") {
-        report_criteria(layout.as_ref());
+        report_criteria(layout.as_ref())?;
     }
     if flags.contains(&"--vulnerability") {
         let v = vulnerability::analyze(layout.as_ref());
@@ -203,7 +235,7 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         layout.stripe_width(),
         layout.stripes_per_table()
     );
-    report_criteria(&layout);
+    report_criteria(&layout)?;
     Ok(())
 }
 
@@ -251,7 +283,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let server = Server::spawn(Arc::new(store), cfg).map_err(|e| format!("binding: {e}"))?;
     println!(
         "serving {} C={} G={} α={:.4} at {}  (send the SHUTDOWN RPC to stop)",
-        spec.name(),
+        spec,
         spec.disks(),
         spec.group(),
         spec.alpha(),

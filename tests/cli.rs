@@ -52,7 +52,10 @@ fn layout_check_and_vulnerability() {
 fn export_round_trips_through_check() {
     let (table, stderr, ok) = decluster(&["layout", "21", "4", "--export"]);
     assert!(ok);
-    assert!(stderr.contains("layout: C = 21"), "summary on stderr");
+    assert!(
+        stderr.contains("layout bibd:c21g4: C = 21"),
+        "summary on stderr: {stderr}"
+    );
     assert!(table.starts_with("decluster-layout v1"), "clean stdout");
     let dir = std::env::temp_dir().join("decluster-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
@@ -61,6 +64,25 @@ fn export_round_trips_through_check() {
     let (out, _, ok) = decluster(&["check", path.to_str().unwrap()]);
     assert!(ok);
     assert!(out.contains("criteria 1-3: hold"), "{out}");
+}
+
+#[test]
+fn layout_accepts_registry_specs() {
+    // The PRIME generator needs no appendix table and passes criteria.
+    let (out, _, ok) = decluster(&["layout", "prime:c11g4", "--check"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("layout prime:c11g4: C = 11, G = 4"), "{out}");
+    assert!(out.contains("criteria 1-3: hold"), "{out}");
+}
+
+#[test]
+fn layout_check_exits_nonzero_on_violation() {
+    // Chained mirroring violates criterion 2 by design, and --check is
+    // a gate scripts rely on.
+    let (out, err, ok) = decluster(&["layout", "chained:c8", "--check"]);
+    assert!(!ok, "{out}");
+    assert!(out.contains("criteria 1-3: VIOLATED"), "{out}");
+    assert!(err.contains("layout criteria violated"), "{err}");
 }
 
 #[test]

@@ -3,11 +3,8 @@
 //! families.
 
 use decluster::array::data::DataArray;
-use decluster::core::design::{appendix, BlockDesign};
-use decluster::core::layout::{
-    ChainedMirrorLayout, DeclusteredLayout, InterleavedMirrorLayout, ParityLayout, Raid5Layout,
-    ReddyLayout,
-};
+use decluster::core::design::appendix;
+use decluster::core::layout::{LayoutSpec, ParityLayout};
 use decluster::sim::SimRng;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -69,11 +66,12 @@ fn exercise(layout: Arc<dyn ParityLayout>, units_per_disk: u64, seed: u64, faile
 #[test]
 fn every_appendix_layout_survives_failure_and_rebuild() {
     for g in appendix::PAPER_GROUP_SIZES {
-        let layout: Arc<dyn ParityLayout> = if g == 21 {
-            Arc::new(Raid5Layout::new(21).unwrap())
+        let spec = if g == 21 {
+            "raid5:c21".to_string()
         } else {
-            Arc::new(DeclusteredLayout::new(appendix::design_for_group_size(g).unwrap()).unwrap())
+            format!("bibd:c21g{g}")
         };
+        let layout = spec.parse::<LayoutSpec>().unwrap().build().unwrap();
         // One full table plus change, to exercise truncation.
         let units = layout.table_height() + layout.table_height() / 3;
         exercise(layout, units, 0xAB + g as u64, g % 21);
@@ -82,7 +80,7 @@ fn every_appendix_layout_survives_failure_and_rebuild() {
 
 #[test]
 fn reddy_layout_survives_failure_and_rebuild() {
-    let layout = Arc::new(ReddyLayout::new(BlockDesign::complete(8, 4).unwrap()).unwrap());
+    let layout = "reddy:c8".parse::<LayoutSpec>().unwrap().build().unwrap();
     exercise(layout, 300, 0xCD, 3);
 }
 
@@ -90,10 +88,22 @@ fn reddy_layout_survives_failure_and_rebuild() {
 fn mirrored_layouts_survive_failure_and_rebuild() {
     // Mirrored pairs are G = 2 parity stripes, so the same XOR algebra
     // (copy) and the same reconstruction machinery apply.
-    let interleaved = Arc::new(InterleavedMirrorLayout::new(7).unwrap());
+    let interleaved = "mirror:c7".parse::<LayoutSpec>().unwrap().build().unwrap();
     exercise(interleaved, 100, 0xEF, 4);
-    let chained = Arc::new(ChainedMirrorLayout::new(7).unwrap());
+    let chained = "chained:c7".parse::<LayoutSpec>().unwrap().build().unwrap();
     exercise(chained, 100, 0xF0, 2);
+}
+
+#[test]
+fn pq_layouts_survive_failure_and_rebuild() {
+    // The same single-failure cycle every other family runs, plus the
+    // GF(256) Q unit in play: data must come back byte-identical and
+    // both parities must verify after the rebuild.
+    for spec in ["pq:c5g4", "pq:c8g5", "pq:c12g6"] {
+        let layout = spec.parse::<LayoutSpec>().unwrap().build().unwrap();
+        let units = layout.table_height() + layout.table_height() / 3;
+        exercise(layout, units, 0x9C, 2);
+    }
 }
 
 /// Random small layouts, random failed disk, random seeds: data always
@@ -107,8 +117,11 @@ fn random_history_never_loses_data() {
         let c = 5 + rng.below(4) as u16; // 5..=8 (always >= g)
         let failed = rng.below(5) as u16;
         let seed = rng.below(1_000);
-        let layout: Arc<dyn ParityLayout> =
-            Arc::new(DeclusteredLayout::new(BlockDesign::complete(c, g).unwrap()).unwrap());
+        let layout: Arc<dyn ParityLayout> = format!("complete:c{c}g{g}")
+            .parse::<LayoutSpec>()
+            .unwrap()
+            .build()
+            .unwrap();
         let units = layout.table_height() * 2 + 3;
         exercise(layout, units, seed, failed % c);
     }
